@@ -1,0 +1,73 @@
+// A1 — security ablation (paper §4.1, §4.4): (a) longitudinal trust of
+// frozen-crypto transmit-only devices vs re-keyable ones; (b) compromise
+// probability of the three gateway software postures the paper discusses;
+// (c) the cost of the authentication machinery itself on the wire.
+
+#include <iostream>
+
+#include "src/security/patching.h"
+#include "src/security/report_auth.h"
+#include "src/security/signing.h"
+#include "src/security/trust.h"
+#include "src/telemetry/report.h"
+
+int main() {
+  using namespace centsim;
+  std::cout << "=== A1: security over decades (paper SS4.1, SS4.4) ===\n\n";
+
+  // --- Longitudinal trust of transmit-only devices ---------------------
+  TrustModelParams frozen;  // Transmit-only: can never re-key.
+  TrustModelParams rotated = frozen;
+  rotated.rekey_period_years = 5.0;  // A serviceable, receive-capable peer.
+  LongitudinalTrust tx_only(frozen);
+  LongitudinalTrust serviceable(rotated);
+
+  Table trust({"year", "frozen-key trust", "re-keyed trust", "security bits left"});
+  for (double y : {0.0, 10.0, 20.0, 30.0, 40.0, 50.0}) {
+    trust.AddRow({FormatDouble(y, 0), FormatPercent(tx_only.TrustAt(y)),
+                  FormatPercent(serviceable.TrustAt(y)),
+                  FormatDouble(tx_only.SecurityBitsAt(y), 1)});
+  }
+  trust.Print(std::cout);
+  std::cout << "Frozen-crypto trust horizon (50% threshold): "
+            << FormatDouble(tx_only.TrustHorizonYears(0.5), 1)
+            << " y; algorithm horizon: " << FormatDouble(tx_only.AlgorithmHorizonYears(), 1)
+            << " y.\nThe paper's 'limited longitudinal trust' made quantitative: even\n"
+               "with sound keys, plan to stop *trusting* (not replacing) transmit-\n"
+               "only sensors after a few decades, or wrap them in gateway-side\n"
+               "attestation that can evolve.\n";
+
+  // --- Gateway software postures ---------------------------------------
+  std::cout << "\nGateway compromise probability by posture (Monte-Carlo, 500 runs):\n";
+  Table postures({"posture", "P(compromised by 10y)", "by 25y", "by 50y"});
+  struct Row {
+    const char* name;
+    ExposureParams params;
+  };
+  const Row rows[] = {
+      {"firewalled, transmit-only (unattended)", FirewalledUnidirectionalGateway()},
+      {"public-facing, maintained (14-day patch)", MaintainedPublicGateway()},
+      {"public-facing, unattended", UnattendedPublicGateway()},
+  };
+  for (const auto& r : rows) {
+    postures.AddRow(
+        {r.name,
+         FormatPercent(CompromiseProbability(r.params, SimTime::Years(10), 500, RandomStream(1))),
+         FormatPercent(CompromiseProbability(r.params, SimTime::Years(25), 500, RandomStream(2))),
+         FormatPercent(
+             CompromiseProbability(r.params, SimTime::Years(50), 500, RandomStream(3)))});
+  }
+  postures.Print(std::cout);
+  std::cout << "Shape: the aggressively firewalled unidirectional gateway is the\n"
+               "only posture that tolerates neglect — the paper's §4.4 design.\n";
+
+  // --- Wire cost of authentication -------------------------------------
+  SipHashKey secret{};
+  const SipHashKey key = DeriveDeviceKey(secret, 1);
+  SensorReading reading;
+  const uint32_t tag = ComputeReadingTag(key, 1, 1, reading);
+  std::cout << "\nAuthentication wire cost: 12-byte reading + " << kTagBytes
+            << "-byte tag = " << 12 + kTagBytes << " bytes, still one Helium data credit"
+            << " (24-byte unit). Tag sample: 0x" << std::hex << tag << std::dec << "\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// A3 — ablation on the energy foundation (paper §1, refs [20, 21]):
+// "Ambient Batteries find stable, battery-like energy sources". Rank the
+// harvesters by *dependability*, not peak power, and size the bridging
+// storage each needs; then evaluate burn-in screening for unreachable
+// devices.
+
+#include <iostream>
+#include <memory>
+
+#include "src/energy/harvester.h"
+#include "src/energy/harvester_stats.h"
+#include "src/reliability/burn_in.h"
+#include "src/reliability/component.h"
+#include "src/telemetry/report.h"
+
+int main() {
+  using namespace centsim;
+  std::cout << "=== A3: energy-source dependability + burn-in (paper SS1) ===\n\n";
+
+  const double load_w = 50e-6;  // 50 uW continuous-equivalent node load.
+  std::cout << "Assessed over 60 days against a " << load_w * 1e6 << " uW load floor:\n\n";
+
+  std::vector<std::unique_ptr<Harvester>> harvesters;
+  {
+    SolarHarvester::Params sp;
+    sp.peak_power_w = 0.010;
+    harvesters.push_back(std::make_unique<SolarHarvester>(sp));
+  }
+  harvesters.push_back(std::make_unique<CorrosionHarvester>(CorrosionHarvester::Params{}));
+  harvesters.push_back(std::make_unique<ThermalHarvester>(ThermalHarvester::Params{}));
+  harvesters.push_back(std::make_unique<VibrationHarvester>(VibrationHarvester::Params{}));
+
+  Table t({"harvester", "mean power", "capacity factor", "time above load", "worst drought",
+           "bridging storage"});
+  for (const auto& h : harvesters) {
+    const auto r =
+        AssessHarvester(*h, SimTime(), SimTime::Days(60), SimTime::Minutes(15), load_w);
+    t.AddRow({h->name(), FormatDouble(r.mean_power_w * 1e6, 1) + " uW",
+              FormatPercent(r.capacity_factor), FormatPercent(r.fraction_above_threshold),
+              r.longest_drought.ToString(), FormatDouble(r.bridging_storage_j, 3) + " J"});
+  }
+  t.Print(std::cout);
+  std::cout << "\nShape (the refs' thesis): the rebar-corrosion 'ambient battery' has\n"
+               "the lowest mean power but a ~100% capacity factor — it needs\n"
+               "essentially no bridging storage, removing the component (the\n"
+               "battery) that caps device lifetime.\n";
+
+  // --- Burn-in for unreachable devices ---------------------------------
+  std::cout << "\nBurn-in screening for devices that are unreachable once deployed\n"
+               "(10-year field window, gateway-class bathtub hazard):\n";
+  BathtubHazard::Params bp;
+  bp.infant_shape = 0.45;
+  bp.infant_scale = SimTime::Years(40);
+  bp.random_mttf = SimTime::Years(120);
+  bp.wearout_shape = 4.0;
+  bp.wearout_scale = SimTime::Years(22);
+  BathtubHazard hazard(bp);
+
+  Table burn({"burn-in", "bench fallout", "field failures (10y)", "reduction",
+              "$ per prevented failure"});
+  for (double days : {0.0, 7.0, 30.0, 90.0}) {
+    BurnInPolicy policy;
+    policy.duration = SimTime::Days(days);
+    const auto a = AssessBurnIn(hazard, policy, SimTime::Years(10));
+    burn.AddRow({days == 0 ? "none" : FormatDouble(days, 0) + " d",
+                 FormatPercent(a.bench_failure_fraction),
+                 FormatPercent(days == 0 ? a.field_failure_without : a.field_failure_with),
+                 FormatPercent(a.relative_reduction),
+                 days == 0 ? "-" : FormatUsd(a.cost_per_prevented_failure_usd)});
+  }
+  burn.Print(std::cout);
+  std::cout << "\nBurn-in trades cheap bench-weeks for expensive truck rolls; it only\n"
+               "pays where the hazard has an infant-mortality component (it is\n"
+               "useless for memoryless failures and harmful for pure wear-out).\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// C1 — paper §1: "over 320,000 utility poles, 61,315 intersections, and
+// 210,000 streetlights ... at a very generous 20 minute total replacement
+// (including travel) time per device, recovering the deployment would
+// require nearly 200,000 person-hours of labor alone."
+
+#include <iostream>
+
+#include "src/city/city_model.h"
+#include "src/econ/labor.h"
+#include "src/telemetry/report.h"
+
+int main() {
+  using namespace centsim;
+  std::cout << "=== C1: city-scale recovery labor (paper SS1) ===\n\n";
+
+  const CityAssets la = LosAngelesAssets();
+  TruckRollModel labor;  // 20 min/device default, per the paper.
+
+  Table assets({"asset class", "count"});
+  assets.AddRow({"utility poles", FormatCount(la.utility_poles)});
+  assets.AddRow({"intersections", FormatCount(la.intersections)});
+  assets.AddRow({"streetlights", FormatCount(la.streetlights)});
+  assets.AddRow({"total sensor sites", FormatCount(la.TotalSensorSites())});
+  assets.Print(std::cout);
+
+  const double hours = labor.PersonHours(la.TotalSensorSites());
+  std::cout << "\n";
+  Table result({"quantity", "paper", "measured"});
+  result.AddRow({"person-hours to recover deployment", "~200,000",
+                 FormatCount(static_cast<uint64_t>(hours))});
+  result.AddRow({"minutes per device", "20", FormatDouble(labor.params().minutes_per_device, 0)});
+  result.Print(std::cout);
+
+  std::cout << "\nDerived operational framing:\n";
+  Table derived({"crews working in parallel", "calendar time", "labor cost"});
+  for (uint32_t crews : {10u, 50u, 200u}) {
+    derived.AddRow({FormatCount(crews),
+                    labor.CalendarTime(la.TotalSensorSites(), crews).ToString(),
+                    FormatUsd(labor.LaborCostUsd(la.TotalSensorSites()))});
+  }
+  derived.Print(std::cout);
+
+  std::cout << "\nAttention budget (paper SS3.1: hours per device falls with scale):\n";
+  Table attention({"fleet size", "hours/device/year with 10 staff"});
+  for (uint64_t fleet : {1000ULL, 10000ULL, 100000ULL, 591315ULL}) {
+    attention.AddRow(
+        {FormatCount(fleet), FormatDouble(AttentionHoursPerDeviceYear(10, fleet), 3)});
+  }
+  attention.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,77 @@
+// C2 — paper §1: replacement-cadence contrast. "Wireless electronics
+// devices are replaced every 50 months. A bridge is replaced every 50
+// years." And: batteries/electrolytics/PCBs "hold the mean lifetime of a
+// device to around 10-15 years", while energy-harvesting hardware lifts
+// that ceiling.
+
+#include <iostream>
+
+#include "src/reliability/component.h"
+#include "src/reliability/survival.h"
+#include "src/sim/random.h"
+#include "src/telemetry/report.h"
+
+namespace {
+
+centsim::KaplanMeier SampleLives(const centsim::SeriesSystem& bom, uint64_t seed, int n) {
+  centsim::RandomStream rng(seed);
+  centsim::KaplanMeier km;
+  for (int i = 0; i < n; ++i) {
+    km.Observe(bom.SampleLife(rng).life, true);
+  }
+  return km;
+}
+
+}  // namespace
+
+int main() {
+  using namespace centsim;
+  std::cout << "=== C2: device vs infrastructure lifetimes (paper SS1) ===\n\n";
+
+  const SeriesSystem battery = SeriesSystem::BatteryPoweredNode();
+  const SeriesSystem harvesting = SeriesSystem::EnergyHarvestingNode();
+  const SeriesSystem gateway = SeriesSystem::RaspberryPiGateway();
+
+  const int kDraws = 20000;
+  const auto km_battery = SampleLives(battery, 1, kDraws);
+  const auto km_harvest = SampleLives(harvesting, 2, kDraws);
+  const auto km_gateway = SampleLives(gateway, 3, kDraws);
+
+  Table t({"hardware class", "MTTF", "median life", "P(alive at 10y)", "P(alive at 25y)",
+           "P(alive at 50y)"});
+  auto row = [&](const std::string& name, const SeriesSystem& bom, const KaplanMeier& km) {
+    t.AddRow({name, FormatDouble(bom.Mttf().ToYears(), 1) + " y",
+              FormatDouble(km.MedianSurvival()->ToYears(), 1) + " y",
+              FormatPercent(bom.Survival(SimTime::Years(10))),
+              FormatPercent(bom.Survival(SimTime::Years(25))),
+              FormatPercent(bom.Survival(SimTime::Years(50)))});
+  };
+  row("battery-powered node", battery, km_battery);
+  row("energy-harvesting node", harvesting, km_harvest);
+  row("RPi-class gateway", gateway, km_gateway);
+  t.Print(std::cout);
+
+  std::cout << "\nPaper shape checks:\n"
+            << "  - battery node mean life ~10-15 y band (conventional wisdom): "
+            << FormatDouble(battery.Mttf().ToYears(), 1) << " y\n"
+            << "  - harvesting node outlives battery node by "
+            << FormatDouble(harvesting.Mttf().ToYears() / battery.Mttf().ToYears(), 2)
+            << "x (paper: removing batteries lifts the ceiling)\n"
+            << "  - consumer refresh cadence 50 months = "
+            << FormatDouble(50.0 / 12.0, 1) << " y vs 50-y bridge: "
+            << FormatDouble(50.0 / (50.0 / 12.0), 0) << "x gap to close\n";
+
+  std::cout << "\nFirst-failing component, battery node (20k draws):\n";
+  RandomStream rng(9);
+  std::vector<int> counts(battery.size(), 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[battery.SampleLife(rng).failing_component];
+  }
+  Table blame({"component", "share of first failures"});
+  for (size_t c = 0; c < battery.size(); ++c) {
+    blame.AddRow({battery.components()[c].name,
+                  FormatPercent(static_cast<double>(counts[c]) / kDraws)});
+  }
+  blame.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// C3 — paper §2: Seoul's smart waste deployment "reduced overflow of trash
+// bins ... by 66% and cost of waste collection by 83%". The scenario
+// compares a fixed collection route against sensor-driven dispatch over
+// the same heterogeneous bin population.
+
+#include <iostream>
+
+#include "src/city/waste.h"
+#include "src/telemetry/report.h"
+
+int main() {
+  using namespace centsim;
+  std::cout << "=== C3: Seoul smart waste collection (paper SS2) ===\n\n";
+
+  WasteScenarioParams params;
+  params.bin_count = 2000;
+  const auto cmp = SimulateWasteScenario(params, RandomStream(2024));
+
+  Table t({"policy", "truck visits/yr", "overflow events", "overflow bin-days", "cost"});
+  t.AddRow({"fixed route (every " + FormatDouble(params.route_period_days, 1) + " d)",
+            FormatCount(cmp.scheduled.truck_visits), FormatCount(cmp.scheduled.overflow_events),
+            FormatDouble(cmp.scheduled.overflow_bin_days, 0), FormatUsd(cmp.scheduled.cost_usd)});
+  t.AddRow({"sensor-driven dispatch", FormatCount(cmp.sensor_driven.truck_visits),
+            FormatCount(cmp.sensor_driven.overflow_events),
+            FormatDouble(cmp.sensor_driven.overflow_bin_days, 0),
+            FormatUsd(cmp.sensor_driven.cost_usd)});
+  t.Print(std::cout);
+
+  std::cout << "\n";
+  Table shape({"quantity", "paper (Seoul)", "measured"});
+  shape.AddRow({"overflow reduction", "66%", FormatPercent(cmp.OverflowReduction())});
+  shape.AddRow({"collection cost reduction", "83%", FormatPercent(cmp.CostReduction())});
+  shape.Print(std::cout);
+
+  std::cout << "\nSensitivity to dispatch latency (smart policy):\n";
+  Table sens({"dispatch latency", "overflow reduction", "cost reduction"});
+  for (double dispatch : {0.1, 0.3, 0.6, 1.0}) {
+    WasteScenarioParams p = params;
+    p.dispatch_days = dispatch;
+    const auto c = SimulateWasteScenario(p, RandomStream(2024));
+    sens.AddRow({FormatDouble(dispatch, 1) + " d", FormatPercent(c.OverflowReduction()),
+                 FormatPercent(c.CostReduction())});
+  }
+  sens.Print(std::cout);
+  return 0;
+}

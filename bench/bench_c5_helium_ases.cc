@@ -1,0 +1,47 @@
+// C5 — paper §4.3 footnote 5: probing the Helium network found "roughly
+// half of the 12,400 gateways with public IP addresses" served by
+// Comcast/Spectrum/Verizon-class ISPs: "50% of nodes belong to just ten
+// ASes, but the long tail extends to nearly 200 unique ASes."
+//
+// We synthesize the population (Zipf s=1 over 200 ASes) and re-run the
+// measurement on the synthetic data, as the probe would.
+
+#include <iostream>
+
+#include "src/net/helium.h"
+#include "src/telemetry/report.h"
+
+int main() {
+  using namespace centsim;
+  std::cout << "=== C5: Helium backhaul AS diversity (paper SS4.3 fn5) ===\n\n";
+
+  HeliumPopulation::Params params;
+  const HeliumPopulation pop(params, RandomStream(13));
+
+  Table t({"quantity", "paper", "measured"});
+  t.AddRow({"public-IP gateways", "12,400", FormatCount(pop.hotspots().size())});
+  t.AddRow({"share in top-10 ASes", "~50%", FormatPercent(pop.TopAsShare(10))});
+  t.AddRow({"unique ASes", "~200", FormatCount(pop.UniqueAsCount())});
+  t.Print(std::cout);
+
+  std::cout << "\nCumulative share by AS rank (measured census):\n";
+  Table cum({"top-k ASes", "share of gateways"});
+  for (uint32_t k : {1u, 3u, 10u, 30u, 100u, 200u}) {
+    cum.AddRow({FormatCount(k), FormatPercent(pop.TopAsShare(k))});
+  }
+  cum.Print(std::cout);
+
+  std::cout << "\nLargest ASes (synthetic census):\n";
+  const auto census = pop.AsCensus();
+  Table top({"rank", "gateways", "share"});
+  for (uint32_t i = 0; i < 10 && i < census.size(); ++i) {
+    top.AddRow({std::to_string(i + 1), FormatCount(census[i]),
+                FormatPercent(static_cast<double>(census[i]) / pop.hotspots().size())});
+  }
+  top.Print(std::cout);
+
+  std::cout << "\nReading: half the third-party backhaul rides ~10 providers —\n"
+               "a provider-concentration risk the 'hedged' Helium design of SS4.2\n"
+               "must survive.\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// C6 — paper §3.3: cellular backhaul is "easier to implement" but "in the
+// long term the operational costs of subscription from service providers
+// becomes expensive"; San Diego is "planning a transition to lower cost
+// wired options". This bench regenerates the cumulative-cost curves and
+// the crossover year.
+
+#include <iostream>
+
+#include "src/econ/npv.h"
+#include "src/econ/tariff.h"
+#include "src/telemetry/report.h"
+
+int main() {
+  using namespace centsim;
+  std::cout << "=== C6: fiber vs cellular backhaul cost over 50 years (paper SS3.3) ===\n\n";
+
+  const uint32_t sites = 100;     // Gateway sites.
+  const double route_m = 20000;   // Shared-trench fiber route.
+  FiberBuild fiber;
+  CellularTariff cell;
+
+  std::cout << "Cumulative cost, " << sites << " gateway sites (fiber trench shared with "
+            << "roadworks, cellular swaps hardware each generation sunset):\n\n";
+  Table t({"year", "fiber (owned)", "cellular (subscribed)", "cheaper"});
+  for (double year : {0.0, 2.0, 5.0, 10.0, 15.0, 25.0, 35.0, 50.0}) {
+    const uint32_t sunsets = static_cast<uint32_t>(year / 12.0);
+    const double f = fiber.CumulativeCostUsd(route_m, sites, year);
+    const double c = cell.CumulativeCostUsd(sites, year, sunsets);
+    t.AddRow({FormatDouble(year, 0), FormatUsd(f), FormatUsd(c), f <= c ? "fiber" : "cellular"});
+  }
+  t.Print(std::cout);
+
+  const double crossover = FiberCellularCrossoverYears(fiber, route_m, cell, sites, 50);
+  std::cout << "\nCrossover year (fiber overtakes cellular): "
+            << (crossover >= 0 ? FormatDouble(crossover, 1) : "never in 50y") << "\n";
+
+  std::cout << "\nAblation — what moves the crossover:\n";
+  Table abl({"variant", "crossover year"});
+  {
+    FiberBuild solo = fiber;
+    solo.coordinate_with_roadworks = false;
+    abl.AddRow({"dedicated trench (no roadworks sharing)",
+                FormatDouble(FiberCellularCrossoverYears(solo, route_m, cell, sites, 50), 1)});
+  }
+  {
+    FiberBuild leased = fiber;
+    leased.lease_revenue_per_site_monthly_usd = 40.0;  // Community ISP model.
+    abl.AddRow({"with San-Leandro-style lease revenue",
+                FormatDouble(FiberCellularCrossoverYears(leased, route_m, cell, sites, 50), 1)});
+  }
+  {
+    CellularTariff cheap = cell;
+    cheap.monthly_fee_usd = 8.0;
+    abl.AddRow({"discount cellular ($8/mo)",
+                FormatDouble(FiberCellularCrossoverYears(fiber, route_m, cheap, sites, 50), 1)});
+  }
+  abl.Print(std::cout);
+
+  std::cout << "\nEquivalent annual cost of the fiber build over 50 y at 3%: "
+            << FormatUsd(EquivalentAnnualCost(fiber.CapexUsd(route_m, sites), 50, 0.03))
+            << "/yr vs cellular year-1 opex "
+            << FormatUsd(cell.monthly_fee_usd * 12 * sites) << "/yr.\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// C8 — paper §2: "Instrumenting one intersection will not give city
+// planners an accurate picture of the overall city traffic. Air pollution
+// is highly localized, and requires measurement at city-block
+// granularity." The bench sweeps sensor density over a synthetic pollution
+// field and reports map error and hotspot recall — the quantitative case
+// for scale.
+
+#include <iostream>
+
+#include "src/city/air_quality.h"
+#include "src/telemetry/report.h"
+#include "src/telemetry/sensors.h"
+
+int main() {
+  using namespace centsim;
+  std::cout << "=== C8: sensing density for localized phenomena (paper SS2) ===\n\n";
+
+  PollutionField::Params fp;
+  fp.area_km2 = 25.0;
+  const PollutionField field(fp, RandomStream(99));
+
+  std::cout << "25 km^2 district, plume length scale ~1-2 blocks.\n\n";
+  Table t({"sensors", "per km^2", "mean map error (ug/m^3)", "p95 error", "hotspot recall"});
+  for (uint32_t n : {5u, 25u, 100u, 400u, 1600u, 6400u}) {
+    const auto r = EvaluateSensorDensity(field, n, RandomStream(7));
+    t.AddRow({FormatCount(n), FormatDouble(r.sensors_per_km2, 1),
+              FormatDouble(r.mean_abs_error, 2), FormatDouble(r.p95_abs_error, 2),
+              FormatPercent(r.hotspot_recall)});
+  }
+  t.Print(std::cout);
+
+  std::cout << "\nBlock-granularity check: one sensor per ~(250 m)^2 cell is 16/km^2\n"
+               "-> the 400-sensor row. Hotspot recall only saturates around that\n"
+               "density, matching the paper's city-block-granularity claim.\n";
+
+  std::cout << "\nSampling-rate requirement by phenomenon (mean |reconstruction error|\n"
+               "of a single sensor, zero-order hold):\n";
+  Table rates({"phenomenon", "hourly sampling", "daily sampling", "weekly sampling"});
+  for (SensorKind kind : {SensorKind::kAirQuality, SensorKind::kTemperature,
+                          SensorKind::kConcreteHealth}) {
+    SensorModel m(kind, 5);
+    rates.AddRow({SensorKindName(kind),
+                  FormatDouble(ReconstructionError(m, SimTime::Hours(1), SimTime::Days(28)), 2),
+                  FormatDouble(ReconstructionError(m, SimTime::Days(1), SimTime::Days(28)), 2),
+                  FormatDouble(ReconstructionError(m, SimTime::Weeks(1), SimTime::Days(28)), 2)});
+  }
+  rates.Print(std::cout);
+  std::cout << "\nFast, local phenomena (air quality) need density AND rate; slow\n"
+               "ones (concrete health) are served by sparse hourly reporters —\n"
+               "which is why a 24-byte hourly uplink is a viable century-scale\n"
+               "design point for infrastructure health.\n";
+  return 0;
+}

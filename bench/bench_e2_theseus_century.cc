@@ -1,0 +1,105 @@
+// E2 — paper §1/§3.4: the Ship-of-Theseus century. A 5,000-site municipal
+// fleet whose units never individually reach 100 years, maintained only
+// through staggered geographic batch projects, holds high aggregate
+// availability for a century.
+
+#include <iostream>
+
+#include "src/core/theseus.h"
+#include "src/econ/replacement_planning.h"
+#include "src/telemetry/report.h"
+
+int main() {
+  using namespace centsim;
+  std::cout << "=== E2: Ship-of-Theseus century scenario (paper SS1, SS3.4) ===\n\n";
+
+  CenturyConfig cfg;
+  cfg.seed = 7;
+  cfg.fleet_size = 5000;
+  cfg.horizon = SimTime::Years(100);
+  cfg.batch.zone_count = 16;
+  cfg.batch.cycle_period = SimTime::Years(8);  // Repave cadence.
+
+  const auto harvesting = RunCenturyScenario(cfg);
+  CenturyConfig battery_cfg = cfg;
+  battery_cfg.device_class = DeviceClassKind::kBatteryPowered;
+  const auto battery = RunCenturyScenario(battery_cfg);
+
+  Table t({"fleet", "mean availability (100 y)", "worst year", "failures", "units deployed",
+           "median unit life"});
+  auto row = [&](const std::string& name, const CenturyReport& r) {
+    t.AddRow({name, FormatPercent(r.mean_availability, 2),
+              FormatPercent(r.min_yearly_availability, 1), FormatCount(r.total_failures),
+              FormatCount(r.units_deployed),
+              r.unit_survival.MedianSurvival() ? r.unit_survival.MedianSurvival()->ToString()
+                                               : std::string("-")});
+  };
+  row("energy-harvesting units", harvesting);
+  row("battery-powered units", battery);
+  t.Print(std::cout);
+
+  std::cout << "\nNo individual unit is century-scale (max generations at one site: "
+            << FormatDouble(harvesting.max_unit_generations, 0)
+            << "), yet the *system* is: the paper's pipelined-lifetimes claim.\n";
+
+  std::cout << "\nAvailability by decade (harvesting fleet):\n";
+  Table decades({"decade", "mean availability"});
+  for (int d = 0; d < 10; ++d) {
+    double sum = 0.0;
+    for (int y = 0; y < 10; ++y) {
+      sum += harvesting.yearly_availability[d * 10 + y];
+    }
+    decades.AddRow({std::to_string(d * 10) + "s", FormatPercent(sum / 10.0, 1)});
+  }
+  decades.Print(std::cout);
+
+  std::cout << "\nAblation: batch-project cadence (harvesting fleet).\n";
+  Table cadence({"zone revisit cycle", "mean availability", "replacements"});
+  for (double years : {4.0, 8.0, 16.0}) {
+    CenturyConfig c = cfg;
+    c.batch.cycle_period = SimTime::Years(years);
+    const auto r = RunCenturyScenario(c);
+    cadence.AddRow({FormatDouble(years, 0) + " y", FormatPercent(r.mean_availability, 2),
+                    FormatCount(r.total_replacements)});
+  }
+  cadence.Print(std::cout);
+
+  std::cout << "\nAblation: proactive refresh during batch visits.\n";
+  Table refresh({"policy", "mean availability", "failures in field", "units deployed"});
+  for (double age : {0.0, 10.0, 20.0}) {
+    CenturyConfig c = cfg;
+    c.proactive_refresh_age = age > 0 ? SimTime::Years(age) : SimTime();
+    const auto r = RunCenturyScenario(c);
+    refresh.AddRow({age > 0 ? "refresh units older than " + FormatDouble(age, 0) + " y"
+                            : "reactive only",
+                    FormatPercent(r.mean_availability, 2), FormatCount(r.total_failures),
+                    FormatCount(r.units_deployed)});
+  }
+  refresh.Print(std::cout);
+
+  // The living-study loop (§4.5): fit the simulated fleet's observed unit
+  // lifetimes, then forecast the maintenance regime analytically and check
+  // it against the simulation itself.
+  const auto fit = FitWeibull(harvesting.unit_survival);
+  if (fit.has_value()) {
+    const auto forecast = ForecastReplacements(*fit, cfg.fleet_size, cfg.batch.zone_count,
+                                               cfg.batch.cycle_period);
+    std::cout << "\nField-data forecast (Weibull MLE on observed unit lives: k="
+              << FormatDouble(fit->shape, 2) << ", eta=" << FormatDouble(fit->scale_years, 1)
+              << " y):\n";
+    Table fc({"quantity", "forecast", "simulated"});
+    fc.AddRow({"steady failures/year", FormatDouble(forecast.steady_failures_per_year, 0),
+               FormatDouble(harvesting.total_failures / 100.0, 0)});
+    fc.AddRow({"availability", FormatPercent(SteadyStateAvailability(*fit, cfg.batch.cycle_period)),
+               FormatPercent(harvesting.mean_availability)});
+    fc.AddRow({"replacements per zone visit",
+               FormatDouble(forecast.replacements_per_zone_visit, 1), "-"});
+    fc.AddRow({"annual labor + hardware",
+               FormatUsd(forecast.annual_labor_cost_usd + forecast.annual_hardware_cost_usd),
+               "-"});
+    fc.Print(std::cout);
+    std::cout << "The diary's data is enough to budget the next half-century of\n"
+                 "maintenance — the operational payoff of the living study.\n";
+  }
+  return 0;
+}

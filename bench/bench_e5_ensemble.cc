@@ -1,0 +1,89 @@
+// E5 — the 50-year experiment as an ensemble: the paper runs one physical
+// instance of its experiment; the simulator runs the counterfactual
+// distribution. How often does the design meet its own weekly-uptime goal?
+// How often does the third-party (Helium) path die of owner churn? Plus
+// the §4.5 succession forecast for the humans running it.
+
+#include <iostream>
+
+#include "src/core/montecarlo.h"
+#include "src/mgmt/succession.h"
+#include "src/telemetry/report.h"
+
+int main() {
+  using namespace centsim;
+  std::cout << "=== E5: ensemble over the 50-year experiment (paper SS4) ===\n\n";
+
+  FiftyYearConfig base;
+  base.seed = 1000;
+  base.devices_802154 = 4;
+  base.devices_lora = 4;
+  base.owned_gateways = 2;
+  base.helium_hotspots = 4;
+  base.report_interval = SimTime::Hours(6);
+  base.horizon = SimTime::Years(50);
+
+  const uint32_t kRuns = 12;
+  std::cout << "Running " << kRuns << " independent 50-year realizations...\n\n";
+  const auto ensemble = SweepFiftyYear(base, kRuns, /*weekly_goal=*/0.95);
+
+  Table t({"metric", "p10", "median", "p90"});
+  auto qrow = [&](const std::string& name, const SampleSet& s, bool pct) {
+    auto fmt = [&](double v) {
+      return pct ? FormatPercent(v) : FormatDouble(v, 0);
+    };
+    t.AddRow({name, fmt(s.Quantile(0.1)), fmt(s.Quantile(0.5)), fmt(s.Quantile(0.9))});
+  };
+  qrow("weekly end-to-end uptime", ensemble.weekly_uptime, true);
+  qrow("owned-path uptime", ensemble.owned_path_uptime, true);
+  qrow("Helium-path uptime", ensemble.helium_path_uptime, true);
+  qrow("longest dark gap (weeks)", ensemble.longest_gap_weeks, false);
+  t.Print(std::cout);
+
+  std::cout << "\n";
+  Table odds({"outcome", "probability over " + std::to_string(kRuns) + " runs"});
+  odds.AddRow({"meets >=95% weekly-uptime goal", FormatPercent(ensemble.GoalProbability())});
+  odds.AddRow({"Helium path dead (<50% uptime)", FormatPercent(ensemble.HeliumDeathProbability())});
+  odds.Print(std::cout);
+
+  std::cout << "\nSpread of the living-study load:\n";
+  Table spread({"quantity", "mean", "stddev"});
+  spread.AddRow({"device failures", FormatDouble(ensemble.device_failures.mean(), 1),
+                 FormatDouble(ensemble.device_failures.stddev(), 1)});
+  spread.AddRow({"owned-gateway failures", FormatDouble(ensemble.gateway_failures.mean(), 1),
+                 FormatDouble(ensemble.gateway_failures.stddev(), 1)});
+  spread.AddRow({"maintenance person-hours", FormatDouble(ensemble.maintenance_hours.mean(), 1),
+                 FormatDouble(ensemble.maintenance_hours.stddev(), 1)});
+  spread.AddRow({"data credits spent", FormatDouble(ensemble.credits_spent.mean(), 0),
+                 FormatDouble(ensemble.credits_spent.stddev(), 0)});
+  spread.Print(std::cout);
+
+  // --- The humans (§4.5) ------------------------------------------------
+  std::cout << "\nExperimenter succession over 50 years (20 sampled careers):\n";
+  SuccessionParams succ;
+  SummaryStats handovers;
+  SummaryStats knowledge_with;
+  SummaryStats knowledge_without;
+  RandomStream rng(5);
+  for (int i = 0; i < 20; ++i) {
+    const auto with = SimulateSuccession(succ, SimTime::Years(50), rng.Derive(i));
+    SuccessionParams no_diary = succ;
+    no_diary.diary_maintained = false;
+    const auto without = SimulateSuccession(no_diary, SimTime::Years(50), rng.Derive(i));
+    handovers.Add(with.handovers);
+    knowledge_with.Add(with.final_knowledge);
+    knowledge_without.Add(without.final_knowledge);
+  }
+  Table humans({"quantity", "value"});
+  humans.AddRow({"expected handovers (formula)",
+                 FormatDouble(ExpectedHandovers(succ, SimTime::Years(50)), 1)});
+  humans.AddRow({"mean handovers (simulated)", FormatDouble(handovers.mean(), 1)});
+  humans.AddRow({"final knowledge WITH living diary",
+                 FormatPercent(knowledge_with.mean())});
+  humans.AddRow({"final knowledge WITHOUT diary", FormatPercent(knowledge_without.mean())});
+  humans.Print(std::cout);
+  std::cout << "The diary the paper commits to (SS4.5) is what keeps operational\n"
+               "knowledge above water across the custodian handovers a 50-year\n"
+               "experiment guarantees.\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// E6 — district-scale rollout: the municipal composition of the paper's
+// pieces. 4,000 sensor sites over 25 km², gateways planned from the radio
+// range, devices replaced only when the roadworks batch reaches their zone
+// (§1), gateways repaired by the municipal crew. Scored on *service*
+// availability (device alive AND covered), which separates device losses
+// from the gateway-tier losses Figure 1 warns about.
+
+#include <iostream>
+
+#include "src/core/district.h"
+#include "src/telemetry/report.h"
+
+int main() {
+  using namespace centsim;
+  std::cout << "=== E6: district-scale 50-year rollout ===\n\n";
+
+  DistrictConfig cfg;
+  cfg.seed = 42;
+  cfg.device_count = 4000;
+  cfg.area_km2 = 25.0;
+  cfg.horizon = SimTime::Years(50);
+  cfg.batch_cycle = SimTime::Years(8);
+
+  const auto base = RunDistrictScenario(cfg);
+  Table t({"quantity", "value"});
+  t.AddRow({"sensor sites", FormatCount(cfg.device_count)});
+  t.AddRow({"gateways planned", FormatCount(base.gateway_count)});
+  t.AddRow({"planned coverage", FormatPercent(base.initial_coverage)});
+  t.AddRow({"mean device availability (50 y)", FormatPercent(base.mean_device_availability)});
+  t.AddRow({"mean service availability (50 y)", FormatPercent(base.mean_service_availability)});
+  t.AddRow({"availability lost to gateway tier", FormatPercent(base.CoverageLoss())});
+  t.AddRow({"worst single year", FormatPercent(base.min_yearly_service)});
+  t.AddRow({"device failures / replacements",
+            FormatCount(base.device_failures) + " / " + FormatCount(base.device_replacements)});
+  t.AddRow({"gateway failures / repairs",
+            FormatCount(base.gateway_failures) + " / " + FormatCount(base.gateway_repairs)});
+  t.Print(std::cout);
+
+  std::cout << "\nAblation: batch cadence x gateway repair speed (service availability):\n";
+  Table abl({"batch cycle", "gw repair 3d", "gw repair 14d", "gw repair 120d"});
+  for (double cycle : {4.0, 8.0, 16.0}) {
+    std::vector<std::string> row = {FormatDouble(cycle, 0) + " y"};
+    for (double repair_days : {3.0, 14.0, 120.0}) {
+      DistrictConfig c = cfg;
+      c.batch_cycle = SimTime::Years(cycle);
+      c.gateway_repair_delay = SimTime::Days(repair_days);
+      row.push_back(FormatPercent(RunDistrictScenario(c).mean_service_availability));
+    }
+    abl.AddRow(row);
+  }
+  abl.Print(std::cout);
+
+  std::cout << "\nBattery vs harvesting fleet at district scale:\n";
+  Table fleet({"device class", "service availability", "device failures"});
+  for (auto cls : {DeviceClassKind::kEnergyHarvesting, DeviceClassKind::kBatteryPowered}) {
+    DistrictConfig c = cfg;
+    c.device_class = cls;
+    const auto r = RunDistrictScenario(c);
+    fleet.AddRow({cls == DeviceClassKind::kEnergyHarvesting ? "energy harvesting" : "battery",
+                  FormatPercent(r.mean_service_availability), FormatCount(r.device_failures)});
+  }
+  fleet.Print(std::cout);
+
+  std::cout << "\nShape: the batch cadence (how fast dead devices get revisited)\n"
+               "dominates service availability; the gateway tier is nearly free to\n"
+               "keep healthy (16 repairable units vs 4,000 untouchable ones) until\n"
+               "repairs slow to months — Figure 1's asymmetry, quantified: fix the\n"
+               "few serviceable things promptly, and design the many unserviceable\n"
+               "things to not need fixing.\n";
+  return 0;
+}

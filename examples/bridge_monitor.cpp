@@ -1,0 +1,89 @@
+// Bridge-health monitor (paper §1): a sensor physically embedded in the
+// concrete of a bridge, powered "for literally as long as the structure
+// lasts" by the corrosion of the embedded rebar, reporting over LoRa.
+//
+// The example sizes the reporting schedule against the harvester, runs 50
+// simulated years, and shows the node outliving several gateway
+// generations on the structure's own power.
+
+#include <cstdio>
+#include <memory>
+
+#include "src/core/device.h"
+#include "src/core/network_fabric.h"
+#include "src/energy/harvester.h"
+#include "src/net/backhaul.h"
+#include "src/net/cloud_endpoint.h"
+#include "src/net/gateway.h"
+#include "src/sim/simulation.h"
+
+int main() {
+  using namespace centsim;
+  Simulation sim(/*seed=*/7);
+
+  CloudEndpoint endpoint;
+  NetworkFabric fabric(sim);
+  fabric.SetEndpoint(&endpoint);
+
+  auto backhaul = MakeFiberBackhaul(sim.StreamFor(2));
+
+  // A LoRa gateway on a pole near the bridge; the DOT replaces it within a
+  // month whenever it dies — gateways are serviceable, the embedded sensor
+  // is not.
+  GatewayConfig gw_cfg;
+  gw_cfg.id = 300;
+  gw_cfg.tech = RadioTech::kLoRa;
+  gw_cfg.rx_antenna_gain_db = 5.0;
+  gw_cfg.name = "bridge-gw";
+  Gateway gateway(sim, gw_cfg, SeriesSystem::RaspberryPiGateway());
+  gateway.AttachBackhaul(backhaul.get());
+  gateway.SetRepairPolicy([](SimTime fail_time) { return fail_time + SimTime::Days(30); });
+  gateway.Deploy();
+  fabric.AddGateway(&gateway);
+
+  // The rebar-corrosion "ambient battery": ~300 uW, decaying with the
+  // structure over its 50-year service life (median bridge life per the
+  // FHWA national bridge inventory the paper cites).
+  EdgeDeviceConfig dev_cfg;
+  dev_cfg.id = 42;
+  dev_cfg.x_m = 400.0;  // Mid-span to the pole.
+  dev_cfg.tech = RadioTech::kLoRa;
+  dev_cfg.tx_power_dbm = 14.0;
+  dev_cfg.lora.sf = LoraSf::kSf10;  // Concrete attenuation headroom.
+  dev_cfg.payload_bytes = 12;       // PZT impedance summary reading.
+  dev_cfg.name = "rebar-node";
+
+  CorrosionHarvester::Params rebar;
+  rebar.initial_power_w = 300e-6;
+  rebar.structure_life = SimTime::Years(50);
+  EnergyManager energy(std::make_unique<CorrosionHarvester>(rebar),
+                       EnergyStorage::Supercap(30.0), LoadProfileFor(dev_cfg));
+
+  const auto sustainable = energy.SustainableInterval();
+  std::printf("Harvest supports one report every %s; deploying at hourly cadence.\n",
+              sustainable ? sustainable->ToString().c_str() : "(never)");
+  dev_cfg.report_interval = SimTime::Hours(1);
+
+  EdgeDevice node(sim, dev_cfg, fabric, std::move(energy),
+                  SeriesSystem::EnergyHarvestingNode());
+  node.Deploy();
+
+  const SimTime horizon = SimTime::Years(50);
+  sim.RunUntil(horizon);
+
+  std::printf("\n--- 50-year bridge deployment ---\n");
+  std::printf("node alive at year 50:   %s", node.alive() ? "yes\n" : "no");
+  if (!node.alive()) {
+    std::printf(" (hardware failed at %s)\n", node.failed_at().ToString().c_str());
+  }
+  std::printf("reports attempted:       %llu\n",
+              static_cast<unsigned long long>(node.attempts()));
+  std::printf("reports delivered:       %llu\n",
+              static_cast<unsigned long long>(node.delivered()));
+  std::printf("energy-denied attempts:  %llu\n",
+              static_cast<unsigned long long>(node.OutcomeCount(DeliveryOutcome::kNoEnergy)));
+  std::printf("weekly uptime:           %.2f%%\n", 100.0 * endpoint.WeeklyUptime(horizon));
+  std::printf("gateway swaps survived:  %u\n", gateway.failure_count());
+  std::printf("storage SoC at the end:  %.0f%%\n", 100.0 * node.energy().storage().soc());
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Smart waste collection (paper §2, the Seoul case): compare a fixed
+// collection route against sensor-driven dispatch, then size the sensing
+// deployment that enables it — devices, gateways, and the data-credit
+// budget for bin-level fill reports.
+
+#include <cstdio>
+#include <iostream>
+
+#include "src/city/waste.h"
+#include "src/econ/data_credits.h"
+#include "src/econ/deployment_cost.h"
+#include "src/telemetry/report.h"
+
+int main() {
+  using namespace centsim;
+
+  WasteScenarioParams params;
+  params.bin_count = 2000;
+  std::printf("Simulating %u bins for %.0f days under both policies...\n\n", params.bin_count,
+              params.horizon_days);
+  const auto cmp = SimulateWasteScenario(params, RandomStream(2015));  // Seoul case year.
+
+  Table t({"policy", "truck visits", "overflow bin-days", "cost"});
+  t.AddRow({"fixed route", FormatCount(cmp.scheduled.truck_visits),
+            FormatDouble(cmp.scheduled.overflow_bin_days, 0), FormatUsd(cmp.scheduled.cost_usd)});
+  t.AddRow({"sensor-driven", FormatCount(cmp.sensor_driven.truck_visits),
+            FormatDouble(cmp.sensor_driven.overflow_bin_days, 0),
+            FormatUsd(cmp.sensor_driven.cost_usd)});
+  t.Print(std::cout);
+  std::printf("\noverflow reduction: %s (Seoul reported 66%%)\n",
+              FormatPercent(cmp.OverflowReduction()).c_str());
+  std::printf("cost reduction:     %s (Seoul reported 83%%)\n",
+              FormatPercent(cmp.CostReduction()).c_str());
+
+  // What the sensing side costs: one fill-level report per bin per hour,
+  // prepaid as Helium data credits for a decade.
+  const uint64_t credits = CreditsForSchedule(1.0, 10.0, 24) * params.bin_count;
+  std::printf("\nSensing cost: %u bins reporting hourly for 10 years = %s credits (%s).\n",
+              params.bin_count, FormatCount(credits).c_str(),
+              FormatUsd(CreditsToUsd(credits)).c_str());
+  const double annual_savings = cmp.scheduled.cost_usd - cmp.sensor_driven.cost_usd;
+  std::printf("Annual collection savings: %s — connectivity pays for itself in %.1f days.\n",
+              FormatUsd(annual_savings).c_str(),
+              CreditsToUsd(credits) / annual_savings * 365.0);
+  return 0;
+}

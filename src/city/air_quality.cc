@@ -1,0 +1,105 @@
+#include "src/city/air_quality.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/sim/stats.h"
+
+namespace centsim {
+
+PollutionField::PollutionField(const Params& params, RandomStream rng) : params_(params) {
+  side_m_ = std::sqrt(params.area_km2) * 1000.0;
+  sources_.reserve(params.source_count);
+  for (uint32_t i = 0; i < params.source_count; ++i) {
+    Source s;
+    s.x_m = rng.Uniform(0.0, side_m_);
+    s.y_m = rng.Uniform(0.0, side_m_);
+    s.peak = rng.Uniform(params.source_peak_min, params.source_peak_max);
+    s.sigma_m = rng.Uniform(params.plume_sigma_min_m, params.plume_sigma_max_m);
+    sources_.push_back(s);
+  }
+}
+
+double PollutionField::ConcentrationAt(double x_m, double y_m) const {
+  double total = params_.background;
+  for (const auto& s : sources_) {
+    const double dx = x_m - s.x_m;
+    const double dy = y_m - s.y_m;
+    const double d2 = dx * dx + dy * dy;
+    total += s.peak * std::exp(-d2 / (2.0 * s.sigma_m * s.sigma_m));
+  }
+  return total;
+}
+
+DensityResult EvaluateSensorDensity(const PollutionField& field, uint32_t sensor_count,
+                                    RandomStream rng) {
+  DensityResult result;
+  result.sensor_count = sensor_count;
+  const double side = field.side_m();
+  const double area_km2 = side * side / 1e6;
+  result.sensors_per_km2 = sensor_count / area_km2;
+  if (sensor_count == 0) {
+    return result;
+  }
+
+  struct Probe {
+    double x;
+    double y;
+    double value;
+  };
+  std::vector<Probe> probes;
+  probes.reserve(sensor_count);
+  for (uint32_t i = 0; i < sensor_count; ++i) {
+    Probe p;
+    p.x = rng.Uniform(0.0, side);
+    p.y = rng.Uniform(0.0, side);
+    p.value = field.ConcentrationAt(p.x, p.y);
+    probes.push_back(p);
+  }
+
+  // Inverse-distance-weighted reconstruction scored on a 50x50 grid.
+  const int kGrid = 50;
+  SampleSet errors;
+  uint32_t hotspots = 0;
+  uint32_t hotspots_found = 0;
+  const double background = field.ConcentrationAt(-1e7, -1e7);  // Far away.
+  for (int gy = 0; gy < kGrid; ++gy) {
+    for (int gx = 0; gx < kGrid; ++gx) {
+      const double x = (gx + 0.5) * side / kGrid;
+      const double y = (gy + 0.5) * side / kGrid;
+      const double truth = field.ConcentrationAt(x, y);
+
+      double num = 0.0;
+      double den = 0.0;
+      bool exact = false;
+      for (const auto& p : probes) {
+        const double dx = x - p.x;
+        const double dy = y - p.y;
+        const double d2 = dx * dx + dy * dy;
+        if (d2 < 1.0) {
+          num = p.value;
+          den = 1.0;
+          exact = true;
+          break;
+        }
+        const double w = 1.0 / d2;  // IDW power 2.
+        num += w * p.value;
+        den += w;
+      }
+      const double estimate = exact ? num : num / den;
+      errors.Add(std::abs(estimate - truth));
+      if (truth > 2.0 * background) {
+        ++hotspots;
+        if (estimate > 2.0 * background) {
+          ++hotspots_found;
+        }
+      }
+    }
+  }
+  result.mean_abs_error = errors.Mean();
+  result.p95_abs_error = errors.Quantile(0.95);
+  result.hotspot_recall = hotspots > 0 ? static_cast<double>(hotspots_found) / hotspots : 1.0;
+  return result;
+}
+
+}  // namespace centsim

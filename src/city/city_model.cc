@@ -1,0 +1,45 @@
+#include "src/city/city_model.h"
+
+namespace centsim {
+
+CityAssets LosAngelesAssets() {
+  CityAssets c;
+  c.name = "Los Angeles";
+  c.utility_poles = 320000;
+  c.intersections = 61315;
+  c.streetlights = 210000;
+  c.area_km2 = 1302.0;
+  return c;
+}
+
+CityAssets SanDiegoAssets() {
+  CityAssets c;
+  c.name = "San Diego";
+  c.utility_poles = 8000;   // Smart-LED poles in the program.
+  c.intersections = 1600;
+  c.streetlights = 3300;    // Sensor-equipped nodes.
+  c.area_km2 = 964.0;
+  return c;
+}
+
+CityAssets SeoulDistrictAssets() {
+  CityAssets c;
+  c.name = "Seoul (district)";
+  c.utility_poles = 4000;
+  c.intersections = 900;
+  c.streetlights = 6000;
+  c.area_km2 = 47.0;
+  return c;
+}
+
+CityAssets ChanuteAssets() {
+  CityAssets c;
+  c.name = "Chanute, KS";
+  c.utility_poles = 2600;
+  c.intersections = 180;
+  c.streetlights = 1400;
+  c.area_km2 = 20.0;
+  return c;
+}
+
+}  // namespace centsim

@@ -1,0 +1,38 @@
+// Municipal asset inventories and city presets (paper §1 and §2).
+
+#ifndef SRC_CITY_CITY_MODEL_H_
+#define SRC_CITY_CITY_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace centsim {
+
+struct CityAssets {
+  std::string name;
+  uint64_t utility_poles = 0;
+  uint64_t intersections = 0;
+  uint64_t streetlights = 0;
+  double area_km2 = 0.0;
+
+  uint64_t TotalSensorSites() const { return utility_poles + intersections + streetlights; }
+};
+
+// Los Angeles (paper §1): 320,000 utility poles, 61,315 intersections,
+// 210,000 streetlights.
+CityAssets LosAngelesAssets();
+
+// San Diego (paper §2): 8,000 smart LEDs with 3,300 sensor nodes. Pole and
+// intersection counts scaled from city size for deployment geometry.
+CityAssets SanDiegoAssets();
+
+// Seoul (paper §2 waste case study): modeled district inventory.
+CityAssets SeoulDistrictAssets();
+
+// Chanute, KS (paper §3.3.3): a 9,000-resident city running its own
+// fiber + WiMAX with 2 staff.
+CityAssets ChanuteAssets();
+
+}  // namespace centsim
+
+#endif  // SRC_CITY_CITY_MODEL_H_

@@ -1,0 +1,74 @@
+#include "src/city/deployment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace centsim {
+
+double DistanceM(const Site& a, const Site& b) {
+  const double dx = a.x_m - b.x_m;
+  const double dy = a.y_m - b.y_m;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+DeploymentPlan::DeploymentPlan(const Params& params, RandomStream rng) : params_(params) {
+  side_m_ = std::sqrt(params.area_km2) * 1000.0;
+  sites_.reserve(params.site_count);
+  for (uint32_t i = 0; i < params.site_count; ++i) {
+    Site s;
+    s.x_m = rng.Uniform(0.0, side_m_);
+    s.y_m = rng.Uniform(0.0, side_m_);
+    const uint32_t zx = std::min<uint32_t>(
+        params.zone_grid - 1, static_cast<uint32_t>(s.x_m / side_m_ * params.zone_grid));
+    const uint32_t zy = std::min<uint32_t>(
+        params.zone_grid - 1, static_cast<uint32_t>(s.y_m / side_m_ * params.zone_grid));
+    s.zone = zy * params.zone_grid + zx;
+    sites_.push_back(s);
+  }
+}
+
+std::vector<uint32_t> DeploymentPlan::SitesPerZone() const {
+  std::vector<uint32_t> counts(zone_count(), 0);
+  for (const auto& s : sites_) {
+    ++counts[s.zone];
+  }
+  return counts;
+}
+
+std::vector<Site> DeploymentPlan::PlanGatewayGrid(double range_m) const {
+  std::vector<Site> gws;
+  const double spacing = range_m * std::sqrt(2.0);
+  const int per_side = std::max(1, static_cast<int>(std::ceil(side_m_ / spacing)));
+  for (int gy = 0; gy < per_side; ++gy) {
+    for (int gx = 0; gx < per_side; ++gx) {
+      Site g;
+      g.x_m = (gx + 0.5) * side_m_ / per_side;
+      g.y_m = (gy + 0.5) * side_m_ / per_side;
+      gws.push_back(g);
+    }
+  }
+  return gws;
+}
+
+DeploymentPlan::CoverageReport DeploymentPlan::ScoreCoverage(const std::vector<Site>& gateways,
+                                                             double range_m) const {
+  CoverageReport rep;
+  double dist_sum = 0.0;
+  for (const auto& s : sites_) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& g : gateways) {
+      best = std::min(best, DistanceM(s, g));
+    }
+    dist_sum += best;
+    if (best <= range_m) {
+      ++rep.covered;
+    } else {
+      ++rep.uncovered;
+    }
+  }
+  rep.mean_best_distance_m = sites_.empty() ? 0.0 : dist_sum / sites_.size();
+  return rep;
+}
+
+}  // namespace centsim

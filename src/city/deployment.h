@@ -1,0 +1,64 @@
+// Geometric deployment planning: place sensor sites over a city area,
+// place gateways to cover them, and score coverage against a radio range.
+
+#ifndef SRC_CITY_DEPLOYMENT_H_
+#define SRC_CITY_DEPLOYMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/city/city_model.h"
+#include "src/sim/random.h"
+
+namespace centsim {
+
+struct Site {
+  double x_m = 0.0;
+  double y_m = 0.0;
+  uint32_t zone = 0;  // Geographic batch zone (see mgmt/batch_project.h).
+};
+
+double DistanceM(const Site& a, const Site& b);
+
+class DeploymentPlan {
+ public:
+  struct Params {
+    uint32_t site_count = 1000;
+    double area_km2 = 50.0;
+    uint32_t zone_grid = 4;  // Zones per side: zone count = grid^2.
+  };
+
+  // Scatters `site_count` sites uniformly over a square of the given area,
+  // assigning each to a zone on a `zone_grid` x `zone_grid` partition.
+  DeploymentPlan(const Params& params, RandomStream rng);
+
+  const std::vector<Site>& sites() const { return sites_; }
+  double side_m() const { return side_m_; }
+  uint32_t zone_count() const { return params_.zone_grid * params_.zone_grid; }
+  std::vector<uint32_t> SitesPerZone() const;
+
+  // Gateways on a hexagonal-ish grid with spacing `range_m * sqrt(2)` so
+  // neighboring circles overlap. Returns gateway positions.
+  std::vector<Site> PlanGatewayGrid(double range_m) const;
+
+  struct CoverageReport {
+    uint32_t covered = 0;
+    uint32_t uncovered = 0;
+    double mean_best_distance_m = 0.0;
+    double CoveredFraction() const {
+      const uint32_t total = covered + uncovered;
+      return total > 0 ? static_cast<double>(covered) / total : 0.0;
+    }
+  };
+  // Fraction of sites within `range_m` of at least one gateway.
+  CoverageReport ScoreCoverage(const std::vector<Site>& gateways, double range_m) const;
+
+ private:
+  Params params_;
+  double side_m_;
+  std::vector<Site> sites_;
+};
+
+}  // namespace centsim
+
+#endif  // SRC_CITY_DEPLOYMENT_H_

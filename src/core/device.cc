@@ -1,0 +1,174 @@
+#include "src/core/device.h"
+
+#include <algorithm>
+
+#include "src/radio/frame.h"
+#include "src/security/report_auth.h"
+#include "src/security/signing.h"
+#include "src/radio/phy_802154.h"
+
+namespace centsim {
+
+LoadProfile LoadProfileFor(const EdgeDeviceConfig& config) {
+  LoadProfile load;
+  if (config.tech == RadioTech::k802154) {
+    load.tx_energy_j =
+        Phy802154::TxEnergyJoules(config.tx_power_dbm, config.payload_bytes) + 0.002;
+  } else {
+    load.tx_energy_j =
+        LoraPhy::TxEnergyJoules(config.lora, config.tx_power_dbm, config.payload_bytes) + 0.002;
+  }
+  load.sleep_power_w = 2e-6;
+  load.sense_energy_j = 0.002;
+  load.brownout_reserve_j = 0.02;
+  return load;
+}
+
+EdgeDevice::EdgeDevice(Simulation& sim, EdgeDeviceConfig config, NetworkFabric& fabric,
+                       EnergyManager energy, SeriesSystem hardware)
+    : sim_(sim),
+      config_(std::move(config)),
+      fabric_(fabric),
+      energy_(std::move(energy)),
+      hardware_(std::move(hardware)),
+      rng_(sim.StreamFor(0x6465760000000000ULL ^ config_.id)),
+      sensor_(config_.sensor_kind, sim.seed() ^ (0x53454e53ULL << 16) ^ config_.id) {}
+
+void EdgeDevice::EnableSigning(const SipHashKey& batch_secret) {
+  device_key_ = DeriveDeviceKey(batch_secret, config_.id);
+}
+
+EdgeDevice::~EdgeDevice() {
+  if (load_registered_) {
+    fabric_.RemoveOfferedLoad(config_.tech, PacketsPerHour());
+  }
+}
+
+void EdgeDevice::Deploy() {
+  alive_ = true;
+  deployed_at_ = sim_.Now();
+  ++generation_;
+  if (!load_registered_) {
+    fabric_.AddOfferedLoad(config_.tech, PacketsPerHour());
+    load_registered_ = true;
+  }
+  ScheduleHardwareFailure();
+  // Random phase so fleets do not synchronize.
+  ScheduleNextReport(
+      SimTime::Seconds(rng_.Uniform(0.0, config_.report_interval.ToSeconds())));
+}
+
+void EdgeDevice::ReplaceUnit() {
+  if (failure_event_ != kInvalidEventId) {
+    sim_.scheduler().Cancel(failure_event_);
+    failure_event_ = kInvalidEventId;
+  }
+  alive_ = true;
+  ++generation_;
+  deployed_at_ = sim_.Now();
+  sim_.Maint(config_.name, "unit replaced (generation " + std::to_string(generation_) + ")");
+  ScheduleHardwareFailure();
+  if (report_event_ == kInvalidEventId) {
+    ScheduleNextReport(
+        SimTime::Seconds(rng_.Uniform(0.0, config_.report_interval.ToSeconds())));
+  }
+  if (!load_registered_) {
+    fabric_.AddOfferedLoad(config_.tech, PacketsPerHour());
+    load_registered_ = true;
+  }
+}
+
+void EdgeDevice::ScheduleHardwareFailure() {
+  const auto draw = hardware_.SampleLife(rng_);
+  failure_event_ = sim_.scheduler().ScheduleAfter(draw.life, [this, draw] {
+    failure_event_ = kInvalidEventId;
+    alive_ = false;
+    failed_at_ = sim_.Now();
+    if (report_event_ != kInvalidEventId) {
+      sim_.scheduler().Cancel(report_event_);
+      report_event_ = kInvalidEventId;
+    }
+    if (load_registered_) {
+      fabric_.RemoveOfferedLoad(config_.tech, PacketsPerHour());
+      load_registered_ = false;
+    }
+    sim_.Fail(config_.name,
+              std::string("device hardware failure: ") +
+                  (draw.failing_component != SIZE_MAX
+                       ? hardware_.components()[draw.failing_component].name
+                       : "unknown"));
+    if (on_failure_) {
+      on_failure_(*this, sim_.Now());
+    }
+  });
+}
+
+void EdgeDevice::ScheduleNextReport(SimTime delay) {
+  report_event_ = sim_.scheduler().ScheduleAfter(delay, [this] {
+    report_event_ = kInvalidEventId;
+    OnReportTimer();
+  });
+}
+
+void EdgeDevice::OnReportTimer() {
+  if (!alive_) {
+    return;
+  }
+  ++attempts_;
+  auto account = [&](DeliveryOutcome outcome) {
+    ++outcomes_[static_cast<size_t>(outcome)];
+    if (outcome == DeliveryOutcome::kDelivered) {
+      ++delivered_;
+    }
+  };
+
+  // LoRa regulatory duty cycle (EU-style 1%).
+  if (config_.tech == RadioTech::kLoRa && sim_.Now() < next_duty_allowed_) {
+    account(DeliveryOutcome::kDutyCycleDeferred);
+    ScheduleNextReport(config_.report_interval);
+    return;
+  }
+
+  if (!energy_.TryTransmit(sim_.Now())) {
+    account(DeliveryOutcome::kNoEnergy);
+    // Retry when energy is forecast to suffice, capped at the interval.
+    const SimTime eta =
+        energy_.EstimateNextAffordable(sim_.Now(), energy_.load().tx_energy_j);
+    const SimTime wait = std::min(eta - sim_.Now(), config_.report_interval);
+    ScheduleNextReport(wait > SimTime::Minutes(1) ? wait : SimTime::Minutes(1));
+    return;
+  }
+
+  UplinkPacket pkt;
+  pkt.device_id = config_.id;
+  pkt.sequence = ++sequence_;  // Counters start at 1: 0 means "none seen".
+  pkt.payload_bytes = config_.payload_bytes;
+  pkt.tech = config_.tech;
+  pkt.sent_at = sim_.Now();
+  pkt.reading.device_id = config_.id;
+  pkt.reading.sequence = pkt.sequence;
+  pkt.reading.value_centi = sensor_.MeasureCentiAt(sim_.Now());
+  pkt.reading.sensor_type = static_cast<uint8_t>(config_.sensor_kind);
+  pkt.reading.battery_soc = static_cast<uint8_t>(energy_.storage().soc() * 255.0);
+  if (device_key_.has_value()) {
+    pkt.authenticated = true;
+    pkt.auth_tag = ComputeReadingTag(*device_key_, pkt.device_id, pkt.sequence, pkt.reading);
+  }
+
+  NetworkFabric::UplinkParams up;
+  up.x_m = config_.x_m;
+  up.y_m = config_.y_m;
+  up.tx_power_dbm = config_.tx_power_dbm;
+  up.lora = config_.lora;
+  up.vendor = config_.vendor;
+
+  account(fabric_.AttemptUplink(pkt, up, rng_));
+
+  if (config_.tech == RadioTech::kLoRa) {
+    const SimTime airtime = LoraPhy::Airtime(config_.lora, config_.payload_bytes);
+    next_duty_allowed_ = DutyCycleRule{}.NextAllowed(sim_.Now(), airtime);
+  }
+  ScheduleNextReport(config_.report_interval);
+}
+
+}  // namespace centsim

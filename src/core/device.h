@@ -1,0 +1,120 @@
+// The edge device (paper §3.1, §4.1): an energy-harvesting, transmit-only
+// sensor that expects no human attention during its operational lifetime.
+//
+// Each device couples an EnergyManager (harvest/storage), a hardware
+// reliability draw (series system), and a reporting schedule. It transmits
+// into the NetworkFabric and never receives; when it fails, it stays dark
+// until (and unless) the experiment's management layer replaces the unit.
+
+#ifndef SRC_CORE_DEVICE_H_
+#define SRC_CORE_DEVICE_H_
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/core/network_fabric.h"
+#include "src/energy/energy_manager.h"
+#include "src/net/commissioning.h"
+#include "src/radio/lora.h"
+#include "src/reliability/component.h"
+#include "src/security/siphash.h"
+#include "src/sim/simulation.h"
+#include "src/telemetry/sensors.h"
+
+namespace centsim {
+
+struct EdgeDeviceConfig {
+  uint32_t id = 0;
+  double x_m = 0.0;
+  double y_m = 0.0;
+  RadioTech tech = RadioTech::k802154;
+  LoraConfig lora;
+  double tx_power_dbm = 0.0;       // 0 dBm for 802.15.4; 14 dBm for LoRa.
+  SimTime report_interval = SimTime::Hours(1);
+  uint32_t payload_bytes = 12;
+  std::string vendor;              // Empty => standards-compliant.
+  DeviceCoupling coupling = DeviceCoupling::kStandardsCompliant;
+  SensorKind sensor_kind = SensorKind::kTemperature;
+  std::string name = "dev";
+};
+
+// Builds a LoadProfile whose tx energy matches the configured radio.
+LoadProfile LoadProfileFor(const EdgeDeviceConfig& config);
+
+class EdgeDevice {
+ public:
+  using FailureCallback = std::function<void(EdgeDevice&, SimTime)>;
+
+  EdgeDevice(Simulation& sim, EdgeDeviceConfig config, NetworkFabric& fabric,
+             EnergyManager energy, SeriesSystem hardware);
+  ~EdgeDevice();
+  EdgeDevice(const EdgeDevice&) = delete;
+  EdgeDevice& operator=(const EdgeDevice&) = delete;
+
+  // Powers the device on: draws a hardware lifetime, registers offered
+  // load, and starts the reporting schedule at a random phase.
+  void Deploy();
+
+  // Installs a fresh unit at the same site (new hardware life, charged
+  // storage). Used by the management layer after diagnose-and-replace.
+  void ReplaceUnit();
+
+  // Called when the hardware dies (after internal bookkeeping).
+  void SetFailureCallback(FailureCallback cb) { on_failure_ = std::move(cb); }
+
+  // Enables frame authentication: every report carries a truncated
+  // SipHash tag under the device key derived from `batch_secret`. The key
+  // is provisioned at manufacture and — the device being transmit-only —
+  // can never be rotated (paper §4.1).
+  void EnableSigning(const SipHashKey& batch_secret);
+  bool signing_enabled() const { return device_key_.has_value(); }
+
+  bool alive() const { return alive_; }
+  SimTime deployed_at() const { return deployed_at_; }
+  SimTime failed_at() const { return failed_at_; }
+  uint32_t unit_generation() const { return generation_; }
+
+  const EdgeDeviceConfig& config() const { return config_; }
+  const EnergyManager& energy() const { return energy_; }
+  uint64_t attempts() const { return attempts_; }
+  uint64_t delivered() const { return delivered_; }
+  uint64_t OutcomeCount(DeliveryOutcome outcome) const {
+    return outcomes_[static_cast<size_t>(outcome)];
+  }
+
+ private:
+  void ScheduleHardwareFailure();
+  void ScheduleNextReport(SimTime delay);
+  void OnReportTimer();
+  double PacketsPerHour() const { return 1.0 / config_.report_interval.ToHours(); }
+
+  Simulation& sim_;
+  EdgeDeviceConfig config_;
+  NetworkFabric& fabric_;
+  EnergyManager energy_;
+  SeriesSystem hardware_;
+  RandomStream rng_;
+  FailureCallback on_failure_;
+  SensorModel sensor_;
+  std::optional<SipHashKey> device_key_;
+
+  bool alive_ = false;
+  bool load_registered_ = false;
+  uint32_t generation_ = 0;
+  uint32_t sequence_ = 0;
+  SimTime deployed_at_;
+  SimTime failed_at_;
+  SimTime next_duty_allowed_;
+  EventId report_event_ = kInvalidEventId;
+  EventId failure_event_ = kInvalidEventId;
+  uint64_t attempts_ = 0;
+  uint64_t delivered_ = 0;
+  std::array<uint64_t, kDeliveryOutcomeCount> outcomes_{};
+};
+
+}  // namespace centsim
+
+#endif  // SRC_CORE_DEVICE_H_

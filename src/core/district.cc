@@ -1,0 +1,193 @@
+#include "src/core/district.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "src/city/deployment.h"
+#include "src/reliability/component.h"
+#include "src/sim/simulation.h"
+
+namespace centsim {
+namespace {
+
+struct DeviceState {
+  bool alive = false;
+  uint32_t covering_operational = 0;  // Operational gateways in range.
+  uint32_t zone = 0;
+};
+
+struct GatewayState {
+  bool operational = false;
+  std::vector<uint32_t> covered_devices;
+};
+
+}  // namespace
+
+DistrictReport RunDistrictScenario(const DistrictConfig& config) {
+  Simulation sim(config.seed);
+  sim.trace().EnableRetention(false);
+  DistrictReport report;
+
+  // --- Geometry ---------------------------------------------------------
+  DeploymentPlan::Params dp;
+  dp.site_count = config.device_count;
+  dp.area_km2 = config.area_km2;
+  dp.zone_grid = config.zone_grid;
+  DeploymentPlan plan(dp, sim.StreamFor(0x646973740001ULL));
+  const auto gateway_sites = plan.PlanGatewayGrid(config.gateway_range_m);
+  report.gateway_count = static_cast<uint32_t>(gateway_sites.size());
+
+  std::vector<DeviceState> devices(config.device_count);
+  std::vector<GatewayState> gateways(gateway_sites.size());
+  for (uint32_t d = 0; d < config.device_count; ++d) {
+    devices[d].zone = plan.sites()[d].zone;
+    for (uint32_t g = 0; g < gateway_sites.size(); ++g) {
+      if (DistanceM(plan.sites()[d], gateway_sites[g]) <= config.gateway_range_m) {
+        gateways[g].covered_devices.push_back(d);
+      }
+    }
+  }
+  std::vector<uint8_t> planned_cover(config.device_count, 0);
+  for (const auto& gw : gateways) {
+    for (uint32_t d : gw.covered_devices) {
+      planned_cover[d] = 1;
+    }
+  }
+  uint32_t covered_at_all = 0;
+  for (uint8_t c : planned_cover) {
+    covered_at_all += c;
+  }
+  report.initial_coverage = static_cast<double>(covered_at_all) / config.device_count;
+
+  // --- Availability integration -----------------------------------------
+  const SeriesSystem device_bom = config.device_class == DeviceClassKind::kBatteryPowered
+                                      ? SeriesSystem::BatteryPoweredNode()
+                                      : SeriesSystem::EnergyHarvestingNode();
+  const SeriesSystem gateway_bom = SeriesSystem::RaspberryPiGateway();
+  RandomStream rng = sim.StreamFor(0x646973740002ULL);
+
+  uint64_t alive_count = 0;
+  uint64_t service_count = 0;  // Alive and covered.
+  SimTime last_change;
+  double alive_site_seconds = 0.0;
+  double service_site_seconds = 0.0;
+  const uint32_t years = static_cast<uint32_t>(std::ceil(config.horizon.ToYears()));
+  std::vector<double> yearly_service_seconds(years, 0.0);
+
+  auto in_service = [&](uint32_t d) {
+    return devices[d].alive && devices[d].covering_operational > 0;
+  };
+  auto accumulate_to = [&](SimTime now) {
+    if (now <= last_change) {
+      return;
+    }
+    const double span = (now - last_change).ToSeconds();
+    alive_site_seconds += span * static_cast<double>(alive_count);
+    service_site_seconds += span * static_cast<double>(service_count);
+    double t0 = last_change.ToSeconds();
+    const double t1 = now.ToSeconds();
+    const double year_s = SimTime::Years(1).ToSeconds();
+    while (t0 < t1) {
+      const uint32_t y = std::min<uint32_t>(years - 1, static_cast<uint32_t>(t0 / year_s));
+      const double seg = std::min(t1, (y + 1) * year_s) - t0;
+      yearly_service_seconds[y] += seg * static_cast<double>(service_count);
+      t0 += seg;
+    }
+    last_change = now;
+  };
+
+  // Gateway up/down transitions adjust every covered device's counter.
+  std::function<void(uint32_t, bool)> set_gateway = [&](uint32_t g, bool up) {
+    if (gateways[g].operational == up) {
+      return;
+    }
+    accumulate_to(sim.Now());
+    gateways[g].operational = up;
+    for (uint32_t d : gateways[g].covered_devices) {
+      const bool was = in_service(d);
+      devices[d].covering_operational += up ? 1 : -1;
+      const bool is = in_service(d);
+      if (was && !is) {
+        --service_count;
+      } else if (!was && is) {
+        ++service_count;
+      }
+    }
+  };
+
+  std::function<void(uint32_t)> schedule_gateway_failure = [&](uint32_t g) {
+    RandomStream gw_rng = rng.Derive(0x67770000ULL + g * 131 + report.gateway_failures);
+    const SimTime life = gateway_bom.SampleLife(gw_rng).life;
+    sim.scheduler().ScheduleAfter(life, [&, g] {
+      ++report.gateway_failures;
+      set_gateway(g, false);
+      sim.scheduler().ScheduleAfter(config.gateway_repair_delay, [&, g] {
+        ++report.gateway_repairs;
+        set_gateway(g, true);
+        schedule_gateway_failure(g);
+      });
+    });
+  };
+
+  std::function<void(uint32_t)> deploy_device = [&](uint32_t d) {
+    accumulate_to(sim.Now());
+    if (!devices[d].alive) {
+      ++alive_count;
+      devices[d].alive = true;
+      if (in_service(d)) {
+        ++service_count;
+      }
+    }
+    RandomStream dev_rng =
+        rng.Derive(0x64650000ULL + static_cast<uint64_t>(d) * 977 + report.device_replacements);
+    const SimTime life = device_bom.SampleLife(dev_rng).life;
+    sim.scheduler().ScheduleAfter(life, [&, d] {
+      accumulate_to(sim.Now());
+      if (in_service(d)) {
+        --service_count;
+      }
+      devices[d].alive = false;
+      --alive_count;
+      ++report.device_failures;
+    });
+  };
+
+  // --- Wiring ------------------------------------------------------------
+  BatchProjectParams batch;
+  batch.zone_count = config.zone_grid * config.zone_grid;
+  batch.cycle_period = config.batch_cycle;
+  BatchProjectScheduler batches(sim, batch, [&](uint32_t zone, uint32_t) {
+    for (uint32_t d = 0; d < config.device_count; ++d) {
+      if (devices[d].zone == zone && !devices[d].alive) {
+        ++report.device_replacements;
+        deploy_device(d);
+      }
+    }
+  });
+  batches.ScheduleThrough(config.horizon);
+
+  for (uint32_t g = 0; g < gateways.size(); ++g) {
+    set_gateway(g, true);
+    schedule_gateway_failure(g);
+  }
+  for (uint32_t d = 0; d < config.device_count; ++d) {
+    deploy_device(d);
+  }
+
+  sim.RunUntil(config.horizon);
+  accumulate_to(config.horizon);
+
+  const double total = config.horizon.ToSeconds() * config.device_count;
+  report.mean_device_availability = alive_site_seconds / total;
+  report.mean_service_availability = service_site_seconds / total;
+  report.yearly_service.resize(years);
+  const double year_total = SimTime::Years(1).ToSeconds() * config.device_count;
+  for (uint32_t y = 0; y < years; ++y) {
+    report.yearly_service[y] = yearly_service_seconds[y] / year_total;
+    report.min_yearly_service = std::min(report.min_yearly_service, report.yearly_service[y]);
+  }
+  return report;
+}
+
+}  // namespace centsim

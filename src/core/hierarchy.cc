@@ -1,0 +1,69 @@
+#include "src/core/hierarchy.h"
+
+#include <cmath>
+
+namespace centsim {
+
+const char* TierName(Tier tier) {
+  switch (tier) {
+    case Tier::kDevice:
+      return "device";
+    case Tier::kAccessChannel:
+      return "access-channel";
+    case Tier::kGateway:
+      return "gateway";
+    case Tier::kBackhaul:
+      return "backhaul";
+    case Tier::kCloud:
+      return "cloud";
+  }
+  return "?";
+}
+
+Tier TierForOutcome(DeliveryOutcome outcome) {
+  switch (outcome) {
+    case DeliveryOutcome::kDelivered:
+    case DeliveryOutcome::kNoEnergy:
+    case DeliveryOutcome::kDutyCycleDeferred:
+      return Tier::kDevice;
+    case DeliveryOutcome::kNoGatewayInRange:
+    case DeliveryOutcome::kPhyLoss:
+    case DeliveryOutcome::kCollision:
+      return Tier::kAccessChannel;
+    case DeliveryOutcome::kGatewayDown:
+    case DeliveryOutcome::kBlocklisted:
+    case DeliveryOutcome::kNoCredits:
+      return Tier::kGateway;
+    case DeliveryOutcome::kBackhaulDown:
+      return Tier::kBackhaul;
+    case DeliveryOutcome::kEndpointDown:
+      return Tier::kCloud;
+  }
+  return Tier::kDevice;
+}
+
+double EndToEndAvailability(const TierAvailability& a, const FanoutSpec& fanout) {
+  auto redundant = [](double avail, uint32_t r) {
+    return 1.0 - std::pow(1.0 - avail, static_cast<double>(r < 1 ? 1 : r));
+  };
+  return a.device * a.access * redundant(a.gateway, fanout.redundancy_gateways) *
+         redundant(a.backhaul, fanout.redundancy_backhauls) * a.cloud;
+}
+
+uint64_t BlastRadius(Tier tier, const FanoutSpec& fanout) {
+  switch (tier) {
+    case Tier::kDevice:
+      return 1;
+    case Tier::kAccessChannel:
+      return 1;
+    case Tier::kGateway:
+      return fanout.devices_per_gateway;
+    case Tier::kBackhaul:
+      return static_cast<uint64_t>(fanout.devices_per_gateway) * fanout.gateways_per_backhaul;
+    case Tier::kCloud:
+      return static_cast<uint64_t>(fanout.devices_per_gateway) * fanout.gateways_per_backhaul;
+  }
+  return 0;
+}
+
+}  // namespace centsim

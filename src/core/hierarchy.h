@@ -1,0 +1,60 @@
+// The deployment hierarchy of Figure 1: devices -> gateway -> backhaul ->
+// cloud, with fan-out growing and lifetime variability shrinking as one
+// moves up. This header gives the hierarchy an executable form: outcome ->
+// tier attribution for end-to-end loss accounting, and an analytic rollup
+// of per-tier availabilities into end-to-end availability.
+
+#ifndef SRC_CORE_HIERARCHY_H_
+#define SRC_CORE_HIERARCHY_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "src/net/packet.h"
+
+namespace centsim {
+
+enum class Tier : uint8_t {
+  kDevice = 0,         // The edge node itself (energy, hardware).
+  kAccessChannel = 1,  // The wireless hop (range, PHY, collisions).
+  kGateway = 2,
+  kBackhaul = 3,
+  kCloud = 4,
+};
+inline constexpr int kTierCount = 5;
+
+const char* TierName(Tier tier);
+
+// Which tier is charged with a failed delivery attempt.
+Tier TierForOutcome(DeliveryOutcome outcome);
+
+// Fan-out structure of Figure 1: each tier instance serves many instances
+// of the tier below and relies on one or two instances of the tier above.
+struct FanoutSpec {
+  uint32_t devices_per_gateway = 1000;
+  uint32_t gateways_per_backhaul = 1000;
+  uint32_t redundancy_gateways = 1;   // Gateways reachable per device.
+  uint32_t redundancy_backhauls = 1;  // Backhauls available per gateway.
+};
+
+// Per-tier availabilities composed into the end-to-end probability that a
+// device's report reaches the cloud, honoring redundancy: a tier with r
+// independent instances fails only if all r fail.
+struct TierAvailability {
+  double device = 0.99;
+  double access = 0.98;
+  double gateway = 0.95;
+  double backhaul = 0.999;
+  double cloud = 0.9999;
+};
+
+double EndToEndAvailability(const TierAvailability& a, const FanoutSpec& fanout);
+
+// Devices affected when a single instance at `tier` dies (the Figure 1
+// blast-radius reading: higher tiers strand more devices).
+uint64_t BlastRadius(Tier tier, const FanoutSpec& fanout);
+
+}  // namespace centsim
+
+#endif  // SRC_CORE_HIERARCHY_H_

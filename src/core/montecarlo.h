@@ -1,0 +1,44 @@
+// Monte-Carlo sweeps over the 50-year experiment: the paper runs one
+// physical instance; the simulator can run the counterfactual ensemble and
+// report distributions instead of anecdotes (how often does the Helium
+// path die? what is the p10 weekly uptime?).
+
+#ifndef SRC_CORE_MONTECARLO_H_
+#define SRC_CORE_MONTECARLO_H_
+
+#include <cstdint>
+
+#include "src/core/experiment.h"
+#include "src/sim/stats.h"
+
+namespace centsim {
+
+struct FiftyYearEnsemble {
+  uint32_t runs = 0;
+  SampleSet weekly_uptime;
+  SampleSet owned_path_uptime;
+  SampleSet helium_path_uptime;
+  SampleSet longest_gap_weeks;
+  SummaryStats device_failures;
+  SummaryStats gateway_failures;
+  SummaryStats maintenance_hours;
+  SummaryStats credits_spent;
+  uint32_t runs_meeting_weekly_goal = 0;   // Weekly uptime >= threshold.
+  uint32_t runs_helium_path_died = 0;      // Helium path uptime < 50%.
+
+  double GoalProbability() const {
+    return runs > 0 ? static_cast<double>(runs_meeting_weekly_goal) / runs : 0.0;
+  }
+  double HeliumDeathProbability() const {
+    return runs > 0 ? static_cast<double>(runs_helium_path_died) / runs : 0.0;
+  }
+};
+
+// Runs the experiment for seeds base.seed, base.seed+1, ..., collecting
+// the ensemble. `weekly_goal` scores the paper's success criterion.
+FiftyYearEnsemble SweepFiftyYear(FiftyYearConfig base, uint32_t runs,
+                                 double weekly_goal = 0.95);
+
+}  // namespace centsim
+
+#endif  // SRC_CORE_MONTECARLO_H_

@@ -1,0 +1,177 @@
+#include "src/core/network_fabric.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/radio/medium.h"
+#include "src/radio/phy_802154.h"
+
+namespace centsim {
+namespace {
+
+uint64_t LinkSeed(uint64_t sim_seed, uint32_t device_id, uint32_t gateway_id) {
+  uint64_t sm = sim_seed ^ (static_cast<uint64_t>(device_id) << 32) ^ gateway_id;
+  return SplitMix64(sm);
+}
+
+}  // namespace
+
+NetworkFabric::NetworkFabric(Simulation& sim)
+    : sim_(sim),
+      pl_802154_(PathLossModel::Urban24GHz()),
+      pl_lora_(PathLossModel::Urban915MHz()) {}
+
+void NetworkFabric::SetPathLoss(RadioTech tech, PathLossModel model) {
+  if (tech == RadioTech::k802154) {
+    pl_802154_ = model;
+  } else {
+    pl_lora_ = model;
+  }
+}
+
+void NetworkFabric::AddGateway(Gateway* gateway) { gateways_.push_back(gateway); }
+
+void NetworkFabric::AddOfferedLoad(RadioTech tech, double packets_per_hour) {
+  (tech == RadioTech::k802154 ? offered_pph_802154_ : offered_pph_lora_) += packets_per_hour;
+}
+
+void NetworkFabric::RemoveOfferedLoad(RadioTech tech, double packets_per_hour) {
+  double& load = tech == RadioTech::k802154 ? offered_pph_802154_ : offered_pph_lora_;
+  load = std::max(0.0, load - packets_per_hour);
+}
+
+double NetworkFabric::OfferedLoadHz(RadioTech tech) const {
+  return (tech == RadioTech::k802154 ? offered_pph_802154_ : offered_pph_lora_) / 3600.0;
+}
+
+double NetworkFabric::RxPowerDbm(const Gateway& gw, const UplinkPacket& packet,
+                                 const UplinkParams& params) const {
+  const PathLossModel& pl = packet.tech == RadioTech::k802154 ? pl_802154_ : pl_lora_;
+  const double dx = params.x_m - gw.config().x_m;
+  const double dy = params.y_m - gw.config().y_m;
+  const double dist = std::sqrt(dx * dx + dy * dy);
+  LinkBudget lb;
+  lb.tx_power_dbm = params.tx_power_dbm;
+  lb.tx_antenna_gain_db = 0.0;
+  lb.rx_antenna_gain_db = gw.config().rx_antenna_gain_db;
+  lb.path_loss_db = pl.LinkLossDb(dist, LinkSeed(sim_.seed(), packet.device_id, gw.config().id));
+  return lb.ReceivedPowerDbm();
+}
+
+DeliveryOutcome NetworkFabric::AttemptUplink(const UplinkPacket& packet,
+                                             const UplinkParams& params, RandomStream& rng) {
+  ++attempts_;
+  auto finish = [&](DeliveryOutcome outcome) {
+    ++outcome_counts_[static_cast<size_t>(outcome)];
+    return outcome;
+  };
+
+  // --- Access channel: who can hear this frame at all? ---
+  struct Candidate {
+    Gateway* gw;
+    double rx_dbm;
+  };
+  std::vector<Candidate> reachable;
+  for (Gateway* gw : gateways_) {
+    if (gw->config().tech != packet.tech) {
+      continue;
+    }
+    const double rx = RxPowerDbm(*gw, packet, params);
+    const double sens = packet.tech == RadioTech::k802154
+                            ? Phy802154::kSensitivityDbm
+                            : LoraPhy::SensitivityDbm(params.lora.sf, params.lora.bandwidth_hz);
+    if (rx >= sens - 3.0) {  // Keep marginal links; PER handles the edge.
+      reachable.push_back({gw, rx});
+    }
+  }
+  if (reachable.empty()) {
+    return finish(DeliveryOutcome::kNoGatewayInRange);
+  }
+  std::sort(reachable.begin(), reachable.end(),
+            [](const Candidate& a, const Candidate& b) { return a.rx_dbm > b.rx_dbm; });
+
+  // --- Collision: one draw per attempt (interferers are common-mode). ---
+  const double load_hz = OfferedLoadHz(packet.tech);
+  double p_no_collision = 1.0;
+  if (packet.tech == RadioTech::k802154) {
+    const SimTime airtime = Phy802154::Airtime(packet.payload_bytes);
+    p_no_collision = CsmaModel::SuccessProbability(load_hz, airtime);
+  } else {
+    const SimTime airtime = LoraPhy::Airtime(params.lora, packet.payload_bytes);
+    p_no_collision = AlohaModel::SuccessProbability(load_hz, airtime);
+  }
+  const bool collided = !rng.NextBool(p_no_collision);
+
+  // --- Per-gateway reception + forwarding, strongest first. ---
+  // LoRaWAN-with-server mode: every hearing gateway forwards its copy and
+  // is charged for it; the network server dedups to the endpoint.
+  const bool server_mode = network_server_ != nullptr && packet.tech == RadioTech::kLoRa;
+  bool server_delivered = false;
+  bool any_phy_received = false;
+  DeliveryOutcome last_gateway_outcome = DeliveryOutcome::kGatewayDown;
+  for (const Candidate& cand : reachable) {
+    double per = 1.0;
+    if (packet.tech == RadioTech::k802154) {
+      const double noise = NoiseFloorDbm(Phy802154::kBandwidthHz, Phy802154::kNoiseFigureDb);
+      per = Phy802154::PacketErrorRate(cand.rx_dbm - noise, packet.payload_bytes);
+    } else {
+      per = LoraPhy::PacketErrorRate(params.lora.sf, cand.rx_dbm, params.lora.bandwidth_hz);
+    }
+    if (rng.NextBool(per)) {
+      continue;  // This gateway missed the frame.
+    }
+    if (collided) {
+      // Capture: the strongest candidate may survive a collision.
+      const bool captures = cand.gw == reachable.front().gw &&
+                            rng.NextBool(0.5);  // Even odds vs a peer frame.
+      if (!captures) {
+        continue;
+      }
+    }
+    any_phy_received = true;
+    const DeliveryOutcome outcome = cand.gw->Accept(packet, params.vendor);
+    if (outcome == DeliveryOutcome::kDelivered) {
+      if (server_mode) {
+        // The gateway's backhaul carried the copy to the network server;
+        // the server dedups and records exactly one copy.
+        const auto ingest = network_server_->Ingest(packet, cand.gw->config().id, cand.rx_dbm,
+                                                    sim_.Now());
+        if (ingest.first_copy) {
+          server_delivered = endpoint_ == nullptr || endpoint_->operational();
+        }
+        continue;  // Remaining witnesses still forward (and pay).
+      }
+      if (endpoint_ == nullptr || !endpoint_->Record(packet, sim_.Now())) {
+        return finish(DeliveryOutcome::kEndpointDown);
+      }
+      return finish(DeliveryOutcome::kDelivered);
+    }
+    last_gateway_outcome = outcome;
+  }
+
+  if (server_delivered) {
+    return finish(DeliveryOutcome::kDelivered);
+  }
+  if (server_mode && network_server_ != nullptr && any_phy_received &&
+      endpoint_ != nullptr && !endpoint_->operational()) {
+    return finish(DeliveryOutcome::kEndpointDown);
+  }
+  if (any_phy_received) {
+    return finish(last_gateway_outcome);
+  }
+  return finish(collided ? DeliveryOutcome::kCollision : DeliveryOutcome::kPhyLoss);
+}
+
+std::array<uint64_t, kTierCount> NetworkFabric::TierAttribution() const {
+  std::array<uint64_t, kTierCount> tiers{};
+  for (int i = 0; i < kDeliveryOutcomeCount; ++i) {
+    const auto outcome = static_cast<DeliveryOutcome>(i);
+    if (outcome == DeliveryOutcome::kDelivered) {
+      continue;
+    }
+    tiers[static_cast<size_t>(TierForOutcome(outcome))] += outcome_counts_[i];
+  }
+  return tiers;
+}
+
+}  // namespace centsim

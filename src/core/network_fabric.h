@@ -1,0 +1,94 @@
+// The uplink pipeline: given a transmit-only device's frame, decide its
+// fate across the access channel, gateway, backhaul, and cloud tiers, and
+// attribute every loss to the tier that caused it (Figure 1 accounting).
+//
+// Devices are broadcast transmitters: every reachable, technology-matching
+// gateway may hear a frame; the frame is delivered if at least one of them
+// receives it (PHY + collision draws) and forwards it through its backhaul
+// to an operational endpoint.
+
+#ifndef SRC_CORE_NETWORK_FABRIC_H_
+#define SRC_CORE_NETWORK_FABRIC_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "src/core/hierarchy.h"
+#include "src/net/cloud_endpoint.h"
+#include "src/net/gateway.h"
+#include "src/net/network_server.h"
+#include "src/net/packet.h"
+#include "src/radio/link_budget.h"
+#include "src/radio/lora.h"
+#include "src/sim/simulation.h"
+
+namespace centsim {
+
+class NetworkFabric {
+ public:
+  explicit NetworkFabric(Simulation& sim);
+
+  void SetPathLoss(RadioTech tech, PathLossModel model);
+  void AddGateway(Gateway* gateway);
+  void SetEndpoint(CloudEndpoint* endpoint) { endpoint_ = endpoint; }
+  CloudEndpoint* endpoint() const { return endpoint_; }
+
+  // LoRaWAN semantics: every gateway that hears a frame forwards (and is
+  // paid for) its copy; the network server deduplicates before the
+  // endpoint. Without a server, the strongest successful gateway delivers
+  // directly (the 802.15.4/owned-infrastructure model). The server must
+  // already point at the same endpoint.
+  void SetNetworkServer(NetworkServer* server) { network_server_ = server; }
+
+  // Offered-load bookkeeping for the analytic collision models: devices
+  // register their schedule so concurrent-transmission probability scales
+  // with fleet size.
+  void AddOfferedLoad(RadioTech tech, double packets_per_hour);
+  void RemoveOfferedLoad(RadioTech tech, double packets_per_hour);
+  double OfferedLoadHz(RadioTech tech) const;
+
+  struct UplinkParams {
+    double x_m = 0.0;
+    double y_m = 0.0;
+    double tx_power_dbm = 0.0;
+    LoraConfig lora;          // Consulted when packet.tech == kLoRa.
+    std::string vendor;       // Empty => standards-compliant device.
+  };
+
+  // Runs the full pipeline. Counts the outcome and, on success, records
+  // the arrival at the endpoint.
+  DeliveryOutcome AttemptUplink(const UplinkPacket& packet, const UplinkParams& params,
+                                RandomStream& rng);
+
+  uint64_t attempts() const { return attempts_; }
+  uint64_t delivered() const { return outcome_counts_[0]; }
+  uint64_t OutcomeCount(DeliveryOutcome outcome) const {
+    return outcome_counts_[static_cast<size_t>(outcome)];
+  }
+  // Failed attempts charged to each tier (delivered attempts excluded).
+  std::array<uint64_t, kTierCount> TierAttribution() const;
+
+  const std::vector<Gateway*>& gateways() const { return gateways_; }
+
+ private:
+  // Received power at `gw` for a transmitter at (x, y), with per-link
+  // frozen shadowing.
+  double RxPowerDbm(const Gateway& gw, const UplinkPacket& packet,
+                    const UplinkParams& params) const;
+
+  Simulation& sim_;
+  PathLossModel pl_802154_;
+  PathLossModel pl_lora_;
+  std::vector<Gateway*> gateways_;
+  CloudEndpoint* endpoint_ = nullptr;
+  NetworkServer* network_server_ = nullptr;
+  double offered_pph_802154_ = 0.0;
+  double offered_pph_lora_ = 0.0;
+  uint64_t attempts_ = 0;
+  std::array<uint64_t, kDeliveryOutcomeCount> outcome_counts_{};
+};
+
+}  // namespace centsim
+
+#endif  // SRC_CORE_NETWORK_FABRIC_H_

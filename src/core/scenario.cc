@@ -1,0 +1,60 @@
+#include "src/core/scenario.h"
+
+namespace centsim {
+
+FiftyYearConfig FiftyYearConfigFrom(const Config& config) {
+  FiftyYearConfig cfg;
+  cfg.seed = static_cast<uint64_t>(config.GetInt("experiment.seed", static_cast<int64_t>(cfg.seed)));
+  cfg.horizon = SimTime::Years(config.GetDouble("experiment.horizon_years", 50.0));
+  cfg.area_side_m = config.GetDouble("experiment.area_side_m", cfg.area_side_m);
+
+  cfg.devices_802154 =
+      static_cast<uint32_t>(config.GetInt("devices.count_802154", cfg.devices_802154));
+  cfg.devices_lora = static_cast<uint32_t>(config.GetInt("devices.count_lora", cfg.devices_lora));
+  cfg.report_interval =
+      SimTime::Hours(config.GetDouble("devices.report_interval_hours", 1.0));
+  cfg.replace_failed_devices = config.GetBool("devices.replace_failed", true);
+  cfg.device_replacement_delay =
+      SimTime::Days(config.GetDouble("devices.replacement_delay_days", 30.0));
+
+  cfg.owned_gateways = static_cast<uint32_t>(config.GetInt("gateways.owned", cfg.owned_gateways));
+  cfg.helium_hotspots =
+      static_cast<uint32_t>(config.GetInt("gateways.helium_hotspots", cfg.helium_hotspots));
+  cfg.hotspot_replacement_prob =
+      config.GetDouble("gateways.hotspot_replacement_prob", cfg.hotspot_replacement_prob);
+  cfg.hotspot_replacement_mean =
+      SimTime::Days(config.GetDouble("gateways.hotspot_replacement_days", 60.0));
+
+  cfg.maintenance.enabled = config.GetBool("maintenance.enabled", true);
+  cfg.maintenance.annual_budget_hours =
+      config.GetDouble("maintenance.annual_budget_hours", cfg.maintenance.annual_budget_hours);
+  cfg.maintenance.mean_response =
+      SimTime::Days(config.GetDouble("maintenance.mean_response_days", 3.0));
+  cfg.maintenance.mean_repair =
+      SimTime::Hours(config.GetDouble("maintenance.mean_repair_hours", 3.0));
+
+  cfg.wallet_usd_per_device =
+      config.GetDouble("wallet.usd_per_device", cfg.wallet_usd_per_device);
+  return cfg;
+}
+
+CenturyConfig CenturyConfigFrom(const Config& config) {
+  CenturyConfig cfg;
+  cfg.seed = static_cast<uint64_t>(config.GetInt("century.seed", static_cast<int64_t>(cfg.seed)));
+  cfg.fleet_size = static_cast<uint32_t>(config.GetInt("century.fleet_size", cfg.fleet_size));
+  cfg.horizon = SimTime::Years(config.GetDouble("century.horizon_years", 100.0));
+  cfg.batch.zone_count =
+      static_cast<uint32_t>(config.GetInt("century.zone_count", cfg.batch.zone_count));
+  cfg.batch.cycle_period =
+      SimTime::Years(config.GetDouble("century.cycle_period_years", 8.0));
+  cfg.device_class = config.GetString("century.device_class", "harvesting") == "battery"
+                         ? DeviceClassKind::kBatteryPowered
+                         : DeviceClassKind::kEnergyHarvesting;
+  const double refresh = config.GetDouble("century.proactive_refresh_age_years", 0.0);
+  cfg.proactive_refresh_age = refresh > 0 ? SimTime::Years(refresh) : SimTime();
+  cfg.life_improvement_per_decade =
+      config.GetDouble("century.life_improvement_per_decade", 1.0);
+  return cfg;
+}
+
+}  // namespace centsim

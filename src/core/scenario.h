@@ -1,0 +1,33 @@
+// Scenario loading: build experiment configurations from INI text so
+// experiment definitions are versioned data, not recompiled constants.
+
+#ifndef SRC_CORE_SCENARIO_H_
+#define SRC_CORE_SCENARIO_H_
+
+#include "src/core/experiment.h"
+#include "src/core/theseus.h"
+#include "src/sim/config.h"
+
+namespace centsim {
+
+// Reads [experiment], [devices], [gateways], [maintenance], [wallet]
+// sections; every key is optional and falls back to the struct default.
+// Recognized keys (all in the example scenario file):
+//   experiment.seed, experiment.horizon_years, experiment.area_side_m
+//   devices.count_802154, devices.count_lora, devices.report_interval_hours
+//   devices.replace_failed, devices.replacement_delay_days
+//   gateways.owned, gateways.helium_hotspots
+//   gateways.hotspot_replacement_prob, gateways.hotspot_replacement_days
+//   maintenance.enabled, maintenance.annual_budget_hours
+//   maintenance.mean_response_days, maintenance.mean_repair_hours
+//   wallet.usd_per_device
+FiftyYearConfig FiftyYearConfigFrom(const Config& config);
+
+// Reads [century]: seed, fleet_size, horizon_years, zone_count,
+// cycle_period_years, device_class (battery|harvesting),
+// proactive_refresh_age_years, life_improvement_per_decade.
+CenturyConfig CenturyConfigFrom(const Config& config);
+
+}  // namespace centsim
+
+#endif  // SRC_CORE_SCENARIO_H_

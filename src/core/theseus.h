@@ -1,0 +1,67 @@
+// The Ship-of-Theseus century scenario (paper §1, §3.4).
+//
+// "The lifetime of a sensing system is the aggregate lifetime of all of its
+// devices across all their deployments. Constituent device lifetimes are
+// pipelined ... even if it is unlikely for any one device to last multiple
+// decades, it is both reasonable and likely for municipal-scale systems to
+// last for decades."
+//
+// A fleet of sites is deployed across geographic zones. Devices fail on
+// their hardware clocks; failed devices are only replaced when the next
+// geographic batch project reaches their zone (en-masse dispatch being
+// intractable). The scenario tracks aggregate fleet availability over a
+// century — the quantity that must stay high even though no individual
+// unit survives.
+
+#ifndef SRC_CORE_THESEUS_H_
+#define SRC_CORE_THESEUS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/mgmt/batch_project.h"
+#include "src/reliability/component.h"
+#include "src/reliability/survival.h"
+#include "src/sim/time.h"
+#include "src/telemetry/timeseries.h"
+
+namespace centsim {
+
+enum class DeviceClassKind : uint8_t {
+  kBatteryPowered,
+  kEnergyHarvesting,
+};
+
+struct CenturyConfig {
+  uint64_t seed = 7;
+  uint32_t fleet_size = 5000;
+  SimTime horizon = SimTime::Years(100);
+  DeviceClassKind device_class = DeviceClassKind::kEnergyHarvesting;
+  BatchProjectParams batch;  // Zone refresh cadence.
+  // Proactive refresh: during a zone visit, also replace working units
+  // older than this (0 disables). Models "some deployments replace their
+  // sensors with state-of-the-art technologies" on the project cadence.
+  SimTime proactive_refresh_age = SimTime();
+  // Units installed in later batches last longer by this factor per decade
+  // (technology improvement across generations). 1.0 = no improvement.
+  double life_improvement_per_decade = 1.0;
+};
+
+struct CenturyReport {
+  double mean_availability = 0.0;       // Time-averaged fleet availability.
+  double min_yearly_availability = 1.0;
+  std::vector<double> yearly_availability;  // One entry per year.
+  uint64_t total_failures = 0;
+  uint64_t total_replacements = 0;
+  uint64_t proactive_replacements = 0;
+  uint64_t units_deployed = 0;          // Across all generations.
+  KaplanMeier unit_survival;
+  double max_unit_generations = 0.0;    // Highest generation count a site saw.
+};
+
+CenturyReport RunCenturyScenario(const CenturyConfig& config);
+
+}  // namespace centsim
+
+#endif  // SRC_CORE_THESEUS_H_

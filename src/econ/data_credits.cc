@@ -1,0 +1,52 @@
+#include "src/econ/data_credits.h"
+
+#include <cmath>
+
+namespace centsim {
+
+uint64_t CreditsForPacket(uint32_t payload_bytes) {
+  if (payload_bytes == 0) {
+    return 1;
+  }
+  return (payload_bytes + kBytesPerDataCredit - 1) / kBytesPerDataCredit;
+}
+
+uint64_t CreditsForSchedule(double packets_per_hour, double years, uint32_t payload_bytes) {
+  const double hours = years * 8760.0;  // The paper's 365-day accounting year.
+  const double packets = packets_per_hour * hours;
+  return static_cast<uint64_t>(std::ceil(packets)) * CreditsForPacket(payload_bytes);
+}
+
+double CreditsToUsd(uint64_t credits) {
+  return static_cast<double>(credits) * kUsdPerDataCredit;
+}
+
+uint64_t UsdToCredits(double usd) {
+  // Round to the nearest credit: the quotient is computed in floating
+  // point and 1e-5 is not exactly representable, so flooring would drop a
+  // credit on exact-dollar amounts.
+  return static_cast<uint64_t>(std::llround(usd / kUsdPerDataCredit));
+}
+
+bool DataCreditWallet::ChargePacket(uint32_t payload_bytes) {
+  const uint64_t cost = CreditsForPacket(payload_bytes);
+  if (balance_ < cost) {
+    ++refused_;
+    return false;
+  }
+  balance_ -= cost;
+  spent_ += cost;
+  return true;
+}
+
+SimTime DataCreditWallet::ProjectedExhaustion(double packets_per_hour,
+                                              uint32_t payload_bytes) const {
+  if (packets_per_hour <= 0) {
+    return SimTime::Max();
+  }
+  const double credits_per_hour =
+      packets_per_hour * static_cast<double>(CreditsForPacket(payload_bytes));
+  return SimTime::Hours(static_cast<double>(balance_) / credits_per_hour);
+}
+
+}  // namespace centsim

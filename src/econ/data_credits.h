@@ -1,0 +1,64 @@
+// Helium data-credit economics (paper §4.4).
+//
+// "For one device to send one (up to 24-byte) packet every one hour for 50
+// years will cost 438,000 data credits. We can provision a dedicated wallet
+// today with a conservative 500,000 data credits for just $5 USD."
+//
+// Data credits are fixed-price ($0.00001 each) and non-transferable once
+// minted, which is exactly what makes 50-year prepayment possible: the
+// price of data, once purchased, cannot change.
+
+#ifndef SRC_ECON_DATA_CREDITS_H_
+#define SRC_ECON_DATA_CREDITS_H_
+
+#include <cstdint>
+
+#include "src/sim/time.h"
+
+namespace centsim {
+
+inline constexpr double kUsdPerDataCredit = 0.00001;
+inline constexpr uint32_t kBytesPerDataCredit = 24;
+
+// Credits charged for one uplink of `payload_bytes` (1 DC per started
+// 24-byte unit; minimum 1).
+uint64_t CreditsForPacket(uint32_t payload_bytes);
+
+// Credits needed to run one device at `packets_per_hour` for `years`
+// (8760-hour accounting years, matching the paper's arithmetic), with all
+// packets at or under 24 bytes.
+uint64_t CreditsForSchedule(double packets_per_hour, double years,
+                            uint32_t payload_bytes = kBytesPerDataCredit);
+
+double CreditsToUsd(uint64_t credits);
+uint64_t UsdToCredits(double usd);
+
+// A prepaid wallet: provisioned once, drained per packet, never topped up
+// (the unattended-operation model). Thread-compatible value semantics.
+class DataCreditWallet {
+ public:
+  explicit DataCreditWallet(uint64_t initial_credits) : balance_(initial_credits) {}
+
+  static DataCreditWallet FromUsd(double usd) { return DataCreditWallet(UsdToCredits(usd)); }
+
+  // Charges for one packet. Returns false (wallet untouched) on
+  // insufficient balance: the packet is refused by the network.
+  bool ChargePacket(uint32_t payload_bytes);
+
+  uint64_t balance() const { return balance_; }
+  uint64_t spent() const { return spent_; }
+  uint64_t refused() const { return refused_; }
+
+  // With the given constant schedule, when does this wallet run dry?
+  SimTime ProjectedExhaustion(double packets_per_hour,
+                              uint32_t payload_bytes = kBytesPerDataCredit) const;
+
+ private:
+  uint64_t balance_;
+  uint64_t spent_ = 0;
+  uint64_t refused_ = 0;
+};
+
+}  // namespace centsim
+
+#endif  // SRC_ECON_DATA_CREDITS_H_

@@ -1,0 +1,63 @@
+#include "src/econ/deployment_cost.h"
+
+namespace centsim {
+
+DeploymentCostBreakdown ComputeDeploymentCost(const DeploymentCostParams& params) {
+  DeploymentCostBreakdown out;
+  out.capex_usd = params.node_count * (params.node_hardware_usd + params.node_install_usd) +
+                  params.gateway_count * params.gateway_total_usd;
+  const double monthly = params.gateway_count * params.backhaul_monthly_per_gateway_usd +
+                         params.node_count * params.cloud_monthly_per_node_usd;
+  out.opex_usd = (monthly * 12.0 + params.staff_count * params.staff_annual_usd) *
+                 params.system_life_years;
+  out.total_usd = out.capex_usd + out.opex_usd;
+  if (params.node_count > 0) {
+    out.per_node_usd = out.total_usd / params.node_count;
+    if (params.system_life_years > 0) {
+      out.per_node_per_year_usd = out.per_node_usd / params.system_life_years;
+    }
+  }
+  return out;
+}
+
+DeploymentCostParams SanDiegoStreetlights() {
+  DeploymentCostParams p;
+  p.name = "San Diego smart streetlights";
+  p.node_count = 3300;
+  p.node_hardware_usd = 450.0;
+  p.node_install_usd = 300.0;
+  p.gateway_count = 200;
+  p.backhaul_monthly_per_gateway_usd = 25.0;  // The 3G/4G plans of §3.3.2.
+  p.staff_count = 3.0;
+  p.system_life_years = 5.0;
+  return p;
+}
+
+DeploymentCostParams ModestPilot() {
+  DeploymentCostParams p;
+  p.name = "500-node pilot";
+  p.node_count = 500;
+  p.node_hardware_usd = 350.0;
+  p.node_install_usd = 250.0;
+  p.gateway_count = 30;
+  p.staff_count = 1.0;
+  p.system_life_years = 3.0;
+  return p;
+}
+
+DeploymentCostParams CenturyScaleNode(uint32_t node_count) {
+  DeploymentCostParams p;
+  p.name = "century-scale harvesting fleet";
+  p.node_count = node_count;
+  p.node_hardware_usd = 60.0;   // Transmit-only harvesting node.
+  p.node_install_usd = 35.0;    // Installed during scheduled roadworks.
+  p.gateway_count = node_count / 1000 + 1;
+  p.gateway_total_usd = 3500.0;
+  p.backhaul_monthly_per_gateway_usd = 0.0;  // Owned fiber (amortized in gw).
+  p.cloud_monthly_per_node_usd = 0.02;       // 24-byte weekly aggregates.
+  p.staff_count = 2.0;                       // Chanute's staffing (§3.3.3).
+  p.system_life_years = 30.0;
+  return p;
+}
+
+}  // namespace centsim

@@ -1,0 +1,53 @@
+// Whole-deployment cost model (paper §2): "the cost for deployment for
+// even a few thousand sensors can range into millions of dollars. Right
+// now ... the numbers of nodes usually range from 500-5000. For these
+// modest numbers of devices, operators predict lifetimes of 2-7 years
+// until the system is upgraded."
+//
+// Capex (hardware + install) plus opex (connectivity, cloud, maintenance
+// staff) over the deployment's predicted life, with the per-node-per-year
+// figure that determines whether the economics ever scale to millions of
+// nodes.
+
+#ifndef SRC_ECON_DEPLOYMENT_COST_H_
+#define SRC_ECON_DEPLOYMENT_COST_H_
+
+#include <cstdint>
+#include <string>
+
+namespace centsim {
+
+struct DeploymentCostParams {
+  uint32_t node_count = 3300;           // San Diego's sensor count.
+  double node_hardware_usd = 450.0;     // Multi-sensor city node.
+  double node_install_usd = 300.0;      // Bucket truck + electrician.
+  uint32_t gateway_count = 200;
+  double gateway_total_usd = 3500.0;    // Hardware + install + lateral.
+  double backhaul_monthly_per_gateway_usd = 25.0;
+  double cloud_monthly_per_node_usd = 1.5;
+  double staff_count = 3.0;
+  double staff_annual_usd = 150000.0;
+  double system_life_years = 5.0;       // The 2-7 year upgrade horizon.
+  std::string name = "deployment";
+};
+
+struct DeploymentCostBreakdown {
+  double capex_usd = 0.0;
+  double opex_usd = 0.0;       // Over the system life.
+  double total_usd = 0.0;
+  double per_node_usd = 0.0;
+  double per_node_per_year_usd = 0.0;
+};
+
+DeploymentCostBreakdown ComputeDeploymentCost(const DeploymentCostParams& params);
+
+// Presets.
+DeploymentCostParams SanDiegoStreetlights();   // §2: 3,300 sensor nodes.
+DeploymentCostParams ModestPilot();            // 500-node low end.
+// A future century-scale node: energy harvesting (no battery service),
+// prepaid LPWAN connectivity, near-zero marginal staff.
+DeploymentCostParams CenturyScaleNode(uint32_t node_count);
+
+}  // namespace centsim
+
+#endif  // SRC_ECON_DEPLOYMENT_COST_H_

@@ -1,0 +1,40 @@
+#include "src/econ/labor.h"
+
+namespace centsim {
+
+double TruckRollModel::PersonHours(uint64_t device_count) const {
+  // "Total replacement time per device" is wall-clock per visit; each visit
+  // consumes crew_size person-minutes per wall-clock minute... The paper's
+  // 200k figure is wall-clock minutes * devices / 60 (one-person
+  // accounting), so person-hours here uses one person per visit-minute and
+  // the crew multiplier is applied only to cost.
+  return static_cast<double>(device_count) * params_.minutes_per_device / 60.0;
+}
+
+SimTime TruckRollModel::CalendarTime(uint64_t device_count, uint32_t crews) const {
+  if (crews == 0) {
+    return SimTime::Max();
+  }
+  const double crew_hours = PersonHours(device_count) / crews;
+  // A crew works hours_per_workyear per year.
+  const double years = crew_hours / params_.hours_per_workyear;
+  return SimTime::Years(years);
+}
+
+double TruckRollModel::LaborCostUsd(uint64_t device_count) const {
+  return PersonHours(device_count) * params_.crew_size * params_.hourly_rate_usd;
+}
+
+double TruckRollModel::StaffYears(uint64_t device_count) const {
+  return PersonHours(device_count) / params_.hours_per_workyear;
+}
+
+double AttentionHoursPerDeviceYear(double staff, uint64_t device_count,
+                                   double hours_per_workyear) {
+  if (device_count == 0) {
+    return 0.0;
+  }
+  return staff * hours_per_workyear / static_cast<double>(device_count);
+}
+
+}  // namespace centsim

@@ -1,0 +1,50 @@
+// Field-labor model (paper §1).
+//
+// "Consider the scale of Los Angeles ... 320,000 utility poles, 61,315
+// intersections, and 210,000 streetlights ... at a very generous 20 minute
+// total replacement (including travel) time per device, recovering the
+// deployment would require nearly 200,000 person-hours of labor alone."
+
+#ifndef SRC_ECON_LABOR_H_
+#define SRC_ECON_LABOR_H_
+
+#include <cstdint>
+
+#include "src/sim/time.h"
+
+namespace centsim {
+
+struct TruckRollParams {
+  double minutes_per_device = 20.0;  // Replacement incl. travel (§1).
+  double crew_size = 2.0;            // Bucket-truck crew.
+  double hourly_rate_usd = 95.0;     // Loaded municipal labor rate.
+  double hours_per_workyear = 1800.0;
+};
+
+class TruckRollModel {
+ public:
+  explicit TruckRollModel(const TruckRollParams& params = {}) : params_(params) {}
+
+  // Person-hours to visit every one of `device_count` devices once.
+  double PersonHours(uint64_t device_count) const;
+  // Elapsed calendar time with `crews` working in parallel.
+  SimTime CalendarTime(uint64_t device_count, uint32_t crews) const;
+  double LaborCostUsd(uint64_t device_count) const;
+  // Full-time-equivalent staff-years for the visit campaign.
+  double StaffYears(uint64_t device_count) const;
+
+  const TruckRollParams& params() const { return params_; }
+
+ private:
+  TruckRollParams params_;
+};
+
+// Maintenance-attention budget: with `staff` maintainers at
+// `hours_per_workyear`, the person-hours available per device per year for
+// a fleet of `device_count` — the quantity §3.1 argues goes to zero.
+double AttentionHoursPerDeviceYear(double staff, uint64_t device_count,
+                                   double hours_per_workyear = 1800.0);
+
+}  // namespace centsim
+
+#endif  // SRC_ECON_LABOR_H_

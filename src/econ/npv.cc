@@ -1,0 +1,37 @@
+#include "src/econ/npv.h"
+
+#include <cmath>
+
+namespace centsim {
+
+double PresentValue(double amount, double t_years, double r) {
+  return amount / std::pow(1.0 + r, t_years);
+}
+
+double AnnuityPresentValue(double annual_amount, double years, double r) {
+  if (r == 0.0) {
+    return annual_amount * years;
+  }
+  return annual_amount * (1.0 - std::pow(1.0 + r, -years)) / r;
+}
+
+double NetPresentValue(const std::vector<CashFlow>& flows, double r) {
+  double npv = 0.0;
+  for (const auto& f : flows) {
+    npv += PresentValue(f.amount, f.year, r);
+  }
+  return npv;
+}
+
+double EquivalentAnnualCost(double capex, double life_years, double r) {
+  if (life_years <= 0) {
+    return capex;
+  }
+  if (r == 0.0) {
+    return capex / life_years;
+  }
+  const double annuity_factor = (1.0 - std::pow(1.0 + r, -life_years)) / r;
+  return capex / annuity_factor;
+}
+
+}  // namespace centsim

@@ -1,0 +1,31 @@
+// Discounted-cash-flow helpers for infrastructure planning horizons.
+
+#ifndef SRC_ECON_NPV_H_
+#define SRC_ECON_NPV_H_
+
+#include <vector>
+
+namespace centsim {
+
+// Present value of a single cash flow `amount` at year `t` under annual
+// discount rate `r`.
+double PresentValue(double amount, double t_years, double r);
+
+// Present value of a constant annual flow over [0, years].
+double AnnuityPresentValue(double annual_amount, double years, double r);
+
+// NPV of a (year, amount) schedule. Amounts may be negative (costs).
+struct CashFlow {
+  double year;
+  double amount;
+};
+double NetPresentValue(const std::vector<CashFlow>& flows, double r);
+
+// Equivalent annual cost of an asset: capex amortized over its life at
+// rate r (the standard way to compare a 50-year fiber dig to a monthly
+// cellular bill).
+double EquivalentAnnualCost(double capex, double life_years, double r);
+
+}  // namespace centsim
+
+#endif  // SRC_ECON_NPV_H_

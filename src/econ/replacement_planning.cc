@@ -1,0 +1,43 @@
+#include "src/econ/replacement_planning.h"
+
+namespace centsim {
+
+ReplacementForecast ForecastReplacements(const WeibullFit& fit, uint64_t fleet_size,
+                                         uint32_t zone_count, SimTime batch_cycle,
+                                         const TruckRollParams& labor,
+                                         double device_unit_usd) {
+  ReplacementForecast out;
+  const double mttf_years = fit.Mttf().ToYears();
+  if (mttf_years <= 0 || fleet_size == 0 || zone_count == 0) {
+    return out;
+  }
+  const double cycle_years = batch_cycle.ToYears();
+  // A failed site waits, on average, half a cycle for its zone's visit, so
+  // the full renewal period is MTTF + cycle/2.
+  const double renewal_years = mttf_years + cycle_years / 2.0;
+  out.steady_failures_per_year = static_cast<double>(fleet_size) / renewal_years;
+  // Each zone is visited zone_count times per cycle in aggregate; per-visit
+  // demand is the yearly flow spread over the visits in a year.
+  const double visits_per_year = static_cast<double>(zone_count) / cycle_years;
+  out.replacements_per_zone_visit = out.steady_failures_per_year / visits_per_year;
+  out.mean_downtime_fraction = (cycle_years / 2.0) / renewal_years;
+
+  TruckRollModel model(labor);
+  out.person_hours_per_year =
+      model.PersonHours(static_cast<uint64_t>(out.steady_failures_per_year + 0.5));
+  out.annual_labor_cost_usd =
+      model.LaborCostUsd(static_cast<uint64_t>(out.steady_failures_per_year + 0.5));
+  out.annual_hardware_cost_usd = out.steady_failures_per_year * device_unit_usd;
+  return out;
+}
+
+double SteadyStateAvailability(const WeibullFit& fit, SimTime batch_cycle) {
+  const double mttf_years = fit.Mttf().ToYears();
+  if (mttf_years <= 0) {
+    return 0.0;
+  }
+  const double wait = batch_cycle.ToYears() / 2.0;
+  return mttf_years / (mttf_years + wait);
+}
+
+}  // namespace centsim

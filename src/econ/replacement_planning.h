@@ -1,0 +1,41 @@
+// Replacement-demand forecasting: closing the paper's §4.5 loop. The
+// living study's observed lifetimes (fit in reliability/fitting.h) feed a
+// renewal-theory forecast of how many units each future batch project will
+// replace and what the labor bill is — "a guide for real-world maintenance
+// challenges of long-lived systems", as a number the budget office can use.
+
+#ifndef SRC_ECON_REPLACEMENT_PLANNING_H_
+#define SRC_ECON_REPLACEMENT_PLANNING_H_
+
+#include <cstdint>
+
+#include "src/econ/labor.h"
+#include "src/reliability/fitting.h"
+#include "src/sim/time.h"
+
+namespace centsim {
+
+struct ReplacementForecast {
+  double steady_failures_per_year = 0.0;   // Fleet renewal rate: N / MTTF.
+  double replacements_per_zone_visit = 0.0;
+  double mean_downtime_fraction = 0.0;     // Time a site waits dark for its batch.
+  double person_hours_per_year = 0.0;
+  double annual_labor_cost_usd = 0.0;
+  double annual_hardware_cost_usd = 0.0;
+};
+
+// Renewal-theory forecast for a fleet maintained by geographic batch
+// projects: every zone is revisited once per `batch_cycle`; failures wait
+// (on average half a cycle, by symmetry of the failure instant within the
+// cycle) for their zone's next visit.
+ReplacementForecast ForecastReplacements(const WeibullFit& fit, uint64_t fleet_size,
+                                         uint32_t zone_count, SimTime batch_cycle,
+                                         const TruckRollParams& labor = {},
+                                         double device_unit_usd = 60.0);
+
+// The availability such a regime sustains: MTTF / (MTTF + mean wait).
+double SteadyStateAvailability(const WeibullFit& fit, SimTime batch_cycle);
+
+}  // namespace centsim
+
+#endif  // SRC_ECON_REPLACEMENT_PLANNING_H_

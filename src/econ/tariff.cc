@@ -1,0 +1,58 @@
+#include "src/econ/tariff.h"
+
+#include <cmath>
+
+namespace centsim {
+
+double CellularTariff::CumulativeCostUsd(uint32_t sites, double t_years,
+                                         uint32_t sunsets_by_t) const {
+  if (t_years <= 0) {
+    return modem_capex_usd * sites;
+  }
+  // Escalating annuity, integrated continuously: monthly*12 * sum of
+  // (1+e)^y over elapsed years.
+  double opex = 0.0;
+  const double annual = monthly_fee_usd * 12.0;
+  const double whole_years = std::floor(t_years);
+  for (double y = 0; y < whole_years; y += 1.0) {
+    opex += annual * std::pow(1.0 + annual_escalation, y);
+  }
+  opex += annual * std::pow(1.0 + annual_escalation, whole_years) * (t_years - whole_years);
+  const double swaps = static_cast<double>(sunsets_by_t) * sunset_swap_cost_usd * sites;
+  return modem_capex_usd * sites + opex * sites + swaps;
+}
+
+double FiberBuild::CapexUsd(double route_m, uint32_t sites) const {
+  const double dig = coordinate_with_roadworks ? trench_usd_per_m * shared_dig_fraction
+                                               : trench_usd_per_m;
+  return route_m * (dig + fiber_usd_per_m) + transceiver_usd_per_site * sites;
+}
+
+double FiberBuild::CumulativeCostUsd(double route_m, uint32_t sites, double t_years) const {
+  if (t_years < 0) {
+    t_years = 0;
+  }
+  const double refreshes = transceiver_refresh_years > 0
+                               ? std::floor(t_years / transceiver_refresh_years)
+                               : 0.0;
+  const double refresh_cost = refreshes * transceiver_usd_per_site * sites;
+  const double opex = annual_opex_per_site_usd * sites * t_years;
+  const double revenue = lease_revenue_per_site_monthly_usd * 12.0 * sites * t_years;
+  return CapexUsd(route_m, sites) + refresh_cost + opex - revenue;
+}
+
+double FiberCellularCrossoverYears(const FiberBuild& fiber, double route_m,
+                                   const CellularTariff& cellular, uint32_t sites,
+                                   double horizon_years, double sunset_period_years) {
+  for (double t = 0.0; t <= horizon_years; t += 0.25) {
+    const uint32_t sunsets =
+        sunset_period_years > 0 ? static_cast<uint32_t>(t / sunset_period_years) : 0;
+    if (fiber.CumulativeCostUsd(route_m, sites, t) <=
+        cellular.CumulativeCostUsd(sites, t, sunsets)) {
+      return t;
+    }
+  }
+  return -1.0;
+}
+
+}  // namespace centsim

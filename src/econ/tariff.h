@@ -1,0 +1,53 @@
+// Backhaul cost structures (paper §3.3): recurring cellular subscriptions
+// vs front-loaded fiber construction whose capacity "only goes on
+// increasing" with transceiver upgrades, plus revenue offsets from leasing
+// spare fiber capacity (San Leandro / Barcelona model).
+
+#ifndef SRC_ECON_TARIFF_H_
+#define SRC_ECON_TARIFF_H_
+
+#include <cstdint>
+
+namespace centsim {
+
+// Recurring per-gateway cellular service.
+struct CellularTariff {
+  double monthly_fee_usd = 25.0;     // IoT data plan per gateway site.
+  double modem_capex_usd = 150.0;    // Modem hardware per site.
+  double annual_escalation = 0.02;   // Contract price escalation.
+  // Forced re-subscription/hardware swap at each generation sunset.
+  double sunset_swap_cost_usd = 400.0;
+
+  // Cumulative cost of `sites` gateway sites through year `t` (continuous
+  // years), with `sunsets_by_t` generation transitions already past.
+  double CumulativeCostUsd(uint32_t sites, double t_years, uint32_t sunsets_by_t) const;
+};
+
+// Owned fiber build: trenching dominates; sharing a trench with scheduled
+// roadworks (the paper's amortization argument) discounts it.
+struct FiberBuild {
+  double trench_usd_per_m = 120.0;       // Dedicated dig, urban.
+  double shared_dig_fraction = 0.30;     // Cost share when trench is shared.
+  bool coordinate_with_roadworks = true;
+  double fiber_usd_per_m = 6.0;
+  double transceiver_usd_per_site = 800.0;
+  double transceiver_refresh_years = 12.0;  // End equipment, not the glass.
+  double annual_opex_per_site_usd = 60.0;   // Locates, splicing reserve.
+  double lease_revenue_per_site_monthly_usd = 0.0;  // Community ISP offset.
+
+  double CapexUsd(double route_m, uint32_t sites) const;
+  // Cumulative cost (capex + opex + refreshes - revenue) through year t.
+  double CumulativeCostUsd(double route_m, uint32_t sites, double t_years) const;
+};
+
+// Crossover: first year (within `horizon_years`, searched at 0.25-year
+// granularity) where cumulative fiber cost drops below cumulative cellular
+// cost. Returns a negative value if fiber never wins inside the horizon.
+double FiberCellularCrossoverYears(const FiberBuild& fiber, double route_m,
+                                   const CellularTariff& cellular, uint32_t sites,
+                                   double horizon_years,
+                                   double sunset_period_years = 12.0);
+
+}  // namespace centsim
+
+#endif  // SRC_ECON_TARIFF_H_

@@ -1,0 +1,51 @@
+#include "src/econ/tipping_point.h"
+
+#include <cmath>
+
+#include "src/econ/npv.h"
+
+namespace centsim {
+
+TippingPointAnalysis AnalyzeTippingPoint(uint64_t device_count, const ReplacementCostParams& repl,
+                                         const OwnedInfraParams& infra) {
+  TippingPointAnalysis out;
+
+  TruckRollModel labor(repl.truck_roll);
+  out.replace_all_cost_usd = static_cast<double>(device_count) * repl.device_unit_usd +
+                             labor.LaborCostUsd(device_count);
+
+  const uint32_t gateways = static_cast<uint32_t>(
+      std::ceil(static_cast<double>(device_count) /
+                static_cast<double>(infra.devices_per_gateway)));
+  const double capex =
+      gateways * (infra.gateway_unit_usd + infra.gateway_install_usd +
+                  infra.backhaul_capex_per_gateway_usd);
+  const double opex_pv = AnnuityPresentValue(infra.annual_opex_per_gateway_usd * gateways,
+                                             infra.planning_horizon_years, infra.discount_rate);
+  out.owned_infra_cost_usd = capex + opex_pv;
+
+  out.vertical_integration_wins = out.owned_infra_cost_usd < out.replace_all_cost_usd;
+  return out;
+}
+
+uint64_t TippingPointFleetSize(const ReplacementCostParams& repl, const OwnedInfraParams& infra) {
+  uint64_t lo = 1;
+  uint64_t hi = 1000000000ULL;
+  if (!AnalyzeTippingPoint(hi, repl, infra).vertical_integration_wins) {
+    return 0;
+  }
+  if (AnalyzeTippingPoint(lo, repl, infra).vertical_integration_wins) {
+    return lo;
+  }
+  while (hi - lo > 1) {
+    const uint64_t mid = lo + (hi - lo) / 2;
+    if (AnalyzeTippingPoint(mid, repl, infra).vertical_integration_wins) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace centsim

@@ -1,0 +1,54 @@
+// Vertical-integration tipping point (paper §3.4).
+//
+// "As the number of deployed devices grows, so does the cost of replacing
+// them ... there will always be a tipping point where the cost of deploying
+// vertically owned and managed infrastructure is lower than the cost of
+// replacing devices."
+//
+// The model compares, at a provider-exit event:
+//   option A — replace every deployed device with units speaking whatever
+//              the surviving commercial infrastructure offers;
+//   option B — build and operate owned gateways + backhaul so the extant
+//              devices keep working untouched.
+
+#ifndef SRC_ECON_TIPPING_POINT_H_
+#define SRC_ECON_TIPPING_POINT_H_
+
+#include <cstdint>
+
+#include "src/econ/labor.h"
+
+namespace centsim {
+
+struct ReplacementCostParams {
+  double device_unit_usd = 40.0;   // New device hardware.
+  TruckRollParams truck_roll;      // Field labor per §1.
+};
+
+struct OwnedInfraParams {
+  double gateway_unit_usd = 600.0;        // Hardened gateway hardware.
+  double gateway_install_usd = 350.0;     // Mount + power + commissioning.
+  uint32_t devices_per_gateway = 1000;    // Coverage fan-out (Figure 1).
+  double backhaul_capex_per_gateway_usd = 2500.0;  // Fiber lateral share.
+  double annual_opex_per_gateway_usd = 300.0;      // Power, locates, repair.
+  double planning_horizon_years = 15.0;   // Opex horizon to count.
+  double discount_rate = 0.03;
+};
+
+struct TippingPointAnalysis {
+  double replace_all_cost_usd = 0.0;
+  double owned_infra_cost_usd = 0.0;
+  bool vertical_integration_wins = false;
+};
+
+// Costs both options for a fleet of `device_count`.
+TippingPointAnalysis AnalyzeTippingPoint(uint64_t device_count, const ReplacementCostParams& repl,
+                                         const OwnedInfraParams& infra);
+
+// Smallest fleet size at which vertical integration wins, found by
+// bisection over [1, 10^9]. Returns 0 if it never wins in that range.
+uint64_t TippingPointFleetSize(const ReplacementCostParams& repl, const OwnedInfraParams& infra);
+
+}  // namespace centsim
+
+#endif  // SRC_ECON_TIPPING_POINT_H_

@@ -1,0 +1,79 @@
+// Energy-neutral operation manager for a transmit-only sensor node.
+//
+// Couples a Harvester to an EnergyStorage and answers two questions:
+//  1. Planning: what reporting interval is sustainable year-round?
+//  2. Runtime: at simulated time t, is there energy for one transmission
+//     (sleep overheads included) — and if not, when will there be?
+//
+// The runtime side is event-driven: between calls, harvested energy is
+// integrated analytically over the elapsed interval, so a 50-year device
+// costs one call per transmission attempt.
+
+#ifndef SRC_ENERGY_ENERGY_MANAGER_H_
+#define SRC_ENERGY_ENERGY_MANAGER_H_
+
+#include <memory>
+#include <optional>
+
+#include "src/energy/harvester.h"
+#include "src/energy/storage.h"
+#include "src/sim/time.h"
+
+namespace centsim {
+
+// Static electrical profile of the node.
+struct LoadProfile {
+  double sleep_power_w = 2e-6;     // 2 uW sleep floor (RTC + leakage).
+  double tx_energy_j = 0.015;      // Energy per transmission event
+                                   // (wakeup + sense + radio on-air).
+  double sense_energy_j = 0.002;   // Sensor sampling without transmit.
+  double brownout_reserve_j = 0.05;  // Keep-alive floor below which the node
+                                     // refuses to fire the radio.
+};
+
+class EnergyManager {
+ public:
+  EnergyManager(std::unique_ptr<Harvester> harvester, EnergyStorage storage, LoadProfile load);
+
+  // --- Planning -----------------------------------------------------------
+
+  // Largest sustainable transmissions-per-day given mean harvest over a
+  // representative year minus the sleep floor. Returns 0 if the harvester
+  // cannot even cover sleep.
+  double SustainableTxPerDay() const;
+
+  // The corresponding reporting interval, if any.
+  std::optional<SimTime> SustainableInterval() const;
+
+  // --- Runtime ------------------------------------------------------------
+
+  // Advances the energy state to `now` (harvest in, sleep + leakage out).
+  void AdvanceTo(SimTime now);
+
+  // Attempts one transmission at `now`. Advances state first. Returns true
+  // and deducts energy if affordable; false otherwise (energy untouched
+  // apart from the advance).
+  bool TryTransmit(SimTime now);
+
+  // Estimate of when the storage will next hold `joules` above the reserve,
+  // assuming average harvest conditions. Never less than `now`.
+  SimTime EstimateNextAffordable(SimTime now, double joules) const;
+
+  const EnergyStorage& storage() const { return storage_; }
+  const Harvester& harvester() const { return *harvester_; }
+  const LoadProfile& load() const { return load_; }
+  uint64_t tx_granted() const { return tx_granted_; }
+  uint64_t tx_denied() const { return tx_denied_; }
+
+ private:
+  std::unique_ptr<Harvester> harvester_;
+  EnergyStorage storage_;
+  LoadProfile load_;
+  SimTime last_advance_;
+  uint64_t tx_granted_ = 0;
+  uint64_t tx_denied_ = 0;
+};
+
+}  // namespace centsim
+
+#endif  // SRC_ENERGY_ENERGY_MANAGER_H_

@@ -1,0 +1,139 @@
+#include "src/energy/harvester.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace centsim {
+namespace {
+
+constexpr double kDaySeconds = 24.0 * 3600.0;
+constexpr double kYearSeconds = 365.25 * kDaySeconds;
+
+// Stateless hash -> [0,1) for reproducible "random" weather per day index.
+double HashUnit(uint64_t x) {
+  uint64_t s = x;
+  return static_cast<double>(SplitMix64(s) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+double Harvester::EnergyOver(SimTime from, SimTime to) const {
+  assert(to >= from);
+  const double span = (to - from).ToSeconds();
+  if (span <= 0) {
+    return 0.0;
+  }
+  // Resolve sub-hour structure: at least 16 steps, at most one per 10 min.
+  const int steps = std::clamp(static_cast<int>(span / 600.0), 16, 100000);
+  const double dt = span / steps;
+  double acc = 0.0;
+  double prev = PowerAt(from);
+  for (int i = 1; i <= steps; ++i) {
+    const double p = PowerAt(from + SimTime::Seconds(dt * i));
+    acc += 0.5 * (prev + p) * dt;
+    prev = p;
+  }
+  return acc;
+}
+
+double Harvester::MeanPower(SimTime from, SimTime to) const {
+  const double span = (to - from).ToSeconds();
+  if (span <= 0) {
+    return 0.0;
+  }
+  return EnergyOver(from, to) / span;
+}
+
+double SolarHarvester::WeatherFactor(int64_t day_index) const {
+  // Three-day smoothing of hashed daily draws gives plausible persistence.
+  const double a = HashUnit(params_.weather_seed * 0x9e3779b97f4a7c15ULL +
+                            static_cast<uint64_t>(day_index));
+  const double b = HashUnit(params_.weather_seed * 0xbf58476d1ce4e5b9ULL +
+                            static_cast<uint64_t>(day_index + 1));
+  const double u = 0.6 * a + 0.4 * b;
+  return params_.weather_min + (1.0 - params_.weather_min) * u;
+}
+
+double SolarHarvester::PowerAt(SimTime t) const {
+  const double s = t.ToSeconds();
+  const double day_frac = std::fmod(s, kDaySeconds) / kDaySeconds;
+  // Half-sine daylight between 06:00 and 18:00.
+  const double sun = std::sin((day_frac - 0.25) * 2.0 * M_PI);
+  if (sun <= 0) {
+    return 0.0;
+  }
+  const double year_frac = std::fmod(s, kYearSeconds) / kYearSeconds;
+  const double season =
+      1.0 + params_.seasonal_swing * std::sin(2.0 * M_PI * year_frac + params_.latitude_phase -
+                                              M_PI / 2.0);
+  const int64_t day_index = static_cast<int64_t>(s / kDaySeconds);
+  const double weather = WeatherFactor(day_index);
+  const double years = s / kYearSeconds;
+  const double degradation = std::pow(1.0 - params_.degradation_per_year, years);
+  return params_.peak_power_w * sun * season * weather * degradation;
+}
+
+double CorrosionHarvester::PowerAt(SimTime t) const {
+  const double frac = t.ToSeconds() / params_.structure_life.ToSeconds();
+  if (frac >= 1.0) {
+    // Structure past design life: keep the end-of-life trickle (real
+    // structures outlive their design life; the anode keeps corroding).
+    return params_.initial_power_w * params_.end_of_life_fraction;
+  }
+  const double factor = 1.0 - (1.0 - params_.end_of_life_fraction) * frac;
+  return params_.initial_power_w * factor;
+}
+
+double CorrosionHarvester::EnergyOver(SimTime from, SimTime to) const {
+  assert(to >= from);
+  // Piecewise: linear ramp to structure_life, constant after.
+  auto integral_to = [&](SimTime t) {
+    const double life = params_.structure_life.ToSeconds();
+    const double p0 = params_.initial_power_w;
+    const double pe = p0 * params_.end_of_life_fraction;
+    const double x = t.ToSeconds();
+    if (x <= life) {
+      const double p_at = p0 - (p0 - pe) * (x / life);
+      return 0.5 * (p0 + p_at) * x;
+    }
+    const double ramp_area = 0.5 * (p0 + pe) * life;
+    return ramp_area + pe * (x - life);
+  };
+  return integral_to(to) - integral_to(from);
+}
+
+double ThermalHarvester::PowerAt(SimTime t) const {
+  const double s = t.ToSeconds();
+  const double day_frac = std::fmod(s, kDaySeconds) / kDaySeconds;
+  // Gradient peaks mid-afternoon (~15:00), minimal pre-dawn.
+  const double phase = std::sin((day_frac - 0.375) * 2.0 * M_PI);
+  const double f = params_.baseline_fraction +
+                   (1.0 - params_.baseline_fraction) * std::max(0.0, phase);
+  return params_.peak_power_w * f;
+}
+
+double VibrationHarvester::PowerAt(SimTime t) const {
+  const double s = t.ToSeconds();
+  const double day_frac = std::fmod(s, kDaySeconds) / kDaySeconds;
+  const int64_t day_index = static_cast<int64_t>(s / kDaySeconds);
+  const int dow = static_cast<int>(day_index % 7);  // Sim starts on day 0 = Monday.
+  const bool weekend = dow >= 5;
+
+  // Two rush-hour humps (08:00 and 17:30) over a daytime plateau.
+  auto hump = [](double x, double center, double width) {
+    const double d = (x - center) / width;
+    return std::exp(-d * d);
+  };
+  double traffic = params_.night_fraction;
+  if (day_frac > 0.25 && day_frac < 0.95) {
+    traffic = 0.35 + 0.65 * (hump(day_frac, 8.0 / 24, 0.05) + hump(day_frac, 17.5 / 24, 0.06));
+    traffic = std::min(traffic, 1.0);
+  }
+  if (weekend) {
+    traffic *= params_.weekend_factor;
+  }
+  return params_.peak_power_w * traffic;
+}
+
+}  // namespace centsim

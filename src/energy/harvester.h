@@ -1,0 +1,127 @@
+// Energy-harvester models ("Ambient Batteries", paper §1 and refs [20, 21]).
+//
+// A harvester exposes its instantaneous output power as a deterministic
+// function of simulated time (environmental cycles plus long-term
+// degradation), with an optional per-device multiplicative efficiency drawn
+// at construction. Deterministic profiles let the energy manager integrate
+// harvested energy analytically between events instead of ticking.
+
+#ifndef SRC_ENERGY_HARVESTER_H_
+#define SRC_ENERGY_HARVESTER_H_
+
+#include <memory>
+#include <string>
+
+#include "src/sim/random.h"
+#include "src/sim/time.h"
+
+namespace centsim {
+
+class Harvester {
+ public:
+  virtual ~Harvester() = default;
+
+  // Instantaneous output power in watts at simulated time `t`.
+  virtual double PowerAt(SimTime t) const = 0;
+
+  // Energy in joules harvested over [from, to]. The default implementation
+  // integrates PowerAt with an adaptive trapezoid; subclasses with closed
+  // forms override it.
+  virtual double EnergyOver(SimTime from, SimTime to) const;
+
+  virtual std::string name() const = 0;
+
+  // Long-run average power (W) over the given window; used for sizing.
+  double MeanPower(SimTime from, SimTime to) const;
+};
+
+// Indoor/outdoor photovoltaic: diurnal half-sine, seasonal modulation,
+// weather attenuation (slow random walk via hashed day index so the profile
+// stays a pure function of time), and panel degradation per year.
+class SolarHarvester : public Harvester {
+ public:
+  struct Params {
+    double peak_power_w = 0.010;       // 10 mW peak for a cm-scale cell.
+    double seasonal_swing = 0.35;      // +-35% seasonal amplitude.
+    double weather_min = 0.25;         // Worst-day cloud attenuation factor.
+    double degradation_per_year = 0.005;  // 0.5%/yr output fade.
+    double latitude_phase = 0.0;       // Season phase offset (radians).
+    uint64_t weather_seed = 1;         // Per-site weather sequence.
+  };
+
+  explicit SolarHarvester(const Params& params) : params_(params) {}
+
+  double PowerAt(SimTime t) const override;
+  std::string name() const override { return "solar"; }
+
+  const Params& params() const { return params_; }
+
+ private:
+  double WeatherFactor(int64_t day_index) const;
+
+  Params params_;
+};
+
+// Rebar-corrosion cathodic "ambient battery" (paper §1; ref [21]): a
+// near-constant few-hundred-µW source whose output decays on the timescale
+// of the host structure's service life. Powers a bridge sensor for
+// literally as long as the structure lasts.
+class CorrosionHarvester : public Harvester {
+ public:
+  struct Params {
+    double initial_power_w = 300e-6;   // 300 uW from a galvanic couple.
+    SimTime structure_life = SimTime::Years(50);  // Host bridge service life.
+    // Output at end of structure life as a fraction of initial (the anode
+    // depletes roughly linearly in delivered charge).
+    double end_of_life_fraction = 0.4;
+  };
+
+  explicit CorrosionHarvester(const Params& params) : params_(params) {}
+
+  double PowerAt(SimTime t) const override;
+  double EnergyOver(SimTime from, SimTime to) const override;  // Closed form.
+  std::string name() const override { return "rebar-corrosion"; }
+
+ private:
+  Params params_;
+};
+
+// Diurnal thermal-gradient harvester (TEG across a surface/ambient delta).
+class ThermalHarvester : public Harvester {
+ public:
+  struct Params {
+    double peak_power_w = 1e-3;
+    double baseline_fraction = 0.1;  // Fraction of peak available at night.
+  };
+
+  explicit ThermalHarvester(const Params& params) : params_(params) {}
+
+  double PowerAt(SimTime t) const override;
+  std::string name() const override { return "thermal"; }
+
+ private:
+  Params params_;
+};
+
+// Traffic-induced vibration harvester: weekday/weekend and rush-hour
+// structure, suitable for roadway-embedded nodes.
+class VibrationHarvester : public Harvester {
+ public:
+  struct Params {
+    double peak_power_w = 2e-3;
+    double night_fraction = 0.05;
+    double weekend_factor = 0.6;
+  };
+
+  explicit VibrationHarvester(const Params& params) : params_(params) {}
+
+  double PowerAt(SimTime t) const override;
+  std::string name() const override { return "vibration"; }
+
+ private:
+  Params params_;
+};
+
+}  // namespace centsim
+
+#endif  // SRC_ENERGY_HARVESTER_H_

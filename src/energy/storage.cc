@@ -1,0 +1,81 @@
+#include "src/energy/storage.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace centsim {
+
+EnergyStorage::EnergyStorage(const Params& params)
+    : params_(params),
+      capacity_now_j_(params.capacity_j),
+      charge_j_(params.capacity_j * params.initial_fraction) {}
+
+void EnergyStorage::AdvanceTo(SimTime now) {
+  assert(now >= last_update_);
+  const double days = (now - last_update_).ToDays();
+  if (days > 0) {
+    // Exponential self-discharge.
+    charge_j_ *= std::pow(1.0 - params_.self_discharge_per_day, days);
+    // Capacity fade.
+    capacity_now_j_ =
+        params_.capacity_j * std::pow(1.0 - params_.capacity_fade_per_year, now.ToYears());
+    charge_j_ = std::min(charge_j_, capacity_now_j_);
+  }
+  last_update_ = now;
+}
+
+double EnergyStorage::Store(double joules) {
+  assert(joules >= 0);
+  const double banked =
+      std::min(joules * params_.charge_efficiency, capacity_now_j_ - charge_j_);
+  charge_j_ += std::max(0.0, banked);
+  return std::max(0.0, banked);
+}
+
+bool EnergyStorage::Draw(double joules) {
+  assert(joules >= 0);
+  if (charge_j_ + 1e-12 < joules) {
+    return false;
+  }
+  charge_j_ -= joules;
+  if (charge_j_ < 0) {
+    charge_j_ = 0;
+  }
+  return true;
+}
+
+EnergyStorage EnergyStorage::Supercap(double capacity_j) {
+  Params p;
+  p.capacity_j = capacity_j;
+  p.initial_fraction = 0.5;
+  p.charge_efficiency = 0.85;
+  p.self_discharge_per_day = 0.02;
+  p.capacity_fade_per_year = 0.01;
+  p.name = "supercap";
+  return EnergyStorage(p);
+}
+
+EnergyStorage EnergyStorage::LithiumPrimary(double capacity_j) {
+  Params p;
+  p.capacity_j = capacity_j;
+  p.initial_fraction = 1.0;
+  p.charge_efficiency = 0.0;  // Primary cell: not rechargeable.
+  p.self_discharge_per_day = 0.3 / 365.25 / 100.0;  // ~0.3%/yr.
+  p.capacity_fade_per_year = 0.0;  // Handled by self-discharge + reliability.
+  p.name = "li-primary";
+  return EnergyStorage(p);
+}
+
+EnergyStorage EnergyStorage::CapBank(double capacity_j) {
+  Params p;
+  p.capacity_j = capacity_j;
+  p.initial_fraction = 0.0;
+  p.charge_efficiency = 0.9;
+  p.self_discharge_per_day = 0.10;
+  p.capacity_fade_per_year = 0.002;
+  p.name = "cap-bank";
+  return EnergyStorage(p);
+}
+
+}  // namespace centsim

@@ -1,0 +1,64 @@
+// Energy-storage models: supercapacitor and (for the baseline node)
+// lithium primary cells. State advances analytically between touches —
+// leakage and aging are applied for the elapsed interval in closed form, so
+// storage costs O(1) per event rather than per tick.
+
+#ifndef SRC_ENERGY_STORAGE_H_
+#define SRC_ENERGY_STORAGE_H_
+
+#include <string>
+
+#include "src/sim/time.h"
+
+namespace centsim {
+
+class EnergyStorage {
+ public:
+  struct Params {
+    double capacity_j = 10.0;            // Usable capacity when new (J).
+    double initial_fraction = 0.5;       // State of charge at deploy.
+    double charge_efficiency = 0.85;     // Fraction of input energy stored.
+    double self_discharge_per_day = 0.02;  // Fractional leakage per day.
+    double capacity_fade_per_year = 0.01;  // Usable capacity shrink per year.
+    std::string name = "storage";
+  };
+
+  explicit EnergyStorage(const Params& params);
+
+  // Advances leakage/aging to `now`. Must be called with non-decreasing
+  // times; all other methods require the state to be current.
+  void AdvanceTo(SimTime now);
+
+  // Adds harvested energy (before charge efficiency). Returns the amount
+  // actually banked after efficiency and capacity clipping.
+  double Store(double joules);
+
+  // Attempts to draw `joules`; returns false (and leaves the charge
+  // untouched) if insufficient.
+  bool Draw(double joules);
+
+  double charge_j() const { return charge_j_; }
+  double capacity_now_j() const { return capacity_now_j_; }
+  double soc() const { return capacity_now_j_ > 0 ? charge_j_ / capacity_now_j_ : 0.0; }
+  SimTime last_update() const { return last_update_; }
+  const Params& params() const { return params_; }
+
+  // Presets.
+  // 15 F supercap at 3 V stores ~67 J usable; low leakage, slow fade.
+  static EnergyStorage Supercap(double capacity_j = 67.0);
+  // 2x AA lithium primary: ~32 kJ, negligible leakage, but the *cell*
+  // lifetime bound lives in the reliability model, not here.
+  static EnergyStorage LithiumPrimary(double capacity_j = 32000.0);
+  // Small ceramic/tantalum bank for purely intermittent nodes (~0.1 J).
+  static EnergyStorage CapBank(double capacity_j = 0.1);
+
+ private:
+  Params params_;
+  double capacity_now_j_;
+  double charge_j_;
+  SimTime last_update_;
+};
+
+}  // namespace centsim
+
+#endif  // SRC_ENERGY_STORAGE_H_

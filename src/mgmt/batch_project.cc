@@ -1,0 +1,33 @@
+#include "src/mgmt/batch_project.h"
+
+namespace centsim {
+
+BatchProjectScheduler::BatchProjectScheduler(Simulation& sim, BatchProjectParams params,
+                                             ZoneVisit on_visit)
+    : sim_(sim),
+      params_(params),
+      on_visit_(std::move(on_visit)),
+      rng_(sim.StreamFor(0x6261746368ULL)) {}
+
+void BatchProjectScheduler::ScheduleThrough(SimTime horizon) {
+  const SimTime slot = params_.cycle_period * (1.0 / params_.zone_count);
+  for (uint32_t cycle = 0;; ++cycle) {
+    const SimTime cycle_start = params_.cycle_period * static_cast<double>(cycle);
+    if (cycle_start > horizon) {
+      break;
+    }
+    for (uint32_t zone = 0; zone < params_.zone_count; ++zone) {
+      SimTime at = cycle_start + slot * static_cast<double>(zone) +
+                   SimTime::Seconds(rng_.Uniform(0.0, params_.visit_jitter.ToSeconds()));
+      if (at > horizon || at < sim_.Now()) {
+        continue;
+      }
+      ++visits_;
+      const uint32_t z = zone;
+      const uint32_t c = cycle;
+      sim_.scheduler().ScheduleAt(at, [this, z, c] { on_visit_(z, c); });
+    }
+  }
+}
+
+}  // namespace centsim

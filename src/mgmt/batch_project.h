@@ -1,0 +1,51 @@
+// Geographic batch projects (paper §1): "infrastructure projects operate in
+// geographical batches to keep costs down — one project repaves a block,
+// installs its traffic sensors, and replaces its streetlights."
+//
+// The scheduler walks the city's zones on a staggered cadence; each visit
+// fires a callback in which the fleet layer replaces failed devices (and,
+// optionally, refreshes working-but-old ones). Between visits, failed
+// devices in a zone simply stay dark — en-masse replacement is intractable.
+
+#ifndef SRC_MGMT_BATCH_PROJECT_H_
+#define SRC_MGMT_BATCH_PROJECT_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/sim/simulation.h"
+
+namespace centsim {
+
+struct BatchProjectParams {
+  uint32_t zone_count = 16;
+  // Every zone is visited once per cycle; cycles repeat for the run.
+  SimTime cycle_period = SimTime::Years(8);  // Repave cadence.
+  // Jitter on each zone's visit within its slot (construction schedules).
+  SimTime visit_jitter = SimTime::Days(60);
+};
+
+class BatchProjectScheduler {
+ public:
+  using ZoneVisit = std::function<void(uint32_t zone, uint32_t cycle)>;
+
+  BatchProjectScheduler(Simulation& sim, BatchProjectParams params, ZoneVisit on_visit);
+
+  // Schedules visits from now through `horizon`. Zones are staggered
+  // uniformly across the cycle period, so at any moment some zone is
+  // freshly refreshed and another is due (the paper's pipelining).
+  void ScheduleThrough(SimTime horizon);
+
+  uint64_t visits_scheduled() const { return visits_; }
+
+ private:
+  Simulation& sim_;
+  BatchProjectParams params_;
+  ZoneVisit on_visit_;
+  RandomStream rng_;
+  uint64_t visits_ = 0;
+};
+
+}  // namespace centsim
+
+#endif  // SRC_MGMT_BATCH_PROJECT_H_

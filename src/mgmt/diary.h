@@ -1,0 +1,52 @@
+// The living experiment diary (paper §4.5): "we will document any
+// maintenance or changes we have to make to devices, gateways, or backhaul
+// infrastructure to sustain operation ... recurring costs and periodic,
+// predictable efforts".
+//
+// Built from the simulation trace: every kMaintenance/kFailure/kWarning
+// record becomes a diary entry, summarized per decade with cost roll-ups.
+
+#ifndef SRC_MGMT_DIARY_H_
+#define SRC_MGMT_DIARY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/trace.h"
+
+namespace centsim {
+
+struct DiaryEntry {
+  SimTime at;
+  TraceLevel level;
+  std::string component;
+  std::string text;
+};
+
+struct DecadeSummary {
+  uint32_t decade = 0;  // 0 => years [0,10).
+  uint32_t failures = 0;
+  uint32_t maintenance_actions = 0;
+  uint32_t warnings = 0;
+};
+
+class ExperimentDiary {
+ public:
+  // Harvests maintenance-relevant records from the trace log.
+  static ExperimentDiary FromTrace(const TraceLog& trace);
+
+  void Append(DiaryEntry entry) { entries_.push_back(std::move(entry)); }
+  const std::vector<DiaryEntry>& entries() const { return entries_; }
+
+  std::vector<DecadeSummary> ByDecade() const;
+  // Human-readable chronology (up to `max_entries`, evenly subsampled).
+  std::string Render(size_t max_entries = 40) const;
+
+ private:
+  std::vector<DiaryEntry> entries_;
+};
+
+}  // namespace centsim
+
+#endif  // SRC_MGMT_DIARY_H_

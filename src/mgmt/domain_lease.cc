@@ -1,0 +1,43 @@
+#include "src/mgmt/domain_lease.h"
+
+#include <algorithm>
+
+namespace centsim {
+
+DomainLease::DomainLease(Simulation& sim, CloudEndpoint& endpoint, DomainLeaseParams params)
+    : sim_(sim), endpoint_(endpoint), params_(params), rng_(sim.StreamFor(0x646f6d61696eULL)) {}
+
+void DomainLease::Start() {
+  sim_.scheduler().ScheduleAfter(params_.lease_period, [this] { OnRenewalDue(); });
+}
+
+double DomainLease::EffectiveLapseProbability() const {
+  double p = params_.renewal_lapse_probability;
+  if (knowledge_) {
+    const double knowledge = std::clamp(knowledge_(sim_.Now()), 0.0, 1.0);
+    p += params_.knowledge_lapse_weight * (1.0 - knowledge);
+  }
+  return std::min(p, 1.0);
+}
+
+void DomainLease::OnRenewalDue() {
+  if (rng_.NextBool(EffectiveLapseProbability())) {
+    ++lapses_;
+    endpoint_.SetOperational(false);
+    sim_.Fail("domain", "lease expired unrenewed; endpoint dark");
+    sim_.scheduler().ScheduleAfter(params_.lapse_recovery, [this] {
+      endpoint_.SetOperational(true);
+      fees_usd_ += params_.renewal_fee_usd;
+      ++renewals_;
+      sim_.Maint("domain", "domain recovered and re-registered");
+      sim_.scheduler().ScheduleAfter(params_.lease_period, [this] { OnRenewalDue(); });
+    });
+    return;
+  }
+  ++renewals_;
+  fees_usd_ += params_.renewal_fee_usd;
+  sim_.Maint("domain", "lease renewed for another period");
+  sim_.scheduler().ScheduleAfter(params_.lease_period, [this] { OnRenewalDue(); });
+}
+
+}  // namespace centsim

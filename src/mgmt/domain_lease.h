@@ -1,0 +1,63 @@
+// Domain-lease renewal (paper §4.5): "one certain event: the maximum domain
+// lease is 10 years". The endpoint's public URL must be re-registered on a
+// fixed cadence for fifty years; each renewal is a chance for institutional
+// memory to fail (the original experimenters retire), taking the endpoint
+// dark until someone notices and re-registers.
+
+#ifndef SRC_MGMT_DOMAIN_LEASE_H_
+#define SRC_MGMT_DOMAIN_LEASE_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/net/cloud_endpoint.h"
+#include "src/sim/simulation.h"
+
+namespace centsim {
+
+struct DomainLeaseParams {
+  SimTime lease_period = SimTime::Years(10);  // ICANN maximum.
+  double renewal_lapse_probability = 0.05;    // Chance a renewal is missed.
+  SimTime lapse_recovery = SimTime::Days(45); // Notice + re-register + DNS.
+  double renewal_fee_usd = 180.0;             // 10-year registration.
+  // How strongly lost institutional knowledge raises the lapse risk:
+  // effective = base + weight * (1 - knowledge(t)). See mgmt/succession.h.
+  double knowledge_lapse_weight = 0.25;
+};
+
+class DomainLease {
+ public:
+  // Returns operational-knowledge level in [0, 1] at a simulated time.
+  using KnowledgeProvider = std::function<double(SimTime)>;
+
+  DomainLease(Simulation& sim, CloudEndpoint& endpoint, DomainLeaseParams params);
+
+  // Couples renewal reliability to the succession model's knowledge curve
+  // (a custodian who never heard of the experiment misses renewals more).
+  void SetKnowledgeProvider(KnowledgeProvider provider) { knowledge_ = std::move(provider); }
+
+  // Schedules the renewal cadence starting one lease period from now.
+  void Start();
+
+  uint32_t renewals() const { return renewals_; }
+  uint32_t lapses() const { return lapses_; }
+  double fees_paid_usd() const { return fees_usd_; }
+
+ private:
+  void OnRenewalDue();
+
+  double EffectiveLapseProbability() const;
+
+  Simulation& sim_;
+  CloudEndpoint& endpoint_;
+  DomainLeaseParams params_;
+  RandomStream rng_;
+  KnowledgeProvider knowledge_;
+  uint32_t renewals_ = 0;
+  uint32_t lapses_ = 0;
+  double fees_usd_ = 0.0;
+};
+
+}  // namespace centsim
+
+#endif  // SRC_MGMT_DOMAIN_LEASE_H_

@@ -1,0 +1,51 @@
+#include "src/mgmt/maintenance.h"
+
+#include <cmath>
+
+namespace centsim {
+
+MaintenanceCrew::MaintenanceCrew(Simulation& sim, MaintenancePolicy policy)
+    : sim_(sim), policy_(policy), rng_(sim.StreamFor(0x6d61696e74ULL)) {}
+
+SimTime MaintenanceCrew::RequestRepair(SimTime fail_time) {
+  if (!policy_.enabled) {
+    ++refused_;
+    return SimTime::Max();
+  }
+  const double repair_hours = rng_.Exponential(policy_.mean_repair.ToHours());
+  if (repair_hours > policy_.annual_budget_hours) {
+    ++refused_;
+    sim_.Warn("maintenance", "repair refused: exceeds a full annual budget");
+    return SimTime::Max();
+  }
+  // Deferred maintenance: walk forward to the first year with headroom.
+  uint32_t year = static_cast<uint32_t>(fail_time.ToYears());
+  SimTime start = fail_time;
+  while (true) {
+    if (hours_by_year_.size() <= year) {
+      hours_by_year_.resize(year + 1, 0.0);
+    }
+    if (hours_by_year_[year] + repair_hours <= policy_.annual_budget_hours) {
+      break;
+    }
+    ++deferred_;
+    ++year;
+    start = SimTime::Years(year);
+    sim_.Warn("maintenance", "annual budget exhausted; repair deferred to next year");
+  }
+  hours_by_year_[year] += repair_hours;
+  total_hours_ += repair_hours;
+  ++repairs_;
+  const SimTime response = SimTime::Hours(rng_.Exponential(policy_.mean_response.ToHours()));
+  return start + response + SimTime::Hours(repair_hours);
+}
+
+Gateway::RepairPolicy MaintenanceCrew::AsRepairPolicy() {
+  return [this](SimTime fail_time) { return RequestRepair(fail_time); };
+}
+
+double MaintenanceCrew::HoursInYear(uint32_t year) const {
+  return year < hours_by_year_.size() ? hours_by_year_[year] : 0.0;
+}
+
+}  // namespace centsim

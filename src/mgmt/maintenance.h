@@ -1,0 +1,63 @@
+// Maintenance-crew model (paper §3.1, §4.4).
+//
+// Devices get no human attention; gateways and backhaul do, within a
+// person-hours budget. The crew converts gateway failures into repair
+// completion times — or refuses them once the year's budget is exhausted,
+// which is how "available hours per device falls" manifests at scale.
+
+#ifndef SRC_MGMT_MAINTENANCE_H_
+#define SRC_MGMT_MAINTENANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/net/gateway.h"
+#include "src/sim/simulation.h"
+
+namespace centsim {
+
+struct MaintenancePolicy {
+  bool enabled = true;
+  SimTime mean_response = SimTime::Days(3);     // Dispatch + travel.
+  SimTime mean_repair = SimTime::Hours(3);      // On-site time.
+  double annual_budget_hours = 200.0;           // Person-hours per year.
+  double hourly_rate_usd = 95.0;
+};
+
+class MaintenanceCrew {
+ public:
+  MaintenanceCrew(Simulation& sim, MaintenancePolicy policy);
+
+  // Handles one repair request at `fail_time`. Returns the repair
+  // completion time. When the year's budget is exhausted the repair is
+  // deferred into the next budget year (deferred maintenance, not
+  // abandonment); SimTime::Max() is returned only when the crew is
+  // disabled or a single job exceeds an entire annual budget.
+  SimTime RequestRepair(SimTime fail_time);
+
+  // Adapter for Gateway::SetRepairPolicy.
+  Gateway::RepairPolicy AsRepairPolicy();
+
+  uint64_t repairs_completed() const { return repairs_; }
+  uint64_t repairs_refused() const { return refused_; }
+  uint64_t repairs_deferred() const { return deferred_; }
+  double total_hours() const { return total_hours_; }
+  double TotalCostUsd() const { return total_hours_ * policy_.hourly_rate_usd; }
+  double HoursInYear(uint32_t year) const;
+
+  const MaintenancePolicy& policy() const { return policy_; }
+
+ private:
+  Simulation& sim_;
+  MaintenancePolicy policy_;
+  RandomStream rng_;
+  uint64_t repairs_ = 0;
+  uint64_t refused_ = 0;
+  uint64_t deferred_ = 0;
+  double total_hours_ = 0.0;
+  std::vector<double> hours_by_year_;
+};
+
+}  // namespace centsim
+
+#endif  // SRC_MGMT_MAINTENANCE_H_

@@ -1,0 +1,70 @@
+#include "src/mgmt/succession.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace centsim {
+
+double SuccessionReport::KnowledgeAt(SimTime t) const {
+  double knowledge = 1.0;
+  for (const auto& era : eras) {
+    if (era.end <= t) {
+      knowledge = era.knowledge_after;
+    } else {
+      break;
+    }
+  }
+  return knowledge;
+}
+
+SuccessionReport SimulateSuccession(const SuccessionParams& params, SimTime horizon,
+                                    RandomStream rng) {
+  SuccessionReport report;
+  const double mu = std::log(params.median_tenure_years);
+  double knowledge = 1.0;
+  SimTime t;
+  uint32_t custodian = 0;
+  while (true) {
+    const double tenure_years = rng.LogNormal(mu, params.tenure_sigma);
+    const SimTime era_end = t + SimTime::Years(tenure_years);
+    CustodianEra era;
+    era.custodian_index = custodian;
+    era.start = t;
+    if (era_end >= horizon) {
+      era.end = horizon;
+      era.knowledge_after = knowledge;
+      report.eras.push_back(era);
+      break;
+    }
+    // Handover at era_end.
+    ++report.handovers;
+    era.end = era_end;
+    era.orderly_handover = rng.NextBool(params.orderly_handover_probability);
+    if (!era.orderly_handover) {
+      ++report.disorderly_handovers;
+    }
+    const double retention =
+        era.orderly_handover ? params.handover_retention : params.disorderly_retention;
+    knowledge *= retention;
+    if (params.diary_maintained) {
+      // The written diary lets the successor recover part of the gap.
+      knowledge += (1.0 - knowledge) * params.diary_recovery;
+    }
+    knowledge = std::clamp(knowledge, 0.0, 1.0);
+    era.knowledge_after = knowledge;
+    report.min_knowledge = std::min(report.min_knowledge, knowledge);
+    report.eras.push_back(era);
+    t = era_end;
+    ++custodian;
+  }
+  report.final_knowledge = knowledge;
+  return report;
+}
+
+double ExpectedHandovers(const SuccessionParams& params, SimTime horizon) {
+  const double mean_tenure =
+      params.median_tenure_years * std::exp(params.tenure_sigma * params.tenure_sigma / 2.0);
+  return horizon.ToYears() / mean_tenure;
+}
+
+}  // namespace centsim

@@ -1,0 +1,68 @@
+// Experimenter succession (paper §4.5): "It will also include a log of the
+// experimenters, as the nature of a 50-year experiment is such that those
+// who start it will most likely be retired by the time it is complete!"
+//
+// Custodianship of a long-lived system passes between people; every
+// handover risks losing operational knowledge (where the wallet keys are,
+// why the firewall rule exists, when the domain renews). The model tracks
+// custodian tenures, handovers, and a knowledge-retention factor that the
+// management layer can fold into its lapse probabilities.
+
+#ifndef SRC_MGMT_SUCCESSION_H_
+#define SRC_MGMT_SUCCESSION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/random.h"
+#include "src/sim/time.h"
+
+namespace centsim {
+
+struct SuccessionParams {
+  // Custodian tenure before retirement/move (lognormal, median years).
+  double median_tenure_years = 9.0;
+  double tenure_sigma = 0.5;
+  // Fraction of operational knowledge transferred per handover when a
+  // proper overlap happens, and the probability it does.
+  double handover_retention = 0.9;
+  double orderly_handover_probability = 0.75;
+  // Disorderly handovers retain only this much.
+  double disorderly_retention = 0.5;
+  // A written, living diary (the paper's mechanism!) restores knowledge
+  // toward 1.0 at each handover by this recovery factor.
+  double diary_recovery = 0.5;
+  bool diary_maintained = true;
+};
+
+struct CustodianEra {
+  uint32_t custodian_index = 0;
+  SimTime start;
+  SimTime end;
+  bool orderly_handover = true;   // How this era *ended*.
+  double knowledge_after = 1.0;   // Knowledge level after the handover.
+};
+
+struct SuccessionReport {
+  std::vector<CustodianEra> eras;
+  uint32_t handovers = 0;
+  uint32_t disorderly_handovers = 0;
+  double final_knowledge = 1.0;
+  double min_knowledge = 1.0;
+
+  // Knowledge level in effect at `t` (1.0 before the first handover).
+  double KnowledgeAt(SimTime t) const;
+};
+
+// Simulates custodianship over `horizon`. Deterministic in `rng`.
+SuccessionReport SimulateSuccession(const SuccessionParams& params, SimTime horizon,
+                                    RandomStream rng);
+
+// Expected number of handovers in a horizon (mean of the lognormal renewal
+// process, first-order): horizon / mean_tenure.
+double ExpectedHandovers(const SuccessionParams& params, SimTime horizon);
+
+}  // namespace centsim
+
+#endif  // SRC_MGMT_SUCCESSION_H_

@@ -1,0 +1,91 @@
+#include "src/net/backhaul.h"
+
+namespace centsim {
+
+Backhaul::Backhaul(std::string name, OutageParams outage, RandomStream rng)
+    : name_(std::move(name)), outage_(outage), rng_(rng) {
+  next_transition_ = SimTime::Seconds(rng_.Exponential(outage_.mean_uptime.ToSeconds()));
+}
+
+void Backhaul::AdvanceTo(SimTime now) {
+  while (next_transition_ <= now) {
+    up_ = !up_;
+    const SimTime mean = up_ ? outage_.mean_uptime : outage_.mean_outage;
+    next_transition_ += SimTime::Seconds(rng_.Exponential(mean.ToSeconds()));
+  }
+}
+
+bool Backhaul::IsUp(SimTime now) {
+  if (terminated_) {
+    return false;
+  }
+  AdvanceTo(now);
+  return up_;
+}
+
+void Backhaul::Terminate(SimTime now, std::string reason) {
+  AdvanceTo(now);
+  terminated_ = true;
+  termination_reason_ = std::move(reason);
+}
+
+bool Backhaul::Deliver(const UplinkPacket& packet, SimTime now) {
+  (void)packet;
+  if (!IsUp(now)) {
+    ++dropped_;
+    return false;
+  }
+  ++delivered_;
+  return true;
+}
+
+double Backhaul::SteadyStateAvailability() const {
+  const double up = outage_.mean_uptime.ToSeconds();
+  const double down = outage_.mean_outage.ToSeconds();
+  return up / (up + down);
+}
+
+std::unique_ptr<Backhaul> MakeFiberBackhaul(RandomStream rng) {
+  Backhaul::OutageParams p;
+  p.mean_uptime = SimTime::Years(3);   // Backhoe fade / transceiver swap.
+  p.mean_outage = SimTime::Hours(12);  // Splice crew dispatch.
+  auto b = std::make_unique<Backhaul>("fiber", p, rng);
+  b->set_monthly_cost_usd(0.0);  // Owned: capex handled in econ.
+  return b;
+}
+
+std::unique_ptr<Backhaul> MakeCampusBackhaul(RandomStream rng) {
+  Backhaul::OutageParams p;
+  p.mean_uptime = SimTime::Days(60);
+  p.mean_outage = SimTime::Hours(4);
+  auto b = std::make_unique<Backhaul>("campus", p, rng);
+  b->set_monthly_cost_usd(0.0);  // Free to the experimenters.
+  return b;
+}
+
+CellularBackhaul::CellularBackhaul(std::string generation, const TechnologyTimeline& timeline,
+                                   RandomStream rng, double monthly_fee_usd)
+    : Backhaul("cellular-" + generation,
+               OutageParams{SimTime::Days(30), SimTime::Hours(1)}, rng),
+      generation_(std::move(generation)),
+      timeline_(timeline) {
+  set_monthly_cost_usd(monthly_fee_usd);
+}
+
+bool CellularBackhaul::IsUpAt(SimTime now) {
+  if (!terminated() && timeline_.IsSunset("cellular-" + generation_, now)) {
+    Terminate(now, "spectrum sunset of " + generation_);
+  }
+  return IsUp(now);
+}
+
+std::unique_ptr<Backhaul> MakeHeliumOpaqueBackhaul(RandomStream rng) {
+  Backhaul::OutageParams p;
+  p.mean_uptime = SimTime::Days(7);
+  p.mean_outage = SimTime::Minutes(30);
+  auto b = std::make_unique<Backhaul>("helium-opaque", p, rng);
+  b->set_monthly_cost_usd(0.0);  // Paid per packet in data credits.
+  return b;
+}
+
+}  // namespace centsim

@@ -1,0 +1,98 @@
+// Backhaul models (paper §3.3): the link between gateways and the internet.
+//
+// Every backhaul is an alternating up/down renewal process advanced lazily
+// (state is sampled forward only when queried, in time order), plus an
+// optional hard cut: cellular backhauls die permanently when their spectrum
+// generation sunsets (§3.3.2, §3.4); wired backhauls have no such cliff.
+
+#ifndef SRC_NET_BACKHAUL_H_
+#define SRC_NET_BACKHAUL_H_
+
+#include <memory>
+#include <string>
+
+#include "src/net/packet.h"
+#include "src/reliability/obsolescence.h"
+#include "src/sim/random.h"
+#include "src/sim/time.h"
+
+namespace centsim {
+
+class Backhaul {
+ public:
+  struct OutageParams {
+    SimTime mean_uptime = SimTime::Days(365);
+    SimTime mean_outage = SimTime::Hours(8);
+  };
+
+  Backhaul(std::string name, OutageParams outage, RandomStream rng);
+  virtual ~Backhaul() = default;
+
+  // Availability at `now`. Must be called with non-decreasing `now`.
+  bool IsUp(SimTime now);
+
+  // Permanently disables the backhaul (sunset, contract termination).
+  void Terminate(SimTime now, std::string reason);
+  bool terminated() const { return terminated_; }
+  const std::string& termination_reason() const { return termination_reason_; }
+
+  // Delivery attempt; counts. Returns false while down or terminated.
+  bool Deliver(const UplinkPacket& packet, SimTime now);
+
+  const std::string& name() const { return name_; }
+  uint64_t delivered() const { return delivered_; }
+  uint64_t dropped() const { return dropped_; }
+  // Long-run availability implied by the outage parameters.
+  double SteadyStateAvailability() const;
+
+  double monthly_cost_usd() const { return monthly_cost_usd_; }
+  void set_monthly_cost_usd(double usd) { monthly_cost_usd_ = usd; }
+
+ private:
+  void AdvanceTo(SimTime now);
+
+  std::string name_;
+  OutageParams outage_;
+  RandomStream rng_;
+  bool up_ = true;
+  bool terminated_ = false;
+  std::string termination_reason_;
+  SimTime next_transition_;
+  uint64_t delivered_ = 0;
+  uint64_t dropped_ = 0;
+  double monthly_cost_usd_ = 0.0;
+};
+
+// Factory presets matching the paper's §3.3 taxonomy and §4.3 deployment.
+
+// Municipal/owned fiber: rare cuts (construction), fast professional repair.
+std::unique_ptr<Backhaul> MakeFiberBackhaul(RandomStream rng);
+
+// University campus network (the paper's "municipal-provided" stand-in):
+// very good but sees maintenance windows.
+std::unique_ptr<Backhaul> MakeCampusBackhaul(RandomStream rng);
+
+// Cellular of a given generation: flappier, subscription-priced, and bound
+// to `timeline` — IsUp() is false forever once the generation sunsets.
+class CellularBackhaul : public Backhaul {
+ public:
+  CellularBackhaul(std::string generation, const TechnologyTimeline& timeline, RandomStream rng,
+                   double monthly_fee_usd);
+
+  // Checks the sunset schedule in addition to the outage process.
+  bool IsUpAt(SimTime now);
+
+  const std::string& generation() const { return generation_; }
+
+ private:
+  std::string generation_;
+  const TechnologyTimeline& timeline_;
+};
+
+// Helium-style opaque third-party backhaul: availability reflects a fleet
+// of residential ISP links; individually flappy, collectively decent.
+std::unique_ptr<Backhaul> MakeHeliumOpaqueBackhaul(RandomStream rng);
+
+}  // namespace centsim
+
+#endif  // SRC_NET_BACKHAUL_H_

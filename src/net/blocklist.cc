@@ -1,0 +1,18 @@
+#include "src/net/blocklist.h"
+
+namespace centsim {
+
+void Blocklist::Block(uint32_t device_id, std::string reason) {
+  entries_[device_id] = std::move(reason);
+}
+
+void Blocklist::Unblock(uint32_t device_id) { entries_.erase(device_id); }
+
+bool Blocklist::IsBlocked(uint32_t device_id) const { return entries_.count(device_id) > 0; }
+
+const std::string* Blocklist::ReasonFor(uint32_t device_id) const {
+  auto it = entries_.find(device_id);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+}  // namespace centsim

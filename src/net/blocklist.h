@@ -1,0 +1,28 @@
+// Known-bad-device blocklist (paper §3.2: a transmit-only data gateway "may
+// only need to forward data (possibly while minding a blocklist of
+// known-bad devices)").
+
+#ifndef SRC_NET_BLOCKLIST_H_
+#define SRC_NET_BLOCKLIST_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace centsim {
+
+class Blocklist {
+ public:
+  void Block(uint32_t device_id, std::string reason);
+  void Unblock(uint32_t device_id);
+  bool IsBlocked(uint32_t device_id) const;
+  const std::string* ReasonFor(uint32_t device_id) const;
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::unordered_map<uint32_t, std::string> entries_;
+};
+
+}  // namespace centsim
+
+#endif  // SRC_NET_BLOCKLIST_H_

@@ -1,0 +1,141 @@
+#include "src/net/cloud_endpoint.h"
+
+#include "src/security/report_auth.h"
+#include "src/security/signing.h"
+
+#include <algorithm>
+
+namespace centsim {
+namespace {
+
+void MarkWeek(std::vector<uint8_t>& weeks, uint64_t index) {
+  if (weeks.size() <= index) {
+    weeks.resize(index + 1, 0);
+  }
+  weeks[index] = 1;
+}
+
+uint64_t CountMarked(const std::vector<uint8_t>& weeks, uint64_t elapsed) {
+  uint64_t n = 0;
+  const uint64_t limit = std::min<uint64_t>(weeks.size(), elapsed);
+  for (uint64_t i = 0; i < limit; ++i) {
+    n += weeks[i];
+  }
+  return n;
+}
+
+}  // namespace
+
+const SipHashKey& CloudEndpoint::KeyFor(uint32_t device_id) {
+  auto it = key_cache_.find(device_id);
+  if (it == key_cache_.end()) {
+    it = key_cache_.emplace(device_id, DeriveDeviceKey(*batch_secret_, device_id)).first;
+  }
+  return it->second;
+}
+
+bool CloudEndpoint::Record(const UplinkPacket& packet, SimTime now) {
+  if (!operational_) {
+    ++lost_down_;
+    return false;
+  }
+  auto& dev = per_device_[packet.device_id];
+  if (batch_secret_.has_value() && packet.authenticated) {
+    if (!VerifyReadingTag(KeyFor(packet.device_id), packet.device_id, packet.sequence,
+                          packet.reading, packet.auth_tag)) {
+      ++auth_rejected_;
+      return false;
+    }
+    if (dev.has_counter && packet.sequence <= dev.last_counter) {
+      ++replay_rejected_;
+      return false;
+    }
+    dev.last_counter = packet.sequence;
+    dev.has_counter = true;
+  }
+  ++total_packets_;
+  const uint64_t week = WeekIndex(now);
+  MarkWeek(weekly_any_, week);
+  ++dev.packets;
+  dev.last_seen = now;
+  MarkWeek(dev.weekly, week);
+  return true;
+}
+
+uint64_t CloudEndpoint::PacketsFrom(uint32_t device_id) const {
+  auto it = per_device_.find(device_id);
+  return it == per_device_.end() ? 0 : it->second.packets;
+}
+
+SimTime CloudEndpoint::LastSeen(uint32_t device_id) const {
+  auto it = per_device_.find(device_id);
+  return it == per_device_.end() ? SimTime() : it->second.last_seen;
+}
+
+uint64_t CloudEndpoint::WeeksWithData(SimTime through) const {
+  return CountMarked(weekly_any_, WeekIndex(through));
+}
+
+double CloudEndpoint::WeeklyUptime(SimTime through) const {
+  const uint64_t elapsed = WeekIndex(through);
+  if (elapsed == 0) {
+    return 1.0;
+  }
+  return static_cast<double>(WeeksWithData(through)) / static_cast<double>(elapsed);
+}
+
+uint64_t CloudEndpoint::LongestGapWeeks(SimTime through) const {
+  const uint64_t elapsed = WeekIndex(through);
+  uint64_t longest = 0;
+  uint64_t run = 0;
+  for (uint64_t i = 0; i < elapsed; ++i) {
+    const bool has = i < weekly_any_.size() && weekly_any_[i];
+    if (has) {
+      run = 0;
+    } else {
+      ++run;
+      longest = std::max(longest, run);
+    }
+  }
+  return longest;
+}
+
+double CloudEndpoint::GroupWeeklyUptime(const std::vector<uint32_t>& device_ids,
+                                        SimTime through) const {
+  const uint64_t elapsed = WeekIndex(through);
+  if (elapsed == 0) {
+    return 1.0;
+  }
+  std::vector<uint8_t> any(elapsed, 0);
+  for (uint32_t id : device_ids) {
+    auto it = per_device_.find(id);
+    if (it == per_device_.end()) {
+      continue;
+    }
+    const auto& weekly = it->second.weekly;
+    const uint64_t limit = std::min<uint64_t>(weekly.size(), elapsed);
+    for (uint64_t i = 0; i < limit; ++i) {
+      any[i] |= weekly[i];
+    }
+  }
+  uint64_t n = 0;
+  for (uint8_t w : any) {
+    n += w;
+  }
+  return static_cast<double>(n) / static_cast<double>(elapsed);
+}
+
+double CloudEndpoint::DeviceWeeklyUptime(uint32_t device_id, SimTime through) const {
+  const uint64_t elapsed = WeekIndex(through);
+  if (elapsed == 0) {
+    return 1.0;
+  }
+  auto it = per_device_.find(device_id);
+  if (it == per_device_.end()) {
+    return 0.0;
+  }
+  return static_cast<double>(CountMarked(it->second.weekly, elapsed)) /
+         static_cast<double>(elapsed);
+}
+
+}  // namespace centsim

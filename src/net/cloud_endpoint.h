@@ -1,0 +1,92 @@
+// The data endpoint (paper §4.4-4.5): receives forwarded uplinks and scores
+// the experiment's headline metric — "some data arrives at some interval of
+// time up to once a week that is publicly accessible".
+//
+// Arrivals aggregate directly into weekly buckets (system-wide and
+// per-device), so a 50-year run costs O(weeks + packets) memory-wise and the
+// uptime metric is computed exactly as defined.
+
+#ifndef SRC_NET_CLOUD_ENDPOINT_H_
+#define SRC_NET_CLOUD_ENDPOINT_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/packet.h"
+#include "src/security/siphash.h"
+#include "src/sim/time.h"
+
+namespace centsim {
+
+class CloudEndpoint {
+ public:
+  CloudEndpoint() = default;
+
+  // Endpoint availability (domain lapse, hosting failure) is controlled by
+  // the management layer; packets arriving while down are lost.
+  void SetOperational(bool up) { operational_ = up; }
+  bool operational() const { return operational_; }
+
+  // Enables authentication: packets flagged `authenticated` must carry a
+  // valid tag under the device key derived from `batch_secret` and a
+  // strictly-increasing sequence, or they are discarded (and counted).
+  void RequireAuthentication(const SipHashKey& batch_secret) { batch_secret_ = batch_secret; }
+  uint64_t auth_rejected() const { return auth_rejected_; }
+  uint64_t replay_rejected() const { return replay_rejected_; }
+
+  // Records an arrival. Returns false (packet lost) while non-operational.
+  bool Record(const UplinkPacket& packet, SimTime now);
+
+  uint64_t total_packets() const { return total_packets_; }
+  uint64_t packets_lost_down() const { return lost_down_; }
+  uint64_t DeviceCount() const { return per_device_.size(); }
+  uint64_t PacketsFrom(uint32_t device_id) const;
+  SimTime LastSeen(uint32_t device_id) const;  // SimTime() if never.
+
+  // Number of distinct weeks (since t=0) with at least one arrival,
+  // counting only weeks fully elapsed by `through`.
+  uint64_t WeeksWithData(SimTime through) const;
+  // The paper's uptime metric: fraction of elapsed weeks with data.
+  double WeeklyUptime(SimTime through) const;
+  // Longest run of consecutive weeks with no data (the worst outage).
+  uint64_t LongestGapWeeks(SimTime through) const;
+
+  // Per-device weekly uptime (devices report hourly; a week with zero
+  // arrivals from the device means the device+path was dark all week).
+  double DeviceWeeklyUptime(uint32_t device_id, SimTime through) const;
+
+  // Fraction of elapsed weeks in which at least one of `device_ids`
+  // delivered data (per-path uptime: e.g. "the 802.15.4 side of the
+  // experiment was heard from this week").
+  double GroupWeeklyUptime(const std::vector<uint32_t>& device_ids, SimTime through) const;
+
+ private:
+  struct DeviceRecord {
+    uint64_t packets = 0;
+    SimTime last_seen;
+    uint32_t last_counter = 0;
+    bool has_counter = false;
+    std::vector<uint8_t> weekly;  // 1 if any arrival in week i.
+  };
+
+  static uint64_t WeekIndex(SimTime t) { return static_cast<uint64_t>(t.ToWeeks()); }
+
+  // Per-device key cache (derivation is a PRF; memoize it).
+  const SipHashKey& KeyFor(uint32_t device_id);
+
+  bool operational_ = true;
+  std::optional<SipHashKey> batch_secret_;
+  std::unordered_map<uint32_t, SipHashKey> key_cache_;
+  uint64_t auth_rejected_ = 0;
+  uint64_t replay_rejected_ = 0;
+  uint64_t total_packets_ = 0;
+  uint64_t lost_down_ = 0;
+  std::vector<uint8_t> weekly_any_;
+  std::unordered_map<uint32_t, DeviceRecord> per_device_;
+};
+
+}  // namespace centsim
+
+#endif  // SRC_NET_CLOUD_ENDPOINT_H_

@@ -1,0 +1,60 @@
+#include "src/net/commissioning.h"
+
+namespace centsim {
+
+CommissionResult CommissionGateway(Simulation& sim, Gateway& incoming, Gateway* outgoing) {
+  CommissionResult result;
+  if (outgoing != nullptr && outgoing->operational()) {
+    result.method = CommissionMethod::kTrustedThirdParty;
+    result.duration = SimTime::Minutes(10);  // Automated endorsement.
+    sim.Maint(incoming.config().name,
+              "commissioned via trusted third party " + outgoing->config().name);
+  } else {
+    result.method = CommissionMethod::kFreshSecureBootstrap;
+    result.duration = SimTime::Hours(1);  // Manual secure enrollment.
+    sim.Maint(incoming.config().name, "commissioned via fresh secure bootstrap");
+  }
+  if (outgoing != nullptr && outgoing->backhaul() != nullptr &&
+      incoming.backhaul() == nullptr) {
+    incoming.AttachBackhaul(outgoing->backhaul());
+  }
+  result.success = incoming.backhaul() != nullptr;
+  if (!result.success) {
+    sim.Warn(incoming.config().name, "commissioning failed: no backhaul available");
+  }
+  return result;
+}
+
+MigrationReport MigrateDevices(Simulation& sim, Gateway* outgoing, Gateway& incoming,
+                               const std::vector<DeviceBinding>& devices) {
+  MigrationReport report;
+  const bool ttp_available = outgoing != nullptr && outgoing->operational();
+  for (const auto& dev : devices) {
+    bool ok = false;
+    switch (dev.coupling) {
+      case DeviceCoupling::kStandardsCompliant:
+        // Relies on properties, not instances: migration is a no-op.
+        ok = true;
+        break;
+      case DeviceCoupling::kInstanceBound:
+        // Session state must be escrowed by the old instance.
+        ok = ttp_available;
+        break;
+      case DeviceCoupling::kVendorBound:
+        ok = !incoming.config().vendor_locked || incoming.config().vendor == dev.vendor;
+        break;
+    }
+    if (ok) {
+      ++report.migrated;
+    } else {
+      ++report.stranded;
+      report.stranded_ids.push_back(dev.device_id);
+    }
+  }
+  sim.Maint(incoming.config().name,
+            "migration complete: " + std::to_string(report.migrated) + " migrated, " +
+                std::to_string(report.stranded) + " stranded");
+  return report;
+}
+
+}  // namespace centsim

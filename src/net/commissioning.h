@@ -1,0 +1,75 @@
+// Gateway commissioning and trusted-third-party migration (paper §3.2).
+//
+// Two of the paper's architectural rules become executable here:
+//  - "Devices should rely on properties of infrastructure, but not specific
+//    instances of infrastructure": a device bound only to *properties*
+//    (an open 802.15.4 network exists nearby) migrates to a replacement
+//    gateway for free; a device authenticated to a gateway *instance*
+//    strands when that instance is retired.
+//  - Gateway upgrades use the outgoing unit as a trusted third party: the
+//    old gateway endorses the new one to the backhaul and escrows device
+//    session state across the swap.
+
+#ifndef SRC_NET_COMMISSIONING_H_
+#define SRC_NET_COMMISSIONING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/net/gateway.h"
+#include "src/sim/simulation.h"
+
+namespace centsim {
+
+// How a device is coupled to the gateway tier.
+enum class DeviceCoupling : uint8_t {
+  kStandardsCompliant,  // Any conforming gateway will do (IP-style, §3.1).
+  kInstanceBound,       // Keys/enrollment tied to one gateway instance.
+  kVendorBound,         // Works only with one vendor's gateways.
+};
+
+struct DeviceBinding {
+  uint32_t device_id = 0;
+  DeviceCoupling coupling = DeviceCoupling::kStandardsCompliant;
+  std::string vendor;
+};
+
+enum class CommissionMethod : uint8_t {
+  kFreshSecureBootstrap,   // Router-style first-time enrollment.
+  kTrustedThirdParty,      // Endorsed by the outgoing gateway.
+};
+
+struct CommissionResult {
+  bool success = false;
+  CommissionMethod method = CommissionMethod::kFreshSecureBootstrap;
+  SimTime duration;  // Technician/automation time consumed.
+};
+
+// Commissions `incoming` onto a backhaul. With an `outgoing` unit present
+// and operational, the TTP path is used (faster, no truck roll for manual
+// re-keying); otherwise the fresh bootstrap path runs.
+CommissionResult CommissionGateway(Simulation& sim, Gateway& incoming, Gateway* outgoing);
+
+struct MigrationReport {
+  uint32_t migrated = 0;
+  uint32_t stranded = 0;
+  std::vector<uint32_t> stranded_ids;
+
+  double StrandedFraction() const {
+    const uint32_t total = migrated + stranded;
+    return total > 0 ? static_cast<double>(stranded) / total : 0.0;
+  }
+};
+
+// Moves the device population from `outgoing` to `incoming`. Standards-
+// compliant devices migrate unconditionally. Instance-bound devices migrate
+// only via the TTP path while the outgoing gateway is still alive to escrow
+// their state; vendor-bound devices migrate only if the incoming gateway
+// is the same vendor (or open).
+MigrationReport MigrateDevices(Simulation& sim, Gateway* outgoing, Gateway& incoming,
+                               const std::vector<DeviceBinding>& devices);
+
+}  // namespace centsim
+
+#endif  // SRC_NET_COMMISSIONING_H_

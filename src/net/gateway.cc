@@ -1,0 +1,96 @@
+#include "src/net/gateway.h"
+
+namespace centsim {
+
+Gateway::Gateway(Simulation& sim, GatewayConfig config, SeriesSystem hardware)
+    : sim_(sim),
+      config_(std::move(config)),
+      hardware_(std::move(hardware)),
+      rng_(sim.StreamFor(0x6757000000000000ULL ^ config_.id)) {}
+
+void Gateway::Deploy() {
+  operational_ = true;
+  decommissioned_ = false;
+  sim_.Info(config_.name, "deployed");
+  ScheduleNextFailure();
+}
+
+void Gateway::Decommission(const std::string& reason) {
+  if (pending_event_ != kInvalidEventId) {
+    sim_.scheduler().Cancel(pending_event_);
+    pending_event_ = kInvalidEventId;
+  }
+  if (operational_) {
+    down_since_ = sim_.Now();
+  }
+  operational_ = false;
+  decommissioned_ = true;
+  sim_.Warn(config_.name, "decommissioned: " + reason);
+}
+
+void Gateway::ScheduleNextFailure() {
+  const auto draw = hardware_.SampleLife(rng_);
+  pending_event_ = sim_.scheduler().ScheduleAfter(draw.life, [this, draw] {
+    pending_event_ = kInvalidEventId;
+    sim_.Fail(config_.name,
+              std::string("hardware failure: ") +
+                  (draw.failing_component != SIZE_MAX
+                       ? hardware_.components()[draw.failing_component].name
+                       : "unknown"));
+    OnFailure();
+  });
+}
+
+void Gateway::OnFailure() {
+  ++failures_;
+  operational_ = false;
+  down_since_ = sim_.Now();
+  const SimTime repaired_at =
+      repair_policy_ ? repair_policy_(sim_.Now()) : SimTime::Max();
+  if (repaired_at == SimTime::Max()) {
+    sim_.Warn(config_.name, "no repair scheduled; gateway abandoned");
+    return;
+  }
+  pending_event_ = sim_.scheduler().ScheduleAt(repaired_at, [this] {
+    pending_event_ = kInvalidEventId;
+    accumulated_downtime_ += sim_.Now() - down_since_;
+    operational_ = true;
+    sim_.Maint(config_.name, "repaired and back in service");
+    ScheduleNextFailure();
+  });
+}
+
+DeliveryOutcome Gateway::Accept(const UplinkPacket& packet, const std::string& device_vendor) {
+  if (!operational()) {
+    ++rejected_;
+    return DeliveryOutcome::kGatewayDown;
+  }
+  if (config_.vendor_locked && device_vendor != config_.vendor) {
+    ++rejected_;
+    return DeliveryOutcome::kGatewayDown;  // Invisible to foreign devices.
+  }
+  if (blocklist_ != nullptr && blocklist_->IsBlocked(packet.device_id)) {
+    ++rejected_;
+    return DeliveryOutcome::kBlocklisted;
+  }
+  if (payment_hook_ && !payment_hook_(packet)) {
+    ++rejected_;
+    return DeliveryOutcome::kNoCredits;
+  }
+  if (backhaul_ == nullptr || !backhaul_->Deliver(packet, sim_.Now())) {
+    ++rejected_;
+    return DeliveryOutcome::kBackhaulDown;
+  }
+  ++forwarded_;
+  return DeliveryOutcome::kDelivered;
+}
+
+SimTime Gateway::DowntimeThrough(SimTime now) const {
+  SimTime total = accumulated_downtime_;
+  if (!operational() && down_since_ <= now) {
+    total += now - down_since_;
+  }
+  return total;
+}
+
+}  // namespace centsim

@@ -1,0 +1,99 @@
+// Gateway model (paper §3.2, §4.2).
+//
+// "Gateways should primarily act only as routers, and defer decision-making
+// to other system components." Accordingly the Gateway class does exactly
+// four things on receive: check it is alive, check the blocklist, charge
+// the per-packet payment hook (Helium data credits), and hand the packet to
+// its backhaul. Hardware failures are drawn from a reliability bill of
+// materials; a pluggable repair policy (set by the management layer) decides
+// whether and when a failed gateway comes back.
+
+#ifndef SRC_NET_GATEWAY_H_
+#define SRC_NET_GATEWAY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/net/backhaul.h"
+#include "src/net/blocklist.h"
+#include "src/net/packet.h"
+#include "src/reliability/component.h"
+#include "src/sim/simulation.h"
+
+namespace centsim {
+
+struct GatewayConfig {
+  uint32_t id = 0;
+  double x_m = 0.0;
+  double y_m = 0.0;
+  RadioTech tech = RadioTech::k802154;
+  double rx_antenna_gain_db = 3.0;
+  // Vendor lock (paper §3.2): a locked gateway serves only its vendor's
+  // devices; an open gateway serves any standards-compliant device.
+  bool vendor_locked = false;
+  std::string vendor;
+  std::string name = "gw";
+};
+
+class Gateway {
+ public:
+  // Repair policy: given the failure time, returns when the gateway is
+  // operational again, or SimTime::Max() for "never" (abandoned).
+  using RepairPolicy = std::function<SimTime(SimTime fail_time)>;
+  // Payment hook: charged per accepted packet; returning false rejects it.
+  using PaymentHook = std::function<bool(const UplinkPacket&)>;
+
+  Gateway(Simulation& sim, GatewayConfig config, SeriesSystem hardware);
+
+  // Brings the gateway up and schedules its first hardware failure.
+  void Deploy();
+  // Administratively removes the gateway (vendor exit, decommissioning).
+  void Decommission(const std::string& reason);
+
+  bool operational() const { return operational_ && !decommissioned_; }
+  bool decommissioned() const { return decommissioned_; }
+
+  void AttachBackhaul(Backhaul* backhaul) { backhaul_ = backhaul; }
+  Backhaul* backhaul() const { return backhaul_; }
+  void SetBlocklist(const Blocklist* blocklist) { blocklist_ = blocklist; }
+  void SetRepairPolicy(RepairPolicy policy) { repair_policy_ = std::move(policy); }
+  void SetPaymentHook(PaymentHook hook) { payment_hook_ = std::move(hook); }
+
+  // Gateway-side handling of a frame that survived the PHY. `vendor` is
+  // the transmitting device's vendor (empty = standards-compliant device).
+  DeliveryOutcome Accept(const UplinkPacket& packet, const std::string& device_vendor = "");
+
+  const GatewayConfig& config() const { return config_; }
+  uint64_t forwarded() const { return forwarded_; }
+  uint64_t rejected() const { return rejected_; }
+  uint32_t failure_count() const { return failures_; }
+  // Total time spent non-operational since Deploy (through `now`).
+  SimTime DowntimeThrough(SimTime now) const;
+
+ private:
+  void ScheduleNextFailure();
+  void OnFailure();
+
+  Simulation& sim_;
+  GatewayConfig config_;
+  SeriesSystem hardware_;
+  RandomStream rng_;
+  Backhaul* backhaul_ = nullptr;
+  const Blocklist* blocklist_ = nullptr;
+  RepairPolicy repair_policy_;
+  PaymentHook payment_hook_;
+
+  bool operational_ = false;
+  bool decommissioned_ = false;
+  uint32_t failures_ = 0;
+  uint64_t forwarded_ = 0;
+  uint64_t rejected_ = 0;
+  SimTime down_since_;
+  SimTime accumulated_downtime_;
+  EventId pending_event_ = kInvalidEventId;
+};
+
+}  // namespace centsim
+
+#endif  // SRC_NET_GATEWAY_H_

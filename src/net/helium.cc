@@ -1,0 +1,52 @@
+#include "src/net/helium.h"
+
+#include <algorithm>
+#include <map>
+
+namespace centsim {
+
+HeliumPopulation::HeliumPopulation(const Params& params, RandomStream rng) : params_(params) {
+  ZipfTable zipf(params.as_count, params.zipf_exponent);
+  hotspots_.reserve(params.hotspot_count);
+  for (uint32_t i = 0; i < params.hotspot_count; ++i) {
+    HeliumHotspotInfo h;
+    h.hotspot_id = i;
+    h.as_rank = static_cast<uint32_t>(zipf.Sample(rng));
+    h.x_m = rng.Uniform(0.0, params.region_size_m);
+    h.y_m = rng.Uniform(0.0, params.region_size_m);
+    hotspots_.push_back(h);
+  }
+}
+
+std::vector<uint32_t> HeliumPopulation::AsCensus() const {
+  std::map<uint32_t, uint32_t> by_as;
+  for (const auto& h : hotspots_) {
+    ++by_as[h.as_rank];
+  }
+  std::vector<uint32_t> counts;
+  counts.reserve(by_as.size());
+  for (const auto& [rank, count] : by_as) {
+    counts.push_back(count);
+  }
+  std::sort(counts.rbegin(), counts.rend());
+  return counts;
+}
+
+uint32_t HeliumPopulation::UniqueAsCount() const {
+  return static_cast<uint32_t>(AsCensus().size());
+}
+
+double HeliumPopulation::TopAsShare(uint32_t k) const {
+  const auto census = AsCensus();
+  uint64_t top = 0;
+  uint64_t total = 0;
+  for (uint32_t i = 0; i < census.size(); ++i) {
+    total += census[i];
+    if (i < k) {
+      top += census[i];
+    }
+  }
+  return total > 0 ? static_cast<double>(top) / static_cast<double>(total) : 0.0;
+}
+
+}  // namespace centsim

@@ -1,0 +1,62 @@
+#include "src/net/network_server.h"
+
+namespace centsim {
+
+void NetworkServer::EvictExpired(SimTime now) {
+  while (!order_.empty() &&
+         (now - order_.front().first > params_.dedup_window ||
+          frames_.size() > params_.max_tracked)) {
+    frames_.erase(order_.front().second);
+    order_.pop_front();
+  }
+}
+
+NetworkServer::IngestResult NetworkServer::Ingest(const UplinkPacket& packet,
+                                                  uint32_t gateway_id, double rx_power_dbm,
+                                                  SimTime now) {
+  EvictExpired(now);
+  IngestResult result;
+  const FrameKey key = KeyOf(packet);
+  auto it = frames_.find(key);
+  if (it == frames_.end()) {
+    FrameState state;
+    state.first_seen = now;
+    state.witnesses = 1;
+    state.best_gateway = gateway_id;
+    state.best_rx_dbm = rx_power_dbm;
+    frames_.emplace(key, state);
+    order_.emplace_back(now, key);
+    best_gateway_by_device_[packet.device_id] = gateway_id;
+    ++forwarded_;
+    ++witness_total_;
+    result.first_copy = true;
+    result.witnesses = 1;
+    if (endpoint_ != nullptr) {
+      endpoint_->Record(packet, now);
+    }
+    return result;
+  }
+  FrameState& state = it->second;
+  ++state.witnesses;
+  ++witness_total_;
+  ++duplicates_;
+  if (rx_power_dbm > state.best_rx_dbm) {
+    state.best_rx_dbm = rx_power_dbm;
+    state.best_gateway = gateway_id;
+    best_gateway_by_device_[packet.device_id] = gateway_id;
+  }
+  result.duplicate = true;
+  result.witnesses = state.witnesses;
+  return result;
+}
+
+double NetworkServer::MeanWitnesses() const {
+  return forwarded_ > 0 ? static_cast<double>(witness_total_) / forwarded_ : 0.0;
+}
+
+uint32_t NetworkServer::BestGatewayFor(uint32_t device_id) const {
+  auto it = best_gateway_by_device_.find(device_id);
+  return it == best_gateway_by_device_.end() ? 0 : it->second;
+}
+
+}  // namespace centsim

@@ -1,0 +1,93 @@
+// LoRaWAN-style network server: the dedup-and-route function sitting
+// between gateways and the application endpoint.
+//
+// A broadcast uplink is typically heard by several gateways; each forwards
+// its copy with reception metadata. The network server deduplicates by
+// (device, counter) within a window, keeps the best-signal witness for
+// routing decisions, pays each forwarding gateway (Helium rewards every
+// witness), and emits exactly one copy upstream. This is the component
+// that makes "devices rely on properties of infrastructure, not specific
+// instances" (§3.1) operational: any gateway's copy is as good as any
+// other's.
+
+#ifndef SRC_NET_NETWORK_SERVER_H_
+#define SRC_NET_NETWORK_SERVER_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "src/net/cloud_endpoint.h"
+#include "src/net/packet.h"
+#include "src/sim/time.h"
+
+namespace centsim {
+
+struct NetworkServerParams {
+  SimTime dedup_window = SimTime::Seconds(2);
+  // Maximum distinct (device, counter) entries retained; oldest evicted.
+  size_t max_tracked = 1 << 16;
+};
+
+class NetworkServer {
+ public:
+  using Params = NetworkServerParams;
+
+  explicit NetworkServer(Params params = Params()) : params_(params) {}
+
+  NetworkServer(CloudEndpoint* endpoint, Params params = Params())
+      : endpoint_(endpoint), params_(params) {}
+
+  void SetEndpoint(CloudEndpoint* endpoint) { endpoint_ = endpoint; }
+
+  struct IngestResult {
+    bool first_copy = false;     // This copy was forwarded upstream.
+    bool duplicate = false;      // Suppressed within the dedup window.
+    uint32_t witnesses = 0;      // Copies seen so far for this frame.
+  };
+
+  // One gateway's copy of an uplink. `rx_power_dbm` is that gateway's
+  // reception strength (used to keep the best witness).
+  IngestResult Ingest(const UplinkPacket& packet, uint32_t gateway_id, double rx_power_dbm,
+                      SimTime now);
+
+  uint64_t frames_forwarded() const { return forwarded_; }
+  uint64_t duplicates_suppressed() const { return duplicates_; }
+  // Mean witnesses per forwarded frame (redundancy the fleet paid for).
+  double MeanWitnesses() const;
+  // Best-signal gateway for the most recent frame of `device_id`, or 0.
+  uint32_t BestGatewayFor(uint32_t device_id) const;
+
+ private:
+  struct FrameKey {
+    uint64_t packed;
+    bool operator==(const FrameKey& other) const { return packed == other.packed; }
+  };
+  struct FrameKeyHash {
+    size_t operator()(const FrameKey& k) const { return std::hash<uint64_t>()(k.packed); }
+  };
+  struct FrameState {
+    SimTime first_seen;
+    uint32_t witnesses = 0;
+    uint32_t best_gateway = 0;
+    double best_rx_dbm = -1e9;
+  };
+
+  static FrameKey KeyOf(const UplinkPacket& packet) {
+    return {static_cast<uint64_t>(packet.device_id) << 32 | packet.sequence};
+  }
+  void EvictExpired(SimTime now);
+
+  CloudEndpoint* endpoint_ = nullptr;
+  Params params_;
+  std::unordered_map<FrameKey, FrameState, FrameKeyHash> frames_;
+  std::deque<std::pair<SimTime, FrameKey>> order_;
+  std::unordered_map<uint32_t, uint32_t> best_gateway_by_device_;
+  uint64_t forwarded_ = 0;
+  uint64_t duplicates_ = 0;
+  uint64_t witness_total_ = 0;
+};
+
+}  // namespace centsim
+
+#endif  // SRC_NET_NETWORK_SERVER_H_

@@ -1,0 +1,43 @@
+#include "src/net/packet.h"
+
+namespace centsim {
+
+const char* RadioTechName(RadioTech tech) {
+  switch (tech) {
+    case RadioTech::k802154:
+      return "802.15.4";
+    case RadioTech::kLoRa:
+      return "LoRa";
+  }
+  return "?";
+}
+
+const char* DeliveryOutcomeName(DeliveryOutcome outcome) {
+  switch (outcome) {
+    case DeliveryOutcome::kDelivered:
+      return "delivered";
+    case DeliveryOutcome::kNoEnergy:
+      return "no-energy";
+    case DeliveryOutcome::kDutyCycleDeferred:
+      return "duty-cycle-deferred";
+    case DeliveryOutcome::kNoGatewayInRange:
+      return "no-gateway-in-range";
+    case DeliveryOutcome::kPhyLoss:
+      return "phy-loss";
+    case DeliveryOutcome::kCollision:
+      return "collision";
+    case DeliveryOutcome::kGatewayDown:
+      return "gateway-down";
+    case DeliveryOutcome::kBlocklisted:
+      return "blocklisted";
+    case DeliveryOutcome::kNoCredits:
+      return "no-credits";
+    case DeliveryOutcome::kBackhaulDown:
+      return "backhaul-down";
+    case DeliveryOutcome::kEndpointDown:
+      return "endpoint-down";
+  }
+  return "?";
+}
+
+}  // namespace centsim

@@ -1,0 +1,57 @@
+// Uplink packet metadata passed between the device, gateway, backhaul, and
+// endpoint tiers. Payload bytes ride separately (see radio/frame.h); tiers
+// above the PHY only need sizes and identities.
+
+#ifndef SRC_NET_PACKET_H_
+#define SRC_NET_PACKET_H_
+
+#include <cstdint>
+
+#include "src/radio/frame.h"
+#include "src/sim/time.h"
+
+namespace centsim {
+
+enum class RadioTech : uint8_t {
+  k802154,
+  kLoRa,
+};
+
+const char* RadioTechName(RadioTech tech);
+
+struct UplinkPacket {
+  uint32_t device_id = 0;
+  uint32_t sequence = 0;
+  uint32_t payload_bytes = 12;
+  RadioTech tech = RadioTech::k802154;
+  SimTime sent_at;
+  // Application payload: the actual sensor reading carried in the frame.
+  // Kept inline (fixed size) so fleet-scale runs avoid per-packet heap
+  // traffic. When `authenticated`, `auth_tag` is a truncated SipHash-2-4
+  // over (device_id, sequence, reading) under the device's frozen key.
+  SensorReading reading;
+  uint32_t auth_tag = 0;
+  bool authenticated = false;
+};
+
+// Terminal fate of one uplink attempt, for accounting.
+enum class DeliveryOutcome : uint8_t {
+  kDelivered,
+  kNoEnergy,          // Device could not afford the transmission.
+  kDutyCycleDeferred, // Regional duty limit pushed the attempt.
+  kNoGatewayInRange,  // No operational gateway with adequate link budget.
+  kPhyLoss,           // Channel PER draw failed.
+  kCollision,         // Lost to co-channel interference.
+  kGatewayDown,
+  kBlocklisted,
+  kNoCredits,         // Helium wallet exhausted.
+  kBackhaulDown,
+  kEndpointDown,
+};
+
+const char* DeliveryOutcomeName(DeliveryOutcome outcome);
+inline constexpr int kDeliveryOutcomeCount = 11;
+
+}  // namespace centsim
+
+#endif  // SRC_NET_PACKET_H_

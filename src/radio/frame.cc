@@ -1,0 +1,73 @@
+#include "src/radio/frame.h"
+
+namespace centsim {
+
+uint16_t Crc16Ccitt(const uint8_t* data, size_t len) {
+  uint16_t crc = 0xFFFF;
+  for (size_t i = 0; i < len; ++i) {
+    crc ^= static_cast<uint16_t>(data[i]) << 8;
+    for (int bit = 0; bit < 8; ++bit) {
+      if (crc & 0x8000) {
+        crc = static_cast<uint16_t>((crc << 1) ^ 0x1021);
+      } else {
+        crc = static_cast<uint16_t>(crc << 1);
+      }
+    }
+  }
+  return crc;
+}
+
+std::vector<uint8_t> SensorReading::Serialize() const {
+  std::vector<uint8_t> out(12);
+  auto put32 = [&](size_t at, uint32_t v) {
+    out[at] = static_cast<uint8_t>(v);
+    out[at + 1] = static_cast<uint8_t>(v >> 8);
+    out[at + 2] = static_cast<uint8_t>(v >> 16);
+    out[at + 3] = static_cast<uint8_t>(v >> 24);
+  };
+  put32(0, device_id);
+  put32(4, sequence);
+  out[8] = static_cast<uint8_t>(static_cast<uint16_t>(value_centi));
+  out[9] = static_cast<uint8_t>(static_cast<uint16_t>(value_centi) >> 8);
+  out[10] = sensor_type;
+  out[11] = battery_soc;
+  return out;
+}
+
+std::optional<SensorReading> SensorReading::Parse(const std::vector<uint8_t>& bytes) {
+  if (bytes.size() != 12) {
+    return std::nullopt;
+  }
+  auto get32 = [&](size_t at) {
+    return static_cast<uint32_t>(bytes[at]) | static_cast<uint32_t>(bytes[at + 1]) << 8 |
+           static_cast<uint32_t>(bytes[at + 2]) << 16 | static_cast<uint32_t>(bytes[at + 3]) << 24;
+  };
+  SensorReading r;
+  r.device_id = get32(0);
+  r.sequence = get32(4);
+  r.value_centi = static_cast<int16_t>(static_cast<uint16_t>(bytes[8]) |
+                                       static_cast<uint16_t>(bytes[9]) << 8);
+  r.sensor_type = bytes[10];
+  r.battery_soc = bytes[11];
+  return r;
+}
+
+Frame Frame::WithFcs(std::vector<uint8_t> payload) {
+  Frame f;
+  f.fcs = Crc16Ccitt(payload.data(), payload.size());
+  f.payload = std::move(payload);
+  return f;
+}
+
+bool Frame::Validate() const { return Crc16Ccitt(payload.data(), payload.size()) == fcs; }
+
+void Frame::CorruptBit(size_t bit_index) {
+  const size_t byte = bit_index / 8;
+  if (byte < payload.size()) {
+    payload[byte] ^= static_cast<uint8_t>(1u << (bit_index % 8));
+  } else {
+    fcs ^= static_cast<uint16_t>(1u << (bit_index % 16));
+  }
+}
+
+}  // namespace centsim

@@ -1,0 +1,52 @@
+// On-air frame representation and CRC-16/CCITT integrity check.
+//
+// The simulator mostly reasons about frames abstractly (length, airtime,
+// delivery), but the frame codec is real: devices serialize sensor readings
+// into the 802.15.4 / LoRaWAN payload byte layout and gateways parse them,
+// which keeps payload-size accounting honest (the Helium 24-byte data-credit
+// boundary in econ/ depends on it).
+
+#ifndef SRC_RADIO_FRAME_H_
+#define SRC_RADIO_FRAME_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace centsim {
+
+// CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF) as used by 802.15.4 FCS.
+uint16_t Crc16Ccitt(const uint8_t* data, size_t len);
+
+// Minimal sensor report payload: fits in 12 bytes, leaving headroom under
+// the 24-byte Helium data-credit unit.
+struct SensorReading {
+  uint32_t device_id = 0;
+  uint32_t sequence = 0;
+  int16_t value_centi = 0;   // Fixed-point reading (e.g. centi-degrees).
+  uint8_t sensor_type = 0;
+  uint8_t battery_soc = 0;   // 0-255 state of charge indicator.
+
+  // 12-byte little-endian layout.
+  std::vector<uint8_t> Serialize() const;
+  static std::optional<SensorReading> Parse(const std::vector<uint8_t>& bytes);
+
+  bool operator==(const SensorReading&) const = default;
+};
+
+// A framed payload with FCS appended. `Validate` recomputes the CRC.
+struct Frame {
+  std::vector<uint8_t> payload;
+  uint16_t fcs = 0;
+
+  static Frame WithFcs(std::vector<uint8_t> payload);
+  bool Validate() const;
+  // Total over-the-air payload bytes including the 2-byte FCS.
+  size_t WireSize() const { return payload.size() + 2; }
+  // Flips a bit (for corruption testing/fault injection).
+  void CorruptBit(size_t bit_index);
+};
+
+}  // namespace centsim
+
+#endif  // SRC_RADIO_FRAME_H_

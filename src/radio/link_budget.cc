@@ -1,0 +1,54 @@
+#include "src/radio/link_budget.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace centsim {
+
+double DbmToMilliwatts(double dbm) { return std::pow(10.0, dbm / 10.0); }
+
+double MilliwattsToDbm(double mw) {
+  assert(mw > 0);
+  return 10.0 * std::log10(mw);
+}
+
+double NoiseFloorDbm(double bandwidth_hz, double noise_figure_db) {
+  return -174.0 + 10.0 * std::log10(bandwidth_hz) + noise_figure_db;
+}
+
+double PathLossModel::MedianLossDb(double distance_m) const {
+  const double d = distance_m < params_.reference_distance_m ? params_.reference_distance_m
+                                                             : distance_m;
+  return params_.reference_loss_db +
+         10.0 * params_.exponent * std::log10(d / params_.reference_distance_m);
+}
+
+double PathLossModel::LinkLossDb(double distance_m, uint64_t link_seed) const {
+  // Frozen shadowing: hash the link id into a deterministic normal draw.
+  RandomStream rng(link_seed);
+  const double shadow = rng.Normal(0.0, params_.shadowing_sigma_db);
+  return MedianLossDb(distance_m) + shadow;
+}
+
+double PathLossModel::RangeForLossDb(double max_loss_db) const {
+  const double excess = (max_loss_db - params_.reference_loss_db) / (10.0 * params_.exponent);
+  return params_.reference_distance_m * std::pow(10.0, excess);
+}
+
+PathLossModel PathLossModel::Urban24GHz() {
+  Params p;
+  p.reference_loss_db = 40.0;
+  p.exponent = 2.9;
+  p.shadowing_sigma_db = 6.0;
+  return PathLossModel(p);
+}
+
+PathLossModel PathLossModel::Urban915MHz() {
+  Params p;
+  p.reference_loss_db = 31.5;  // Free space @ 1 m, 915 MHz.
+  p.exponent = 2.7;
+  p.shadowing_sigma_db = 7.0;
+  return PathLossModel(p);
+}
+
+}  // namespace centsim

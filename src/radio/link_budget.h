@@ -1,0 +1,66 @@
+// RF link-budget math: dBm/mW conversions, log-distance path loss with
+// log-normal shadowing, thermal noise floor, and SNR computation.
+
+#ifndef SRC_RADIO_LINK_BUDGET_H_
+#define SRC_RADIO_LINK_BUDGET_H_
+
+#include "src/sim/random.h"
+
+namespace centsim {
+
+double DbmToMilliwatts(double dbm);
+double MilliwattsToDbm(double mw);
+
+// Thermal noise floor in dBm for the given bandwidth (Hz) and noise figure
+// (dB): -174 dBm/Hz + 10 log10(BW) + NF.
+double NoiseFloorDbm(double bandwidth_hz, double noise_figure_db);
+
+// Log-distance path-loss channel. PL(d) = PL(d0) + 10 n log10(d/d0) + X,
+// with X ~ Normal(0, sigma) shadowing frozen per link (slow fading).
+class PathLossModel {
+ public:
+  struct Params {
+    double reference_loss_db = 40.0;  // PL at d0 for 2.4 GHz free space ~40 dB @ 1 m.
+    double reference_distance_m = 1.0;
+    double exponent = 2.9;            // Urban street-level.
+    double shadowing_sigma_db = 6.0;
+  };
+
+  explicit PathLossModel(const Params& params) : params_(params) {}
+
+  // Deterministic median path loss at distance d (meters).
+  double MedianLossDb(double distance_m) const;
+
+  // Per-link loss including a frozen shadowing draw for the link identity.
+  // Deterministic in (seed, link_id): the same link always sees the same
+  // shadowing, as physical obstructions do not re-roll.
+  double LinkLossDb(double distance_m, uint64_t link_seed) const;
+
+  // Median range at which loss equals `max_loss_db`.
+  double RangeForLossDb(double max_loss_db) const;
+
+  const Params& params() const { return params_; }
+
+  // Presets.
+  static PathLossModel Urban24GHz();   // 802.15.4 @ 2.4 GHz street level.
+  static PathLossModel Urban915MHz();  // LoRa US915; lower reference loss.
+
+ private:
+  Params params_;
+};
+
+struct LinkBudget {
+  double tx_power_dbm;
+  double tx_antenna_gain_db;
+  double rx_antenna_gain_db;
+  double path_loss_db;
+
+  double ReceivedPowerDbm() const {
+    return tx_power_dbm + tx_antenna_gain_db + rx_antenna_gain_db - path_loss_db;
+  }
+  double SnrDb(double noise_floor_dbm) const { return ReceivedPowerDbm() - noise_floor_dbm; }
+};
+
+}  // namespace centsim
+
+#endif  // SRC_RADIO_LINK_BUDGET_H_

@@ -1,0 +1,83 @@
+#include "src/radio/lorawan.h"
+
+#include <algorithm>
+
+namespace centsim {
+
+ChannelPlan ChannelPlan::Eu868() {
+  ChannelPlan plan;
+  plan.region = LorawanRegion::kEu868;
+  plan.uplink_channels_hz = {868.1e6, 868.3e6, 868.5e6};
+  plan.max_eirp_dbm = 16.0;
+  plan.duty_cycle_limit = 0.01;
+  plan.dwell_time_limit = SimTime();
+  return plan;
+}
+
+ChannelPlan ChannelPlan::Us915() {
+  ChannelPlan plan;
+  plan.region = LorawanRegion::kUs915;
+  plan.uplink_channels_hz.reserve(8);
+  for (int i = 0; i < 8; ++i) {  // Sub-band 2, the common private plan.
+    plan.uplink_channels_hz.push_back(903.9e6 + i * 200e3);
+  }
+  plan.max_eirp_dbm = 30.0;
+  plan.duty_cycle_limit = 0.0;
+  plan.dwell_time_limit = SimTime::Millis(400);
+  return plan;
+}
+
+double ChannelPlan::MaxUplinksPerDay(SimTime airtime) const {
+  if (airtime.micros() <= 0) {
+    return 0.0;
+  }
+  if (duty_cycle_limit > 0.0) {
+    // Duty cycle binds the band as a whole; hopping does not help.
+    return 86400.0 * duty_cycle_limit / airtime.ToSeconds();
+  }
+  if (dwell_time_limit.micros() > 0 && airtime > dwell_time_limit) {
+    return 0.0;  // Frame illegal at this data rate in this region.
+  }
+  // Dwell-limited regions: no aggregate cap beyond per-frame dwell.
+  return 86400.0 / airtime.ToSeconds();
+}
+
+AdrDecision ComputeAdr(const AdrInput& input) {
+  AdrDecision out;
+  out.sf = input.current_sf;
+  out.tx_power_dbm = input.current_tx_power_dbm;
+
+  // Margin above the demodulation floor at the current SF.
+  double headroom = input.best_snr_db - LoraPhy::DemodSnrDb(input.current_sf) - input.margin_db;
+  // Each SF step down buys 2.5 dB of required SNR; spend headroom there
+  // first (faster + cheaper), then on TX power in 2 dB steps (min 2 dBm).
+  int sf_index = static_cast<int>(out.sf);
+  while (headroom >= 2.5 && sf_index > static_cast<int>(LoraSf::kSf7)) {
+    headroom -= 2.5;
+    --sf_index;
+    ++out.steps_applied;
+  }
+  out.sf = static_cast<LoraSf>(sf_index);
+  while (headroom >= 2.0 && out.tx_power_dbm > 2.0) {
+    headroom -= 2.0;
+    out.tx_power_dbm = std::max(2.0, out.tx_power_dbm - 2.0);
+    ++out.steps_applied;
+  }
+  return out;
+}
+
+LoraSf StaticSfForMargin(double expected_snr_db, double fade_margin_db) {
+  const double worst_case = expected_snr_db - fade_margin_db;
+  for (LoraSf sf : {LoraSf::kSf7, LoraSf::kSf8, LoraSf::kSf9, LoraSf::kSf10, LoraSf::kSf11}) {
+    if (LoraPhy::DemodSnrDb(sf) <= worst_case) {
+      return sf;
+    }
+  }
+  return LoraSf::kSf12;
+}
+
+uint32_t LorawanWireBytes(uint32_t app_payload) {
+  return app_payload + kLorawanOverheadBytes;
+}
+
+}  // namespace centsim

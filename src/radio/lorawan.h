@@ -1,0 +1,75 @@
+// LoRaWAN network-layer pieces: regional channel plans, the ADR
+// (adaptive-data-rate) assignment a network server would compute from a
+// device's measured link margin, and the class-A uplink frame header.
+//
+// Transmit-only devices (paper §4.1) cannot receive ADR downlinks, so they
+// must be provisioned with a *static* data rate at deployment; the helper
+// `StaticSfForMargin` captures that planning decision, while `AdrDecision`
+// models the network-managed alternative used by serviceable devices.
+
+#ifndef SRC_RADIO_LORAWAN_H_
+#define SRC_RADIO_LORAWAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/radio/lora.h"
+
+namespace centsim {
+
+enum class LorawanRegion : uint8_t {
+  kEu868,
+  kUs915,
+};
+
+struct ChannelPlan {
+  LorawanRegion region;
+  std::vector<double> uplink_channels_hz;
+  double max_eirp_dbm;
+  // EU: per-band duty cycle; US: per-channel dwell limit.
+  double duty_cycle_limit;          // 0 = not duty limited.
+  SimTime dwell_time_limit;         // 0 = not dwell limited.
+
+  static ChannelPlan Eu868();
+  static ChannelPlan Us915();
+
+  // Uplinks per day allowed by regulation for the given airtime, taking
+  // channel count into account (devices hop across channels).
+  double MaxUplinksPerDay(SimTime airtime) const;
+};
+
+// ADR as the LoRaWAN network server computes it: from the best SNR among
+// recent uplinks, step the data rate down (toward SF7) while the margin
+// allows, and trim TX power with what remains.
+struct AdrInput {
+  LoraSf current_sf = LoraSf::kSf12;
+  double current_tx_power_dbm = 14.0;
+  double best_snr_db = 0.0;       // Best SNR over the ADR window.
+  double margin_db = 10.0;        // Installation margin (default per spec).
+};
+
+struct AdrDecision {
+  LoraSf sf;
+  double tx_power_dbm;
+  int steps_applied = 0;
+};
+
+AdrDecision ComputeAdr(const AdrInput& input);
+
+// Static SF choice for a transmit-only device: the slowest-airtime SF whose
+// demodulation floor clears the expected worst-case margin. More margin =>
+// higher SF => more airtime and energy per frame: the price of never being
+// able to adapt.
+LoraSf StaticSfForMargin(double expected_snr_db, double fade_margin_db);
+
+// Class-A uplink MAC header layout (for payload accounting): MHDR(1) +
+// DevAddr(4) + FCtrl(1) + FCnt(2) + FPort(1) + MIC(4) = 13 bytes around
+// the application payload.
+inline constexpr uint32_t kLorawanOverheadBytes = 13;
+
+// Full on-air application payload incl. LoRaWAN overhead.
+uint32_t LorawanWireBytes(uint32_t app_payload);
+
+}  // namespace centsim
+
+#endif  // SRC_RADIO_LORAWAN_H_

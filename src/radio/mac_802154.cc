@@ -1,0 +1,56 @@
+#include "src/radio/mac_802154.h"
+
+#include <cmath>
+
+namespace centsim {
+
+CsmaOutcome RunCsmaCa(const CsmaParams& params, SimTime start, RandomStream& rng,
+                      const std::function<bool(SimTime)>& channel_busy) {
+  CsmaOutcome out;
+  uint8_t nb = 0;
+  uint8_t be = params.mac_min_be;
+  SimTime now = start;
+  while (true) {
+    // Random backoff of [0, 2^BE - 1] unit periods.
+    const uint64_t slots = rng.NextBelow(1ULL << be);
+    now += params.unit_backoff * static_cast<double>(slots);
+    // Clear-channel assessment.
+    now += params.cca_duration;
+    ++out.backoffs;
+    if (!channel_busy(now)) {
+      out.result = CsmaResult::kSuccess;
+      out.access_delay = now - start;
+      return out;
+    }
+    ++nb;
+    if (nb > params.max_csma_backoffs) {
+      out.result = CsmaResult::kChannelAccessFailure;
+      out.access_delay = now - start;
+      return out;
+    }
+    be = static_cast<uint8_t>(std::min<int>(be + 1, params.mac_max_be));
+  }
+}
+
+SimTime ExpectedAccessDelay(const CsmaParams& params, double p_busy) {
+  // Sum over rounds r (0-indexed): probability of reaching round r is
+  // p_busy^r; each round costs mean backoff (2^BE - 1)/2 units + CCA.
+  double total_s = 0.0;
+  double reach = 1.0;
+  int be = params.mac_min_be;
+  for (int r = 0; r <= params.max_csma_backoffs; ++r) {
+    const double mean_slots = (std::pow(2.0, be) - 1.0) / 2.0;
+    const double round_s =
+        mean_slots * params.unit_backoff.ToSeconds() + params.cca_duration.ToSeconds();
+    total_s += reach * round_s;
+    reach *= p_busy;
+    be = std::min<int>(be + 1, params.mac_max_be);
+  }
+  return SimTime::Seconds(total_s);
+}
+
+double ChannelAccessFailureProbability(const CsmaParams& params, double p_busy) {
+  return std::pow(p_busy, static_cast<double>(params.max_csma_backoffs) + 1.0);
+}
+
+}  // namespace centsim

@@ -1,0 +1,52 @@
+// IEEE 802.15.4 unslotted CSMA-CA, simulated exactly (per-attempt backoff
+// state machine, 802.15.4-2006 §7.5.1.4) rather than through the analytic
+// CsmaModel. Used by packet-level tests and the engine ablation bench; the
+// fleet-scale scenarios keep the analytic model.
+
+#ifndef SRC_RADIO_MAC_802154_H_
+#define SRC_RADIO_MAC_802154_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/sim/random.h"
+#include "src/sim/time.h"
+
+namespace centsim {
+
+struct CsmaParams {
+  uint8_t mac_min_be = 3;       // Minimum backoff exponent.
+  uint8_t mac_max_be = 5;       // Maximum backoff exponent.
+  uint8_t max_csma_backoffs = 4;  // NB limit before channel-access failure.
+  // aUnitBackoffPeriod = 20 symbols @ 62.5 ksym/s = 320 us.
+  SimTime unit_backoff = SimTime::Micros(320);
+  SimTime cca_duration = SimTime::Micros(128);  // 8 symbols.
+};
+
+enum class CsmaResult : uint8_t {
+  kSuccess,                // Channel clear; frame may be transmitted.
+  kChannelAccessFailure,   // NB exceeded macMaxCSMABackoffs.
+};
+
+struct CsmaOutcome {
+  CsmaResult result = CsmaResult::kSuccess;
+  SimTime access_delay;    // Time from request to CCA success/failure.
+  uint8_t backoffs = 0;    // Number of backoff rounds performed.
+};
+
+// One channel-access attempt. `channel_busy(t)` answers whether the medium
+// is busy at absolute time `t` (the caller owns the medium model).
+CsmaOutcome RunCsmaCa(const CsmaParams& params, SimTime start, RandomStream& rng,
+                      const std::function<bool(SimTime)>& channel_busy);
+
+// Expected access delay under a constant channel-busy probability, in
+// closed form — used to cross-check the simulation in tests.
+SimTime ExpectedAccessDelay(const CsmaParams& params, double p_busy);
+
+// Probability the attempt ends in kChannelAccessFailure under a constant
+// busy probability: p_busy^(max_csma_backoffs + 1).
+double ChannelAccessFailureProbability(const CsmaParams& params, double p_busy);
+
+}  // namespace centsim
+
+#endif  // SRC_RADIO_MAC_802154_H_

@@ -1,0 +1,49 @@
+#include "src/radio/phy_802154.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/radio/link_budget.h"
+
+namespace centsim {
+
+SimTime Phy802154::Airtime(size_t payload_bytes) {
+  const size_t total = std::min(payload_bytes, kMaxPayload) + kPhyOverheadBytes +
+                       kMacOverheadBytes;
+  const double seconds = static_cast<double>(total) * 8.0 / kBitRate;
+  return SimTime::Seconds(seconds);
+}
+
+double Phy802154::BitErrorRate(double snr_db) {
+  // 802.15.4 O-QPSK DSSS BER approximation (IEEE 802.15.4-2006 Annex E):
+  // BER = (8/15)(1/16) sum_{k=2}^{16} (-1)^k C(16,k) exp(20 SINR (1/k - 1)).
+  const double sinr = std::pow(10.0, snr_db / 10.0);
+  double sum = 0.0;
+  double binom = 120.0;  // C(16,2).
+  for (int k = 2; k <= 16; ++k) {
+    if (k > 2) {
+      binom = binom * (17 - k) / k;
+    }
+    const double sign = (k % 2 == 0) ? 1.0 : -1.0;
+    sum += sign * binom * std::exp(20.0 * sinr * (1.0 / k - 1.0));
+  }
+  const double ber = (8.0 / 15.0) * (1.0 / 16.0) * sum;
+  return std::clamp(ber, 0.0, 0.5);
+}
+
+double Phy802154::PacketErrorRate(double snr_db, size_t payload_bytes) {
+  const size_t bits = (std::min(payload_bytes, kMaxPayload) + kMacOverheadBytes) * 8;
+  const double ber = BitErrorRate(snr_db);
+  return 1.0 - std::pow(1.0 - ber, static_cast<double>(bits));
+}
+
+double Phy802154::TxEnergyJoules(double tx_power_dbm, size_t payload_bytes) {
+  // Radio current ~ TX power / PA efficiency plus digital overhead.
+  const double pa_eff = 0.25;
+  const double tx_w = DbmToMilliwatts(tx_power_dbm) / 1000.0 / pa_eff + 0.010;
+  const double airtime_s = Airtime(payload_bytes).ToSeconds();
+  const double wakeup_j = 0.4e-3;  // Crystal + PLL startup + CCA.
+  return tx_w * airtime_s + wakeup_j;
+}
+
+}  // namespace centsim

@@ -1,0 +1,40 @@
+// IEEE 802.15.4 (2.4 GHz O-QPSK, 250 kb/s) PHY model: airtime, sensitivity,
+// and packet-error rate as a function of SNR.
+
+#ifndef SRC_RADIO_PHY_802154_H_
+#define SRC_RADIO_PHY_802154_H_
+
+#include <cstddef>
+
+#include "src/sim/time.h"
+
+namespace centsim {
+
+class Phy802154 {
+ public:
+  static constexpr double kBitRate = 250e3;        // b/s.
+  static constexpr double kBandwidthHz = 2e6;      // Channel bandwidth.
+  static constexpr double kSensitivityDbm = -95.0; // Typical receiver.
+  static constexpr double kNoiseFigureDb = 7.0;
+  static constexpr size_t kMaxPayload = 127;       // PSDU bytes.
+  static constexpr size_t kPhyOverheadBytes = 6;   // Preamble 4 + SFD 1 + len 1.
+  static constexpr size_t kMacOverheadBytes = 11;  // Short-addr data frame + FCS.
+
+  // Airtime of a frame carrying `payload_bytes` of MAC payload.
+  static SimTime Airtime(size_t payload_bytes);
+
+  // Bit error rate for O-QPSK with DSSS at the given SNR (dB), per the
+  // standard's matched-filter approximation.
+  static double BitErrorRate(double snr_db);
+
+  // Packet error rate for a frame of `payload_bytes` at the given SNR.
+  static double PacketErrorRate(double snr_db, size_t payload_bytes);
+
+  // TX energy at `tx_power_dbm` for one frame, including a fixed wakeup
+  // overhead (radio startup + CSMA listen), at a nominal 3 V rail.
+  static double TxEnergyJoules(double tx_power_dbm, size_t payload_bytes);
+};
+
+}  // namespace centsim
+
+#endif  // SRC_RADIO_PHY_802154_H_

@@ -1,0 +1,29 @@
+#include "src/reliability/burn_in.h"
+
+namespace centsim {
+
+BurnInAssessment AssessBurnIn(const HazardModel& hazard, const BurnInPolicy& policy,
+                              SimTime field_window) {
+  BurnInAssessment out;
+  const double s_burn = hazard.Survival(policy.duration);
+  const double s_window = hazard.Survival(field_window);
+  const double s_both = hazard.Survival(policy.duration + field_window);
+
+  out.bench_failure_fraction = 1.0 - s_burn;
+  out.field_failure_without = 1.0 - s_window;
+  out.field_failure_with = s_burn > 0 ? 1.0 - s_both / s_burn : 1.0;
+  if (out.field_failure_without > 0) {
+    out.relative_reduction = 1.0 - out.field_failure_with / out.field_failure_without;
+  }
+  const double prevented = out.field_failure_without - out.field_failure_with;
+  if (prevented > 1e-12) {
+    // Screening cost per deployed unit, divided by prevented field
+    // failures per deployed unit (bench failures also consume a unit).
+    const double cost_per_deployed =
+        policy.cost_per_unit_usd / (s_burn > 0 ? s_burn : 1.0);
+    out.cost_per_prevented_failure_usd = cost_per_deployed / prevented;
+  }
+  return out;
+}
+
+}  // namespace centsim

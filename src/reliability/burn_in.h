@@ -1,0 +1,35 @@
+// Burn-in screening: operate units for a screening period before
+// deployment so infant-mortality failures happen on the bench, not in the
+// concrete. For devices that are physically unreachable after installation
+// (paper §3.1/§4.1), trading a few weeks of bench time against decades of
+// field exposure is one of the few reliability levers available.
+
+#ifndef SRC_RELIABILITY_BURN_IN_H_
+#define SRC_RELIABILITY_BURN_IN_H_
+
+#include "src/reliability/hazard.h"
+#include "src/sim/time.h"
+
+namespace centsim {
+
+struct BurnInPolicy {
+  SimTime duration = SimTime::Days(30);
+  double cost_per_unit_usd = 4.0;  // Rack space + power + handling.
+};
+
+struct BurnInAssessment {
+  double bench_failure_fraction = 0.0;   // Screened out during burn-in.
+  double field_failure_without = 0.0;    // P(fail in window), no burn-in.
+  double field_failure_with = 0.0;       // P(fail in window | survived).
+  double relative_reduction = 0.0;       // 1 - with/without.
+  double cost_per_prevented_failure_usd = 0.0;
+};
+
+// Analytic assessment against the hazard model: survivors of the burn-in
+// carry the conditional survival S(d + w)/S(d) into a field window w.
+BurnInAssessment AssessBurnIn(const HazardModel& hazard, const BurnInPolicy& policy,
+                              SimTime field_window);
+
+}  // namespace centsim
+
+#endif  // SRC_RELIABILITY_BURN_IN_H_

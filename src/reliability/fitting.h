@@ -1,0 +1,39 @@
+// Parametric lifetime fitting for the living study (paper §4.5): the
+// diary's observed unit lifetimes (possibly right-censored) are distilled
+// into Weibull (shape, scale) estimates by maximum likelihood, so the
+// field data can forecast the rest of the fleet ("a guide for real-world
+// maintenance challenges of long-lived systems").
+
+#ifndef SRC_RELIABILITY_FITTING_H_
+#define SRC_RELIABILITY_FITTING_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/reliability/survival.h"
+#include "src/sim/time.h"
+
+namespace centsim {
+
+struct WeibullFit {
+  double shape = 0.0;
+  double scale_years = 0.0;
+  uint32_t iterations = 0;
+  bool converged = false;
+
+  SimTime Mttf() const;
+  double SurvivalAt(SimTime t) const;
+};
+
+// MLE for right-censored Weibull data via Newton iteration on the profile
+// likelihood in the shape parameter. Requires at least 3 failures; returns
+// nullopt otherwise or on non-convergence.
+std::optional<WeibullFit> FitWeibull(const std::vector<SurvivalObservation>& observations,
+                                     uint32_t max_iterations = 200);
+
+// Convenience: fit straight from a KaplanMeier's raw observations.
+std::optional<WeibullFit> FitWeibull(const KaplanMeier& km);
+
+}  // namespace centsim
+
+#endif  // SRC_RELIABILITY_FITTING_H_

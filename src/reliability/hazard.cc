@@ -1,0 +1,80 @@
+#include "src/reliability/hazard.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace centsim {
+
+ExponentialHazard::ExponentialHazard(SimTime mttf) : mttf_(mttf) {
+  assert(mttf.micros() > 0);
+}
+
+SimTime ExponentialHazard::SampleRemainingLife(RandomStream& rng, SimTime /*age*/) const {
+  // Memoryless: conditioning on age changes nothing.
+  return SimTime::Seconds(rng.Exponential(mttf_.ToSeconds()));
+}
+
+double ExponentialHazard::Survival(SimTime t) const {
+  return std::exp(-t.ToSeconds() / mttf_.ToSeconds());
+}
+
+WeibullHazard::WeibullHazard(double shape, SimTime scale) : shape_(shape), scale_(scale) {
+  assert(shape > 0 && scale.micros() > 0);
+}
+
+SimTime WeibullHazard::SampleRemainingLife(RandomStream& rng, SimTime age) const {
+  // Inverse-CDF of the conditional distribution:
+  //   T | T > a  has  S(t|a) = exp(((a/eta)^k - (t/eta)^k)).
+  // Solve S = u: t = eta * ((a/eta)^k - ln u)^(1/k); remaining = t - a.
+  const double eta = scale_.ToSeconds();
+  const double a = age.ToSeconds();
+  const double u = 1.0 - rng.NextDouble();  // u in (0, 1].
+  const double base = std::pow(a / eta, shape_) - std::log(u);
+  const double t = eta * std::pow(base, 1.0 / shape_);
+  const double remaining = t - a;
+  return SimTime::Seconds(remaining > 0 ? remaining : 0);
+}
+
+double WeibullHazard::Survival(SimTime t) const {
+  return std::exp(-std::pow(t.ToSeconds() / scale_.ToSeconds(), shape_));
+}
+
+SimTime WeibullHazard::Mttf() const {
+  return SimTime::Seconds(scale_.ToSeconds() * std::tgamma(1.0 + 1.0 / shape_));
+}
+
+BathtubHazard::BathtubHazard(const Params& params)
+    : params_(params),
+      infant_(params.infant_shape, params.infant_scale),
+      random_(params.random_mttf),
+      wearout_(params.wearout_shape, params.wearout_scale) {}
+
+SimTime BathtubHazard::SampleRemainingLife(RandomStream& rng, SimTime age) const {
+  // Competing risks: realized remaining life is the minimum draw.
+  SimTime t = infant_.SampleRemainingLife(rng, age);
+  t = std::min(t, random_.SampleRemainingLife(rng, age));
+  t = std::min(t, wearout_.SampleRemainingLife(rng, age));
+  return t;
+}
+
+double BathtubHazard::Survival(SimTime t) const {
+  return infant_.Survival(t) * random_.Survival(t) * wearout_.Survival(t);
+}
+
+SimTime BathtubHazard::Mttf() const {
+  // MTTF = integral of S(t) dt; trapezoid over an adaptive horizon.
+  const double horizon = 5.0 * params_.wearout_scale.ToSeconds();
+  const int steps = 4096;
+  const double dt = horizon / steps;
+  double acc = 0.0;
+  double prev = 1.0;
+  for (int i = 1; i <= steps; ++i) {
+    const double s = Survival(SimTime::Seconds(dt * i));
+    acc += 0.5 * (prev + s) * dt;
+    prev = s;
+  }
+  return SimTime::Seconds(acc);
+}
+
+}  // namespace centsim

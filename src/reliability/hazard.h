@@ -1,0 +1,110 @@
+// Failure-time (hazard) models.
+//
+// The simulator samples failures lazily: instead of evaluating a per-tick
+// failure probability across a century of ticks, each component draws its
+// next time-to-failure once (conditioned on its current age) and schedules
+// a single event. This keeps a 100-year run O(number of failures).
+
+#ifndef SRC_RELIABILITY_HAZARD_H_
+#define SRC_RELIABILITY_HAZARD_H_
+
+#include <memory>
+
+#include "src/sim/random.h"
+#include "src/sim/time.h"
+
+namespace centsim {
+
+// Interface for lifetime distributions.
+class HazardModel {
+ public:
+  virtual ~HazardModel() = default;
+
+  // Samples a remaining time-to-failure for an item that has already
+  // survived to `age` (i.e. draws from the conditional distribution
+  // T - age | T > age).
+  virtual SimTime SampleRemainingLife(RandomStream& rng, SimTime age) const = 0;
+
+  // Survival function S(t) = P(T > t).
+  virtual double Survival(SimTime t) const = 0;
+
+  // Mean time to failure.
+  virtual SimTime Mttf() const = 0;
+
+  SimTime SampleLife(RandomStream& rng) const { return SampleRemainingLife(rng, SimTime()); }
+};
+
+// Constant hazard; memoryless. `mttf` is the mean life.
+class ExponentialHazard : public HazardModel {
+ public:
+  explicit ExponentialHazard(SimTime mttf);
+
+  SimTime SampleRemainingLife(RandomStream& rng, SimTime age) const override;
+  double Survival(SimTime t) const override;
+  SimTime Mttf() const override { return mttf_; }
+
+ private:
+  SimTime mttf_;
+};
+
+// Weibull with shape k and characteristic life (scale) eta.
+// k < 1: infant mortality; k == 1: exponential; k > 1: wear-out.
+class WeibullHazard : public HazardModel {
+ public:
+  WeibullHazard(double shape, SimTime scale);
+
+  SimTime SampleRemainingLife(RandomStream& rng, SimTime age) const override;
+  double Survival(SimTime t) const override;
+  SimTime Mttf() const override;
+
+  double shape() const { return shape_; }
+  SimTime scale() const { return scale_; }
+
+ private:
+  double shape_;
+  SimTime scale_;
+};
+
+// Classic bathtub curve as three competing risks: an infant-mortality
+// Weibull (k < 1), a constant random-failure hazard, and a wear-out Weibull
+// (k > 1). The realized life is the minimum of the three draws.
+class BathtubHazard : public HazardModel {
+ public:
+  struct Params {
+    // Infant mortality: fraction-like scale; small eta, k ~ 0.5.
+    double infant_shape = 0.5;
+    SimTime infant_scale = SimTime::Years(200.0);  // Weak by default.
+    // Useful life: constant hazard MTTF.
+    SimTime random_mttf = SimTime::Years(100.0);
+    // Wear-out: k ~ 3-5, eta = design life.
+    double wearout_shape = 4.0;
+    SimTime wearout_scale = SimTime::Years(15.0);
+  };
+
+  explicit BathtubHazard(const Params& params);
+
+  SimTime SampleRemainingLife(RandomStream& rng, SimTime age) const override;
+  double Survival(SimTime t) const override;
+  SimTime Mttf() const override;  // Numerical integral of S(t).
+
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+  WeibullHazard infant_;
+  ExponentialHazard random_;
+  WeibullHazard wearout_;
+};
+
+// An item that never fails by itself (e.g. a fiber strand in a conduit,
+// barring backhoes, which are modeled as an external hazard).
+class NeverFails : public HazardModel {
+ public:
+  SimTime SampleRemainingLife(RandomStream&, SimTime) const override { return SimTime::Max(); }
+  double Survival(SimTime) const override { return 1.0; }
+  SimTime Mttf() const override { return SimTime::Max(); }
+};
+
+}  // namespace centsim
+
+#endif  // SRC_RELIABILITY_HAZARD_H_

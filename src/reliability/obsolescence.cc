@@ -1,0 +1,73 @@
+#include "src/reliability/obsolescence.h"
+
+#include <algorithm>
+
+namespace centsim {
+
+const char* ObsolescenceKindName(ObsolescenceKind kind) {
+  switch (kind) {
+    case ObsolescenceKind::kTechnical:
+      return "technical";
+    case ObsolescenceKind::kStyle:
+      return "style";
+    case ObsolescenceKind::kPlanned:
+      return "planned";
+    case ObsolescenceKind::kFunctional:
+      return "functional";
+  }
+  return "?";
+}
+
+void TechnologyTimeline::Add(SunsetEvent event) {
+  auto it = std::lower_bound(events_.begin(), events_.end(), event.at,
+                             [](const SunsetEvent& e, SimTime t) { return e.at < t; });
+  events_.insert(it, std::move(event));
+}
+
+std::vector<SunsetEvent> TechnologyTimeline::SunsetsBy(SimTime t) const {
+  std::vector<SunsetEvent> out;
+  for (const auto& e : events_) {
+    if (e.at <= t) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::optional<SunsetEvent> TechnologyTimeline::SunsetOf(const std::string& technology) const {
+  for (const auto& e : events_) {
+    if (e.technology == technology) {
+      return e;
+    }
+  }
+  return std::nullopt;
+}
+
+bool TechnologyTimeline::IsSunset(const std::string& technology, SimTime now) const {
+  const auto e = SunsetOf(technology);
+  return e.has_value() && e->at <= now;
+}
+
+TechnologyTimeline TechnologyTimeline::UsCellularDefault() {
+  TechnologyTimeline tl;
+  tl.Add({"cellular-2g", SimTime::Years(2), ObsolescenceKind::kTechnical});
+  tl.Add({"cellular-3g", SimTime::Years(4), ObsolescenceKind::kTechnical});
+  tl.Add({"cellular-4g", SimTime::Years(14), ObsolescenceKind::kTechnical});
+  tl.Add({"cellular-5g", SimTime::Years(26), ObsolescenceKind::kTechnical});
+  tl.Add({"cellular-6g", SimTime::Years(38), ObsolescenceKind::kTechnical});
+  return tl;
+}
+
+TechnologyTimeline TechnologyTimeline::RandomCellular(RandomStream& rng, int generations,
+                                                      double min_gap_years,
+                                                      double max_gap_years) {
+  TechnologyTimeline tl;
+  SimTime t;
+  for (int g = 0; g < generations; ++g) {
+    t += SimTime::Years(rng.Uniform(min_gap_years, max_gap_years));
+    tl.Add({"cellular-g" + std::to_string(g + 2), t, ObsolescenceKind::kTechnical});
+  }
+  return tl;
+}
+
+}  // namespace centsim

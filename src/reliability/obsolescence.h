@@ -1,0 +1,76 @@
+// Obsolescence modeling (paper §1 footnote 3 and §3.4).
+//
+// A device can leave service for reasons other than breaking:
+//  - technical obsolescence: a supporting technology is withdrawn (the
+//    canonical example, §3.4: 2G spectrum sunset strands devices);
+//  - style obsolescence: replaced for taste (consumer electronics);
+//  - planned obsolescence: manufacturer-imposed lockout;
+//  - functional obsolescence: the device no longer does a useful job —
+//    the *desired* end state for infrastructure devices.
+//
+// TechnologyTimeline holds the schedule of externally imposed sunsets,
+// which the network module consults when a backhaul generation is retired.
+
+#ifndef SRC_RELIABILITY_OBSOLESCENCE_H_
+#define SRC_RELIABILITY_OBSOLESCENCE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/sim/random.h"
+#include "src/sim/time.h"
+
+namespace centsim {
+
+enum class ObsolescenceKind : uint8_t {
+  kTechnical,
+  kStyle,
+  kPlanned,
+  kFunctional,
+};
+
+const char* ObsolescenceKindName(ObsolescenceKind kind);
+
+// One externally imposed technology retirement, e.g. "2G sunset at t=12y".
+struct SunsetEvent {
+  std::string technology;  // e.g. "cellular-2g", "802.11b", "vendor-cloud".
+  SimTime at;
+  ObsolescenceKind kind = ObsolescenceKind::kTechnical;
+};
+
+// An ordered schedule of sunsets. Cellular generations historically live
+// ~20 years from launch to sunset; the default schedule mirrors the US
+// history the paper alludes to (2G sunset ~2022, 3G ~2022-25) projected
+// forward one generation per decade.
+class TechnologyTimeline {
+ public:
+  TechnologyTimeline() = default;
+
+  void Add(SunsetEvent event);
+
+  // All sunsets at or before `t`, in time order.
+  std::vector<SunsetEvent> SunsetsBy(SimTime t) const;
+  // The sunset for `technology`, if scheduled.
+  std::optional<SunsetEvent> SunsetOf(const std::string& technology) const;
+  bool IsSunset(const std::string& technology, SimTime now) const;
+  const std::vector<SunsetEvent>& events() const { return events_; }
+
+  // US-style cellular timeline, with t=0 meaning "deployment day":
+  //   2G already near end-of-life (sunset at +2y), 3G at +4y, 4G at +14y,
+  //   5G at +26y, 6G at +38y. Devices bound to generation G go dark at its
+  //   sunset unless re-homed.
+  static TechnologyTimeline UsCellularDefault();
+
+  // Random timeline: each generation lives Uniform(love, high) years after
+  // the previous sunset. Useful for Monte-Carlo sweeps over provider risk.
+  static TechnologyTimeline RandomCellular(RandomStream& rng, int generations,
+                                           double min_gap_years, double max_gap_years);
+
+ private:
+  std::vector<SunsetEvent> events_;  // Kept sorted by time.
+};
+
+}  // namespace centsim
+
+#endif  // SRC_RELIABILITY_OBSOLESCENCE_H_

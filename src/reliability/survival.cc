@@ -1,0 +1,91 @@
+#include "src/reliability/survival.h"
+
+#include <algorithm>
+
+namespace centsim {
+
+size_t KaplanMeier::failure_count() const {
+  size_t n = 0;
+  for (const auto& o : obs_) {
+    n += o.failed ? 1 : 0;
+  }
+  return n;
+}
+
+std::vector<KaplanMeier::CurvePoint> KaplanMeier::Curve() const {
+  std::vector<SurvivalObservation> sorted = obs_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const SurvivalObservation& a, const SurvivalObservation& b) {
+              if (a.time != b.time) {
+                return a.time < b.time;
+              }
+              // Failures before censorings at equal times (convention).
+              return a.failed && !b.failed;
+            });
+
+  std::vector<CurvePoint> curve;
+  double s = 1.0;
+  uint64_t at_risk = sorted.size();
+  size_t i = 0;
+  while (i < sorted.size()) {
+    const SimTime t = sorted[i].time;
+    uint64_t events = 0;
+    uint64_t leaving = 0;
+    while (i < sorted.size() && sorted[i].time == t) {
+      events += sorted[i].failed ? 1 : 0;
+      ++leaving;
+      ++i;
+    }
+    if (events > 0 && at_risk > 0) {
+      s *= 1.0 - static_cast<double>(events) / static_cast<double>(at_risk);
+      curve.push_back({t, s, at_risk, events});
+    }
+    at_risk -= leaving;
+  }
+  return curve;
+}
+
+double KaplanMeier::SurvivalAt(SimTime t) const {
+  double s = 1.0;
+  for (const auto& pt : Curve()) {
+    if (pt.time <= t) {
+      s = pt.survival;
+    } else {
+      break;
+    }
+  }
+  return s;
+}
+
+std::optional<SimTime> KaplanMeier::MedianSurvival() const {
+  for (const auto& pt : Curve()) {
+    if (pt.survival <= 0.5) {
+      return pt.time;
+    }
+  }
+  return std::nullopt;
+}
+
+SimTime KaplanMeier::RestrictedMean(SimTime horizon) const {
+  const auto curve = Curve();
+  double area = 0.0;
+  double s = 1.0;
+  SimTime prev;
+  for (const auto& pt : curve) {
+    const SimTime upto = std::min(pt.time, horizon);
+    if (upto > prev) {
+      area += s * (upto - prev).ToSeconds();
+      prev = upto;
+    }
+    if (pt.time >= horizon) {
+      return SimTime::Seconds(area);
+    }
+    s = pt.survival;
+  }
+  if (horizon > prev) {
+    area += s * (horizon - prev).ToSeconds();
+  }
+  return SimTime::Seconds(area);
+}
+
+}  // namespace centsim

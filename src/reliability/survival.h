@@ -1,0 +1,60 @@
+// Survival analysis over observed lifetimes (possibly right-censored).
+//
+// The experiment harness records, for every device/gateway instance, either
+// a failure time or a censoring time (still alive when the run ended). The
+// Kaplan-Meier estimator turns those observations into a nonparametric
+// survival curve — the canonical way to report "how long do these things
+// actually last" from a living study like the paper's §4.5 diary.
+
+#ifndef SRC_RELIABILITY_SURVIVAL_H_
+#define SRC_RELIABILITY_SURVIVAL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace centsim {
+
+struct SurvivalObservation {
+  SimTime time;  // Failure time, or last-seen-alive time if censored.
+  bool failed;   // false => right-censored.
+};
+
+class KaplanMeier {
+ public:
+  void Observe(SimTime time, bool failed) { obs_.push_back({time, failed}); }
+  void Observe(const SurvivalObservation& o) { obs_.push_back(o); }
+
+  size_t count() const { return obs_.size(); }
+  size_t failure_count() const;
+  const std::vector<SurvivalObservation>& observations() const { return obs_; }
+
+  // Product-limit survival estimate S(t). 1.0 before the first event.
+  double SurvivalAt(SimTime t) const;
+
+  // Smallest t with S(t) <= 0.5, if the curve gets there (it may not if
+  // heavy censoring leaves S above 0.5 at the last observation).
+  std::optional<SimTime> MedianSurvival() const;
+
+  // Restricted mean survival time: area under S(t) up to `horizon`.
+  SimTime RestrictedMean(SimTime horizon) const;
+
+  // The step curve as (time, survival-after) pairs, for table output.
+  struct CurvePoint {
+    SimTime time;
+    double survival;
+    uint64_t at_risk;
+    uint64_t events;
+  };
+  std::vector<CurvePoint> Curve() const;
+
+ private:
+  std::vector<SurvivalObservation> obs_;
+};
+
+}  // namespace centsim
+
+#endif  // SRC_RELIABILITY_SURVIVAL_H_

@@ -1,0 +1,87 @@
+#include "src/security/patching.h"
+
+#include <algorithm>
+
+namespace centsim {
+
+ExposureParams FirewalledUnidirectionalGateway() {
+  ExposureParams p;
+  // No inbound listeners at all: only supply-chain/management incidents
+  // reach the box, and an attacker who cannot see it exploits slowly.
+  p.reachable_fraction = 0.001;
+  p.compromise_rate_per_exposed_year = 0.1;
+  p.patching_enabled = false;  // The point: it is safe to neglect.
+  return p;
+}
+
+ExposureParams MaintainedPublicGateway() {
+  ExposureParams p;
+  p.reachable_fraction = 0.5;
+  p.patching_enabled = true;
+  p.mean_patch_lag = SimTime::Days(14);
+  return p;
+}
+
+ExposureParams UnattendedPublicGateway() {
+  ExposureParams p;
+  p.reachable_fraction = 0.5;
+  p.patching_enabled = false;
+  return p;
+}
+
+ExposureReport SimulateExposure(const ExposureParams& params, SimTime horizon,
+                                RandomStream rng) {
+  ExposureReport report;
+  const double mean_gap_years = 1.0 / params.cves_per_year;
+  SimTime t;
+  while (true) {
+    t += SimTime::Years(rng.Exponential(mean_gap_years));
+    if (t >= horizon) {
+      break;
+    }
+    ++report.vulnerabilities;
+    if (!rng.NextBool(params.reachable_fraction)) {
+      continue;
+    }
+    ++report.reachable;
+    const SimTime weaponized_at =
+        t + SimTime::Seconds(rng.Exponential(params.mean_weaponization.ToSeconds()));
+    const SimTime patched_at =
+        params.patching_enabled
+            ? t + SimTime::Seconds(rng.Exponential(params.mean_patch_lag.ToSeconds()))
+            : SimTime::Max();
+    const SimTime exposure_start = weaponized_at;
+    const SimTime exposure_end = std::min(patched_at, horizon);
+    if (exposure_end <= exposure_start) {
+      continue;
+    }
+    const double exposed_years = (exposure_end - exposure_start).ToYears();
+    report.exposed_years += exposed_years;
+    if (!report.compromised) {
+      // Exponential race over the exposed window.
+      const double t_compromise_years =
+          rng.Exponential(1.0 / params.compromise_rate_per_exposed_year);
+      if (t_compromise_years < exposed_years) {
+        report.compromised = true;
+        report.compromised_at = exposure_start + SimTime::Years(t_compromise_years);
+      }
+    }
+  }
+  return report;
+}
+
+double CompromiseProbability(const ExposureParams& params, SimTime horizon, uint32_t trials,
+                             RandomStream rng) {
+  if (trials == 0) {
+    return 0.0;
+  }
+  uint32_t compromised = 0;
+  for (uint32_t i = 0; i < trials; ++i) {
+    if (SimulateExposure(params, horizon, rng.Derive(i)).compromised) {
+      ++compromised;
+    }
+  }
+  return static_cast<double>(compromised) / trials;
+}
+
+}  // namespace centsim

@@ -1,0 +1,63 @@
+// Gateway software-exposure model (paper §4.4).
+//
+// "The initial application supported by the gateway is transmit-only,
+// which would allow it to be aggressively firewalled and limit the
+// security risk of not attending to updates. Unidirectional gateways limit
+// the utility of our deployed infrastructure, however. Thus we anticipate
+// a more traditional server model, with the requisite upkeep of any
+// public-facing, networked device."
+//
+// Vulnerabilities affecting the gateway's software stack arrive as a
+// Poisson process. Each becomes exploitable-in-the-wild after a short
+// delay; a patching policy closes it after its patch lag (infinite for
+// unattended gateways). Exposure that overlaps an exploitability window
+// converts to compromise with some rate. The model compares the paper's
+// three postures: firewalled-unidirectional, maintained server, and
+// unattended server.
+
+#ifndef SRC_SECURITY_PATCHING_H_
+#define SRC_SECURITY_PATCHING_H_
+
+#include <cstdint>
+
+#include "src/sim/random.h"
+#include "src/sim/time.h"
+
+namespace centsim {
+
+struct ExposureParams {
+  double cves_per_year = 6.0;          // Relevant vulns in the stack.
+  // Fraction of vulns reachable given the network posture: a strict
+  // unidirectional firewall leaves almost nothing reachable.
+  double reachable_fraction = 1.0;
+  SimTime mean_weaponization = SimTime::Days(30);  // Disclosure -> exploit.
+  SimTime mean_patch_lag = SimTime::Days(14);      // Patch applied after.
+  bool patching_enabled = true;
+  // Rate of compromise while a weaponized, unpatched vuln is exposed.
+  double compromise_rate_per_exposed_year = 2.0;
+};
+
+// Posture presets from §4.4.
+ExposureParams FirewalledUnidirectionalGateway();
+ExposureParams MaintainedPublicGateway();
+ExposureParams UnattendedPublicGateway();
+
+struct ExposureReport {
+  uint32_t vulnerabilities = 0;
+  uint32_t reachable = 0;
+  double exposed_years = 0.0;      // Sum of weaponized-and-unpatched time.
+  bool compromised = false;
+  SimTime compromised_at;          // Valid iff compromised.
+};
+
+// Simulates one gateway's exposure over `horizon`. Deterministic in rng.
+ExposureReport SimulateExposure(const ExposureParams& params, SimTime horizon,
+                                RandomStream rng);
+
+// Monte-Carlo probability of compromise by `horizon` over `trials` runs.
+double CompromiseProbability(const ExposureParams& params, SimTime horizon, uint32_t trials,
+                             RandomStream rng);
+
+}  // namespace centsim
+
+#endif  // SRC_SECURITY_PATCHING_H_

@@ -1,0 +1,24 @@
+#include "src/security/report_auth.h"
+
+namespace centsim {
+
+uint32_t ComputeReadingTag(const SipHashKey& device_key, uint32_t device_id, uint32_t counter,
+                           const SensorReading& reading) {
+  uint8_t buf[20];
+  for (int i = 0; i < 4; ++i) {
+    buf[i] = static_cast<uint8_t>(device_id >> (8 * i));
+    buf[4 + i] = static_cast<uint8_t>(counter >> (8 * i));
+  }
+  const auto bytes = reading.Serialize();
+  for (size_t i = 0; i < bytes.size() && i < 12; ++i) {
+    buf[8 + i] = bytes[i];
+  }
+  return static_cast<uint32_t>(SipHash24(device_key, buf, sizeof(buf)));
+}
+
+bool VerifyReadingTag(const SipHashKey& device_key, uint32_t device_id, uint32_t counter,
+                      const SensorReading& reading, uint32_t tag) {
+  return ComputeReadingTag(device_key, device_id, counter, reading) == tag;
+}
+
+}  // namespace centsim

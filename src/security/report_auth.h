@@ -1,0 +1,24 @@
+// Inline authentication of the fixed-size SensorReading payload: the
+// allocation-free path used on every simulated uplink (the SignedReport
+// path in signing.h covers variable payloads).
+
+#ifndef SRC_SECURITY_REPORT_AUTH_H_
+#define SRC_SECURITY_REPORT_AUTH_H_
+
+#include <cstdint>
+
+#include "src/radio/frame.h"
+#include "src/security/siphash.h"
+
+namespace centsim {
+
+// Truncated SipHash-2-4 tag over (device_id, counter, 12-byte reading).
+uint32_t ComputeReadingTag(const SipHashKey& device_key, uint32_t device_id, uint32_t counter,
+                           const SensorReading& reading);
+
+bool VerifyReadingTag(const SipHashKey& device_key, uint32_t device_id, uint32_t counter,
+                      const SensorReading& reading, uint32_t tag);
+
+}  // namespace centsim
+
+#endif  // SRC_SECURITY_REPORT_AUTH_H_

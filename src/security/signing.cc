@@ -1,0 +1,80 @@
+#include "src/security/signing.h"
+
+namespace centsim {
+namespace {
+
+std::vector<uint8_t> SigningInput(uint32_t device_id, uint32_t counter,
+                                  const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> buf;
+  buf.reserve(8 + payload.size());
+  for (int i = 0; i < 4; ++i) {
+    buf.push_back(static_cast<uint8_t>(device_id >> (8 * i)));
+  }
+  for (int i = 0; i < 4; ++i) {
+    buf.push_back(static_cast<uint8_t>(counter >> (8 * i)));
+  }
+  buf.insert(buf.end(), payload.begin(), payload.end());
+  return buf;
+}
+
+}  // namespace
+
+SipHashKey DeriveDeviceKey(const SipHashKey& batch_secret, uint32_t device_id) {
+  // Two PRF applications with distinct domain separators fill 16 bytes.
+  uint8_t msg[5];
+  for (int i = 0; i < 4; ++i) {
+    msg[i] = static_cast<uint8_t>(device_id >> (8 * i));
+  }
+  SipHashKey key{};
+  msg[4] = 0x01;
+  const uint64_t lo = SipHash24(batch_secret, msg, sizeof(msg));
+  msg[4] = 0x02;
+  const uint64_t hi = SipHash24(batch_secret, msg, sizeof(msg));
+  for (int i = 0; i < 8; ++i) {
+    key[i] = static_cast<uint8_t>(lo >> (8 * i));
+    key[8 + i] = static_cast<uint8_t>(hi >> (8 * i));
+  }
+  return key;
+}
+
+SignedReport SignReport(const SipHashKey& device_key, uint32_t device_id, uint32_t counter,
+                        std::vector<uint8_t> payload) {
+  SignedReport report;
+  report.device_id = device_id;
+  report.counter = counter;
+  report.payload = std::move(payload);
+  const auto input = SigningInput(device_id, counter, report.payload);
+  report.tag = static_cast<uint32_t>(SipHash24(device_key, input.data(), input.size()));
+  return report;
+}
+
+bool VerifyTag(const SipHashKey& device_key, const SignedReport& report) {
+  const auto input = SigningInput(report.device_id, report.counter, report.payload);
+  const uint32_t expected =
+      static_cast<uint32_t>(SipHash24(device_key, input.data(), input.size()));
+  return expected == report.tag;
+}
+
+ReportVerifier::Verdict ReportVerifier::Verify(const SignedReport& report) {
+  const SipHashKey key = DeriveDeviceKey(batch_secret_, report.device_id);
+  if (!VerifyTag(key, report)) {
+    ++rejected_;
+    return Verdict::kBadTag;
+  }
+  auto it = last_counter_.find(report.device_id);
+  if (it != last_counter_.end()) {
+    if (report.counter <= it->second) {
+      ++rejected_;
+      return Verdict::kReplayed;
+    }
+    if (report.counter - it->second > max_jump_) {
+      ++rejected_;
+      return Verdict::kCounterJump;
+    }
+  }
+  last_counter_[report.device_id] = report.counter;
+  ++accepted_;
+  return Verdict::kAccepted;
+}
+
+}  // namespace centsim

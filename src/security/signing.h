@@ -1,0 +1,76 @@
+// Frame authentication for transmit-only devices (paper §4.1: "devices
+// with minimal security risk, as they are incapable of receiving data, but
+// also of limited longitudinal trust, as their security and signing
+// techniques can never be modified").
+//
+// A device is provisioned with a per-device key at manufacture and signs
+// every report with a truncated SipHash tag over (device id, counter,
+// payload). The verifier enforces a monotone counter window for replay
+// protection. Because the device can never receive, the key and the
+// algorithm are frozen for its entire service life — the trust model in
+// trust.h quantifies what that costs over decades.
+
+#ifndef SRC_SECURITY_SIGNING_H_
+#define SRC_SECURITY_SIGNING_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/security/siphash.h"
+
+namespace centsim {
+
+inline constexpr size_t kTagBytes = 4;  // Truncated tag, LoRa-payload friendly.
+
+struct SignedReport {
+  uint32_t device_id = 0;
+  uint32_t counter = 0;        // Strictly increasing per device.
+  std::vector<uint8_t> payload;
+  uint32_t tag = 0;            // Truncated SipHash-2-4.
+};
+
+// Derives a per-device key from a batch provisioning secret. One leaked
+// device key must not reveal its siblings', hence the derivation is a PRF
+// application, not a shared key.
+SipHashKey DeriveDeviceKey(const SipHashKey& batch_secret, uint32_t device_id);
+
+// Signs (device_id, counter, payload).
+SignedReport SignReport(const SipHashKey& device_key, uint32_t device_id, uint32_t counter,
+                        std::vector<uint8_t> payload);
+
+// Stateless tag check.
+bool VerifyTag(const SipHashKey& device_key, const SignedReport& report);
+
+// Stateful verifier with replay protection: accepts a report only if the
+// tag verifies and the counter is strictly greater than the last accepted
+// counter for that device (with a bounded forward-jump allowance so lost
+// frames do not wedge the stream).
+class ReportVerifier {
+ public:
+  explicit ReportVerifier(SipHashKey batch_secret, uint32_t max_counter_jump = 1 << 20)
+      : batch_secret_(batch_secret), max_jump_(max_counter_jump) {}
+
+  enum class Verdict : uint8_t {
+    kAccepted,
+    kBadTag,
+    kReplayed,       // Counter not strictly increasing.
+    kCounterJump,    // Counter implausibly far ahead.
+  };
+
+  Verdict Verify(const SignedReport& report);
+
+  uint64_t accepted() const { return accepted_; }
+  uint64_t rejected() const { return rejected_; }
+
+ private:
+  SipHashKey batch_secret_;
+  uint32_t max_jump_;
+  std::unordered_map<uint32_t, uint32_t> last_counter_;
+  uint64_t accepted_ = 0;
+  uint64_t rejected_ = 0;
+};
+
+}  // namespace centsim
+
+#endif  // SRC_SECURITY_SIGNING_H_

@@ -1,0 +1,69 @@
+#include "src/security/siphash.h"
+
+namespace centsim {
+namespace {
+
+uint64_t Rotl64(uint64_t x, int b) { return (x << b) | (x >> (64 - b)); }
+
+uint64_t ReadLe64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | p[i];
+  }
+  return v;
+}
+
+void SipRound(uint64_t& v0, uint64_t& v1, uint64_t& v2, uint64_t& v3) {
+  v0 += v1;
+  v1 = Rotl64(v1, 13);
+  v1 ^= v0;
+  v0 = Rotl64(v0, 32);
+  v2 += v3;
+  v3 = Rotl64(v3, 16);
+  v3 ^= v2;
+  v0 += v3;
+  v3 = Rotl64(v3, 21);
+  v3 ^= v0;
+  v2 += v1;
+  v1 = Rotl64(v1, 17);
+  v1 ^= v2;
+  v2 = Rotl64(v2, 32);
+}
+
+}  // namespace
+
+uint64_t SipHash24(const SipHashKey& key, const uint8_t* data, size_t len) {
+  const uint64_t k0 = ReadLe64(key.data());
+  const uint64_t k1 = ReadLe64(key.data() + 8);
+  uint64_t v0 = 0x736f6d6570736575ULL ^ k0;
+  uint64_t v1 = 0x646f72616e646f6dULL ^ k1;
+  uint64_t v2 = 0x6c7967656e657261ULL ^ k0;
+  uint64_t v3 = 0x7465646279746573ULL ^ k1;
+
+  const size_t whole = len / 8;
+  for (size_t i = 0; i < whole; ++i) {
+    const uint64_t m = ReadLe64(data + i * 8);
+    v3 ^= m;
+    SipRound(v0, v1, v2, v3);
+    SipRound(v0, v1, v2, v3);
+    v0 ^= m;
+  }
+
+  uint64_t tail = static_cast<uint64_t>(len & 0xff) << 56;
+  for (size_t i = 0; i < (len & 7); ++i) {
+    tail |= static_cast<uint64_t>(data[whole * 8 + i]) << (8 * i);
+  }
+  v3 ^= tail;
+  SipRound(v0, v1, v2, v3);
+  SipRound(v0, v1, v2, v3);
+  v0 ^= tail;
+
+  v2 ^= 0xff;
+  SipRound(v0, v1, v2, v3);
+  SipRound(v0, v1, v2, v3);
+  SipRound(v0, v1, v2, v3);
+  SipRound(v0, v1, v2, v3);
+  return v0 ^ v1 ^ v2 ^ v3;
+}
+
+}  // namespace centsim

@@ -1,0 +1,21 @@
+// SipHash-2-4 (Aumasson & Bernstein): the keyed PRF used to authenticate
+// transmit-only sensor frames. Chosen because it is the standard MAC for
+// short inputs on microcontroller-class hardware.
+
+#ifndef SRC_SECURITY_SIPHASH_H_
+#define SRC_SECURITY_SIPHASH_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace centsim {
+
+using SipHashKey = std::array<uint8_t, 16>;
+
+// 64-bit SipHash-2-4 of `data` under `key`.
+uint64_t SipHash24(const SipHashKey& key, const uint8_t* data, size_t len);
+
+}  // namespace centsim
+
+#endif  // SRC_SECURITY_SIPHASH_H_

@@ -1,0 +1,52 @@
+#include "src/security/trust.h"
+
+#include <cmath>
+#include <limits>
+
+namespace centsim {
+
+double LongitudinalTrust::SecurityBitsAt(double years) const {
+  const double bits = params_.initial_security_bits - params_.bits_lost_per_year * years;
+  return bits > 0 ? bits : 0.0;
+}
+
+double LongitudinalTrust::AlgorithmHorizonYears() const {
+  if (params_.bits_lost_per_year <= 0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return (params_.initial_security_bits - params_.feasible_attack_bits) /
+         params_.bits_lost_per_year;
+}
+
+double LongitudinalTrust::KeyIntactProbability(double years) const {
+  if (years <= 0) {
+    return 1.0;
+  }
+  const double survive_per_year = 1.0 - params_.annual_leak_probability;
+  if (params_.rekey_period_years <= 0) {
+    // Never re-keyed: exposure accumulates over the whole life.
+    return std::pow(survive_per_year, years);
+  }
+  // Rotation: only the exposure since the last rotation matters for the
+  // *current* key. Trust in the stream requires the current key intact.
+  const double since_rotation = std::fmod(years, params_.rekey_period_years);
+  return std::pow(survive_per_year, since_rotation);
+}
+
+double LongitudinalTrust::TrustAt(double years) const {
+  if (years >= AlgorithmHorizonYears()) {
+    return 0.0;
+  }
+  return KeyIntactProbability(years);
+}
+
+double LongitudinalTrust::TrustHorizonYears(double threshold) const {
+  for (double t = 0.0; t <= 200.0; t += 0.25) {
+    if (TrustAt(t) < threshold) {
+      return t;
+    }
+  }
+  return -1.0;
+}
+
+}  // namespace centsim

@@ -1,0 +1,64 @@
+// Longitudinal trust of frozen-crypto devices (paper §4.1).
+//
+// A transmit-only device's signing key and algorithm are fixed for life.
+// Two clocks erode its trustworthiness:
+//  - cryptanalytic/compute progress: the effective security level of the
+//    frozen primitive shrinks by some bits per year (a Moore's-law-style
+//    drift plus occasional break events);
+//  - key-exposure accumulation: each year carries a small probability that
+//    the key leaks (supply chain, physical extraction, side channel), and
+//    leaks are forever — the device cannot re-key.
+//
+// The model turns those into P(still trustworthy at year t), the quantity
+// an operator needs when deciding how long to keep believing a sensor that
+// cannot be updated, and contrasts it with a serviceable device that
+// re-keys on a fixed cadence.
+
+#ifndef SRC_SECURITY_TRUST_H_
+#define SRC_SECURITY_TRUST_H_
+
+#include <cstdint>
+
+namespace centsim {
+
+struct TrustModelParams {
+  double initial_security_bits = 64.0;   // Truncated-tag + key budget.
+  double bits_lost_per_year = 0.7;       // Compute/cryptanalysis drift.
+  double feasible_attack_bits = 40.0;    // Below this, forgery is practical.
+  double annual_leak_probability = 0.005;  // Key exposure per deployed year.
+  // Serviceable devices rotate keys on this cadence (0 = never, i.e. the
+  // transmit-only case). Rotation resets exposure accumulation but not the
+  // algorithm-aging clock.
+  double rekey_period_years = 0.0;
+};
+
+class LongitudinalTrust {
+ public:
+  explicit LongitudinalTrust(const TrustModelParams& params) : params_(params) {}
+
+  // Effective security level of the frozen primitive at year t.
+  double SecurityBitsAt(double years) const;
+  // Year at which the primitive itself becomes forgeable (bits fall to the
+  // feasible-attack threshold). Infinity if drift is zero.
+  double AlgorithmHorizonYears() const;
+
+  // P(key never leaked by year t), accounting for rotation if configured.
+  double KeyIntactProbability(double years) const;
+
+  // P(device still trustworthy at year t): primitive not yet forgeable AND
+  // key intact.
+  double TrustAt(double years) const;
+
+  // First year trust falls below `threshold` (searched at 0.25-year steps,
+  // up to 200 years). Returns -1 if it never does.
+  double TrustHorizonYears(double threshold = 0.5) const;
+
+  const TrustModelParams& params() const { return params_; }
+
+ private:
+  TrustModelParams params_;
+};
+
+}  // namespace centsim
+
+#endif  // SRC_SECURITY_TRUST_H_

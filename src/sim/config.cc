@@ -1,0 +1,124 @@
+#include "src/sim/config.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace centsim {
+namespace {
+
+std::string Trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) {
+    return "";
+  }
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::string Lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+std::optional<Config> Config::Parse(const std::string& text, std::string* error) {
+  Config cfg;
+  std::istringstream in(text);
+  std::string line;
+  std::string section;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#' || trimmed[0] == ';') {
+      continue;
+    }
+    if (trimmed.front() == '[') {
+      if (trimmed.back() != ']' || trimmed.size() < 3) {
+        if (error != nullptr) {
+          *error = "line " + std::to_string(line_no) + ": malformed section header";
+        }
+        return std::nullopt;
+      }
+      section = Trim(trimmed.substr(1, trimmed.size() - 2));
+      continue;
+    }
+    const auto eq = trimmed.find('=');
+    if (eq == std::string::npos) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_no) + ": expected key = value";
+      }
+      return std::nullopt;
+    }
+    const std::string key = Trim(trimmed.substr(0, eq));
+    const std::string value = Trim(trimmed.substr(eq + 1));
+    if (key.empty()) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_no) + ": empty key";
+      }
+      return std::nullopt;
+    }
+    cfg.values_[section.empty() ? key : section + "." + key] = value;
+  }
+  return cfg;
+}
+
+std::optional<Config> Config::Load(const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) {
+      *error = "cannot open " + path;
+    }
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return Parse(buf.str(), error);
+}
+
+bool Config::Has(const std::string& key) const { return values_.count(key) > 0; }
+
+std::string Config::GetString(const std::string& key, const std::string& fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+int64_t Config::GetInt(const std::string& key, int64_t fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  return (end != nullptr && *end == '\0' && end != it->second.c_str()) ? v : fallback;
+}
+
+double Config::GetDouble(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  return (end != nullptr && *end == '\0' && end != it->second.c_str()) ? v : fallback;
+}
+
+bool Config::GetBool(const std::string& key, bool fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  const std::string v = Lower(it->second);
+  if (v == "true" || v == "yes" || v == "on" || v == "1") {
+    return true;
+  }
+  if (v == "false" || v == "no" || v == "off" || v == "0") {
+    return false;
+  }
+  return fallback;
+}
+
+}  // namespace centsim

@@ -1,0 +1,42 @@
+// Minimal INI-style configuration reader for scenario files.
+//
+// Format: `[section]` headers, `key = value` pairs, `#` or `;` comments,
+// blank lines ignored. Values are retrieved typed, with defaults. Keys are
+// addressed as "section.key"; keys before any section live in "".
+//
+// Used by the examples so experiment definitions can live in versioned
+// text files rather than recompiled constants.
+
+#ifndef SRC_SIM_CONFIG_H_
+#define SRC_SIM_CONFIG_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace centsim {
+
+class Config {
+ public:
+  // Parses `text`; returns nullopt and sets `error` (if given) on the
+  // first malformed line.
+  static std::optional<Config> Parse(const std::string& text, std::string* error = nullptr);
+  static std::optional<Config> Load(const std::string& path, std::string* error = nullptr);
+
+  bool Has(const std::string& key) const;
+  std::string GetString(const std::string& key, const std::string& fallback = "") const;
+  int64_t GetInt(const std::string& key, int64_t fallback = 0) const;
+  double GetDouble(const std::string& key, double fallback = 0.0) const;
+  bool GetBool(const std::string& key, bool fallback = false) const;
+
+  void Set(const std::string& key, const std::string& value) { values_[key] = value; }
+  size_t size() const { return values_.size(); }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace centsim
+
+#endif  // SRC_SIM_CONFIG_H_

@@ -1,0 +1,183 @@
+#include "src/sim/random.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace centsim {
+namespace {
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Xoshiro256::Xoshiro256(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : s_) {
+    word = SplitMix64(sm);
+  }
+  // Guard against the all-zero state (probability ~0 but cheap to exclude).
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) {
+    s_[0] = 0x853c49e6748fea9bULL;
+  }
+}
+
+Xoshiro256::result_type Xoshiro256::operator()() {
+  const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+RandomStream::RandomStream(uint64_t seed) : RandomStream(seed, 0) {}
+
+RandomStream::RandomStream(uint64_t seed, uint64_t stream)
+    : seed_(seed), stream_(stream), engine_([&] {
+        // Mix seed and stream id into one 64-bit engine seed.
+        uint64_t sm = seed ^ 0x6a09e667f3bcc909ULL;
+        uint64_t a = SplitMix64(sm);
+        sm ^= stream * 0x9e3779b97f4a7c15ULL;
+        uint64_t b = SplitMix64(sm);
+        return a ^ Rotl(b, 32);
+      }()) {}
+
+RandomStream RandomStream::Derive(uint64_t stream_id) const {
+  uint64_t sm = stream_ ^ Rotl(stream_id, 17);
+  return RandomStream(seed_, SplitMix64(sm) ^ stream_id);
+}
+
+uint64_t RandomStream::NextUint64() { return engine_(); }
+
+double RandomStream::NextDouble() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+}
+
+double RandomStream::Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+uint64_t RandomStream::NextBelow(uint64_t n) {
+  assert(n > 0);
+  // Lemire's nearly-divisionless bounded sampling.
+  __uint128_t m = static_cast<__uint128_t>(engine_()) * n;
+  uint64_t lo = static_cast<uint64_t>(m);
+  if (lo < n) {
+    const uint64_t threshold = -n % n;
+    while (lo < threshold) {
+      m = static_cast<__uint128_t>(engine_()) * n;
+      lo = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+bool RandomStream::NextBool(double p_true) { return NextDouble() < p_true; }
+
+double RandomStream::Normal(double mean, double stddev) {
+  // Box-Muller; u1 in (0,1] so log() is finite.
+  const double u1 = 1.0 - NextDouble();
+  const double u2 = NextDouble();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+double RandomStream::Exponential(double mean) {
+  assert(mean > 0);
+  return -mean * std::log(1.0 - NextDouble());
+}
+
+double RandomStream::Weibull(double shape, double scale) {
+  assert(shape > 0 && scale > 0);
+  const double u = 1.0 - NextDouble();
+  return scale * std::pow(-std::log(u), 1.0 / shape);
+}
+
+double RandomStream::LogNormal(double mu, double sigma) { return std::exp(Normal(mu, sigma)); }
+
+int64_t RandomStream::Poisson(double mean) {
+  assert(mean >= 0);
+  if (mean == 0) {
+    return 0;
+  }
+  if (mean > 64) {
+    // Normal approximation with continuity correction.
+    const double v = Normal(mean, std::sqrt(mean));
+    return v < 0 ? 0 : static_cast<int64_t>(v + 0.5);
+  }
+  // Knuth inversion.
+  const double limit = std::exp(-mean);
+  double prod = 1.0;
+  int64_t count = -1;
+  do {
+    ++count;
+    prod *= NextDouble();
+  } while (prod > limit);
+  return count;
+}
+
+uint64_t RandomStream::Zipf(uint64_t n, double s) {
+  assert(n >= 1 && s > 0);
+  // O(n) inversion against the running partial sums. Fine for occasional
+  // draws on small supports; use ZipfTable for repeated draws.
+  double total = 0.0;
+  for (uint64_t k = 1; k <= n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k), s);
+  }
+  const double target = NextDouble() * total;
+  double cum = 0.0;
+  for (uint64_t k = 1; k <= n; ++k) {
+    cum += 1.0 / std::pow(static_cast<double>(k), s);
+    if (cum >= target) {
+      return k;
+    }
+  }
+  return n;
+}
+
+ZipfTable::ZipfTable(uint64_t n, double s) {
+  assert(n >= 1);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (uint64_t k = 1; k <= n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k), s);
+    cdf_[k - 1] = total;
+  }
+  for (auto& c : cdf_) {
+    c /= total;
+  }
+  cdf_.back() = 1.0;
+}
+
+uint64_t ZipfTable::Sample(RandomStream& rng) const {
+  const double u = rng.NextDouble();
+  // Binary search for the first CDF entry >= u.
+  uint64_t lo = 0;
+  uint64_t hi = cdf_.size() - 1;
+  while (lo < hi) {
+    const uint64_t mid = (lo + hi) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo + 1;
+}
+
+double ZipfTable::CdfAt(uint64_t k) const {
+  assert(k >= 1 && k <= cdf_.size());
+  return cdf_[k - 1];
+}
+
+}  // namespace centsim

@@ -1,0 +1,102 @@
+// Deterministic random-number generation for the simulator.
+//
+// Every simulated entity draws from its own RandomStream, derived from the
+// simulation seed and a stable stream identifier (typically the entity id).
+// This makes any single entity's trajectory reproducible regardless of how
+// many other entities exist or the order in which events interleave.
+//
+// The generator is xoshiro256++ seeded through splitmix64, which is fast,
+// has a 2^256-1 period, and passes BigCrush. No global state.
+
+#ifndef SRC_SIM_RANDOM_H_
+#define SRC_SIM_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace centsim {
+
+// Stateless 64-bit mix used for seeding and stream derivation.
+uint64_t SplitMix64(uint64_t& state);
+
+// xoshiro256++ engine. Satisfies the UniformRandomBitGenerator concept.
+class Xoshiro256 {
+ public:
+  using result_type = uint64_t;
+
+  explicit Xoshiro256(uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return UINT64_MAX; }
+
+  result_type operator()();
+
+ private:
+  uint64_t s_[4];
+};
+
+// A stream of random variates with the distributions the simulator needs.
+// Cheap to construct; derive one per entity via Derive().
+class RandomStream {
+ public:
+  // Root stream for a simulation.
+  explicit RandomStream(uint64_t seed);
+
+  // Derives an independent child stream keyed by `stream_id`. Two children
+  // with distinct ids behave as statistically independent generators.
+  RandomStream Derive(uint64_t stream_id) const;
+
+  // Uniform in [0, 1).
+  double NextDouble();
+  // Uniform in [lo, hi).
+  double Uniform(double lo, double hi);
+  // Uniform integer in [0, n). Requires n > 0.
+  uint64_t NextBelow(uint64_t n);
+  // Bernoulli trial.
+  bool NextBool(double p_true);
+  // Standard normal via Box-Muller (no cached spare: keeps state minimal).
+  double Normal(double mean, double stddev);
+  // Exponential with the given mean (NOT rate). Requires mean > 0.
+  double Exponential(double mean);
+  // Weibull with shape k and scale lambda (both > 0).
+  double Weibull(double shape, double scale);
+  // Log-normal parameterized by the mean/stddev of the underlying normal.
+  double LogNormal(double mu, double sigma);
+  // Poisson-distributed count with the given mean (inversion for small
+  // means, normal approximation above 64).
+  int64_t Poisson(double mean);
+  // Zipf-distributed rank in [1, n] with exponent s > 0. O(n) inversion
+  // per draw — fine for occasional draws on small supports; use ZipfTable
+  // for repeated draws over the same support.
+  uint64_t Zipf(uint64_t n, double s);
+
+  uint64_t NextUint64();
+
+ private:
+  RandomStream(uint64_t seed, uint64_t stream);
+
+  uint64_t seed_;
+  uint64_t stream_;
+  Xoshiro256 engine_;
+};
+
+// Precomputed Zipf sampler for repeated draws over the same support.
+// O(log n) per draw via binary search on the CDF.
+class ZipfTable {
+ public:
+  ZipfTable(uint64_t n, double s);
+
+  // Returns a rank in [1, n].
+  uint64_t Sample(RandomStream& rng) const;
+
+  uint64_t size() const { return cdf_.size(); }
+  // P(rank <= k), 1-indexed.
+  double CdfAt(uint64_t k) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace centsim
+
+#endif  // SRC_SIM_RANDOM_H_

@@ -1,0 +1,102 @@
+#include "src/sim/scheduler.h"
+
+#include <cassert>
+
+namespace centsim {
+
+EventId Scheduler::ScheduleAt(SimTime at, std::function<void()> fn) {
+  assert(at >= now_);
+  const EventId id = next_id_++;
+  heap_.push(Entry{at, id});
+  actions_.emplace(id, std::move(fn));
+  return id;
+}
+
+EventId Scheduler::ScheduleAfter(SimTime delay, std::function<void()> fn) {
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+bool Scheduler::Cancel(EventId id) {
+  auto it = actions_.find(id);
+  if (it == actions_.end()) {
+    return false;
+  }
+  actions_.erase(it);
+  cancelled_.insert(id);
+  return true;
+}
+
+void Scheduler::SkimCancelled() {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) {
+      return;
+    }
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+void Scheduler::RunTop() {
+  const Entry top = heap_.top();
+  heap_.pop();
+  now_ = top.at;
+  auto it = actions_.find(top.id);
+  assert(it != actions_.end());
+  // Move the closure out before running: the action may schedule/cancel.
+  std::function<void()> fn = std::move(it->second);
+  actions_.erase(it);
+  ++executed_;
+  fn();
+}
+
+bool Scheduler::Step() {
+  SkimCancelled();
+  if (heap_.empty()) {
+    return false;
+  }
+  RunTop();
+  return true;
+}
+
+uint64_t Scheduler::RunUntil(SimTime horizon) {
+  uint64_t ran = 0;
+  while (true) {
+    SkimCancelled();
+    if (heap_.empty() || heap_.top().at > horizon) {
+      break;
+    }
+    RunTop();
+    ++ran;
+  }
+  if (now_ < horizon) {
+    now_ = horizon;
+  }
+  return ran;
+}
+
+PeriodicEvent::PeriodicEvent(Scheduler& sched, SimTime period, std::function<void()> fn)
+    : sched_(sched), period_(period), fn_(std::move(fn)) {}
+
+PeriodicEvent::~PeriodicEvent() { Stop(); }
+
+void PeriodicEvent::Start(SimTime first_delay) {
+  Stop();
+  running_ = true;
+  pending_ = sched_.ScheduleAfter(first_delay, [this] { Fire(); });
+}
+
+void PeriodicEvent::Stop() {
+  if (pending_ != kInvalidEventId) {
+    sched_.Cancel(pending_);
+    pending_ = kInvalidEventId;
+  }
+  running_ = false;
+}
+
+void PeriodicEvent::Fire() {
+  pending_ = sched_.ScheduleAfter(period_, [this] { Fire(); });
+  fn_();
+}
+
+}  // namespace centsim

@@ -1,0 +1,107 @@
+// Discrete-event scheduler.
+//
+// Events are closures keyed by (time, sequence number); ties in time run in
+// schedule order, which makes every run with the same seed bit-for-bit
+// deterministic. Cancellation is lazy: a cancelled event stays in the heap
+// but is skipped when popped, so cancel is O(1) and pop stays O(log n).
+
+#ifndef SRC_SIM_SCHEDULER_H_
+#define SRC_SIM_SCHEDULER_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace centsim {
+
+// Opaque handle identifying a scheduled event; usable to cancel it.
+using EventId = uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  // Schedules `fn` to run at absolute time `at`. `at` must be >= Now().
+  EventId ScheduleAt(SimTime at, std::function<void()> fn);
+  // Schedules `fn` to run `delay` after Now().
+  EventId ScheduleAfter(SimTime delay, std::function<void()> fn);
+
+  // Cancels a pending event. Returns false if the event already ran, was
+  // already cancelled, or never existed.
+  bool Cancel(EventId id);
+
+  // Runs events until the queue is empty or the next event is after
+  // `horizon`. The clock finishes at min(horizon, time of last event run)
+  // ... precisely: if stopped by the horizon, Now() == horizon afterwards.
+  // Returns the number of events executed.
+  uint64_t RunUntil(SimTime horizon);
+
+  // Runs a single event if one is pending. Returns false if queue is empty.
+  bool Step();
+
+  uint64_t pending_count() const { return heap_.size() - cancelled_.size(); }
+  uint64_t executed_count() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime at;
+    EventId id;
+    // Heap orders by earliest time, then lowest id (schedule order).
+    bool operator>(const Entry& other) const {
+      if (at != other.at) {
+        return at > other.at;
+      }
+      return id > other.id;
+    }
+  };
+
+  // Pops and runs the top non-cancelled entry. Precondition: one exists.
+  void RunTop();
+  // Drops cancelled entries from the top of the heap.
+  void SkimCancelled();
+
+  SimTime now_;
+  EventId next_id_ = 1;
+  uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  std::unordered_set<EventId> cancelled_;
+  // Closures are stored out-of-heap so Entry stays trivially copyable.
+  std::unordered_map<EventId, std::function<void()>> actions_;
+};
+
+// Convenience: a repeating event. Reschedules itself every `period` until
+// Stop() is called or the owning scheduler drains past the horizon.
+class PeriodicEvent {
+ public:
+  PeriodicEvent(Scheduler& sched, SimTime period, std::function<void()> fn);
+  ~PeriodicEvent();
+  PeriodicEvent(const PeriodicEvent&) = delete;
+  PeriodicEvent& operator=(const PeriodicEvent&) = delete;
+
+  void Start(SimTime first_delay);
+  void Stop();
+  bool running() const { return running_; }
+
+ private:
+  void Fire();
+
+  Scheduler& sched_;
+  SimTime period_;
+  std::function<void()> fn_;
+  EventId pending_ = kInvalidEventId;
+  bool running_ = false;
+};
+
+}  // namespace centsim
+
+#endif  // SRC_SIM_SCHEDULER_H_

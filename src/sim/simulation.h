@@ -1,0 +1,57 @@
+// Top-level simulation context: the scheduler, the root RNG, and the trace
+// log, bundled so components can be constructed against one object.
+
+#ifndef SRC_SIM_SIMULATION_H_
+#define SRC_SIM_SIMULATION_H_
+
+#include <cstdint>
+
+#include "src/sim/random.h"
+#include "src/sim/scheduler.h"
+#include "src/sim/time.h"
+#include "src/sim/trace.h"
+
+namespace centsim {
+
+class Simulation {
+ public:
+  explicit Simulation(uint64_t seed) : root_rng_(seed), seed_(seed) {}
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  Scheduler& scheduler() { return scheduler_; }
+  TraceLog& trace() { return trace_; }
+  const TraceLog& trace() const { return trace_; }
+  uint64_t seed() const { return seed_; }
+
+  SimTime Now() const { return scheduler_.Now(); }
+
+  // Independent RNG stream for entity `stream_id`.
+  RandomStream StreamFor(uint64_t stream_id) const { return root_rng_.Derive(stream_id); }
+
+  // Convenience trace emitters stamped with the current simulated time.
+  void Info(const std::string& component, const std::string& message) {
+    trace_.Emit(Now(), TraceLevel::kInfo, component, message);
+  }
+  void Warn(const std::string& component, const std::string& message) {
+    trace_.Emit(Now(), TraceLevel::kWarning, component, message);
+  }
+  void Fail(const std::string& component, const std::string& message) {
+    trace_.Emit(Now(), TraceLevel::kFailure, component, message);
+  }
+  void Maint(const std::string& component, const std::string& message) {
+    trace_.Emit(Now(), TraceLevel::kMaintenance, component, message);
+  }
+
+  uint64_t RunUntil(SimTime horizon) { return scheduler_.RunUntil(horizon); }
+
+ private:
+  Scheduler scheduler_;
+  TraceLog trace_;
+  RandomStream root_rng_;
+  uint64_t seed_;
+};
+
+}  // namespace centsim
+
+#endif  // SRC_SIM_SIMULATION_H_

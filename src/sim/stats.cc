@@ -1,0 +1,141 @@
+#include "src/sim/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace centsim {
+
+void SummaryStats::Add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void SummaryStats::Merge(const SummaryStats& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double SummaryStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double SummaryStats::stddev() const { return std::sqrt(variance()); }
+
+std::string SummaryStats::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "n=%llu mean=%.4g sd=%.4g min=%.4g max=%.4g",
+                static_cast<unsigned long long>(count_), mean(), stddev(), min(), max());
+  return buf;
+}
+
+Histogram::Histogram(double lo, double hi, uint32_t bins) : lo_(lo), hi_(hi), counts_(bins, 0) {
+  assert(hi > lo && bins > 0);
+}
+
+void Histogram::Add(double x) {
+  const double frac = (x - lo_) / (hi_ - lo_);
+  int64_t bin = static_cast<int64_t>(frac * static_cast<double>(counts_.size()));
+  bin = std::clamp<int64_t>(bin, 0, static_cast<int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<size_t>(bin)];
+  ++total_;
+}
+
+double Histogram::BinLow(uint32_t bin) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) / static_cast<double>(counts_.size());
+}
+
+double Histogram::Quantile(double q) const {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double cum = 0.0;
+  for (uint32_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      const double inside = counts_[i] ? (target - cum) / static_cast<double>(counts_[i]) : 0.0;
+      return BinLow(i) + inside * (BinHigh(i) - BinLow(i));
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::ToString(uint32_t max_rows) const {
+  std::string out;
+  const uint32_t stride = std::max(1u, num_bins() / std::max(1u, max_rows));
+  uint64_t peak = 1;
+  for (uint64_t c : counts_) {
+    peak = std::max(peak, c);
+  }
+  for (uint32_t i = 0; i < num_bins(); i += stride) {
+    uint64_t c = 0;
+    for (uint32_t j = i; j < std::min(num_bins(), i + stride); ++j) {
+      c += counts_[j];
+    }
+    char line[128];
+    const int bar = static_cast<int>(40.0 * static_cast<double>(c) /
+                                     static_cast<double>(peak * stride));
+    std::snprintf(line, sizeof(line), "[%10.3g, %10.3g) %8llu |", BinLow(i),
+                  BinLow(std::min(num_bins(), i + stride)), static_cast<unsigned long long>(c));
+    out += line;
+    out.append(static_cast<size_t>(std::max(0, bar)), '#');
+    out += '\n';
+  }
+  return out;
+}
+
+double SampleSet::Quantile(double q) const {
+  if (values_.empty()) {
+    return 0.0;
+  }
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(values_.size() - 1);
+  const size_t i = static_cast<size_t>(pos);
+  const double frac = pos - static_cast<double>(i);
+  if (i + 1 >= values_.size()) {
+    return values_.back();
+  }
+  return values_[i] * (1.0 - frac) + values_[i + 1] * frac;
+}
+
+double SampleSet::Mean() const {
+  if (values_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double v : values_) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values_.size());
+}
+
+}  // namespace centsim

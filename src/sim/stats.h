@@ -1,0 +1,84 @@
+// Online statistics helpers used across the simulator and the benches.
+
+#ifndef SRC_SIM_STATS_H_
+#define SRC_SIM_STATS_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace centsim {
+
+// Running mean/variance/min/max via Welford's algorithm. O(1) memory.
+class SummaryStats {
+ public:
+  void Add(double x);
+  void Merge(const SummaryStats& other);
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  // Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+  std::string ToString() const;
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Fixed-width-bin histogram over [lo, hi); out-of-range samples clamp into
+// the first/last bin. Supports quantile queries by linear interpolation
+// within the containing bin.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, uint32_t bins);
+
+  void Add(double x);
+  uint64_t count() const { return total_; }
+  uint64_t BinCount(uint32_t bin) const { return counts_[bin]; }
+  uint32_t num_bins() const { return static_cast<uint32_t>(counts_.size()); }
+  double BinLow(uint32_t bin) const;
+  double BinHigh(uint32_t bin) const { return BinLow(bin + 1); }
+
+  // q in [0, 1]. Returns 0 if empty.
+  double Quantile(double q) const;
+
+  std::string ToString(uint32_t max_rows = 16) const;
+
+ private:
+  double lo_;
+  double hi_;
+  uint64_t total_ = 0;
+  std::vector<uint64_t> counts_;
+};
+
+// Exact quantiles over a retained sample vector. Use when the population is
+// small enough to keep (fleet-level metrics, per-device lifetimes).
+class SampleSet {
+ public:
+  void Add(double x) {
+    values_.push_back(x);
+    sorted_ = false;
+  }
+  uint64_t count() const { return values_.size(); }
+  double Quantile(double q) const;  // Sorts lazily.
+  double Mean() const;
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace centsim
+
+#endif  // SRC_SIM_STATS_H_

@@ -1,0 +1,29 @@
+#include "src/sim/time.h"
+
+#include <cstdio>
+
+namespace centsim {
+
+std::string SimTime::ToString() const {
+  char buf[64];
+  const double s = ToSeconds();
+  if (micros_ == INT64_MAX) {
+    return "inf";
+  }
+  if (s >= 365.25 * 24 * 3600) {
+    std::snprintf(buf, sizeof(buf), "%.2fy", ToYears());
+  } else if (s >= 24 * 3600) {
+    std::snprintf(buf, sizeof(buf), "%.2fd", ToDays());
+  } else if (s >= 3600) {
+    std::snprintf(buf, sizeof(buf), "%.2fh", ToHours());
+  } else if (s >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", s);
+  } else if (s >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(micros_));
+  }
+  return buf;
+}
+
+}  // namespace centsim

@@ -1,0 +1,67 @@
+// Lightweight structured trace log for simulation runs.
+//
+// Components emit (time, severity, component, message) records; sinks decide
+// what to keep. The default sink retains records in memory for tests and the
+// experiment diary; a stream sink mirrors records to stderr for debugging.
+
+#ifndef SRC_SIM_TRACE_H_
+#define SRC_SIM_TRACE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace centsim {
+
+enum class TraceLevel : uint8_t {
+  kDebug = 0,
+  kInfo = 1,
+  kMaintenance = 2,  // Human action required/taken: feeds the living diary.
+  kWarning = 3,
+  kFailure = 4,
+};
+
+const char* TraceLevelName(TraceLevel level);
+
+struct TraceRecord {
+  SimTime at;
+  TraceLevel level;
+  std::string component;
+  std::string message;
+
+  std::string ToString() const;
+};
+
+class TraceLog {
+ public:
+  using Sink = std::function<void(const TraceRecord&)>;
+
+  // Records below `min_level` are dropped at emit time.
+  explicit TraceLog(TraceLevel min_level = TraceLevel::kInfo) : min_level_(min_level) {}
+
+  void Emit(SimTime at, TraceLevel level, std::string component, std::string message);
+
+  // Retains every accepted record in memory (for diary extraction / tests).
+  void EnableRetention(bool on) { retain_ = on; }
+  void AddSink(Sink sink) { sinks_.push_back(std::move(sink)); }
+  void set_min_level(TraceLevel level) { min_level_ = level; }
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+  uint64_t emitted_count() const { return emitted_; }
+  // Records at or above `level`.
+  std::vector<TraceRecord> FilterAtLeast(TraceLevel level) const;
+
+ private:
+  TraceLevel min_level_;
+  bool retain_ = true;
+  uint64_t emitted_ = 0;
+  std::vector<TraceRecord> records_;
+  std::vector<Sink> sinks_;
+};
+
+}  // namespace centsim
+
+#endif  // SRC_SIM_TRACE_H_

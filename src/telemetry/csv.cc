@@ -1,0 +1,31 @@
+#include "src/telemetry/csv.h"
+
+namespace centsim {
+
+std::string CsvWriter::Escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) {
+    return cell;
+  }
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') {
+      out += "\"\"";
+    } else {
+      out += ch;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) {
+      os_ << ',';
+    }
+    os_ << Escape(cells[i]);
+  }
+  os_ << '\n';
+}
+
+}  // namespace centsim

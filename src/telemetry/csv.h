@@ -1,0 +1,27 @@
+// Minimal RFC-4180-style CSV writer for exporting bench series.
+
+#ifndef SRC_TELEMETRY_CSV_H_
+#define SRC_TELEMETRY_CSV_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace centsim {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  void WriteRow(const std::vector<std::string>& cells);
+
+  // Quotes a cell if it contains a comma, quote, or newline.
+  static std::string Escape(const std::string& cell);
+
+ private:
+  std::ostream& os_;
+};
+
+}  // namespace centsim
+
+#endif  // SRC_TELEMETRY_CSV_H_

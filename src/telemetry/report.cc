@@ -1,0 +1,88 @@
+#include "src/telemetry/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace centsim {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::Print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    os << "| ";
+    for (size_t c = 0; c < cells.size(); ++c) {
+      os << cells[c];
+      os << std::string(widths[c] - cells[c].size(), ' ');
+      os << " | ";
+    }
+    os << "\n";
+  };
+  print_row(headers_);
+  os << "|";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+std::string Table::ToString() const {
+  std::ostringstream oss;
+  Print(oss);
+  return oss.str();
+}
+
+std::string FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string FormatCount(uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  int pos = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it, ++pos) {
+    if (pos > 0 && pos % 3 == 0) {
+      out += ',';
+    }
+    out += *it;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string FormatUsd(double v) {
+  char buf[64];
+  if (v >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "$%.2fM", v / 1e6);
+  } else if (v >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "$%.1fk", v / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "$%.2f", v);
+  }
+  return buf;
+}
+
+std::string FormatPercent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace centsim

@@ -1,0 +1,38 @@
+// Aligned-text table printer used by the bench harness to regenerate the
+// paper's reported rows, and small formatting helpers.
+
+#ifndef SRC_TELEMETRY_REPORT_H_
+#define SRC_TELEMETRY_REPORT_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace centsim {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Cells beyond the header count are dropped; missing cells print empty.
+  void AddRow(std::vector<std::string> cells);
+  void Print(std::ostream& os) const;
+  std::string ToString() const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formatting helpers.
+std::string FormatDouble(double v, int precision = 2);
+std::string FormatCount(uint64_t v);     // Thousands separators.
+std::string FormatUsd(double v);
+std::string FormatPercent(double fraction, int precision = 1);
+
+}  // namespace centsim
+
+#endif  // SRC_TELEMETRY_REPORT_H_

@@ -1,0 +1,118 @@
+#include "src/telemetry/sensors.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/sim/random.h"
+
+namespace centsim {
+namespace {
+
+constexpr double kDaySeconds = 86400.0;
+constexpr double kYearSeconds = 365.25 * kDaySeconds;
+
+// Hash -> [0,1) for time-bucketed texture.
+double HashUnit(uint64_t seed, int64_t bucket, uint64_t salt) {
+  uint64_t s = seed ^ (static_cast<uint64_t>(bucket) * 0x9e3779b97f4a7c15ULL) ^ salt;
+  return static_cast<double>(SplitMix64(s) >> 11) * 0x1.0p-53;
+}
+
+// Smooth hashed noise: linear interpolation between bucket draws.
+double SmoothNoise(uint64_t seed, double t_seconds, double bucket_seconds, uint64_t salt) {
+  const double pos = t_seconds / bucket_seconds;
+  const int64_t b = static_cast<int64_t>(std::floor(pos));
+  const double frac = pos - std::floor(pos);
+  const double a = HashUnit(seed, b, salt);
+  const double c = HashUnit(seed, b + 1, salt);
+  return (a * (1.0 - frac) + c * frac) * 2.0 - 1.0;  // [-1, 1).
+}
+
+}  // namespace
+
+const char* SensorKindName(SensorKind kind) {
+  switch (kind) {
+    case SensorKind::kTemperature:
+      return "temperature";
+    case SensorKind::kVibration:
+      return "vibration";
+    case SensorKind::kConcreteHealth:
+      return "concrete-health";
+    case SensorKind::kAirQuality:
+      return "air-quality";
+  }
+  return "?";
+}
+
+SensorModel::SensorModel(SensorKind kind, uint64_t site_seed)
+    : kind_(kind), site_seed_(site_seed) {}
+
+double SensorModel::TruthAt(SimTime t) const {
+  const double s = t.ToSeconds();
+  const double day_frac = std::fmod(s, kDaySeconds) / kDaySeconds;
+  const double year_frac = std::fmod(s, kYearSeconds) / kYearSeconds;
+  switch (kind_) {
+    case SensorKind::kTemperature: {
+      // Seasonal 18+-10, diurnal +-6 peaking mid-afternoon, synoptic noise.
+      const double season = 18.0 + 10.0 * std::sin(2.0 * M_PI * (year_frac - 0.25));
+      const double diurnal = 6.0 * std::sin(2.0 * M_PI * (day_frac - 0.375));
+      const double synoptic = 3.0 * SmoothNoise(site_seed_, s, 3.0 * kDaySeconds, 0xA);
+      return season + diurnal + synoptic;
+    }
+    case SensorKind::kVibration: {
+      // Rush-hour humps over a daytime plateau, in centi-g scale units.
+      auto hump = [&](double center, double width) {
+        const double d = (day_frac - center) / width;
+        return std::exp(-d * d);
+      };
+      const double traffic = 0.1 + 0.9 * std::min(1.0, hump(8.0 / 24, 0.05) +
+                                                           hump(17.5 / 24, 0.06) + 0.35);
+      return 20.0 * traffic * (1.0 + 0.3 * SmoothNoise(site_seed_, s, 600.0, 0xB));
+    }
+    case SensorKind::kConcreteHealth: {
+      // EMI index: drifts down over decades with seasonal moisture wiggle.
+      const double years = s / kYearSeconds;
+      const double aging = 100.0 * std::exp(-years / 80.0);
+      const double moisture = 1.5 * std::sin(2.0 * M_PI * year_frac);
+      return aging + moisture;
+    }
+    case SensorKind::kAirQuality: {
+      // PM2.5: diurnal traffic signature + multi-hour pollution episodes.
+      const double base = 12.0 + 8.0 * std::max(0.0, std::sin(2.0 * M_PI * (day_frac - 0.3)));
+      const double episode = std::max(0.0, SmoothNoise(site_seed_, s, 8.0 * 3600.0, 0xC)) * 40.0;
+      return base + episode;
+    }
+  }
+  return 0.0;
+}
+
+double SensorModel::MeasureAt(SimTime t) const {
+  // +-1% of value plus a small absolute noise floor, hashed per sample.
+  const double truth = TruthAt(t);
+  const double u = SmoothNoise(site_seed_ ^ 0xF00D, t.ToSeconds(), 1.0, 0xD);
+  return truth * (1.0 + 0.01 * u) + 0.05 * u;
+}
+
+int16_t SensorModel::MeasureCentiAt(SimTime t) const {
+  const double centi = MeasureAt(t) * 100.0;
+  return static_cast<int16_t>(std::clamp(centi, -32768.0, 32767.0));
+}
+
+double ReconstructionError(const SensorModel& sensor, SimTime interval, SimTime horizon) {
+  // Evaluate the zero-order-hold reconstruction on a fine grid.
+  const SimTime grid = SimTime::Minutes(10);
+  double err_sum = 0.0;
+  uint64_t samples = 0;
+  double held = sensor.MeasureAt(SimTime());
+  SimTime next_sample = interval;
+  for (SimTime t; t < horizon; t += grid) {
+    while (t >= next_sample) {
+      held = sensor.MeasureAt(next_sample);
+      next_sample += interval;
+    }
+    err_sum += std::abs(sensor.TruthAt(t) - held);
+    ++samples;
+  }
+  return samples ? err_sum / static_cast<double>(samples) : 0.0;
+}
+
+}  // namespace centsim

@@ -1,0 +1,56 @@
+// Physical sensor models: what the transmit-only devices actually measure.
+// Each model is a deterministic function of simulated time plus hashed
+// per-site texture, so fleets produce correlated-but-distinct readings and
+// the endpoint's data is real enough to evaluate application-level
+// fidelity (sampling-rate vs reconstruction error).
+
+#ifndef SRC_TELEMETRY_SENSORS_H_
+#define SRC_TELEMETRY_SENSORS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/sim/time.h"
+
+namespace centsim {
+
+enum class SensorKind : uint8_t {
+  kTemperature,     // Street-level air temperature (centi-degC).
+  kVibration,       // Traffic-induced RMS vibration (centi-g).
+  kConcreteHealth,  // PZT electromechanical-impedance index (paper [34]).
+  kAirQuality,      // PM2.5-like concentration (centi-ug/m^3).
+};
+
+const char* SensorKindName(SensorKind kind);
+
+class SensorModel {
+ public:
+  SensorModel(SensorKind kind, uint64_t site_seed);
+
+  // Ground-truth value at time t (units above, as a double).
+  double TruthAt(SimTime t) const;
+
+  // A measurement: truth plus hashed, zero-mean noise — still a pure
+  // function of (site, t), so replays are reproducible.
+  double MeasureAt(SimTime t) const;
+
+  // Quantized for the 12-byte report's int16 field.
+  int16_t MeasureCentiAt(SimTime t) const;
+
+  SensorKind kind() const { return kind_; }
+
+ private:
+  SensorKind kind_;
+  uint64_t site_seed_;
+};
+
+// Application fidelity: sample the truth every `interval`, reconstruct by
+// zero-order hold, and report the mean absolute reconstruction error over
+// `horizon`. This is what "is hourly reporting enough?" means for a given
+// phenomenon, and why air quality (fast, local) demands density and rate
+// that slow phenomena (concrete health) do not.
+double ReconstructionError(const SensorModel& sensor, SimTime interval, SimTime horizon);
+
+}  // namespace centsim
+
+#endif  // SRC_TELEMETRY_SENSORS_H_

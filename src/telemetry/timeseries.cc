@@ -1,0 +1,81 @@
+#include "src/telemetry/timeseries.h"
+
+#include <cassert>
+
+namespace centsim {
+
+SummaryStats TimeSeries::Summarize() const {
+  SummaryStats s;
+  for (const auto& p : points_) {
+    s.Add(p.value);
+  }
+  return s;
+}
+
+double TimeSeries::MeanOver(SimTime from, SimTime to) const {
+  SummaryStats s;
+  for (const auto& p : points_) {
+    if (p.at >= from && p.at < to) {
+      s.Add(p.value);
+    }
+  }
+  return s.mean();
+}
+
+std::vector<TimePoint> TimeSeries::Rebucket(SimTime bucket, SimTime through) const {
+  assert(bucket.micros() > 0);
+  const uint64_t n = static_cast<uint64_t>(through.micros() / bucket.micros()) + 1;
+  std::vector<double> sums(n, 0.0);
+  std::vector<uint64_t> counts(n, 0);
+  for (const auto& p : points_) {
+    if (p.at > through) {
+      continue;
+    }
+    const uint64_t i = static_cast<uint64_t>(p.at.micros() / bucket.micros());
+    sums[i] += p.value;
+    ++counts[i];
+  }
+  std::vector<TimePoint> out;
+  out.reserve(n);
+  double last = 0.0;
+  for (uint64_t i = 0; i < n; ++i) {
+    if (counts[i] > 0) {
+      last = sums[i] / static_cast<double>(counts[i]);
+    }
+    out.push_back({SimTime::Micros(static_cast<int64_t>(i) * bucket.micros()), last});
+  }
+  return out;
+}
+
+BucketedSeries::BucketedSeries(SimTime bucket_width) : width_(bucket_width) {
+  assert(bucket_width.micros() > 0);
+}
+
+void BucketedSeries::Add(SimTime at, double value) {
+  const uint64_t i = static_cast<uint64_t>(at.micros() / width_.micros());
+  if (sums_.size() <= i) {
+    sums_.resize(i + 1, 0.0);
+    counts_.resize(i + 1, 0);
+  }
+  sums_[i] += value;
+  ++counts_[i];
+}
+
+double BucketedSeries::BucketMean(uint64_t index, double fallback) const {
+  if (index >= sums_.size() || counts_[index] == 0) {
+    return fallback;
+  }
+  return sums_[index] / static_cast<double>(counts_[index]);
+}
+
+std::vector<TimePoint> BucketedSeries::AsSeries() const {
+  std::vector<TimePoint> out;
+  out.reserve(sums_.size());
+  for (uint64_t i = 0; i < sums_.size(); ++i) {
+    out.push_back({SimTime::Micros(static_cast<int64_t>(i) * width_.micros()),
+                   BucketMean(i, 0.0)});
+  }
+  return out;
+}
+
+}  // namespace centsim

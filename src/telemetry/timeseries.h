@@ -1,0 +1,60 @@
+// Append-only time series with bucketed aggregation, for recording metrics
+// (availability, state of charge, delivery rate) across century-scale runs
+// without retaining every sample.
+
+#ifndef SRC_TELEMETRY_TIMESERIES_H_
+#define SRC_TELEMETRY_TIMESERIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/stats.h"
+#include "src/sim/time.h"
+
+namespace centsim {
+
+struct TimePoint {
+  SimTime at;
+  double value;
+};
+
+class TimeSeries {
+ public:
+  void Add(SimTime at, double value) { points_.push_back({at, value}); }
+  const std::vector<TimePoint>& points() const { return points_; }
+  size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+
+  SummaryStats Summarize() const;
+  // Mean value within [from, to).
+  double MeanOver(SimTime from, SimTime to) const;
+  // Buckets the series into fixed windows; each bucket is the mean of its
+  // samples (empty buckets carry the previous bucket's value, 0 if first).
+  std::vector<TimePoint> Rebucket(SimTime bucket, SimTime through) const;
+
+ private:
+  std::vector<TimePoint> points_;
+};
+
+// Memory-bounded aggregator: accumulates samples directly into fixed
+// buckets. Use for fleet-scale runs where a raw TimeSeries would be huge.
+class BucketedSeries {
+ public:
+  explicit BucketedSeries(SimTime bucket_width);
+
+  void Add(SimTime at, double value);
+  // Mean of bucket i, or `fallback` if the bucket is empty.
+  double BucketMean(uint64_t index, double fallback = 0.0) const;
+  uint64_t BucketCount() const { return sums_.size(); }
+  SimTime bucket_width() const { return width_; }
+  std::vector<TimePoint> AsSeries() const;
+
+ private:
+  SimTime width_;
+  std::vector<double> sums_;
+  std::vector<uint64_t> counts_;
+};
+
+}  // namespace centsim
+
+#endif  // SRC_TELEMETRY_TIMESERIES_H_

@@ -1,0 +1,85 @@
+#include "src/city/air_quality.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace centsim {
+namespace {
+
+PollutionField MakeField(uint64_t seed = 1) {
+  PollutionField::Params p;
+  return PollutionField(p, RandomStream(seed));
+}
+
+TEST(PollutionFieldTest, BackgroundFarFromSources) {
+  const auto field = MakeField();
+  EXPECT_NEAR(field.ConcentrationAt(-1e7, -1e7), 8.0, 1e-6);
+}
+
+TEST(PollutionFieldTest, ConcentrationAboveBackgroundInside) {
+  const auto field = MakeField();
+  double max_c = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    for (int j = 0; j < 20; ++j) {
+      max_c = std::max(max_c, field.ConcentrationAt(i * field.side_m() / 20.0,
+                                                    j * field.side_m() / 20.0));
+    }
+  }
+  EXPECT_GT(max_c, 16.0);  // Hotspots exceed 2x background.
+}
+
+TEST(PollutionFieldTest, LocalityAtBlockScale) {
+  // The paper's point: pollution varies at city-block (~100 m) scale.
+  const auto field = MakeField();
+  double max_gradient = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const double x = i * field.side_m() / 200.0;
+    const double a = field.ConcentrationAt(x, field.side_m() / 2);
+    const double b = field.ConcentrationAt(x + 100.0, field.side_m() / 2);
+    max_gradient = std::max(max_gradient, std::abs(a - b));
+  }
+  EXPECT_GT(max_gradient, 3.0);  // >3 ug/m^3 across one block somewhere.
+}
+
+TEST(DensityTest, ZeroSensorsZeroRecallMetrics) {
+  const auto field = MakeField();
+  const auto result = EvaluateSensorDensity(field, 0, RandomStream(2));
+  EXPECT_EQ(result.sensor_count, 0u);
+  EXPECT_DOUBLE_EQ(result.mean_abs_error, 0.0);  // No reconstruction made.
+}
+
+TEST(DensityTest, ErrorFallsWithDensity) {
+  const auto field = MakeField();
+  const auto sparse = EvaluateSensorDensity(field, 10, RandomStream(3));
+  const auto medium = EvaluateSensorDensity(field, 100, RandomStream(3));
+  const auto dense = EvaluateSensorDensity(field, 1000, RandomStream(3));
+  EXPECT_GT(sparse.mean_abs_error, medium.mean_abs_error);
+  EXPECT_GT(medium.mean_abs_error, dense.mean_abs_error);
+}
+
+TEST(DensityTest, HotspotRecallRisesWithDensity) {
+  const auto field = MakeField();
+  const auto sparse = EvaluateSensorDensity(field, 10, RandomStream(4));
+  const auto dense = EvaluateSensorDensity(field, 2000, RandomStream(4));
+  EXPECT_GT(dense.hotspot_recall, sparse.hotspot_recall);
+  EXPECT_GT(dense.hotspot_recall, 0.8);
+}
+
+TEST(DensityTest, SensorsPerKm2Computed) {
+  const auto field = MakeField();
+  const auto result = EvaluateSensorDensity(field, 250, RandomStream(5));
+  EXPECT_NEAR(result.sensors_per_km2, 10.0, 0.01);  // 250 over 25 km^2.
+}
+
+TEST(DensityTest, DeterministicPerSeed) {
+  const auto field = MakeField();
+  const auto a = EvaluateSensorDensity(field, 100, RandomStream(6));
+  const auto b = EvaluateSensorDensity(field, 100, RandomStream(6));
+  EXPECT_DOUBLE_EQ(a.mean_abs_error, b.mean_abs_error);
+  EXPECT_DOUBLE_EQ(a.hotspot_recall, b.hotspot_recall);
+}
+
+}  // namespace
+}  // namespace centsim

@@ -1,0 +1,84 @@
+#include "src/city/deployment.h"
+
+#include <gtest/gtest.h>
+
+namespace centsim {
+namespace {
+
+DeploymentPlan MakePlan(uint32_t sites = 2000, double area = 25.0, uint32_t grid = 4) {
+  DeploymentPlan::Params p;
+  p.site_count = sites;
+  p.area_km2 = area;
+  p.zone_grid = grid;
+  return DeploymentPlan(p, RandomStream(11));
+}
+
+TEST(DeploymentTest, SiteCountAndBounds) {
+  const auto plan = MakePlan();
+  EXPECT_EQ(plan.sites().size(), 2000u);
+  EXPECT_NEAR(plan.side_m(), 5000.0, 1e-9);
+  for (const auto& s : plan.sites()) {
+    EXPECT_GE(s.x_m, 0.0);
+    EXPECT_LE(s.x_m, plan.side_m());
+    EXPECT_LT(s.zone, plan.zone_count());
+  }
+}
+
+TEST(DeploymentTest, ZonesRoughlyBalanced) {
+  const auto plan = MakePlan(16000, 25.0, 4);
+  const auto per_zone = plan.SitesPerZone();
+  ASSERT_EQ(per_zone.size(), 16u);
+  for (uint32_t count : per_zone) {
+    EXPECT_GT(count, 700u);   // 1000 expected.
+    EXPECT_LT(count, 1300u);
+  }
+}
+
+TEST(DeploymentTest, ZoneMatchesCoordinates) {
+  const auto plan = MakePlan();
+  for (const auto& s : plan.sites()) {
+    const uint32_t zx = static_cast<uint32_t>(s.x_m / plan.side_m() * 4);
+    const uint32_t zy = static_cast<uint32_t>(s.y_m / plan.side_m() * 4);
+    EXPECT_EQ(s.zone, std::min(zy, 3u) * 4 + std::min(zx, 3u));
+  }
+}
+
+TEST(DeploymentTest, DistanceMetric) {
+  EXPECT_DOUBLE_EQ(DistanceM({0, 0, 0}, {3, 4, 0}), 5.0);
+  EXPECT_DOUBLE_EQ(DistanceM({1, 1, 0}, {1, 1, 0}), 0.0);
+}
+
+TEST(DeploymentTest, GatewayGridCoversAtPlannedRange) {
+  const auto plan = MakePlan();
+  const double range = 800.0;
+  const auto gws = plan.PlanGatewayGrid(range);
+  const auto report = plan.ScoreCoverage(gws, range);
+  EXPECT_GT(report.CoveredFraction(), 0.95);
+}
+
+TEST(DeploymentTest, CoverageMonotoneInRange) {
+  const auto plan = MakePlan();
+  const auto gws = plan.PlanGatewayGrid(800.0);
+  double prev = 0.0;
+  for (double r : {100.0, 300.0, 600.0, 1200.0}) {
+    const double f = plan.ScoreCoverage(gws, r).CoveredFraction();
+    EXPECT_GE(f, prev);
+    prev = f;
+  }
+}
+
+TEST(DeploymentTest, FewerGatewaysNeededForLongerRange) {
+  const auto plan = MakePlan();
+  EXPECT_LT(plan.PlanGatewayGrid(2000.0).size(), plan.PlanGatewayGrid(500.0).size());
+}
+
+TEST(DeploymentTest, NoGatewaysNoCoverage) {
+  const auto plan = MakePlan(100);
+  const auto report = plan.ScoreCoverage({}, 1000.0);
+  EXPECT_EQ(report.covered, 0u);
+  EXPECT_EQ(report.uncovered, 100u);
+  EXPECT_DOUBLE_EQ(report.CoveredFraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace centsim

@@ -1,0 +1,161 @@
+#include "src/core/device.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/energy/harvester.h"
+#include "src/net/backhaul.h"
+
+namespace centsim {
+namespace {
+
+class BigSolar : public Harvester {
+ public:
+  double PowerAt(SimTime) const override { return 0.05; }  // 50 mW constant.
+  double EnergyOver(SimTime from, SimTime to) const override {
+    return 0.05 * (to - from).ToSeconds();
+  }
+  std::string name() const override { return "big"; }
+};
+
+class DeviceFixture : public ::testing::Test {
+ protected:
+  DeviceFixture()
+      : sim_(21),
+        fabric_(sim_),
+        backhaul_("bh", {SimTime::Years(1000), SimTime::Hours(1)}, RandomStream(2)) {
+    fabric_.SetEndpoint(&endpoint_);
+    GatewayConfig gc;
+    gc.id = 500;
+    gc.tech = RadioTech::k802154;
+    gc.name = "gw";
+    gateway_ = std::make_unique<Gateway>(sim_, gc, SeriesSystem::RaspberryPiGateway());
+    gateway_->SetRepairPolicy([](SimTime t) { return t + SimTime::Hours(1); });
+    gateway_->AttachBackhaul(&backhaul_);
+    gateway_->Deploy();
+    fabric_.AddGateway(gateway_.get());
+  }
+
+  std::unique_ptr<EdgeDevice> MakeDevice(EdgeDeviceConfig cfg, bool big_energy = true) {
+    EnergyManager energy(
+        big_energy ? std::unique_ptr<Harvester>(std::make_unique<BigSolar>())
+                   : std::unique_ptr<Harvester>(
+                         std::make_unique<SolarHarvester>(SolarHarvester::Params{})),
+        EnergyStorage::Supercap(), LoadProfileFor(cfg));
+    return std::make_unique<EdgeDevice>(sim_, cfg, fabric_, std::move(energy),
+                                        SeriesSystem::EnergyHarvestingNode());
+  }
+
+  EdgeDeviceConfig BaseConfig(uint32_t id = 1) {
+    EdgeDeviceConfig cfg;
+    cfg.id = id;
+    cfg.x_m = 30;
+    cfg.y_m = 0;
+    cfg.tech = RadioTech::k802154;
+    cfg.tx_power_dbm = 4.0;
+    cfg.report_interval = SimTime::Hours(1);
+    return cfg;
+  }
+
+  Simulation sim_;
+  NetworkFabric fabric_;
+  CloudEndpoint endpoint_;
+  Backhaul backhaul_;
+  std::unique_ptr<Gateway> gateway_;
+};
+
+TEST_F(DeviceFixture, ReportsAtConfiguredCadence) {
+  auto dev = MakeDevice(BaseConfig());
+  dev->Deploy();
+  sim_.RunUntil(SimTime::Days(10));
+  // 240 hours: ~240 attempts (random phase may drop one).
+  EXPECT_GE(dev->attempts(), 238u);
+  EXPECT_LE(dev->attempts(), 241u);
+  EXPECT_GT(dev->delivered(), 200u);
+  EXPECT_EQ(endpoint_.PacketsFrom(1), dev->delivered());
+}
+
+TEST_F(DeviceFixture, RegistersOfferedLoad) {
+  auto dev = MakeDevice(BaseConfig());
+  dev->Deploy();
+  EXPECT_NEAR(fabric_.OfferedLoadHz(RadioTech::k802154), 1.0 / 3600.0, 1e-9);
+  dev.reset();
+  EXPECT_NEAR(fabric_.OfferedLoadHz(RadioTech::k802154), 0.0, 1e-12);
+}
+
+TEST_F(DeviceFixture, HardwareFailureStopsReporting) {
+  auto dev = MakeDevice(BaseConfig());
+  bool failed = false;
+  dev->SetFailureCallback([&](EdgeDevice&, SimTime) { failed = true; });
+  dev->Deploy();
+  sim_.RunUntil(SimTime::Years(100));  // Far beyond any BOM draw.
+  EXPECT_TRUE(failed);
+  EXPECT_FALSE(dev->alive());
+  const uint64_t at_failure = dev->attempts();
+  sim_.RunUntil(SimTime::Years(101));
+  EXPECT_EQ(dev->attempts(), at_failure);
+}
+
+TEST_F(DeviceFixture, ReplaceUnitResumesService) {
+  auto dev = MakeDevice(BaseConfig());
+  dev->SetFailureCallback([this](EdgeDevice& d, SimTime) {
+    sim_.scheduler().ScheduleAfter(SimTime::Days(7), [&d] { d.ReplaceUnit(); });
+  });
+  dev->Deploy();
+  sim_.RunUntil(SimTime::Years(100));
+  EXPECT_GE(dev->unit_generation(), 2u);
+  // With prompt replacement the device keeps reporting across the century.
+  EXPECT_GT(dev->delivered(), 500000u);
+}
+
+TEST_F(DeviceFixture, EnergyStarvedDeviceSkipsReports) {
+  EdgeDeviceConfig cfg = BaseConfig(2);
+  // A 10 mW-peak solar cell can afford hourly reports; starve it by
+  // shrinking the harvest via the default (small) solar and a huge tx cost.
+  cfg.tx_power_dbm = 8.0;
+  auto dev = MakeDevice(cfg, /*big_energy=*/false);
+  dev->Deploy();
+  sim_.RunUntil(SimTime::Days(30));
+  // Night hours are bridged by the supercap, so mostly fine — at minimum
+  // the device must have attempted and the counters must be consistent.
+  uint64_t outcome_total = 0;
+  for (int o = 0; o < kDeliveryOutcomeCount; ++o) {
+    outcome_total += dev->OutcomeCount(static_cast<DeliveryOutcome>(o));
+  }
+  EXPECT_EQ(outcome_total, dev->attempts());
+}
+
+TEST_F(DeviceFixture, LoraDeviceObeysDutyCycle) {
+  EdgeDeviceConfig cfg = BaseConfig(3);
+  cfg.tech = RadioTech::kLoRa;
+  cfg.tx_power_dbm = 14.0;
+  cfg.report_interval = SimTime::Seconds(2);  // Far inside the duty gap.
+  GatewayConfig gc;
+  gc.id = 600;
+  gc.tech = RadioTech::kLoRa;
+  gc.name = "lgw";
+  Gateway lora_gw(sim_, gc, SeriesSystem::RaspberryPiGateway());
+  lora_gw.SetRepairPolicy([](SimTime t) { return t + SimTime::Hours(1); });
+  lora_gw.AttachBackhaul(&backhaul_);
+  lora_gw.Deploy();
+  fabric_.AddGateway(&lora_gw);
+
+  auto dev = MakeDevice(cfg);
+  dev->Deploy();
+  sim_.RunUntil(SimTime::Hours(1));
+  EXPECT_GT(dev->OutcomeCount(DeliveryOutcome::kDutyCycleDeferred), 0u);
+  // SF9 ~0.165 s airtime at 1% duty: ~16.5 s between frames -> <= ~220
+  // transmissions in the hour; deferred attempts dominate.
+  EXPECT_LT(dev->delivered(), 250u);
+}
+
+TEST_F(DeviceFixture, GenerationCountsStartAtOne) {
+  auto dev = MakeDevice(BaseConfig(4));
+  EXPECT_EQ(dev->unit_generation(), 0u);
+  dev->Deploy();
+  EXPECT_EQ(dev->unit_generation(), 1u);
+}
+
+}  // namespace
+}  // namespace centsim

@@ -1,0 +1,165 @@
+#include "src/core/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace centsim {
+namespace {
+
+FiftyYearConfig QuickConfig() {
+  FiftyYearConfig cfg;
+  cfg.seed = 99;
+  cfg.devices_802154 = 3;
+  cfg.devices_lora = 3;
+  cfg.owned_gateways = 2;
+  cfg.helium_hotspots = 3;
+  cfg.report_interval = SimTime::Hours(6);  // Keep event counts small.
+  cfg.horizon = SimTime::Years(5);
+  return cfg;
+}
+
+TEST(ExperimentTest, FiveYearRunHasHighUptime) {
+  const auto report = RunFiftyYearExperiment(QuickConfig());
+  EXPECT_GT(report.weekly_uptime, 0.9);
+  EXPECT_GT(report.total_packets, 1000u);
+  EXPECT_GT(report.owned_path.attempts, 0u);
+  EXPECT_GT(report.helium_path.attempts, 0u);
+}
+
+TEST(ExperimentTest, DeterministicForSameSeed) {
+  const auto a = RunFiftyYearExperiment(QuickConfig());
+  const auto b = RunFiftyYearExperiment(QuickConfig());
+  EXPECT_EQ(a.total_packets, b.total_packets);
+  EXPECT_EQ(a.device_failures, b.device_failures);
+  EXPECT_EQ(a.credits_spent, b.credits_spent);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_DOUBLE_EQ(a.weekly_uptime, b.weekly_uptime);
+}
+
+TEST(ExperimentTest, SeedChangesRealization) {
+  FiftyYearConfig cfg = QuickConfig();
+  const auto a = RunFiftyYearExperiment(cfg);
+  cfg.seed = 100;
+  const auto b = RunFiftyYearExperiment(cfg);
+  EXPECT_NE(a.total_packets, b.total_packets);
+}
+
+TEST(ExperimentTest, CreditsChargedOnlyForHeliumPath) {
+  FiftyYearConfig cfg = QuickConfig();
+  const auto report = RunFiftyYearExperiment(cfg);
+  EXPECT_GT(report.credits_spent, 0u);
+  // Every frame a hotspot forwards costs 1 credit (<=24 B payload), and a
+  // broadcast frame can be forwarded by several hotspots — so spent is at
+  // least the delivered count and at most attempts x hotspots.
+  EXPECT_GE(report.credits_spent, report.helium_path.delivered);
+  EXPECT_LE(report.credits_spent,
+            report.helium_path.attempts * static_cast<uint64_t>(cfg.helium_hotspots));
+  EXPECT_EQ(report.credits_provisioned, 3u * 500000u);
+}
+
+TEST(ExperimentTest, AuthenticationCleanAndDedupActive) {
+  const auto report = RunFiftyYearExperiment(QuickConfig());
+  // Every packet is legitimately signed with increasing counters: nothing
+  // should be rejected end-to-end.
+  EXPECT_EQ(report.auth_rejected, 0u);
+  EXPECT_EQ(report.replay_rejected, 0u);
+  // The network server saw the Helium traffic (>=1 witness per frame).
+  EXPECT_GE(report.mean_witnesses, 1.0);
+}
+
+TEST(ExperimentTest, SuccessionReported) {
+  FiftyYearConfig cfg = QuickConfig();
+  cfg.horizon = SimTime::Years(40);
+  cfg.report_interval = SimTime::Hours(12);
+  const auto report = RunFiftyYearExperiment(cfg);
+  EXPECT_GE(report.custodian_handovers, 1u);
+  EXPECT_GT(report.final_knowledge, 0.0);
+  EXPECT_LE(report.final_knowledge, 1.0);
+}
+
+TEST(ExperimentTest, MultiBuyOneBoundsCredits) {
+  // With purchase dedup, credits spent equal purchased frames: at most one
+  // per helium-path attempt.
+  const auto report = RunFiftyYearExperiment(QuickConfig());
+  EXPECT_LE(report.credits_spent, report.helium_path.attempts);
+  EXPECT_GE(report.credits_spent, report.helium_path.delivered);
+}
+
+TEST(ExperimentTest, PathOutcomesSumToAttempts) {
+  const auto report = RunFiftyYearExperiment(QuickConfig());
+  for (const auto* path : {&report.owned_path, &report.helium_path}) {
+    uint64_t total = 0;
+    for (const auto count : path->outcomes) {
+      total += count;
+    }
+    EXPECT_EQ(total, path->attempts);
+  }
+}
+
+TEST(ExperimentTest, ReplacementKeepsFleetAlive) {
+  FiftyYearConfig cfg = QuickConfig();
+  cfg.horizon = SimTime::Years(30);
+  cfg.report_interval = SimTime::Hours(12);
+  const auto report = RunFiftyYearExperiment(cfg);
+  // Over 30 years with ~15-year MTTF units, failures happen and get
+  // replaced (30-day diagnose window).
+  EXPECT_GT(report.device_failures, 0u);
+  EXPECT_EQ(report.device_replacements, report.device_failures);
+  EXPECT_GT(report.weekly_uptime, 0.8);
+}
+
+TEST(ExperimentTest, NoReplacementFleetDecays) {
+  FiftyYearConfig with = QuickConfig();
+  with.horizon = SimTime::Years(40);
+  with.report_interval = SimTime::Hours(12);
+  FiftyYearConfig without = with;
+  without.replace_failed_devices = false;
+  const auto a = RunFiftyYearExperiment(with);
+  const auto b = RunFiftyYearExperiment(without);
+  EXPECT_EQ(b.device_replacements, 0u);
+  EXPECT_LE(b.total_packets, a.total_packets);
+}
+
+TEST(ExperimentTest, MaintenanceKeepsOwnedGatewaysRunning) {
+  FiftyYearConfig cfg = QuickConfig();
+  cfg.horizon = SimTime::Years(20);
+  cfg.report_interval = SimTime::Hours(12);
+  const auto report = RunFiftyYearExperiment(cfg);
+  EXPECT_GT(report.owned_gateway_failures, 0u);
+  EXPECT_GT(report.maintenance_repairs, 0u);
+  EXPECT_GT(report.maintenance_hours, 0.0);
+}
+
+TEST(ExperimentTest, DisabledMaintenanceKillsOwnedPath) {
+  FiftyYearConfig cfg = QuickConfig();
+  cfg.horizon = SimTime::Years(25);
+  cfg.report_interval = SimTime::Hours(12);
+  cfg.maintenance.enabled = false;
+  const auto report = RunFiftyYearExperiment(cfg);
+  EXPECT_EQ(report.maintenance_repairs, 0u);
+  // RPi gateways die within a decade; the owned path then goes dark while
+  // the Helium path (owner churn replaces hotspots) outlives it.
+  EXPECT_LT(report.owned_path.group_weekly_uptime,
+            report.helium_path.group_weekly_uptime);
+}
+
+TEST(ExperimentTest, DiaryRecordsLivingStudy) {
+  FiftyYearConfig cfg = QuickConfig();
+  cfg.horizon = SimTime::Years(25);
+  cfg.report_interval = SimTime::Hours(12);
+  const auto report = RunFiftyYearExperiment(cfg);
+  EXPECT_FALSE(report.diary_entries.empty());
+  EXPECT_FALSE(report.diary_decades.empty());
+  EXPECT_GE(report.domain_renewals + report.domain_lapses, 2u);
+}
+
+TEST(ExperimentTest, SurvivalCurveHasObservations) {
+  FiftyYearConfig cfg = QuickConfig();
+  cfg.horizon = SimTime::Years(30);
+  cfg.report_interval = SimTime::Hours(12);
+  const auto report = RunFiftyYearExperiment(cfg);
+  EXPECT_GE(report.device_survival.count(),
+            static_cast<size_t>(cfg.devices_802154 + cfg.devices_lora));
+}
+
+}  // namespace
+}  // namespace centsim

@@ -1,0 +1,85 @@
+#include "src/core/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace centsim {
+namespace {
+
+TEST(HierarchyTest, TierNames) {
+  EXPECT_STREQ(TierName(Tier::kDevice), "device");
+  EXPECT_STREQ(TierName(Tier::kCloud), "cloud");
+}
+
+TEST(HierarchyTest, EveryOutcomeMapsToATier) {
+  for (int i = 0; i < kDeliveryOutcomeCount; ++i) {
+    const auto tier = TierForOutcome(static_cast<DeliveryOutcome>(i));
+    EXPECT_GE(static_cast<int>(tier), 0);
+    EXPECT_LT(static_cast<int>(tier), kTierCount);
+  }
+}
+
+TEST(HierarchyTest, SpecificMappings) {
+  EXPECT_EQ(TierForOutcome(DeliveryOutcome::kNoEnergy), Tier::kDevice);
+  EXPECT_EQ(TierForOutcome(DeliveryOutcome::kCollision), Tier::kAccessChannel);
+  EXPECT_EQ(TierForOutcome(DeliveryOutcome::kNoCredits), Tier::kGateway);
+  EXPECT_EQ(TierForOutcome(DeliveryOutcome::kBackhaulDown), Tier::kBackhaul);
+  EXPECT_EQ(TierForOutcome(DeliveryOutcome::kEndpointDown), Tier::kCloud);
+}
+
+TEST(HierarchyTest, EndToEndIsProductWithoutRedundancy) {
+  TierAvailability a;
+  a.device = 0.9;
+  a.access = 0.9;
+  a.gateway = 0.9;
+  a.backhaul = 0.9;
+  a.cloud = 0.9;
+  FanoutSpec fanout;
+  fanout.redundancy_gateways = 1;
+  fanout.redundancy_backhauls = 1;
+  EXPECT_NEAR(EndToEndAvailability(a, fanout), std::pow(0.9, 5), 1e-12);
+}
+
+TEST(HierarchyTest, RedundancyImprovesAvailability) {
+  TierAvailability a;
+  a.gateway = 0.9;
+  FanoutSpec one;
+  FanoutSpec two = one;
+  two.redundancy_gateways = 2;
+  EXPECT_GT(EndToEndAvailability(a, two), EndToEndAvailability(a, one));
+}
+
+TEST(HierarchyTest, TwoGatewaysNearlyEliminateGatewayTerm) {
+  // Paper Figure 1: "Smart devices rely on one or two gateways" — with two
+  // 95%-available gateways, the gateway term is 1-(0.05)^2 = 99.75%.
+  TierAvailability a;
+  a.device = 1.0;
+  a.access = 1.0;
+  a.gateway = 0.95;
+  a.backhaul = 1.0;
+  a.cloud = 1.0;
+  FanoutSpec fanout;
+  fanout.redundancy_gateways = 2;
+  EXPECT_NEAR(EndToEndAvailability(a, fanout), 0.9975, 1e-9);
+}
+
+TEST(HierarchyTest, BlastRadiusGrowsUpTheHierarchy) {
+  FanoutSpec fanout;
+  fanout.devices_per_gateway = 1000;
+  fanout.gateways_per_backhaul = 1000;
+  EXPECT_EQ(BlastRadius(Tier::kDevice, fanout), 1u);
+  EXPECT_EQ(BlastRadius(Tier::kGateway, fanout), 1000u);
+  EXPECT_EQ(BlastRadius(Tier::kBackhaul, fanout), 1000000u);
+  EXPECT_GE(BlastRadius(Tier::kCloud, fanout), BlastRadius(Tier::kBackhaul, fanout));
+}
+
+TEST(HierarchyTest, ZeroRedundancyTreatedAsOne) {
+  TierAvailability a;
+  FanoutSpec fanout;
+  fanout.redundancy_gateways = 0;
+  EXPECT_GT(EndToEndAvailability(a, fanout), 0.0);
+}
+
+}  // namespace
+}  // namespace centsim

@@ -1,0 +1,87 @@
+#include "src/econ/data_credits.h"
+
+#include <gtest/gtest.h>
+
+namespace centsim {
+namespace {
+
+TEST(CreditsTest, PaperHeadlineClaim) {
+  // §4.4: one 24-byte packet per hour for 50 years = 438,000 DC.
+  EXPECT_EQ(CreditsForSchedule(1.0, 50.0, 24), 438000u);
+}
+
+TEST(CreditsTest, FiveDollarsBuysHalfMillion) {
+  // §4.4: "$5 USD" provisions "500,000 data credits".
+  EXPECT_EQ(UsdToCredits(5.0), 500000u);
+  EXPECT_DOUBLE_EQ(CreditsToUsd(500000), 5.0);
+}
+
+TEST(CreditsTest, WalletOutlivesFiftyYearSchedule) {
+  // The paper's arithmetic: the $5 wallet covers the 50-year schedule.
+  EXPECT_GT(UsdToCredits(5.0), CreditsForSchedule(1.0, 50.0, 24));
+}
+
+TEST(CreditsTest, PacketUnitRounding) {
+  EXPECT_EQ(CreditsForPacket(0), 1u);
+  EXPECT_EQ(CreditsForPacket(1), 1u);
+  EXPECT_EQ(CreditsForPacket(24), 1u);
+  EXPECT_EQ(CreditsForPacket(25), 2u);
+  EXPECT_EQ(CreditsForPacket(48), 2u);
+  EXPECT_EQ(CreditsForPacket(49), 3u);
+}
+
+TEST(CreditsTest, BiggerPayloadsCostProportionally) {
+  EXPECT_EQ(CreditsForSchedule(1.0, 1.0, 48), 2 * CreditsForSchedule(1.0, 1.0, 24));
+}
+
+TEST(WalletTest, ChargesAndTracks) {
+  DataCreditWallet wallet(10);
+  EXPECT_TRUE(wallet.ChargePacket(24));
+  EXPECT_TRUE(wallet.ChargePacket(48));  // 2 credits.
+  EXPECT_EQ(wallet.balance(), 7u);
+  EXPECT_EQ(wallet.spent(), 3u);
+}
+
+TEST(WalletTest, RefusesWhenEmpty) {
+  DataCreditWallet wallet(1);
+  EXPECT_TRUE(wallet.ChargePacket(12));
+  EXPECT_FALSE(wallet.ChargePacket(12));
+  EXPECT_EQ(wallet.balance(), 0u);
+  EXPECT_EQ(wallet.refused(), 1u);
+}
+
+TEST(WalletTest, RefusesPartialAffordability) {
+  DataCreditWallet wallet(1);
+  // 30-byte packet needs 2 credits; balance 1 -> refuse, keep the credit.
+  EXPECT_FALSE(wallet.ChargePacket(30));
+  EXPECT_EQ(wallet.balance(), 1u);
+}
+
+TEST(WalletTest, FromUsdFactory) {
+  const auto wallet = DataCreditWallet::FromUsd(5.0);
+  EXPECT_EQ(wallet.balance(), 500000u);
+}
+
+TEST(WalletTest, ProjectedExhaustionMatchesArithmetic) {
+  DataCreditWallet wallet(500000);
+  // 1 pkt/hour, 1 DC each: 500,000 hours ~ 57.07 years.
+  const SimTime t = wallet.ProjectedExhaustion(1.0, 24);
+  EXPECT_NEAR(t.ToHours(), 500000.0, 1.0);
+  EXPECT_GT(t.ToYears(), 50.0);  // The paper's margin claim.
+}
+
+TEST(WalletTest, IdleWalletNeverExhausts) {
+  DataCreditWallet wallet(100);
+  EXPECT_EQ(wallet.ProjectedExhaustion(0.0), SimTime::Max());
+}
+
+TEST(WalletTest, FiftyYearsOfHourlyChargesFits) {
+  DataCreditWallet wallet(UsdToCredits(5.0));
+  for (int i = 0; i < 438000; ++i) {
+    ASSERT_TRUE(wallet.ChargePacket(24));
+  }
+  EXPECT_EQ(wallet.balance(), 62000u);  // 500,000 - 438,000.
+}
+
+}  // namespace
+}  // namespace centsim

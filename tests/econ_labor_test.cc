@@ -1,0 +1,80 @@
+#include "src/econ/labor.h"
+
+#include <gtest/gtest.h>
+
+#include "src/city/city_model.h"
+
+namespace centsim {
+namespace {
+
+TEST(LaborTest, PaperRecoveryClaim) {
+  // §1: LA's 591,315 sensor sites at 20 min each ~ "nearly 200,000
+  // person-hours".
+  TruckRollModel model;
+  const CityAssets la = LosAngelesAssets();
+  const double hours = model.PersonHours(la.TotalSensorSites());
+  EXPECT_NEAR(hours, 197105.0, 1.0);
+  EXPECT_GT(hours, 190000.0);
+  EXPECT_LT(hours, 200000.0);
+}
+
+TEST(LaborTest, PersonHoursLinearInFleet) {
+  TruckRollModel model;
+  EXPECT_DOUBLE_EQ(model.PersonHours(6000), 2.0 * model.PersonHours(3000));
+  EXPECT_DOUBLE_EQ(model.PersonHours(0), 0.0);
+}
+
+TEST(LaborTest, CalendarTimeWithCrews) {
+  TruckRollModel model;
+  // 591,315 sites / 50 crews: 197,105 h / 50 / 1800 h/yr ~ 2.19 years.
+  const CityAssets la = LosAngelesAssets();
+  const SimTime t = model.CalendarTime(la.TotalSensorSites(), 50);
+  EXPECT_NEAR(t.ToYears(), 197105.0 / 50.0 / 1800.0, 0.01);
+  EXPECT_EQ(model.CalendarTime(1000, 0), SimTime::Max());
+}
+
+TEST(LaborTest, CostUsesCrewSizeAndRate) {
+  TruckRollParams p;
+  p.minutes_per_device = 30.0;
+  p.crew_size = 2.0;
+  p.hourly_rate_usd = 100.0;
+  TruckRollModel model(p);
+  // 100 devices: 50 person-hours * 2 crew * $100 = $10,000.
+  EXPECT_DOUBLE_EQ(model.LaborCostUsd(100), 10000.0);
+}
+
+TEST(LaborTest, StaffYears) {
+  TruckRollModel model;
+  const CityAssets la = LosAngelesAssets();
+  // ~110 staff-years: a decade of a 11-person dedicated team.
+  EXPECT_NEAR(model.StaffYears(la.TotalSensorSites()), 197105.0 / 1800.0, 0.1);
+}
+
+TEST(AttentionTest, HoursPerDeviceFallsWithScale) {
+  // §3.1: "as the number of devices grows, the available hours per device
+  // falls."
+  const double small = AttentionHoursPerDeviceYear(10, 1000);
+  const double large = AttentionHoursPerDeviceYear(10, 100000);
+  EXPECT_GT(small, large);
+  EXPECT_DOUBLE_EQ(small, 18.0);   // 18,000 h over 1,000 devices.
+  EXPECT_DOUBLE_EQ(large, 0.18);   // Ten minutes/device/year at 100k.
+}
+
+TEST(AttentionTest, ZeroFleetIsZero) {
+  EXPECT_DOUBLE_EQ(AttentionHoursPerDeviceYear(10, 0), 0.0);
+}
+
+TEST(CityAssetsTest, PaperInventories) {
+  const CityAssets la = LosAngelesAssets();
+  EXPECT_EQ(la.utility_poles, 320000u);
+  EXPECT_EQ(la.intersections, 61315u);
+  EXPECT_EQ(la.streetlights, 210000u);
+  EXPECT_EQ(la.TotalSensorSites(), 591315u);
+
+  const CityAssets sd = SanDiegoAssets();
+  EXPECT_EQ(sd.streetlights, 3300u);  // §2: 3,300 sensor nodes.
+  EXPECT_EQ(sd.utility_poles, 8000u);  // §2: 8,000 smart LEDs.
+}
+
+}  // namespace
+}  // namespace centsim

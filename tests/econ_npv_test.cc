@@ -1,0 +1,52 @@
+#include "src/econ/npv.h"
+
+#include <gtest/gtest.h>
+
+namespace centsim {
+namespace {
+
+TEST(NpvTest, PresentValueDiscounts) {
+  EXPECT_DOUBLE_EQ(PresentValue(100.0, 0.0, 0.05), 100.0);
+  EXPECT_NEAR(PresentValue(105.0, 1.0, 0.05), 100.0, 1e-9);
+  EXPECT_LT(PresentValue(100.0, 50.0, 0.05), 10.0);
+}
+
+TEST(NpvTest, AnnuityZeroRateIsSum) {
+  EXPECT_DOUBLE_EQ(AnnuityPresentValue(10.0, 5.0, 0.0), 50.0);
+}
+
+TEST(NpvTest, AnnuityClosedForm) {
+  // $100/yr for 10 years at 5%: 100 * (1 - 1.05^-10)/0.05 = 772.17.
+  EXPECT_NEAR(AnnuityPresentValue(100.0, 10.0, 0.05), 772.17, 0.01);
+}
+
+TEST(NpvTest, AnnuityLessThanUndiscounted) {
+  EXPECT_LT(AnnuityPresentValue(100.0, 50.0, 0.03), 5000.0);
+}
+
+TEST(NpvTest, NetPresentValueOfSchedule) {
+  std::vector<CashFlow> flows = {{0.0, -1000.0}, {1.0, 600.0}, {2.0, 600.0}};
+  const double npv = NetPresentValue(flows, 0.10);
+  EXPECT_NEAR(npv, -1000.0 + 600.0 / 1.1 + 600.0 / 1.21, 1e-9);
+}
+
+TEST(NpvTest, EquivalentAnnualCostZeroRate) {
+  EXPECT_DOUBLE_EQ(EquivalentAnnualCost(1000.0, 10.0, 0.0), 100.0);
+}
+
+TEST(NpvTest, EquivalentAnnualCostReflectsCapitalCost) {
+  // At positive rates the EAC exceeds straight-line amortization.
+  EXPECT_GT(EquivalentAnnualCost(1000.0, 10.0, 0.05), 100.0);
+}
+
+TEST(NpvTest, LongerLifeLowersEac) {
+  EXPECT_LT(EquivalentAnnualCost(120000.0, 50.0, 0.03),
+            EquivalentAnnualCost(120000.0, 10.0, 0.03));
+}
+
+TEST(NpvTest, DegenerateLifeReturnsCapex) {
+  EXPECT_DOUBLE_EQ(EquivalentAnnualCost(500.0, 0.0, 0.05), 500.0);
+}
+
+}  // namespace
+}  // namespace centsim

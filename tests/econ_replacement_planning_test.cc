@@ -1,0 +1,89 @@
+#include "src/econ/replacement_planning.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/theseus.h"
+#include "src/reliability/hazard.h"
+#include "src/sim/random.h"
+
+namespace centsim {
+namespace {
+
+WeibullFit FitOf(double shape, double scale_years) {
+  WeibullFit fit;
+  fit.shape = shape;
+  fit.scale_years = scale_years;
+  fit.converged = true;
+  return fit;
+}
+
+TEST(ReplacementPlanningTest, SteadyRateIsFleetOverRenewalPeriod) {
+  // Shape 1 makes MTTF == scale exactly.
+  const WeibullFit fit = FitOf(1.0, 10.0);
+  const auto f = ForecastReplacements(fit, /*fleet=*/1000, /*zones=*/16, SimTime::Years(8));
+  // Renewal period = 10 + 4 = 14 years.
+  EXPECT_NEAR(f.steady_failures_per_year, 1000.0 / 14.0, 0.01);
+  EXPECT_NEAR(f.mean_downtime_fraction, 4.0 / 14.0, 1e-9);
+}
+
+TEST(ReplacementPlanningTest, PerVisitDemand) {
+  const WeibullFit fit = FitOf(1.0, 10.0);
+  const auto f = ForecastReplacements(fit, 1600, 16, SimTime::Years(8));
+  // Visits/year = 16 / 8 = 2; flow = 1600/14 ~ 114.3/yr -> ~57 per visit.
+  EXPECT_NEAR(f.replacements_per_zone_visit, 1600.0 / 14.0 / 2.0, 0.1);
+}
+
+TEST(ReplacementPlanningTest, CostsScaleWithFlow) {
+  const WeibullFit fit = FitOf(1.0, 10.0);
+  const auto small = ForecastReplacements(fit, 1000, 16, SimTime::Years(8));
+  const auto large = ForecastReplacements(fit, 10000, 16, SimTime::Years(8));
+  EXPECT_NEAR(large.annual_hardware_cost_usd, 10.0 * small.annual_hardware_cost_usd, 1.0);
+  EXPECT_GT(large.person_hours_per_year, 9.0 * small.person_hours_per_year);
+}
+
+TEST(ReplacementPlanningTest, AvailabilityFormula) {
+  const WeibullFit fit = FitOf(1.0, 12.0);
+  EXPECT_NEAR(SteadyStateAvailability(fit, SimTime::Years(8)), 12.0 / 16.0, 1e-9);
+  // Faster cycles help.
+  EXPECT_GT(SteadyStateAvailability(fit, SimTime::Years(2)),
+            SteadyStateAvailability(fit, SimTime::Years(16)));
+}
+
+TEST(ReplacementPlanningTest, DegenerateInputs) {
+  const WeibullFit fit = FitOf(1.0, 10.0);
+  EXPECT_DOUBLE_EQ(ForecastReplacements(fit, 0, 16, SimTime::Years(8)).steady_failures_per_year,
+                   0.0);
+  WeibullFit bad;
+  bad.shape = 2.0;
+  bad.scale_years = 0.0;
+  EXPECT_DOUBLE_EQ(SteadyStateAvailability(bad, SimTime::Years(8)), 0.0);
+}
+
+TEST(ReplacementPlanningTest, ForecastMatchesCenturySimulation) {
+  // Cross-validation: fit the harvesting BOM's simulated lifetimes, then
+  // check the analytic availability forecast against RunCenturyScenario.
+  CenturyConfig cfg;
+  cfg.seed = 12;
+  cfg.fleet_size = 600;
+  cfg.horizon = SimTime::Years(100);
+  cfg.batch.zone_count = 16;
+  cfg.batch.cycle_period = SimTime::Years(8);
+  const auto sim_report = RunCenturyScenario(cfg);
+
+  const auto fit = FitWeibull(sim_report.unit_survival);
+  ASSERT_TRUE(fit.has_value());
+  const double forecast = SteadyStateAvailability(*fit, cfg.batch.cycle_period);
+  // The sim includes the perfectly-available deployment year and discrete
+  // zone scheduling; agree within ~6 points.
+  EXPECT_NEAR(forecast, sim_report.mean_availability, 0.06);
+
+  // Failure-flow forecast vs simulated count.
+  const auto flow =
+      ForecastReplacements(*fit, cfg.fleet_size, cfg.batch.zone_count, cfg.batch.cycle_period);
+  const double simulated_per_year = static_cast<double>(sim_report.total_failures) / 100.0;
+  EXPECT_NEAR(flow.steady_failures_per_year, simulated_per_year,
+              simulated_per_year * 0.15);
+}
+
+}  // namespace
+}  // namespace centsim

@@ -1,0 +1,97 @@
+#include "src/econ/tariff.h"
+
+#include <gtest/gtest.h>
+
+namespace centsim {
+namespace {
+
+TEST(CellularTariffTest, CumulativeGrowsWithTime) {
+  CellularTariff cell;
+  double prev = 0.0;
+  for (double t : {0.0, 1.0, 5.0, 20.0, 50.0}) {
+    const double cost = cell.CumulativeCostUsd(10, t, 0);
+    EXPECT_GE(cost, prev);
+    prev = cost;
+  }
+}
+
+TEST(CellularTariffTest, YearZeroIsModemCapex) {
+  CellularTariff cell;
+  EXPECT_DOUBLE_EQ(cell.CumulativeCostUsd(10, 0.0, 0), cell.modem_capex_usd * 10);
+}
+
+TEST(CellularTariffTest, SunsetSwapsCost) {
+  CellularTariff cell;
+  const double without = cell.CumulativeCostUsd(10, 20.0, 0);
+  const double with = cell.CumulativeCostUsd(10, 20.0, 2);
+  EXPECT_DOUBLE_EQ(with - without, 2 * cell.sunset_swap_cost_usd * 10);
+}
+
+TEST(CellularTariffTest, EscalationCompounds) {
+  CellularTariff flat;
+  flat.annual_escalation = 0.0;
+  CellularTariff rising;
+  rising.annual_escalation = 0.05;
+  EXPECT_GT(rising.CumulativeCostUsd(1, 20.0, 0), flat.CumulativeCostUsd(1, 20.0, 0));
+}
+
+TEST(FiberBuildTest, SharedDigIsCheaper) {
+  FiberBuild shared;
+  shared.coordinate_with_roadworks = true;
+  FiberBuild solo = shared;
+  solo.coordinate_with_roadworks = false;
+  EXPECT_LT(shared.CapexUsd(10000, 10), solo.CapexUsd(10000, 10));
+}
+
+TEST(FiberBuildTest, TransceiverRefreshesAccrue) {
+  FiberBuild fiber;
+  fiber.transceiver_refresh_years = 10.0;
+  const double at9 = fiber.CumulativeCostUsd(1000, 5, 9.9);
+  const double at11 = fiber.CumulativeCostUsd(1000, 5, 11.0);
+  EXPECT_GT(at11 - at9, fiber.transceiver_usd_per_site * 5 * 0.9);
+}
+
+TEST(FiberBuildTest, LeaseRevenueOffsetsCost) {
+  FiberBuild plain;
+  FiberBuild leased = plain;
+  leased.lease_revenue_per_site_monthly_usd = 50.0;
+  EXPECT_LT(leased.CumulativeCostUsd(10000, 10, 20.0),
+            plain.CumulativeCostUsd(10000, 10, 20.0));
+}
+
+TEST(CrossoverTest, FiberWinsWithinFiftyYears) {
+  // The §3.3 story (San Diego's planned cellular->wired transition): for a
+  // municipal-scale gateway fleet with shared-trench fiber, opex-free glass
+  // beats escalating subscriptions well before 50 years.
+  FiberBuild fiber;
+  CellularTariff cell;
+  const double crossover = FiberCellularCrossoverYears(fiber, /*route_m=*/20000, cell,
+                                                       /*sites=*/100, /*horizon_years=*/50);
+  EXPECT_GT(crossover, 0.0);
+  EXPECT_LT(crossover, 50.0);
+}
+
+TEST(CrossoverTest, TinyDeploymentsFavorCellular) {
+  // One site, a long dedicated trench: fiber never catches up in 50 years.
+  FiberBuild fiber;
+  fiber.coordinate_with_roadworks = false;
+  CellularTariff cell;
+  const double crossover =
+      FiberCellularCrossoverYears(fiber, /*route_m=*/30000, cell, /*sites=*/1, 50);
+  EXPECT_LT(crossover, 0.0);  // Sentinel: never.
+}
+
+TEST(CrossoverTest, MoreSitesCrossoverSooner) {
+  FiberBuild fiber;
+  CellularTariff cell;
+  const double few =
+      FiberCellularCrossoverYears(fiber, 20000, cell, /*sites=*/20, /*horizon_years=*/100);
+  const double many =
+      FiberCellularCrossoverYears(fiber, 20000, cell, /*sites=*/500, /*horizon_years=*/100);
+  ASSERT_GT(few, 0.0);
+  ASSERT_GT(many, 0.0);
+  EXPECT_LE(many, few);
+}
+
+}  // namespace
+}  // namespace centsim

@@ -1,0 +1,77 @@
+#include "src/econ/tipping_point.h"
+
+#include <gtest/gtest.h>
+
+namespace centsim {
+namespace {
+
+TEST(TippingTest, ReplacementCostLinearInFleet) {
+  ReplacementCostParams repl;
+  OwnedInfraParams infra;
+  const auto a = AnalyzeTippingPoint(1000, repl, infra);
+  const auto b = AnalyzeTippingPoint(2000, repl, infra);
+  EXPECT_NEAR(b.replace_all_cost_usd, 2.0 * a.replace_all_cost_usd, 1.0);
+}
+
+TEST(TippingTest, SmallFleetFavorsReplacement) {
+  ReplacementCostParams repl;
+  OwnedInfraParams infra;
+  const auto result = AnalyzeTippingPoint(10, repl, infra);
+  EXPECT_FALSE(result.vertical_integration_wins);
+}
+
+TEST(TippingTest, CityScaleFavorsIntegration) {
+  // §3.4: "there will always be a tipping point..." — at LA scale, owning
+  // gateways+backhaul beats replacing 591k devices.
+  ReplacementCostParams repl;
+  OwnedInfraParams infra;
+  const auto result = AnalyzeTippingPoint(591315, repl, infra);
+  EXPECT_TRUE(result.vertical_integration_wins);
+}
+
+TEST(TippingTest, FleetSizeBisectionConsistent) {
+  ReplacementCostParams repl;
+  OwnedInfraParams infra;
+  const uint64_t tip = TippingPointFleetSize(repl, infra);
+  ASSERT_GT(tip, 1u);
+  EXPECT_FALSE(AnalyzeTippingPoint(tip - 1, repl, infra).vertical_integration_wins);
+  EXPECT_TRUE(AnalyzeTippingPoint(tip, repl, infra).vertical_integration_wins);
+}
+
+TEST(TippingTest, CheaperDevicesRaiseTippingPoint) {
+  // If replacement devices are cheap, integration pays off later.
+  ReplacementCostParams cheap;
+  cheap.device_unit_usd = 10.0;
+  ReplacementCostParams pricey;
+  pricey.device_unit_usd = 200.0;
+  OwnedInfraParams infra;
+  EXPECT_GT(TippingPointFleetSize(cheap, infra), TippingPointFleetSize(pricey, infra));
+}
+
+TEST(TippingTest, ExpensiveInfraRaisesTippingPoint) {
+  ReplacementCostParams repl;
+  OwnedInfraParams cheap_infra;
+  OwnedInfraParams pricey_infra;
+  pricey_infra.backhaul_capex_per_gateway_usd = 20000.0;
+  EXPECT_GT(TippingPointFleetSize(repl, pricey_infra), TippingPointFleetSize(repl, cheap_infra));
+}
+
+TEST(TippingTest, BetterFanoutLowersTippingPoint) {
+  ReplacementCostParams repl;
+  OwnedInfraParams dense;
+  dense.devices_per_gateway = 5000;
+  OwnedInfraParams sparse;
+  sparse.devices_per_gateway = 100;
+  EXPECT_LT(TippingPointFleetSize(repl, dense), TippingPointFleetSize(repl, sparse));
+}
+
+TEST(TippingTest, NeverWinsReturnsZero) {
+  ReplacementCostParams repl;
+  repl.device_unit_usd = 0.0;
+  repl.truck_roll.minutes_per_device = 0.0;  // Free replacement.
+  OwnedInfraParams infra;
+  EXPECT_EQ(TippingPointFleetSize(repl, infra), 0u);
+}
+
+}  // namespace
+}  // namespace centsim

@@ -1,0 +1,131 @@
+#include "src/energy/harvester.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace centsim {
+namespace {
+
+SolarHarvester MakeSolar() {
+  SolarHarvester::Params p;
+  p.peak_power_w = 0.010;
+  return SolarHarvester(p);
+}
+
+TEST(SolarTest, ZeroAtNight) {
+  SolarHarvester sun = MakeSolar();
+  // Midnight on several days.
+  for (int d = 0; d < 5; ++d) {
+    EXPECT_DOUBLE_EQ(sun.PowerAt(SimTime::Days(d)), 0.0);
+    EXPECT_DOUBLE_EQ(sun.PowerAt(SimTime::Days(d) + SimTime::Hours(3)), 0.0);
+  }
+}
+
+TEST(SolarTest, PositiveAtNoon) {
+  SolarHarvester sun = MakeSolar();
+  for (int d = 0; d < 30; ++d) {
+    EXPECT_GT(sun.PowerAt(SimTime::Days(d) + SimTime::Hours(12)), 0.0);
+  }
+}
+
+TEST(SolarTest, NoonBeatsMorning) {
+  SolarHarvester sun = MakeSolar();
+  const SimTime day = SimTime::Days(10);
+  EXPECT_GT(sun.PowerAt(day + SimTime::Hours(12)), sun.PowerAt(day + SimTime::Hours(7)));
+}
+
+TEST(SolarTest, DegradationReducesOutputOverDecades) {
+  SolarHarvester sun = MakeSolar();
+  // Compare mean power of year 0 vs year 40 (same seasonal window).
+  const double early = sun.MeanPower(SimTime(), SimTime::Years(1));
+  const double late = sun.MeanPower(SimTime::Years(40), SimTime::Years(41));
+  EXPECT_LT(late, early);
+  // 0.5%/yr for 40 years ~ 18% loss.
+  EXPECT_NEAR(late / early, std::pow(0.995, 40.0), 0.05);
+}
+
+TEST(SolarTest, MeanPowerIsReasonableFractionOfPeak) {
+  SolarHarvester sun = MakeSolar();
+  const double mean = sun.MeanPower(SimTime(), SimTime::Years(1));
+  EXPECT_GT(mean, 0.01 * 0.05);  // > 5% of peak.
+  EXPECT_LT(mean, 0.01 * 0.5);   // < 50% of peak.
+}
+
+TEST(SolarTest, WeatherVariesAcrossDays) {
+  SolarHarvester sun = MakeSolar();
+  const double d1 = sun.PowerAt(SimTime::Days(100) + SimTime::Hours(12));
+  const double d2 = sun.PowerAt(SimTime::Days(101) + SimTime::Hours(12));
+  const double d3 = sun.PowerAt(SimTime::Days(140) + SimTime::Hours(12));
+  EXPECT_TRUE(d1 != d2 || d2 != d3);
+}
+
+TEST(HarvesterTest, EnergyOverIsAdditive) {
+  SolarHarvester sun = MakeSolar();
+  const SimTime a = SimTime::Hours(6);
+  const SimTime b = SimTime::Hours(12);
+  const SimTime c = SimTime::Hours(18);
+  const double whole = sun.EnergyOver(a, c);
+  const double split = sun.EnergyOver(a, b) + sun.EnergyOver(b, c);
+  EXPECT_NEAR(whole, split, whole * 0.02 + 1e-9);
+}
+
+TEST(HarvesterTest, EnergyOverEmptyIntervalIsZero) {
+  SolarHarvester sun = MakeSolar();
+  EXPECT_DOUBLE_EQ(sun.EnergyOver(SimTime::Hours(5), SimTime::Hours(5)), 0.0);
+}
+
+TEST(CorrosionTest, NearConstantOutput) {
+  CorrosionHarvester::Params p;
+  CorrosionHarvester rebar(p);
+  EXPECT_DOUBLE_EQ(rebar.PowerAt(SimTime()), 300e-6);
+  EXPECT_GT(rebar.PowerAt(SimTime::Years(25)), 150e-6);
+}
+
+TEST(CorrosionTest, DecaysToEndOfLifeFraction) {
+  CorrosionHarvester::Params p;
+  p.initial_power_w = 300e-6;
+  p.structure_life = SimTime::Years(50);
+  p.end_of_life_fraction = 0.4;
+  CorrosionHarvester rebar(p);
+  EXPECT_NEAR(rebar.PowerAt(SimTime::Years(50)), 120e-6, 1e-9);
+  // Holds the trickle after the structure's design life.
+  EXPECT_NEAR(rebar.PowerAt(SimTime::Years(80)), 120e-6, 1e-9);
+}
+
+TEST(CorrosionTest, ClosedFormMatchesNumericIntegral) {
+  CorrosionHarvester::Params p;
+  CorrosionHarvester rebar(p);
+  const SimTime from = SimTime::Years(10);
+  const SimTime to = SimTime::Years(60);  // Spans the ramp/flat boundary.
+  const double closed = rebar.EnergyOver(from, to);
+  // Generic trapezoid from the base class.
+  const double numeric = rebar.Harvester::EnergyOver(from, to);
+  EXPECT_NEAR(closed, numeric, closed * 0.001);
+}
+
+TEST(ThermalTest, AfternoonPeak) {
+  ThermalHarvester::Params p;
+  ThermalHarvester teg(p);
+  const SimTime day = SimTime::Days(3);
+  EXPECT_GT(teg.PowerAt(day + SimTime::Hours(15)), teg.PowerAt(day + SimTime::Hours(4)));
+  EXPECT_GT(teg.PowerAt(day + SimTime::Hours(4)), 0.0);  // Baseline, not zero.
+}
+
+TEST(VibrationTest, RushHourBeatsNight) {
+  VibrationHarvester::Params p;
+  VibrationHarvester vib(p);
+  const SimTime monday = SimTime::Days(7);  // Day 7 = Monday again.
+  EXPECT_GT(vib.PowerAt(monday + SimTime::Hours(8)), vib.PowerAt(monday + SimTime::Hours(2)));
+}
+
+TEST(VibrationTest, WeekendQuieterThanWeekday) {
+  VibrationHarvester::Params p;
+  VibrationHarvester vib(p);
+  const SimTime mon = SimTime::Days(0) + SimTime::Hours(8);
+  const SimTime sat = SimTime::Days(5) + SimTime::Hours(8);
+  EXPECT_GT(vib.PowerAt(mon), vib.PowerAt(sat));
+}
+
+}  // namespace
+}  // namespace centsim

@@ -1,0 +1,104 @@
+#include "src/energy/storage.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace centsim {
+namespace {
+
+TEST(StorageTest, InitialChargeFraction) {
+  EnergyStorage cap = EnergyStorage::Supercap(100.0);
+  EXPECT_DOUBLE_EQ(cap.capacity_now_j(), 100.0);
+  EXPECT_DOUBLE_EQ(cap.charge_j(), 50.0);
+  EXPECT_DOUBLE_EQ(cap.soc(), 0.5);
+}
+
+TEST(StorageTest, StoreAppliesEfficiencyAndClips) {
+  EnergyStorage cap = EnergyStorage::Supercap(100.0);  // 85% efficiency.
+  const double banked = cap.Store(10.0);
+  EXPECT_NEAR(banked, 8.5, 1e-12);
+  EXPECT_NEAR(cap.charge_j(), 58.5, 1e-12);
+  // Overfill clips at capacity.
+  cap.Store(1000.0);
+  EXPECT_NEAR(cap.charge_j(), 100.0, 1e-9);
+}
+
+TEST(StorageTest, DrawRespectsBalance) {
+  EnergyStorage cap = EnergyStorage::Supercap(100.0);
+  EXPECT_TRUE(cap.Draw(50.0));
+  EXPECT_NEAR(cap.charge_j(), 0.0, 1e-9);
+  EXPECT_FALSE(cap.Draw(1.0));
+  EXPECT_NEAR(cap.charge_j(), 0.0, 1e-9);
+}
+
+TEST(StorageTest, LeakageIsExponentialInDays) {
+  EnergyStorage::Params p;
+  p.capacity_j = 100.0;
+  p.initial_fraction = 1.0;
+  p.self_discharge_per_day = 0.10;
+  p.capacity_fade_per_year = 0.0;
+  EnergyStorage s(p);
+  s.AdvanceTo(SimTime::Days(7));
+  EXPECT_NEAR(s.charge_j(), 100.0 * std::pow(0.9, 7.0), 1e-6);
+}
+
+TEST(StorageTest, CapacityFadeOverYears) {
+  EnergyStorage::Params p;
+  p.capacity_j = 100.0;
+  p.initial_fraction = 0.0;
+  p.self_discharge_per_day = 0.0;
+  p.capacity_fade_per_year = 0.02;
+  EnergyStorage s(p);
+  s.AdvanceTo(SimTime::Years(10));
+  EXPECT_NEAR(s.capacity_now_j(), 100.0 * std::pow(0.98, 10.0), 1e-6);
+}
+
+TEST(StorageTest, ChargeClampedToFadedCapacity) {
+  EnergyStorage::Params p;
+  p.capacity_j = 100.0;
+  p.initial_fraction = 1.0;
+  p.self_discharge_per_day = 0.0;
+  p.capacity_fade_per_year = 0.05;
+  EnergyStorage s(p);
+  s.AdvanceTo(SimTime::Years(20));
+  EXPECT_LE(s.charge_j(), s.capacity_now_j() + 1e-9);
+}
+
+TEST(StorageTest, AdvanceIsIncrementallyConsistent) {
+  EnergyStorage::Params p;
+  p.capacity_j = 50.0;
+  p.initial_fraction = 1.0;
+  p.self_discharge_per_day = 0.03;
+  p.capacity_fade_per_year = 0.01;
+  EnergyStorage one_shot(p);
+  EnergyStorage stepped(p);
+  one_shot.AdvanceTo(SimTime::Days(100));
+  for (int d = 1; d <= 100; ++d) {
+    stepped.AdvanceTo(SimTime::Days(d));
+  }
+  EXPECT_NEAR(one_shot.charge_j(), stepped.charge_j(), 1e-6);
+  EXPECT_NEAR(one_shot.capacity_now_j(), stepped.capacity_now_j(), 1e-6);
+}
+
+TEST(StorageTest, PrimaryCellNotRechargeable) {
+  EnergyStorage cell = EnergyStorage::LithiumPrimary(1000.0);
+  EXPECT_DOUBLE_EQ(cell.charge_j(), 1000.0);
+  EXPECT_DOUBLE_EQ(cell.Store(100.0), 0.0);  // Zero charge efficiency.
+}
+
+TEST(StorageTest, PrimaryCellSelfDischargeIsTiny) {
+  EnergyStorage cell = EnergyStorage::LithiumPrimary(1000.0);
+  cell.AdvanceTo(SimTime::Years(10));
+  EXPECT_GT(cell.charge_j(), 960.0);  // ~0.3%/yr.
+}
+
+TEST(StorageTest, CapBankStartsEmpty) {
+  EnergyStorage bank = EnergyStorage::CapBank(0.1);
+  EXPECT_DOUBLE_EQ(bank.charge_j(), 0.0);
+  bank.Store(0.05);
+  EXPECT_NEAR(bank.charge_j(), 0.045, 1e-12);  // 90% efficiency.
+}
+
+}  // namespace
+}  // namespace centsim

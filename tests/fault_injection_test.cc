@@ -1,0 +1,134 @@
+// Failure-injection tests: break each tier mid-run and check the system
+// accounts for it honestly (the Figure 1 attribution) and recovers when
+// the fault clears.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/device.h"
+#include "src/core/network_fabric.h"
+#include "src/econ/data_credits.h"
+#include "src/energy/harvester.h"
+#include "src/net/backhaul.h"
+
+namespace centsim {
+namespace {
+
+class StrongSun : public Harvester {
+ public:
+  double PowerAt(SimTime) const override { return 0.05; }
+  double EnergyOver(SimTime from, SimTime to) const override {
+    return 0.05 * (to - from).ToSeconds();
+  }
+  std::string name() const override { return "strong"; }
+};
+
+class FaultFixture : public ::testing::Test {
+ protected:
+  FaultFixture()
+      : sim_(77),
+        fabric_(sim_),
+        backhaul_("bh", {SimTime::Years(800), SimTime::Hours(1)}, RandomStream(5)) {
+    fabric_.SetEndpoint(&endpoint_);
+    GatewayConfig gc;
+    gc.id = 1;
+    gc.tech = RadioTech::k802154;
+    gc.name = "gw";
+    gateway_ = std::make_unique<Gateway>(sim_, gc, SeriesSystem::RaspberryPiGateway());
+    gateway_->SetRepairPolicy([](SimTime t) { return t + SimTime::Hours(6); });
+    gateway_->AttachBackhaul(&backhaul_);
+    gateway_->Deploy();
+    fabric_.AddGateway(gateway_.get());
+
+    EdgeDeviceConfig cfg;
+    cfg.id = 10;
+    cfg.x_m = 30.0;
+    cfg.tech = RadioTech::k802154;
+    cfg.tx_power_dbm = 4.0;
+    cfg.report_interval = SimTime::Hours(1);
+    device_ = std::make_unique<EdgeDevice>(
+        sim_, cfg, fabric_,
+        EnergyManager(std::make_unique<StrongSun>(), EnergyStorage::Supercap(),
+                      LoadProfileFor(cfg)),
+        SeriesSystem::EnergyHarvestingNode());
+  }
+
+  Simulation sim_;
+  NetworkFabric fabric_;
+  CloudEndpoint endpoint_;
+  Backhaul backhaul_;
+  std::unique_ptr<Gateway> gateway_;
+  std::unique_ptr<EdgeDevice> device_;
+};
+
+TEST_F(FaultFixture, GatewayKilledMidRunChargesGatewayTier) {
+  device_->Deploy();
+  sim_.scheduler().ScheduleAt(SimTime::Days(30),
+                              [this] { gateway_->Decommission("injected fault"); });
+  sim_.RunUntil(SimTime::Days(60));
+  const auto tiers = fabric_.TierAttribution();
+  EXPECT_GT(tiers[static_cast<size_t>(Tier::kGateway)], 600u);  // ~720 lost hours.
+  // Data stopped at the endpoint after the kill.
+  EXPECT_LT(endpoint_.LastSeen(10), SimTime::Days(31));
+}
+
+TEST_F(FaultFixture, BackhaulTerminationChargesBackhaulTier) {
+  device_->Deploy();
+  sim_.scheduler().ScheduleAt(SimTime::Days(30), [this] {
+    backhaul_.Terminate(sim_.Now(), "injected contract loss");
+  });
+  sim_.RunUntil(SimTime::Days(60));
+  const auto tiers = fabric_.TierAttribution();
+  EXPECT_GT(tiers[static_cast<size_t>(Tier::kBackhaul)], 600u);
+}
+
+TEST_F(FaultFixture, EndpointOutageWindowChargesCloudTier) {
+  device_->Deploy();
+  sim_.scheduler().ScheduleAt(SimTime::Days(10), [this] { endpoint_.SetOperational(false); });
+  sim_.scheduler().ScheduleAt(SimTime::Days(17), [this] { endpoint_.SetOperational(true); });
+  sim_.RunUntil(SimTime::Days(30));
+  const auto tiers = fabric_.TierAttribution();
+  // ~168 hourly attempts lost in the 7-day window.
+  EXPECT_GT(tiers[static_cast<size_t>(Tier::kCloud)], 120u);
+  EXPECT_LT(tiers[static_cast<size_t>(Tier::kCloud)], 200u);
+  // Recovery: data flows again after day 17.
+  EXPECT_GT(endpoint_.LastSeen(10), SimTime::Days(29));
+}
+
+TEST_F(FaultFixture, WeeklyUptimeReflectsMonthLongOutage) {
+  device_->Deploy();
+  sim_.scheduler().ScheduleAt(SimTime::Weeks(10), [this] { endpoint_.SetOperational(false); });
+  sim_.scheduler().ScheduleAt(SimTime::Weeks(14), [this] { endpoint_.SetOperational(true); });
+  sim_.RunUntil(SimTime::Weeks(20));
+  EXPECT_NEAR(endpoint_.WeeklyUptime(SimTime::Weeks(20)), 16.0 / 20.0, 0.051);
+  EXPECT_EQ(endpoint_.LongestGapWeeks(SimTime::Weeks(20)), 4u);
+}
+
+TEST_F(FaultFixture, ExhaustedWalletRefusesPackets) {
+  // Attach a nearly-empty wallet to the gateway: the first packets spend
+  // it, after which attempts die at the gateway tier with kNoCredits.
+  auto wallet = std::make_shared<DataCreditWallet>(5);
+  gateway_->SetPaymentHook(
+      [wallet](const UplinkPacket& pkt) { return wallet->ChargePacket(pkt.payload_bytes); });
+  device_->Deploy();
+  sim_.RunUntil(SimTime::Days(2));
+  EXPECT_EQ(wallet->balance(), 0u);
+  EXPECT_GT(wallet->refused(), 30u);
+  EXPECT_GT(fabric_.OutcomeCount(DeliveryOutcome::kNoCredits), 30u);
+  EXPECT_EQ(endpoint_.PacketsFrom(10), 5u);
+}
+
+TEST_F(FaultFixture, BlocklistingMidRunStopsDevice) {
+  Blocklist blocklist;
+  gateway_->SetBlocklist(&blocklist);
+  device_->Deploy();
+  sim_.scheduler().ScheduleAt(SimTime::Days(5),
+                              [&blocklist] { blocklist.Block(10, "spoofing suspected"); });
+  sim_.RunUntil(SimTime::Days(10));
+  EXPECT_GT(fabric_.OutcomeCount(DeliveryOutcome::kBlocklisted), 100u);
+  EXPECT_LT(endpoint_.LastSeen(10), SimTime::Days(5) + SimTime::Hours(2));
+}
+
+}  // namespace
+}  // namespace centsim

@@ -1,0 +1,113 @@
+// Validation: the analytic contention models (used at fleet scale) against
+// the exact SharedMedium packet-level simulation (used at packet scale).
+// If these diverge, the fleet results are built on sand.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/radio/lora.h"
+#include "src/radio/medium.h"
+#include "src/sim/random.h"
+
+namespace centsim {
+namespace {
+
+// Simulates Poisson frame arrivals on one channel with equal receive power
+// (no capture) and measures the fraction of frames with no overlap.
+double ExactAlohaSuccess(double arrival_rate_hz, SimTime airtime, double horizon_s,
+                         uint64_t seed) {
+  RandomStream rng(seed);
+  struct Frame {
+    double start;
+    double end;
+  };
+  std::vector<Frame> frames;
+  double t = 0.0;
+  while (true) {
+    t += rng.Exponential(1.0 / arrival_rate_hz);
+    if (t > horizon_s) {
+      break;
+    }
+    frames.push_back({t, t + airtime.ToSeconds()});
+  }
+  if (frames.empty()) {
+    return 1.0;
+  }
+  uint64_t clean = 0;
+  for (size_t i = 0; i < frames.size(); ++i) {
+    bool overlapped = false;
+    // Only neighbors can overlap (sorted arrivals).
+    for (size_t j = i; j-- > 0;) {
+      if (frames[j].end <= frames[i].start) {
+        break;
+      }
+      overlapped = true;
+      break;
+    }
+    if (!overlapped && i + 1 < frames.size() && frames[i + 1].start < frames[i].end) {
+      overlapped = true;
+    }
+    if (!overlapped) {
+      ++clean;
+    }
+  }
+  return static_cast<double>(clean) / frames.size();
+}
+
+class AlohaValidation : public ::testing::TestWithParam<double> {};
+
+TEST_P(AlohaValidation, AnalyticMatchesPacketLevel) {
+  const double g = GetParam();  // Normalized offered load.
+  LoraConfig cfg;
+  cfg.sf = LoraSf::kSf9;
+  const SimTime airtime = LoraPhy::Airtime(cfg, 12);
+  const double rate_hz = g / airtime.ToSeconds();
+  const double exact = ExactAlohaSuccess(rate_hz, airtime, /*horizon_s=*/20000.0, 99);
+  const double analytic = AlohaModel::SuccessProbability(rate_hz, airtime);
+  EXPECT_NEAR(exact, analytic, 0.02) << "G=" << g;
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, AlohaValidation, ::testing::Values(0.01, 0.05, 0.1, 0.3, 0.6));
+
+TEST(MediumValidationTest, SharedMediumAgreesWithPairwiseOverlapCount) {
+  // Drive the SharedMedium with the same arrival process and check its
+  // per-frame verdicts against the direct overlap computation.
+  RandomStream rng(7);
+  LoraConfig cfg;
+  cfg.sf = LoraSf::kSf9;
+  const SimTime airtime = LoraPhy::Airtime(cfg, 12);
+  const double rate_hz = 0.2 / airtime.ToSeconds();
+
+  SharedMedium medium;
+  std::vector<SharedMedium::Transmission> txs;
+  double t = 0.0;
+  uint64_t id = 0;
+  while (t < 50000.0) {
+    t += rng.Exponential(1.0 / rate_hz);
+    SharedMedium::Transmission tx;
+    tx.start = SimTime::Seconds(t);
+    tx.end = tx.start + airtime;
+    tx.channel = 1;
+    tx.rx_power_dbm = -80.0;  // Equal power: no capture possible.
+    tx.tx_id = ++id;
+    medium.Register(tx);
+    txs.push_back(tx);
+  }
+  uint64_t medium_clean = 0;
+  for (const auto& tx : txs) {
+    if (medium.Delivered(tx, /*capture_margin_db=*/6.0)) {
+      ++medium_clean;
+    }
+  }
+  uint64_t direct_clean = 0;
+  for (size_t i = 0; i < txs.size(); ++i) {
+    bool overlap = (i > 0 && txs[i - 1].end > txs[i].start) ||
+                   (i + 1 < txs.size() && txs[i + 1].start < txs[i].end);
+    direct_clean += overlap ? 0 : 1;
+  }
+  EXPECT_EQ(medium_clean, direct_clean);
+}
+
+}  // namespace
+}  // namespace centsim

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "src/mgmt/batch_project.h"
+#include "src/mgmt/diary.h"
+
+namespace centsim {
+namespace {
+
+TEST(BatchProjectTest, EveryZoneVisitedEachCycle) {
+  Simulation sim(1);
+  BatchProjectParams params;
+  params.zone_count = 8;
+  params.cycle_period = SimTime::Years(8);
+  params.visit_jitter = SimTime::Days(10);
+  std::vector<int> visits(8, 0);
+  BatchProjectScheduler sched(sim, params, [&](uint32_t zone, uint32_t) { ++visits[zone]; });
+  sched.ScheduleThrough(SimTime::Years(24));
+  sim.RunUntil(SimTime::Years(24));
+  for (int v : visits) {
+    EXPECT_GE(v, 2);  // ~3 cycles; jitter may push one past the horizon.
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(BatchProjectTest, VisitsStaggeredAcrossCycle) {
+  Simulation sim(2);
+  BatchProjectParams params;
+  params.zone_count = 4;
+  params.cycle_period = SimTime::Years(4);
+  params.visit_jitter = SimTime::Days(1);
+  std::vector<SimTime> times;
+  BatchProjectScheduler sched(sim, params, [&](uint32_t, uint32_t) { times.push_back(sim.Now()); });
+  sched.ScheduleThrough(SimTime::Years(4));
+  sim.RunUntil(SimTime::Years(4));
+  ASSERT_GE(times.size(), 4u);
+  // Zones are spread ~1 year apart, not clustered at cycle start.
+  EXPECT_GT((times[1] - times[0]).ToDays(), 300.0);
+}
+
+TEST(BatchProjectTest, CyclePassedToCallback) {
+  Simulation sim(3);
+  BatchProjectParams params;
+  params.zone_count = 2;
+  params.cycle_period = SimTime::Years(2);
+  params.visit_jitter = SimTime::Days(1);
+  uint32_t max_cycle = 0;
+  BatchProjectScheduler sched(sim, params,
+                              [&](uint32_t, uint32_t cycle) { max_cycle = std::max(max_cycle, cycle); });
+  sched.ScheduleThrough(SimTime::Years(7));
+  sim.RunUntil(SimTime::Years(7));
+  EXPECT_GE(max_cycle, 2u);
+}
+
+TEST(DiaryTest, HarvestsMaintenanceRecords) {
+  TraceLog trace(TraceLevel::kDebug);
+  trace.Emit(SimTime::Years(1), TraceLevel::kInfo, "dev", "routine");
+  trace.Emit(SimTime::Years(2), TraceLevel::kMaintenance, "gw", "PSU swap");
+  trace.Emit(SimTime::Years(12), TraceLevel::kFailure, "gw", "SD card died");
+  trace.Emit(SimTime::Years(25), TraceLevel::kWarning, "wallet", "low credits");
+  const auto diary = ExperimentDiary::FromTrace(trace);
+  EXPECT_EQ(diary.entries().size(), 3u);  // Info excluded.
+}
+
+TEST(DiaryTest, DecadeSummaries) {
+  TraceLog trace(TraceLevel::kDebug);
+  trace.Emit(SimTime::Years(2), TraceLevel::kMaintenance, "a", "x");
+  trace.Emit(SimTime::Years(12), TraceLevel::kFailure, "b", "y");
+  trace.Emit(SimTime::Years(15), TraceLevel::kFailure, "c", "z");
+  trace.Emit(SimTime::Years(29), TraceLevel::kWarning, "d", "w");
+  const auto by_decade = ExperimentDiary::FromTrace(trace).ByDecade();
+  ASSERT_EQ(by_decade.size(), 3u);
+  EXPECT_EQ(by_decade[0].maintenance_actions, 1u);
+  EXPECT_EQ(by_decade[1].failures, 2u);
+  EXPECT_EQ(by_decade[2].warnings, 1u);
+}
+
+TEST(DiaryTest, RenderSubsamples) {
+  ExperimentDiary diary;
+  for (int i = 0; i < 200; ++i) {
+    diary.Append({SimTime::Days(i), TraceLevel::kMaintenance, "c", "entry"});
+  }
+  const std::string rendered = diary.Render(20);
+  EXPECT_NE(rendered.find("200 entries total"), std::string::npos);
+}
+
+TEST(DiaryTest, EmptyTraceEmptyDiary) {
+  TraceLog trace;
+  const auto diary = ExperimentDiary::FromTrace(trace);
+  EXPECT_TRUE(diary.entries().empty());
+  EXPECT_TRUE(diary.ByDecade().empty());
+}
+
+}  // namespace
+}  // namespace centsim

@@ -1,0 +1,88 @@
+#include "src/mgmt/domain_lease.h"
+
+#include <gtest/gtest.h>
+
+namespace centsim {
+namespace {
+
+TEST(DomainTest, RenewalsOnTenYearCadence) {
+  Simulation sim(1);
+  CloudEndpoint endpoint;
+  DomainLeaseParams params;
+  params.renewal_lapse_probability = 0.0;  // Perfect institutional memory.
+  DomainLease lease(sim, endpoint, params);
+  lease.Start();
+  sim.RunUntil(SimTime::Years(50));
+  // Renewals at years 10, 20, 30, 40, 50 (the year-50 one may or may not
+  // land inside the horizon depending on tie handling).
+  EXPECT_GE(lease.renewals(), 4u);
+  EXPECT_LE(lease.renewals(), 5u);
+  EXPECT_EQ(lease.lapses(), 0u);
+  EXPECT_TRUE(endpoint.operational());
+  EXPECT_NEAR(lease.fees_paid_usd(), lease.renewals() * params.renewal_fee_usd, 1e-9);
+}
+
+TEST(DomainTest, CertainLapseDarkensEndpoint) {
+  Simulation sim(2);
+  CloudEndpoint endpoint;
+  DomainLeaseParams params;
+  params.renewal_lapse_probability = 1.0;
+  params.lapse_recovery = SimTime::Days(45);
+  DomainLease lease(sim, endpoint, params);
+  lease.Start();
+  // Run to just past the first renewal: endpoint should be dark.
+  sim.RunUntil(SimTime::Years(10) + SimTime::Days(1));
+  EXPECT_FALSE(endpoint.operational());
+  EXPECT_EQ(lease.lapses(), 1u);
+  // After recovery, the endpoint returns.
+  sim.RunUntil(SimTime::Years(10) + SimTime::Days(46));
+  EXPECT_TRUE(endpoint.operational());
+}
+
+TEST(DomainTest, LapsesLosePackets) {
+  Simulation sim(3);
+  CloudEndpoint endpoint;
+  DomainLeaseParams params;
+  params.renewal_lapse_probability = 1.0;
+  DomainLease lease(sim, endpoint, params);
+  lease.Start();
+  sim.RunUntil(SimTime::Years(10) + SimTime::Days(10));
+  UplinkPacket pkt;
+  EXPECT_FALSE(endpoint.Record(pkt, sim.Now()));
+  EXPECT_EQ(endpoint.packets_lost_down(), 1u);
+}
+
+TEST(DomainTest, LostKnowledgeRaisesLapseRisk) {
+  // With zero base risk but zero institutional knowledge, the knowledge
+  // weight alone drives lapses; perfect knowledge keeps renewals clean.
+  auto run = [](double knowledge) {
+    Simulation sim(11);
+    CloudEndpoint endpoint;
+    DomainLeaseParams params;
+    params.renewal_lapse_probability = 0.0;
+    params.knowledge_lapse_weight = 1.0;
+    DomainLease lease(sim, endpoint, params);
+    lease.SetKnowledgeProvider([knowledge](SimTime) { return knowledge; });
+    lease.Start();
+    sim.RunUntil(SimTime::Years(100));
+    return lease.lapses();
+  };
+  EXPECT_EQ(run(1.0), 0u);
+  EXPECT_GE(run(0.0), 8u);  // Every renewal lapses (p = 1).
+}
+
+TEST(DomainTest, FiftyYearsHasAtLeastFourCertainRenewals) {
+  // §4.5: the maximum domain lease (10 years) makes renewals "one certain
+  // event" — over 50 years, at least four must occur.
+  Simulation sim(4);
+  CloudEndpoint endpoint;
+  DomainLeaseParams params;
+  params.renewal_lapse_probability = 0.05;
+  DomainLease lease(sim, endpoint, params);
+  lease.Start();
+  sim.RunUntil(SimTime::Years(50));
+  EXPECT_GE(lease.renewals() + lease.lapses(), 4u);
+}
+
+}  // namespace
+}  // namespace centsim

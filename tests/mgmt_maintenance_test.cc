@@ -1,0 +1,102 @@
+#include "src/mgmt/maintenance.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace centsim {
+namespace {
+
+TEST(MaintenanceTest, RepairCompletesAfterResponseAndWork) {
+  Simulation sim(1);
+  MaintenancePolicy policy;
+  MaintenanceCrew crew(sim, policy);
+  const SimTime done = crew.RequestRepair(SimTime::Days(100));
+  EXPECT_GT(done, SimTime::Days(100));
+  EXPECT_LT(done, SimTime::Days(200));
+  EXPECT_EQ(crew.repairs_completed(), 1u);
+}
+
+TEST(MaintenanceTest, DisabledCrewRefuses) {
+  Simulation sim(1);
+  MaintenancePolicy policy;
+  policy.enabled = false;
+  MaintenanceCrew crew(sim, policy);
+  EXPECT_EQ(crew.RequestRepair(SimTime::Days(1)), SimTime::Max());
+  EXPECT_EQ(crew.repairs_refused(), 1u);
+}
+
+TEST(MaintenanceTest, AnnualBudgetDefersIntoLaterYears) {
+  Simulation sim(2);
+  MaintenancePolicy policy;
+  policy.annual_budget_hours = 10.0;
+  policy.mean_repair = SimTime::Hours(3);
+  MaintenanceCrew crew(sim, policy);
+  SimTime latest;
+  int refused = 0;
+  for (int i = 0; i < 50; ++i) {
+    const SimTime done = crew.RequestRepair(SimTime::Days(i));
+    if (done == SimTime::Max()) {
+      // An Exponential(3 h) draw above the whole 10 h budget is refused
+      // outright (~3.6% of draws); everything else must be scheduled.
+      ++refused;
+      continue;
+    }
+    latest = std::max(latest, done);
+  }
+  EXPECT_LT(refused, 10);
+  // ~3-4 repairs fit per 10-hour year; 50 repairs spill years ahead.
+  EXPECT_GT(crew.repairs_deferred(), 30u);
+  EXPECT_GT(latest, SimTime::Years(5));
+  // No year's ledger exceeds its budget.
+  for (uint32_t y = 0; y < 30; ++y) {
+    EXPECT_LE(crew.HoursInYear(y), 10.0 + 1e-9);
+  }
+}
+
+TEST(MaintenanceTest, OversizedJobRefused) {
+  Simulation sim(7);
+  MaintenancePolicy policy;
+  policy.annual_budget_hours = 0.001;  // Any realistic draw exceeds this.
+  MaintenanceCrew crew(sim, policy);
+  EXPECT_EQ(crew.RequestRepair(SimTime::Days(1)), SimTime::Max());
+  EXPECT_EQ(crew.repairs_refused(), 1u);
+}
+
+TEST(MaintenanceTest, BudgetResetsEachYear) {
+  Simulation sim(3);
+  MaintenancePolicy policy;
+  policy.annual_budget_hours = 5.0;
+  policy.mean_repair = SimTime::Hours(4);
+  MaintenanceCrew crew(sim, policy);
+  // Exhaust year 0.
+  for (int i = 0; i < 10; ++i) {
+    crew.RequestRepair(SimTime::Days(10 + i));
+  }
+  // Year 1 has fresh budget.
+  const SimTime done = crew.RequestRepair(SimTime::Years(1) + SimTime::Days(1));
+  EXPECT_LT(done, SimTime::Max());
+}
+
+TEST(MaintenanceTest, HoursAccumulate) {
+  Simulation sim(4);
+  MaintenancePolicy policy;
+  MaintenanceCrew crew(sim, policy);
+  crew.RequestRepair(SimTime::Days(1));
+  crew.RequestRepair(SimTime::Days(2));
+  EXPECT_GT(crew.total_hours(), 0.0);
+  EXPECT_DOUBLE_EQ(crew.TotalCostUsd(), crew.total_hours() * policy.hourly_rate_usd);
+}
+
+TEST(MaintenanceTest, RepairPolicyAdapterWorks) {
+  Simulation sim(5);
+  MaintenancePolicy policy;
+  MaintenanceCrew crew(sim, policy);
+  auto repair = crew.AsRepairPolicy();
+  const SimTime done = repair(SimTime::Days(5));
+  EXPECT_GT(done, SimTime::Days(5));
+  EXPECT_EQ(crew.repairs_completed(), 1u);
+}
+
+}  // namespace
+}  // namespace centsim

@@ -1,0 +1,84 @@
+#include "src/mgmt/succession.h"
+
+#include <gtest/gtest.h>
+
+namespace centsim {
+namespace {
+
+TEST(SuccessionTest, FiftyYearsHasMultipleHandovers) {
+  // §4.5: "those who start it will most likely be retired by the time it
+  // is complete" — with ~9-year median tenures, 50 years sees several
+  // custodians.
+  SuccessionParams params;
+  const auto report = SimulateSuccession(params, SimTime::Years(50), RandomStream(1));
+  EXPECT_GE(report.handovers, 2u);
+  EXPECT_LE(report.handovers, 12u);
+  EXPECT_EQ(report.eras.size(), report.handovers + 1);
+}
+
+TEST(SuccessionTest, ExpectedHandoversFormula) {
+  SuccessionParams params;
+  params.median_tenure_years = 10.0;
+  params.tenure_sigma = 0.0;  // Deterministic tenures.
+  EXPECT_NEAR(ExpectedHandovers(params, SimTime::Years(50)), 5.0, 1e-9);
+}
+
+TEST(SuccessionTest, ErasCoverHorizonContiguously) {
+  SuccessionParams params;
+  const auto report = SimulateSuccession(params, SimTime::Years(50), RandomStream(2));
+  SimTime expected_start;
+  for (const auto& era : report.eras) {
+    EXPECT_EQ(era.start, expected_start);
+    EXPECT_GT(era.end, era.start);
+    expected_start = era.end;
+  }
+  EXPECT_EQ(report.eras.back().end, SimTime::Years(50));
+}
+
+TEST(SuccessionTest, KnowledgeNeverIncreasesWithoutDiary) {
+  SuccessionParams params;
+  params.diary_maintained = false;
+  const auto report = SimulateSuccession(params, SimTime::Years(80), RandomStream(3));
+  double prev = 1.0;
+  for (const auto& era : report.eras) {
+    EXPECT_LE(era.knowledge_after, prev + 1e-12);
+    prev = era.knowledge_after;
+  }
+}
+
+TEST(SuccessionTest, DiaryPreservesKnowledge) {
+  // The paper's living diary is the mitigation: same custodian sequence,
+  // higher retained knowledge.
+  SuccessionParams with;
+  with.diary_maintained = true;
+  SuccessionParams without = with;
+  without.diary_maintained = false;
+  const auto a = SimulateSuccession(with, SimTime::Years(50), RandomStream(4));
+  const auto b = SimulateSuccession(without, SimTime::Years(50), RandomStream(4));
+  EXPECT_GT(a.final_knowledge, b.final_knowledge);
+  EXPECT_GE(a.min_knowledge, b.min_knowledge);
+}
+
+TEST(SuccessionTest, KnowledgeAtInterpolatesEras) {
+  SuccessionParams params;
+  params.tenure_sigma = 0.0;
+  params.median_tenure_years = 10.0;
+  params.orderly_handover_probability = 1.0;
+  params.handover_retention = 0.8;
+  params.diary_maintained = false;
+  const auto report = SimulateSuccession(params, SimTime::Years(25), RandomStream(5));
+  EXPECT_DOUBLE_EQ(report.KnowledgeAt(SimTime::Years(5)), 1.0);
+  EXPECT_NEAR(report.KnowledgeAt(SimTime::Years(15)), 0.8, 1e-9);
+  EXPECT_NEAR(report.KnowledgeAt(SimTime::Years(24)), 0.64, 1e-9);
+}
+
+TEST(SuccessionTest, DeterministicPerSeed) {
+  SuccessionParams params;
+  const auto a = SimulateSuccession(params, SimTime::Years(50), RandomStream(6));
+  const auto b = SimulateSuccession(params, SimTime::Years(50), RandomStream(6));
+  EXPECT_EQ(a.handovers, b.handovers);
+  EXPECT_DOUBLE_EQ(a.final_knowledge, b.final_knowledge);
+}
+
+}  // namespace
+}  // namespace centsim

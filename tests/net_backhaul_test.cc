@@ -1,0 +1,100 @@
+#include "src/net/backhaul.h"
+
+#include <gtest/gtest.h>
+
+namespace centsim {
+namespace {
+
+TEST(BackhaulTest, StartsUp) {
+  Backhaul b("test", {SimTime::Days(30), SimTime::Hours(4)}, RandomStream(1));
+  EXPECT_TRUE(b.IsUp(SimTime()));
+}
+
+TEST(BackhaulTest, SteadyStateAvailabilityFormula) {
+  Backhaul b("test", {SimTime::Days(30), SimTime::Hours(6)}, RandomStream(1));
+  EXPECT_NEAR(b.SteadyStateAvailability(), 30.0 * 24 / (30.0 * 24 + 6), 1e-12);
+}
+
+TEST(BackhaulTest, ObservedAvailabilityMatchesSteadyState) {
+  Backhaul b("test", {SimTime::Days(10), SimTime::Days(1)}, RandomStream(7));
+  uint64_t up = 0;
+  const int samples = 20000;
+  for (int i = 0; i < samples; ++i) {
+    if (b.IsUp(SimTime::Hours(i))) {
+      ++up;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(up) / samples, b.SteadyStateAvailability(), 0.03);
+}
+
+TEST(BackhaulTest, DeliverCountsBothWays) {
+  Backhaul b("test", {SimTime::Days(1), SimTime::Days(1)}, RandomStream(3));
+  UplinkPacket pkt;
+  uint64_t delivered = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (b.Deliver(pkt, SimTime::Hours(i))) {
+      ++delivered;
+    }
+  }
+  EXPECT_EQ(b.delivered(), delivered);
+  EXPECT_EQ(b.dropped(), 1000 - delivered);
+  EXPECT_GT(delivered, 0u);
+  EXPECT_GT(b.dropped(), 0u);
+}
+
+TEST(BackhaulTest, TerminationIsPermanent) {
+  Backhaul b("test", {SimTime::Days(3650), SimTime::Hours(1)}, RandomStream(1));
+  b.Terminate(SimTime::Days(1), "contract ended");
+  EXPECT_FALSE(b.IsUp(SimTime::Days(2)));
+  EXPECT_FALSE(b.IsUp(SimTime::Years(50)));
+  EXPECT_TRUE(b.terminated());
+  EXPECT_EQ(b.termination_reason(), "contract ended");
+}
+
+TEST(BackhaulTest, FiberIsHighlyAvailable) {
+  auto fiber = MakeFiberBackhaul(RandomStream(5));
+  EXPECT_GT(fiber->SteadyStateAvailability(), 0.999);
+}
+
+TEST(BackhaulTest, CampusIsGoodButBelowFiber) {
+  auto campus = MakeCampusBackhaul(RandomStream(5));
+  auto fiber = MakeFiberBackhaul(RandomStream(5));
+  EXPECT_GT(campus->SteadyStateAvailability(), 0.99);
+  EXPECT_LT(campus->SteadyStateAvailability(), fiber->SteadyStateAvailability());
+}
+
+TEST(CellularTest, DiesAtSunset) {
+  TechnologyTimeline tl = TechnologyTimeline::UsCellularDefault();
+  CellularBackhaul cell("3g", tl, RandomStream(2), 25.0);
+  // Before the 3G sunset (year 4): normally up.
+  int up_before = 0;
+  for (int m = 0; m < 40; ++m) {
+    up_before += cell.IsUpAt(SimTime::Days(30 * m)) ? 1 : 0;
+  }
+  EXPECT_GT(up_before, 30);
+  // After the sunset: dead forever.
+  EXPECT_FALSE(cell.IsUpAt(SimTime::Years(5)));
+  EXPECT_FALSE(cell.IsUpAt(SimTime::Years(49)));
+  EXPECT_TRUE(cell.terminated());
+}
+
+TEST(CellularTest, LaterGenerationOutlivesEarlier) {
+  TechnologyTimeline tl = TechnologyTimeline::UsCellularDefault();
+  CellularBackhaul g3("3g", tl, RandomStream(2), 25.0);
+  CellularBackhaul g5("5g", tl, RandomStream(3), 30.0);
+  g3.IsUpAt(SimTime::Years(20));
+  g5.IsUpAt(SimTime::Years(20));
+  EXPECT_TRUE(g3.terminated());
+  EXPECT_FALSE(g5.terminated());
+}
+
+TEST(CellularTest, CarriesSubscriptionCost) {
+  TechnologyTimeline tl = TechnologyTimeline::UsCellularDefault();
+  CellularBackhaul cell("4g", tl, RandomStream(2), 25.0);
+  EXPECT_DOUBLE_EQ(cell.monthly_cost_usd(), 25.0);
+  auto fiber = MakeFiberBackhaul(RandomStream(1));
+  EXPECT_DOUBLE_EQ(fiber->monthly_cost_usd(), 0.0);
+}
+
+}  // namespace
+}  // namespace centsim

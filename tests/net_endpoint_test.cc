@@ -1,0 +1,105 @@
+#include "src/net/cloud_endpoint.h"
+
+#include <gtest/gtest.h>
+
+namespace centsim {
+namespace {
+
+UplinkPacket From(uint32_t device) {
+  UplinkPacket pkt;
+  pkt.device_id = device;
+  return pkt;
+}
+
+TEST(EndpointTest, RecordsPackets) {
+  CloudEndpoint ep;
+  EXPECT_TRUE(ep.Record(From(1), SimTime::Hours(1)));
+  EXPECT_TRUE(ep.Record(From(2), SimTime::Hours(2)));
+  EXPECT_EQ(ep.total_packets(), 2u);
+  EXPECT_EQ(ep.DeviceCount(), 2u);
+  EXPECT_EQ(ep.PacketsFrom(1), 1u);
+  EXPECT_EQ(ep.PacketsFrom(99), 0u);
+}
+
+TEST(EndpointTest, LastSeenTracks) {
+  CloudEndpoint ep;
+  ep.Record(From(1), SimTime::Hours(1));
+  ep.Record(From(1), SimTime::Hours(5));
+  EXPECT_EQ(ep.LastSeen(1), SimTime::Hours(5));
+  EXPECT_EQ(ep.LastSeen(2), SimTime());
+}
+
+TEST(EndpointTest, DownEndpointLosesPackets) {
+  CloudEndpoint ep;
+  ep.SetOperational(false);
+  EXPECT_FALSE(ep.Record(From(1), SimTime::Hours(1)));
+  EXPECT_EQ(ep.total_packets(), 0u);
+  EXPECT_EQ(ep.packets_lost_down(), 1u);
+}
+
+TEST(EndpointTest, WeeklyUptimePerfectWhenEveryWeekHasData) {
+  CloudEndpoint ep;
+  for (int w = 0; w < 52; ++w) {
+    ep.Record(From(1), SimTime::Weeks(w) + SimTime::Days(2));
+  }
+  EXPECT_DOUBLE_EQ(ep.WeeklyUptime(SimTime::Weeks(52)), 1.0);
+  EXPECT_EQ(ep.LongestGapWeeks(SimTime::Weeks(52)), 0u);
+}
+
+TEST(EndpointTest, WeeklyUptimeCountsGaps) {
+  CloudEndpoint ep;
+  // Data in weeks 0-9 and 20-51; dark for weeks 10-19.
+  for (int w = 0; w < 52; ++w) {
+    if (w < 10 || w >= 20) {
+      ep.Record(From(1), SimTime::Weeks(w) + SimTime::Days(1));
+    }
+  }
+  EXPECT_NEAR(ep.WeeklyUptime(SimTime::Weeks(52)), 42.0 / 52.0, 1e-12);
+  EXPECT_EQ(ep.LongestGapWeeks(SimTime::Weeks(52)), 10u);
+}
+
+TEST(EndpointTest, UptimeOnlyCountsElapsedWeeks) {
+  CloudEndpoint ep;
+  ep.Record(From(1), SimTime::Days(1));
+  // Half a week elapsed: zero complete weeks => vacuous 1.0.
+  EXPECT_DOUBLE_EQ(ep.WeeklyUptime(SimTime::Days(3)), 1.0);
+  EXPECT_DOUBLE_EQ(ep.WeeklyUptime(SimTime::Weeks(1)), 1.0);
+}
+
+TEST(EndpointTest, PerDeviceWeeklyUptime) {
+  CloudEndpoint ep;
+  for (int w = 0; w < 10; ++w) {
+    ep.Record(From(1), SimTime::Weeks(w) + SimTime::Hours(1));
+    if (w % 2 == 0) {
+      ep.Record(From(2), SimTime::Weeks(w) + SimTime::Hours(2));
+    }
+  }
+  EXPECT_DOUBLE_EQ(ep.DeviceWeeklyUptime(1, SimTime::Weeks(10)), 1.0);
+  EXPECT_DOUBLE_EQ(ep.DeviceWeeklyUptime(2, SimTime::Weeks(10)), 0.5);
+  EXPECT_DOUBLE_EQ(ep.DeviceWeeklyUptime(3, SimTime::Weeks(10)), 0.0);
+}
+
+TEST(EndpointTest, GroupUptimeIsUnionOfDevices) {
+  CloudEndpoint ep;
+  // Device 1 covers even weeks, device 2 covers odd weeks.
+  for (int w = 0; w < 20; ++w) {
+    ep.Record(From(w % 2 == 0 ? 1 : 2), SimTime::Weeks(w) + SimTime::Hours(1));
+  }
+  EXPECT_DOUBLE_EQ(ep.DeviceWeeklyUptime(1, SimTime::Weeks(20)), 0.5);
+  EXPECT_DOUBLE_EQ(ep.GroupWeeklyUptime({1, 2}, SimTime::Weeks(20)), 1.0);
+  EXPECT_DOUBLE_EQ(ep.GroupWeeklyUptime({1}, SimTime::Weeks(20)), 0.5);
+  EXPECT_DOUBLE_EQ(ep.GroupWeeklyUptime({}, SimTime::Weeks(20)), 0.0);
+}
+
+TEST(EndpointTest, RecoveryAfterOutageResumesCounting) {
+  CloudEndpoint ep;
+  ep.Record(From(1), SimTime::Weeks(0) + SimTime::Days(1));
+  ep.SetOperational(false);
+  EXPECT_FALSE(ep.Record(From(1), SimTime::Weeks(1) + SimTime::Days(1)));
+  ep.SetOperational(true);
+  EXPECT_TRUE(ep.Record(From(1), SimTime::Weeks(2) + SimTime::Days(1)));
+  EXPECT_NEAR(ep.WeeklyUptime(SimTime::Weeks(3)), 2.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace centsim

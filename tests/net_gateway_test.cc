@@ -1,0 +1,141 @@
+#include "src/net/gateway.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/simulation.h"
+
+namespace centsim {
+namespace {
+
+class GatewayFixture : public ::testing::Test {
+ protected:
+  GatewayFixture()
+      : sim_(1),
+        backhaul_("bh", {SimTime::Years(1000), SimTime::Hours(1)}, RandomStream(9)) {}
+
+  Gateway MakeGateway(GatewayConfig cfg = {}) {
+    cfg.name = "gw-test";
+    return Gateway(sim_, cfg, SeriesSystem::RaspberryPiGateway());
+  }
+
+  Simulation sim_;
+  Backhaul backhaul_;
+};
+
+TEST_F(GatewayFixture, NotOperationalBeforeDeploy) {
+  Gateway gw = MakeGateway();
+  EXPECT_FALSE(gw.operational());
+  gw.Deploy();
+  EXPECT_TRUE(gw.operational());
+}
+
+TEST_F(GatewayFixture, AcceptForwardsToBackhaul) {
+  Gateway gw = MakeGateway();
+  gw.AttachBackhaul(&backhaul_);
+  gw.Deploy();
+  UplinkPacket pkt;
+  EXPECT_EQ(gw.Accept(pkt), DeliveryOutcome::kDelivered);
+  EXPECT_EQ(gw.forwarded(), 1u);
+  EXPECT_EQ(backhaul_.delivered(), 1u);
+}
+
+TEST_F(GatewayFixture, NoBackhaulMeansBackhaulDown) {
+  Gateway gw = MakeGateway();
+  gw.Deploy();
+  EXPECT_EQ(gw.Accept(UplinkPacket{}), DeliveryOutcome::kBackhaulDown);
+}
+
+TEST_F(GatewayFixture, DownGatewayRejects) {
+  Gateway gw = MakeGateway();
+  EXPECT_EQ(gw.Accept(UplinkPacket{}), DeliveryOutcome::kGatewayDown);
+}
+
+TEST_F(GatewayFixture, BlocklistEnforced) {
+  Gateway gw = MakeGateway();
+  gw.AttachBackhaul(&backhaul_);
+  Blocklist blocklist;
+  blocklist.Block(7, "spoofed readings");
+  gw.SetBlocklist(&blocklist);
+  gw.Deploy();
+  UplinkPacket bad;
+  bad.device_id = 7;
+  UplinkPacket good;
+  good.device_id = 8;
+  EXPECT_EQ(gw.Accept(bad), DeliveryOutcome::kBlocklisted);
+  EXPECT_EQ(gw.Accept(good), DeliveryOutcome::kDelivered);
+  EXPECT_EQ(gw.rejected(), 1u);
+}
+
+TEST_F(GatewayFixture, VendorLockRejectsForeignDevices) {
+  GatewayConfig cfg;
+  cfg.vendor_locked = true;
+  cfg.vendor = "acme";
+  Gateway gw = MakeGateway(cfg);
+  gw.AttachBackhaul(&backhaul_);
+  gw.Deploy();
+  EXPECT_EQ(gw.Accept(UplinkPacket{}, "acme"), DeliveryOutcome::kDelivered);
+  EXPECT_EQ(gw.Accept(UplinkPacket{}, "other"), DeliveryOutcome::kGatewayDown);
+  EXPECT_EQ(gw.Accept(UplinkPacket{}, ""), DeliveryOutcome::kGatewayDown);
+}
+
+TEST_F(GatewayFixture, PaymentHookCanRefuse) {
+  Gateway gw = MakeGateway();
+  gw.AttachBackhaul(&backhaul_);
+  int budget = 2;
+  gw.SetPaymentHook([&budget](const UplinkPacket&) { return budget-- > 0; });
+  gw.Deploy();
+  EXPECT_EQ(gw.Accept(UplinkPacket{}), DeliveryOutcome::kDelivered);
+  EXPECT_EQ(gw.Accept(UplinkPacket{}), DeliveryOutcome::kDelivered);
+  EXPECT_EQ(gw.Accept(UplinkPacket{}), DeliveryOutcome::kNoCredits);
+}
+
+TEST_F(GatewayFixture, FailsEventuallyWithoutRepair) {
+  Gateway gw = MakeGateway();
+  gw.AttachBackhaul(&backhaul_);
+  gw.Deploy();
+  sim_.RunUntil(SimTime::Years(50));
+  EXPECT_FALSE(gw.operational());
+  EXPECT_GE(gw.failure_count(), 1u);
+  // Abandoned at first failure: exactly one.
+  EXPECT_EQ(gw.failure_count(), 1u);
+}
+
+TEST_F(GatewayFixture, RepairPolicyRestoresService) {
+  Gateway gw = MakeGateway();
+  gw.AttachBackhaul(&backhaul_);
+  gw.SetRepairPolicy([](SimTime fail_time) { return fail_time + SimTime::Days(2); });
+  gw.Deploy();
+  sim_.RunUntil(SimTime::Years(50));
+  // With prompt repairs the gateway fails repeatedly but is up at the end
+  // with overwhelming probability (2-day MTTR vs ~4-year MTBF).
+  EXPECT_GT(gw.failure_count(), 3u);
+  EXPECT_TRUE(gw.operational());
+  const double downtime_fraction =
+      gw.DowntimeThrough(sim_.Now()).ToSeconds() / SimTime::Years(50).ToSeconds();
+  EXPECT_LT(downtime_fraction, 0.02);
+}
+
+TEST_F(GatewayFixture, DecommissionStopsService) {
+  Gateway gw = MakeGateway();
+  gw.AttachBackhaul(&backhaul_);
+  gw.Deploy();
+  gw.Decommission("fleet refresh");
+  EXPECT_FALSE(gw.operational());
+  EXPECT_TRUE(gw.decommissioned());
+  EXPECT_EQ(gw.Accept(UplinkPacket{}), DeliveryOutcome::kGatewayDown);
+  // No pending failure event fires afterwards.
+  sim_.RunUntil(SimTime::Years(30));
+  EXPECT_EQ(gw.failure_count(), 0u);
+}
+
+TEST_F(GatewayFixture, DowntimeAccountsOpenInterval) {
+  Gateway gw = MakeGateway();
+  gw.Deploy();
+  sim_.RunUntil(SimTime::Years(50));  // Fails unrepaired somewhere inside.
+  const SimTime downtime = gw.DowntimeThrough(SimTime::Years(50));
+  EXPECT_GT(downtime, SimTime());
+  EXPECT_LT(downtime, SimTime::Years(50));
+}
+
+}  // namespace
+}  // namespace centsim

@@ -1,0 +1,81 @@
+#include "src/net/helium.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace centsim {
+namespace {
+
+HeliumPopulation MakeDefault(uint64_t seed = 1) {
+  HeliumPopulation::Params p;
+  return HeliumPopulation(p, RandomStream(seed));
+}
+
+TEST(HeliumTest, PopulationSizeMatches) {
+  const auto pop = MakeDefault();
+  EXPECT_EQ(pop.hotspots().size(), 12400u);
+}
+
+TEST(HeliumTest, TopTenShareNearPaperMeasurement) {
+  // Paper footnote 5: "50% of nodes belong to just ten ASes".
+  const auto pop = MakeDefault();
+  EXPECT_NEAR(pop.TopAsShare(10), 0.50, 0.03);
+}
+
+TEST(HeliumTest, LongTailNearTwoHundredAses) {
+  // "...the long tail extends to nearly 200 unique ASes".
+  const auto pop = MakeDefault();
+  EXPECT_GE(pop.UniqueAsCount(), 180u);
+  EXPECT_LE(pop.UniqueAsCount(), 200u);
+}
+
+TEST(HeliumTest, CensusSortedDescendingAndSumsToPopulation) {
+  const auto pop = MakeDefault();
+  const auto census = pop.AsCensus();
+  uint64_t total = 0;
+  uint32_t prev = UINT32_MAX;
+  for (uint32_t c : census) {
+    EXPECT_LE(c, prev);
+    prev = c;
+    total += c;
+  }
+  EXPECT_EQ(total, 12400u);
+}
+
+TEST(HeliumTest, TopShareMonotoneInK) {
+  const auto pop = MakeDefault();
+  double prev = 0.0;
+  for (uint32_t k : {1u, 5u, 10u, 50u, 200u}) {
+    const double share = pop.TopAsShare(k);
+    EXPECT_GE(share, prev);
+    prev = share;
+  }
+  EXPECT_DOUBLE_EQ(pop.TopAsShare(10000), 1.0);
+}
+
+TEST(HeliumTest, HotspotsSpreadOverRegion) {
+  const auto pop = MakeDefault();
+  double max_x = 0.0;
+  for (const auto& h : pop.hotspots()) {
+    EXPECT_GE(h.x_m, 0.0);
+    EXPECT_LE(h.x_m, 60000.0);
+    max_x = std::max(max_x, h.x_m);
+  }
+  EXPECT_GT(max_x, 30000.0);
+}
+
+TEST(HeliumTest, DifferentSeedsDifferentDraws) {
+  const auto a = MakeDefault(1);
+  const auto b = MakeDefault(2);
+  // Same aggregate shape, different realizations.
+  EXPECT_NEAR(a.TopAsShare(10), b.TopAsShare(10), 0.05);
+  bool any_diff = false;
+  for (size_t i = 0; i < 100; ++i) {
+    any_diff |= a.hotspots()[i].as_rank != b.hotspots()[i].as_rank;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace centsim

@@ -1,0 +1,102 @@
+#include "src/net/network_server.h"
+
+#include <gtest/gtest.h>
+
+namespace centsim {
+namespace {
+
+UplinkPacket Frame(uint32_t device, uint32_t seq) {
+  UplinkPacket pkt;
+  pkt.device_id = device;
+  pkt.sequence = seq;
+  return pkt;
+}
+
+TEST(NetworkServerTest, FirstCopyForwardsToEndpoint) {
+  CloudEndpoint endpoint;
+  NetworkServer ns(&endpoint);
+  const auto r = ns.Ingest(Frame(1, 1), /*gateway_id=*/10, -80.0, SimTime::Seconds(1));
+  EXPECT_TRUE(r.first_copy);
+  EXPECT_FALSE(r.duplicate);
+  EXPECT_EQ(endpoint.total_packets(), 1u);
+  EXPECT_EQ(ns.frames_forwarded(), 1u);
+}
+
+TEST(NetworkServerTest, DuplicatesSuppressedWithinWindow) {
+  CloudEndpoint endpoint;
+  NetworkServer ns(&endpoint);
+  ns.Ingest(Frame(1, 1), 10, -80.0, SimTime::Seconds(1));
+  const auto dup = ns.Ingest(Frame(1, 1), 11, -85.0, SimTime::Seconds(1) + SimTime::Millis(200));
+  EXPECT_TRUE(dup.duplicate);
+  EXPECT_EQ(dup.witnesses, 2u);
+  EXPECT_EQ(endpoint.total_packets(), 1u);
+  EXPECT_EQ(ns.duplicates_suppressed(), 1u);
+}
+
+TEST(NetworkServerTest, DistinctCountersAreDistinctFrames) {
+  CloudEndpoint endpoint;
+  NetworkServer ns(&endpoint);
+  ns.Ingest(Frame(1, 1), 10, -80.0, SimTime::Seconds(1));
+  const auto next = ns.Ingest(Frame(1, 2), 10, -80.0, SimTime::Seconds(2));
+  EXPECT_TRUE(next.first_copy);
+  EXPECT_EQ(endpoint.total_packets(), 2u);
+}
+
+TEST(NetworkServerTest, DistinctDevicesDoNotCollide) {
+  CloudEndpoint endpoint;
+  NetworkServer ns(&endpoint);
+  ns.Ingest(Frame(1, 7), 10, -80.0, SimTime::Seconds(1));
+  const auto other = ns.Ingest(Frame(2, 7), 10, -80.0, SimTime::Seconds(1));
+  EXPECT_TRUE(other.first_copy);
+}
+
+TEST(NetworkServerTest, BestWitnessTracked) {
+  NetworkServer ns;
+  ns.Ingest(Frame(1, 1), 10, -90.0, SimTime::Seconds(1));
+  EXPECT_EQ(ns.BestGatewayFor(1), 10u);
+  ns.Ingest(Frame(1, 1), 11, -70.0, SimTime::Seconds(1) + SimTime::Millis(100));
+  EXPECT_EQ(ns.BestGatewayFor(1), 11u);  // Stronger copy wins.
+  ns.Ingest(Frame(1, 1), 12, -95.0, SimTime::Seconds(1) + SimTime::Millis(150));
+  EXPECT_EQ(ns.BestGatewayFor(1), 11u);  // Weaker copy does not.
+  EXPECT_EQ(ns.BestGatewayFor(999), 0u);
+}
+
+TEST(NetworkServerTest, WindowExpiryAllowsLateRetransmission) {
+  // After the dedup window, the same (device, counter) is treated as a new
+  // frame (the real risk replay protection at the endpoint must catch).
+  NetworkServerParams params;
+  params.dedup_window = SimTime::Seconds(2);
+  CloudEndpoint endpoint;
+  NetworkServer ns(&endpoint, params);
+  ns.Ingest(Frame(1, 1), 10, -80.0, SimTime::Seconds(1));
+  const auto late = ns.Ingest(Frame(1, 1), 11, -80.0, SimTime::Seconds(10));
+  EXPECT_TRUE(late.first_copy);
+  EXPECT_EQ(endpoint.total_packets(), 2u);
+}
+
+TEST(NetworkServerTest, MeanWitnessesReflectsRedundancy) {
+  NetworkServer ns;
+  for (uint32_t seq = 1; seq <= 10; ++seq) {
+    const SimTime t = SimTime::Seconds(seq * 10);
+    ns.Ingest(Frame(1, seq), 10, -80.0, t);
+    ns.Ingest(Frame(1, seq), 11, -82.0, t + SimTime::Millis(50));
+    ns.Ingest(Frame(1, seq), 12, -85.0, t + SimTime::Millis(90));
+  }
+  EXPECT_DOUBLE_EQ(ns.MeanWitnesses(), 3.0);
+  EXPECT_EQ(ns.frames_forwarded(), 10u);
+  EXPECT_EQ(ns.duplicates_suppressed(), 20u);
+}
+
+TEST(NetworkServerTest, CapacityEvictionKeepsBound) {
+  NetworkServerParams params;
+  params.max_tracked = 64;
+  params.dedup_window = SimTime::Hours(10);  // Window never expires here.
+  NetworkServer ns(params);
+  for (uint32_t seq = 1; seq <= 1000; ++seq) {
+    ns.Ingest(Frame(1, seq), 10, -80.0, SimTime::Seconds(seq));
+  }
+  EXPECT_EQ(ns.frames_forwarded(), 1000u);  // All distinct, all forwarded.
+}
+
+}  // namespace
+}  // namespace centsim

@@ -1,0 +1,51 @@
+#include "src/net/packet.h"
+
+#include <gtest/gtest.h>
+
+#include "src/net/blocklist.h"
+
+namespace centsim {
+namespace {
+
+TEST(PacketTest, RadioTechNames) {
+  EXPECT_STREQ(RadioTechName(RadioTech::k802154), "802.15.4");
+  EXPECT_STREQ(RadioTechName(RadioTech::kLoRa), "LoRa");
+}
+
+TEST(PacketTest, EveryOutcomeHasAName) {
+  for (int i = 0; i < kDeliveryOutcomeCount; ++i) {
+    const char* name = DeliveryOutcomeName(static_cast<DeliveryOutcome>(i));
+    EXPECT_NE(name, nullptr);
+    EXPECT_STRNE(name, "?") << "outcome " << i;
+  }
+}
+
+TEST(PacketTest, DefaultsMatchPaperPayload) {
+  UplinkPacket pkt;
+  EXPECT_EQ(pkt.payload_bytes, 12u);  // Fits a SensorReading; under 24 B.
+  EXPECT_FALSE(pkt.authenticated);
+}
+
+TEST(BlocklistTest, BlockUnblockRoundTrip) {
+  Blocklist bl;
+  EXPECT_FALSE(bl.IsBlocked(5));
+  bl.Block(5, "bad firmware");
+  EXPECT_TRUE(bl.IsBlocked(5));
+  ASSERT_NE(bl.ReasonFor(5), nullptr);
+  EXPECT_EQ(*bl.ReasonFor(5), "bad firmware");
+  EXPECT_EQ(bl.ReasonFor(6), nullptr);
+  bl.Unblock(5);
+  EXPECT_FALSE(bl.IsBlocked(5));
+  EXPECT_EQ(bl.size(), 0u);
+}
+
+TEST(BlocklistTest, ReblockUpdatesReason) {
+  Blocklist bl;
+  bl.Block(1, "first");
+  bl.Block(1, "second");
+  EXPECT_EQ(bl.size(), 1u);
+  EXPECT_EQ(*bl.ReasonFor(1), "second");
+}
+
+}  // namespace
+}  // namespace centsim

@@ -1,0 +1,153 @@
+// Cross-cutting property sweeps (TEST_P) over parameter spaces that the
+// single-point tests do not cover.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "src/radio/link_budget.h"
+#include "src/radio/lora.h"
+#include "src/reliability/component.h"
+#include "src/reliability/hazard.h"
+#include "src/sim/random.h"
+#include "src/sim/scheduler.h"
+#include "src/sim/stats.h"
+
+namespace centsim {
+namespace {
+
+// --- LoRa PER monotonicity across every SF ------------------------------
+
+class LoraSfSweep : public ::testing::TestWithParam<LoraSf> {};
+
+TEST_P(LoraSfSweep, PerMonotoneNonIncreasingInPower) {
+  const LoraSf sf = GetParam();
+  double prev = 1.1;
+  for (double dbm = -150.0; dbm <= -90.0; dbm += 1.0) {
+    const double per = LoraPhy::PacketErrorRate(sf, dbm);
+    EXPECT_LE(per, prev + 1e-12) << "at " << dbm << " dBm";
+    prev = per;
+  }
+}
+
+TEST_P(LoraSfSweep, AirtimeMonotoneInPayload) {
+  LoraConfig cfg;
+  cfg.sf = GetParam();
+  SimTime prev;
+  for (size_t payload = 1; payload <= 64; payload += 7) {
+    const SimTime t = LoraPhy::Airtime(cfg, payload);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST_P(LoraSfSweep, SensitivityBelowNoiseFloorForHighSf) {
+  const LoraSf sf = GetParam();
+  const double sens = LoraPhy::SensitivityDbm(sf);
+  // All LoRa SFs demodulate below the 125 kHz noise floor + 0 dB.
+  EXPECT_LT(sens, NoiseFloorDbm(125e3, 6.0) + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSfs, LoraSfSweep,
+                         ::testing::Values(LoraSf::kSf7, LoraSf::kSf8, LoraSf::kSf9,
+                                           LoraSf::kSf10, LoraSf::kSf11, LoraSf::kSf12));
+
+// --- Series systems: more components never help -------------------------
+
+class SeriesGrowth : public ::testing::TestWithParam<int> {};
+
+TEST_P(SeriesGrowth, AddingComponentsNeverImprovesSurvival) {
+  const int extra = GetParam();
+  SeriesSystem base;
+  base.Add(MakeMicrocontroller());
+  SeriesSystem grown = base;
+  for (int i = 0; i < extra; ++i) {
+    grown.Add(MakeConnectorSolder());
+  }
+  for (double y : {5.0, 15.0, 30.0}) {
+    EXPECT_LE(grown.Survival(SimTime::Years(y)), base.Survival(SimTime::Years(y)) + 1e-12);
+  }
+  EXPECT_LE(grown.Mttf().ToYears(), base.Mttf().ToYears() + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Growth, SeriesGrowth, ::testing::Values(1, 2, 4, 8));
+
+// --- Scheduler stress: random interleaving vs reference ordering --------
+
+class SchedulerStress : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SchedulerStress, RandomScheduleCancelsStayConsistent) {
+  const uint64_t seed = GetParam();
+  RandomStream rng(seed);
+  Scheduler sched;
+  std::vector<std::pair<SimTime, int>> fired;
+  std::vector<EventId> ids;
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    const SimTime at = SimTime::Micros(static_cast<int64_t>(rng.NextBelow(100000)));
+    ids.push_back(sched.ScheduleAt(at, [&fired, at, i] { fired.push_back({at, i}); }));
+  }
+  // Cancel a random third.
+  int cancelled = 0;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextBool(1.0 / 3.0)) {
+      ASSERT_TRUE(sched.Cancel(ids[i]));
+      ++cancelled;
+    }
+  }
+  sched.RunUntil(SimTime::Seconds(1));
+  EXPECT_EQ(fired.size(), static_cast<size_t>(n - cancelled));
+  // Fired order must be non-decreasing in time.
+  for (size_t i = 1; i < fired.size(); ++i) {
+    EXPECT_GE(fired[i].first, fired[i - 1].first);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerStress, ::testing::Values(1u, 17u, 99u, 1234u));
+
+// --- Histogram quantiles track exact quantiles ---------------------------
+
+class QuantileAgreement : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileAgreement, HistogramNearExactForNormalData) {
+  const double q = GetParam();
+  RandomStream rng(7);
+  Histogram hist(-5.0, 5.0, 400);
+  SampleSet exact;
+  for (int i = 0; i < 50000; ++i) {
+    const double v = rng.Normal(0.0, 1.0);
+    hist.Add(v);
+    exact.Add(v);
+  }
+  EXPECT_NEAR(hist.Quantile(q), exact.Quantile(q), 0.05) << "q=" << q;
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, QuantileAgreement,
+                         ::testing::Values(0.05, 0.25, 0.5, 0.75, 0.95));
+
+// --- Weibull conditional-draw property across shapes ---------------------
+
+class WeibullConditional : public ::testing::TestWithParam<double> {};
+
+TEST_P(WeibullConditional, RemainingLifeMatchesConditionalSurvival) {
+  const double shape = GetParam();
+  WeibullHazard h(shape, SimTime::Years(12));
+  const SimTime age = SimTime::Years(6);
+  const SimTime extra = SimTime::Years(3);
+  RandomStream rng(31);
+  int survived = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (h.SampleRemainingLife(rng, age) > extra) {
+      ++survived;
+    }
+  }
+  const double expected = h.Survival(age + extra) / h.Survival(age);
+  EXPECT_NEAR(static_cast<double>(survived) / n, expected, 0.012);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, WeibullConditional, ::testing::Values(0.6, 1.0, 2.0, 4.0));
+
+}  // namespace
+}  // namespace centsim

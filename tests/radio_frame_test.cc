@@ -1,0 +1,88 @@
+#include "src/radio/frame.h"
+
+#include <gtest/gtest.h>
+
+namespace centsim {
+namespace {
+
+TEST(CrcTest, KnownVector) {
+  // CRC-16/CCITT-FALSE("123456789") = 0x29B1.
+  const uint8_t data[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(Crc16Ccitt(data, sizeof(data)), 0x29B1);
+}
+
+TEST(CrcTest, EmptyInput) { EXPECT_EQ(Crc16Ccitt(nullptr, 0), 0xFFFF); }
+
+TEST(CrcTest, SensitiveToSingleBit) {
+  std::vector<uint8_t> a = {0x00, 0x01, 0x02, 0x03};
+  std::vector<uint8_t> b = a;
+  b[2] ^= 0x10;
+  EXPECT_NE(Crc16Ccitt(a.data(), a.size()), Crc16Ccitt(b.data(), b.size()));
+}
+
+TEST(SensorReadingTest, SerializeIsTwelveBytes) {
+  SensorReading r;
+  EXPECT_EQ(r.Serialize().size(), 12u);
+}
+
+TEST(SensorReadingTest, RoundTrip) {
+  SensorReading r;
+  r.device_id = 0xDEADBEEF;
+  r.sequence = 123456789;
+  r.value_centi = -1234;
+  r.sensor_type = 7;
+  r.battery_soc = 200;
+  const auto parsed = SensorReading::Parse(r.Serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, r);
+}
+
+TEST(SensorReadingTest, ParseRejectsWrongSize) {
+  EXPECT_FALSE(SensorReading::Parse(std::vector<uint8_t>(11)).has_value());
+  EXPECT_FALSE(SensorReading::Parse(std::vector<uint8_t>(13)).has_value());
+}
+
+TEST(SensorReadingTest, NegativeValueRoundTrips) {
+  SensorReading r;
+  r.value_centi = -32768;
+  const auto parsed = SensorReading::Parse(r.Serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->value_centi, -32768);
+}
+
+TEST(SensorReadingTest, FitsInDataCreditUnit) {
+  // The whole report, with 2-byte FCS, stays under Helium's 24-byte unit.
+  SensorReading r;
+  const Frame f = Frame::WithFcs(r.Serialize());
+  EXPECT_LE(f.WireSize(), 24u);
+}
+
+TEST(FrameTest, ValidatesCleanFrame) {
+  const Frame f = Frame::WithFcs({1, 2, 3, 4, 5});
+  EXPECT_TRUE(f.Validate());
+}
+
+TEST(FrameTest, DetectsCorruption) {
+  Frame f = Frame::WithFcs({1, 2, 3, 4, 5});
+  f.CorruptBit(17);
+  EXPECT_FALSE(f.Validate());
+}
+
+TEST(FrameTest, DetectsFcsCorruption) {
+  Frame f = Frame::WithFcs({9, 9, 9});
+  f.CorruptBit(3 * 8 + 5);  // Beyond payload: flips an FCS bit.
+  EXPECT_FALSE(f.Validate());
+}
+
+TEST(FrameTest, AllSingleBitErrorsDetected) {
+  // CRC-16 detects every single-bit error.
+  const std::vector<uint8_t> payload = {0xA5, 0x5A, 0xFF, 0x00, 0x37};
+  for (size_t bit = 0; bit < payload.size() * 8; ++bit) {
+    Frame f = Frame::WithFcs(payload);
+    f.CorruptBit(bit);
+    EXPECT_FALSE(f.Validate()) << "bit " << bit;
+  }
+}
+
+}  // namespace
+}  // namespace centsim

@@ -1,0 +1,90 @@
+#include "src/radio/link_budget.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace centsim {
+namespace {
+
+TEST(DbmTest, Conversions) {
+  EXPECT_DOUBLE_EQ(DbmToMilliwatts(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(DbmToMilliwatts(10.0), 10.0);
+  EXPECT_NEAR(DbmToMilliwatts(-30.0), 0.001, 1e-12);
+  EXPECT_DOUBLE_EQ(MilliwattsToDbm(1.0), 0.0);
+  EXPECT_NEAR(MilliwattsToDbm(DbmToMilliwatts(-87.3)), -87.3, 1e-9);
+}
+
+TEST(NoiseFloorTest, KnownValues) {
+  // 2 MHz BW, 7 dB NF: -174 + 63 + 7 = -104 dBm.
+  EXPECT_NEAR(NoiseFloorDbm(2e6, 7.0), -104.0, 0.05);
+  // 125 kHz LoRa, 6 dB NF: -174 + 51 + 6 = -117 dBm.
+  EXPECT_NEAR(NoiseFloorDbm(125e3, 6.0), -117.0, 0.05);
+}
+
+TEST(PathLossTest, MedianLossGrowsWithDistance) {
+  PathLossModel pl = PathLossModel::Urban24GHz();
+  double prev = 0.0;
+  for (double d : {1.0, 10.0, 100.0, 1000.0}) {
+    const double loss = pl.MedianLossDb(d);
+    EXPECT_GT(loss, prev);
+    prev = loss;
+  }
+}
+
+TEST(PathLossTest, ReferenceDistanceFloor) {
+  PathLossModel pl = PathLossModel::Urban24GHz();
+  EXPECT_DOUBLE_EQ(pl.MedianLossDb(0.1), pl.MedianLossDb(1.0));
+}
+
+TEST(PathLossTest, TenXDistanceAddsTenNdB) {
+  PathLossModel::Params p;
+  p.exponent = 3.0;
+  p.reference_loss_db = 40.0;
+  PathLossModel pl(p);
+  EXPECT_NEAR(pl.MedianLossDb(100.0) - pl.MedianLossDb(10.0), 30.0, 1e-9);
+}
+
+TEST(PathLossTest, RangeInversionRoundTrips) {
+  PathLossModel pl = PathLossModel::Urban915MHz();
+  const double loss = pl.MedianLossDb(500.0);
+  EXPECT_NEAR(pl.RangeForLossDb(loss), 500.0, 0.5);
+}
+
+TEST(PathLossTest, ShadowingIsFrozenPerLink) {
+  PathLossModel pl = PathLossModel::Urban24GHz();
+  const double a1 = pl.LinkLossDb(200.0, /*link_seed=*/42);
+  const double a2 = pl.LinkLossDb(200.0, /*link_seed=*/42);
+  const double b = pl.LinkLossDb(200.0, /*link_seed=*/43);
+  EXPECT_DOUBLE_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+}
+
+TEST(PathLossTest, ShadowingHasConfiguredSpread) {
+  PathLossModel pl = PathLossModel::Urban24GHz();
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    const double dev = pl.LinkLossDb(100.0, i) - pl.MedianLossDb(100.0);
+    sum += dev;
+    sum_sq += dev * dev;
+  }
+  const double mean = sum / n;
+  const double sd = std::sqrt(sum_sq / n - mean * mean);
+  EXPECT_NEAR(mean, 0.0, 0.3);
+  EXPECT_NEAR(sd, pl.params().shadowing_sigma_db, 0.3);
+}
+
+TEST(LinkBudgetTest, ReceivedPowerArithmetic) {
+  LinkBudget lb;
+  lb.tx_power_dbm = 14.0;
+  lb.tx_antenna_gain_db = 2.0;
+  lb.rx_antenna_gain_db = 3.0;
+  lb.path_loss_db = 110.0;
+  EXPECT_DOUBLE_EQ(lb.ReceivedPowerDbm(), -91.0);
+  EXPECT_DOUBLE_EQ(lb.SnrDb(-117.0), 26.0);
+}
+
+}  // namespace
+}  // namespace centsim

@@ -1,0 +1,102 @@
+#include "src/radio/lora.h"
+
+#include <gtest/gtest.h>
+
+namespace centsim {
+namespace {
+
+LoraConfig Cfg(LoraSf sf) {
+  LoraConfig cfg;
+  cfg.sf = sf;
+  return cfg;
+}
+
+TEST(LoraAirtimeTest, Sf7TwelveBytesNearReference) {
+  // Semtech calculator: SF7/125k, CR4/5, 8-symbol preamble, explicit
+  // header, CRC on, 12-byte payload ~ 41.2 ms.
+  const double ms = LoraPhy::Airtime(Cfg(LoraSf::kSf7), 12).ToSeconds() * 1000.0;
+  EXPECT_NEAR(ms, 41.2, 1.5);
+}
+
+TEST(LoraAirtimeTest, Sf12TenBytesNearReference) {
+  // SF12/125k, same settings, 10 bytes ~ 991 ms (with LDRO).
+  const double ms = LoraPhy::Airtime(Cfg(LoraSf::kSf12), 10).ToSeconds() * 1000.0;
+  EXPECT_NEAR(ms, 991.0, 10.0);
+}
+
+TEST(LoraAirtimeTest, GrowsWithSf) {
+  double prev = 0.0;
+  for (auto sf : {LoraSf::kSf7, LoraSf::kSf8, LoraSf::kSf9, LoraSf::kSf10, LoraSf::kSf11,
+                  LoraSf::kSf12}) {
+    const double t = LoraPhy::Airtime(Cfg(sf), 24).ToSeconds();
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(LoraAirtimeTest, GrowsWithPayload) {
+  EXPECT_GT(LoraPhy::Airtime(Cfg(LoraSf::kSf9), 48), LoraPhy::Airtime(Cfg(LoraSf::kSf9), 12));
+}
+
+TEST(LoraAirtimeTest, WiderBandwidthIsFaster) {
+  LoraConfig narrow = Cfg(LoraSf::kSf9);
+  LoraConfig wide = Cfg(LoraSf::kSf9);
+  wide.bandwidth_hz = 250e3;
+  EXPECT_LT(LoraPhy::Airtime(wide, 24), LoraPhy::Airtime(narrow, 24));
+}
+
+TEST(LoraSensitivityTest, MonotoneInSf) {
+  double prev = 0.0;
+  bool first = true;
+  for (auto sf : {LoraSf::kSf7, LoraSf::kSf8, LoraSf::kSf9, LoraSf::kSf10, LoraSf::kSf11,
+                  LoraSf::kSf12}) {
+    const double sens = LoraPhy::SensitivityDbm(sf);
+    if (!first) {
+      EXPECT_LT(sens, prev);  // Higher SF hears weaker signals.
+    }
+    prev = sens;
+    first = false;
+  }
+}
+
+TEST(LoraSensitivityTest, Sf12Near137) {
+  // SX1276 datasheet: about -137 dBm at SF12/125 kHz.
+  EXPECT_NEAR(LoraPhy::SensitivityDbm(LoraSf::kSf12), -137.0, 1.5);
+}
+
+TEST(LoraPerTest, WaterfallCenteredAtSensitivity) {
+  const double sens = LoraPhy::SensitivityDbm(LoraSf::kSf9);
+  EXPECT_NEAR(LoraPhy::PacketErrorRate(LoraSf::kSf9, sens), 0.5, 0.01);
+  EXPECT_LT(LoraPhy::PacketErrorRate(LoraSf::kSf9, sens + 6.0), 0.01);
+  EXPECT_GT(LoraPhy::PacketErrorRate(LoraSf::kSf9, sens - 6.0), 0.99);
+}
+
+TEST(LoraEnergyTest, HigherSfCostsMore) {
+  EXPECT_GT(LoraPhy::TxEnergyJoules(Cfg(LoraSf::kSf12), 14.0, 12),
+            LoraPhy::TxEnergyJoules(Cfg(LoraSf::kSf7), 14.0, 12));
+}
+
+TEST(DutyCycleTest, OnePercentGapIsNinetyNineAirtimes) {
+  DutyCycleRule rule;  // 1%.
+  const SimTime airtime = SimTime::Millis(100);
+  const SimTime next = rule.NextAllowed(SimTime::Seconds(0), airtime);
+  EXPECT_NEAR(next.ToSeconds(), 10.0, 0.01);  // 100 ms / 1% = 10 s.
+}
+
+TEST(DutyCycleTest, FramesPerDayBudget) {
+  DutyCycleRule rule;
+  const SimTime airtime = LoraPhy::Airtime(Cfg(LoraSf::kSf9), 12);
+  const double frames = rule.MaxFramesPerDay(airtime);
+  // 864 s of airtime per day / ~0.165 s per frame ~ 5000+ frames:
+  // 1 frame/hour (24/day) is far inside the regulatory budget.
+  EXPECT_GT(frames, 24.0);
+}
+
+TEST(DutyCycleTest, Sf12HourlyStillLegal) {
+  DutyCycleRule rule;
+  const SimTime airtime = LoraPhy::Airtime(Cfg(LoraSf::kSf12), 24);
+  EXPECT_GT(rule.MaxFramesPerDay(airtime), 24.0);
+}
+
+}  // namespace
+}  // namespace centsim

@@ -1,0 +1,92 @@
+#include "src/radio/mac_802154.h"
+
+#include <gtest/gtest.h>
+
+namespace centsim {
+namespace {
+
+TEST(CsmaCaTest, IdleChannelSucceedsFirstRound) {
+  CsmaParams params;
+  RandomStream rng(1);
+  const auto out =
+      RunCsmaCa(params, SimTime(), rng, [](SimTime) { return false; });
+  EXPECT_EQ(out.result, CsmaResult::kSuccess);
+  EXPECT_EQ(out.backoffs, 1u);
+  // Delay is backoff slots (0..7) * 320 us + one CCA.
+  EXPECT_GE(out.access_delay, params.cca_duration);
+  EXPECT_LE(out.access_delay, params.unit_backoff * 7.0 + params.cca_duration);
+}
+
+TEST(CsmaCaTest, BusyChannelFailsAfterMaxBackoffs) {
+  CsmaParams params;
+  RandomStream rng(2);
+  const auto out = RunCsmaCa(params, SimTime(), rng, [](SimTime) { return true; });
+  EXPECT_EQ(out.result, CsmaResult::kChannelAccessFailure);
+  EXPECT_EQ(out.backoffs, params.max_csma_backoffs + 1u);
+}
+
+TEST(CsmaCaTest, BackoffExponentCapped) {
+  // With BE capped at macMaxBE, the worst-case delay is bounded:
+  // rounds with BE = 3,4,5,5,5 -> max slots 7+15+31+31+31 = 115.
+  CsmaParams params;
+  RandomStream rng(3);
+  const auto out = RunCsmaCa(params, SimTime(), rng, [](SimTime) { return true; });
+  const SimTime worst = params.unit_backoff * 115.0 + params.cca_duration * 5.0;
+  EXPECT_LE(out.access_delay, worst);
+}
+
+TEST(CsmaCaTest, EmpiricalFailureRateMatchesClosedForm) {
+  CsmaParams params;
+  const double p_busy = 0.6;
+  RandomStream rng(4);
+  RandomStream channel_rng(5);
+  int failures = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    const auto out = RunCsmaCa(params, SimTime(), rng, [&](SimTime) {
+      return channel_rng.NextBool(p_busy);
+    });
+    failures += out.result == CsmaResult::kChannelAccessFailure ? 1 : 0;
+  }
+  const double expected = ChannelAccessFailureProbability(params, p_busy);
+  EXPECT_NEAR(static_cast<double>(failures) / trials, expected, 0.01);
+}
+
+TEST(CsmaCaTest, EmpiricalDelayMatchesClosedForm) {
+  CsmaParams params;
+  const double p_busy = 0.3;
+  RandomStream rng(6);
+  RandomStream channel_rng(7);
+  double total_s = 0.0;
+  const int trials = 30000;
+  for (int i = 0; i < trials; ++i) {
+    total_s += RunCsmaCa(params, SimTime(), rng, [&](SimTime) {
+                 return channel_rng.NextBool(p_busy);
+               }).access_delay.ToSeconds();
+  }
+  const double expected = ExpectedAccessDelay(params, p_busy).ToSeconds();
+  EXPECT_NEAR(total_s / trials, expected, expected * 0.05);
+}
+
+TEST(CsmaCaTest, FailureProbabilityMonotoneInBusy) {
+  CsmaParams params;
+  double prev = -1.0;
+  for (double p : {0.0, 0.3, 0.6, 0.9, 1.0}) {
+    const double f = ChannelAccessFailureProbability(params, p);
+    EXPECT_GT(f, prev);
+    prev = f;
+  }
+  EXPECT_DOUBLE_EQ(ChannelAccessFailureProbability(params, 1.0), 1.0);
+}
+
+TEST(CsmaCaTest, MoreBackoffsLowerFailureProbability) {
+  CsmaParams few;
+  few.max_csma_backoffs = 2;
+  CsmaParams many;
+  many.max_csma_backoffs = 6;
+  EXPECT_GT(ChannelAccessFailureProbability(few, 0.5),
+            ChannelAccessFailureProbability(many, 0.5));
+}
+
+}  // namespace
+}  // namespace centsim

@@ -1,0 +1,78 @@
+#include "src/radio/phy_802154.h"
+
+#include <gtest/gtest.h>
+
+namespace centsim {
+namespace {
+
+TEST(Phy802154Test, AirtimeOfTwelveBytePayload) {
+  // 12 + 11 MAC + 6 PHY = 29 bytes = 232 bits @ 250 kb/s = 928 us.
+  EXPECT_EQ(Phy802154::Airtime(12).micros(), 928);
+}
+
+TEST(Phy802154Test, AirtimeScalesLinearly) {
+  const auto t20 = Phy802154::Airtime(20);
+  const auto t40 = Phy802154::Airtime(40);
+  EXPECT_EQ((t40 - t20).micros(), 20 * 8 * 1000000 / 250000);
+}
+
+TEST(Phy802154Test, PayloadClampedToMax) {
+  EXPECT_EQ(Phy802154::Airtime(127), Phy802154::Airtime(500));
+}
+
+TEST(Phy802154Test, BerDecreasesWithSnr) {
+  double prev = 1.0;
+  for (double snr : {-10.0, -5.0, 0.0, 2.0, 5.0}) {
+    const double ber = Phy802154::BitErrorRate(snr);
+    EXPECT_LE(ber, prev);
+    prev = ber;
+  }
+}
+
+TEST(Phy802154Test, BerNegligibleAtHighSnr) {
+  EXPECT_LT(Phy802154::BitErrorRate(10.0), 1e-9);
+}
+
+TEST(Phy802154Test, BerBounded) {
+  for (double snr = -30.0; snr <= 30.0; snr += 1.0) {
+    const double ber = Phy802154::BitErrorRate(snr);
+    EXPECT_GE(ber, 0.0);
+    EXPECT_LE(ber, 0.5);
+  }
+}
+
+TEST(Phy802154Test, PerWorseForLongerFrames) {
+  const double snr = 1.0;  // Mid-waterfall.
+  EXPECT_GT(Phy802154::PacketErrorRate(snr, 100), Phy802154::PacketErrorRate(snr, 10));
+}
+
+TEST(Phy802154Test, PerNearZeroAtStrongSignal) {
+  EXPECT_LT(Phy802154::PacketErrorRate(15.0, 100), 1e-6);
+}
+
+TEST(Phy802154Test, PerNearOneBelowSensitivity) {
+  EXPECT_GT(Phy802154::PacketErrorRate(-10.0, 12), 0.99);
+}
+
+TEST(Phy802154Test, TxEnergyPositiveAndOrdered) {
+  const double low = Phy802154::TxEnergyJoules(0.0, 12);
+  const double high = Phy802154::TxEnergyJoules(8.0, 12);
+  EXPECT_GT(low, 0.0);
+  EXPECT_GT(high, low);
+  // Sub-millijoule-scale for a short frame: sanity band.
+  EXPECT_LT(high, 0.01);
+}
+
+class PayloadSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PayloadSweep, AirtimeMatchesBitArithmetic) {
+  const size_t payload = GetParam();
+  const size_t total_bytes = payload + 6 + 11;
+  EXPECT_EQ(Phy802154::Airtime(payload).micros(),
+            static_cast<int64_t>(total_bytes * 8 * 4));  // 4 us/bit @ 250 kb/s.
+}
+
+INSTANTIATE_TEST_SUITE_P(Payloads, PayloadSweep, ::testing::Values(1, 12, 24, 64, 100, 127));
+
+}  // namespace
+}  // namespace centsim

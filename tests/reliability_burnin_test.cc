@@ -1,0 +1,70 @@
+#include "src/reliability/burn_in.h"
+
+#include <gtest/gtest.h>
+
+namespace centsim {
+namespace {
+
+BathtubHazard InfantHeavy() {
+  BathtubHazard::Params p;
+  p.infant_shape = 0.4;
+  p.infant_scale = SimTime::Years(30);  // Meaningful infant hazard.
+  p.random_mttf = SimTime::Years(200);
+  p.wearout_shape = 4.0;
+  p.wearout_scale = SimTime::Years(25);
+  return BathtubHazard(p);
+}
+
+TEST(BurnInTest, ScreensInfantMortality) {
+  const BathtubHazard hazard = InfantHeavy();
+  BurnInPolicy policy;
+  policy.duration = SimTime::Days(60);
+  const auto a = AssessBurnIn(hazard, policy, SimTime::Years(10));
+  EXPECT_GT(a.bench_failure_fraction, 0.0);
+  EXPECT_LT(a.field_failure_with, a.field_failure_without);
+  EXPECT_GT(a.relative_reduction, 0.05);
+}
+
+TEST(BurnInTest, LongerBurnInScreensMore) {
+  const BathtubHazard hazard = InfantHeavy();
+  BurnInPolicy short_burn;
+  short_burn.duration = SimTime::Days(7);
+  BurnInPolicy long_burn;
+  long_burn.duration = SimTime::Days(90);
+  const auto s = AssessBurnIn(hazard, short_burn, SimTime::Years(10));
+  const auto l = AssessBurnIn(hazard, long_burn, SimTime::Years(10));
+  EXPECT_GT(l.relative_reduction, s.relative_reduction);
+  EXPECT_GT(l.bench_failure_fraction, s.bench_failure_fraction);
+}
+
+TEST(BurnInTest, UselessForMemorylessHazard) {
+  // Exponential components gain nothing from screening.
+  ExponentialHazard hazard(SimTime::Years(20));
+  BurnInPolicy policy;
+  policy.duration = SimTime::Days(60);
+  const auto a = AssessBurnIn(hazard, policy, SimTime::Years(10));
+  EXPECT_NEAR(a.relative_reduction, 0.0, 1e-9);
+}
+
+TEST(BurnInTest, CounterproductiveForPureWearout) {
+  // For a pure wear-out part, burn-in consumes life: conditional field
+  // failure is *higher* after screening.
+  WeibullHazard hazard(4.0, SimTime::Years(15));
+  BurnInPolicy policy;
+  policy.duration = SimTime::Years(1);  // Exaggerated to show the effect.
+  const auto a = AssessBurnIn(hazard, policy, SimTime::Years(10));
+  EXPECT_GT(a.field_failure_with, a.field_failure_without);
+  EXPECT_LT(a.relative_reduction, 0.0);
+}
+
+TEST(BurnInTest, CostAccountingPositiveWhenEffective) {
+  const BathtubHazard hazard = InfantHeavy();
+  BurnInPolicy policy;
+  policy.duration = SimTime::Days(60);
+  policy.cost_per_unit_usd = 4.0;
+  const auto a = AssessBurnIn(hazard, policy, SimTime::Years(10));
+  EXPECT_GT(a.cost_per_prevented_failure_usd, 0.0);
+}
+
+}  // namespace
+}  // namespace centsim

@@ -1,0 +1,119 @@
+#include "src/reliability/component.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/stats.h"
+
+namespace centsim {
+namespace {
+
+TEST(ComponentTest, ClassNamesCovered) {
+  EXPECT_STREQ(ComponentClassName(ComponentClass::kBattery), "battery");
+  EXPECT_STREQ(ComponentClassName(ComponentClass::kSdCard), "sd-card");
+}
+
+TEST(ComponentTest, BatteryMeanNearConfigured) {
+  const auto spec = MakeBattery(SimTime::Years(8));
+  EXPECT_NEAR(spec.hazard->Mttf().ToYears(), 8.0, 0.1);
+}
+
+TEST(SeriesSystemTest, EmptySystemNeverFails) {
+  SeriesSystem sys;
+  RandomStream rng(1);
+  EXPECT_EQ(sys.SampleLife(rng).life, SimTime::Max());
+  EXPECT_DOUBLE_EQ(sys.Survival(SimTime::Years(100)), 1.0);
+}
+
+TEST(SeriesSystemTest, LifeIsMinOfComponents) {
+  SeriesSystem sys;
+  sys.Add(MakeBattery(SimTime::Years(8)));
+  sys.Add(MakeCeramicCap());
+  RandomStream rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const auto draw = sys.SampleLife(rng);
+    EXPECT_LT(draw.life, SimTime::Max());
+    ASSERT_LT(draw.failing_component, sys.size());
+  }
+}
+
+TEST(SeriesSystemTest, SurvivalIsProduct) {
+  SeriesSystem sys;
+  sys.Add(MakeBattery());
+  sys.Add(MakeElectrolyticCap());
+  const SimTime t = SimTime::Years(9);
+  const double expected = MakeBattery().hazard->Survival(t) *
+                          MakeElectrolyticCap().hazard->Survival(t);
+  EXPECT_NEAR(sys.Survival(t), expected, 1e-12);
+}
+
+TEST(SeriesSystemTest, SamplingMatchesSurvival) {
+  SeriesSystem sys = SeriesSystem::BatteryPoweredNode();
+  RandomStream rng(3);
+  const SimTime probe = SimTime::Years(10);
+  int survived = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (sys.SampleLife(rng).life > probe) {
+      ++survived;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(survived) / n, sys.Survival(probe), 0.015);
+}
+
+TEST(SeriesSystemTest, BatteryNodeLifetimeMatchesPaperBand) {
+  // Paper §1: "conventional wisdom holds that components such as
+  // batteries, electrolytic capacitors, or even PCB substrates will hold
+  // the mean lifetime of a device to around 10-15 years" — our BOM puts
+  // the MTTF in/near that band (battery-dominated, slightly below is
+  // acceptable; well above would contradict the claim).
+  const SimTime mttf = SeriesSystem::BatteryPoweredNode().Mttf();
+  EXPECT_GT(mttf.ToYears(), 5.0);
+  EXPECT_LT(mttf.ToYears(), 15.0);
+}
+
+TEST(SeriesSystemTest, HarvestingNodeOutlivesBatteryNode) {
+  // The paper's core hardware argument: removing the battery and the
+  // electrolytics lifts the lifetime ceiling substantially.
+  const SimTime battery = SeriesSystem::BatteryPoweredNode().Mttf();
+  const SimTime harvesting = SeriesSystem::EnergyHarvestingNode().Mttf();
+  EXPECT_GT(harvesting.ToYears(), battery.ToYears() * 1.5);
+}
+
+TEST(SeriesSystemTest, BatteryNodeFailsByBatteryMostOften) {
+  SeriesSystem sys = SeriesSystem::BatteryPoweredNode();
+  RandomStream rng(5);
+  std::vector<int> by_component(sys.size(), 0);
+  for (int i = 0; i < 5000; ++i) {
+    ++by_component[sys.SampleLife(rng).failing_component];
+  }
+  // Component 0 is the battery; it should be the leading cause.
+  for (size_t c = 1; c < sys.size(); ++c) {
+    EXPECT_GE(by_component[0], by_component[c]) << "component " << c;
+  }
+}
+
+TEST(SeriesSystemTest, GatewayLifetimeIsYearsNotDecades) {
+  const SimTime mttf = SeriesSystem::RaspberryPiGateway().Mttf();
+  EXPECT_GT(mttf.ToYears(), 1.0);
+  EXPECT_LT(mttf.ToYears(), 10.0);
+}
+
+TEST(SeriesSystemTest, MttfIntegrationConverges) {
+  SeriesSystem sys = SeriesSystem::EnergyHarvestingNode();
+  const SimTime a = sys.Mttf(SimTime::Years(200));
+  const SimTime b = sys.Mttf(SimTime::Years(400));
+  EXPECT_NEAR(a.ToYears(), b.ToYears(), a.ToYears() * 0.05);
+}
+
+TEST(SeriesSystemTest, SurvivalMonotoneNonIncreasing) {
+  SeriesSystem sys = SeriesSystem::EnergyHarvestingNode();
+  double prev = 1.0;
+  for (int y = 0; y <= 100; y += 5) {
+    const double s = sys.Survival(SimTime::Years(y));
+    EXPECT_LE(s, prev + 1e-12);
+    prev = s;
+  }
+}
+
+}  // namespace
+}  // namespace centsim

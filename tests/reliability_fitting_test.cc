@@ -1,0 +1,109 @@
+#include "src/reliability/fitting.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/reliability/hazard.h"
+#include "src/sim/random.h"
+
+namespace centsim {
+namespace {
+
+std::vector<SurvivalObservation> DrawLives(double shape, double scale_years, int n,
+                                           uint64_t seed, double censor_years = 0.0) {
+  WeibullHazard hazard(shape, SimTime::Years(scale_years));
+  RandomStream rng(seed);
+  std::vector<SurvivalObservation> obs;
+  obs.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const SimTime life = hazard.SampleLife(rng);
+    if (censor_years > 0 && life.ToYears() > censor_years) {
+      obs.push_back({SimTime::Years(censor_years), false});
+    } else {
+      obs.push_back({life, true});
+    }
+  }
+  return obs;
+}
+
+TEST(FittingTest, RecoversParametersUncensored) {
+  const auto obs = DrawLives(3.0, 15.0, 5000, 1);
+  const auto fit = FitWeibull(obs);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_TRUE(fit->converged);
+  EXPECT_NEAR(fit->shape, 3.0, 0.15);
+  EXPECT_NEAR(fit->scale_years, 15.0, 0.3);
+}
+
+TEST(FittingTest, RecoversUnderHeavyCensoring) {
+  // Censor at 12 years (below the 15-year scale): ~55% of units censored,
+  // exactly the living-study situation mid-experiment.
+  const auto obs = DrawLives(3.0, 15.0, 8000, 2, /*censor_years=*/12.0);
+  const auto fit = FitWeibull(obs);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->shape, 3.0, 0.25);
+  EXPECT_NEAR(fit->scale_years, 15.0, 0.8);
+}
+
+TEST(FittingTest, ExponentialDataGivesShapeNearOne) {
+  const auto obs = DrawLives(1.0, 10.0, 5000, 3);
+  const auto fit = FitWeibull(obs);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->shape, 1.0, 0.08);
+}
+
+TEST(FittingTest, InfantMortalityShapeBelowOne) {
+  const auto obs = DrawLives(0.6, 20.0, 5000, 4);
+  const auto fit = FitWeibull(obs);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_LT(fit->shape, 0.75);
+}
+
+TEST(FittingTest, TooFewFailuresRefused) {
+  std::vector<SurvivalObservation> obs = {
+      {SimTime::Years(3), true},
+      {SimTime::Years(4), true},
+      {SimTime::Years(10), false},
+  };
+  EXPECT_FALSE(FitWeibull(obs).has_value());  // Only 2 failures.
+}
+
+TEST(FittingTest, FitExposesMttfAndSurvival) {
+  const auto obs = DrawLives(2.0, 10.0, 4000, 5);
+  const auto fit = FitWeibull(obs);
+  ASSERT_TRUE(fit.has_value());
+  const double expected_mttf = 10.0 * std::tgamma(1.5);
+  EXPECT_NEAR(fit->Mttf().ToYears(), expected_mttf, 0.4);
+  EXPECT_NEAR(fit->SurvivalAt(SimTime::Years(10)), std::exp(-1.0), 0.03);
+}
+
+TEST(FittingTest, WorksFromKaplanMeier) {
+  KaplanMeier km;
+  WeibullHazard hazard(2.5, SimTime::Years(12));
+  RandomStream rng(6);
+  for (int i = 0; i < 3000; ++i) {
+    km.Observe(hazard.SampleLife(rng), true);
+  }
+  const auto fit = FitWeibull(km);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->shape, 2.5, 0.2);
+}
+
+TEST(FittingTest, ForecastMatchesKaplanMeier) {
+  // The parametric fit and the nonparametric KM curve agree on survival at
+  // a probe time — the cross-check an operator would run on diary data.
+  KaplanMeier km;
+  WeibullHazard hazard(3.0, SimTime::Years(15));
+  RandomStream rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    km.Observe(hazard.SampleLife(rng), true);
+  }
+  const auto fit = FitWeibull(km);
+  ASSERT_TRUE(fit.has_value());
+  const SimTime probe = SimTime::Years(12);
+  EXPECT_NEAR(fit->SurvivalAt(probe), km.SurvivalAt(probe), 0.03);
+}
+
+}  // namespace
+}  // namespace centsim

@@ -1,0 +1,157 @@
+#include "src/reliability/hazard.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/sim/stats.h"
+
+namespace centsim {
+namespace {
+
+// Property: empirical survival from sampling must match the analytic
+// survival function, for every hazard model.
+void ExpectSamplingMatchesSurvival(const HazardModel& model, SimTime probe, double tol) {
+  RandomStream rng(404);
+  const int n = 20000;
+  int survived = 0;
+  for (int i = 0; i < n; ++i) {
+    if (model.SampleLife(rng) > probe) {
+      ++survived;
+    }
+  }
+  const double empirical = static_cast<double>(survived) / n;
+  EXPECT_NEAR(empirical, model.Survival(probe), tol);
+}
+
+TEST(ExponentialHazardTest, SurvivalFormula) {
+  ExponentialHazard h(SimTime::Years(10));
+  EXPECT_NEAR(h.Survival(SimTime::Years(10)), std::exp(-1.0), 1e-12);
+  EXPECT_DOUBLE_EQ(h.Survival(SimTime()), 1.0);
+}
+
+TEST(ExponentialHazardTest, SamplingMatchesSurvival) {
+  ExponentialHazard h(SimTime::Years(10));
+  ExpectSamplingMatchesSurvival(h, SimTime::Years(5), 0.01);
+}
+
+TEST(ExponentialHazardTest, MemorylessConditioning) {
+  ExponentialHazard h(SimTime::Years(10));
+  RandomStream rng(7);
+  SummaryStats fresh;
+  SummaryStats aged;
+  for (int i = 0; i < 30000; ++i) {
+    fresh.Add(h.SampleRemainingLife(rng, SimTime()).ToYears());
+    aged.Add(h.SampleRemainingLife(rng, SimTime::Years(40)).ToYears());
+  }
+  EXPECT_NEAR(fresh.mean(), aged.mean(), 0.25);
+}
+
+TEST(WeibullHazardTest, MttfGammaFormula) {
+  WeibullHazard h(2.0, SimTime::Years(10));
+  EXPECT_NEAR(h.Mttf().ToYears(), 10.0 * std::tgamma(1.5), 1e-6);
+}
+
+TEST(WeibullHazardTest, ShapeOneIsExponential) {
+  WeibullHazard w(1.0, SimTime::Years(10));
+  ExponentialHazard e(SimTime::Years(10));
+  for (double y : {1.0, 5.0, 20.0}) {
+    EXPECT_NEAR(w.Survival(SimTime::Years(y)), e.Survival(SimTime::Years(y)), 1e-9);
+  }
+}
+
+TEST(WeibullHazardTest, SamplingMatchesSurvival) {
+  WeibullHazard h(3.0, SimTime::Years(15));
+  ExpectSamplingMatchesSurvival(h, SimTime::Years(12), 0.015);
+}
+
+TEST(WeibullHazardTest, WearoutConditioningShortensRemainingLife) {
+  // For shape > 1 (wear-out), an aged item has less remaining life.
+  WeibullHazard h(4.0, SimTime::Years(15));
+  RandomStream rng(11);
+  SummaryStats fresh;
+  SummaryStats aged;
+  for (int i = 0; i < 20000; ++i) {
+    fresh.Add(h.SampleRemainingLife(rng, SimTime()).ToYears());
+    aged.Add(h.SampleRemainingLife(rng, SimTime::Years(12)).ToYears());
+  }
+  EXPECT_LT(aged.mean(), fresh.mean() * 0.5);
+}
+
+TEST(WeibullHazardTest, InfantMortalityConditioningExtendsLife) {
+  // For shape < 1, surviving burn-in implies a longer remaining life.
+  WeibullHazard h(0.5, SimTime::Years(10));
+  RandomStream rng(13);
+  SummaryStats fresh;
+  SummaryStats aged;
+  for (int i = 0; i < 20000; ++i) {
+    fresh.Add(h.SampleRemainingLife(rng, SimTime()).ToYears());
+    aged.Add(h.SampleRemainingLife(rng, SimTime::Years(5)).ToYears());
+  }
+  EXPECT_GT(aged.mean(), fresh.mean());
+}
+
+TEST(WeibullHazardTest, ConditionalSamplingMatchesConditionalSurvival) {
+  // P(T > a + t | T > a) = S(a+t)/S(a).
+  WeibullHazard h(3.0, SimTime::Years(15));
+  const SimTime age = SimTime::Years(10);
+  const SimTime extra = SimTime::Years(4);
+  RandomStream rng(17);
+  int survived = 0;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    if (h.SampleRemainingLife(rng, age) > extra) {
+      ++survived;
+    }
+  }
+  const double expected = h.Survival(age + extra) / h.Survival(age);
+  EXPECT_NEAR(static_cast<double>(survived) / n, expected, 0.01);
+}
+
+TEST(BathtubHazardTest, SurvivalIsProductOfPhases) {
+  BathtubHazard::Params p;
+  BathtubHazard h(p);
+  const SimTime t = SimTime::Years(8);
+  const double s = h.Survival(t);
+  EXPECT_GT(s, 0.0);
+  EXPECT_LT(s, 1.0);
+  // Survival must be below each individual phase's survival.
+  EXPECT_LE(s, WeibullHazard(p.wearout_shape, p.wearout_scale).Survival(t) + 1e-12);
+}
+
+TEST(BathtubHazardTest, SamplingMatchesSurvival) {
+  BathtubHazard::Params p;
+  p.wearout_scale = SimTime::Years(12);
+  BathtubHazard h(p);
+  ExpectSamplingMatchesSurvival(h, SimTime::Years(10), 0.015);
+}
+
+TEST(BathtubHazardTest, MttfIntegralIsBelowWearoutScale) {
+  BathtubHazard::Params p;
+  p.wearout_scale = SimTime::Years(15);
+  BathtubHazard h(p);
+  EXPECT_LT(h.Mttf().ToYears(), 15.0);
+  EXPECT_GT(h.Mttf().ToYears(), 3.0);
+}
+
+TEST(NeverFailsTest, Properties) {
+  NeverFails h;
+  RandomStream rng(1);
+  EXPECT_EQ(h.SampleLife(rng), SimTime::Max());
+  EXPECT_DOUBLE_EQ(h.Survival(SimTime::Years(1000)), 1.0);
+}
+
+class WeibullShapeSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(WeibullShapeSweep, MedianMatchesClosedForm) {
+  const double shape = GetParam();
+  WeibullHazard h(shape, SimTime::Years(20));
+  // Median = scale * ln(2)^(1/k).
+  const double median = 20.0 * std::pow(std::log(2.0), 1.0 / shape);
+  EXPECT_NEAR(h.Survival(SimTime::Years(median)), 0.5, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, WeibullShapeSweep, ::testing::Values(0.5, 1.0, 2.0, 3.5, 5.0));
+
+}  // namespace
+}  // namespace centsim

@@ -1,0 +1,60 @@
+#include "src/reliability/obsolescence.h"
+
+#include <gtest/gtest.h>
+
+namespace centsim {
+namespace {
+
+TEST(ObsolescenceTest, KindNames) {
+  EXPECT_STREQ(ObsolescenceKindName(ObsolescenceKind::kTechnical), "technical");
+  EXPECT_STREQ(ObsolescenceKindName(ObsolescenceKind::kFunctional), "functional");
+}
+
+TEST(TimelineTest, EventsSortedByTime) {
+  TechnologyTimeline tl;
+  tl.Add({"b", SimTime::Years(5), ObsolescenceKind::kTechnical});
+  tl.Add({"a", SimTime::Years(2), ObsolescenceKind::kTechnical});
+  tl.Add({"c", SimTime::Years(9), ObsolescenceKind::kTechnical});
+  const auto& events = tl.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].technology, "a");
+  EXPECT_EQ(events[2].technology, "c");
+}
+
+TEST(TimelineTest, SunsetsByCutsCorrectly) {
+  TechnologyTimeline tl = TechnologyTimeline::UsCellularDefault();
+  EXPECT_EQ(tl.SunsetsBy(SimTime::Years(1)).size(), 0u);
+  EXPECT_EQ(tl.SunsetsBy(SimTime::Years(5)).size(), 2u);   // 2G + 3G.
+  EXPECT_EQ(tl.SunsetsBy(SimTime::Years(50)).size(), 5u);  // All.
+}
+
+TEST(TimelineTest, SunsetOfFindsTechnology) {
+  TechnologyTimeline tl = TechnologyTimeline::UsCellularDefault();
+  const auto e = tl.SunsetOf("cellular-4g");
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->at, SimTime::Years(14));
+  EXPECT_FALSE(tl.SunsetOf("carrier-pigeon").has_value());
+}
+
+TEST(TimelineTest, IsSunsetRespectsTime) {
+  TechnologyTimeline tl = TechnologyTimeline::UsCellularDefault();
+  EXPECT_FALSE(tl.IsSunset("cellular-4g", SimTime::Years(10)));
+  EXPECT_TRUE(tl.IsSunset("cellular-4g", SimTime::Years(14)));
+  EXPECT_FALSE(tl.IsSunset("unknown", SimTime::Years(100)));
+}
+
+TEST(TimelineTest, RandomTimelineIsOrderedAndBounded) {
+  RandomStream rng(1);
+  TechnologyTimeline tl = TechnologyTimeline::RandomCellular(rng, 5, 8.0, 15.0);
+  ASSERT_EQ(tl.events().size(), 5u);
+  SimTime prev;
+  for (const auto& e : tl.events()) {
+    EXPECT_GT(e.at, prev);
+    EXPECT_LE((e.at - prev).ToYears(), 15.0 + 1e-9);
+    EXPECT_GE((e.at - prev).ToYears(), 8.0 - 1e-9);
+    prev = e.at;
+  }
+}
+
+}  // namespace
+}  // namespace centsim

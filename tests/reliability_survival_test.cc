@@ -1,0 +1,119 @@
+#include "src/reliability/survival.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/reliability/hazard.h"
+#include "src/sim/random.h"
+
+namespace centsim {
+namespace {
+
+TEST(KaplanMeierTest, NoCensoringMatchesEmpiricalSurvival) {
+  KaplanMeier km;
+  // Failures at 1..10 years, no censoring: S(t) is the empirical fraction.
+  for (int i = 1; i <= 10; ++i) {
+    km.Observe(SimTime::Years(i), true);
+  }
+  EXPECT_DOUBLE_EQ(km.SurvivalAt(SimTime::Years(0.5)), 1.0);
+  EXPECT_NEAR(km.SurvivalAt(SimTime::Years(5)), 0.5, 1e-12);
+  EXPECT_NEAR(km.SurvivalAt(SimTime::Years(10)), 0.0, 1e-12);
+}
+
+TEST(KaplanMeierTest, AllCensoredStaysAtOne) {
+  KaplanMeier km;
+  for (int i = 1; i <= 5; ++i) {
+    km.Observe(SimTime::Years(i), false);
+  }
+  EXPECT_DOUBLE_EQ(km.SurvivalAt(SimTime::Years(10)), 1.0);
+  EXPECT_FALSE(km.MedianSurvival().has_value());
+  EXPECT_EQ(km.failure_count(), 0u);
+}
+
+TEST(KaplanMeierTest, CensoringReducesAtRisk) {
+  // 4 subjects: fail@2, censor@3, fail@4, censor@5.
+  KaplanMeier km;
+  km.Observe(SimTime::Years(2), true);
+  km.Observe(SimTime::Years(3), false);
+  km.Observe(SimTime::Years(4), true);
+  km.Observe(SimTime::Years(5), false);
+  // S(2) = 3/4; S(4) = 3/4 * (1 - 1/2) = 3/8.
+  EXPECT_NEAR(km.SurvivalAt(SimTime::Years(2)), 0.75, 1e-12);
+  EXPECT_NEAR(km.SurvivalAt(SimTime::Years(4)), 0.375, 1e-12);
+}
+
+TEST(KaplanMeierTest, MedianSurvival) {
+  KaplanMeier km;
+  for (int i = 1; i <= 100; ++i) {
+    km.Observe(SimTime::Years(i), true);
+  }
+  const auto median = km.MedianSurvival();
+  ASSERT_TRUE(median.has_value());
+  EXPECT_NEAR(median->ToYears(), 50.0, 1.0);
+}
+
+TEST(KaplanMeierTest, RecoversWeibullMedian) {
+  // Property: KM over draws from a known distribution recovers its median.
+  WeibullHazard h(3.0, SimTime::Years(15));
+  RandomStream rng(2024);
+  KaplanMeier km;
+  for (int i = 0; i < 5000; ++i) {
+    km.Observe(h.SampleLife(rng), true);
+  }
+  const double expected_median = 15.0 * std::pow(std::log(2.0), 1.0 / 3.0);
+  const auto median = km.MedianSurvival();
+  ASSERT_TRUE(median.has_value());
+  EXPECT_NEAR(median->ToYears(), expected_median, 0.4);
+}
+
+TEST(KaplanMeierTest, HeavyCensoringStillUnbiased) {
+  // Censor half the population at random times; KM handles it where a
+  // naive mean of observed failure times would be biased low.
+  WeibullHazard h(2.0, SimTime::Years(10));
+  RandomStream rng(77);
+  KaplanMeier km;
+  for (int i = 0; i < 8000; ++i) {
+    const SimTime life = h.SampleLife(rng);
+    const SimTime censor = SimTime::Years(rng.Uniform(0.0, 20.0));
+    if (censor < life) {
+      km.Observe(censor, false);
+    } else {
+      km.Observe(life, true);
+    }
+  }
+  const double expected_median = 10.0 * std::pow(std::log(2.0), 1.0 / 2.0);
+  const auto median = km.MedianSurvival();
+  ASSERT_TRUE(median.has_value());
+  EXPECT_NEAR(median->ToYears(), expected_median, 0.5);
+}
+
+TEST(KaplanMeierTest, RestrictedMeanOfConstantSurvival) {
+  KaplanMeier km;
+  km.Observe(SimTime::Years(100), false);  // Never fails within horizon.
+  EXPECT_NEAR(km.RestrictedMean(SimTime::Years(10)).ToYears(), 10.0, 1e-9);
+}
+
+TEST(KaplanMeierTest, RestrictedMeanKnownCase) {
+  // Single subject failing at 4y: S = 1 until 4, 0 after.
+  KaplanMeier km;
+  km.Observe(SimTime::Years(4), true);
+  EXPECT_NEAR(km.RestrictedMean(SimTime::Years(10)).ToYears(), 4.0, 1e-9);
+}
+
+TEST(KaplanMeierTest, CurveAtRiskCountsDecrease) {
+  KaplanMeier km;
+  RandomStream rng(3);
+  for (int i = 0; i < 100; ++i) {
+    km.Observe(SimTime::Years(rng.Uniform(0.1, 30.0)), rng.NextBool(0.7));
+  }
+  uint64_t prev_at_risk = UINT64_MAX;
+  for (const auto& pt : km.Curve()) {
+    EXPECT_LE(pt.at_risk, prev_at_risk);
+    prev_at_risk = pt.at_risk;
+    EXPECT_GT(pt.events, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace centsim

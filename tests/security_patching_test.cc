@@ -1,0 +1,78 @@
+#include "src/security/patching.h"
+
+#include <gtest/gtest.h>
+
+namespace centsim {
+namespace {
+
+TEST(PatchingTest, VulnerabilityCountMatchesRate) {
+  ExposureParams p;
+  p.cves_per_year = 6.0;
+  double total = 0.0;
+  const int trials = 200;
+  for (int i = 0; i < trials; ++i) {
+    total += SimulateExposure(p, SimTime::Years(10), RandomStream(i)).vulnerabilities;
+  }
+  EXPECT_NEAR(total / trials, 60.0, 4.0);
+}
+
+TEST(PatchingTest, FirewalledGatewayRarelyCompromised) {
+  // §4.4's aggressively-firewalled unidirectional gateway: it is safe to
+  // neglect updates.
+  const double p = CompromiseProbability(FirewalledUnidirectionalGateway(), SimTime::Years(50),
+                                         400, RandomStream(1));
+  EXPECT_LT(p, 0.35);
+}
+
+TEST(PatchingTest, UnattendedPublicGatewayIsDoomed) {
+  const double p = CompromiseProbability(UnattendedPublicGateway(), SimTime::Years(50), 400,
+                                         RandomStream(2));
+  EXPECT_GT(p, 0.95);
+}
+
+TEST(PatchingTest, MaintenanceOrdersThePostures) {
+  const SimTime horizon = SimTime::Years(20);
+  const double firewalled =
+      CompromiseProbability(FirewalledUnidirectionalGateway(), horizon, 300, RandomStream(3));
+  const double maintained =
+      CompromiseProbability(MaintainedPublicGateway(), horizon, 300, RandomStream(3));
+  const double unattended =
+      CompromiseProbability(UnattendedPublicGateway(), horizon, 300, RandomStream(3));
+  EXPECT_LT(firewalled, maintained);
+  EXPECT_LT(maintained, unattended);
+}
+
+TEST(PatchingTest, FasterPatchingReducesExposure) {
+  ExposureParams slow = MaintainedPublicGateway();
+  slow.mean_patch_lag = SimTime::Days(90);
+  ExposureParams fast = MaintainedPublicGateway();
+  fast.mean_patch_lag = SimTime::Days(2);
+  double slow_exposure = 0.0;
+  double fast_exposure = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    slow_exposure += SimulateExposure(slow, SimTime::Years(10), RandomStream(i)).exposed_years;
+    fast_exposure += SimulateExposure(fast, SimTime::Years(10), RandomStream(i)).exposed_years;
+  }
+  EXPECT_LT(fast_exposure, slow_exposure);
+}
+
+TEST(PatchingTest, CompromiseTimestampWithinHorizon) {
+  const auto report =
+      SimulateExposure(UnattendedPublicGateway(), SimTime::Years(50), RandomStream(9));
+  if (report.compromised) {
+    EXPECT_GT(report.compromised_at, SimTime());
+    EXPECT_LT(report.compromised_at, SimTime::Years(51));
+  }
+  EXPECT_GE(report.vulnerabilities, report.reachable);
+}
+
+TEST(PatchingTest, DeterministicPerSeed) {
+  const auto a = SimulateExposure(MaintainedPublicGateway(), SimTime::Years(30), RandomStream(7));
+  const auto b = SimulateExposure(MaintainedPublicGateway(), SimTime::Years(30), RandomStream(7));
+  EXPECT_EQ(a.vulnerabilities, b.vulnerabilities);
+  EXPECT_EQ(a.compromised, b.compromised);
+  EXPECT_DOUBLE_EQ(a.exposed_years, b.exposed_years);
+}
+
+}  // namespace
+}  // namespace centsim

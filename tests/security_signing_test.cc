@@ -1,0 +1,103 @@
+#include "src/security/signing.h"
+
+#include <gtest/gtest.h>
+
+namespace centsim {
+namespace {
+
+SipHashKey TestSecret() {
+  SipHashKey secret{};
+  for (int i = 0; i < 16; ++i) {
+    secret[i] = static_cast<uint8_t>(0xA0 + i);
+  }
+  return secret;
+}
+
+TEST(SigningTest, SignVerifyRoundTrip) {
+  const SipHashKey key = DeriveDeviceKey(TestSecret(), 42);
+  const auto report = SignReport(key, 42, 1, {1, 2, 3, 4});
+  EXPECT_TRUE(VerifyTag(key, report));
+}
+
+TEST(SigningTest, TamperedPayloadRejected) {
+  const SipHashKey key = DeriveDeviceKey(TestSecret(), 42);
+  auto report = SignReport(key, 42, 1, {1, 2, 3, 4});
+  report.payload[2] ^= 0x01;
+  EXPECT_FALSE(VerifyTag(key, report));
+}
+
+TEST(SigningTest, TamperedCounterRejected) {
+  const SipHashKey key = DeriveDeviceKey(TestSecret(), 42);
+  auto report = SignReport(key, 42, 1, {1, 2, 3, 4});
+  report.counter = 2;
+  EXPECT_FALSE(VerifyTag(key, report));
+}
+
+TEST(SigningTest, DeviceKeysAreIndependent) {
+  const SipHashKey a = DeriveDeviceKey(TestSecret(), 1);
+  const SipHashKey b = DeriveDeviceKey(TestSecret(), 2);
+  EXPECT_NE(a, b);
+  // A report signed under device 1's key fails under device 2's.
+  const auto report = SignReport(a, 1, 1, {9});
+  EXPECT_FALSE(VerifyTag(b, report));
+}
+
+TEST(SigningTest, DerivationIsDeterministic) {
+  EXPECT_EQ(DeriveDeviceKey(TestSecret(), 7), DeriveDeviceKey(TestSecret(), 7));
+}
+
+TEST(VerifierTest, AcceptsFreshIncreasingCounters) {
+  ReportVerifier verifier(TestSecret());
+  const SipHashKey key = DeriveDeviceKey(TestSecret(), 5);
+  for (uint32_t c = 1; c <= 10; ++c) {
+    EXPECT_EQ(verifier.Verify(SignReport(key, 5, c, {static_cast<uint8_t>(c)})),
+              ReportVerifier::Verdict::kAccepted);
+  }
+  EXPECT_EQ(verifier.accepted(), 10u);
+}
+
+TEST(VerifierTest, RejectsReplay) {
+  ReportVerifier verifier(TestSecret());
+  const SipHashKey key = DeriveDeviceKey(TestSecret(), 5);
+  const auto report = SignReport(key, 5, 3, {1});
+  EXPECT_EQ(verifier.Verify(report), ReportVerifier::Verdict::kAccepted);
+  EXPECT_EQ(verifier.Verify(report), ReportVerifier::Verdict::kReplayed);
+  // Older counters also rejected.
+  EXPECT_EQ(verifier.Verify(SignReport(key, 5, 2, {1})), ReportVerifier::Verdict::kReplayed);
+}
+
+TEST(VerifierTest, RejectsForgedTag) {
+  ReportVerifier verifier(TestSecret());
+  const SipHashKey wrong_key = DeriveDeviceKey(TestSecret(), 6);  // Wrong device.
+  const auto forged = SignReport(wrong_key, 5, 1, {1});
+  EXPECT_EQ(verifier.Verify(forged), ReportVerifier::Verdict::kBadTag);
+  EXPECT_EQ(verifier.rejected(), 1u);
+}
+
+TEST(VerifierTest, ToleratesGapsWithinWindow) {
+  ReportVerifier verifier(TestSecret());
+  const SipHashKey key = DeriveDeviceKey(TestSecret(), 5);
+  EXPECT_EQ(verifier.Verify(SignReport(key, 5, 1, {1})), ReportVerifier::Verdict::kAccepted);
+  // 500 lost frames: still accepted.
+  EXPECT_EQ(verifier.Verify(SignReport(key, 5, 501, {1})), ReportVerifier::Verdict::kAccepted);
+}
+
+TEST(VerifierTest, RejectsImplausibleJump) {
+  ReportVerifier verifier(TestSecret(), /*max_counter_jump=*/1000);
+  const SipHashKey key = DeriveDeviceKey(TestSecret(), 5);
+  EXPECT_EQ(verifier.Verify(SignReport(key, 5, 1, {1})), ReportVerifier::Verdict::kAccepted);
+  EXPECT_EQ(verifier.Verify(SignReport(key, 5, 5000, {1})),
+            ReportVerifier::Verdict::kCounterJump);
+}
+
+TEST(VerifierTest, DevicesTrackedIndependently) {
+  ReportVerifier verifier(TestSecret());
+  const SipHashKey k1 = DeriveDeviceKey(TestSecret(), 1);
+  const SipHashKey k2 = DeriveDeviceKey(TestSecret(), 2);
+  EXPECT_EQ(verifier.Verify(SignReport(k1, 1, 10, {1})), ReportVerifier::Verdict::kAccepted);
+  // Device 2's counter 5 is fine even though device 1 is at 10.
+  EXPECT_EQ(verifier.Verify(SignReport(k2, 2, 5, {1})), ReportVerifier::Verdict::kAccepted);
+}
+
+}  // namespace
+}  // namespace centsim

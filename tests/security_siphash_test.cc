@@ -1,0 +1,71 @@
+#include "src/security/siphash.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace centsim {
+namespace {
+
+// Official SipHash-2-4 test vectors (Aumasson & Bernstein reference code):
+// key = 00 01 02 ... 0f, message = 00 01 02 ... (n-1) bytes.
+SipHashKey ReferenceKey() {
+  SipHashKey key;
+  for (int i = 0; i < 16; ++i) {
+    key[i] = static_cast<uint8_t>(i);
+  }
+  return key;
+}
+
+std::vector<uint8_t> ReferenceMessage(size_t n) {
+  std::vector<uint8_t> msg(n);
+  for (size_t i = 0; i < n; ++i) {
+    msg[i] = static_cast<uint8_t>(i);
+  }
+  return msg;
+}
+
+TEST(SipHashTest, EmptyInputVector) {
+  EXPECT_EQ(SipHash24(ReferenceKey(), nullptr, 0), 0x726fdb47dd0e0e31ULL);
+}
+
+TEST(SipHashTest, OneByteVector) {
+  const auto msg = ReferenceMessage(1);
+  EXPECT_EQ(SipHash24(ReferenceKey(), msg.data(), msg.size()), 0x74f839c593dc67fdULL);
+}
+
+TEST(SipHashTest, EightByteVector) {
+  const auto msg = ReferenceMessage(8);
+  EXPECT_EQ(SipHash24(ReferenceKey(), msg.data(), msg.size()), 0x93f5f5799a932462ULL);
+}
+
+TEST(SipHashTest, FifteenByteVector) {
+  const auto msg = ReferenceMessage(15);
+  EXPECT_EQ(SipHash24(ReferenceKey(), msg.data(), msg.size()), 0xa129ca6149be45e5ULL);
+}
+
+TEST(SipHashTest, KeySensitivity) {
+  const auto msg = ReferenceMessage(12);
+  SipHashKey other = ReferenceKey();
+  other[0] ^= 1;
+  EXPECT_NE(SipHash24(ReferenceKey(), msg.data(), msg.size()),
+            SipHash24(other, msg.data(), msg.size()));
+}
+
+TEST(SipHashTest, MessageSensitivity) {
+  auto msg = ReferenceMessage(12);
+  const uint64_t clean = SipHash24(ReferenceKey(), msg.data(), msg.size());
+  msg[5] ^= 0x80;
+  EXPECT_NE(SipHash24(ReferenceKey(), msg.data(), msg.size()), clean);
+}
+
+TEST(SipHashTest, LengthIsPartOfDomain) {
+  // A message and its zero-extended version must differ.
+  const auto short_msg = std::vector<uint8_t>{0, 0, 0};
+  const auto long_msg = std::vector<uint8_t>{0, 0, 0, 0};
+  EXPECT_NE(SipHash24(ReferenceKey(), short_msg.data(), short_msg.size()),
+            SipHash24(ReferenceKey(), long_msg.data(), long_msg.size()));
+}
+
+}  // namespace
+}  // namespace centsim

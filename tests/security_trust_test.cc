@@ -1,0 +1,81 @@
+#include "src/security/trust.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace centsim {
+namespace {
+
+TEST(TrustTest, SecurityBitsDecayLinearly) {
+  TrustModelParams p;
+  p.initial_security_bits = 64.0;
+  p.bits_lost_per_year = 1.0;
+  LongitudinalTrust trust(p);
+  EXPECT_DOUBLE_EQ(trust.SecurityBitsAt(0), 64.0);
+  EXPECT_DOUBLE_EQ(trust.SecurityBitsAt(10), 54.0);
+  EXPECT_DOUBLE_EQ(trust.SecurityBitsAt(100), 0.0);  // Clamped.
+}
+
+TEST(TrustTest, AlgorithmHorizon) {
+  TrustModelParams p;
+  p.initial_security_bits = 64.0;
+  p.feasible_attack_bits = 40.0;
+  p.bits_lost_per_year = 0.8;
+  LongitudinalTrust trust(p);
+  EXPECT_NEAR(trust.AlgorithmHorizonYears(), 30.0, 1e-9);
+  EXPECT_DOUBLE_EQ(trust.TrustAt(30.0), 0.0);
+  EXPECT_GT(trust.TrustAt(29.0), 0.0);
+}
+
+TEST(TrustTest, NoDriftMeansInfiniteHorizon) {
+  TrustModelParams p;
+  p.bits_lost_per_year = 0.0;
+  LongitudinalTrust trust(p);
+  EXPECT_TRUE(std::isinf(trust.AlgorithmHorizonYears()));
+}
+
+TEST(TrustTest, KeyExposureCompounds) {
+  TrustModelParams p;
+  p.annual_leak_probability = 0.01;
+  p.rekey_period_years = 0.0;
+  LongitudinalTrust trust(p);
+  EXPECT_DOUBLE_EQ(trust.KeyIntactProbability(0), 1.0);
+  EXPECT_NEAR(trust.KeyIntactProbability(50), std::pow(0.99, 50), 1e-12);
+}
+
+TEST(TrustTest, RekeyingResetsExposure) {
+  TrustModelParams frozen;
+  frozen.annual_leak_probability = 0.01;
+  TrustModelParams rotated = frozen;
+  rotated.rekey_period_years = 5.0;
+  LongitudinalTrust a(frozen);
+  LongitudinalTrust b(rotated);
+  // At year 40, the frozen device has 40 years of exposure; the rotated
+  // one has at most 5.
+  EXPECT_LT(a.KeyIntactProbability(40), b.KeyIntactProbability(40));
+  EXPECT_GE(b.KeyIntactProbability(40), std::pow(0.99, 5.0) - 1e-12);
+}
+
+TEST(TrustTest, PaperShapeTransmitOnlyTrustIsFinite) {
+  // §4.1: transmit-only devices have "limited longitudinal trust". With
+  // default parameters the trust horizon exists and is decades, not
+  // centuries.
+  LongitudinalTrust trust(TrustModelParams{});
+  const double horizon = trust.TrustHorizonYears(0.5);
+  EXPECT_GT(horizon, 10.0);
+  EXPECT_LT(horizon, 100.0);
+}
+
+TEST(TrustTest, TrustMonotoneNonIncreasing) {
+  LongitudinalTrust trust(TrustModelParams{});
+  double prev = 1.1;
+  for (double t = 0; t <= 60; t += 5) {
+    const double v = trust.TrustAt(t);
+    EXPECT_LE(v, prev + 1e-12);
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace centsim

@@ -1,0 +1,100 @@
+#include "src/sim/config.h"
+
+#include <gtest/gtest.h>
+
+namespace centsim {
+namespace {
+
+TEST(ConfigTest, ParsesSectionsAndKeys) {
+  const auto cfg = Config::Parse(R"(
+# experiment definition
+seed = 42
+
+[devices]
+count_802154 = 8
+count_lora = 8
+report_interval_hours = 1.5
+
+[maintenance]
+enabled = true
+)");
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_EQ(cfg->GetInt("seed"), 42);
+  EXPECT_EQ(cfg->GetInt("devices.count_802154"), 8);
+  EXPECT_DOUBLE_EQ(cfg->GetDouble("devices.report_interval_hours"), 1.5);
+  EXPECT_TRUE(cfg->GetBool("maintenance.enabled"));
+}
+
+TEST(ConfigTest, CommentsAndBlankLinesIgnored) {
+  const auto cfg = Config::Parse("# comment\n; also comment\n\nkey = value\n");
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_EQ(cfg->size(), 1u);
+  EXPECT_EQ(cfg->GetString("key"), "value");
+}
+
+TEST(ConfigTest, WhitespaceTrimmed) {
+  const auto cfg = Config::Parse("  spaced_key   =   spaced value  \n");
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_EQ(cfg->GetString("spaced_key"), "spaced value");
+}
+
+TEST(ConfigTest, FallbacksWhenMissing) {
+  const auto cfg = Config::Parse("a = 1\n");
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_EQ(cfg->GetInt("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(cfg->GetDouble("missing", 2.5), 2.5);
+  EXPECT_TRUE(cfg->GetBool("missing", true));
+  EXPECT_EQ(cfg->GetString("missing", "x"), "x");
+  EXPECT_FALSE(cfg->Has("missing"));
+}
+
+TEST(ConfigTest, MalformedLinesRejected) {
+  std::string error;
+  EXPECT_FALSE(Config::Parse("just some words\n", &error).has_value());
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+  EXPECT_FALSE(Config::Parse("[unclosed\n", &error).has_value());
+  EXPECT_FALSE(Config::Parse("= valueless\n", &error).has_value());
+}
+
+TEST(ConfigTest, BoolSpellings) {
+  const auto cfg = Config::Parse(
+      "a = true\nb = Yes\nc = ON\nd = 1\ne = false\nf = No\ng = off\nh = 0\ni = maybe\n");
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_TRUE(cfg->GetBool("a"));
+  EXPECT_TRUE(cfg->GetBool("b"));
+  EXPECT_TRUE(cfg->GetBool("c"));
+  EXPECT_TRUE(cfg->GetBool("d"));
+  EXPECT_FALSE(cfg->GetBool("e"));
+  EXPECT_FALSE(cfg->GetBool("f"));
+  EXPECT_FALSE(cfg->GetBool("g"));
+  EXPECT_FALSE(cfg->GetBool("h"));
+  EXPECT_TRUE(cfg->GetBool("i", true));  // Unparseable -> fallback.
+}
+
+TEST(ConfigTest, NonNumericFallsBack) {
+  const auto cfg = Config::Parse("n = twelve\n");
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_EQ(cfg->GetInt("n", -1), -1);
+  EXPECT_DOUBLE_EQ(cfg->GetDouble("n", -1.0), -1.0);
+}
+
+TEST(ConfigTest, LaterKeysOverride) {
+  const auto cfg = Config::Parse("k = 1\nk = 2\n");
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_EQ(cfg->GetInt("k"), 2);
+}
+
+TEST(ConfigTest, LoadMissingFileFails) {
+  std::string error;
+  EXPECT_FALSE(Config::Load("/nonexistent/path.ini", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ConfigTest, SetProgrammatically) {
+  Config cfg = *Config::Parse("");
+  cfg.Set("x.y", "3.5");
+  EXPECT_DOUBLE_EQ(cfg.GetDouble("x.y"), 3.5);
+}
+
+}  // namespace
+}  // namespace centsim

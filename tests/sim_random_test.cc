@@ -1,0 +1,193 @@
+#include "src/sim/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/sim/stats.h"
+
+namespace centsim {
+namespace {
+
+TEST(RandomTest, DeterministicForSameSeed) {
+  RandomStream a(123);
+  RandomStream b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  RandomStream a(1);
+  RandomStream b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.NextUint64() == b.NextUint64() ? 1 : 0;
+  }
+  EXPECT_LE(same, 1);
+}
+
+TEST(RandomTest, DerivedStreamsAreIndependentOfSiblingCount) {
+  // The trajectory of stream 7 must not depend on whether stream 3 exists
+  // or was used — the property fleet determinism relies on.
+  RandomStream root_a(99);
+  RandomStream root_b(99);
+  RandomStream seven_a = root_a.Derive(7);
+  RandomStream three = root_b.Derive(3);
+  (void)three.NextUint64();
+  RandomStream seven_b = root_b.Derive(7);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(seven_a.NextUint64(), seven_b.NextUint64());
+  }
+}
+
+TEST(RandomTest, DerivedStreamsDifferByStreamId) {
+  RandomStream root(5);
+  RandomStream a = root.Derive(1);
+  RandomStream b = root.Derive(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.NextUint64() == b.NextUint64() ? 1 : 0;
+  }
+  EXPECT_LE(same, 1);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  RandomStream rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RandomTest, NextBelowIsBoundedAndCoversSupport) {
+  RandomStream rng(17);
+  std::vector<int> hits(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t v = rng.NextBelow(10);
+    ASSERT_LT(v, 10u);
+    ++hits[v];
+  }
+  for (int h : hits) {
+    EXPECT_GT(h, 700);  // ~1000 expected per bucket.
+    EXPECT_LT(h, 1300);
+  }
+}
+
+TEST(RandomTest, UniformRespectsBounds) {
+  RandomStream rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(-3.0, 7.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 7.0);
+  }
+}
+
+TEST(RandomTest, NormalMomentsMatch) {
+  RandomStream rng(31);
+  SummaryStats s;
+  for (int i = 0; i < 50000; ++i) {
+    s.Add(rng.Normal(10.0, 2.0));
+  }
+  EXPECT_NEAR(s.mean(), 10.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(RandomTest, ExponentialMeanMatches) {
+  RandomStream rng(37);
+  SummaryStats s;
+  for (int i = 0; i < 50000; ++i) {
+    s.Add(rng.Exponential(4.0));
+  }
+  EXPECT_NEAR(s.mean(), 4.0, 0.1);
+  EXPECT_GE(s.min(), 0.0);
+}
+
+TEST(RandomTest, WeibullMeanMatchesGammaFormula) {
+  RandomStream rng(41);
+  const double shape = 2.0;
+  const double scale = 10.0;
+  SummaryStats s;
+  for (int i = 0; i < 50000; ++i) {
+    s.Add(rng.Weibull(shape, scale));
+  }
+  const double expected = scale * std::tgamma(1.0 + 1.0 / shape);
+  EXPECT_NEAR(s.mean(), expected, 0.15);
+}
+
+TEST(RandomTest, PoissonMeanMatchesSmallAndLarge) {
+  RandomStream rng(43);
+  for (double mean : {0.5, 3.0, 20.0, 100.0}) {
+    SummaryStats s;
+    for (int i = 0; i < 20000; ++i) {
+      s.Add(static_cast<double>(rng.Poisson(mean)));
+    }
+    EXPECT_NEAR(s.mean(), mean, mean * 0.05 + 0.05) << "mean=" << mean;
+  }
+}
+
+TEST(RandomTest, PoissonZeroMeanIsZero) {
+  RandomStream rng(47);
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+}
+
+TEST(RandomTest, LogNormalIsPositive) {
+  RandomStream rng(53);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(rng.LogNormal(0.0, 1.0), 0.0);
+  }
+}
+
+TEST(ZipfTest, SamplerStaysInSupport) {
+  RandomStream rng(59);
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t v = rng.Zipf(100, 1.0);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 100u);
+  }
+}
+
+TEST(ZipfTest, TableCdfIsMonotoneAndEndsAtOne) {
+  ZipfTable table(50, 1.2);
+  double prev = 0.0;
+  for (uint64_t k = 1; k <= 50; ++k) {
+    const double c = table.CdfAt(k);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_DOUBLE_EQ(table.CdfAt(50), 1.0);
+}
+
+TEST(ZipfTest, RankOneIsMostProbable) {
+  ZipfTable table(200, 1.0);
+  RandomStream rng(61);
+  std::vector<int> hits(201, 0);
+  for (int i = 0; i < 20000; ++i) {
+    ++hits[table.Sample(rng)];
+  }
+  for (int k = 2; k <= 200; ++k) {
+    EXPECT_GE(hits[1], hits[k]);
+  }
+}
+
+TEST(ZipfTest, TopTenShareNearHarmonicRatio) {
+  // H(10)/H(200) ~ 0.498 for s = 1 — the Helium footnote's shape.
+  ZipfTable table(200, 1.0);
+  EXPECT_NEAR(table.CdfAt(10), 0.498, 0.01);
+}
+
+class ZipfExponentSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfExponentSweep, HeavierExponentConcentratesMass) {
+  const double s = GetParam();
+  ZipfTable table(100, s);
+  // CDF at rank 10 grows with s.
+  ZipfTable lighter(100, s - 0.3);
+  EXPECT_GT(table.CdfAt(10), lighter.CdfAt(10));
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfExponentSweep, ::testing::Values(0.8, 1.0, 1.5, 2.0));
+
+}  // namespace
+}  // namespace centsim

@@ -1,0 +1,164 @@
+#include "src/sim/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace centsim {
+namespace {
+
+TEST(SchedulerTest, RunsEventsInTimeOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.ScheduleAt(SimTime::Seconds(3), [&] { order.push_back(3); });
+  sched.ScheduleAt(SimTime::Seconds(1), [&] { order.push_back(1); });
+  sched.ScheduleAt(SimTime::Seconds(2), [&] { order.push_back(2); });
+  sched.RunUntil(SimTime::Seconds(10));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SchedulerTest, TiesRunInScheduleOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sched.ScheduleAt(SimTime::Seconds(1), [&order, i] { order.push_back(i); });
+  }
+  sched.RunUntil(SimTime::Seconds(2));
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SchedulerTest, ClockAdvancesToEventTime) {
+  Scheduler sched;
+  SimTime seen;
+  sched.ScheduleAt(SimTime::Hours(5), [&] { seen = sched.Now(); });
+  sched.RunUntil(SimTime::Days(1));
+  EXPECT_EQ(seen, SimTime::Hours(5));
+  EXPECT_EQ(sched.Now(), SimTime::Days(1));  // Finishes at the horizon.
+}
+
+TEST(SchedulerTest, HorizonExcludesLaterEvents) {
+  Scheduler sched;
+  bool ran_late = false;
+  sched.ScheduleAt(SimTime::Seconds(100), [&] { ran_late = true; });
+  const uint64_t ran = sched.RunUntil(SimTime::Seconds(99));
+  EXPECT_EQ(ran, 0u);
+  EXPECT_FALSE(ran_late);
+  EXPECT_EQ(sched.pending_count(), 1u);
+  // A later RunUntil picks it up.
+  sched.RunUntil(SimTime::Seconds(101));
+  EXPECT_TRUE(ran_late);
+}
+
+TEST(SchedulerTest, ScheduleAfterUsesCurrentTime) {
+  Scheduler sched;
+  SimTime inner;
+  sched.ScheduleAt(SimTime::Seconds(10), [&] {
+    sched.ScheduleAfter(SimTime::Seconds(5), [&] { inner = sched.Now(); });
+  });
+  sched.RunUntil(SimTime::Seconds(20));
+  EXPECT_EQ(inner, SimTime::Seconds(15));
+}
+
+TEST(SchedulerTest, CancelPreventsExecution) {
+  Scheduler sched;
+  bool ran = false;
+  const EventId id = sched.ScheduleAt(SimTime::Seconds(1), [&] { ran = true; });
+  EXPECT_TRUE(sched.Cancel(id));
+  sched.RunUntil(SimTime::Seconds(2));
+  EXPECT_FALSE(ran);
+}
+
+TEST(SchedulerTest, CancelTwiceFails) {
+  Scheduler sched;
+  const EventId id = sched.ScheduleAt(SimTime::Seconds(1), [] {});
+  EXPECT_TRUE(sched.Cancel(id));
+  EXPECT_FALSE(sched.Cancel(id));
+}
+
+TEST(SchedulerTest, CancelAfterRunFails) {
+  Scheduler sched;
+  const EventId id = sched.ScheduleAt(SimTime::Seconds(1), [] {});
+  sched.RunUntil(SimTime::Seconds(2));
+  EXPECT_FALSE(sched.Cancel(id));
+}
+
+TEST(SchedulerTest, EventsCanScheduleMoreEvents) {
+  Scheduler sched;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 10) {
+      sched.ScheduleAfter(SimTime::Seconds(1), chain);
+    }
+  };
+  sched.ScheduleAfter(SimTime::Seconds(1), chain);
+  sched.RunUntil(SimTime::Seconds(100));
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(sched.executed_count(), 10u);
+}
+
+TEST(SchedulerTest, StepRunsExactlyOne) {
+  Scheduler sched;
+  int count = 0;
+  sched.ScheduleAt(SimTime::Seconds(1), [&] { ++count; });
+  sched.ScheduleAt(SimTime::Seconds(2), [&] { ++count; });
+  EXPECT_TRUE(sched.Step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sched.Step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sched.Step());
+}
+
+TEST(SchedulerTest, PendingCountExcludesCancelled) {
+  Scheduler sched;
+  const EventId a = sched.ScheduleAt(SimTime::Seconds(1), [] {});
+  sched.ScheduleAt(SimTime::Seconds(2), [] {});
+  EXPECT_EQ(sched.pending_count(), 2u);
+  sched.Cancel(a);
+  EXPECT_EQ(sched.pending_count(), 1u);
+}
+
+TEST(PeriodicEventTest, FiresOnPeriod) {
+  Scheduler sched;
+  int fires = 0;
+  PeriodicEvent tick(sched, SimTime::Hours(1), [&] { ++fires; });
+  tick.Start(SimTime::Hours(1));
+  sched.RunUntil(SimTime::Hours(10) + SimTime::Minutes(1));
+  EXPECT_EQ(fires, 10);
+}
+
+TEST(PeriodicEventTest, StopHalts) {
+  Scheduler sched;
+  int fires = 0;
+  PeriodicEvent tick(sched, SimTime::Hours(1), [&] { ++fires; });
+  tick.Start(SimTime::Hours(1));
+  sched.RunUntil(SimTime::Hours(3) + SimTime::Minutes(1));
+  tick.Stop();
+  sched.RunUntil(SimTime::Hours(10));
+  EXPECT_EQ(fires, 3);
+  EXPECT_FALSE(tick.running());
+}
+
+TEST(PeriodicEventTest, DestructorCancels) {
+  Scheduler sched;
+  int fires = 0;
+  {
+    PeriodicEvent tick(sched, SimTime::Hours(1), [&] { ++fires; });
+    tick.Start(SimTime::Hours(1));
+    sched.RunUntil(SimTime::Hours(1) + SimTime::Minutes(1));
+  }
+  sched.RunUntil(SimTime::Hours(10));
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(SchedulerTest, MillionEventsComplete) {
+  Scheduler sched;
+  uint64_t count = 0;
+  for (int i = 0; i < 100000; ++i) {
+    sched.ScheduleAt(SimTime::Seconds(i % 1000), [&] { ++count; });
+  }
+  sched.RunUntil(SimTime::Seconds(1000));
+  EXPECT_EQ(count, 100000u);
+}
+
+}  // namespace
+}  // namespace centsim

@@ -1,0 +1,121 @@
+#include "src/sim/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/random.h"
+
+namespace centsim {
+namespace {
+
+TEST(SummaryStatsTest, EmptyIsZero) {
+  SummaryStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(SummaryStatsTest, KnownValues) {
+  SummaryStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // Sample variance.
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(SummaryStatsTest, MergeMatchesDirect) {
+  RandomStream rng(1);
+  SummaryStats all;
+  SummaryStats a;
+  SummaryStats b;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Normal(3.0, 1.5);
+    all.Add(v);
+    (i % 2 == 0 ? a : b).Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(SummaryStatsTest, MergeWithEmpty) {
+  SummaryStats a;
+  a.Add(1.0);
+  SummaryStats empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(HistogramTest, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(0.5);
+  h.Add(9.5);
+  h.Add(-100.0);  // Clamps to first bin.
+  h.Add(100.0);   // Clamps to last bin.
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.BinCount(0), 2u);
+  EXPECT_EQ(h.BinCount(9), 2u);
+}
+
+TEST(HistogramTest, QuantileOfUniformFill) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) {
+    h.Add(i + 0.5);
+  }
+  EXPECT_NEAR(h.Quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.Quantile(0.9), 90.0, 1.5);
+  EXPECT_NEAR(h.Quantile(0.0), 0.0, 1.5);
+  EXPECT_NEAR(h.Quantile(1.0), 100.0, 1.5);
+}
+
+TEST(HistogramTest, EmptyQuantileIsZero) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, ToStringRenders) {
+  Histogram h(0.0, 4.0, 4);
+  h.Add(1.0);
+  h.Add(1.2);
+  h.Add(3.0);
+  const std::string s = h.ToString();
+  EXPECT_NE(s.find('#'), std::string::npos);
+}
+
+TEST(SampleSetTest, ExactQuantiles) {
+  SampleSet s;
+  for (int i = 1; i <= 101; ++i) {
+    s.Add(i);
+  }
+  EXPECT_DOUBLE_EQ(s.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.5), 51.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(1.0), 101.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 51.0);
+}
+
+TEST(SampleSetTest, AddAfterQuantileResorts) {
+  SampleSet s;
+  s.Add(10.0);
+  s.Add(20.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(1.0), 20.0);
+  s.Add(5.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.0), 5.0);
+}
+
+TEST(SampleSetTest, EmptyIsZero) {
+  SampleSet s;
+  EXPECT_DOUBLE_EQ(s.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace centsim

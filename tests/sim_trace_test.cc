@@ -1,0 +1,65 @@
+#include "src/sim/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace centsim {
+namespace {
+
+TEST(TraceTest, RetainsAcceptedRecords) {
+  TraceLog log(TraceLevel::kInfo);
+  log.Emit(SimTime::Seconds(1), TraceLevel::kInfo, "gw", "up");
+  log.Emit(SimTime::Seconds(2), TraceLevel::kFailure, "gw", "down");
+  ASSERT_EQ(log.records().size(), 2u);
+  EXPECT_EQ(log.records()[0].message, "up");
+  EXPECT_EQ(log.records()[1].level, TraceLevel::kFailure);
+}
+
+TEST(TraceTest, MinLevelFilters) {
+  TraceLog log(TraceLevel::kWarning);
+  log.Emit(SimTime(), TraceLevel::kInfo, "x", "dropped");
+  log.Emit(SimTime(), TraceLevel::kWarning, "x", "kept");
+  EXPECT_EQ(log.records().size(), 1u);
+  EXPECT_EQ(log.emitted_count(), 1u);
+}
+
+TEST(TraceTest, SinkSeesRecords) {
+  TraceLog log(TraceLevel::kDebug);
+  int seen = 0;
+  log.AddSink([&](const TraceRecord&) { ++seen; });
+  log.Emit(SimTime(), TraceLevel::kInfo, "x", "a");
+  log.Emit(SimTime(), TraceLevel::kDebug, "x", "b");
+  EXPECT_EQ(seen, 2);
+}
+
+TEST(TraceTest, RetentionCanBeDisabled) {
+  TraceLog log(TraceLevel::kDebug);
+  log.EnableRetention(false);
+  log.Emit(SimTime(), TraceLevel::kInfo, "x", "a");
+  EXPECT_TRUE(log.records().empty());
+  EXPECT_EQ(log.emitted_count(), 1u);
+}
+
+TEST(TraceTest, FilterAtLeast) {
+  TraceLog log(TraceLevel::kDebug);
+  log.Emit(SimTime(), TraceLevel::kInfo, "x", "i");
+  log.Emit(SimTime(), TraceLevel::kMaintenance, "x", "m");
+  log.Emit(SimTime(), TraceLevel::kFailure, "x", "f");
+  const auto maint_up = log.FilterAtLeast(TraceLevel::kMaintenance);
+  EXPECT_EQ(maint_up.size(), 2u);
+}
+
+TEST(TraceTest, RecordToStringContainsParts) {
+  TraceRecord rec{SimTime::Hours(2), TraceLevel::kMaintenance, "gw-1", "swapped PSU"};
+  const std::string s = rec.ToString();
+  EXPECT_NE(s.find("MAINT"), std::string::npos);
+  EXPECT_NE(s.find("gw-1"), std::string::npos);
+  EXPECT_NE(s.find("swapped PSU"), std::string::npos);
+}
+
+TEST(TraceTest, LevelNames) {
+  EXPECT_STREQ(TraceLevelName(TraceLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(TraceLevelName(TraceLevel::kFailure), "FAIL");
+}
+
+}  // namespace
+}  // namespace centsim

@@ -1,0 +1,105 @@
+#include "src/telemetry/sensors.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace centsim {
+namespace {
+
+TEST(SensorsTest, KindNames) {
+  EXPECT_STREQ(SensorKindName(SensorKind::kTemperature), "temperature");
+  EXPECT_STREQ(SensorKindName(SensorKind::kAirQuality), "air-quality");
+}
+
+TEST(SensorsTest, TemperatureDiurnalSwing) {
+  SensorModel temp(SensorKind::kTemperature, 1);
+  const SimTime day = SimTime::Days(100);
+  const double afternoon = temp.TruthAt(day + SimTime::Hours(15));
+  const double predawn = temp.TruthAt(day + SimTime::Hours(4));
+  EXPECT_GT(afternoon, predawn);
+}
+
+TEST(SensorsTest, TemperatureSeasonalSwing) {
+  SensorModel temp(SensorKind::kTemperature, 1);
+  // Mid-summer noon vs mid-winter noon (northern phase).
+  const double summer = temp.TruthAt(SimTime::Days(182) + SimTime::Hours(12));
+  const double winter = temp.TruthAt(SimTime::Days(0) + SimTime::Hours(12));
+  EXPECT_GT(summer, winter + 5.0);
+}
+
+TEST(SensorsTest, ConcreteHealthDeclinesOverDecades) {
+  SensorModel emi(SensorKind::kConcreteHealth, 2);
+  EXPECT_GT(emi.TruthAt(SimTime::Years(1)), emi.TruthAt(SimTime::Years(40)) + 10.0);
+}
+
+TEST(SensorsTest, VibrationRushHourPeaks) {
+  SensorModel vib(SensorKind::kVibration, 3);
+  const SimTime day = SimTime::Days(10);
+  EXPECT_GT(vib.TruthAt(day + SimTime::Hours(8)), vib.TruthAt(day + SimTime::Hours(3)));
+}
+
+TEST(SensorsTest, AirQualityNonNegativeAndEpisodic) {
+  SensorModel pm(SensorKind::kAirQuality, 4);
+  double max_v = 0.0;
+  double min_v = 1e9;
+  for (int h = 0; h < 24 * 30; ++h) {
+    const double v = pm.TruthAt(SimTime::Hours(h));
+    EXPECT_GE(v, 0.0);
+    max_v = std::max(max_v, v);
+    min_v = std::min(min_v, v);
+  }
+  EXPECT_GT(max_v, 2.0 * min_v);  // Episodes exist.
+}
+
+TEST(SensorsTest, MeasurementsReproducible) {
+  SensorModel a(SensorKind::kTemperature, 42);
+  SensorModel b(SensorKind::kTemperature, 42);
+  for (int h = 0; h < 100; ++h) {
+    EXPECT_DOUBLE_EQ(a.MeasureAt(SimTime::Hours(h)), b.MeasureAt(SimTime::Hours(h)));
+  }
+}
+
+TEST(SensorsTest, SitesDiffer) {
+  SensorModel a(SensorKind::kTemperature, 1);
+  SensorModel b(SensorKind::kTemperature, 2);
+  bool any_diff = false;
+  for (int h = 0; h < 48; ++h) {
+    any_diff |= a.TruthAt(SimTime::Hours(h)) != b.TruthAt(SimTime::Hours(h));
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SensorsTest, MeasurementNoiseIsSmall) {
+  SensorModel temp(SensorKind::kTemperature, 5);
+  for (int h = 0; h < 200; ++h) {
+    const SimTime t = SimTime::Hours(h);
+    EXPECT_NEAR(temp.MeasureAt(t), temp.TruthAt(t), std::abs(temp.TruthAt(t)) * 0.02 + 0.1);
+  }
+}
+
+TEST(SensorsTest, QuantizationClampsToInt16) {
+  SensorModel emi(SensorKind::kConcreteHealth, 6);
+  const int16_t q = emi.MeasureCentiAt(SimTime::Years(1));
+  EXPECT_GT(q, 0);
+}
+
+TEST(SensorsTest, FasterSamplingLowersReconstructionError) {
+  SensorModel pm(SensorKind::kAirQuality, 7);
+  const double hourly = ReconstructionError(pm, SimTime::Hours(1), SimTime::Days(14));
+  const double daily = ReconstructionError(pm, SimTime::Days(1), SimTime::Days(14));
+  EXPECT_LT(hourly, daily);
+}
+
+TEST(SensorsTest, SlowPhenomenaTolerateSlowSampling) {
+  // Concrete health barely moves in a week: daily sampling is nearly as
+  // good as hourly — the application-rate insight behind 1 pkt/hour being
+  // plenty for structural monitoring.
+  SensorModel emi(SensorKind::kConcreteHealth, 8);
+  const double hourly = ReconstructionError(emi, SimTime::Hours(1), SimTime::Days(28));
+  const double daily = ReconstructionError(emi, SimTime::Days(1), SimTime::Days(28));
+  EXPECT_LT(daily, hourly + 0.5);
+}
+
+}  // namespace
+}  // namespace centsim

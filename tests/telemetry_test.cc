@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/telemetry/csv.h"
+#include "src/telemetry/report.h"
+#include "src/telemetry/timeseries.h"
+
+namespace centsim {
+namespace {
+
+TEST(TimeSeriesTest, SummarizeAndMeanOver) {
+  TimeSeries ts;
+  for (int h = 0; h < 10; ++h) {
+    ts.Add(SimTime::Hours(h), h);
+  }
+  EXPECT_EQ(ts.size(), 10u);
+  EXPECT_DOUBLE_EQ(ts.Summarize().mean(), 4.5);
+  EXPECT_DOUBLE_EQ(ts.MeanOver(SimTime::Hours(0), SimTime::Hours(5)), 2.0);
+}
+
+TEST(TimeSeriesTest, RebucketAveragesAndCarriesForward) {
+  TimeSeries ts;
+  ts.Add(SimTime::Hours(0), 10.0);
+  ts.Add(SimTime::Hours(1), 20.0);
+  // Hours 2-3 empty; value 5 at hour 4.
+  ts.Add(SimTime::Hours(4), 5.0);
+  const auto buckets = ts.Rebucket(SimTime::Hours(2), SimTime::Hours(5));
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_DOUBLE_EQ(buckets[0].value, 15.0);  // Mean of 10, 20.
+  EXPECT_DOUBLE_EQ(buckets[1].value, 15.0);  // Carried forward.
+  EXPECT_DOUBLE_EQ(buckets[2].value, 5.0);
+}
+
+TEST(BucketedSeriesTest, MemoryBoundedAggregation) {
+  BucketedSeries bs(SimTime::Days(1));
+  for (int h = 0; h < 48; ++h) {
+    bs.Add(SimTime::Hours(h), h < 24 ? 1.0 : 3.0);
+  }
+  EXPECT_EQ(bs.BucketCount(), 2u);
+  EXPECT_DOUBLE_EQ(bs.BucketMean(0), 1.0);
+  EXPECT_DOUBLE_EQ(bs.BucketMean(1), 3.0);
+  EXPECT_DOUBLE_EQ(bs.BucketMean(9, -1.0), -1.0);  // Fallback.
+}
+
+TEST(TableTest, RendersAlignedRows) {
+  Table t({"metric", "value"});
+  t.AddRow({"uptime", "99.2%"});
+  t.AddRow({"longest gap", "3 weeks"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("metric"), std::string::npos);
+  EXPECT_NE(s.find("99.2%"), std::string::npos);
+  EXPECT_NE(s.find("|---"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TableTest, ShortRowsPadded) {
+  Table t({"a", "b", "c"});
+  t.AddRow({"only-one"});
+  EXPECT_NO_THROW(t.ToString());
+}
+
+TEST(FormatTest, Doubles) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(1.0, 0), "1");
+}
+
+TEST(FormatTest, CountsHaveSeparators) {
+  EXPECT_EQ(FormatCount(0), "0");
+  EXPECT_EQ(FormatCount(999), "999");
+  EXPECT_EQ(FormatCount(1000), "1,000");
+  EXPECT_EQ(FormatCount(438000), "438,000");
+  EXPECT_EQ(FormatCount(591315), "591,315");
+}
+
+TEST(FormatTest, UsdScales) {
+  EXPECT_EQ(FormatUsd(3.5), "$3.50");
+  EXPECT_EQ(FormatUsd(12500.0), "$12.5k");
+  EXPECT_EQ(FormatUsd(3200000.0), "$3.20M");
+}
+
+TEST(FormatTest, Percent) {
+  EXPECT_EQ(FormatPercent(0.662), "66.2%");
+  EXPECT_EQ(FormatPercent(1.0, 0), "100%");
+}
+
+TEST(CsvTest, WritesRows) {
+  std::ostringstream oss;
+  CsvWriter csv(oss);
+  csv.WriteRow({"a", "b", "c"});
+  csv.WriteRow({"1", "2", "3"});
+  EXPECT_EQ(oss.str(), "a,b,c\n1,2,3\n");
+}
+
+TEST(CsvTest, EscapesSpecials) {
+  EXPECT_EQ(CsvWriter::Escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::Escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::Escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::Escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+}  // namespace
+}  // namespace centsim

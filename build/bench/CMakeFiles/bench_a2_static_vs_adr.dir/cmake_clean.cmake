@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_static_vs_adr.dir/bench_a2_static_vs_adr.cc.o"
+  "CMakeFiles/bench_a2_static_vs_adr.dir/bench_a2_static_vs_adr.cc.o.d"
+  "bench_a2_static_vs_adr"
+  "bench_a2_static_vs_adr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_static_vs_adr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

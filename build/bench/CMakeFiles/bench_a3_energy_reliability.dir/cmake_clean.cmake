@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_energy_reliability.dir/bench_a3_energy_reliability.cc.o"
+  "CMakeFiles/bench_a3_energy_reliability.dir/bench_a3_energy_reliability.cc.o.d"
+  "bench_a3_energy_reliability"
+  "bench_a3_energy_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_energy_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

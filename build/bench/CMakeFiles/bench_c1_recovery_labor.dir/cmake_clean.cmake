@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c1_recovery_labor.dir/bench_c1_recovery_labor.cc.o"
+  "CMakeFiles/bench_c1_recovery_labor.dir/bench_c1_recovery_labor.cc.o.d"
+  "bench_c1_recovery_labor"
+  "bench_c1_recovery_labor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c1_recovery_labor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c2_lifetimes.dir/bench_c2_lifetimes.cc.o"
+  "CMakeFiles/bench_c2_lifetimes.dir/bench_c2_lifetimes.cc.o.d"
+  "bench_c2_lifetimes"
+  "bench_c2_lifetimes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c2_lifetimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

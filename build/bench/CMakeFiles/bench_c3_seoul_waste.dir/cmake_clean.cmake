@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c3_seoul_waste.dir/bench_c3_seoul_waste.cc.o"
+  "CMakeFiles/bench_c3_seoul_waste.dir/bench_c3_seoul_waste.cc.o.d"
+  "bench_c3_seoul_waste"
+  "bench_c3_seoul_waste.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c3_seoul_waste.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c4_helium_credits.dir/bench_c4_helium_credits.cc.o"
+  "CMakeFiles/bench_c4_helium_credits.dir/bench_c4_helium_credits.cc.o.d"
+  "bench_c4_helium_credits"
+  "bench_c4_helium_credits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c4_helium_credits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

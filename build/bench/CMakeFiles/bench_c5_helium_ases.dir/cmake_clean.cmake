@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c5_helium_ases.dir/bench_c5_helium_ases.cc.o"
+  "CMakeFiles/bench_c5_helium_ases.dir/bench_c5_helium_ases.cc.o.d"
+  "bench_c5_helium_ases"
+  "bench_c5_helium_ases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c5_helium_ases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_c6_backhaul_cost.cc" "bench/CMakeFiles/bench_c6_backhaul_cost.dir/bench_c6_backhaul_cost.cc.o" "gcc" "bench/CMakeFiles/bench_c6_backhaul_cost.dir/bench_c6_backhaul_cost.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/centsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/centsim_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/econ/CMakeFiles/centsim_econ.dir/DependInfo.cmake"
+  "/root/repo/build/src/mgmt/CMakeFiles/centsim_mgmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/centsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/reliability/CMakeFiles/centsim_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/centsim_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/centsim_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/centsim_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/city/CMakeFiles/centsim_city.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/centsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

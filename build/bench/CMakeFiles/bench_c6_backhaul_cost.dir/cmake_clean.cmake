@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c6_backhaul_cost.dir/bench_c6_backhaul_cost.cc.o"
+  "CMakeFiles/bench_c6_backhaul_cost.dir/bench_c6_backhaul_cost.cc.o.d"
+  "bench_c6_backhaul_cost"
+  "bench_c6_backhaul_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c6_backhaul_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c7_tipping_point.dir/bench_c7_tipping_point.cc.o"
+  "CMakeFiles/bench_c7_tipping_point.dir/bench_c7_tipping_point.cc.o.d"
+  "bench_c7_tipping_point"
+  "bench_c7_tipping_point.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c7_tipping_point.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

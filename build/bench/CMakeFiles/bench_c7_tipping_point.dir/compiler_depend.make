@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_c7_tipping_point.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c8_air_quality.dir/bench_c8_air_quality.cc.o"
+  "CMakeFiles/bench_c8_air_quality.dir/bench_c8_air_quality.cc.o.d"
+  "bench_c8_air_quality"
+  "bench_c8_air_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c8_air_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c9_deployment_cost.dir/bench_c9_deployment_cost.cc.o"
+  "CMakeFiles/bench_c9_deployment_cost.dir/bench_c9_deployment_cost.cc.o.d"
+  "bench_c9_deployment_cost"
+  "bench_c9_deployment_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c9_deployment_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_fifty_year.dir/bench_e1_fifty_year.cc.o"
+  "CMakeFiles/bench_e1_fifty_year.dir/bench_e1_fifty_year.cc.o.d"
+  "bench_e1_fifty_year"
+  "bench_e1_fifty_year.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_fifty_year.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_theseus_century.dir/bench_e2_theseus_century.cc.o"
+  "CMakeFiles/bench_e2_theseus_century.dir/bench_e2_theseus_century.cc.o.d"
+  "bench_e2_theseus_century"
+  "bench_e2_theseus_century.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_theseus_century.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_interop.dir/bench_e3_interop.cc.o"
+  "CMakeFiles/bench_e3_interop.dir/bench_e3_interop.cc.o.d"
+  "bench_e3_interop"
+  "bench_e3_interop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_interop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

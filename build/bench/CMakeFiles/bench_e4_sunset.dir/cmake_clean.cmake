@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_sunset.dir/bench_e4_sunset.cc.o"
+  "CMakeFiles/bench_e4_sunset.dir/bench_e4_sunset.cc.o.d"
+  "bench_e4_sunset"
+  "bench_e4_sunset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_sunset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_ensemble.dir/bench_e5_ensemble.cc.o"
+  "CMakeFiles/bench_e5_ensemble.dir/bench_e5_ensemble.cc.o.d"
+  "bench_e5_ensemble"
+  "bench_e5_ensemble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_ensemble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_district.dir/bench_e6_district.cc.o"
+  "CMakeFiles/bench_e6_district.dir/bench_e6_district.cc.o.d"
+  "bench_e6_district"
+  "bench_e6_district.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_district.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

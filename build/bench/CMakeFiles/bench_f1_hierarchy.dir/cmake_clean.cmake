@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f1_hierarchy.dir/bench_f1_hierarchy.cc.o"
+  "CMakeFiles/bench_f1_hierarchy.dir/bench_f1_hierarchy.cc.o.d"
+  "bench_f1_hierarchy"
+  "bench_f1_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f1_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_p1_engine.dir/bench_p1_engine.cc.o"
+  "CMakeFiles/bench_p1_engine.dir/bench_p1_engine.cc.o.d"
+  "bench_p1_engine"
+  "bench_p1_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_p1_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

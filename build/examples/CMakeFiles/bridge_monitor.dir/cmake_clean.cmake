@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bridge_monitor.dir/bridge_monitor.cpp.o"
+  "CMakeFiles/bridge_monitor.dir/bridge_monitor.cpp.o.d"
+  "bridge_monitor"
+  "bridge_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bridge_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/district_rollout.dir/district_rollout.cpp.o"
+  "CMakeFiles/district_rollout.dir/district_rollout.cpp.o.d"
+  "district_rollout"
+  "district_rollout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/district_rollout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for district_rollout.
+# This may be replaced when dependencies are built.

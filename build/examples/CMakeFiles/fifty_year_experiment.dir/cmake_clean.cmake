@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fifty_year_experiment.dir/fifty_year_experiment.cpp.o"
+  "CMakeFiles/fifty_year_experiment.dir/fifty_year_experiment.cpp.o.d"
+  "fifty_year_experiment"
+  "fifty_year_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fifty_year_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

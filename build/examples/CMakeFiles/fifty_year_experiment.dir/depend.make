@@ -1,0 +1,2 @@
+# Empty dependencies file for fifty_year_experiment.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_waste.dir/smart_waste.cpp.o"
+  "CMakeFiles/smart_waste.dir/smart_waste.cpp.o.d"
+  "smart_waste"
+  "smart_waste.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_waste.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("reliability")
+subdirs("energy")
+subdirs("radio")
+subdirs("net")
+subdirs("econ")
+subdirs("security")
+subdirs("telemetry")
+subdirs("city")
+subdirs("mgmt")
+subdirs("core")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/city/air_quality.cc" "src/city/CMakeFiles/centsim_city.dir/air_quality.cc.o" "gcc" "src/city/CMakeFiles/centsim_city.dir/air_quality.cc.o.d"
+  "/root/repo/src/city/city_model.cc" "src/city/CMakeFiles/centsim_city.dir/city_model.cc.o" "gcc" "src/city/CMakeFiles/centsim_city.dir/city_model.cc.o.d"
+  "/root/repo/src/city/deployment.cc" "src/city/CMakeFiles/centsim_city.dir/deployment.cc.o" "gcc" "src/city/CMakeFiles/centsim_city.dir/deployment.cc.o.d"
+  "/root/repo/src/city/waste.cc" "src/city/CMakeFiles/centsim_city.dir/waste.cc.o" "gcc" "src/city/CMakeFiles/centsim_city.dir/waste.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/centsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/centsim_city.dir/air_quality.cc.o"
+  "CMakeFiles/centsim_city.dir/air_quality.cc.o.d"
+  "CMakeFiles/centsim_city.dir/city_model.cc.o"
+  "CMakeFiles/centsim_city.dir/city_model.cc.o.d"
+  "CMakeFiles/centsim_city.dir/deployment.cc.o"
+  "CMakeFiles/centsim_city.dir/deployment.cc.o.d"
+  "CMakeFiles/centsim_city.dir/waste.cc.o"
+  "CMakeFiles/centsim_city.dir/waste.cc.o.d"
+  "libcentsim_city.a"
+  "libcentsim_city.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/centsim_city.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/centsim_core.dir/device.cc.o"
+  "CMakeFiles/centsim_core.dir/device.cc.o.d"
+  "CMakeFiles/centsim_core.dir/district.cc.o"
+  "CMakeFiles/centsim_core.dir/district.cc.o.d"
+  "CMakeFiles/centsim_core.dir/experiment.cc.o"
+  "CMakeFiles/centsim_core.dir/experiment.cc.o.d"
+  "CMakeFiles/centsim_core.dir/hierarchy.cc.o"
+  "CMakeFiles/centsim_core.dir/hierarchy.cc.o.d"
+  "CMakeFiles/centsim_core.dir/montecarlo.cc.o"
+  "CMakeFiles/centsim_core.dir/montecarlo.cc.o.d"
+  "CMakeFiles/centsim_core.dir/network_fabric.cc.o"
+  "CMakeFiles/centsim_core.dir/network_fabric.cc.o.d"
+  "CMakeFiles/centsim_core.dir/scenario.cc.o"
+  "CMakeFiles/centsim_core.dir/scenario.cc.o.d"
+  "CMakeFiles/centsim_core.dir/theseus.cc.o"
+  "CMakeFiles/centsim_core.dir/theseus.cc.o.d"
+  "libcentsim_core.a"
+  "libcentsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/centsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

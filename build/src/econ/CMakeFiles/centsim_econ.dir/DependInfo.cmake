@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/econ/data_credits.cc" "src/econ/CMakeFiles/centsim_econ.dir/data_credits.cc.o" "gcc" "src/econ/CMakeFiles/centsim_econ.dir/data_credits.cc.o.d"
+  "/root/repo/src/econ/deployment_cost.cc" "src/econ/CMakeFiles/centsim_econ.dir/deployment_cost.cc.o" "gcc" "src/econ/CMakeFiles/centsim_econ.dir/deployment_cost.cc.o.d"
+  "/root/repo/src/econ/labor.cc" "src/econ/CMakeFiles/centsim_econ.dir/labor.cc.o" "gcc" "src/econ/CMakeFiles/centsim_econ.dir/labor.cc.o.d"
+  "/root/repo/src/econ/npv.cc" "src/econ/CMakeFiles/centsim_econ.dir/npv.cc.o" "gcc" "src/econ/CMakeFiles/centsim_econ.dir/npv.cc.o.d"
+  "/root/repo/src/econ/replacement_planning.cc" "src/econ/CMakeFiles/centsim_econ.dir/replacement_planning.cc.o" "gcc" "src/econ/CMakeFiles/centsim_econ.dir/replacement_planning.cc.o.d"
+  "/root/repo/src/econ/tariff.cc" "src/econ/CMakeFiles/centsim_econ.dir/tariff.cc.o" "gcc" "src/econ/CMakeFiles/centsim_econ.dir/tariff.cc.o.d"
+  "/root/repo/src/econ/tipping_point.cc" "src/econ/CMakeFiles/centsim_econ.dir/tipping_point.cc.o" "gcc" "src/econ/CMakeFiles/centsim_econ.dir/tipping_point.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/centsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/reliability/CMakeFiles/centsim_reliability.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

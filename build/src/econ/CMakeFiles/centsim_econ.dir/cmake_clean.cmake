@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/centsim_econ.dir/data_credits.cc.o"
+  "CMakeFiles/centsim_econ.dir/data_credits.cc.o.d"
+  "CMakeFiles/centsim_econ.dir/deployment_cost.cc.o"
+  "CMakeFiles/centsim_econ.dir/deployment_cost.cc.o.d"
+  "CMakeFiles/centsim_econ.dir/labor.cc.o"
+  "CMakeFiles/centsim_econ.dir/labor.cc.o.d"
+  "CMakeFiles/centsim_econ.dir/npv.cc.o"
+  "CMakeFiles/centsim_econ.dir/npv.cc.o.d"
+  "CMakeFiles/centsim_econ.dir/replacement_planning.cc.o"
+  "CMakeFiles/centsim_econ.dir/replacement_planning.cc.o.d"
+  "CMakeFiles/centsim_econ.dir/tariff.cc.o"
+  "CMakeFiles/centsim_econ.dir/tariff.cc.o.d"
+  "CMakeFiles/centsim_econ.dir/tipping_point.cc.o"
+  "CMakeFiles/centsim_econ.dir/tipping_point.cc.o.d"
+  "libcentsim_econ.a"
+  "libcentsim_econ.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/centsim_econ.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/energy/energy_manager.cc" "src/energy/CMakeFiles/centsim_energy.dir/energy_manager.cc.o" "gcc" "src/energy/CMakeFiles/centsim_energy.dir/energy_manager.cc.o.d"
+  "/root/repo/src/energy/harvester.cc" "src/energy/CMakeFiles/centsim_energy.dir/harvester.cc.o" "gcc" "src/energy/CMakeFiles/centsim_energy.dir/harvester.cc.o.d"
+  "/root/repo/src/energy/harvester_stats.cc" "src/energy/CMakeFiles/centsim_energy.dir/harvester_stats.cc.o" "gcc" "src/energy/CMakeFiles/centsim_energy.dir/harvester_stats.cc.o.d"
+  "/root/repo/src/energy/intermittent.cc" "src/energy/CMakeFiles/centsim_energy.dir/intermittent.cc.o" "gcc" "src/energy/CMakeFiles/centsim_energy.dir/intermittent.cc.o.d"
+  "/root/repo/src/energy/storage.cc" "src/energy/CMakeFiles/centsim_energy.dir/storage.cc.o" "gcc" "src/energy/CMakeFiles/centsim_energy.dir/storage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/centsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

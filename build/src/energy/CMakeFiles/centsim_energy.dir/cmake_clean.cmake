@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/centsim_energy.dir/energy_manager.cc.o"
+  "CMakeFiles/centsim_energy.dir/energy_manager.cc.o.d"
+  "CMakeFiles/centsim_energy.dir/harvester.cc.o"
+  "CMakeFiles/centsim_energy.dir/harvester.cc.o.d"
+  "CMakeFiles/centsim_energy.dir/harvester_stats.cc.o"
+  "CMakeFiles/centsim_energy.dir/harvester_stats.cc.o.d"
+  "CMakeFiles/centsim_energy.dir/intermittent.cc.o"
+  "CMakeFiles/centsim_energy.dir/intermittent.cc.o.d"
+  "CMakeFiles/centsim_energy.dir/storage.cc.o"
+  "CMakeFiles/centsim_energy.dir/storage.cc.o.d"
+  "libcentsim_energy.a"
+  "libcentsim_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/centsim_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mgmt/batch_project.cc" "src/mgmt/CMakeFiles/centsim_mgmt.dir/batch_project.cc.o" "gcc" "src/mgmt/CMakeFiles/centsim_mgmt.dir/batch_project.cc.o.d"
+  "/root/repo/src/mgmt/diary.cc" "src/mgmt/CMakeFiles/centsim_mgmt.dir/diary.cc.o" "gcc" "src/mgmt/CMakeFiles/centsim_mgmt.dir/diary.cc.o.d"
+  "/root/repo/src/mgmt/domain_lease.cc" "src/mgmt/CMakeFiles/centsim_mgmt.dir/domain_lease.cc.o" "gcc" "src/mgmt/CMakeFiles/centsim_mgmt.dir/domain_lease.cc.o.d"
+  "/root/repo/src/mgmt/maintenance.cc" "src/mgmt/CMakeFiles/centsim_mgmt.dir/maintenance.cc.o" "gcc" "src/mgmt/CMakeFiles/centsim_mgmt.dir/maintenance.cc.o.d"
+  "/root/repo/src/mgmt/succession.cc" "src/mgmt/CMakeFiles/centsim_mgmt.dir/succession.cc.o" "gcc" "src/mgmt/CMakeFiles/centsim_mgmt.dir/succession.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/centsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/centsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/reliability/CMakeFiles/centsim_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/centsim_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/centsim_radio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/centsim_mgmt.dir/batch_project.cc.o"
+  "CMakeFiles/centsim_mgmt.dir/batch_project.cc.o.d"
+  "CMakeFiles/centsim_mgmt.dir/diary.cc.o"
+  "CMakeFiles/centsim_mgmt.dir/diary.cc.o.d"
+  "CMakeFiles/centsim_mgmt.dir/domain_lease.cc.o"
+  "CMakeFiles/centsim_mgmt.dir/domain_lease.cc.o.d"
+  "CMakeFiles/centsim_mgmt.dir/maintenance.cc.o"
+  "CMakeFiles/centsim_mgmt.dir/maintenance.cc.o.d"
+  "CMakeFiles/centsim_mgmt.dir/succession.cc.o"
+  "CMakeFiles/centsim_mgmt.dir/succession.cc.o.d"
+  "libcentsim_mgmt.a"
+  "libcentsim_mgmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/centsim_mgmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for centsim_mgmt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/backhaul.cc" "src/net/CMakeFiles/centsim_net.dir/backhaul.cc.o" "gcc" "src/net/CMakeFiles/centsim_net.dir/backhaul.cc.o.d"
+  "/root/repo/src/net/blocklist.cc" "src/net/CMakeFiles/centsim_net.dir/blocklist.cc.o" "gcc" "src/net/CMakeFiles/centsim_net.dir/blocklist.cc.o.d"
+  "/root/repo/src/net/cloud_endpoint.cc" "src/net/CMakeFiles/centsim_net.dir/cloud_endpoint.cc.o" "gcc" "src/net/CMakeFiles/centsim_net.dir/cloud_endpoint.cc.o.d"
+  "/root/repo/src/net/commissioning.cc" "src/net/CMakeFiles/centsim_net.dir/commissioning.cc.o" "gcc" "src/net/CMakeFiles/centsim_net.dir/commissioning.cc.o.d"
+  "/root/repo/src/net/gateway.cc" "src/net/CMakeFiles/centsim_net.dir/gateway.cc.o" "gcc" "src/net/CMakeFiles/centsim_net.dir/gateway.cc.o.d"
+  "/root/repo/src/net/helium.cc" "src/net/CMakeFiles/centsim_net.dir/helium.cc.o" "gcc" "src/net/CMakeFiles/centsim_net.dir/helium.cc.o.d"
+  "/root/repo/src/net/network_server.cc" "src/net/CMakeFiles/centsim_net.dir/network_server.cc.o" "gcc" "src/net/CMakeFiles/centsim_net.dir/network_server.cc.o.d"
+  "/root/repo/src/net/packet.cc" "src/net/CMakeFiles/centsim_net.dir/packet.cc.o" "gcc" "src/net/CMakeFiles/centsim_net.dir/packet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/centsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/reliability/CMakeFiles/centsim_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/centsim_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/centsim_security.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

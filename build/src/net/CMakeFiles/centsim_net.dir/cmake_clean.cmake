@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/centsim_net.dir/backhaul.cc.o"
+  "CMakeFiles/centsim_net.dir/backhaul.cc.o.d"
+  "CMakeFiles/centsim_net.dir/blocklist.cc.o"
+  "CMakeFiles/centsim_net.dir/blocklist.cc.o.d"
+  "CMakeFiles/centsim_net.dir/cloud_endpoint.cc.o"
+  "CMakeFiles/centsim_net.dir/cloud_endpoint.cc.o.d"
+  "CMakeFiles/centsim_net.dir/commissioning.cc.o"
+  "CMakeFiles/centsim_net.dir/commissioning.cc.o.d"
+  "CMakeFiles/centsim_net.dir/gateway.cc.o"
+  "CMakeFiles/centsim_net.dir/gateway.cc.o.d"
+  "CMakeFiles/centsim_net.dir/helium.cc.o"
+  "CMakeFiles/centsim_net.dir/helium.cc.o.d"
+  "CMakeFiles/centsim_net.dir/network_server.cc.o"
+  "CMakeFiles/centsim_net.dir/network_server.cc.o.d"
+  "CMakeFiles/centsim_net.dir/packet.cc.o"
+  "CMakeFiles/centsim_net.dir/packet.cc.o.d"
+  "libcentsim_net.a"
+  "libcentsim_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/centsim_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

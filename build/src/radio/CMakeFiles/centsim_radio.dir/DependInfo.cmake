@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/radio/frame.cc" "src/radio/CMakeFiles/centsim_radio.dir/frame.cc.o" "gcc" "src/radio/CMakeFiles/centsim_radio.dir/frame.cc.o.d"
+  "/root/repo/src/radio/link_budget.cc" "src/radio/CMakeFiles/centsim_radio.dir/link_budget.cc.o" "gcc" "src/radio/CMakeFiles/centsim_radio.dir/link_budget.cc.o.d"
+  "/root/repo/src/radio/lora.cc" "src/radio/CMakeFiles/centsim_radio.dir/lora.cc.o" "gcc" "src/radio/CMakeFiles/centsim_radio.dir/lora.cc.o.d"
+  "/root/repo/src/radio/lorawan.cc" "src/radio/CMakeFiles/centsim_radio.dir/lorawan.cc.o" "gcc" "src/radio/CMakeFiles/centsim_radio.dir/lorawan.cc.o.d"
+  "/root/repo/src/radio/mac_802154.cc" "src/radio/CMakeFiles/centsim_radio.dir/mac_802154.cc.o" "gcc" "src/radio/CMakeFiles/centsim_radio.dir/mac_802154.cc.o.d"
+  "/root/repo/src/radio/medium.cc" "src/radio/CMakeFiles/centsim_radio.dir/medium.cc.o" "gcc" "src/radio/CMakeFiles/centsim_radio.dir/medium.cc.o.d"
+  "/root/repo/src/radio/phy_802154.cc" "src/radio/CMakeFiles/centsim_radio.dir/phy_802154.cc.o" "gcc" "src/radio/CMakeFiles/centsim_radio.dir/phy_802154.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/centsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

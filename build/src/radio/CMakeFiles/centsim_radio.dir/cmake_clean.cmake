@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/centsim_radio.dir/frame.cc.o"
+  "CMakeFiles/centsim_radio.dir/frame.cc.o.d"
+  "CMakeFiles/centsim_radio.dir/link_budget.cc.o"
+  "CMakeFiles/centsim_radio.dir/link_budget.cc.o.d"
+  "CMakeFiles/centsim_radio.dir/lora.cc.o"
+  "CMakeFiles/centsim_radio.dir/lora.cc.o.d"
+  "CMakeFiles/centsim_radio.dir/lorawan.cc.o"
+  "CMakeFiles/centsim_radio.dir/lorawan.cc.o.d"
+  "CMakeFiles/centsim_radio.dir/mac_802154.cc.o"
+  "CMakeFiles/centsim_radio.dir/mac_802154.cc.o.d"
+  "CMakeFiles/centsim_radio.dir/medium.cc.o"
+  "CMakeFiles/centsim_radio.dir/medium.cc.o.d"
+  "CMakeFiles/centsim_radio.dir/phy_802154.cc.o"
+  "CMakeFiles/centsim_radio.dir/phy_802154.cc.o.d"
+  "libcentsim_radio.a"
+  "libcentsim_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/centsim_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reliability/burn_in.cc" "src/reliability/CMakeFiles/centsim_reliability.dir/burn_in.cc.o" "gcc" "src/reliability/CMakeFiles/centsim_reliability.dir/burn_in.cc.o.d"
+  "/root/repo/src/reliability/component.cc" "src/reliability/CMakeFiles/centsim_reliability.dir/component.cc.o" "gcc" "src/reliability/CMakeFiles/centsim_reliability.dir/component.cc.o.d"
+  "/root/repo/src/reliability/fitting.cc" "src/reliability/CMakeFiles/centsim_reliability.dir/fitting.cc.o" "gcc" "src/reliability/CMakeFiles/centsim_reliability.dir/fitting.cc.o.d"
+  "/root/repo/src/reliability/hazard.cc" "src/reliability/CMakeFiles/centsim_reliability.dir/hazard.cc.o" "gcc" "src/reliability/CMakeFiles/centsim_reliability.dir/hazard.cc.o.d"
+  "/root/repo/src/reliability/obsolescence.cc" "src/reliability/CMakeFiles/centsim_reliability.dir/obsolescence.cc.o" "gcc" "src/reliability/CMakeFiles/centsim_reliability.dir/obsolescence.cc.o.d"
+  "/root/repo/src/reliability/survival.cc" "src/reliability/CMakeFiles/centsim_reliability.dir/survival.cc.o" "gcc" "src/reliability/CMakeFiles/centsim_reliability.dir/survival.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/centsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

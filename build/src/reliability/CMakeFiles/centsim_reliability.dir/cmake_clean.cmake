@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/centsim_reliability.dir/burn_in.cc.o"
+  "CMakeFiles/centsim_reliability.dir/burn_in.cc.o.d"
+  "CMakeFiles/centsim_reliability.dir/component.cc.o"
+  "CMakeFiles/centsim_reliability.dir/component.cc.o.d"
+  "CMakeFiles/centsim_reliability.dir/fitting.cc.o"
+  "CMakeFiles/centsim_reliability.dir/fitting.cc.o.d"
+  "CMakeFiles/centsim_reliability.dir/hazard.cc.o"
+  "CMakeFiles/centsim_reliability.dir/hazard.cc.o.d"
+  "CMakeFiles/centsim_reliability.dir/obsolescence.cc.o"
+  "CMakeFiles/centsim_reliability.dir/obsolescence.cc.o.d"
+  "CMakeFiles/centsim_reliability.dir/survival.cc.o"
+  "CMakeFiles/centsim_reliability.dir/survival.cc.o.d"
+  "libcentsim_reliability.a"
+  "libcentsim_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/centsim_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

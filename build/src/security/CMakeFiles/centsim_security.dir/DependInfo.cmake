@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/security/patching.cc" "src/security/CMakeFiles/centsim_security.dir/patching.cc.o" "gcc" "src/security/CMakeFiles/centsim_security.dir/patching.cc.o.d"
+  "/root/repo/src/security/report_auth.cc" "src/security/CMakeFiles/centsim_security.dir/report_auth.cc.o" "gcc" "src/security/CMakeFiles/centsim_security.dir/report_auth.cc.o.d"
+  "/root/repo/src/security/signing.cc" "src/security/CMakeFiles/centsim_security.dir/signing.cc.o" "gcc" "src/security/CMakeFiles/centsim_security.dir/signing.cc.o.d"
+  "/root/repo/src/security/siphash.cc" "src/security/CMakeFiles/centsim_security.dir/siphash.cc.o" "gcc" "src/security/CMakeFiles/centsim_security.dir/siphash.cc.o.d"
+  "/root/repo/src/security/trust.cc" "src/security/CMakeFiles/centsim_security.dir/trust.cc.o" "gcc" "src/security/CMakeFiles/centsim_security.dir/trust.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/centsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/centsim_radio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

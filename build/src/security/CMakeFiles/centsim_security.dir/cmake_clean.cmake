@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/centsim_security.dir/patching.cc.o"
+  "CMakeFiles/centsim_security.dir/patching.cc.o.d"
+  "CMakeFiles/centsim_security.dir/report_auth.cc.o"
+  "CMakeFiles/centsim_security.dir/report_auth.cc.o.d"
+  "CMakeFiles/centsim_security.dir/signing.cc.o"
+  "CMakeFiles/centsim_security.dir/signing.cc.o.d"
+  "CMakeFiles/centsim_security.dir/siphash.cc.o"
+  "CMakeFiles/centsim_security.dir/siphash.cc.o.d"
+  "CMakeFiles/centsim_security.dir/trust.cc.o"
+  "CMakeFiles/centsim_security.dir/trust.cc.o.d"
+  "libcentsim_security.a"
+  "libcentsim_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/centsim_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/config.cc" "src/sim/CMakeFiles/centsim_sim.dir/config.cc.o" "gcc" "src/sim/CMakeFiles/centsim_sim.dir/config.cc.o.d"
+  "/root/repo/src/sim/random.cc" "src/sim/CMakeFiles/centsim_sim.dir/random.cc.o" "gcc" "src/sim/CMakeFiles/centsim_sim.dir/random.cc.o.d"
+  "/root/repo/src/sim/scheduler.cc" "src/sim/CMakeFiles/centsim_sim.dir/scheduler.cc.o" "gcc" "src/sim/CMakeFiles/centsim_sim.dir/scheduler.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/sim/CMakeFiles/centsim_sim.dir/stats.cc.o" "gcc" "src/sim/CMakeFiles/centsim_sim.dir/stats.cc.o.d"
+  "/root/repo/src/sim/time.cc" "src/sim/CMakeFiles/centsim_sim.dir/time.cc.o" "gcc" "src/sim/CMakeFiles/centsim_sim.dir/time.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/centsim_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/centsim_sim.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

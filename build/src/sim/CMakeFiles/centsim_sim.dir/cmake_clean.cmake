@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/centsim_sim.dir/config.cc.o"
+  "CMakeFiles/centsim_sim.dir/config.cc.o.d"
+  "CMakeFiles/centsim_sim.dir/random.cc.o"
+  "CMakeFiles/centsim_sim.dir/random.cc.o.d"
+  "CMakeFiles/centsim_sim.dir/scheduler.cc.o"
+  "CMakeFiles/centsim_sim.dir/scheduler.cc.o.d"
+  "CMakeFiles/centsim_sim.dir/stats.cc.o"
+  "CMakeFiles/centsim_sim.dir/stats.cc.o.d"
+  "CMakeFiles/centsim_sim.dir/time.cc.o"
+  "CMakeFiles/centsim_sim.dir/time.cc.o.d"
+  "CMakeFiles/centsim_sim.dir/trace.cc.o"
+  "CMakeFiles/centsim_sim.dir/trace.cc.o.d"
+  "libcentsim_sim.a"
+  "libcentsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/centsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

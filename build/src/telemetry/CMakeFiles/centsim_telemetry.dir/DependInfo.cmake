@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/csv.cc" "src/telemetry/CMakeFiles/centsim_telemetry.dir/csv.cc.o" "gcc" "src/telemetry/CMakeFiles/centsim_telemetry.dir/csv.cc.o.d"
+  "/root/repo/src/telemetry/report.cc" "src/telemetry/CMakeFiles/centsim_telemetry.dir/report.cc.o" "gcc" "src/telemetry/CMakeFiles/centsim_telemetry.dir/report.cc.o.d"
+  "/root/repo/src/telemetry/sensors.cc" "src/telemetry/CMakeFiles/centsim_telemetry.dir/sensors.cc.o" "gcc" "src/telemetry/CMakeFiles/centsim_telemetry.dir/sensors.cc.o.d"
+  "/root/repo/src/telemetry/timeseries.cc" "src/telemetry/CMakeFiles/centsim_telemetry.dir/timeseries.cc.o" "gcc" "src/telemetry/CMakeFiles/centsim_telemetry.dir/timeseries.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/centsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

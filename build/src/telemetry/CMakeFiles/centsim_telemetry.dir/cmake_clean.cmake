@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/centsim_telemetry.dir/csv.cc.o"
+  "CMakeFiles/centsim_telemetry.dir/csv.cc.o.d"
+  "CMakeFiles/centsim_telemetry.dir/report.cc.o"
+  "CMakeFiles/centsim_telemetry.dir/report.cc.o.d"
+  "CMakeFiles/centsim_telemetry.dir/sensors.cc.o"
+  "CMakeFiles/centsim_telemetry.dir/sensors.cc.o.d"
+  "CMakeFiles/centsim_telemetry.dir/timeseries.cc.o"
+  "CMakeFiles/centsim_telemetry.dir/timeseries.cc.o.d"
+  "libcentsim_telemetry.a"
+  "libcentsim_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/centsim_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

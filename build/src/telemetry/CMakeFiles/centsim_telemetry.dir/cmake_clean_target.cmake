@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcentsim_telemetry.a"
+)

@@ -1,0 +1,91 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/city_air_quality_test.cc" "tests/CMakeFiles/centsim_tests.dir/city_air_quality_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/city_air_quality_test.cc.o.d"
+  "/root/repo/tests/city_deployment_test.cc" "tests/CMakeFiles/centsim_tests.dir/city_deployment_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/city_deployment_test.cc.o.d"
+  "/root/repo/tests/city_waste_test.cc" "tests/CMakeFiles/centsim_tests.dir/city_waste_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/city_waste_test.cc.o.d"
+  "/root/repo/tests/core_device_test.cc" "tests/CMakeFiles/centsim_tests.dir/core_device_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/core_device_test.cc.o.d"
+  "/root/repo/tests/core_district_test.cc" "tests/CMakeFiles/centsim_tests.dir/core_district_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/core_district_test.cc.o.d"
+  "/root/repo/tests/core_experiment_test.cc" "tests/CMakeFiles/centsim_tests.dir/core_experiment_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/core_experiment_test.cc.o.d"
+  "/root/repo/tests/core_fabric_test.cc" "tests/CMakeFiles/centsim_tests.dir/core_fabric_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/core_fabric_test.cc.o.d"
+  "/root/repo/tests/core_hierarchy_test.cc" "tests/CMakeFiles/centsim_tests.dir/core_hierarchy_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/core_hierarchy_test.cc.o.d"
+  "/root/repo/tests/core_scenario_test.cc" "tests/CMakeFiles/centsim_tests.dir/core_scenario_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/core_scenario_test.cc.o.d"
+  "/root/repo/tests/core_theseus_test.cc" "tests/CMakeFiles/centsim_tests.dir/core_theseus_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/core_theseus_test.cc.o.d"
+  "/root/repo/tests/econ_credits_test.cc" "tests/CMakeFiles/centsim_tests.dir/econ_credits_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/econ_credits_test.cc.o.d"
+  "/root/repo/tests/econ_deployment_cost_test.cc" "tests/CMakeFiles/centsim_tests.dir/econ_deployment_cost_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/econ_deployment_cost_test.cc.o.d"
+  "/root/repo/tests/econ_labor_test.cc" "tests/CMakeFiles/centsim_tests.dir/econ_labor_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/econ_labor_test.cc.o.d"
+  "/root/repo/tests/econ_npv_test.cc" "tests/CMakeFiles/centsim_tests.dir/econ_npv_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/econ_npv_test.cc.o.d"
+  "/root/repo/tests/econ_replacement_planning_test.cc" "tests/CMakeFiles/centsim_tests.dir/econ_replacement_planning_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/econ_replacement_planning_test.cc.o.d"
+  "/root/repo/tests/econ_tariff_test.cc" "tests/CMakeFiles/centsim_tests.dir/econ_tariff_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/econ_tariff_test.cc.o.d"
+  "/root/repo/tests/econ_tipping_test.cc" "tests/CMakeFiles/centsim_tests.dir/econ_tipping_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/econ_tipping_test.cc.o.d"
+  "/root/repo/tests/energy_harvester_stats_test.cc" "tests/CMakeFiles/centsim_tests.dir/energy_harvester_stats_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/energy_harvester_stats_test.cc.o.d"
+  "/root/repo/tests/energy_harvester_test.cc" "tests/CMakeFiles/centsim_tests.dir/energy_harvester_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/energy_harvester_test.cc.o.d"
+  "/root/repo/tests/energy_intermittent_test.cc" "tests/CMakeFiles/centsim_tests.dir/energy_intermittent_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/energy_intermittent_test.cc.o.d"
+  "/root/repo/tests/energy_manager_test.cc" "tests/CMakeFiles/centsim_tests.dir/energy_manager_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/energy_manager_test.cc.o.d"
+  "/root/repo/tests/energy_storage_test.cc" "tests/CMakeFiles/centsim_tests.dir/energy_storage_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/energy_storage_test.cc.o.d"
+  "/root/repo/tests/fault_injection_test.cc" "tests/CMakeFiles/centsim_tests.dir/fault_injection_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/fault_injection_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/centsim_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/medium_validation_test.cc" "tests/CMakeFiles/centsim_tests.dir/medium_validation_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/medium_validation_test.cc.o.d"
+  "/root/repo/tests/mgmt_batch_diary_test.cc" "tests/CMakeFiles/centsim_tests.dir/mgmt_batch_diary_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/mgmt_batch_diary_test.cc.o.d"
+  "/root/repo/tests/mgmt_domain_test.cc" "tests/CMakeFiles/centsim_tests.dir/mgmt_domain_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/mgmt_domain_test.cc.o.d"
+  "/root/repo/tests/mgmt_maintenance_test.cc" "tests/CMakeFiles/centsim_tests.dir/mgmt_maintenance_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/mgmt_maintenance_test.cc.o.d"
+  "/root/repo/tests/mgmt_succession_test.cc" "tests/CMakeFiles/centsim_tests.dir/mgmt_succession_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/mgmt_succession_test.cc.o.d"
+  "/root/repo/tests/net_backhaul_test.cc" "tests/CMakeFiles/centsim_tests.dir/net_backhaul_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/net_backhaul_test.cc.o.d"
+  "/root/repo/tests/net_commissioning_test.cc" "tests/CMakeFiles/centsim_tests.dir/net_commissioning_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/net_commissioning_test.cc.o.d"
+  "/root/repo/tests/net_endpoint_test.cc" "tests/CMakeFiles/centsim_tests.dir/net_endpoint_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/net_endpoint_test.cc.o.d"
+  "/root/repo/tests/net_gateway_test.cc" "tests/CMakeFiles/centsim_tests.dir/net_gateway_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/net_gateway_test.cc.o.d"
+  "/root/repo/tests/net_helium_test.cc" "tests/CMakeFiles/centsim_tests.dir/net_helium_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/net_helium_test.cc.o.d"
+  "/root/repo/tests/net_network_server_test.cc" "tests/CMakeFiles/centsim_tests.dir/net_network_server_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/net_network_server_test.cc.o.d"
+  "/root/repo/tests/net_packet_test.cc" "tests/CMakeFiles/centsim_tests.dir/net_packet_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/net_packet_test.cc.o.d"
+  "/root/repo/tests/property_sweeps_test.cc" "tests/CMakeFiles/centsim_tests.dir/property_sweeps_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/property_sweeps_test.cc.o.d"
+  "/root/repo/tests/radio_frame_test.cc" "tests/CMakeFiles/centsim_tests.dir/radio_frame_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/radio_frame_test.cc.o.d"
+  "/root/repo/tests/radio_link_budget_test.cc" "tests/CMakeFiles/centsim_tests.dir/radio_link_budget_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/radio_link_budget_test.cc.o.d"
+  "/root/repo/tests/radio_lora_test.cc" "tests/CMakeFiles/centsim_tests.dir/radio_lora_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/radio_lora_test.cc.o.d"
+  "/root/repo/tests/radio_lorawan_test.cc" "tests/CMakeFiles/centsim_tests.dir/radio_lorawan_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/radio_lorawan_test.cc.o.d"
+  "/root/repo/tests/radio_mac802154_test.cc" "tests/CMakeFiles/centsim_tests.dir/radio_mac802154_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/radio_mac802154_test.cc.o.d"
+  "/root/repo/tests/radio_medium_test.cc" "tests/CMakeFiles/centsim_tests.dir/radio_medium_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/radio_medium_test.cc.o.d"
+  "/root/repo/tests/radio_phy802154_test.cc" "tests/CMakeFiles/centsim_tests.dir/radio_phy802154_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/radio_phy802154_test.cc.o.d"
+  "/root/repo/tests/reliability_burnin_test.cc" "tests/CMakeFiles/centsim_tests.dir/reliability_burnin_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/reliability_burnin_test.cc.o.d"
+  "/root/repo/tests/reliability_component_test.cc" "tests/CMakeFiles/centsim_tests.dir/reliability_component_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/reliability_component_test.cc.o.d"
+  "/root/repo/tests/reliability_fitting_test.cc" "tests/CMakeFiles/centsim_tests.dir/reliability_fitting_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/reliability_fitting_test.cc.o.d"
+  "/root/repo/tests/reliability_hazard_test.cc" "tests/CMakeFiles/centsim_tests.dir/reliability_hazard_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/reliability_hazard_test.cc.o.d"
+  "/root/repo/tests/reliability_obsolescence_test.cc" "tests/CMakeFiles/centsim_tests.dir/reliability_obsolescence_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/reliability_obsolescence_test.cc.o.d"
+  "/root/repo/tests/reliability_survival_test.cc" "tests/CMakeFiles/centsim_tests.dir/reliability_survival_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/reliability_survival_test.cc.o.d"
+  "/root/repo/tests/security_patching_test.cc" "tests/CMakeFiles/centsim_tests.dir/security_patching_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/security_patching_test.cc.o.d"
+  "/root/repo/tests/security_signing_test.cc" "tests/CMakeFiles/centsim_tests.dir/security_signing_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/security_signing_test.cc.o.d"
+  "/root/repo/tests/security_siphash_test.cc" "tests/CMakeFiles/centsim_tests.dir/security_siphash_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/security_siphash_test.cc.o.d"
+  "/root/repo/tests/security_trust_test.cc" "tests/CMakeFiles/centsim_tests.dir/security_trust_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/security_trust_test.cc.o.d"
+  "/root/repo/tests/sim_config_test.cc" "tests/CMakeFiles/centsim_tests.dir/sim_config_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/sim_config_test.cc.o.d"
+  "/root/repo/tests/sim_random_test.cc" "tests/CMakeFiles/centsim_tests.dir/sim_random_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/sim_random_test.cc.o.d"
+  "/root/repo/tests/sim_scheduler_test.cc" "tests/CMakeFiles/centsim_tests.dir/sim_scheduler_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/sim_scheduler_test.cc.o.d"
+  "/root/repo/tests/sim_stats_test.cc" "tests/CMakeFiles/centsim_tests.dir/sim_stats_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/sim_stats_test.cc.o.d"
+  "/root/repo/tests/sim_time_test.cc" "tests/CMakeFiles/centsim_tests.dir/sim_time_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/sim_time_test.cc.o.d"
+  "/root/repo/tests/sim_trace_test.cc" "tests/CMakeFiles/centsim_tests.dir/sim_trace_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/sim_trace_test.cc.o.d"
+  "/root/repo/tests/telemetry_sensors_test.cc" "tests/CMakeFiles/centsim_tests.dir/telemetry_sensors_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/telemetry_sensors_test.cc.o.d"
+  "/root/repo/tests/telemetry_test.cc" "tests/CMakeFiles/centsim_tests.dir/telemetry_test.cc.o" "gcc" "tests/CMakeFiles/centsim_tests.dir/telemetry_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/centsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/centsim_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/econ/CMakeFiles/centsim_econ.dir/DependInfo.cmake"
+  "/root/repo/build/src/mgmt/CMakeFiles/centsim_mgmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/centsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/reliability/CMakeFiles/centsim_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/centsim_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/centsim_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/centsim_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/city/CMakeFiles/centsim_city.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/centsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "src/core/experiment.h"
+#include "src/telemetry/bench_record.h"
 #include "src/telemetry/report.h"
 
 int main() {
@@ -86,6 +87,27 @@ int main() {
   for (const auto& d : report.diary_decades) {
     std::printf("  years %2u0s: %4u / %4u / %4u\n", d.decade, d.failures, d.maintenance_actions,
                 d.warnings);
+  }
+
+  BenchReport bench("e1_fifty_year");
+  bench.Add("weekly_uptime", report.weekly_uptime, "fraction");
+  bench.Add("longest_gap_weeks", static_cast<double>(report.longest_gap_weeks), "weeks");
+  bench.Add("packets_received", static_cast<double>(report.total_packets), "count");
+  bench.Add("events_executed", static_cast<double>(report.events_executed), "count");
+  bench.Add("wall_seconds", report.wall_seconds, "s");
+  bench.Add("events_per_sec",
+            report.wall_seconds > 0 ? report.events_executed / report.wall_seconds : 0.0, "1/s");
+  bench.Add("maintenance_hours", report.maintenance_hours, "h");
+  RunManifest manifest;
+  manifest.run_name = "e1_fifty_year";
+  manifest.seed = cfg.seed;
+  manifest.horizon = cfg.horizon;
+  manifest.wall_seconds = report.wall_seconds;
+  manifest.events_executed = report.events_executed;
+  bench.SetManifest(std::move(manifest));
+  const std::string path = bench.WriteFile();
+  if (!path.empty()) {
+    std::cout << "\nWrote " << path << "\n";
   }
   return 0;
 }

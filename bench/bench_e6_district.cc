@@ -5,9 +5,11 @@
 // availability (device alive AND covered), which separates device losses
 // from the gateway-tier losses Figure 1 warns about.
 
+#include <chrono>
 #include <iostream>
 
 #include "src/core/district.h"
+#include "src/telemetry/bench_record.h"
 #include "src/telemetry/report.h"
 
 int main() {
@@ -21,7 +23,10 @@ int main() {
   cfg.horizon = SimTime::Years(50);
   cfg.batch_cycle = SimTime::Years(8);
 
+  const auto wall_start = std::chrono::steady_clock::now();
   const auto base = RunDistrictScenario(cfg);
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
   Table t({"quantity", "value"});
   t.AddRow({"sensor sites", FormatCount(cfg.device_count)});
   t.AddRow({"gateways planned", FormatCount(base.gateway_count)});
@@ -67,5 +72,23 @@ int main() {
                "repairs slow to months — Figure 1's asymmetry, quantified: fix the\n"
                "few serviceable things promptly, and design the many unserviceable\n"
                "things to not need fixing.\n";
+
+  BenchReport bench("e6_district");
+  bench.Add("mean_service_availability", base.mean_service_availability, "fraction");
+  bench.Add("mean_device_availability", base.mean_device_availability, "fraction");
+  bench.Add("min_yearly_service", base.min_yearly_service, "fraction");
+  bench.Add("device_failures", static_cast<double>(base.device_failures), "count");
+  bench.Add("gateway_repairs", static_cast<double>(base.gateway_repairs), "count");
+  bench.Add("base_run_wall_seconds", wall_seconds, "s");
+  RunManifest manifest;
+  manifest.run_name = "e6_district";
+  manifest.seed = cfg.seed;
+  manifest.horizon = cfg.horizon;
+  manifest.wall_seconds = wall_seconds;
+  bench.SetManifest(std::move(manifest));
+  const std::string path = bench.WriteFile();
+  if (!path.empty()) {
+    std::cout << "\nWrote " << path << "\n";
+  }
   return 0;
 }

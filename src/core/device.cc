@@ -32,7 +32,14 @@ EdgeDevice::EdgeDevice(Simulation& sim, EdgeDeviceConfig config, NetworkFabric& 
       energy_(std::move(energy)),
       hardware_(std::move(hardware)),
       rng_(sim.StreamFor(0x6465760000000000ULL ^ config_.id)),
-      sensor_(config_.sensor_kind, sim.seed() ^ (0x53454e53ULL << 16) ^ config_.id) {}
+      sensor_(config_.sensor_kind, sim.seed() ^ (0x53454e53ULL << 16) ^ config_.id) {
+  const MetricLabels labels{{"tech", RadioTechName(config_.tech)}};
+  failures_metric_ = sim_.MetricCounter("device.failures", labels);
+  replacements_metric_ = sim_.MetricCounter("device.replacements", labels);
+  energy_.BindMetrics(sim_.MetricCounter("energy.tx_granted", labels),
+                      sim_.MetricCounter("energy.tx_denied", labels),
+                      sim_.MetricHistogram("energy.harvest_j", labels));
+}
 
 void EdgeDevice::EnableSigning(const SipHashKey& batch_secret) {
   device_key_ = DeriveDeviceKey(batch_secret, config_.id);
@@ -66,7 +73,10 @@ void EdgeDevice::ReplaceUnit() {
   alive_ = true;
   ++generation_;
   deployed_at_ = sim_.Now();
-  sim_.Maint(config_.name, "unit replaced (generation " + std::to_string(generation_) + ")");
+  MetricInc(replacements_metric_);
+  if (sim_.TraceEnabled(TraceLevel::kMaintenance)) {
+    sim_.Maint(config_.name, "unit replaced (generation " + std::to_string(generation_) + ")");
+  }
   ScheduleHardwareFailure();
   if (report_event_ == kInvalidEventId) {
     ScheduleNextReport(
@@ -80,34 +90,43 @@ void EdgeDevice::ReplaceUnit() {
 
 void EdgeDevice::ScheduleHardwareFailure() {
   const auto draw = hardware_.SampleLife(rng_);
-  failure_event_ = sim_.scheduler().ScheduleAfter(draw.life, [this, draw] {
-    failure_event_ = kInvalidEventId;
-    alive_ = false;
-    failed_at_ = sim_.Now();
-    if (report_event_ != kInvalidEventId) {
-      sim_.scheduler().Cancel(report_event_);
-      report_event_ = kInvalidEventId;
-    }
-    if (load_registered_) {
-      fabric_.RemoveOfferedLoad(config_.tech, PacketsPerHour());
-      load_registered_ = false;
-    }
-    sim_.Fail(config_.name,
-              std::string("device hardware failure: ") +
-                  (draw.failing_component != SIZE_MAX
-                       ? hardware_.components()[draw.failing_component].name
-                       : "unknown"));
-    if (on_failure_) {
-      on_failure_(*this, sim_.Now());
-    }
-  });
+  failure_event_ = sim_.scheduler().ScheduleAfter(
+      draw.life,
+      [this, draw] {
+        failure_event_ = kInvalidEventId;
+        alive_ = false;
+        failed_at_ = sim_.Now();
+        MetricInc(failures_metric_);
+        if (report_event_ != kInvalidEventId) {
+          sim_.scheduler().Cancel(report_event_);
+          report_event_ = kInvalidEventId;
+        }
+        if (load_registered_) {
+          fabric_.RemoveOfferedLoad(config_.tech, PacketsPerHour());
+          load_registered_ = false;
+        }
+        if (sim_.TraceEnabled(TraceLevel::kFailure)) {
+          sim_.Fail(config_.name,
+                    std::string("device hardware failure: ") +
+                        (draw.failing_component != SIZE_MAX
+                             ? hardware_.components()[draw.failing_component].name
+                             : "unknown"));
+        }
+        if (on_failure_) {
+          on_failure_(*this, sim_.Now());
+        }
+      },
+      "device.failure");
 }
 
 void EdgeDevice::ScheduleNextReport(SimTime delay) {
-  report_event_ = sim_.scheduler().ScheduleAfter(delay, [this] {
-    report_event_ = kInvalidEventId;
-    OnReportTimer();
-  });
+  report_event_ = sim_.scheduler().ScheduleAfter(
+      delay,
+      [this] {
+        report_event_ = kInvalidEventId;
+        OnReportTimer();
+      },
+      "device.report");
 }
 
 void EdgeDevice::OnReportTimer() {

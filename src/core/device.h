@@ -113,6 +113,10 @@ class EdgeDevice {
   uint64_t attempts_ = 0;
   uint64_t delivered_ = 0;
   std::array<uint64_t, kDeliveryOutcomeCount> outcomes_{};
+
+  // Shared per-tech instruments; null when no registry is attached.
+  Counter* failures_metric_ = nullptr;
+  Counter* replacements_metric_ = nullptr;
 };
 
 }  // namespace centsim

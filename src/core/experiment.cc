@@ -1,7 +1,9 @@
 #include "src/core/experiment.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -19,6 +21,9 @@
 #include "src/net/network_server.h"
 #include "src/security/siphash.h"
 #include "src/sim/simulation.h"
+#include "src/telemetry/chrome_trace.h"
+#include "src/telemetry/metrics_jsonl.h"
+#include "src/telemetry/run_manifest.h"
 
 namespace centsim {
 namespace {
@@ -49,11 +54,63 @@ std::unique_ptr<EdgeDevice> MakeExperimentDevice(Simulation& sim, NetworkFabric&
                                       SeriesSystem::EnergyHarvestingNode());
 }
 
+// Flattened configuration text for the manifest's config digest: every
+// field that changes simulation behaviour, in a fixed order.
+std::string FlattenConfig(const FiftyYearConfig& config) {
+  std::string text;
+  auto add = [&text](const char* key, const std::string& value) {
+    text += key;
+    text += '=';
+    text += value;
+    text += '\n';
+  };
+  add("seed", std::to_string(config.seed));
+  add("devices_802154", std::to_string(config.devices_802154));
+  add("devices_lora", std::to_string(config.devices_lora));
+  add("owned_gateways", std::to_string(config.owned_gateways));
+  add("helium_hotspots", std::to_string(config.helium_hotspots));
+  add("report_interval_us", std::to_string(config.report_interval.micros()));
+  add("horizon_us", std::to_string(config.horizon.micros()));
+  add("wallet_usd_per_device", std::to_string(config.wallet_usd_per_device));
+  add("maintenance_enabled", std::to_string(config.maintenance.enabled));
+  add("maintenance_mean_response_us", std::to_string(config.maintenance.mean_response.micros()));
+  add("maintenance_mean_repair_us", std::to_string(config.maintenance.mean_repair.micros()));
+  add("maintenance_annual_budget_hours", std::to_string(config.maintenance.annual_budget_hours));
+  add("maintenance_hourly_rate_usd", std::to_string(config.maintenance.hourly_rate_usd));
+  add("replace_failed_devices", std::to_string(config.replace_failed_devices));
+  add("device_replacement_delay_us", std::to_string(config.device_replacement_delay.micros()));
+  add("area_side_m", std::to_string(config.area_side_m));
+  add("hotspot_replacement_prob", std::to_string(config.hotspot_replacement_prob));
+  add("hotspot_replacement_mean_us", std::to_string(config.hotspot_replacement_mean.micros()));
+  return text;
+}
+
 }  // namespace
 
 FiftyYearReport RunFiftyYearExperiment(const FiftyYearConfig& config) {
   Simulation sim(config.seed);
   sim.trace().set_min_level(TraceLevel::kMaintenance);
+
+  // Observability: attach the caller's registry/profiler, or create local
+  // ones when artifacts were requested so the files are still complete.
+  // This must happen before components are constructed — they grab their
+  // instruments from the registry in their constructors.
+  const bool want_artifacts = !config.artifacts_dir.empty();
+  std::unique_ptr<MetricsRegistry> local_metrics;
+  std::unique_ptr<SchedulerProfiler> local_profiler;
+  MetricsRegistry* metrics = config.metrics;
+  SchedulerProfiler* profiler = config.profiler;
+  if (metrics == nullptr && want_artifacts) {
+    local_metrics = std::make_unique<MetricsRegistry>();
+    metrics = local_metrics.get();
+  }
+  if (profiler == nullptr && want_artifacts) {
+    local_profiler = std::make_unique<SchedulerProfiler>();
+    profiler = local_profiler.get();
+  }
+  sim.SetMetrics(metrics);
+  sim.scheduler().SetProfiler(profiler);
+
   RandomStream layout_rng = sim.StreamFor(0x6c61796f7574ULL);
 
   CloudEndpoint endpoint;
@@ -63,6 +120,7 @@ FiftyYearReport RunFiftyYearExperiment(const FiftyYearConfig& config) {
   // LoRaWAN network server: hotspots forward copies, the server dedups;
   // with multi-buy = 1 (below) only the first copy is purchased.
   NetworkServer network_server(&endpoint);
+  network_server.BindMetrics(metrics);
   fabric.SetNetworkServer(&network_server);
 
   // Batch provisioning secret: every device signs, the endpoint verifies.
@@ -181,10 +239,13 @@ FiftyYearReport RunFiftyYearExperiment(const FiftyYearConfig& config) {
       ++report.device_failures;
       report.device_survival.Observe(at - failed.deployed_at(), /*failed=*/true);
       if (config.replace_failed_devices) {
-        sim.scheduler().ScheduleAfter(config.device_replacement_delay, [&report, &failed] {
-          ++report.device_replacements;
-          failed.ReplaceUnit();
-        });
+        sim.scheduler().ScheduleAfter(
+            config.device_replacement_delay,
+            [&report, &failed] {
+              ++report.device_replacements;
+              failed.ReplaceUnit();
+            },
+            "device.replacement");
       }
     });
     dev->Deploy();
@@ -192,7 +253,10 @@ FiftyYearReport RunFiftyYearExperiment(const FiftyYearConfig& config) {
   }
 
   // --- Run ---
+  const auto wall_start = std::chrono::steady_clock::now();
   sim.RunUntil(config.horizon);
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
 
   // --- Harvest results ---
   report.weekly_uptime = endpoint.WeeklyUptime(config.horizon);
@@ -257,6 +321,44 @@ FiftyYearReport RunFiftyYearExperiment(const FiftyYearConfig& config) {
   const ExperimentDiary diary = ExperimentDiary::FromTrace(sim.trace());
   report.diary_decades = diary.ByDecade();
   report.diary_entries = diary.entries();
+
+  // --- Run artifacts ---
+  if (profiler != nullptr && metrics != nullptr) {
+    profiler->ExportTo(*metrics);
+  }
+  if (want_artifacts) {
+    std::error_code ec;
+    std::filesystem::create_directories(config.artifacts_dir, ec);
+    const std::string dir = config.artifacts_dir + "/";
+
+    RunManifest manifest;
+    manifest.run_name = config.run_name;
+    manifest.seed = config.seed;
+    manifest.config_digest = ConfigDigest(FlattenConfig(config));
+    manifest.horizon = config.horizon;
+    manifest.wall_seconds = report.wall_seconds;
+    manifest.events_executed = report.events_executed;
+    manifest.AddExtra("devices", std::to_string(total_devices));
+    manifest.AddExtra("weekly_uptime", std::to_string(report.weekly_uptime));
+    if (manifest.WriteFile(dir + "manifest.json")) {
+      report.manifest_path = dir + "manifest.json";
+    }
+    if (metrics != nullptr &&
+        WriteMetricsJsonlFile(*metrics, dir + "metrics.jsonl")) {
+      report.metrics_path = dir + "metrics.jsonl";
+    }
+    if (profiler != nullptr) {
+      ChromeTraceWriter trace_writer("centsim:" + config.run_name);
+      trace_writer.AddProfile(*profiler);
+      if (trace_writer.WriteFile(dir + "trace.json")) {
+        report.trace_path = dir + "trace.json";
+      }
+    }
+  }
+
+  // Detach before the local registry/profiler (and sim) go out of scope.
+  sim.scheduler().SetProfiler(nullptr);
+  sim.SetMetrics(nullptr);
 
   return report;
 }

@@ -14,6 +14,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/core/hierarchy.h"
@@ -21,6 +22,8 @@
 #include "src/mgmt/maintenance.h"
 #include "src/net/packet.h"
 #include "src/reliability/survival.h"
+#include "src/sim/metrics.h"
+#include "src/sim/profiler.h"
 #include "src/sim/time.h"
 
 namespace centsim {
@@ -42,6 +45,16 @@ struct FiftyYearConfig {
   // and how long that takes. This is the "risk" half of §4.2's hedge.
   double hotspot_replacement_prob = 0.7;
   SimTime hotspot_replacement_mean = SimTime::Days(60);
+
+  // --- Observability (all optional) ---
+  // External registry/profiler to attach; when null but `artifacts_dir` is
+  // set, the run creates its own so the artifacts are still complete.
+  MetricsRegistry* metrics = nullptr;
+  SchedulerProfiler* profiler = nullptr;
+  // When non-empty, the run writes manifest.json, metrics.jsonl, and
+  // trace.json (Chrome trace-event / Perfetto) into this directory.
+  std::string artifacts_dir;
+  std::string run_name = "fifty_year";
 };
 
 // Per-path (per-radio-technology) results.
@@ -103,6 +116,12 @@ struct FiftyYearReport {
   std::vector<DiaryEntry> diary_entries;
 
   uint64_t events_executed = 0;
+  double wall_seconds = 0.0;
+
+  // Paths written when FiftyYearConfig::artifacts_dir was set (else empty).
+  std::string manifest_path;
+  std::string metrics_path;
+  std::string trace_path;
 };
 
 FiftyYearReport RunFiftyYearExperiment(const FiftyYearConfig& config);

@@ -19,7 +19,17 @@ uint64_t LinkSeed(uint64_t sim_seed, uint32_t device_id, uint32_t gateway_id) {
 NetworkFabric::NetworkFabric(Simulation& sim)
     : sim_(sim),
       pl_802154_(PathLossModel::Urban24GHz()),
-      pl_lora_(PathLossModel::Urban915MHz()) {}
+      pl_lora_(PathLossModel::Urban915MHz()) {
+  for (size_t t = 0; t < outcome_metrics_.size(); ++t) {
+    const char* tech = RadioTechName(static_cast<RadioTech>(t));
+    for (int i = 0; i < kDeliveryOutcomeCount; ++i) {
+      outcome_metrics_[t][i] = sim_.MetricCounter(
+          "uplink.outcomes",
+          MetricLabels{{"tech", tech},
+                       {"outcome", DeliveryOutcomeName(static_cast<DeliveryOutcome>(i))}});
+    }
+  }
+}
 
 void NetworkFabric::SetPathLoss(RadioTech tech, PathLossModel model) {
   if (tech == RadioTech::k802154) {
@@ -63,6 +73,7 @@ DeliveryOutcome NetworkFabric::AttemptUplink(const UplinkPacket& packet,
   ++attempts_;
   auto finish = [&](DeliveryOutcome outcome) {
     ++outcome_counts_[static_cast<size_t>(outcome)];
+    MetricInc(outcome_metrics_[static_cast<size_t>(packet.tech)][static_cast<size_t>(outcome)]);
     return outcome;
   };
 

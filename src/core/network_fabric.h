@@ -87,6 +87,9 @@ class NetworkFabric {
   double offered_pph_lora_ = 0.0;
   uint64_t attempts_ = 0;
   std::array<uint64_t, kDeliveryOutcomeCount> outcome_counts_{};
+  // Per-tech x per-outcome counters (uplink.outcomes{tech,outcome}),
+  // pre-created in the constructor; all null without a registry.
+  std::array<std::array<Counter*, kDeliveryOutcomeCount>, 2> outcome_metrics_{};
 };
 
 }  // namespace centsim

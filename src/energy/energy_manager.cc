@@ -11,6 +11,12 @@ EnergyManager::EnergyManager(std::unique_ptr<Harvester> harvester, EnergyStorage
   assert(harvester_ != nullptr);
 }
 
+void EnergyManager::BindMetrics(Counter* granted, Counter* denied, HistogramMetric* harvest_j) {
+  granted_metric_ = granted;
+  denied_metric_ = denied;
+  harvest_metric_ = harvest_j;
+}
+
 double EnergyManager::SustainableTxPerDay() const {
   // Mean harvest over a representative year, discounted by charge
   // efficiency since everything round-trips through storage.
@@ -40,6 +46,7 @@ void EnergyManager::AdvanceTo(SimTime now) {
   const double span_s = (now - last_advance_).ToSeconds();
   // Harvest in (through charge efficiency, applied by Store).
   const double harvested = harvester_->EnergyOver(last_advance_, now);
+  MetricObserve(harvest_metric_, harvested);
   // Leakage/aging first (on the pre-harvest charge), then bank the new
   // energy, then pay the sleep floor. Ordering bias is negligible at the
   // event granularity we run (minutes to weeks).
@@ -54,10 +61,12 @@ bool EnergyManager::TryTransmit(SimTime now) {
   const double need = load_.tx_energy_j + load_.brownout_reserve_j;
   if (storage_.charge_j() < need) {
     ++tx_denied_;
+    MetricInc(denied_metric_);
     return false;
   }
   storage_.Draw(load_.tx_energy_j);
   ++tx_granted_;
+  MetricInc(granted_metric_);
   return true;
 }
 

@@ -17,6 +17,7 @@
 
 #include "src/energy/harvester.h"
 #include "src/energy/storage.h"
+#include "src/sim/metrics.h"
 #include "src/sim/time.h"
 
 namespace centsim {
@@ -55,6 +56,10 @@ class EnergyManager {
   // apart from the advance).
   bool TryTransmit(SimTime now);
 
+  // Attaches shared instruments (typically per-tech): grant/deny counters
+  // and a per-advance harvested-joules histogram. Any may be null.
+  void BindMetrics(Counter* granted, Counter* denied, HistogramMetric* harvest_j);
+
   // Estimate of when the storage will next hold `joules` above the reserve,
   // assuming average harvest conditions. Never less than `now`.
   SimTime EstimateNextAffordable(SimTime now, double joules) const;
@@ -72,6 +77,9 @@ class EnergyManager {
   SimTime last_advance_;
   uint64_t tx_granted_ = 0;
   uint64_t tx_denied_ = 0;
+  Counter* granted_metric_ = nullptr;
+  Counter* denied_metric_ = nullptr;
+  HistogramMetric* harvest_metric_ = nullptr;
 };
 
 }  // namespace centsim

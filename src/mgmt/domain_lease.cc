@@ -8,7 +8,8 @@ DomainLease::DomainLease(Simulation& sim, CloudEndpoint& endpoint, DomainLeasePa
     : sim_(sim), endpoint_(endpoint), params_(params), rng_(sim.StreamFor(0x646f6d61696eULL)) {}
 
 void DomainLease::Start() {
-  sim_.scheduler().ScheduleAfter(params_.lease_period, [this] { OnRenewalDue(); });
+  sim_.scheduler().ScheduleAfter(params_.lease_period, [this] { OnRenewalDue(); },
+                                 "domain.renewal");
 }
 
 double DomainLease::EffectiveLapseProbability() const {
@@ -24,20 +25,31 @@ void DomainLease::OnRenewalDue() {
   if (rng_.NextBool(EffectiveLapseProbability())) {
     ++lapses_;
     endpoint_.SetOperational(false);
-    sim_.Fail("domain", "lease expired unrenewed; endpoint dark");
-    sim_.scheduler().ScheduleAfter(params_.lapse_recovery, [this] {
-      endpoint_.SetOperational(true);
-      fees_usd_ += params_.renewal_fee_usd;
-      ++renewals_;
-      sim_.Maint("domain", "domain recovered and re-registered");
-      sim_.scheduler().ScheduleAfter(params_.lease_period, [this] { OnRenewalDue(); });
-    });
+    if (sim_.TraceEnabled(TraceLevel::kFailure)) {
+      sim_.Fail("domain", "lease expired unrenewed; endpoint dark");
+    }
+    sim_.scheduler().ScheduleAfter(
+        params_.lapse_recovery,
+        [this] {
+          endpoint_.SetOperational(true);
+          fees_usd_ += params_.renewal_fee_usd;
+          ++renewals_;
+          if (sim_.TraceEnabled(TraceLevel::kMaintenance)) {
+            sim_.Maint("domain", "domain recovered and re-registered");
+          }
+          sim_.scheduler().ScheduleAfter(params_.lease_period, [this] { OnRenewalDue(); },
+                                         "domain.renewal");
+        },
+        "domain.recovery");
     return;
   }
   ++renewals_;
   fees_usd_ += params_.renewal_fee_usd;
-  sim_.Maint("domain", "lease renewed for another period");
-  sim_.scheduler().ScheduleAfter(params_.lease_period, [this] { OnRenewalDue(); });
+  if (sim_.TraceEnabled(TraceLevel::kMaintenance)) {
+    sim_.Maint("domain", "lease renewed for another period");
+  }
+  sim_.scheduler().ScheduleAfter(params_.lease_period, [this] { OnRenewalDue(); },
+                                 "domain.renewal");
 }
 
 }  // namespace centsim

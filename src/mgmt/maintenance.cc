@@ -5,17 +5,27 @@
 namespace centsim {
 
 MaintenanceCrew::MaintenanceCrew(Simulation& sim, MaintenancePolicy policy)
-    : sim_(sim), policy_(policy), rng_(sim.StreamFor(0x6d61696e74ULL)) {}
+    : sim_(sim), policy_(policy), rng_(sim.StreamFor(0x6d61696e74ULL)) {
+  repairs_metric_ = sim_.MetricCounter("maintenance.repairs");
+  refused_metric_ = sim_.MetricCounter("maintenance.refused");
+  deferred_metric_ = sim_.MetricCounter("maintenance.deferred");
+  labor_hours_metric_ = sim_.MetricCounter("maintenance.labor_hours");
+  repair_hours_metric_ = sim_.MetricHistogram("maintenance.repair_hours");
+}
 
 SimTime MaintenanceCrew::RequestRepair(SimTime fail_time) {
   if (!policy_.enabled) {
     ++refused_;
+    MetricInc(refused_metric_);
     return SimTime::Max();
   }
   const double repair_hours = rng_.Exponential(policy_.mean_repair.ToHours());
   if (repair_hours > policy_.annual_budget_hours) {
     ++refused_;
-    sim_.Warn("maintenance", "repair refused: exceeds a full annual budget");
+    MetricInc(refused_metric_);
+    if (sim_.TraceEnabled(TraceLevel::kWarning)) {
+      sim_.Warn("maintenance", "repair refused: exceeds a full annual budget");
+    }
     return SimTime::Max();
   }
   // Deferred maintenance: walk forward to the first year with headroom.
@@ -29,13 +39,19 @@ SimTime MaintenanceCrew::RequestRepair(SimTime fail_time) {
       break;
     }
     ++deferred_;
+    MetricInc(deferred_metric_);
     ++year;
     start = SimTime::Years(year);
-    sim_.Warn("maintenance", "annual budget exhausted; repair deferred to next year");
+    if (sim_.TraceEnabled(TraceLevel::kWarning)) {
+      sim_.Warn("maintenance", "annual budget exhausted; repair deferred to next year");
+    }
   }
   hours_by_year_[year] += repair_hours;
   total_hours_ += repair_hours;
   ++repairs_;
+  MetricInc(repairs_metric_);
+  MetricInc(labor_hours_metric_, repair_hours);
+  MetricObserve(repair_hours_metric_, repair_hours);
   const SimTime response = SimTime::Hours(rng_.Exponential(policy_.mean_response.ToHours()));
   return start + response + SimTime::Hours(repair_hours);
 }

@@ -51,6 +51,11 @@ class MaintenanceCrew {
   Simulation& sim_;
   MaintenancePolicy policy_;
   RandomStream rng_;
+  Counter* repairs_metric_ = nullptr;
+  Counter* refused_metric_ = nullptr;
+  Counter* deferred_metric_ = nullptr;
+  Counter* labor_hours_metric_ = nullptr;
+  HistogramMetric* repair_hours_metric_ = nullptr;
   uint64_t repairs_ = 0;
   uint64_t refused_ = 0;
   uint64_t deferred_ = 0;

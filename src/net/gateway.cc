@@ -6,12 +6,20 @@ Gateway::Gateway(Simulation& sim, GatewayConfig config, SeriesSystem hardware)
     : sim_(sim),
       config_(std::move(config)),
       hardware_(std::move(hardware)),
-      rng_(sim.StreamFor(0x6757000000000000ULL ^ config_.id)) {}
+      rng_(sim.StreamFor(0x6757000000000000ULL ^ config_.id)) {
+  const MetricLabels labels{{"tech", RadioTechName(config_.tech)}};
+  forwarded_metric_ = sim_.MetricCounter("gateway.forwarded", labels);
+  rejected_metric_ = sim_.MetricCounter("gateway.rejected", labels);
+  failures_metric_ = sim_.MetricCounter("gateway.failures", labels);
+  outage_hours_metric_ = sim_.MetricHistogram("gateway.outage_hours", labels);
+}
 
 void Gateway::Deploy() {
   operational_ = true;
   decommissioned_ = false;
-  sim_.Info(config_.name, "deployed");
+  if (sim_.TraceEnabled(TraceLevel::kInfo)) {
+    sim_.Info(config_.name, "deployed");
+  }
   ScheduleNextFailure();
 }
 
@@ -25,63 +33,86 @@ void Gateway::Decommission(const std::string& reason) {
   }
   operational_ = false;
   decommissioned_ = true;
-  sim_.Warn(config_.name, "decommissioned: " + reason);
+  if (sim_.TraceEnabled(TraceLevel::kWarning)) {
+    sim_.Warn(config_.name, "decommissioned: " + reason);
+  }
 }
 
 void Gateway::ScheduleNextFailure() {
   const auto draw = hardware_.SampleLife(rng_);
-  pending_event_ = sim_.scheduler().ScheduleAfter(draw.life, [this, draw] {
-    pending_event_ = kInvalidEventId;
-    sim_.Fail(config_.name,
-              std::string("hardware failure: ") +
-                  (draw.failing_component != SIZE_MAX
-                       ? hardware_.components()[draw.failing_component].name
-                       : "unknown"));
-    OnFailure();
-  });
+  pending_event_ = sim_.scheduler().ScheduleAfter(
+      draw.life,
+      [this, draw] {
+        pending_event_ = kInvalidEventId;
+        if (sim_.TraceEnabled(TraceLevel::kFailure)) {
+          sim_.Fail(config_.name,
+                    std::string("hardware failure: ") +
+                        (draw.failing_component != SIZE_MAX
+                             ? hardware_.components()[draw.failing_component].name
+                             : "unknown"));
+        }
+        OnFailure();
+      },
+      "gateway.failure");
 }
 
 void Gateway::OnFailure() {
   ++failures_;
+  MetricInc(failures_metric_);
   operational_ = false;
   down_since_ = sim_.Now();
   const SimTime repaired_at =
       repair_policy_ ? repair_policy_(sim_.Now()) : SimTime::Max();
   if (repaired_at == SimTime::Max()) {
-    sim_.Warn(config_.name, "no repair scheduled; gateway abandoned");
+    if (sim_.TraceEnabled(TraceLevel::kWarning)) {
+      sim_.Warn(config_.name, "no repair scheduled; gateway abandoned");
+    }
     return;
   }
-  pending_event_ = sim_.scheduler().ScheduleAt(repaired_at, [this] {
-    pending_event_ = kInvalidEventId;
-    accumulated_downtime_ += sim_.Now() - down_since_;
-    operational_ = true;
-    sim_.Maint(config_.name, "repaired and back in service");
-    ScheduleNextFailure();
-  });
+  pending_event_ = sim_.scheduler().ScheduleAt(
+      repaired_at,
+      [this] {
+        pending_event_ = kInvalidEventId;
+        const SimTime outage = sim_.Now() - down_since_;
+        accumulated_downtime_ += outage;
+        MetricObserve(outage_hours_metric_, outage.ToHours());
+        operational_ = true;
+        if (sim_.TraceEnabled(TraceLevel::kMaintenance)) {
+          sim_.Maint(config_.name, "repaired and back in service");
+        }
+        ScheduleNextFailure();
+      },
+      "gateway.repair");
 }
 
 DeliveryOutcome Gateway::Accept(const UplinkPacket& packet, const std::string& device_vendor) {
   if (!operational()) {
     ++rejected_;
+    MetricInc(rejected_metric_);
     return DeliveryOutcome::kGatewayDown;
   }
   if (config_.vendor_locked && device_vendor != config_.vendor) {
     ++rejected_;
+    MetricInc(rejected_metric_);
     return DeliveryOutcome::kGatewayDown;  // Invisible to foreign devices.
   }
   if (blocklist_ != nullptr && blocklist_->IsBlocked(packet.device_id)) {
     ++rejected_;
+    MetricInc(rejected_metric_);
     return DeliveryOutcome::kBlocklisted;
   }
   if (payment_hook_ && !payment_hook_(packet)) {
     ++rejected_;
+    MetricInc(rejected_metric_);
     return DeliveryOutcome::kNoCredits;
   }
   if (backhaul_ == nullptr || !backhaul_->Deliver(packet, sim_.Now())) {
     ++rejected_;
+    MetricInc(rejected_metric_);
     return DeliveryOutcome::kBackhaulDown;
   }
   ++forwarded_;
+  MetricInc(forwarded_metric_);
   return DeliveryOutcome::kDelivered;
 }
 

@@ -92,6 +92,12 @@ class Gateway {
   SimTime down_since_;
   SimTime accumulated_downtime_;
   EventId pending_event_ = kInvalidEventId;
+
+  // Shared per-tech instruments; null when no registry is attached.
+  Counter* forwarded_metric_ = nullptr;
+  Counter* rejected_metric_ = nullptr;
+  Counter* failures_metric_ = nullptr;
+  HistogramMetric* outage_hours_metric_ = nullptr;
 };
 
 }  // namespace centsim

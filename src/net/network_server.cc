@@ -2,11 +2,28 @@
 
 namespace centsim {
 
+void NetworkServer::BindMetrics(MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    forwarded_metric_ = nullptr;
+    duplicates_metric_ = nullptr;
+    witnesses_metric_ = nullptr;
+    return;
+  }
+  forwarded_metric_ = registry->GetCounter("ns.frames_forwarded");
+  duplicates_metric_ = registry->GetCounter("ns.duplicates_suppressed");
+  witnesses_metric_ = registry->GetHistogram("ns.witnesses");
+}
+
 void NetworkServer::EvictExpired(SimTime now) {
   while (!order_.empty() &&
          (now - order_.front().first > params_.dedup_window ||
           frames_.size() > params_.max_tracked)) {
-    frames_.erase(order_.front().second);
+    auto it = frames_.find(order_.front().second);
+    if (it != frames_.end()) {
+      // Witness count is final once the dedup window closes.
+      MetricObserve(witnesses_metric_, static_cast<double>(it->second.witnesses));
+      frames_.erase(it);
+    }
     order_.pop_front();
   }
 }
@@ -29,6 +46,7 @@ NetworkServer::IngestResult NetworkServer::Ingest(const UplinkPacket& packet,
     best_gateway_by_device_[packet.device_id] = gateway_id;
     ++forwarded_;
     ++witness_total_;
+    MetricInc(forwarded_metric_);
     result.first_copy = true;
     result.witnesses = 1;
     if (endpoint_ != nullptr) {
@@ -40,6 +58,7 @@ NetworkServer::IngestResult NetworkServer::Ingest(const UplinkPacket& packet,
   ++state.witnesses;
   ++witness_total_;
   ++duplicates_;
+  MetricInc(duplicates_metric_);
   if (rx_power_dbm > state.best_rx_dbm) {
     state.best_rx_dbm = rx_power_dbm;
     state.best_gateway = gateway_id;

@@ -19,6 +19,7 @@
 
 #include "src/net/cloud_endpoint.h"
 #include "src/net/packet.h"
+#include "src/sim/metrics.h"
 #include "src/sim/time.h"
 
 namespace centsim {
@@ -39,6 +40,10 @@ class NetworkServer {
       : endpoint_(endpoint), params_(params) {}
 
   void SetEndpoint(CloudEndpoint* endpoint) { endpoint_ = endpoint; }
+
+  // Publishes ingest activity to `registry` (counters ns.frames_forwarded
+  // and ns.duplicates_suppressed, histogram ns.witnesses). Null detaches.
+  void BindMetrics(MetricsRegistry* registry);
 
   struct IngestResult {
     bool first_copy = false;     // This copy was forwarded upstream.
@@ -86,6 +91,10 @@ class NetworkServer {
   uint64_t forwarded_ = 0;
   uint64_t duplicates_ = 0;
   uint64_t witness_total_ = 0;
+
+  Counter* forwarded_metric_ = nullptr;
+  Counter* duplicates_metric_ = nullptr;
+  HistogramMetric* witnesses_metric_ = nullptr;
 };
 
 }  // namespace centsim

@@ -21,11 +21,13 @@ bool SharedMedium::Delivered(const Transmission& tx, double capture_margin_db) c
       interference_mw += DbmToMilliwatts(other.rx_power_dbm);
     }
   }
-  if (interference_mw <= 0.0) {
-    return true;
+  bool delivered = true;
+  if (interference_mw > 0.0) {
+    const double margin = tx.rx_power_dbm - MilliwattsToDbm(interference_mw);
+    delivered = margin >= capture_margin_db;
   }
-  const double margin = tx.rx_power_dbm - MilliwattsToDbm(interference_mw);
-  return margin >= capture_margin_db;
+  MetricInc(delivered ? delivered_metric_ : lost_metric_);
+  return delivered;
 }
 
 void SharedMedium::ExpireBefore(SimTime t) {

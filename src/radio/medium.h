@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/radio/link_budget.h"
+#include "src/sim/metrics.h"
 #include "src/sim/time.h"
 
 namespace centsim {
@@ -48,8 +49,17 @@ class SharedMedium {
 
   size_t active_count() const { return active_.size(); }
 
+  // Attaches delivered/lost counters (e.g. medium.delivered{tech},
+  // medium.lost{tech}); incremented by Delivered(). Either may be null.
+  void BindMetrics(Counter* delivered, Counter* lost) {
+    delivered_metric_ = delivered;
+    lost_metric_ = lost;
+  }
+
  private:
   std::deque<Transmission> active_;
+  Counter* delivered_metric_ = nullptr;
+  Counter* lost_metric_ = nullptr;
 };
 
 // Pure ALOHA success probability: P = exp(-2 G) for normalized offered

@@ -1,0 +1,152 @@
+#include "src/sim/metrics.h"
+
+#include <algorithm>
+
+namespace centsim {
+
+MetricLabels::MetricLabels(std::initializer_list<std::pair<std::string, std::string>> kv) {
+  for (const auto& [k, v] : kv) {
+    Set(k, v);
+  }
+}
+
+void MetricLabels::Set(std::string key, std::string value) {
+  auto it = std::lower_bound(kv_.begin(), kv_.end(), key,
+                             [](const auto& pair, const std::string& k) { return pair.first < k; });
+  if (it != kv_.end() && it->first == key) {
+    it->second = std::move(value);
+    return;
+  }
+  kv_.insert(it, {std::move(key), std::move(value)});
+}
+
+std::string MetricLabels::ToString() const {
+  std::string out;
+  for (const auto& [k, v] : kv_) {
+    if (!out.empty()) {
+      out += ',';
+    }
+    out += k;
+    out += '=';
+    out += v;
+  }
+  return out;
+}
+
+void HistogramMetric::Merge(const HistogramMetric& other) {
+  stats_.Merge(other.stats_);
+  if (bins_ && other.bins_) {
+    bins_->Merge(*other.bins_);
+  }
+}
+
+namespace {
+
+std::string InstrumentKey(std::string_view name, const MetricLabels& labels) {
+  std::string key(name);
+  key += '|';
+  key += labels.ToString();
+  return key;
+}
+
+}  // namespace
+
+template <typename T>
+T* MetricsRegistry::Family<T>::FindOrCreate(std::string_view name, MetricLabels labels) {
+  const std::string key = InstrumentKey(name, labels);
+  auto it = index.find(key);
+  if (it != index.end()) {
+    return entries[it->second].instrument.get();
+  }
+  entries.push_back({std::string(name), std::move(labels), std::make_unique<T>()});
+  index.emplace(key, entries.size() - 1);
+  return entries.back().instrument.get();
+}
+
+template <typename T>
+T* MetricsRegistry::Family<T>::Find(std::string_view name, const MetricLabels& labels) const {
+  auto it = index.find(InstrumentKey(name, labels));
+  return it == index.end() ? nullptr : entries[it->second].instrument.get();
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name, MetricLabels labels) {
+  return counters_.FindOrCreate(name, std::move(labels));
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name, MetricLabels labels) {
+  return gauges_.FindOrCreate(name, std::move(labels));
+}
+
+HistogramMetric* MetricsRegistry::GetHistogram(std::string_view name, MetricLabels labels) {
+  return histograms_.FindOrCreate(name, std::move(labels));
+}
+
+HistogramMetric* MetricsRegistry::GetHistogram(std::string_view name, MetricLabels labels,
+                                               double lo, double hi, uint32_t bins) {
+  const std::string key = InstrumentKey(name, labels);
+  auto it = histograms_.index.find(key);
+  if (it != histograms_.index.end()) {
+    return histograms_.entries[it->second].instrument.get();
+  }
+  histograms_.entries.push_back(
+      {std::string(name), std::move(labels), std::make_unique<HistogramMetric>(lo, hi, bins)});
+  histograms_.index.emplace(key, histograms_.entries.size() - 1);
+  return histograms_.entries.back().instrument.get();
+}
+
+const Counter* MetricsRegistry::FindCounter(std::string_view name,
+                                            const MetricLabels& labels) const {
+  return counters_.Find(name, labels);
+}
+
+const Gauge* MetricsRegistry::FindGauge(std::string_view name, const MetricLabels& labels) const {
+  return gauges_.Find(name, labels);
+}
+
+const HistogramMetric* MetricsRegistry::FindHistogram(std::string_view name,
+                                                      const MetricLabels& labels) const {
+  return histograms_.Find(name, labels);
+}
+
+void MetricsRegistry::VisitCounters(
+    const std::function<void(const std::string&, const MetricLabels&, const Counter&)>& fn) const {
+  for (const auto& entry : counters_.entries) {
+    fn(entry.name, entry.labels, *entry.instrument);
+  }
+}
+
+void MetricsRegistry::VisitGauges(
+    const std::function<void(const std::string&, const MetricLabels&, const Gauge&)>& fn) const {
+  for (const auto& entry : gauges_.entries) {
+    fn(entry.name, entry.labels, *entry.instrument);
+  }
+}
+
+void MetricsRegistry::VisitHistograms(
+    const std::function<void(const std::string&, const MetricLabels&, const HistogramMetric&)>& fn)
+    const {
+  for (const auto& entry : histograms_.entries) {
+    fn(entry.name, entry.labels, *entry.instrument);
+  }
+}
+
+void MetricsRegistry::Merge(const MetricsRegistry& other) {
+  for (const auto& entry : other.counters_.entries) {
+    GetCounter(entry.name, entry.labels)->Increment(entry.instrument->value());
+  }
+  for (const auto& entry : other.gauges_.entries) {
+    GetGauge(entry.name, entry.labels)->Set(entry.instrument->value());
+  }
+  for (const auto& entry : other.histograms_.entries) {
+    HistogramMetric* mine;
+    if (const Histogram* bins = entry.instrument->bins()) {
+      mine = GetHistogram(entry.name, entry.labels, bins->BinLow(0), bins->BinHigh(bins->num_bins() - 1),
+                          bins->num_bins());
+    } else {
+      mine = GetHistogram(entry.name, entry.labels);
+    }
+    mine->Merge(*entry.instrument);
+  }
+}
+
+}  // namespace centsim

@@ -1,0 +1,101 @@
+#include "src/sim/profiler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+
+#include "src/sim/metrics.h"
+
+namespace centsim {
+
+namespace {
+uint64_t SteadyNowNs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+}  // namespace
+
+SchedulerProfiler::SchedulerProfiler() : SchedulerProfiler(Options()) {}
+
+SchedulerProfiler::SchedulerProfiler(Options options)
+    : options_(options),
+      time_countdown_(options.time_sample_every),
+      depth_countdown_(options.queue_depth_sample_every),
+      epoch_ns_(SteadyNowNs()) {}
+
+uint64_t SchedulerProfiler::NowNs() const { return SteadyNowNs(); }
+
+SchedulerProfiler::CategoryCell& SchedulerProfiler::CellFor(const char* category) {
+  if (category == last_category_ && last_cell_ != nullptr) {
+    return *last_cell_;
+  }
+  auto [it, inserted] = cells_.try_emplace(category);
+  if (inserted) {
+    it->second.category = category;
+  }
+  last_category_ = category;
+  last_cell_ = &it->second;
+  return it->second;
+}
+
+void SchedulerProfiler::EndEventSlow(const char* category, SimTime at, bool timed,
+                                     uint64_t t0_ns, uint64_t t1_ns) {
+  CategoryCell& cell = CellFor(category);
+  ++cell.count;
+  if (timed) {
+    const uint64_t dur = t1_ns > t0_ns ? t1_ns - t0_ns : 0;
+    ++cell.timed_count;
+    cell.timed_wall_ns += static_cast<double>(dur);
+    cell.wall_ns.Add(static_cast<double>(dur));
+    if (spans_.size() < options_.max_spans) {
+      spans_.push_back(Span{category, at, t0_ns - epoch_ns_, dur});
+    }
+  }
+}
+
+void SchedulerProfiler::RecordDepth(SimTime at, uint64_t queue_depth) {
+  depth_samples_.push_back(DepthSample{at, queue_depth, event_index_});
+}
+
+std::vector<SchedulerProfiler::CategorySnapshot> SchedulerProfiler::Categories() const {
+  // Merge cells whose literals have equal text but distinct addresses.
+  std::map<std::string, CategorySnapshot> merged;
+  for (const auto& [ptr, cell] : cells_) {
+    CategorySnapshot& snap = merged[cell.category];
+    snap.category = cell.category;
+    snap.count += cell.count;
+    snap.timed_count += cell.timed_count;
+    snap.wall_ns_estimate += cell.timed_count > 0
+                                 ? cell.timed_wall_ns * static_cast<double>(cell.count) /
+                                       static_cast<double>(cell.timed_count)
+                                 : 0.0;
+    snap.wall_ns.Merge(cell.wall_ns);
+  }
+  std::vector<CategorySnapshot> out;
+  out.reserve(merged.size());
+  for (auto& [name, snap] : merged) {
+    out.push_back(std::move(snap));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CategorySnapshot& a, const CategorySnapshot& b) { return a.count > b.count; });
+  return out;
+}
+
+void SchedulerProfiler::ExportTo(MetricsRegistry& registry) const {
+  for (const CategorySnapshot& snap : Categories()) {
+    MetricLabels labels{{"category", snap.category}};
+    registry.GetCounter("sched.events", labels)->Increment(static_cast<double>(snap.count));
+    registry.GetHistogram("sched.event_wall_ns", labels)->MergeStats(snap.wall_ns);
+    registry.GetCounter("sched.event_wall_ns_total", labels)->Increment(snap.wall_ns_estimate);
+  }
+  uint64_t peak = 0;
+  for (const DepthSample& s : depth_samples_) {
+    peak = std::max(peak, s.depth);
+  }
+  registry.GetGauge("sched.queue_depth_peak")->Set(static_cast<double>(peak));
+  registry.GetCounter("sched.events_total")
+      ->Increment(static_cast<double>(events_recorded()));
+}
+
+}  // namespace centsim

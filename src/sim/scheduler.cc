@@ -4,16 +4,16 @@
 
 namespace centsim {
 
-EventId Scheduler::ScheduleAt(SimTime at, std::function<void()> fn) {
+EventId Scheduler::ScheduleAt(SimTime at, std::function<void()> fn, const char* category) {
   assert(at >= now_);
   const EventId id = next_id_++;
   heap_.push(Entry{at, id});
-  actions_.emplace(id, std::move(fn));
+  actions_.emplace(id, Action{std::move(fn), category});
   return id;
 }
 
-EventId Scheduler::ScheduleAfter(SimTime delay, std::function<void()> fn) {
-  return ScheduleAt(now_ + delay, std::move(fn));
+EventId Scheduler::ScheduleAfter(SimTime delay, std::function<void()> fn, const char* category) {
+  return ScheduleAt(now_ + delay, std::move(fn), category);
 }
 
 bool Scheduler::Cancel(EventId id) {
@@ -44,10 +44,23 @@ void Scheduler::RunTop() {
   auto it = actions_.find(top.id);
   assert(it != actions_.end());
   // Move the closure out before running: the action may schedule/cancel.
-  std::function<void()> fn = std::move(it->second);
+  std::function<void()> fn = std::move(it->second.fn);
+  const char* category = it->second.category;
   actions_.erase(it);
   ++executed_;
+  if (profiler_ == nullptr) {
+    fn();
+    return;
+  }
+  const bool timed = profiler_->BeginEvent();
+  const uint64_t t0 = timed ? profiler_->NowNs() : 0;
   fn();
+  const uint64_t t1 = timed ? profiler_->NowNs() : 0;
+  profiler_->EndEvent(category != nullptr ? category : kDefaultEventCategory, top.at, timed, t0,
+                      t1);
+  if (profiler_->DepthSampleDue()) {
+    profiler_->RecordDepth(top.at, pending_count());
+  }
 }
 
 bool Scheduler::Step() {
@@ -75,15 +88,16 @@ uint64_t Scheduler::RunUntil(SimTime horizon) {
   return ran;
 }
 
-PeriodicEvent::PeriodicEvent(Scheduler& sched, SimTime period, std::function<void()> fn)
-    : sched_(sched), period_(period), fn_(std::move(fn)) {}
+PeriodicEvent::PeriodicEvent(Scheduler& sched, SimTime period, std::function<void()> fn,
+                             const char* category)
+    : sched_(sched), period_(period), fn_(std::move(fn)), category_(category) {}
 
 PeriodicEvent::~PeriodicEvent() { Stop(); }
 
 void PeriodicEvent::Start(SimTime first_delay) {
   Stop();
   running_ = true;
-  pending_ = sched_.ScheduleAfter(first_delay, [this] { Fire(); });
+  pending_ = sched_.ScheduleAfter(first_delay, [this] { Fire(); }, category_);
 }
 
 void PeriodicEvent::Stop() {
@@ -95,7 +109,7 @@ void PeriodicEvent::Stop() {
 }
 
 void PeriodicEvent::Fire() {
-  pending_ = sched_.ScheduleAfter(period_, [this] { Fire(); });
+  pending_ = sched_.ScheduleAfter(period_, [this] { Fire(); }, category_);
   fn_();
 }
 

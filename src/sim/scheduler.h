@@ -15,6 +15,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/sim/profiler.h"
 #include "src/sim/time.h"
 
 namespace centsim {
@@ -22,6 +23,9 @@ namespace centsim {
 // Opaque handle identifying a scheduled event; usable to cancel it.
 using EventId = uint64_t;
 inline constexpr EventId kInvalidEventId = 0;
+
+// Default category for events scheduled without one.
+inline constexpr const char* kDefaultEventCategory = "event";
 
 class Scheduler {
  public:
@@ -32,9 +36,18 @@ class Scheduler {
   SimTime Now() const { return now_; }
 
   // Schedules `fn` to run at absolute time `at`. `at` must be >= Now().
-  EventId ScheduleAt(SimTime at, std::function<void()> fn);
+  // `category` labels the event for profiling; it must point at storage
+  // that outlives the scheduler (use string literals).
+  EventId ScheduleAt(SimTime at, std::function<void()> fn,
+                     const char* category = kDefaultEventCategory);
   // Schedules `fn` to run `delay` after Now().
-  EventId ScheduleAfter(SimTime delay, std::function<void()> fn);
+  EventId ScheduleAfter(SimTime delay, std::function<void()> fn,
+                        const char* category = kDefaultEventCategory);
+
+  // Attaches (or detaches, with nullptr) an execution profiler. Profiling
+  // only observes; it never changes event order or simulation results.
+  void SetProfiler(SchedulerProfiler* profiler) { profiler_ = profiler; }
+  SchedulerProfiler* profiler() const { return profiler_; }
 
   // Cancels a pending event. Returns false if the event already ran, was
   // already cancelled, or never existed.
@@ -70,20 +83,27 @@ class Scheduler {
   // Drops cancelled entries from the top of the heap.
   void SkimCancelled();
 
+  struct Action {
+    std::function<void()> fn;
+    const char* category;
+  };
+
   SimTime now_;
   EventId next_id_ = 1;
   uint64_t executed_ = 0;
+  SchedulerProfiler* profiler_ = nullptr;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
   std::unordered_set<EventId> cancelled_;
   // Closures are stored out-of-heap so Entry stays trivially copyable.
-  std::unordered_map<EventId, std::function<void()>> actions_;
+  std::unordered_map<EventId, Action> actions_;
 };
 
 // Convenience: a repeating event. Reschedules itself every `period` until
 // Stop() is called or the owning scheduler drains past the horizon.
 class PeriodicEvent {
  public:
-  PeriodicEvent(Scheduler& sched, SimTime period, std::function<void()> fn);
+  PeriodicEvent(Scheduler& sched, SimTime period, std::function<void()> fn,
+                const char* category = kDefaultEventCategory);
   ~PeriodicEvent();
   PeriodicEvent(const PeriodicEvent&) = delete;
   PeriodicEvent& operator=(const PeriodicEvent&) = delete;
@@ -98,6 +118,7 @@ class PeriodicEvent {
   Scheduler& sched_;
   SimTime period_;
   std::function<void()> fn_;
+  const char* category_;
   EventId pending_ = kInvalidEventId;
   bool running_ = false;
 };

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 
+#include "src/sim/metrics.h"
 #include "src/sim/random.h"
 #include "src/sim/scheduler.h"
 #include "src/sim/time.h"
@@ -29,6 +30,28 @@ class Simulation {
   // Independent RNG stream for entity `stream_id`.
   RandomStream StreamFor(uint64_t stream_id) const { return root_rng_.Derive(stream_id); }
 
+  // --- Observability ------------------------------------------------------
+  // Attach before constructing components: they grab their instruments at
+  // construction time and keep null pointers when no registry is attached.
+  void SetMetrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+  MetricsRegistry* metrics() const { return metrics_; }
+
+  // Null-safe instrument factories: nullptr when no registry is attached,
+  // pairing with the MetricInc/MetricSet/MetricObserve helpers.
+  Counter* MetricCounter(std::string_view name, MetricLabels labels = {}) {
+    return metrics_ != nullptr ? metrics_->GetCounter(name, std::move(labels)) : nullptr;
+  }
+  Gauge* MetricGauge(std::string_view name, MetricLabels labels = {}) {
+    return metrics_ != nullptr ? metrics_->GetGauge(name, std::move(labels)) : nullptr;
+  }
+  HistogramMetric* MetricHistogram(std::string_view name, MetricLabels labels = {}) {
+    return metrics_ != nullptr ? metrics_->GetHistogram(name, std::move(labels)) : nullptr;
+  }
+
+  // Cheap pre-check for trace emission: callers building non-trivial
+  // messages should guard with this so dropped records cost nothing.
+  bool TraceEnabled(TraceLevel level) const { return trace_.ShouldEmit(level); }
+
   // Convenience trace emitters stamped with the current simulated time.
   void Info(const std::string& component, const std::string& message) {
     trace_.Emit(Now(), TraceLevel::kInfo, component, message);
@@ -49,6 +72,7 @@ class Simulation {
   Scheduler scheduler_;
   TraceLog trace_;
   RandomStream root_rng_;
+  MetricsRegistry* metrics_ = nullptr;
   uint64_t seed_;
 };
 

@@ -56,11 +56,32 @@ Histogram::Histogram(double lo, double hi, uint32_t bins) : lo_(lo), hi_(hi), co
 }
 
 void Histogram::Add(double x) {
+  if (std::isnan(x)) {
+    return;  // NaN has no bin; casting it is UB.
+  }
   const double frac = (x - lo_) / (hi_ - lo_);
-  int64_t bin = static_cast<int64_t>(frac * static_cast<double>(counts_.size()));
-  bin = std::clamp<int64_t>(bin, 0, static_cast<int64_t>(counts_.size()) - 1);
+  int64_t bin;
+  if (frac <= 0.0) {
+    bin = 0;  // Clamp before the cast: huge/infinite frac overflows int64.
+  } else if (frac >= 1.0) {
+    bin = static_cast<int64_t>(counts_.size()) - 1;
+  } else {
+    bin = std::clamp<int64_t>(static_cast<int64_t>(frac * static_cast<double>(counts_.size())), 0,
+                              static_cast<int64_t>(counts_.size()) - 1);
+  }
   ++counts_[static_cast<size_t>(bin)];
   ++total_;
+}
+
+bool Histogram::Merge(const Histogram& other) {
+  if (other.lo_ != lo_ || other.hi_ != hi_ || other.counts_.size() != counts_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+  return true;
 }
 
 double Histogram::BinLow(uint32_t bin) const {
@@ -71,13 +92,19 @@ double Histogram::Quantile(double q) const {
   if (total_ == 0) {
     return 0.0;
   }
+  if (std::isnan(q)) {
+    return q;
+  }
   q = std::clamp(q, 0.0, 1.0);
   const double target = q * static_cast<double>(total_);
   double cum = 0.0;
+  // Only non-empty bins can contain a quantile: skipping empty ones makes
+  // q=0 land on the first populated bin's low edge rather than lo_.
   for (uint32_t i = 0; i < counts_.size(); ++i) {
     const double next = cum + static_cast<double>(counts_[i]);
-    if (next >= target) {
-      const double inside = counts_[i] ? (target - cum) / static_cast<double>(counts_[i]) : 0.0;
+    if (counts_[i] > 0 && next >= target) {
+      const double inside =
+          std::max(0.0, target - cum) / static_cast<double>(counts_[i]);
       return BinLow(i) + inside * (BinHigh(i) - BinLow(i));
     }
     cum = next;
@@ -109,9 +136,20 @@ std::string Histogram::ToString(uint32_t max_rows) const {
   return out;
 }
 
+void SampleSet::Add(double x) {
+  if (std::isnan(x)) {
+    return;
+  }
+  values_.push_back(x);
+  sorted_ = false;
+}
+
 double SampleSet::Quantile(double q) const {
   if (values_.empty()) {
     return 0.0;
+  }
+  if (std::isnan(q)) {
+    return q;
   }
   if (!sorted_) {
     std::sort(values_.begin(), values_.end());

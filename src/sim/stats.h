@@ -42,6 +42,7 @@ class Histogram {
  public:
   Histogram(double lo, double hi, uint32_t bins);
 
+  // NaN samples are ignored (not counted, not binned).
   void Add(double x);
   uint64_t count() const { return total_; }
   uint64_t BinCount(uint32_t bin) const { return counts_[bin]; }
@@ -49,8 +50,16 @@ class Histogram {
   double BinLow(uint32_t bin) const;
   double BinHigh(uint32_t bin) const { return BinLow(bin + 1); }
 
-  // q in [0, 1]. Returns 0 if empty.
+  // q is clamped into [0, 1]. Edge contract, asserted by sim_stats_test:
+  //   empty histogram -> 0;  NaN q -> NaN;
+  //   q == 0 -> low edge of the first non-empty bin;
+  //   q == 1 -> high edge of the last non-empty bin;
+  //   otherwise linear interpolation inside the containing non-empty bin.
   double Quantile(double q) const;
+
+  // Pools `other` into this histogram. Requires identical bounds and bin
+  // count; returns false (and leaves this unchanged) on a mismatch.
+  bool Merge(const Histogram& other);
 
   std::string ToString(uint32_t max_rows = 16) const;
 
@@ -65,12 +74,14 @@ class Histogram {
 // small enough to keep (fleet-level metrics, per-device lifetimes).
 class SampleSet {
  public:
-  void Add(double x) {
-    values_.push_back(x);
-    sorted_ = false;
-  }
+  // NaN samples are ignored (they would poison the sort order).
+  void Add(double x);
   uint64_t count() const { return values_.size(); }
-  double Quantile(double q) const;  // Sorts lazily.
+  // q is clamped into [0, 1]. Edge contract, asserted by sim_stats_test:
+  //   empty set -> 0;  NaN q -> NaN;  single sample -> that sample;
+  //   q == 0 -> min;  q == 1 -> max;  otherwise linear interpolation
+  //   between the two straddling order statistics. Sorts lazily.
+  double Quantile(double q) const;
   double Mean() const;
   const std::vector<double>& values() const { return values_; }
 

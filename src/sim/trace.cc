@@ -29,7 +29,7 @@ std::string TraceRecord::ToString() const {
 }
 
 void TraceLog::Emit(SimTime at, TraceLevel level, std::string component, std::string message) {
-  if (level < min_level_) {
+  if (!ShouldEmit(level)) {
     return;
   }
   ++emitted_;

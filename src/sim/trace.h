@@ -42,6 +42,11 @@ class TraceLog {
   // Records below `min_level` are dropped at emit time.
   explicit TraceLog(TraceLevel min_level = TraceLevel::kInfo) : min_level_(min_level) {}
 
+  // True when a record at `level` would be kept. Callers that build
+  // messages (string concatenation, to_string) should check this first so
+  // dropped records never pay for construction.
+  bool ShouldEmit(TraceLevel level) const { return level >= min_level_; }
+
   void Emit(SimTime at, TraceLevel level, std::string component, std::string message);
 
   // Retains every accepted record in memory (for diary extraction / tests).

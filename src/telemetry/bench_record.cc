@@ -1,0 +1,56 @@
+#include "src/telemetry/bench_record.h"
+
+#include <fstream>
+
+#include "src/telemetry/json.h"
+
+namespace centsim {
+
+std::string BenchReport::ToJson() const {
+  std::string out = "{\n";
+  out += "  \"bench\": \"" + JsonEscape(bench_name_) + "\",\n";
+  out += "  \"library_version\": \"" + JsonEscape(std::string(kCentsimVersion)) + "\",\n";
+  out += "  \"records\": [";
+  bool first = true;
+  for (const BenchRecord& r : records_) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "\n    {\"name\": \"" + JsonEscape(r.name) + "\", \"value\": " + JsonNumber(r.value) +
+           ", \"unit\": \"" + JsonEscape(r.unit) + "\"}";
+  }
+  out += "\n  ]";
+  if (manifest_.has_value()) {
+    // Indent the manifest's own JSON under a "manifest" key.
+    std::string manifest_json = manifest_->ToJson();
+    if (!manifest_json.empty() && manifest_json.back() == '\n') {
+      manifest_json.pop_back();
+    }
+    out += ",\n  \"manifest\": " + manifest_json;
+  }
+  out += "\n}\n";
+  return out;
+}
+
+std::string BenchReport::WriteFile(const std::string& dir, std::string* error) const {
+  const std::string path = dir + "/BENCH_" + bench_name_ + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    if (error != nullptr) {
+      *error = "cannot open " + path;
+    }
+    return "";
+  }
+  out << ToJson();
+  out.close();
+  if (out.fail()) {
+    if (error != nullptr) {
+      *error = "write failed for " + path;
+    }
+    return "";
+  }
+  return path;
+}
+
+}  // namespace centsim

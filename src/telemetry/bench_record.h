@@ -1,0 +1,52 @@
+// BENCH_*.json perf records: the machine-readable counterpart of a bench
+// binary's console tables, so perf PRs can diff runs instead of quoting
+// anecdotes.
+//
+// Each bench writes one `BENCH_<name>.json` file:
+//   {"bench":"e1_fifty_year","library_version":"...","records":[
+//     {"name":"events_per_sec","value":1.2e6,"unit":"1/s"}, ...],
+//    "manifest":{...}}   // optional RunManifest of the measured run.
+
+#ifndef SRC_TELEMETRY_BENCH_RECORD_H_
+#define SRC_TELEMETRY_BENCH_RECORD_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/telemetry/run_manifest.h"
+
+namespace centsim {
+
+struct BenchRecord {
+  std::string name;
+  double value = 0.0;
+  std::string unit;  // "1/s", "s", "%", "count", ...
+};
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench_name) : bench_name_(std::move(bench_name)) {}
+
+  void Add(std::string name, double value, std::string unit) {
+    records_.push_back({std::move(name), value, std::move(unit)});
+  }
+  void SetManifest(RunManifest manifest) { manifest_ = std::move(manifest); }
+
+  const std::string& bench_name() const { return bench_name_; }
+  const std::vector<BenchRecord>& records() const { return records_; }
+
+  std::string ToJson() const;
+  // Writes BENCH_<bench_name>.json under `dir` (default: cwd). Returns the
+  // path written, or empty on failure.
+  std::string WriteFile(const std::string& dir = ".", std::string* error = nullptr) const;
+
+ private:
+  std::string bench_name_;
+  std::vector<BenchRecord> records_;
+  std::optional<RunManifest> manifest_;
+};
+
+}  // namespace centsim
+
+#endif  // SRC_TELEMETRY_BENCH_RECORD_H_

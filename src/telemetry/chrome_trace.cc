@@ -1,0 +1,113 @@
+#include "src/telemetry/chrome_trace.h"
+
+#include <fstream>
+#include <map>
+#include <ostream>
+
+#include "src/telemetry/json.h"
+
+namespace centsim {
+
+ChromeTraceWriter::ChromeTraceWriter(std::string process_name)
+    : process_name_(std::move(process_name)) {}
+
+void ChromeTraceWriter::AddSpan(const std::string& name, double ts_us, double dur_us,
+                                uint32_t tid) {
+  events_.push_back(Event{'X', name, ts_us, dur_us, 0.0, tid, ""});
+}
+
+void ChromeTraceWriter::AddInstant(const std::string& name, double ts_us, uint32_t tid) {
+  events_.push_back(Event{'i', name, ts_us, 0.0, 0.0, tid, ""});
+}
+
+void ChromeTraceWriter::AddCounter(const std::string& name, double ts_us, double value) {
+  events_.push_back(Event{'C', name, ts_us, 0.0, value, 0, ""});
+}
+
+void ChromeTraceWriter::SetThreadName(uint32_t tid, const std::string& name) {
+  events_.push_back(Event{'M', "thread_name", 0.0, 0.0, 0.0, tid, name});
+}
+
+void ChromeTraceWriter::AddProfile(const SchedulerProfiler& profiler) {
+  // One tid per category, stable by first appearance.
+  std::map<std::string, uint32_t> tids;
+  for (const SchedulerProfiler::Span& span : profiler.spans()) {
+    auto [it, inserted] = tids.try_emplace(span.category, static_cast<uint32_t>(tids.size()) + 1);
+    if (inserted) {
+      SetThreadName(it->second, span.category);
+    }
+    AddSpan(span.category, static_cast<double>(span.wall_start_ns) / 1000.0,
+            static_cast<double>(span.wall_ns) / 1000.0, it->second);
+  }
+  // Queue depth and sim progress vs wall time. Depth samples carry sim
+  // time, not wall time; place them by interpolating over the span range
+  // (executed-event index maps monotonically onto wall offsets).
+  if (!profiler.depth_samples().empty()) {
+    const auto& spans = profiler.spans();
+    const double wall_end_us =
+        spans.empty() ? static_cast<double>(profiler.depth_samples().size())
+                      : static_cast<double>(spans.back().wall_start_ns) / 1000.0;
+    const uint64_t total_events = profiler.events_recorded();
+    for (const SchedulerProfiler::DepthSample& s : profiler.depth_samples()) {
+      const double frac = total_events > 0
+                              ? static_cast<double>(s.executed) / static_cast<double>(total_events)
+                              : 0.0;
+      const double ts = frac * wall_end_us;
+      AddCounter("queue_depth", ts, static_cast<double>(s.depth));
+      AddCounter("sim_years", ts, s.sim_at.ToYears());
+    }
+  }
+}
+
+void ChromeTraceWriter::WriteTo(std::ostream& out) const {
+  out << "{\"traceEvents\":[";
+  // Process metadata first so viewers name the track correctly.
+  out << "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\""
+      << JsonEscape(process_name_) << "\"}}";
+  for (const Event& e : events_) {
+    out << ",";
+    switch (e.phase) {
+      case 'X':
+        out << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << e.tid << ",\"name\":\"" << JsonEscape(e.name)
+            << "\",\"ts\":" << JsonNumber(e.ts_us) << ",\"dur\":" << JsonNumber(e.dur_us) << "}";
+        break;
+      case 'i':
+        out << "{\"ph\":\"i\",\"pid\":1,\"tid\":" << e.tid << ",\"name\":\"" << JsonEscape(e.name)
+            << "\",\"ts\":" << JsonNumber(e.ts_us) << ",\"s\":\"t\"}";
+        break;
+      case 'C':
+        out << "{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"name\":\"" << JsonEscape(e.name)
+            << "\",\"ts\":" << JsonNumber(e.ts_us) << ",\"args\":{\"value\":"
+            << JsonNumber(e.value) << "}}";
+        break;
+      case 'M':
+        out << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << e.tid << ",\"name\":\"" << JsonEscape(e.name)
+            << "\",\"args\":{\"name\":\"" << JsonEscape(e.arg_name) << "\"}}";
+        break;
+      default:
+        out << "null";
+    }
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+bool ChromeTraceWriter::WriteFile(const std::string& path, std::string* error) const {
+  std::ofstream out(path);
+  if (!out) {
+    if (error != nullptr) {
+      *error = "cannot open " + path;
+    }
+    return false;
+  }
+  WriteTo(out);
+  out.close();
+  if (out.fail()) {
+    if (error != nullptr) {
+      *error = "write failed for " + path;
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace centsim

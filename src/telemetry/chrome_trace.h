@@ -1,0 +1,62 @@
+// Chrome trace-event output (the JSON Array/Object Format understood by
+// chrome://tracing and Perfetto's legacy importer).
+//
+// The trace's time axis is the simulator's *wall-clock* execution: each
+// sampled scheduler event becomes a complete ("X") slice whose ts is the
+// wall offset from profiling start and whose dur is the closure's wall
+// time, grouped on one thread track per event category. Queue depth and
+// simulated years are emitted as counter ("C") tracks so sim progress can
+// be read against wall time. Load the file in Perfetto to see where a
+// 50-year run actually spends its time.
+
+#ifndef SRC_TELEMETRY_CHROME_TRACE_H_
+#define SRC_TELEMETRY_CHROME_TRACE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/sim/profiler.h"
+
+namespace centsim {
+
+class ChromeTraceWriter {
+ public:
+  // `process_name` labels the single emitted process.
+  explicit ChromeTraceWriter(std::string process_name = "centsim");
+
+  // Low-level event builders. Timestamps/durations are microseconds.
+  void AddSpan(const std::string& name, double ts_us, double dur_us, uint32_t tid = 1);
+  void AddInstant(const std::string& name, double ts_us, uint32_t tid = 1);
+  void AddCounter(const std::string& name, double ts_us, double value);
+  void SetThreadName(uint32_t tid, const std::string& name);
+
+  // Converts a profiler snapshot: one thread per category carrying its
+  // sampled spans, plus queue-depth and sim-years counter tracks.
+  void AddProfile(const SchedulerProfiler& profiler);
+
+  size_t event_count() const { return events_.size(); }
+
+  // Writes {"traceEvents":[...],"displayTimeUnit":"ms"}.
+  void WriteTo(std::ostream& out) const;
+  bool WriteFile(const std::string& path, std::string* error = nullptr) const;
+
+ private:
+  struct Event {
+    char phase;         // 'X', 'i', 'C', 'M'.
+    std::string name;
+    double ts_us = 0.0;
+    double dur_us = 0.0;   // 'X' only.
+    double value = 0.0;    // 'C' only.
+    uint32_t tid = 1;
+    std::string arg_name;  // 'M' only: the metadata payload.
+  };
+
+  std::string process_name_;
+  std::vector<Event> events_;
+};
+
+}  // namespace centsim
+
+#endif  // SRC_TELEMETRY_CHROME_TRACE_H_

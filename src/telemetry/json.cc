@@ -1,0 +1,287 @@
+#include "src/telemetry/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace centsim {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) {
+    return "null";
+  }
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc()) {
+    return "null";
+  }
+  return std::string(buf, end);
+}
+
+namespace {
+
+// Strict single-pass validator. Tracks position for error messages.
+class Linter {
+ public:
+  explicit Linter(std::string_view text) : text_(text) {}
+
+  bool Run(std::string* error) {
+    SkipWs();
+    if (!Value()) {
+      Fill(error);
+      return false;
+    }
+    SkipWs();
+    if (pos_ != text_.size()) {
+      reason_ = "trailing characters after value";
+      Fill(error);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void Fill(std::string* error) const {
+    if (error != nullptr) {
+      *error = "offset " + std::to_string(pos_) + ": " + reason_;
+    }
+  }
+
+  bool Eof() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+  void SkipWs() {
+    while (!Eof() && (Peek() == ' ' || Peek() == '\t' || Peek() == '\n' || Peek() == '\r')) {
+      ++pos_;
+    }
+  }
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      reason_ = "invalid literal";
+      return false;
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  bool String() {
+    if (Eof() || Peek() != '"') {
+      reason_ = "expected string";
+      return false;
+    }
+    ++pos_;
+    while (!Eof() && Peek() != '"') {
+      if (static_cast<unsigned char>(Peek()) < 0x20) {
+        reason_ = "unescaped control character in string";
+        return false;
+      }
+      if (Peek() == '\\') {
+        ++pos_;
+        if (Eof()) {
+          break;
+        }
+        const char esc = Peek();
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (Eof() || std::isxdigit(static_cast<unsigned char>(Peek())) == 0) {
+              reason_ = "bad \\u escape";
+              return false;
+            }
+          }
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' && esc != 'f' &&
+                   esc != 'n' && esc != 'r' && esc != 't') {
+          reason_ = "bad escape character";
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    if (Eof()) {
+      reason_ = "unterminated string";
+      return false;
+    }
+    ++pos_;  // Closing quote.
+    return true;
+  }
+
+  bool Number() {
+    const size_t start = pos_;
+    if (!Eof() && Peek() == '-') {
+      ++pos_;
+    }
+    if (Eof() || std::isdigit(static_cast<unsigned char>(Peek())) == 0) {
+      reason_ = "malformed number";
+      return false;
+    }
+    if (Peek() == '0') {
+      ++pos_;
+    } else {
+      while (!Eof() && std::isdigit(static_cast<unsigned char>(Peek())) != 0) {
+        ++pos_;
+      }
+    }
+    if (!Eof() && Peek() == '.') {
+      ++pos_;
+      if (Eof() || std::isdigit(static_cast<unsigned char>(Peek())) == 0) {
+        reason_ = "malformed fraction";
+        return false;
+      }
+      while (!Eof() && std::isdigit(static_cast<unsigned char>(Peek())) != 0) {
+        ++pos_;
+      }
+    }
+    if (!Eof() && (Peek() == 'e' || Peek() == 'E')) {
+      ++pos_;
+      if (!Eof() && (Peek() == '+' || Peek() == '-')) {
+        ++pos_;
+      }
+      if (Eof() || std::isdigit(static_cast<unsigned char>(Peek())) == 0) {
+        reason_ = "malformed exponent";
+        return false;
+      }
+      while (!Eof() && std::isdigit(static_cast<unsigned char>(Peek())) != 0) {
+        ++pos_;
+      }
+    }
+    return pos_ > start;
+  }
+
+  bool Value() {
+    if (++depth_ > 256) {
+      reason_ = "nesting too deep";
+      return false;
+    }
+    bool ok = false;
+    SkipWs();
+    if (Eof()) {
+      reason_ = "unexpected end of input";
+    } else if (Peek() == '{') {
+      ok = Object();
+    } else if (Peek() == '[') {
+      ok = Array();
+    } else if (Peek() == '"') {
+      ok = String();
+    } else if (Peek() == 't') {
+      ok = Literal("true");
+    } else if (Peek() == 'f') {
+      ok = Literal("false");
+    } else if (Peek() == 'n') {
+      ok = Literal("null");
+    } else {
+      ok = Number();
+    }
+    --depth_;
+    return ok;
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (!Eof() && Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!String()) {
+        return false;
+      }
+      SkipWs();
+      if (Eof() || Peek() != ':') {
+        reason_ = "expected ':' in object";
+        return false;
+      }
+      ++pos_;
+      if (!Value()) {
+        return false;
+      }
+      SkipWs();
+      if (!Eof() && Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (!Eof() && Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      reason_ = "expected ',' or '}' in object";
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (!Eof() && Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      if (!Value()) {
+        return false;
+      }
+      SkipWs();
+      if (!Eof() && Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (!Eof() && Peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      reason_ = "expected ',' or ']' in array";
+      return false;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+  std::string reason_ = "invalid JSON";
+};
+
+}  // namespace
+
+bool JsonLint(std::string_view text, std::string* error) { return Linter(text).Run(error); }
+
+}  // namespace centsim

@@ -1,0 +1,29 @@
+// Minimal JSON utilities for the exporters: string escaping, number
+// formatting (finite, round-trippable, no locale), and a strict syntax
+// checker used by tests to assert emitted artifacts are well-formed.
+//
+// This is deliberately not a JSON library — artifacts are written by
+// streaming, and the only read path we need is validation.
+
+#ifndef SRC_TELEMETRY_JSON_H_
+#define SRC_TELEMETRY_JSON_H_
+
+#include <string>
+#include <string_view>
+
+namespace centsim {
+
+// Escapes `s` for inclusion inside a JSON string literal (no quotes added).
+std::string JsonEscape(std::string_view s);
+
+// Renders a double as a JSON number: shortest round-trip form; non-finite
+// values (which JSON cannot represent) render as null.
+std::string JsonNumber(double v);
+
+// Strict recursive-descent well-formedness check of one JSON value.
+// Returns false and fills `error` (if given) with "offset N: reason".
+bool JsonLint(std::string_view text, std::string* error = nullptr);
+
+}  // namespace centsim
+
+#endif  // SRC_TELEMETRY_JSON_H_

@@ -1,0 +1,74 @@
+#include "src/telemetry/metrics_jsonl.h"
+
+#include <fstream>
+#include <ostream>
+
+#include "src/telemetry/json.h"
+
+namespace centsim {
+namespace {
+
+void WriteHeader(std::ostream& out, const std::string& name, const char* type,
+                 const MetricLabels& labels) {
+  out << "{\"name\":\"" << JsonEscape(name) << "\",\"type\":\"" << type << "\",\"labels\":{";
+  bool first = true;
+  for (const auto& [k, v] : labels.pairs()) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "\"" << JsonEscape(k) << "\":\"" << JsonEscape(v) << "\"";
+  }
+  out << "}";
+}
+
+}  // namespace
+
+void WriteMetricsJsonl(const MetricsRegistry& registry, std::ostream& out) {
+  registry.VisitCounters(
+      [&](const std::string& name, const MetricLabels& labels, const Counter& counter) {
+        WriteHeader(out, name, "counter", labels);
+        out << ",\"value\":" << JsonNumber(counter.value()) << "}\n";
+      });
+  registry.VisitGauges([&](const std::string& name, const MetricLabels& labels,
+                           const Gauge& gauge) {
+    WriteHeader(out, name, "gauge", labels);
+    out << ",\"value\":" << JsonNumber(gauge.value()) << "}\n";
+  });
+  registry.VisitHistograms(
+      [&](const std::string& name, const MetricLabels& labels, const HistogramMetric& hist) {
+        WriteHeader(out, name, "histogram", labels);
+        const SummaryStats& s = hist.stats();
+        out << ",\"count\":" << s.count() << ",\"mean\":" << JsonNumber(s.mean())
+            << ",\"stddev\":" << JsonNumber(s.stddev()) << ",\"min\":" << JsonNumber(s.min())
+            << ",\"max\":" << JsonNumber(s.max());
+        if (const Histogram* bins = hist.bins()) {
+          out << ",\"p50\":" << JsonNumber(bins->Quantile(0.5))
+              << ",\"p90\":" << JsonNumber(bins->Quantile(0.9))
+              << ",\"p99\":" << JsonNumber(bins->Quantile(0.99));
+        }
+        out << "}\n";
+      });
+}
+
+bool WriteMetricsJsonlFile(const MetricsRegistry& registry, const std::string& path,
+                           std::string* error) {
+  std::ofstream out(path);
+  if (!out) {
+    if (error != nullptr) {
+      *error = "cannot open " + path;
+    }
+    return false;
+  }
+  WriteMetricsJsonl(registry, out);
+  out.close();
+  if (out.fail()) {
+    if (error != nullptr) {
+      *error = "write failed for " + path;
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace centsim

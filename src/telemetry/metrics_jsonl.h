@@ -1,0 +1,31 @@
+// JSONL snapshot of a MetricsRegistry: one self-describing JSON object per
+// line, so decade-spanning archives stay greppable and stream-parseable
+// (no document-level structure to keep in memory or to corrupt).
+//
+// Line shapes:
+//   {"name":N,"type":"counter","labels":{...},"value":V}
+//   {"name":N,"type":"gauge","labels":{...},"value":V}
+//   {"name":N,"type":"histogram","labels":{...},"count":C,"mean":M,
+//    "stddev":S,"min":m,"max":M2[,"p50":...,"p90":...,"p99":...]}
+// Quantiles appear only for bounded histograms (bins configured).
+
+#ifndef SRC_TELEMETRY_METRICS_JSONL_H_
+#define SRC_TELEMETRY_METRICS_JSONL_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/sim/metrics.h"
+
+namespace centsim {
+
+// Writes every instrument in creation order (counters, gauges, histograms).
+void WriteMetricsJsonl(const MetricsRegistry& registry, std::ostream& out);
+
+// File variant; false (and `error`) on I/O failure.
+bool WriteMetricsJsonlFile(const MetricsRegistry& registry, const std::string& path,
+                           std::string* error = nullptr);
+
+}  // namespace centsim
+
+#endif  // SRC_TELEMETRY_METRICS_JSONL_H_

@@ -1,0 +1,71 @@
+#include "src/telemetry/run_manifest.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/telemetry/json.h"
+
+namespace centsim {
+
+uint64_t Fnv1a64(std::string_view text) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::string ConfigDigest(std::string_view config_text) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(Fnv1a64(config_text)));
+  return buf;
+}
+
+std::string RunManifest::ToJson() const {
+  std::string out = "{\n";
+  out += "  \"run_name\": \"" + JsonEscape(run_name) + "\",\n";
+  out += "  \"seed\": " + std::to_string(seed) + ",\n";
+  out += "  \"config_digest\": \"" + JsonEscape(config_digest) + "\",\n";
+  out += "  \"horizon_us\": " + std::to_string(horizon.micros()) + ",\n";
+  out += "  \"horizon\": \"" + JsonEscape(horizon.ToString()) + "\",\n";
+  out += "  \"library_version\": \"" + JsonEscape(library_version) + "\",\n";
+  out += "  \"wall_seconds\": " + JsonNumber(wall_seconds) + ",\n";
+  out += "  \"events_executed\": " + std::to_string(events_executed);
+  if (!extra.empty()) {
+    out += ",\n  \"extra\": {";
+    bool first = true;
+    for (const auto& [k, v] : extra) {
+      if (!first) {
+        out += ",";
+      }
+      first = false;
+      out += "\n    \"" + JsonEscape(k) + "\": \"" + JsonEscape(v) + "\"";
+    }
+    out += "\n  }";
+  }
+  out += "\n}\n";
+  return out;
+}
+
+bool RunManifest::WriteFile(const std::string& path, std::string* error) const {
+  std::ofstream out(path);
+  if (!out) {
+    if (error != nullptr) {
+      *error = "cannot open " + path;
+    }
+    return false;
+  }
+  out << ToJson();
+  out.close();
+  if (out.fail()) {
+    if (error != nullptr) {
+      *error = "write failed for " + path;
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace centsim

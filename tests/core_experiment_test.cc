@@ -2,6 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/sim/metrics.h"
+#include "src/sim/profiler.h"
+#include "src/telemetry/json.h"
+
 namespace centsim {
 namespace {
 
@@ -159,6 +167,69 @@ TEST(ExperimentTest, SurvivalCurveHasObservations) {
   const auto report = RunFiftyYearExperiment(cfg);
   EXPECT_GE(report.device_survival.count(),
             static_cast<size_t>(cfg.devices_802154 + cfg.devices_lora));
+}
+
+TEST(ExperimentTest, ObservabilityOffByDefault) {
+  // No registry, no profiler, no artifacts dir: the run must not create
+  // files or leave instrumentation attached.
+  const auto report = RunFiftyYearExperiment(QuickConfig());
+  EXPECT_TRUE(report.manifest_path.empty());
+  EXPECT_TRUE(report.metrics_path.empty());
+  EXPECT_TRUE(report.trace_path.empty());
+}
+
+TEST(ExperimentTest, ArtifactsDirProducesValidTriple) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "centsim_artifacts_test";
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+
+  FiftyYearConfig cfg = QuickConfig();
+  cfg.horizon = SimTime::Years(2);
+  cfg.artifacts_dir = dir.string();
+  cfg.run_name = "unit";
+  const auto report = RunFiftyYearExperiment(cfg);
+
+  ASSERT_FALSE(report.manifest_path.empty());
+  for (const std::string& path :
+       {report.manifest_path, report.metrics_path, report.trace_path}) {
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << path;
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_FALSE(buf.str().empty()) << path;
+  }
+
+  // Manifest and trace must be valid JSON documents end to end.
+  for (const std::string& path : {report.manifest_path, report.trace_path}) {
+    std::ifstream in(path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string error;
+    EXPECT_TRUE(JsonLint(buf.str(), &error)) << path << ": " << error;
+  }
+  EXPECT_GT(report.wall_seconds, 0.0);
+  fs::remove_all(dir, ec);
+}
+
+TEST(ExperimentTest, ExternalRegistryCapturesRunMetrics) {
+  MetricsRegistry registry;
+  SchedulerProfiler profiler;
+  FiftyYearConfig cfg = QuickConfig();
+  cfg.horizon = SimTime::Years(2);
+  cfg.metrics = &registry;
+  cfg.profiler = &profiler;
+  const auto report = RunFiftyYearExperiment(cfg);
+
+  const Counter* total = registry.FindCounter("sched.events_total");
+  ASSERT_NE(total, nullptr);
+  EXPECT_DOUBLE_EQ(total->value(), static_cast<double>(report.events_executed));
+  // The per-tech uplink outcome counters are pre-created by the fabric.
+  EXPECT_NE(registry.FindCounter("uplink.outcomes",
+                                 MetricLabels{{"tech", "802.15.4"},
+                                              {"outcome", "delivered"}}),
+            nullptr);
+  EXPECT_EQ(profiler.events_recorded(), report.events_executed);
 }
 
 }  // namespace

@@ -1,0 +1,167 @@
+#include "src/sim/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/metrics.h"
+#include "src/sim/scheduler.h"
+
+namespace centsim {
+namespace {
+
+// Runs `events` self-rescheduling ticks under a profiler and returns it.
+void RunTicks(Scheduler& sched, SchedulerProfiler& profiler, uint64_t events,
+              const char* category) {
+  sched.SetProfiler(&profiler);
+  uint64_t ticks = 0;
+  std::function<void()> tick = [&] {
+    if (++ticks < events) {
+      sched.ScheduleAfter(SimTime::Micros(10), tick, category);
+    }
+  };
+  sched.ScheduleAfter(SimTime::Micros(10), tick, category);
+  sched.RunUntil(SimTime::Hours(1));
+}
+
+TEST(SchedulerProfiler, CountsEveryEventExactly) {
+  Scheduler sched;
+  SchedulerProfiler profiler;
+  RunTicks(sched, profiler, 1000, "test.tick");
+
+  EXPECT_EQ(profiler.events_recorded(), 1000u);
+  const auto categories = profiler.Categories();
+  ASSERT_EQ(categories.size(), 1u);
+  EXPECT_EQ(categories[0].category, "test.tick");
+  EXPECT_EQ(categories[0].count, 1000u);
+  // 1-in-16 (default 64 here) wall-clocked: timed subsample is smaller.
+  EXPECT_GT(categories[0].timed_count, 0u);
+  EXPECT_LT(categories[0].timed_count, categories[0].count);
+}
+
+TEST(SchedulerProfiler, SeparatesCategoriesAndMergesDuplicateText) {
+  Scheduler sched;
+  SchedulerProfiler profiler;
+  sched.SetProfiler(&profiler);
+  // Two distinct string objects with equal text must merge in snapshots
+  // (the hot map is keyed by pointer identity).
+  static const char text_a[] = "dup.category";
+  const std::string text_b = "dup.category";
+  for (int i = 0; i < 10; ++i) {
+    sched.ScheduleAt(SimTime::Micros(i), [] {}, text_a);
+    sched.ScheduleAt(SimTime::Micros(100 + i), [] {}, text_b.c_str());
+    sched.ScheduleAt(SimTime::Micros(200 + i), [] {}, "other.category");
+  }
+  sched.RunUntil(SimTime::Seconds(1));
+
+  const auto categories = profiler.Categories();
+  ASSERT_EQ(categories.size(), 2u);
+  EXPECT_EQ(categories[0].category, "dup.category");  // Sorted by count desc.
+  EXPECT_EQ(categories[0].count, 20u);
+  EXPECT_EQ(categories[1].category, "other.category");
+  EXPECT_EQ(categories[1].count, 10u);
+}
+
+TEST(SchedulerProfiler, DefaultCategoryApplied) {
+  Scheduler sched;
+  SchedulerProfiler profiler;
+  sched.SetProfiler(&profiler);
+  sched.ScheduleAt(SimTime::Micros(1), [] {});
+  sched.RunUntil(SimTime::Seconds(1));
+
+  const auto categories = profiler.Categories();
+  ASSERT_EQ(categories.size(), 1u);
+  EXPECT_EQ(categories[0].category, kDefaultEventCategory);
+}
+
+TEST(SchedulerProfiler, QueueDepthSamplingIsDeterministic) {
+  // Identical runs must produce identical (sim-time, depth, index) samples:
+  // sampling is keyed on the execution index alone.
+  auto run = [] {
+    Scheduler sched;
+    SchedulerProfiler::Options opts;
+    opts.queue_depth_sample_every = 10;
+    SchedulerProfiler profiler(opts);
+    RunTicks(sched, profiler, 100, "tick");
+    return profiler.depth_samples();
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.size(), 10u);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].sim_at, b[i].sim_at);
+    EXPECT_EQ(a[i].depth, b[i].depth);
+    EXPECT_EQ(a[i].executed, b[i].executed);
+    EXPECT_EQ(a[i].executed, (i + 1) * 10);
+  }
+}
+
+TEST(SchedulerProfiler, ProfilingDoesNotPerturbSimulation) {
+  auto run = [](bool profiled) {
+    Scheduler sched;
+    SchedulerProfiler profiler;
+    if (profiled) {
+      sched.SetProfiler(&profiler);
+    }
+    uint64_t ticks = 0;
+    std::function<void()> tick = [&] {
+      if (++ticks < 500) {
+        sched.ScheduleAfter(SimTime::Micros(7), tick, "tick");
+      }
+    };
+    sched.ScheduleAfter(SimTime::Micros(7), tick, "tick");
+    sched.RunUntil(SimTime::Hours(1));
+    return std::make_pair(ticks, sched.Now());
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(SchedulerProfiler, TimeSampleEveryZeroDisablesTiming) {
+  Scheduler sched;
+  SchedulerProfiler::Options opts;
+  opts.time_sample_every = 0;
+  SchedulerProfiler profiler(opts);
+  RunTicks(sched, profiler, 200, "tick");
+
+  const auto categories = profiler.Categories();
+  ASSERT_EQ(categories.size(), 1u);
+  EXPECT_EQ(categories[0].count, 200u);
+  EXPECT_EQ(categories[0].timed_count, 0u);
+  EXPECT_TRUE(profiler.spans().empty());
+}
+
+TEST(SchedulerProfiler, SpanBufferIsBounded) {
+  Scheduler sched;
+  SchedulerProfiler::Options opts;
+  opts.time_sample_every = 1;  // Time every event.
+  opts.max_spans = 5;
+  SchedulerProfiler profiler(opts);
+  RunTicks(sched, profiler, 100, "tick");
+
+  EXPECT_EQ(profiler.spans().size(), 5u);
+  EXPECT_EQ(profiler.Categories()[0].timed_count, 100u);  // Stats still full.
+}
+
+TEST(SchedulerProfiler, ExportToPublishesMetrics) {
+  Scheduler sched;
+  SchedulerProfiler profiler;
+  RunTicks(sched, profiler, 320, "tick");
+
+  MetricsRegistry registry;
+  profiler.ExportTo(registry);
+
+  const Counter* events =
+      registry.FindCounter("sched.events", MetricLabels{{"category", "tick"}});
+  ASSERT_NE(events, nullptr);
+  EXPECT_DOUBLE_EQ(events->value(), 320.0);
+  const Counter* total = registry.FindCounter("sched.events_total");
+  ASSERT_NE(total, nullptr);
+  EXPECT_DOUBLE_EQ(total->value(), 320.0);
+  EXPECT_NE(registry.FindGauge("sched.queue_depth_peak"), nullptr);
+  const HistogramMetric* wall =
+      registry.FindHistogram("sched.event_wall_ns", MetricLabels{{"category", "tick"}});
+  ASSERT_NE(wall, nullptr);
+  EXPECT_GT(wall->count(), 0u);
+}
+
+}  // namespace
+}  // namespace centsim

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "src/sim/random.h"
 
 namespace centsim {
@@ -115,6 +118,63 @@ TEST(SampleSetTest, EmptyIsZero) {
   SampleSet s;
   EXPECT_DOUBLE_EQ(s.Quantile(0.5), 0.0);
   EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+}
+
+TEST(SampleSetTest, QuantileEdgeContract) {
+  SampleSet single;
+  single.Add(42.0);
+  // Single sample: every quantile is that sample.
+  EXPECT_DOUBLE_EQ(single.Quantile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(single.Quantile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(single.Quantile(1.0), 42.0);
+  // NaN q propagates NaN rather than indexing out of range.
+  EXPECT_TRUE(std::isnan(single.Quantile(std::numeric_limits<double>::quiet_NaN())));
+}
+
+TEST(SampleSetTest, AddIgnoresNan) {
+  SampleSet s;
+  s.Add(1.0);
+  s.Add(std::numeric_limits<double>::quiet_NaN());
+  s.Add(3.0);
+  EXPECT_EQ(s.values().size(), 2u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 2.0);
+}
+
+TEST(HistogramTest, QuantileEdgeContract) {
+  Histogram h(0.0, 100.0, 10);
+  // Empty histogram: quantiles are 0 by contract.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+
+  // All mass in the third bin [20, 30): q=0 must return that bin's low
+  // edge (not the histogram's lo), q=1 its high edge.
+  h.Add(25.0);
+  h.Add(26.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 20.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 30.0);
+  EXPECT_TRUE(std::isnan(h.Quantile(std::numeric_limits<double>::quiet_NaN())));
+}
+
+TEST(HistogramTest, AddIgnoresNanAndClampsInfinities) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.count(), 0u);
+  h.Add(std::numeric_limits<double>::infinity());
+  h.Add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.BinCount(0), 1u);  // -inf clamps low, +inf clamps high.
+  EXPECT_EQ(h.BinCount(9), 1u);
+}
+
+TEST(HistogramTest, MergeRequiresIdenticalShape) {
+  Histogram a(0.0, 10.0, 10);
+  Histogram b(0.0, 10.0, 10);
+  Histogram other(0.0, 20.0, 10);
+  a.Add(1.0);
+  b.Add(9.0);
+  EXPECT_TRUE(a.Merge(b));
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_FALSE(a.Merge(other));
+  EXPECT_EQ(a.count(), 2u);
 }
 
 }  // namespace

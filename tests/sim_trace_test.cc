@@ -61,5 +61,22 @@ TEST(TraceTest, LevelNames) {
   EXPECT_STREQ(TraceLevelName(TraceLevel::kFailure), "FAIL");
 }
 
+TEST(TraceTest, ShouldEmitMatchesEmitFiltering) {
+  TraceLog log(TraceLevel::kMaintenance);
+  EXPECT_FALSE(log.ShouldEmit(TraceLevel::kDebug));
+  EXPECT_FALSE(log.ShouldEmit(TraceLevel::kInfo));
+  EXPECT_TRUE(log.ShouldEmit(TraceLevel::kMaintenance));
+  EXPECT_TRUE(log.ShouldEmit(TraceLevel::kFailure));
+
+  // The guard must agree with what Emit actually keeps, so call sites can
+  // skip message formatting without changing what gets logged.
+  log.Emit(SimTime(), TraceLevel::kInfo, "x", "dropped");
+  log.Emit(SimTime(), TraceLevel::kFailure, "x", "kept");
+  EXPECT_EQ(log.emitted_count(), 1u);
+
+  log.set_min_level(TraceLevel::kDebug);
+  EXPECT_TRUE(log.ShouldEmit(TraceLevel::kDebug));
+}
+
 }  // namespace
 }  // namespace centsim

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/sim/metrics.h"
+#include "src/sim/profiler.h"
+#include "src/sim/scheduler.h"
+#include "src/telemetry/bench_record.h"
+#include "src/telemetry/chrome_trace.h"
+#include "src/telemetry/json.h"
+#include "src/telemetry/metrics_jsonl.h"
+#include "src/telemetry/run_manifest.h"
+
+namespace centsim {
+namespace {
+
+TEST(JsonLint, AcceptsValidDocuments) {
+  for (const char* doc : {
+           R"({})",
+           R"([1, 2.5, -3e8, "x", true, false, null])",
+           R"({"a": {"b": ["é\n\\", 0, 0.5e-3]}})",
+       }) {
+    std::string error;
+    EXPECT_TRUE(JsonLint(doc, &error)) << doc << ": " << error;
+  }
+}
+
+TEST(JsonLint, RejectsMalformedDocuments) {
+  for (const char* doc : {
+           "",
+           "{",
+           R"({"a": 1,})",
+           R"({"a" 1})",
+           R"([1 2])",
+           R"("unterminated)",
+           R"({"a": 01})",
+           R"({"a": nan})",
+           R"({} trailing)",
+       }) {
+    std::string error;
+    EXPECT_FALSE(JsonLint(doc, &error)) << "accepted: " << doc;
+  }
+}
+
+TEST(JsonNumber, NonFiniteBecomesNull) {
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(JsonNumber(2.5), "2.5");
+}
+
+TEST(MetricsJsonl, EveryLineIsValidJson) {
+  MetricsRegistry registry;
+  registry.GetCounter("uplink.outcomes", MetricLabels{{"tech", "LoRa"}, {"outcome", "delivered"}})
+      ->Increment(42.0);
+  registry.GetGauge("queue.depth")->Set(7.0);
+  registry.GetHistogram("outage.hours")->Observe(1.5);
+  HistogramMetric* bounded = registry.GetHistogram("latency.ms", {}, 0.0, 10.0, 10);
+  for (int i = 0; i < 50; ++i) {
+    bounded->Observe(i % 10 + 0.5);
+  }
+  // A name that needs escaping must not corrupt the line.
+  registry.GetCounter(R"(weird"name)", MetricLabels{{"k", "v\\w"}})->Increment();
+
+  std::ostringstream out;
+  WriteMetricsJsonl(registry, out);
+  std::istringstream lines(out.str());
+  std::string line;
+  size_t count = 0;
+  while (std::getline(lines, line)) {
+    std::string error;
+    EXPECT_TRUE(JsonLint(line, &error)) << line << ": " << error;
+    ++count;
+  }
+  EXPECT_EQ(count, 5u);
+  // Bounded histograms expose quantiles; unbounded ones must not.
+  EXPECT_NE(out.str().find("\"p99\""), std::string::npos);
+  EXPECT_NE(out.str().find("\"latency.ms\""), std::string::npos);
+}
+
+TEST(ChromeTrace, WellFormedAndCarriesSpans) {
+  Scheduler sched;
+  SchedulerProfiler::Options opts;
+  opts.time_sample_every = 1;
+  opts.queue_depth_sample_every = 8;
+  SchedulerProfiler profiler(opts);
+  sched.SetProfiler(&profiler);
+  for (int i = 0; i < 64; ++i) {
+    sched.ScheduleAt(SimTime::Micros(i), [] {}, i % 2 == 0 ? "cat.even" : "cat.odd");
+  }
+  sched.RunUntil(SimTime::Seconds(1));
+
+  ChromeTraceWriter writer("unit-test");
+  writer.AddProfile(profiler);
+  std::ostringstream out;
+  writer.WriteTo(out);
+
+  std::string error;
+  ASSERT_TRUE(JsonLint(out.str(), &error)) << error;
+  EXPECT_NE(out.str().find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(out.str().find("\"cat.even\""), std::string::npos);
+  EXPECT_NE(out.str().find("\"cat.odd\""), std::string::npos);
+  EXPECT_NE(out.str().find("queue_depth"), std::string::npos);
+  EXPECT_NE(out.str().find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(RunManifest, JsonRoundTripsKeyFields) {
+  RunManifest manifest;
+  manifest.run_name = "unit";
+  manifest.seed = 1234;
+  manifest.config_digest = ConfigDigest("a=1\nb=2\n");
+  manifest.horizon = SimTime::Years(50);
+  manifest.wall_seconds = 1.25;
+  manifest.events_executed = 99;
+  manifest.AddExtra("devices", "8");
+
+  const std::string json = manifest.ToJson();
+  std::string error;
+  ASSERT_TRUE(JsonLint(json, &error)) << error;
+  EXPECT_NE(json.find("\"run_name\": \"unit\""), std::string::npos);
+  EXPECT_NE(json.find("\"seed\": 1234"), std::string::npos);
+  EXPECT_NE(json.find(manifest.config_digest), std::string::npos);
+  EXPECT_NE(json.find("\"devices\": \"8\""), std::string::npos);
+}
+
+TEST(RunManifest, ConfigDigestIsStableAndSensitive) {
+  EXPECT_EQ(ConfigDigest("seed=1\n"), ConfigDigest("seed=1\n"));
+  EXPECT_NE(ConfigDigest("seed=1\n"), ConfigDigest("seed=2\n"));
+  EXPECT_EQ(ConfigDigest("").size(), 16u);  // 64-bit hex.
+}
+
+TEST(BenchRecord, ProducesValidJsonWithManifest) {
+  BenchReport bench("unit_test");
+  bench.Add("events_per_sec", 1.5e6, "1/s");
+  bench.Add("overhead", 2.5, "%");
+  RunManifest manifest;
+  manifest.run_name = "unit_test";
+  manifest.seed = 7;
+  bench.SetManifest(std::move(manifest));
+
+  const std::string json = bench.ToJson();
+  std::string error;
+  ASSERT_TRUE(JsonLint(json, &error)) << error;
+  EXPECT_NE(json.find("\"bench\": \"unit_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"events_per_sec\""), std::string::npos);
+  EXPECT_NE(json.find("\"manifest\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace centsim

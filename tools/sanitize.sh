@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Build the whole tree under AddressSanitizer + UBSan and run the tier-1
+# test suite. Usage:
+#
+#   tools/sanitize.sh                 # address,undefined (default)
+#   tools/sanitize.sh undefined       # UBSan only
+#   CTEST_ARGS="-R Profiler" tools/sanitize.sh
+#
+# Uses a dedicated build tree (build-asan/) so it never poisons the
+# regular build/ objects with instrumented ones.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SANITIZERS="${1:-address,undefined}"
+BUILD_DIR="build-asan"
+
+cmake -B "${BUILD_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCENTSIM_SANITIZE="${SANITIZERS}"
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+
+# halt_on_error keeps CI signal crisp: first report fails the run.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:halt_on_error=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" ${CTEST_ARGS:-}
+echo "sanitize(${SANITIZERS}): all tests passed"

@@ -3,14 +3,48 @@
 // distribution. How often does the design meet its own weekly-uptime goal?
 // How often does the third-party (Helium) path die of owner churn? Plus
 // the §4.5 succession forecast for the humans running it.
+//
+// The ensemble now runs on the parallel deterministic engine
+// (EnsembleRunner<FiftyYearExperiment>): replicas/sec is measured at 1,
+// half, and full hardware concurrency, the merged statistics are checked
+// bit-identical across thread counts, and the scaling numbers land in
+// BENCH_e5_ensemble.json.
+//
+//   bench_e5_ensemble [--threads=N] [--replicas=N]
+//     --threads=N   cap the scaling sweep at N workers (default: hardware)
+//     --replicas=N  ensemble size (default 16)
 
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "src/core/montecarlo.h"
 #include "src/mgmt/succession.h"
+#include "src/telemetry/bench_record.h"
 #include "src/telemetry/report.h"
 
-int main() {
+namespace {
+
+uint32_t ParseFlag(int argc, char** argv, const char* name, uint32_t fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      const long value = std::atol(argv[i] + prefix.size());
+      if (value > 0) {
+        return static_cast<uint32_t>(value);
+      }
+    }
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace centsim;
   std::cout << "=== E5: ensemble over the 50-year experiment (paper SS4) ===\n\n";
 
@@ -23,9 +57,72 @@ int main() {
   base.report_interval = SimTime::Hours(6);
   base.horizon = SimTime::Years(50);
 
-  const uint32_t kRuns = 12;
-  std::cout << "Running " << kRuns << " independent 50-year realizations...\n\n";
-  const auto ensemble = SweepFiftyYear(base, kRuns, /*weekly_goal=*/0.95);
+  const uint32_t replicas = ParseFlag(argc, argv, "replicas", 16);
+  const uint32_t max_threads =
+      ParseFlag(argc, argv, "threads", ThreadPool::DefaultThreadCount());
+
+  // Thread counts for the scaling sweep: serial, half, and full width.
+  std::vector<uint32_t> thread_counts{1};
+  if (max_threads / 2 > 1) {
+    thread_counts.push_back(max_threads / 2);
+  }
+  if (max_threads > 1) {
+    thread_counts.push_back(max_threads);
+  }
+
+  std::cout << "Running " << replicas << " independent 50-year realizations at "
+            << thread_counts.size() << " worker-pool width(s)...\n\n";
+
+  BenchReport bench("e5_ensemble");
+  bench.Add("replicas", replicas, "count");
+
+  struct SweepPoint {
+    uint32_t threads = 0;
+    double wall_seconds = 0.0;
+  };
+  std::vector<SweepPoint> sweep;
+  FiftyYearEnsemble ensemble;  // From the widest run; all runs are identical.
+  FiftyYearEnsemble serial_ensemble;
+  double total_events = 0.0;
+  for (const uint32_t threads : thread_counts) {
+    EnsembleOptions options;
+    options.replicas = replicas;
+    options.threads = threads;
+    options.run_name = "e5_ensemble";
+    const auto result = EnsembleRunner<FiftyYearExperiment>::Run(base, options);
+    sweep.push_back({result.threads_used, result.wall_seconds});
+    ensemble = AggregateFiftyYear(result.replicas, /*weekly_goal=*/0.95);
+    if (threads == 1) {
+      serial_ensemble = ensemble;
+    }
+    total_events = static_cast<double>(result.manifest.TotalEventsExecuted());
+    const double rate = result.wall_seconds > 0 ? replicas / result.wall_seconds : 0.0;
+    bench.Add("replicas_per_sec_t" + std::to_string(result.threads_used), rate, "1/s");
+  }
+
+  Table scaling({"threads", "wall seconds", "replicas/sec", "speedup vs serial"});
+  const double serial_wall = sweep.front().wall_seconds;
+  for (const SweepPoint& point : sweep) {
+    scaling.AddRow({std::to_string(point.threads), FormatDouble(point.wall_seconds, 2),
+                    FormatDouble(point.wall_seconds > 0 ? replicas / point.wall_seconds : 0.0, 2),
+                    FormatDouble(point.wall_seconds > 0 ? serial_wall / point.wall_seconds : 0.0,
+                                 2)});
+  }
+  scaling.Print(std::cout);
+  if (sweep.size() > 1) {
+    bench.Add("speedup_full_vs_serial",
+              sweep.back().wall_seconds > 0 ? serial_wall / sweep.back().wall_seconds : 0.0,
+              "x");
+  }
+
+  // Determinism spot check: same base seed => same merged statistics at
+  // every pool width (SampleSets compare bitwise).
+  const bool identical =
+      serial_ensemble.weekly_uptime.values() == ensemble.weekly_uptime.values() &&
+      serial_ensemble.runs_meeting_weekly_goal == ensemble.runs_meeting_weekly_goal;
+  std::cout << "\nmerged statistics bit-identical across pool widths: "
+            << (identical ? "yes" : "NO (bug!)") << "\n\n";
+  bench.Add("deterministic_across_threads", identical ? 1.0 : 0.0, "bool");
 
   Table t({"metric", "p10", "median", "p90"});
   auto qrow = [&](const std::string& name, const SampleSet& s, bool pct) {
@@ -41,7 +138,7 @@ int main() {
   t.Print(std::cout);
 
   std::cout << "\n";
-  Table odds({"outcome", "probability over " + std::to_string(kRuns) + " runs"});
+  Table odds({"outcome", "probability over " + std::to_string(replicas) + " runs"});
   odds.AddRow({"meets >=95% weekly-uptime goal", FormatPercent(ensemble.GoalProbability())});
   odds.AddRow({"Helium path dead (<50% uptime)", FormatPercent(ensemble.HeliumDeathProbability())});
   odds.Print(std::cout);
@@ -85,5 +182,19 @@ int main() {
   std::cout << "The diary the paper commits to (SS4.5) is what keeps operational\n"
                "knowledge above water across the custodian handovers a 50-year\n"
                "experiment guarantees.\n";
+
+  RunManifest manifest;
+  manifest.run_name = "e5_ensemble";
+  manifest.seed = base.seed;
+  manifest.horizon = base.horizon;
+  manifest.wall_seconds = sweep.back().wall_seconds;
+  manifest.events_executed = static_cast<uint64_t>(total_events);
+  manifest.AddExtra("replicas", std::to_string(replicas));
+  manifest.AddExtra("max_threads", std::to_string(max_threads));
+  bench.SetManifest(std::move(manifest));
+  const std::string path = bench.WriteFile();
+  if (!path.empty()) {
+    std::cout << "\nWrote " << path << "\n";
+  }
   return 0;
 }

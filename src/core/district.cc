@@ -6,6 +6,7 @@
 
 #include "src/city/deployment.h"
 #include "src/reliability/component.h"
+#include "src/sim/ensemble.h"
 #include "src/sim/simulation.h"
 
 namespace centsim {
@@ -24,7 +25,37 @@ struct GatewayState {
 
 }  // namespace
 
+std::vector<std::string> DistrictConfig::Validate() const {
+  std::vector<std::string> diagnostics;
+  if (device_count == 0) {
+    diagnostics.push_back("device_count is zero: a district needs at least one sensor site");
+  }
+  if (horizon.micros() <= 0) {
+    diagnostics.push_back("non-positive horizon (" + horizon.ToString() +
+                          "): set horizon to a positive duration");
+  }
+  if (area_km2 <= 0.0) {
+    diagnostics.push_back("non-positive area_km2: the district needs area to site sensors");
+  }
+  if (zone_grid == 0) {
+    diagnostics.push_back("zone_grid is zero: batch projects need at least one zone");
+  }
+  if (gateway_range_m <= 0.0) {
+    diagnostics.push_back("non-positive gateway_range_m: the gateway grid cannot be planned "
+                          "from a zero coverage range");
+  }
+  if (batch_cycle.micros() <= 0) {
+    diagnostics.push_back("non-positive batch_cycle: device replacement rides the roadworks "
+                          "cadence, which must be positive");
+  }
+  if (gateway_repair_delay.micros() < 0) {
+    diagnostics.push_back("negative gateway_repair_delay: repairs cannot complete in the past");
+  }
+  return diagnostics;
+}
+
 DistrictReport RunDistrictScenario(const DistrictConfig& config) {
+  CheckConfigOrDie("district", config.Validate());
   Simulation sim(config.seed);
   sim.trace().EnableRetention(false);
   DistrictReport report;

@@ -14,6 +14,7 @@
 #define SRC_CORE_DISTRICT_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/core/theseus.h"
@@ -34,6 +35,10 @@ struct DistrictConfig {
   // Device replacement rides the roadworks cadence.
   SimTime batch_cycle = SimTime::Years(8);
   DeviceClassKind device_class = DeviceClassKind::kEnergyHarvesting;
+
+  // Actionable diagnostics (empty = valid); RunDistrictScenario fails
+  // fast on any diagnostic instead of running silently to garbage.
+  std::vector<std::string> Validate() const;
 };
 
 struct DistrictReport {

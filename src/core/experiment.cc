@@ -20,6 +20,7 @@
 #include "src/net/gateway.h"
 #include "src/net/network_server.h"
 #include "src/security/siphash.h"
+#include "src/sim/ensemble.h"
 #include "src/sim/simulation.h"
 #include "src/telemetry/chrome_trace.h"
 #include "src/telemetry/metrics_jsonl.h"
@@ -87,7 +88,44 @@ std::string FlattenConfig(const FiftyYearConfig& config) {
 
 }  // namespace
 
+std::vector<std::string> FiftyYearConfig::Validate() const {
+  std::vector<std::string> diagnostics;
+  if (devices_802154 + devices_lora == 0) {
+    diagnostics.push_back(
+        "no devices: set devices_802154 and/or devices_lora to at least 1");
+  }
+  if (horizon.micros() <= 0) {
+    diagnostics.push_back("non-positive horizon (" + horizon.ToString() +
+                          "): set horizon to a positive duration");
+  }
+  if (report_interval.micros() <= 0) {
+    diagnostics.push_back("non-positive report_interval (" + report_interval.ToString() +
+                          "): devices need a positive reporting cadence");
+  }
+  if (report_interval.micros() > 0 && horizon.micros() > 0 && report_interval > horizon) {
+    diagnostics.push_back("report_interval (" + report_interval.ToString() +
+                          ") exceeds horizon (" + horizon.ToString() +
+                          "): no device would ever report");
+  }
+  if (wallet_usd_per_device < 0.0) {
+    diagnostics.push_back("negative wallet_usd_per_device: wallets cannot be provisioned "
+                          "with negative funds");
+  }
+  if (hotspot_replacement_prob < 0.0 || hotspot_replacement_prob > 1.0) {
+    diagnostics.push_back("hotspot_replacement_prob must be a probability in [0, 1]");
+  }
+  if (area_side_m <= 0.0) {
+    diagnostics.push_back("non-positive area_side_m: the deployment square needs area");
+  }
+  if (replace_failed_devices && device_replacement_delay.micros() < 0) {
+    diagnostics.push_back("negative device_replacement_delay: replacements cannot be "
+                          "scheduled in the past");
+  }
+  return diagnostics;
+}
+
 FiftyYearReport RunFiftyYearExperiment(const FiftyYearConfig& config) {
+  CheckConfigOrDie("fifty_year", config.Validate());
   Simulation sim(config.seed);
   sim.trace().set_min_level(TraceLevel::kMaintenance);
 

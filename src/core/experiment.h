@@ -55,6 +55,12 @@ struct FiftyYearConfig {
   // trace.json (Chrome trace-event / Perfetto) into this directory.
   std::string artifacts_dir;
   std::string run_name = "fifty_year";
+
+  // Actionable diagnostics for configs that cannot produce a meaningful
+  // run (no devices, non-positive horizon, report interval beyond the
+  // horizon...). Empty means valid; RunFiftyYearExperiment fails fast on
+  // any diagnostic instead of running silently to a garbage report.
+  std::vector<std::string> Validate() const;
 };
 
 // Per-path (per-radio-technology) results.

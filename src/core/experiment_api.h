@@ -1,0 +1,83 @@
+// Unified Experiment API.
+//
+// Every top-level experiment in centsim — the paper's 50-year two-path
+// experiment, the district rollout, and the Ship-of-Theseus century
+// scenario — exposes the same static shape so that generic machinery
+// (EnsembleRunner, sweep harnesses, scenario loaders) can drive any of
+// them without per-experiment glue:
+//
+//   struct SomeExperiment {
+//     using Config = ...;   // has uint64_t seed, SimTime horizon, and
+//                           // std::vector<std::string> Validate() const
+//     using Report = ...;   // default-constructible result bundle
+//     static const char* Name();
+//     static Report Run(const Config&);
+//   };
+//
+// `Validate()` returns actionable diagnostics (empty = valid); the Run*
+// entrypoints route it through CheckConfigOrDie so an impossible config
+// fails fast instead of producing a silent garbage run. The ExperimentType
+// concept below is the authoritative statement of the API; all three
+// shipped experiments are static_asserted against it, so a drift in any
+// Config/Report breaks the build here, not in a user's template stack.
+
+#ifndef SRC_CORE_EXPERIMENT_API_H_
+#define SRC_CORE_EXPERIMENT_API_H_
+
+#include <concepts>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/district.h"
+#include "src/core/experiment.h"
+#include "src/core/theseus.h"
+#include "src/sim/ensemble.h"
+#include "src/sim/time.h"
+
+namespace centsim {
+
+template <typename E>
+concept ExperimentType = requires(const typename E::Config& config) {
+  typename E::Config;
+  typename E::Report;
+  requires std::default_initializable<typename E::Report>;
+  { E::Name() } -> std::convertible_to<std::string_view>;
+  { E::Run(config) } -> std::same_as<typename E::Report>;
+  { config.seed } -> std::convertible_to<uint64_t>;
+  { config.horizon } -> std::convertible_to<SimTime>;
+  { config.Validate() } -> std::same_as<std::vector<std::string>>;
+};
+
+// The paper's §4 two-path 50-year experiment (src/core/experiment.h).
+struct FiftyYearExperiment {
+  using Config = FiftyYearConfig;
+  using Report = FiftyYearReport;
+  static const char* Name() { return "fifty_year"; }
+  static Report Run(const Config& config) { return RunFiftyYearExperiment(config); }
+};
+
+// District-scale rollout with planned gateway grid (src/core/district.h).
+struct DistrictExperiment {
+  using Config = DistrictConfig;
+  using Report = DistrictReport;
+  static const char* Name() { return "district"; }
+  static Report Run(const Config& config) { return RunDistrictScenario(config); }
+};
+
+// Ship-of-Theseus century fleet scenario (src/core/theseus.h).
+struct CenturyExperiment {
+  using Config = CenturyConfig;
+  using Report = CenturyReport;
+  static const char* Name() { return "century"; }
+  static Report Run(const Config& config) { return RunCenturyScenario(config); }
+};
+
+static_assert(ExperimentType<FiftyYearExperiment>);
+static_assert(ExperimentType<DistrictExperiment>);
+static_assert(ExperimentType<CenturyExperiment>);
+
+}  // namespace centsim
+
+#endif  // SRC_CORE_EXPERIMENT_API_H_

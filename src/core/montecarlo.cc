@@ -2,13 +2,13 @@
 
 namespace centsim {
 
-FiftyYearEnsemble SweepFiftyYear(FiftyYearConfig base, uint32_t runs, double weekly_goal) {
+FiftyYearEnsemble AggregateFiftyYear(
+    const std::vector<EnsembleRunner<FiftyYearExperiment>::Replica>& replicas,
+    double weekly_goal) {
   FiftyYearEnsemble ensemble;
-  ensemble.runs = runs;
-  for (uint32_t i = 0; i < runs; ++i) {
-    FiftyYearConfig cfg = base;
-    cfg.seed = base.seed + i;
-    const FiftyYearReport report = RunFiftyYearExperiment(cfg);
+  ensemble.runs = static_cast<uint32_t>(replicas.size());
+  for (const auto& replica : replicas) {
+    const FiftyYearReport& report = replica.report;
     ensemble.weekly_uptime.Add(report.weekly_uptime);
     ensemble.owned_path_uptime.Add(report.owned_path.group_weekly_uptime);
     ensemble.helium_path_uptime.Add(report.helium_path.group_weekly_uptime);
@@ -25,6 +25,16 @@ FiftyYearEnsemble SweepFiftyYear(FiftyYearConfig base, uint32_t runs, double wee
     }
   }
   return ensemble;
+}
+
+FiftyYearEnsemble SweepFiftyYear(FiftyYearConfig base, uint32_t runs, double weekly_goal,
+                                 uint32_t threads) {
+  EnsembleOptions options;
+  options.replicas = runs;
+  options.threads = threads;
+  options.run_name = "sweep_fifty_year";
+  const auto result = EnsembleRunner<FiftyYearExperiment>::Run(std::move(base), options);
+  return AggregateFiftyYear(result.replicas, weekly_goal);
 }
 
 }  // namespace centsim

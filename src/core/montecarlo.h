@@ -2,13 +2,21 @@
 // physical instance; the simulator can run the counterfactual ensemble and
 // report distributions instead of anecdotes (how often does the Helium
 // path die? what is the p10 weekly uptime?).
+//
+// The heavy lifting lives in the generic EnsembleRunner
+// (src/sim/ensemble.h); this header keeps the fifty-year-specific
+// aggregate and a thin compatibility wrapper. Replica seeds are derived
+// with DeriveReplicaSeed(base.seed, i) — SplitMix64 stream splitting, not
+// the correlation-prone `base.seed + i` of earlier versions — so for a
+// fixed base seed the ensemble is bit-identical at any thread count.
 
 #ifndef SRC_CORE_MONTECARLO_H_
 #define SRC_CORE_MONTECARLO_H_
 
 #include <cstdint>
+#include <vector>
 
-#include "src/core/experiment.h"
+#include "src/core/experiment_api.h"
 #include "src/sim/stats.h"
 
 namespace centsim {
@@ -34,10 +42,19 @@ struct FiftyYearEnsemble {
   }
 };
 
-// Runs the experiment for seeds base.seed, base.seed+1, ..., collecting
-// the ensemble. `weekly_goal` scores the paper's success criterion.
+// Folds an ordered set of replica reports into the ensemble aggregate.
+// `weekly_goal` scores the paper's success criterion. Reports must be in
+// replica-index order for reproducible SampleSet contents.
+FiftyYearEnsemble AggregateFiftyYear(
+    const std::vector<EnsembleRunner<FiftyYearExperiment>::Replica>& replicas,
+    double weekly_goal = 0.95);
+
+// Compatibility wrapper over EnsembleRunner<FiftyYearExperiment>: runs
+// `runs` replicas with stream-split seeds derived from base.seed across
+// `threads` workers (0 = hardware concurrency) and aggregates them. For a
+// fixed base seed the output is bit-identical at any thread count.
 FiftyYearEnsemble SweepFiftyYear(FiftyYearConfig base, uint32_t runs,
-                                 double weekly_goal = 0.95);
+                                 double weekly_goal = 0.95, uint32_t threads = 1);
 
 }  // namespace centsim
 

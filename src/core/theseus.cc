@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/sim/ensemble.h"
 #include "src/sim/simulation.h"
 
 namespace centsim {
@@ -17,7 +18,33 @@ struct SiteState {
 
 }  // namespace
 
+std::vector<std::string> CenturyConfig::Validate() const {
+  std::vector<std::string> diagnostics;
+  if (fleet_size == 0) {
+    diagnostics.push_back("fleet_size is zero: the century fleet needs at least one site");
+  }
+  if (horizon.micros() <= 0) {
+    diagnostics.push_back("non-positive horizon (" + horizon.ToString() +
+                          "): set horizon to a positive duration");
+  }
+  if (batch.zone_count == 0) {
+    diagnostics.push_back("batch.zone_count is zero: batch projects need at least one zone");
+  }
+  if (batch.cycle_period.micros() <= 0) {
+    diagnostics.push_back("non-positive batch.cycle_period: zones must be revisited on a "
+                          "positive cadence");
+  }
+  if (proactive_refresh_age.micros() < 0) {
+    diagnostics.push_back("negative proactive_refresh_age: use 0 to disable proactive refresh");
+  }
+  if (life_improvement_per_decade <= 0.0) {
+    diagnostics.push_back("life_improvement_per_decade must be positive (1.0 = no improvement)");
+  }
+  return diagnostics;
+}
+
 CenturyReport RunCenturyScenario(const CenturyConfig& config) {
+  CheckConfigOrDie("century", config.Validate());
   Simulation sim(config.seed);
   sim.trace().set_min_level(TraceLevel::kFailure);
   sim.trace().EnableRetention(false);  // Fleet-scale: counts, not records.

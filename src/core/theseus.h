@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "src/mgmt/batch_project.h"
@@ -46,6 +47,10 @@ struct CenturyConfig {
   // Units installed in later batches last longer by this factor per decade
   // (technology improvement across generations). 1.0 = no improvement.
   double life_improvement_per_decade = 1.0;
+
+  // Actionable diagnostics (empty = valid); RunCenturyScenario fails
+  // fast on any diagnostic instead of running silently to garbage.
+  std::vector<std::string> Validate() const;
 };
 
 struct CenturyReport {

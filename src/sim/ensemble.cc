@@ -1,0 +1,31 @@
+#include "src/sim/ensemble.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/sim/random.h"
+
+namespace centsim {
+
+uint64_t DeriveReplicaSeed(uint64_t base_seed, uint32_t replica_index) {
+  // First step whitens the base seed so structured bases (0, 1, 2...) fan
+  // out; the second folds in the index scaled by the golden-ratio
+  // increment, giving each replica its own SplitMix64 stream.
+  uint64_t state = base_seed;
+  const uint64_t root = SplitMix64(state);
+  state = root ^ ((static_cast<uint64_t>(replica_index) + 1) * 0x9e3779b97f4a7c15ULL);
+  return SplitMix64(state);
+}
+
+void CheckConfigOrDie(std::string_view experiment, const std::vector<std::string>& diagnostics) {
+  if (diagnostics.empty()) {
+    return;
+  }
+  for (const std::string& diagnostic : diagnostics) {
+    std::fprintf(stderr, "[%.*s] invalid config: %s\n", static_cast<int>(experiment.size()),
+                 experiment.data(), diagnostic.c_str());
+  }
+  std::abort();
+}
+
+}  // namespace centsim

@@ -1,0 +1,209 @@
+// Parallel deterministic ensemble engine.
+//
+// EnsembleRunner<Experiment> executes N replicas of any experiment that
+// follows the unified Experiment API (src/core/experiment_api.h): a
+// `Config` with `seed`/`horizon`/`Validate()`, a `Report`, a static
+// `Run(const Config&)`, and a static `Name()`. Replicas are spread across
+// a fixed-size ThreadPool; replica i always runs with seed
+// DeriveReplicaSeed(base.seed, i), writes its report into slot i, and all
+// cross-replica folding (metrics merge, manifest aggregation) happens on
+// the calling thread in replica-index order after the pool drains. The
+// result is therefore bit-identical for a given base seed regardless of
+// worker count or completion order.
+//
+// Layering note: this header lives in src/sim and is deliberately
+// duck-typed (requires-expressions, not the ExperimentType concept) so the
+// engine does not depend on src/core; the concept in experiment_api.h is
+// the authoritative statement of the API and is static_asserted against
+// all three shipped experiments.
+
+#ifndef SRC_SIM_ENSEMBLE_H_
+#define SRC_SIM_ENSEMBLE_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/sim/metrics.h"
+#include "src/sim/thread_pool.h"
+#include "src/telemetry/metrics_jsonl.h"
+#include "src/telemetry/run_manifest.h"
+
+namespace centsim {
+
+// Derives the seed for replica `replica_index` from the ensemble's base
+// seed via two chained SplitMix64 steps (whiten the base seed, then mix in
+// the index). Unlike the former `base_seed + i`, nearby indices land in
+// unrelated regions of the seed space, so per-entity streams derived from
+// neighbouring replicas never correlate.
+uint64_t DeriveReplicaSeed(uint64_t base_seed, uint32_t replica_index);
+
+// Prints one line per diagnostic to stderr and aborts when the list is
+// non-empty; no-op otherwise. The shared fail-fast guard every Run*
+// entrypoint routes its Config::Validate() result through.
+void CheckConfigOrDie(std::string_view experiment, const std::vector<std::string>& diagnostics);
+
+struct EnsembleOptions {
+  uint32_t replicas = 1;
+  // Worker threads; 0 means ThreadPool::DefaultThreadCount(). Capped at
+  // `replicas` — extra workers would only idle.
+  uint32_t threads = 1;
+  // Attach a fresh MetricsRegistry to every replica (experiments whose
+  // Config has a `metrics` hook only) and merge them in index order.
+  bool collect_metrics = false;
+  // When non-empty, write ensemble_manifest.json (and metrics.jsonl when
+  // collecting) into this directory.
+  std::string artifacts_dir;
+  std::string run_name = "ensemble";
+};
+
+template <typename Experiment>
+class EnsembleRunner {
+ public:
+  using Config = typename Experiment::Config;
+  using Report = typename Experiment::Report;
+
+  struct Replica {
+    uint32_t index = 0;
+    uint64_t seed = 0;
+    double wall_seconds = 0.0;
+    uint64_t events_executed = 0;  // 0 when the report does not track it.
+    Report report;
+  };
+
+  struct Result {
+    std::string experiment;
+    uint64_t base_seed = 0;
+    uint32_t threads_used = 0;
+    double wall_seconds = 0.0;
+    std::vector<Replica> replicas;  // Replica-index order, not finish order.
+    // Merged per-replica registries (null unless collect_metrics was set
+    // and the experiment's Config carries a `metrics` hook).
+    std::unique_ptr<MetricsRegistry> metrics;
+    EnsembleManifest manifest;
+    std::string manifest_path;  // Set when artifacts_dir was written.
+    std::string metrics_path;
+  };
+
+  static Result Run(Config base, const EnsembleOptions& options) {
+    static_assert(
+        requires(const Config& c) {
+          { Experiment::Name() };
+          { Experiment::Run(c) };
+          { c.Validate() };
+        },
+        "Experiment must follow the unified Experiment API "
+        "(src/core/experiment_api.h): Name(), Run(const Config&), "
+        "Config::Validate()");
+    CheckConfigOrDie(Experiment::Name(), base.Validate());
+
+    constexpr bool kHasMetricsHook = requires(Config& c, MetricsRegistry* m) { c.metrics = m; };
+
+    Result result;
+    result.experiment = Experiment::Name();
+    result.base_seed = base.seed;
+    const uint32_t replicas = std::max(1u, options.replicas);
+    uint32_t threads =
+        options.threads == 0 ? ThreadPool::DefaultThreadCount() : options.threads;
+    threads = std::min(threads, replicas);
+    result.threads_used = threads;
+
+    // Per-replica registries are allocated up front so workers only ever
+    // touch their own slot.
+    std::vector<std::unique_ptr<MetricsRegistry>> registries;
+    if (options.collect_metrics && kHasMetricsHook) {
+      registries.resize(replicas);
+      for (auto& registry : registries) {
+        registry = std::make_unique<MetricsRegistry>();
+      }
+    }
+
+    result.replicas.resize(replicas);
+    const auto ensemble_start = std::chrono::steady_clock::now();
+    {
+      ThreadPool pool(threads);
+      for (uint32_t i = 0; i < replicas; ++i) {
+        pool.Submit([&result, &base, &registries, i] {
+          Config cfg = base;
+          cfg.seed = DeriveReplicaSeed(base.seed, i);
+          // Observability plumbing is per-replica: a caller-supplied
+          // registry/profiler must never be shared across workers, and a
+          // caller artifacts_dir would make replicas overwrite each other.
+          if constexpr (kHasMetricsHook) {
+            cfg.metrics = registries.empty() ? nullptr : registries[i].get();
+          }
+          if constexpr (requires { cfg.profiler = nullptr; }) {
+            cfg.profiler = nullptr;
+          }
+          if constexpr (requires { cfg.artifacts_dir.clear(); }) {
+            cfg.artifacts_dir.clear();
+          }
+
+          Replica& slot = result.replicas[i];
+          slot.index = i;
+          slot.seed = cfg.seed;
+          const auto replica_start = std::chrono::steady_clock::now();
+          slot.report = Experiment::Run(cfg);
+          slot.wall_seconds = std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() - replica_start)
+                                  .count();
+          if constexpr (requires { slot.report.events_executed; }) {
+            slot.events_executed = slot.report.events_executed;
+          }
+        });
+      }
+      pool.Wait();
+    }
+    result.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - ensemble_start)
+            .count();
+
+    // All folding below is single-threaded and index-ordered: this is what
+    // makes the merged statistics independent of worker interleaving.
+    if (!registries.empty()) {
+      result.metrics = std::make_unique<MetricsRegistry>();
+      for (const auto& registry : registries) {
+        result.metrics->Merge(*registry);
+      }
+    }
+
+    result.manifest.run_name = options.run_name;
+    result.manifest.experiment = result.experiment;
+    result.manifest.base_seed = result.base_seed;
+    result.manifest.replicas = replicas;
+    result.manifest.threads = threads;
+    if constexpr (requires { base.horizon; }) {
+      result.manifest.horizon = base.horizon;
+    }
+    result.manifest.wall_seconds = result.wall_seconds;
+    result.manifest.replica_runs.reserve(replicas);
+    for (const Replica& replica : result.replicas) {
+      result.manifest.replica_runs.push_back(
+          {replica.index, replica.seed, replica.wall_seconds, replica.events_executed});
+    }
+
+    if (!options.artifacts_dir.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(options.artifacts_dir, ec);
+      const std::string dir = options.artifacts_dir + "/";
+      if (result.manifest.WriteFile(dir + "ensemble_manifest.json")) {
+        result.manifest_path = dir + "ensemble_manifest.json";
+      }
+      if (result.metrics != nullptr &&
+          WriteMetricsJsonlFile(*result.metrics, dir + "metrics.jsonl")) {
+        result.metrics_path = dir + "metrics.jsonl";
+      }
+    }
+    return result;
+  }
+};
+
+}  // namespace centsim
+
+#endif  // SRC_SIM_ENSEMBLE_H_

@@ -49,7 +49,9 @@ std::string RunManifest::ToJson() const {
   return out;
 }
 
-bool RunManifest::WriteFile(const std::string& path, std::string* error) const {
+namespace {
+
+bool WriteJsonFile(const std::string& json, const std::string& path, std::string* error) {
   std::ofstream out(path);
   if (!out) {
     if (error != nullptr) {
@@ -57,7 +59,7 @@ bool RunManifest::WriteFile(const std::string& path, std::string* error) const {
     }
     return false;
   }
-  out << ToJson();
+  out << json;
   out.close();
   if (out.fail()) {
     if (error != nullptr) {
@@ -66,6 +68,54 @@ bool RunManifest::WriteFile(const std::string& path, std::string* error) const {
     return false;
   }
   return true;
+}
+
+}  // namespace
+
+bool RunManifest::WriteFile(const std::string& path, std::string* error) const {
+  return WriteJsonFile(ToJson(), path, error);
+}
+
+uint64_t EnsembleManifest::TotalEventsExecuted() const {
+  uint64_t total = 0;
+  for (const ReplicaRun& run : replica_runs) {
+    total += run.events_executed;
+  }
+  return total;
+}
+
+std::string EnsembleManifest::ToJson() const {
+  std::string out = "{\n";
+  out += "  \"run_name\": \"" + JsonEscape(run_name) + "\",\n";
+  out += "  \"experiment\": \"" + JsonEscape(experiment) + "\",\n";
+  out += "  \"base_seed\": " + std::to_string(base_seed) + ",\n";
+  out += "  \"seed_derivation\": \"" + JsonEscape(seed_derivation) + "\",\n";
+  out += "  \"replicas\": " + std::to_string(replicas) + ",\n";
+  out += "  \"threads\": " + std::to_string(threads) + ",\n";
+  out += "  \"horizon_us\": " + std::to_string(horizon.micros()) + ",\n";
+  out += "  \"horizon\": \"" + JsonEscape(horizon.ToString()) + "\",\n";
+  out += "  \"library_version\": \"" + JsonEscape(library_version) + "\",\n";
+  out += "  \"wall_seconds\": " + JsonNumber(wall_seconds) + ",\n";
+  out += "  \"events_executed\": " + std::to_string(TotalEventsExecuted()) + ",\n";
+  out += "  \"replica_runs\": [";
+  bool first = true;
+  for (const ReplicaRun& run : replica_runs) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "\n    {\"index\": " + std::to_string(run.index) +
+           ", \"seed\": " + std::to_string(run.seed) +
+           ", \"wall_seconds\": " + JsonNumber(run.wall_seconds) +
+           ", \"events_executed\": " + std::to_string(run.events_executed) + "}";
+  }
+  out += replica_runs.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+bool EnsembleManifest::WriteFile(const std::string& path, std::string* error) const {
+  return WriteJsonFile(ToJson(), path, error);
 }
 
 }  // namespace centsim

@@ -50,6 +50,38 @@ struct RunManifest {
   bool WriteFile(const std::string& path, std::string* error = nullptr) const;
 };
 
+// Aggregated manifest for an N-replica ensemble: one artifact folding the
+// per-replica run manifests (seed, wall time, event count) together with
+// the ensemble-level facts a future custodian needs to re-run it — the
+// base seed, the seed-derivation scheme, and the worker-pool width.
+struct EnsembleManifest {
+  std::string run_name;
+  std::string experiment;  // Experiment::Name() of the replicated run.
+  uint64_t base_seed = 0;
+  // Replica seeds come from DeriveReplicaSeed(base_seed, index); recorded
+  // so manifests stay self-describing if the scheme ever changes again.
+  std::string seed_derivation = "splitmix64-stream";
+  uint32_t replicas = 0;
+  uint32_t threads = 0;
+  SimTime horizon;
+  std::string library_version = kCentsimVersion;
+  double wall_seconds = 0.0;  // Whole-ensemble wall clock.
+
+  struct ReplicaRun {
+    uint32_t index = 0;
+    uint64_t seed = 0;
+    double wall_seconds = 0.0;
+    uint64_t events_executed = 0;
+  };
+  std::vector<ReplicaRun> replica_runs;  // Replica-index order.
+
+  uint64_t TotalEventsExecuted() const;
+
+  std::string ToJson() const;
+  // Writes ToJson() to `path`; false (and `error`) on I/O failure.
+  bool WriteFile(const std::string& path, std::string* error = nullptr) const;
+};
+
 }  // namespace centsim
 
 #endif  // SRC_TELEMETRY_RUN_MANIFEST_H_

@@ -1,28 +1,39 @@
 #!/usr/bin/env bash
-# Build the whole tree under AddressSanitizer + UBSan and run the tier-1
-# test suite. Usage:
+# Build the whole tree under a sanitizer and run the tier-1 test suite.
+# Usage:
 #
 #   tools/sanitize.sh                 # address,undefined (default)
 #   tools/sanitize.sh undefined       # UBSan only
-#   CTEST_ARGS="-R Profiler" tools/sanitize.sh
+#   tools/sanitize.sh thread          # ThreadSanitizer (CENTSIM_TSAN)
+#   CTEST_ARGS="-R Ensemble" tools/sanitize.sh thread
 #
-# Uses a dedicated build tree (build-asan/) so it never poisons the
-# regular build/ objects with instrumented ones.
+# Uses a dedicated build tree per sanitizer family (build-asan/ or
+# build-tsan/) so it never poisons the regular build/ objects with
+# instrumented ones. TSan cannot be combined with ASan, so `thread` routes
+# through the CENTSIM_TSAN CMake option instead of CENTSIM_SANITIZE.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 SANITIZERS="${1:-address,undefined}"
-BUILD_DIR="build-asan"
 
-cmake -B "${BUILD_DIR}" -S . \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DCENTSIM_SANITIZE="${SANITIZERS}"
+if [[ "${SANITIZERS}" == "thread" ]]; then
+  BUILD_DIR="build-tsan"
+  cmake -B "${BUILD_DIR}" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCENTSIM_TSAN=ON
+else
+  BUILD_DIR="build-asan"
+  cmake -B "${BUILD_DIR}" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCENTSIM_SANITIZE="${SANITIZERS}"
+fi
 cmake --build "${BUILD_DIR}" -j "$(nproc)"
 
 # halt_on_error keeps CI signal crisp: first report fails the run.
 export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:halt_on_error=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" ${CTEST_ARGS:-}
 echo "sanitize(${SANITIZERS}): all tests passed"

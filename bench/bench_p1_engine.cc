@@ -3,15 +3,29 @@
 // DESIGN.md ablation of lazy next-failure sampling vs per-tick hazard
 // evaluation.
 //
-// Besides the google-benchmark console tables, the binary measures scheduler
-// throughput with and without the observability layer (metrics registry +
-// profiler) attached and writes the comparison to BENCH_p1_engine.json.
+// The event-core rebuild (slot-indexed pool + EventFn inline callbacks +
+// 4-ary heap) is benchmarked against `SeedScheduler`, a faithful replica
+// of the pre-rebuild scheduler (std::function closures, std::priority_queue,
+// unordered_map action table, unordered_set cancel set). Measuring the
+// replica in the same binary gives before/after numbers from the same
+// machine, same compiler, same run — no stale-baseline anecdotes.
+//
+// Besides the google-benchmark console tables, the binary measures
+// before/after throughput, cancel-heavy and periodic-storm workloads, and
+// steady-state allocations per event (via the src/sim/alloc_probe.h
+// operator-new override linked into this binary), and writes everything to
+// BENCH_p1_engine.json.
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/energy/harvester.h"
@@ -19,6 +33,7 @@
 #include "src/radio/phy_802154.h"
 #include "src/reliability/component.h"
 #include "src/reliability/hazard.h"
+#include "src/sim/alloc_probe.h"
 #include "src/sim/metrics.h"
 #include "src/sim/profiler.h"
 #include "src/sim/random.h"
@@ -27,6 +42,103 @@
 
 namespace centsim {
 namespace {
+
+// Replica of the seed event core (commit 9ba657e src/sim/scheduler.*):
+// heap of (time, id) entries, closures boxed in std::function and parked
+// in an unordered_map, cancellation via an unordered_set. Every schedule
+// pays a map insert (+ usually a closure heap allocation); every run pays
+// a map find + erase.
+class SeedScheduler {
+ public:
+  SimTime Now() const { return now_; }
+
+  uint64_t ScheduleAt(SimTime at, std::function<void()> fn) {
+    const uint64_t id = next_id_++;
+    heap_.push(Entry{at, id});
+    actions_.emplace(id, std::move(fn));
+    return id;
+  }
+  uint64_t ScheduleAfter(SimTime delay, std::function<void()> fn) {
+    return ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  bool Cancel(uint64_t id) {
+    auto it = actions_.find(id);
+    if (it == actions_.end()) {
+      return false;
+    }
+    actions_.erase(it);
+    cancelled_.insert(id);
+    return true;
+  }
+
+  uint64_t RunUntil(SimTime horizon) {
+    uint64_t ran = 0;
+    while (true) {
+      SkimCancelled();
+      if (heap_.empty() || horizon < heap_.top().at) {
+        break;
+      }
+      const Entry top = heap_.top();
+      heap_.pop();
+      now_ = top.at;
+      auto it = actions_.find(top.id);
+      std::function<void()> fn = std::move(it->second);
+      actions_.erase(it);
+      fn();
+      ++ran;
+    }
+    if (now_ < horizon) {
+      now_ = horizon;
+    }
+    return ran;
+  }
+
+ private:
+  struct Entry {
+    SimTime at;
+    uint64_t id;
+    bool operator>(const Entry& other) const {
+      if (at != other.at) {
+        return other.at < at;
+      }
+      return id > other.id;
+    }
+  };
+
+  void SkimCancelled() {
+    while (!heap_.empty()) {
+      auto it = cancelled_.find(heap_.top().id);
+      if (it == cancelled_.end()) {
+        return;
+      }
+      cancelled_.erase(it);
+      heap_.pop();
+    }
+  }
+
+  SimTime now_;
+  uint64_t next_id_ = 1;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  std::unordered_set<uint64_t> cancelled_;
+  std::unordered_map<uint64_t, std::function<void()>> actions_;
+};
+
+// Self-rescheduling workload functor shared by both schedulers: a 24-byte
+// capture, comfortably inside EventFn's 48-byte inline budget and just
+// over std::function's 16-byte one — exactly the closure shape the
+// simulator's device/report/failure events have.
+template <typename SchedT>
+struct SelfTick {
+  SchedT* sched;
+  uint64_t* ticks;
+  uint64_t limit;
+  void operator()() const {
+    if (++*ticks < limit) {
+      sched->ScheduleAfter(SimTime::Micros(10), *this);
+    }
+  }
+};
 
 void BM_SchedulerThroughput(benchmark::State& state) {
   const int64_t batch = state.range(0);
@@ -43,16 +155,26 @@ void BM_SchedulerThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_SchedulerThroughput)->Arg(1000)->Arg(100000);
 
+void BM_SeedSchedulerThroughput(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  for (auto _ : state) {
+    SeedScheduler sched;
+    uint64_t sink = 0;
+    for (int64_t i = 0; i < batch; ++i) {
+      sched.ScheduleAt(SimTime::Micros(i % 1000), [&sink] { ++sink; });
+    }
+    sched.RunUntil(SimTime::Seconds(1));
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_SeedSchedulerThroughput)->Arg(1000)->Arg(100000);
+
 void BM_SchedulerSelfRescheduling(benchmark::State& state) {
   for (auto _ : state) {
     Scheduler sched;
     uint64_t ticks = 0;
-    std::function<void()> tick = [&] {
-      if (++ticks < 100000) {
-        sched.ScheduleAfter(SimTime::Micros(10), tick);
-      }
-    };
-    sched.ScheduleAfter(SimTime::Micros(10), tick);
+    sched.ScheduleAfter(SimTime::Micros(10), SelfTick<Scheduler>{&sched, &ticks, 100000});
     sched.RunUntil(SimTime::Seconds(10));
     benchmark::DoNotOptimize(ticks);
   }
@@ -60,30 +182,117 @@ void BM_SchedulerSelfRescheduling(benchmark::State& state) {
 }
 BENCHMARK(BM_SchedulerSelfRescheduling);
 
+void BM_SeedSchedulerSelfRescheduling(benchmark::State& state) {
+  for (auto _ : state) {
+    SeedScheduler sched;
+    uint64_t ticks = 0;
+    sched.ScheduleAfter(SimTime::Micros(10), SelfTick<SeedScheduler>{&sched, &ticks, 100000});
+    sched.RunUntil(SimTime::Seconds(10));
+    benchmark::DoNotOptimize(ticks);
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_SeedSchedulerSelfRescheduling);
+
 // Same workload with the observability layer attached: a SchedulerProfiler
 // sampling wall time 1-in-16 and a counter bumped per event. Comparing
 // against BM_SchedulerSelfRescheduling bounds the profiling overhead.
 void BM_SchedulerSelfReschedulingProfiled(benchmark::State& state) {
+  struct ProfiledTick {
+    Scheduler* sched;
+    Counter* metric;
+    uint64_t* ticks;
+    void operator()() const {
+      MetricInc(metric);
+      if (++*ticks < 100000) {
+        sched->ScheduleAfter(SimTime::Micros(10), *this, "bench.tick");
+      }
+    }
+  };
   for (auto _ : state) {
     Scheduler sched;
     MetricsRegistry registry;
     SchedulerProfiler profiler;
     sched.SetProfiler(&profiler);
-    Counter* ticks_metric = registry.GetCounter("bench.ticks");
     uint64_t ticks = 0;
-    std::function<void()> tick = [&] {
-      MetricInc(ticks_metric);
-      if (++ticks < 100000) {
-        sched.ScheduleAfter(SimTime::Micros(10), tick, "bench.tick");
-      }
-    };
-    sched.ScheduleAfter(SimTime::Micros(10), tick, "bench.tick");
+    sched.ScheduleAfter(SimTime::Micros(10),
+                        ProfiledTick{&sched, registry.GetCounter("bench.ticks"), &ticks},
+                        "bench.tick");
     sched.RunUntil(SimTime::Seconds(10));
     benchmark::DoNotOptimize(ticks);
   }
   state.SetItemsProcessed(state.iterations() * 100000);
 }
 BENCHMARK(BM_SchedulerSelfReschedulingProfiled);
+
+// Cancel-heavy workload: every second event is cancelled before it can
+// run (gateway repair timers, device watchdogs). The seed scheduler paid
+// two hash-set operations per cancel; the event core pays one comparison
+// and one lazy heap pop.
+void BM_SchedulerCancelHeavy(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  std::vector<EventId> ids;
+  ids.reserve(batch);
+  for (auto _ : state) {
+    Scheduler sched;
+    uint64_t sink = 0;
+    ids.clear();
+    for (int64_t i = 0; i < batch; ++i) {
+      ids.push_back(sched.ScheduleAt(SimTime::Micros(i % 1000), [&sink] { ++sink; }));
+    }
+    for (int64_t i = 0; i < batch; i += 2) {
+      sched.Cancel(ids[i]);
+    }
+    sched.RunUntil(SimTime::Seconds(1));
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_SchedulerCancelHeavy)->Arg(100000);
+
+void BM_SeedSchedulerCancelHeavy(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  std::vector<uint64_t> ids;
+  ids.reserve(batch);
+  for (auto _ : state) {
+    SeedScheduler sched;
+    uint64_t sink = 0;
+    ids.clear();
+    for (int64_t i = 0; i < batch; ++i) {
+      ids.push_back(sched.ScheduleAt(SimTime::Micros(i % 1000), [&sink] { ++sink; }));
+    }
+    for (int64_t i = 0; i < batch; i += 2) {
+      sched.Cancel(ids[i]);
+    }
+    sched.RunUntil(SimTime::Seconds(1));
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_SeedSchedulerCancelHeavy)->Arg(100000);
+
+// Periodic storm: 10k PeriodicEvents (harvester duty cycles, report
+// timers) ticking concurrently. Every firing reuses its slot and inline
+// callback, so the steady state allocates nothing.
+void BM_SchedulerPeriodicStorm(benchmark::State& state) {
+  constexpr int kEvents = 10000;
+  constexpr int kPeriods = 20;
+  for (auto _ : state) {
+    Scheduler sched;
+    uint64_t fires = 0;
+    std::vector<std::unique_ptr<PeriodicEvent>> storm;
+    storm.reserve(kEvents);
+    for (int i = 0; i < kEvents; ++i) {
+      storm.push_back(std::make_unique<PeriodicEvent>(sched, SimTime::Seconds(1),
+                                                      [&fires] { ++fires; }, "bench.storm"));
+      storm.back()->Start(SimTime::Millis(i % 1000));
+    }
+    sched.RunUntil(SimTime::Seconds(kPeriods));
+    benchmark::DoNotOptimize(fires);
+  }
+  state.SetItemsProcessed(state.iterations() * kEvents * kPeriods);
+}
+BENCHMARK(BM_SchedulerPeriodicStorm);
 
 // DESIGN.md ablation 1: binary-heap event queue vs naive sorted insertion.
 // The naive structure keeps a sorted vector and inserts via binary search +
@@ -197,10 +406,77 @@ void BM_SolarEnergyIntegralOneHour(benchmark::State& state) {
 }
 BENCHMARK(BM_SolarEnergyIntegralOneHour);
 
-// Measures self-rescheduling scheduler throughput directly (outside the
-// google-benchmark harness), optionally with the observability layer
-// attached. Events/sec comes from the metrics layer itself when enabled:
-// the profiler's sched.events_total counter is the numerator.
+// --- BENCH_p1_engine.json record ------------------------------------------
+
+// Self-rescheduling events/sec for either scheduler type.
+template <typename SchedT>
+double MeasureSelfResched(uint64_t events) {
+  SchedT sched;
+  uint64_t ticks = 0;
+  sched.ScheduleAfter(SimTime::Micros(10), SelfTick<SchedT>{&sched, &ticks, events});
+  const auto t0 = std::chrono::steady_clock::now();
+  sched.RunUntil(SimTime::Hours(1));
+  const double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return secs > 0 ? static_cast<double>(ticks) / secs : 0.0;
+}
+
+// Schedule-then-drain events/sec (the BM_SchedulerThroughput workload:
+// batch events over a 1 ms window, then one RunUntil) for either type.
+template <typename SchedT>
+double MeasureThroughput(uint64_t batch) {
+  SchedT sched;
+  uint64_t sink = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < batch; ++i) {
+    sched.ScheduleAt(SimTime::Micros(static_cast<int64_t>(i % 1000)), [&sink] { ++sink; });
+  }
+  sched.RunUntil(SimTime::Seconds(1));
+  const double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  benchmark::DoNotOptimize(sink);
+  return secs > 0 ? static_cast<double>(batch) / secs : 0.0;
+}
+
+// Schedule-then-drain events/sec with a 50% cancel rate for either type.
+template <typename SchedT>
+double MeasureCancelHeavy(uint64_t batch) {
+  SchedT sched;
+  uint64_t sink = 0;
+  std::vector<uint64_t> ids;
+  ids.reserve(batch);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < batch; ++i) {
+    ids.push_back(sched.ScheduleAt(SimTime::Micros(i % 1000), [&sink] { ++sink; }));
+  }
+  for (uint64_t i = 0; i < batch; i += 2) {
+    sched.Cancel(ids[i]);
+  }
+  sched.RunUntil(SimTime::Seconds(1));
+  const double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  benchmark::DoNotOptimize(sink);
+  return secs > 0 ? static_cast<double>(batch) / secs : 0.0;
+}
+
+// Allocations per event once warm (pool grown, arrays sized). The event
+// core must report exactly 0; the seed replica pays for the std::function
+// box every reschedule.
+template <typename SchedT>
+double MeasureSteadyAllocsPerEvent(uint64_t events) {
+  if (!AllocProbeEnabled()) {
+    return -1.0;  // Sanitizer build: probe compiled out.
+  }
+  SchedT sched;
+  uint64_t ticks = 0;
+  sched.ScheduleAfter(SimTime::Micros(10), SelfTick<SchedT>{&sched, &ticks, 1000});
+  sched.RunUntil(SimTime::Hours(1));  // Warm-up.
+  ticks = 0;
+  AllocScope scope;
+  sched.ScheduleAfter(SimTime::Micros(10), SelfTick<SchedT>{&sched, &ticks, events});
+  sched.RunUntil(SimTime::Hours(2));
+  return static_cast<double>(scope.delta()) / static_cast<double>(events);
+}
+
+// Self-rescheduling throughput with/without the observability layer; the
+// profiler's sched.events_total counter is the numerator when observed.
 double MeasureEventsPerSec(bool observed, uint64_t events) {
   Scheduler sched;
   MetricsRegistry registry;
@@ -209,12 +485,8 @@ double MeasureEventsPerSec(bool observed, uint64_t events) {
     sched.SetProfiler(&profiler);
   }
   uint64_t ticks = 0;
-  std::function<void()> tick = [&] {
-    if (++ticks < events) {
-      sched.ScheduleAfter(SimTime::Micros(10), tick, "bench.tick");
-    }
-  };
-  sched.ScheduleAfter(SimTime::Micros(10), tick, "bench.tick");
+  sched.ScheduleAfter(SimTime::Micros(10), SelfTick<Scheduler>{&sched, &ticks, events},
+                      "bench.tick");
   const auto t0 = std::chrono::steady_clock::now();
   sched.RunUntil(SimTime::Hours(1));
   const double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
@@ -228,37 +500,91 @@ double MeasureEventsPerSec(bool observed, uint64_t events) {
   return secs > 0 ? executed / secs : 0.0;
 }
 
-void WriteEngineBenchRecord() {
-  // Short trials in many paired rounds, modes back-to-back with the order
-  // alternating, scored by the median per-round ratio. Machine-speed drift
-  // (common on shared hosts) moves both halves of a pair together, the
-  // alternation cancels order effects, and the median sheds rounds where a
-  // descheduling landed inside one mode only.
-  const uint64_t events = 500'000;
-  const int rounds = 15;
-  MeasureEventsPerSec(/*observed=*/false, events);
-  MeasureEventsPerSec(/*observed=*/true, events);
-  double plain = 0.0;
-  double observed = 0.0;
+// Paired-round median ratio between two measurement thunks: short trials
+// back-to-back with alternating order, scored by the median per-round
+// ratio. Machine-speed drift moves both halves of a pair together, the
+// alternation cancels order effects, and the median sheds rounds where a
+// descheduling landed inside one mode only.
+template <typename FnA, typename FnB>
+void PairedRounds(int rounds, FnA measure_a, FnB measure_b, double* best_a, double* best_b,
+                  double* median_ratio_ab) {
+  measure_a();
+  measure_b();  // Warm-up pass for both.
+  *best_a = 0.0;
+  *best_b = 0.0;
   std::vector<double> ratios;
   for (int round = 0; round < rounds; ++round) {
-    const bool plain_first = (round % 2) == 0;
-    const double first = MeasureEventsPerSec(/*observed=*/!plain_first, events);
-    const double second = MeasureEventsPerSec(/*observed=*/plain_first, events);
-    const double p = plain_first ? first : second;
-    const double o = plain_first ? second : first;
-    plain = std::max(plain, p);
-    observed = std::max(observed, o);
-    if (o > 0) {
-      ratios.push_back(p / o);
+    double a = 0.0;
+    double b = 0.0;
+    if (round % 2 == 0) {
+      a = measure_a();
+      b = measure_b();
+    } else {
+      b = measure_b();
+      a = measure_a();
+    }
+    *best_a = std::max(*best_a, a);
+    *best_b = std::max(*best_b, b);
+    if (b > 0) {
+      ratios.push_back(a / b);
     }
   }
   std::sort(ratios.begin(), ratios.end());
-  const double ratio = ratios.empty() ? 1.0 : ratios[ratios.size() / 2];
+  *median_ratio_ab = ratios.empty() ? 1.0 : ratios[ratios.size() / 2];
+}
+
+void WriteEngineBenchRecord() {
+  const uint64_t events = 500'000;
+  const int rounds = 9;
+
+  // Event core vs seed-scheduler replica: the PR's before/after numbers.
+  double core = 0.0;
+  double seed = 0.0;
+  double speedup = 1.0;
+  PairedRounds(
+      rounds, [&] { return MeasureSelfResched<Scheduler>(events); },
+      [&] { return MeasureSelfResched<SeedScheduler>(events); }, &core, &seed, &speedup);
+
+  double core_tput = 0.0;
+  double seed_tput = 0.0;
+  double tput_speedup = 1.0;
+  PairedRounds(
+      rounds, [&] { return MeasureThroughput<Scheduler>(100'000); },
+      [&] { return MeasureThroughput<SeedScheduler>(100'000); }, &core_tput, &seed_tput,
+      &tput_speedup);
+
+  double core_cancel = 0.0;
+  double seed_cancel = 0.0;
+  double cancel_speedup = 1.0;
+  PairedRounds(
+      rounds, [&] { return MeasureCancelHeavy<Scheduler>(200'000); },
+      [&] { return MeasureCancelHeavy<SeedScheduler>(200'000); }, &core_cancel, &seed_cancel,
+      &cancel_speedup);
+
+  const double core_allocs = MeasureSteadyAllocsPerEvent<Scheduler>(200'000);
+  const double seed_allocs = MeasureSteadyAllocsPerEvent<SeedScheduler>(200'000);
+
+  // Observability overhead on the new core.
+  double plain = 0.0;
+  double observed = 0.0;
+  double ratio = 1.0;
+  PairedRounds(
+      rounds, [&] { return MeasureEventsPerSec(/*observed=*/false, events); },
+      [&] { return MeasureEventsPerSec(/*observed=*/true, events); }, &plain, &observed, &ratio);
   const double overhead_pct = (ratio - 1.0) * 100.0;
 
   BenchReport bench("p1_engine");
-  bench.Add("scheduler_events_per_sec", plain, "1/s");
+  bench.Add("scheduler_events_per_sec", core, "1/s");
+  bench.Add("scheduler_events_per_sec_seed_baseline", seed, "1/s");
+  bench.Add("scheduler_speedup_vs_seed", speedup, "x");
+  bench.Add("scheduler_throughput_per_sec", core_tput, "1/s");
+  bench.Add("scheduler_throughput_per_sec_seed_baseline", seed_tput, "1/s");
+  bench.Add("scheduler_throughput_speedup_vs_seed", tput_speedup, "x");
+  bench.Add("scheduler_cancel_heavy_per_sec", core_cancel, "1/s");
+  bench.Add("scheduler_cancel_heavy_per_sec_seed_baseline", seed_cancel, "1/s");
+  bench.Add("scheduler_cancel_heavy_speedup_vs_seed", cancel_speedup, "x");
+  bench.Add("scheduler_steady_allocs_per_event", core_allocs, "count");
+  bench.Add("scheduler_steady_allocs_per_event_seed_baseline", seed_allocs, "count");
   bench.Add("scheduler_events_per_sec_observed", observed, "1/s");
   bench.Add("observability_overhead_pct", overhead_pct, "%");
   std::string error;
@@ -266,8 +592,12 @@ void WriteEngineBenchRecord() {
   if (path.empty()) {
     std::fprintf(stderr, "bench record not written: %s\n", error.c_str());
   } else {
-    std::printf("\nScheduler: %.0f events/s plain, %.0f events/s observed (%.1f%% overhead)\n",
-                plain, observed, overhead_pct);
+    std::printf("\nScheduler: %.0f events/s event-core vs %.0f events/s seed replica "
+                "(median %.2fx); throughput %.2fx; cancel-heavy %.2fx; "
+                "allocs/event %.3f vs %.3f\n",
+                core, seed, speedup, tput_speedup, cancel_speedup, core_allocs, seed_allocs);
+    std::printf("Observability: %.0f events/s observed (%.1f%% overhead)\n", observed,
+                overhead_pct);
     std::printf("Wrote %s\n", path.c_str());
   }
 }

@@ -1,0 +1,90 @@
+#include "src/sim/alloc_probe.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+// Sanitizer builds keep the instrumented default operators.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define CENTSIM_ALLOC_PROBE_OFF 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define CENTSIM_ALLOC_PROBE_OFF 1
+#endif
+#endif
+
+namespace centsim {
+namespace {
+std::atomic<uint64_t> g_alloc_count{0};
+}  // namespace
+
+uint64_t AllocProbeCount() { return g_alloc_count.load(std::memory_order_relaxed); }
+
+#if defined(CENTSIM_ALLOC_PROBE_OFF)
+bool AllocProbeEnabled() { return false; }
+#else
+bool AllocProbeEnabled() { return true; }
+
+namespace {
+void* CountedAlloc(std::size_t size) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size != 0 ? size : 1);
+}
+void* CountedAlignedAlloc(std::size_t size, std::size_t align) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align, size != 0 ? size : 1) !=
+      0) {
+    return nullptr;
+  }
+  return p;
+}
+}  // namespace
+#endif  // !CENTSIM_ALLOC_PROBE_OFF
+
+}  // namespace centsim
+
+#if !defined(CENTSIM_ALLOC_PROBE_OFF)
+
+void* operator new(std::size_t size) {
+  if (void* p = centsim::CountedAlloc(size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return operator new(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return centsim::CountedAlloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return centsim::CountedAlloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  if (void* p = centsim::CountedAlignedAlloc(size, static_cast<std::size_t>(align))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return operator new(size, align);
+}
+void* operator new(std::size_t size, std::align_val_t align, const std::nothrow_t&) noexcept {
+  return centsim::CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align, const std::nothrow_t&) noexcept {
+  return centsim::CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+#endif  // !CENTSIM_ALLOC_PROBE_OFF

@@ -1,0 +1,39 @@
+// Process-wide heap-allocation probe for tests and benchmarks.
+//
+// When `alloc_probe.cc` is compiled into a binary, the global operator
+// new/new[] overloads count every heap allocation; AllocProbeCount()
+// exposes the running total so a test can assert that a region of code —
+// e.g. the scheduler's steady-state event loop — performs zero
+// allocations. The probe TU is linked only into centsim_tests and
+// bench_p1_engine (see their CMake source lists); production binaries keep
+// the default operators.
+//
+// Under ASan/TSan/MSan the replacement operators would shadow the
+// sanitizer's instrumented ones, so the probe compiles itself out and
+// AllocProbeEnabled() reports false — callers must skip their assertions.
+
+#ifndef SRC_SIM_ALLOC_PROBE_H_
+#define SRC_SIM_ALLOC_PROBE_H_
+
+#include <cstdint>
+
+namespace centsim {
+
+// Total operator-new calls observed in this process (0 if disabled).
+uint64_t AllocProbeCount();
+// True when the counting operators are active in this binary.
+bool AllocProbeEnabled();
+
+// Snapshot-delta helper: `AllocScope scope; ...; scope.delta()`.
+class AllocScope {
+ public:
+  AllocScope() : start_(AllocProbeCount()) {}
+  uint64_t delta() const { return AllocProbeCount() - start_; }
+
+ private:
+  uint64_t start_;
+};
+
+}  // namespace centsim
+
+#endif  // SRC_SIM_ALLOC_PROBE_H_

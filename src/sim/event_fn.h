@@ -1,0 +1,162 @@
+// EventFn: a move-only `void()` callable with small-buffer storage.
+//
+// The scheduler fires hundreds of millions of closures per century-scale
+// ensemble; `std::function`'s 16-byte libstdc++ buffer forces a heap
+// allocation for almost every capture that names more than two locals.
+// EventFn widens the inline budget to 48 bytes — enough for every closure
+// the simulator schedules today — and only falls back to the heap for
+// oversized or potentially-throwing-move captures.
+//
+// Contract:
+//   * Move-only (the scheduler is the single owner of a pending closure).
+//   * Moving is always noexcept: inline targets must be nothrow-move-
+//     constructible (enforced at compile time via the heap fallback), and
+//     heap targets move by pointer swap. This lets std::vector relocate
+//     pools of EventFn without the copy-fallback.
+//   * Invoking an empty EventFn is undefined (the scheduler never does).
+
+#ifndef SRC_SIM_EVENT_FN_H_
+#define SRC_SIM_EVENT_FN_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace centsim {
+
+class EventFn {
+ public:
+  // Inline capture budget. 48 bytes holds six pointers/references — a
+  // device pointer, a couple of ids, and a time comfortably fit. Alignment
+  // is capped at pointer alignment so an EventFn is 56 bytes and a pool
+  // slot (EventFn + category) packs into a single 64-byte cache line;
+  // over-aligned captures take the heap path.
+  static constexpr std::size_t kInlineSize = 48;
+  static constexpr std::size_t kInlineAlign = alignof(void*);
+
+  EventFn() noexcept = default;
+  EventFn(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, EventFn> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  EventFn(F&& f) {  // NOLINT(runtime/explicit)
+    Emplace(std::forward<F>(f));
+  }
+
+  // Constructs the target in place (precondition: *this is empty or about
+  // to be overwritten — callers on the hot path pass a freshly-Reset
+  // EventFn so no destroy dispatch is needed).
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, EventFn> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  void Emplace(F&& f) {
+    if constexpr (sizeof(D) <= kInlineSize && alignof(D) <= kInlineAlign &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(storage_.buf)) D(std::forward<F>(f));
+      vtable_ = &InlineVTable<D>::table;
+    } else {
+      storage_.heap = new D(std::forward<F>(f));
+      vtable_ = &HeapVTable<D>::table;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept : vtable_(other.vtable_) {
+    if (vtable_ != nullptr) {
+      MoveFrom(other);
+    }
+  }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      vtable_ = other.vtable_;
+      if (vtable_ != nullptr) {
+        MoveFrom(other);
+      }
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { Reset(); }
+
+  void operator()() { vtable_->invoke(storage_); }
+
+  explicit operator bool() const noexcept { return vtable_ != nullptr; }
+
+  // True when the target lives in the inline buffer (no heap allocation).
+  // Exposed so tests and the allocation harness can assert the budget.
+  bool is_inline() const noexcept { return vtable_ != nullptr && vtable_->inline_storage; }
+
+ private:
+  union Storage {
+    alignas(kInlineAlign) unsigned char buf[kInlineSize];
+    void* heap;
+  };
+
+  struct VTable {
+    void (*invoke)(Storage&);
+    // Move-constructs `to` from `from` and destroys `from`'s target.
+    void (*relocate)(Storage& from, Storage& to) noexcept;
+    void (*destroy)(Storage&) noexcept;
+    bool inline_storage;
+    // Trivially copyable+destructible inline target: the hot path skips
+    // both dispatches (memcpy to move, nothing to destroy).
+    bool trivial;
+  };
+
+  template <typename D>
+  struct InlineVTable {
+    static D& Target(Storage& s) noexcept {
+      return *std::launder(reinterpret_cast<D*>(s.buf));
+    }
+    static void Invoke(Storage& s) { Target(s)(); }
+    static void Relocate(Storage& from, Storage& to) noexcept {
+      ::new (static_cast<void*>(to.buf)) D(std::move(Target(from)));
+      Target(from).~D();
+    }
+    static void Destroy(Storage& s) noexcept { Target(s).~D(); }
+    static constexpr VTable table{Invoke, Relocate, Destroy, /*inline_storage=*/true,
+                                  std::is_trivially_copyable_v<D> &&
+                                      std::is_trivially_destructible_v<D>};
+  };
+
+  template <typename D>
+  struct HeapVTable {
+    static D& Target(Storage& s) noexcept { return *static_cast<D*>(s.heap); }
+    static void Invoke(Storage& s) { Target(s)(); }
+    static void Relocate(Storage& from, Storage& to) noexcept { to.heap = from.heap; }
+    static void Destroy(Storage& s) noexcept { delete static_cast<D*>(s.heap); }
+    static constexpr VTable table{Invoke, Relocate, Destroy, /*inline_storage=*/false,
+                                  /*trivial=*/false};
+  };
+
+  void MoveFrom(EventFn& other) noexcept {
+    if (vtable_->trivial) {
+      storage_ = other.storage_;  // memcpy of the inline buffer.
+    } else {
+      vtable_->relocate(other.storage_, storage_);
+    }
+    other.vtable_ = nullptr;
+  }
+
+  void Reset() noexcept {
+    if (vtable_ != nullptr) {
+      if (!vtable_->trivial) {
+        vtable_->destroy(storage_);
+      }
+      vtable_ = nullptr;
+    }
+  }
+
+  Storage storage_;
+  const VTable* vtable_ = nullptr;
+};
+
+}  // namespace centsim
+
+#endif  // SRC_SIM_EVENT_FN_H_

@@ -1,0 +1,25 @@
+#include "src/sim/event_pool.h"
+
+namespace centsim {
+
+// One chunk at a time: growth cost is flat (512 slots ≈ 40 KB), chunk
+// addresses are stable for the lifetime of the pool, and the free list is
+// refilled in reverse so the lowest new slot is handed out first (stable,
+// deterministic slot assignment for identical schedules).
+void EventPool::Grow() {
+  const uint32_t base = static_cast<uint32_t>(generations_.size());
+  chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
+  generations_.resize(generations_.size() + kChunkSize, 1);
+  free_.reserve(free_.size() + kChunkSize);
+  for (uint32_t i = kChunkSize; i > 0; --i) {
+    free_.push_back(base + i - 1);
+  }
+}
+
+void EventPool::Reserve(size_t n) {
+  while (generations_.size() < n) {
+    Grow();
+  }
+}
+
+}  // namespace centsim

@@ -54,8 +54,8 @@ void SchedulerProfiler::EndEventSlow(const char* category, SimTime at, bool time
   }
 }
 
-void SchedulerProfiler::RecordDepth(SimTime at, uint64_t queue_depth) {
-  depth_samples_.push_back(DepthSample{at, queue_depth, event_index_});
+void SchedulerProfiler::RecordDepth(SimTime at, uint64_t queue_depth, uint64_t heap_size) {
+  depth_samples_.push_back(DepthSample{at, queue_depth, event_index_, heap_size});
 }
 
 std::vector<SchedulerProfiler::CategorySnapshot> SchedulerProfiler::Categories() const {
@@ -90,10 +90,13 @@ void SchedulerProfiler::ExportTo(MetricsRegistry& registry) const {
     registry.GetCounter("sched.event_wall_ns_total", labels)->Increment(snap.wall_ns_estimate);
   }
   uint64_t peak = 0;
+  uint64_t stale_peak = 0;
   for (const DepthSample& s : depth_samples_) {
     peak = std::max(peak, s.depth);
+    stale_peak = std::max(stale_peak, s.heap_size > s.depth ? s.heap_size - s.depth : 0);
   }
   registry.GetGauge("sched.queue_depth_peak")->Set(static_cast<double>(peak));
+  registry.GetGauge("sched.heap_stale_peak")->Set(static_cast<double>(stale_peak));
   registry.GetCounter("sched.events_total")
       ->Increment(static_cast<double>(events_recorded()));
 }

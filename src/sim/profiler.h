@@ -56,8 +56,9 @@ class SchedulerProfiler {
 
   struct DepthSample {
     SimTime sim_at;
-    uint64_t depth;     // Pending (non-cancelled) events after this one.
-    uint64_t executed;  // Events executed so far.
+    uint64_t depth;      // Pending (non-cancelled) events after this one.
+    uint64_t executed;   // Events executed so far.
+    uint64_t heap_size;  // Raw heap entries, stale (cancelled) included.
   };
 
   SchedulerProfiler();
@@ -101,7 +102,9 @@ class SchedulerProfiler {
     }
     return false;
   }
-  void RecordDepth(SimTime at, uint64_t queue_depth);
+  // `heap_size` is the scheduler's raw entry count (stale entries
+  // included); heap_size - queue_depth measures lazy-cancel buildup.
+  void RecordDepth(SimTime at, uint64_t queue_depth, uint64_t heap_size = 0);
 
   // --- Snapshots ----------------------------------------------------------
 

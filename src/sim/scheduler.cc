@@ -1,71 +1,287 @@
 #include "src/sim/scheduler.h"
 
-#include <cassert>
+#include <utility>
+
+#include "src/sim/metrics.h"
 
 namespace centsim {
 
-EventId Scheduler::ScheduleAt(SimTime at, std::function<void()> fn, const char* category) {
-  assert(at >= now_);
-  const EventId id = next_id_++;
-  heap_.push(Entry{at, id});
-  actions_.emplace(id, Action{std::move(fn), category});
-  return id;
-}
-
-EventId Scheduler::ScheduleAfter(SimTime delay, std::function<void()> fn, const char* category) {
-  return ScheduleAt(now_ + delay, std::move(fn), category);
+// A past-time schedule must not corrupt heap order or run the clock
+// backwards: clamp to Now() and surface the bug as a metric.
+SimTime Scheduler::ClampLateSchedule() {
+  ++late_schedules_;
+  if (late_schedule_metric_ == nullptr && metrics_ != nullptr) {
+    late_schedule_metric_ = metrics_->GetCounter("scheduler.late_schedule");
+  }
+  MetricInc(late_schedule_metric_);
+  return now_;
 }
 
 bool Scheduler::Cancel(EventId id) {
-  auto it = actions_.find(id);
-  if (it == actions_.end()) {
-    return false;
+  if (!pool_.IsLive(id)) {
+    return false;  // Already ran, already cancelled, or never existed.
   }
-  actions_.erase(it);
-  cancelled_.insert(id);
+  // The heap entry stays; popping it later sees the bumped generation.
+  pool_.Release(EventPool::SlotOf(id));
+  --live_;
   return true;
 }
 
-void Scheduler::SkimCancelled() {
+void Scheduler::HeapPush(const HeapEntry& entry) {
+  heap_.push_back(entry);
+  size_t hole = heap_.size() - 1;
+  while (hole > 0) {
+    const size_t parent = (hole - 1) / 4;
+    if (!(entry < heap_[parent])) {
+      break;
+    }
+    heap_[hole] = heap_[parent];
+    hole = parent;
+  }
+  heap_[hole] = entry;
+}
+
+void Scheduler::SiftDown(size_t hole, HeapEntry value) {
+  const size_t size = heap_.size();
+  while (true) {
+    const size_t first_child = hole * 4 + 1;
+    if (first_child >= size) {
+      break;
+    }
+    const size_t last_child = first_child + 4 < size ? first_child + 4 : size;
+    size_t best = first_child;
+    for (size_t c = first_child + 1; c < last_child; ++c) {
+      if (heap_[c] < heap_[best]) {
+        best = c;
+      }
+    }
+    if (!(heap_[best] < value)) {
+      break;
+    }
+    heap_[hole] = heap_[best];
+    hole = best;
+  }
+  heap_[hole] = value;
+}
+
+void Scheduler::HeapPopMin() {
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    SiftDown(0, last);
+  }
+}
+
+void Scheduler::SkimStale() {
   while (!heap_.empty()) {
-    auto it = cancelled_.find(heap_.top().id);
-    if (it == cancelled_.end()) {
+    const HeapEntry& top = heap_.front();
+    if (pool_.generation(top.slot) == top.generation) {
+      return;  // Live.
+    }
+    HeapPopMin();
+  }
+}
+
+void Scheduler::StagePush(const HeapEntry& entry) {
+  const int64_t at = entry.at.micros();
+  // back() covers the earliest remaining window, each rung below it a
+  // later one, so the first rung whose end is past `at` is the right one.
+  for (size_t i = rungs_.size(); i-- > 0;) {
+    Rung& r = rungs_[i];
+    if (at < r.end) {
+      r.buckets[static_cast<size_t>((at - r.start) / r.width)].push_back(entry);
+      ++staged_;
       return;
     }
-    cancelled_.erase(it);
-    heap_.pop();
+  }
+  far_.push_back(entry);
+  ++staged_;
+}
+
+// Moves a batch of staged entries into the (empty) near heap, dropping
+// entries cancelled while they were staged. Firing an entry touches its
+// pool slot and generation lines, scattered across the pool; prefetching
+// them now, a bucket at a time, overlaps those misses so the pop loop
+// finds every line warm.
+void Scheduler::LoadIntoNear(std::vector<HeapEntry>& entries) {
+  for (const HeapEntry& e : entries) {
+    if (pool_.generation(e.slot) == e.generation) {
+      pool_.PrefetchSlot(e.slot);
+      HeapPush(e);
+    }
+  }
+  staged_ -= entries.size();
+  entries.clear();
+}
+
+// Distributes `entries` into a new finest rung sized to their time span
+// and count: enough buckets that each holds roughly kBucketTargetFill
+// entries (the near heap stays small and cheap to pop), but no more than
+// kMaxBuckets (bounds per-bucket bookkeeping for sparse windows).
+void Scheduler::PushRung(std::vector<HeapEntry>& entries) {
+  int64_t lo = INT64_MAX;
+  int64_t hi = INT64_MIN;
+  for (const HeapEntry& e : entries) {
+    const int64_t at = e.at.micros();
+    lo = at < lo ? at : lo;
+    hi = at > hi ? at : hi;
+  }
+  const uint64_t span = static_cast<uint64_t>(hi - lo);
+  size_t target = entries.size() / kBucketTargetFill;
+  target = target < 1 ? 1 : (target > kMaxBuckets ? kMaxBuckets : target);
+  const int64_t width = static_cast<int64_t>(span / target + 1);
+  const size_t nbuckets = static_cast<size_t>(span / static_cast<uint64_t>(width)) + 1;
+  Rung r;
+  if (!rung_pool_.empty()) {
+    r = std::move(rung_pool_.back());
+    rung_pool_.pop_back();
+  }
+  r.start = lo;
+  r.width = width;
+  r.next = 0;
+  const unsigned __int128 end =
+      static_cast<unsigned __int128>(static_cast<uint64_t>(lo)) +
+      static_cast<unsigned __int128>(static_cast<uint64_t>(width)) * nbuckets;
+  r.end = end > static_cast<unsigned __int128>(INT64_MAX) ? INT64_MAX
+                                                          : static_cast<int64_t>(end);
+  r.buckets.resize(nbuckets);
+  for (const HeapEntry& e : entries) {
+    if (pool_.generation(e.slot) == e.generation) {
+      r.buckets[static_cast<size_t>((e.at.micros() - lo) / width)].push_back(e);
+    } else {
+      --staged_;  // Cancelled while staged: drop it here.
+    }
+  }
+  entries.clear();
+  rungs_.push_back(std::move(r));
+}
+
+void Scheduler::RetireRung() {
+  Rung r = std::move(rungs_.back());
+  rungs_.pop_back();
+  for (auto& b : r.buckets) {
+    b.clear();  // Keep capacity: the pool exists to recycle it.
+  }
+  r.next = 0;
+  if (rung_pool_.size() < 4) {
+    rung_pool_.push_back(std::move(r));
+  }
+}
+
+// Refills the empty near heap with the next batch of staged entries.
+void Scheduler::Advance() {
+  while (!rungs_.empty()) {
+    Rung& r = rungs_.back();
+    while (r.next < r.buckets.size() && r.buckets[r.next].empty()) {
+      ++r.next;
+    }
+    if (r.next == r.buckets.size()) {
+      RetireRung();
+      continue;
+    }
+    std::vector<HeapEntry>& bucket = r.buckets[r.next];
+    if (bucket.size() > kBucketLoadMax && r.width > 1) {
+      // Too many entries to heap at once and still splittable: promote the
+      // bucket to a finer rung. The parent's cursor moves past it first so
+      // StagePush keeps routing by the frontier invariant.
+      std::vector<HeapEntry> items = std::move(bucket);
+      bucket = std::vector<HeapEntry>();
+      ++r.next;
+      PushRung(items);  // Entries stay staged; PushRung drops cancelled ones.
+      continue;
+    }
+    near_limit_ = r.start + static_cast<int64_t>(r.next + 1) * r.width;
+    ++r.next;
+    if (r.width == 1) {
+      // Single-timestamp bucket: already in (time, seq) order, drain it
+      // sequentially and keep the heap out of the picture. The swap passes
+      // run_'s spent capacity back into the rung for its next cycle.
+      std::swap(run_, bucket);
+      staged_ -= run_.size();
+      for (const HeapEntry& e : run_) {
+        pool_.PrefetchSlot(e.slot);
+      }
+      return;
+    }
+    LoadIntoNear(bucket);
+    return;
+  }
+  if (far_.size() <= kDirectLoadMax) {
+    // Small queue: run on the bare heap. INT64_MAX routes every future
+    // schedule straight to the heap until the queue fully drains.
+    near_limit_ = INT64_MAX;
+    LoadIntoNear(far_);
+    return;
+  }
+  PushRung(far_);
+}
+
+bool Scheduler::EnsureNext() {
+  for (;;) {
+    // An active sequential run goes first: the heap only holds entries
+    // scheduled after the run's timestamp (same time, later seq).
+    while (run_idx_ < run_.size()) {
+      const HeapEntry& e = run_[run_idx_];
+      if (pool_.generation(e.slot) == e.generation) {
+        return true;
+      }
+      ++run_idx_;  // Cancelled while staged or while the run drained.
+    }
+    if (!run_.empty()) {
+      run_.clear();
+      run_idx_ = 0;
+    }
+    SkimStale();
+    if (!heap_.empty()) {
+      return true;
+    }
+    if (staged_ == 0) {
+      near_limit_ = INT64_MIN;  // Fully drained: next wave picks its mode.
+      return false;
+    }
+    Advance();
   }
 }
 
 void Scheduler::RunTop() {
-  const Entry top = heap_.top();
-  heap_.pop();
+  HeapEntry top;
+  if (run_idx_ < run_.size()) {
+    top = run_[run_idx_++];
+  } else {
+    top = heap_.front();
+    HeapPopMin();
+  }
   now_ = top.at;
-  auto it = actions_.find(top.id);
-  assert(it != actions_.end());
-  // Move the closure out before running: the action may schedule/cancel.
-  std::function<void()> fn = std::move(it->second.fn);
-  const char* category = it->second.category;
-  actions_.erase(it);
+  // The callback runs in place in its (address-stable) slot. BeginFire
+  // bumps the generation first so the running event is no longer pending:
+  // a Cancel of its own id reports false, and rescheduling from inside
+  // the callback can never overwrite the executing closure (the slot
+  // rejoins the free list only in FinishFire).
+  EventPool::Slot& slot = pool_.at(top.slot);
+  const char* category = slot.category;
+  pool_.BeginFire(top.slot);
+  --live_;
   ++executed_;
   if (profiler_ == nullptr) {
-    fn();
+    slot.fn();
+    pool_.FinishFire(top.slot);
     return;
   }
   const bool timed = profiler_->BeginEvent();
   const uint64_t t0 = timed ? profiler_->NowNs() : 0;
-  fn();
+  slot.fn();
   const uint64_t t1 = timed ? profiler_->NowNs() : 0;
+  pool_.FinishFire(top.slot);
   profiler_->EndEvent(category != nullptr ? category : kDefaultEventCategory, top.at, timed, t0,
                       t1);
   if (profiler_->DepthSampleDue()) {
-    profiler_->RecordDepth(top.at, pending_count());
+    profiler_->RecordDepth(top.at, pending_count(),
+                           heap_.size() + staged_ + (run_.size() - run_idx_));
   }
 }
 
 bool Scheduler::Step() {
-  SkimCancelled();
-  if (heap_.empty()) {
+  if (!EnsureNext()) {
     return false;
   }
   RunTop();
@@ -74,11 +290,7 @@ bool Scheduler::Step() {
 
 uint64_t Scheduler::RunUntil(SimTime horizon) {
   uint64_t ran = 0;
-  while (true) {
-    SkimCancelled();
-    if (heap_.empty() || heap_.top().at > horizon) {
-      break;
-    }
+  while (EnsureNext() && !(horizon < NextAt())) {
     RunTop();
     ++ran;
   }
@@ -88,8 +300,7 @@ uint64_t Scheduler::RunUntil(SimTime horizon) {
   return ran;
 }
 
-PeriodicEvent::PeriodicEvent(Scheduler& sched, SimTime period, std::function<void()> fn,
-                             const char* category)
+PeriodicEvent::PeriodicEvent(Scheduler& sched, SimTime period, EventFn fn, const char* category)
     : sched_(sched), period_(period), fn_(std::move(fn)), category_(category) {}
 
 PeriodicEvent::~PeriodicEvent() { Stop(); }
@@ -109,6 +320,9 @@ void PeriodicEvent::Stop() {
 }
 
 void PeriodicEvent::Fire() {
+  // The firing event's slot was just released; the pool's LIFO free list
+  // hands it straight back, so a periodic event ticks in place with zero
+  // allocations (the [this] capture is far under the inline budget).
   pending_ = sched_.ScheduleAfter(period_, [this] { Fire(); }, category_);
   fn_();
 }

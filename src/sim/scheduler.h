@@ -2,27 +2,41 @@
 //
 // Events are closures keyed by (time, sequence number); ties in time run in
 // schedule order, which makes every run with the same seed bit-for-bit
-// deterministic. Cancellation is lazy: a cancelled event stays in the heap
-// but is skipped when popped, so cancel is O(1) and pop stays O(log n).
+// deterministic. The storage layer is allocation-free in steady state:
+// closures live inline in a slot-indexed EventPool (EventFn small-buffer
+// storage, src/sim/event_fn.h), handles are generation-tagged so Cancel is
+// a single O(1) comparison, and pending entries sit in a cache-friendly
+// 4-ary min-heap. Cancellation is lazy: a cancelled event's heap entry
+// stays until popped, where a generation mismatch identifies it as stale.
+//
+// The heap only ever holds the *near* window of pending events. An
+// implicit heap pops through a chain of dependent cache misses that grows
+// with its size (~log4 N lines per pop, most of them cold once the heap
+// outgrows L2), so events past the near window stage in unsorted,
+// time-bucketed rungs (a ladder-queue-style front-end: append-only,
+// sequential, O(1) per event) and enter the heap one bucket at a time as
+// the clock reaches them. Ordering is untouched — every entry still pops
+// in exact (time, seq) order, buckets only bound how many entries compete
+// in the heap at once. Queues that never exceed kDirectLoadMax pending
+// events skip the rungs entirely and run on the bare heap.
 
 #ifndef SRC_SIM_SCHEDULER_H_
 #define SRC_SIM_SCHEDULER_H_
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "src/sim/event_fn.h"
+#include "src/sim/event_pool.h"
 #include "src/sim/profiler.h"
 #include "src/sim/time.h"
 
 namespace centsim {
 
-// Opaque handle identifying a scheduled event; usable to cancel it.
-using EventId = uint64_t;
-inline constexpr EventId kInvalidEventId = 0;
+class MetricsRegistry;
+class Counter;
 
 // Default category for events scheduled without one.
 inline constexpr const char* kDefaultEventCategory = "event";
@@ -35,22 +49,53 @@ class Scheduler {
 
   SimTime Now() const { return now_; }
 
-  // Schedules `fn` to run at absolute time `at`. `at` must be >= Now().
-  // `category` labels the event for profiling; it must point at storage
-  // that outlives the scheduler (use string literals).
-  EventId ScheduleAt(SimTime at, std::function<void()> fn,
-                     const char* category = kDefaultEventCategory);
+  // Schedules `fn` (any void() callable; captures up to EventFn's inline
+  // budget are stored without allocating) to run at absolute time `at`.
+  // An `at` in the past is clamped to Now() (and counted — see
+  // late_schedule_count()): silently running events before the clock
+  // would corrupt causality. `category` labels the event for profiling;
+  // it must point at storage that outlives the scheduler (use string
+  // literals). The callable is constructed directly in its pool slot —
+  // no intermediate EventFn move on the hot path.
+  template <typename F,
+            typename = std::enable_if_t<std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventId ScheduleAt(SimTime at, F&& fn, const char* category = kDefaultEventCategory) {
+    if (at < now_) {
+      at = ClampLateSchedule();
+    }
+    const EventId id = pool_.Acquire(std::forward<F>(fn), category);
+    const HeapEntry entry{at, next_seq_++, EventPool::SlotOf(id), EventPool::GenerationOf(id)};
+    if (at.micros() < near_limit_) {
+      HeapPush(entry);
+    } else {
+      StagePush(entry);
+    }
+    ++live_;
+    return id;
+  }
   // Schedules `fn` to run `delay` after Now().
-  EventId ScheduleAfter(SimTime delay, std::function<void()> fn,
-                        const char* category = kDefaultEventCategory);
+  template <typename F,
+            typename = std::enable_if_t<std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventId ScheduleAfter(SimTime delay, F&& fn, const char* category = kDefaultEventCategory) {
+    return ScheduleAt(now_ + delay, std::forward<F>(fn), category);
+  }
 
   // Attaches (or detaches, with nullptr) an execution profiler. Profiling
   // only observes; it never changes event order or simulation results.
   void SetProfiler(SchedulerProfiler* profiler) { profiler_ = profiler; }
   SchedulerProfiler* profiler() const { return profiler_; }
 
+  // Attaches a metrics registry (nullptr detaches): past-time ScheduleAt
+  // clamps are published as the `scheduler.late_schedule` counter. The
+  // counter is registered lazily on the first clamp so clean runs emit
+  // byte-identical metrics.jsonl with or without this instrument.
+  void SetMetrics(MetricsRegistry* metrics) {
+    metrics_ = metrics;
+    late_schedule_metric_ = nullptr;
+  }
+
   // Cancels a pending event. Returns false if the event already ran, was
-  // already cancelled, or never existed.
+  // already cancelled, or never existed. O(1): a generation comparison.
   bool Cancel(EventId id);
 
   // Runs events until the queue is empty or the next event is after
@@ -62,47 +107,118 @@ class Scheduler {
   // Runs a single event if one is pending. Returns false if queue is empty.
   bool Step();
 
-  uint64_t pending_count() const { return heap_.size() - cancelled_.size(); }
+  uint64_t pending_count() const { return live_; }
   uint64_t executed_count() const { return executed_; }
+  // Number of ScheduleAt calls whose time was in the past and got clamped.
+  uint64_t late_schedule_count() const { return late_schedules_; }
 
  private:
-  struct Entry {
+  // One pending (or stale) heap entry. Ordering is (at, seq): seq is the
+  // global schedule sequence number, so ties in time run in schedule
+  // order. `generation` detects staleness against the slot's current
+  // generation when the entry is popped.
+  struct HeapEntry {
     SimTime at;
-    EventId id;
-    // Heap orders by earliest time, then lowest id (schedule order).
-    bool operator>(const Entry& other) const {
+    uint64_t seq;
+    uint32_t slot;
+    uint32_t generation;
+
+    bool operator<(const HeapEntry& other) const {
       if (at != other.at) {
-        return at > other.at;
+        return at < other.at;
       }
-      return id > other.id;
+      return seq < other.seq;
     }
   };
 
-  // Pops and runs the top non-cancelled entry. Precondition: one exists.
-  void RunTop();
-  // Drops cancelled entries from the top of the heap.
-  void SkimCancelled();
-
-  struct Action {
-    std::function<void()> fn;
-    const char* category;
+  // One rung of the staged front-end: a window of future time cut into
+  // equal-width buckets. Entries are appended in schedule (seq) order and
+  // only ordered — by the 4-ary heap — when their bucket becomes current.
+  // rungs_ is a stack: back() covers the earliest remaining window (it was
+  // split out of a bucket of the rung below it); an exhausted rung retires
+  // to rung_pool_ with bucket capacity intact, so a scheduler cycling
+  // through rungs allocates nothing in steady state.
+  struct Rung {
+    int64_t start = 0;  // Inclusive, micros.
+    int64_t end = 0;    // Exclusive (clamped to INT64_MAX), micros.
+    int64_t width = 1;  // Bucket width in micros, >= 1.
+    size_t next = 0;    // First undrained bucket.
+    std::vector<std::vector<HeapEntry>> buckets;
   };
 
+  // Queues that fit kDirectLoadMax pending entries run on the bare heap;
+  // above that, drains go through rungs sized for ~kBucketTargetFill
+  // entries per bucket (at most kMaxBuckets buckets), and a bucket holding
+  // more than kBucketLoadMax entries is split into a finer rung (unless
+  // its width is already one microsecond).
+  static constexpr size_t kDirectLoadMax = 512;
+  static constexpr size_t kBucketTargetFill = 64;
+  static constexpr size_t kBucketLoadMax = 4096;
+  static constexpr size_t kMaxBuckets = 1024;
+
+  // 4-ary heap primitives over heap_. Children of i are 4i+1..4i+4: one
+  // level of a 4-ary heap spans a single cache line of 24-byte entries,
+  // halving the depth (and the dependent-load chain) of a binary heap.
+  void HeapPush(const HeapEntry& entry);
+  void HeapPopMin();
+  void SiftDown(size_t hole, HeapEntry value);
+
+  // Staged front-end. StagePush files an entry at or past near_limit_ into
+  // the rung covering its time (or far_). EnsureNext readies the next live
+  // entry — the head of the sequential run if one is active, else the heap
+  // top — refilling from the stage as needed; false means the queue is
+  // empty. A width-one bucket (one timestamp) bypasses the heap entirely:
+  // its entries are already in (time, seq) order, so it drains as a
+  // sequential run.
+  void StagePush(const HeapEntry& entry);
+  bool EnsureNext();
+  void Advance();
+  void LoadIntoNear(std::vector<HeapEntry>& entries);
+  void PushRung(std::vector<HeapEntry>& entries);
+  void RetireRung();
+  SimTime NextAt() const {
+    return run_idx_ < run_.size() ? run_[run_idx_].at : heap_.front().at;
+  }
+
+  // Pops and runs the top live entry. Precondition: one exists.
+  void RunTop();
+  // Drops stale (cancelled/superseded) entries from the top of the heap.
+  void SkimStale();
+  // Cold path of a past-time ScheduleAt: counts and returns Now().
+  SimTime ClampLateSchedule();
+
   SimTime now_;
-  EventId next_id_ = 1;
+  uint64_t next_seq_ = 1;
   uint64_t executed_ = 0;
+  uint64_t live_ = 0;  // Pending, non-cancelled events.
+  uint64_t late_schedules_ = 0;
+  MetricsRegistry* metrics_ = nullptr;
+  Counter* late_schedule_metric_ = nullptr;
   SchedulerProfiler* profiler_ = nullptr;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
-  std::unordered_set<EventId> cancelled_;
-  // Closures are stored out-of-heap so Entry stays trivially copyable.
-  std::unordered_map<EventId, Action> actions_;
+  EventPool pool_;
+  std::vector<HeapEntry> heap_;  // The near window, in 4-ary heap order.
+  // Entries at micros >= near_limit_ stage in rungs_/far_; everything
+  // below it lives in heap_. INT64_MIN stages everything (fresh or fully
+  // drained queue); INT64_MAX is bare-heap mode for small queues.
+  int64_t near_limit_ = INT64_MIN;
+  size_t staged_ = 0;  // Entries (live or stale) across rungs_ and far_.
+  std::vector<Rung> rungs_;
+  std::vector<Rung> rung_pool_;
+  std::vector<HeapEntry> far_;  // Beyond every rung; unsorted, seq order.
+  // Active sequential run: a single-timestamp bucket draining in place.
+  // Runs strictly before the heap — anything scheduled while it drains
+  // shares its timestamp but carries a later seq.
+  std::vector<HeapEntry> run_;
+  size_t run_idx_ = 0;
 };
 
 // Convenience: a repeating event. Reschedules itself every `period` until
-// Stop() is called or the owning scheduler drains past the horizon.
+// Stop() is called or the owning scheduler drains past the horizon. Each
+// firing reuses the stored callback and (via the pool's LIFO free list)
+// the same event slot — a running PeriodicEvent allocates nothing.
 class PeriodicEvent {
  public:
-  PeriodicEvent(Scheduler& sched, SimTime period, std::function<void()> fn,
+  PeriodicEvent(Scheduler& sched, SimTime period, EventFn fn,
                 const char* category = kDefaultEventCategory);
   ~PeriodicEvent();
   PeriodicEvent(const PeriodicEvent&) = delete;
@@ -117,7 +233,7 @@ class PeriodicEvent {
 
   Scheduler& sched_;
   SimTime period_;
-  std::function<void()> fn_;
+  EventFn fn_;
   const char* category_;
   EventId pending_ = kInvalidEventId;
   bool running_ = false;

@@ -33,7 +33,10 @@ class Simulation {
   // --- Observability ------------------------------------------------------
   // Attach before constructing components: they grab their instruments at
   // construction time and keep null pointers when no registry is attached.
-  void SetMetrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+  void SetMetrics(MetricsRegistry* metrics) {
+    metrics_ = metrics;
+    scheduler_.SetMetrics(metrics);
+  }
   MetricsRegistry* metrics() const { return metrics_; }
 
   // Null-safe instrument factories: nullptr when no registry is attached,

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Build the engine benchmark in Release and guard against performance
+# regressions: every throughput record in the freshly-written
+# BENCH_p1_engine.json must be within 20% of the checked-in baseline
+# (bench/BENCH_p1_engine.json), and the steady-state allocation count
+# must not grow. Usage:
+#
+#   tools/bench_smoke.sh              # build, run, compare
+#   TOLERANCE=0.3 tools/bench_smoke.sh
+#
+# Runs in a dedicated build-release/ tree so the default RelWithDebInfo
+# build/ stays untouched. The comparison uses the paired-round medians the
+# benchmark binary itself records, which are far more stable on a noisy
+# machine than single google-benchmark runs.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="build-release"
+BASELINE="bench/BENCH_p1_engine.json"
+TOLERANCE="${TOLERANCE:-0.2}"
+
+[[ -f "${BASELINE}" ]] || { echo "missing baseline ${BASELINE}" >&2; exit 1; }
+
+cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "${BUILD_DIR}" --target bench_p1_engine -j "$(nproc)"
+
+# The google-benchmark pass is a smoke signal only (and this benchmark
+# version wants a bare double for --benchmark_min_time); the JSON record
+# written afterwards carries the numbers we actually compare.
+(cd "${BUILD_DIR}/bench" && ./bench_p1_engine \
+    --benchmark_filter='BM_Scheduler' --benchmark_min_time=0.05)
+
+python3 - "${BASELINE}" "${BUILD_DIR}/bench/BENCH_p1_engine.json" "${TOLERANCE}" <<'EOF'
+import json, sys
+
+baseline_path, fresh_path, tol = sys.argv[1], sys.argv[2], float(sys.argv[3])
+def records(path):
+    with open(path) as f:
+        return {r["name"]: r for r in json.load(f)["records"]}
+
+base, fresh = records(baseline_path), records(fresh_path)
+failures = []
+for name, rec in sorted(base.items()):
+    if name.endswith("_seed_baseline"):
+        continue  # The replica of the old scheduler isn't under guard.
+    if name not in fresh:
+        failures.append(f"{name}: missing from fresh run")
+        continue
+    old, new = rec["value"], fresh[name]["value"]
+    if rec["unit"] == "1/s" and old > 0:
+        if new < old * (1.0 - tol):
+            failures.append(f"{name}: {new:.0f}/s < {1-tol:.0%} of baseline {old:.0f}/s")
+        else:
+            print(f"  ok {name}: {new:.3g}/s vs baseline {old:.3g}/s")
+    elif name == "scheduler_steady_allocs_per_event":
+        # -1 means the allocation probe was compiled out (sanitizer build).
+        if new > max(old, 0.0) and new >= 0 and old >= 0:
+            failures.append(f"{name}: {new} allocs/event > baseline {old}")
+        else:
+            print(f"  ok {name}: {new} allocs/event (baseline {old})")
+
+if failures:
+    print("bench_smoke: REGRESSION", file=sys.stderr)
+    for f in failures:
+        print(f"  {f}", file=sys.stderr)
+    sys.exit(1)
+print("bench_smoke: within tolerance")
+EOF

@@ -114,19 +114,18 @@ void Scheduler::LoadIntoNear(std::vector<HeapEntry>& entries) {
   entries.clear();
 }
 
-// Distributes `entries` into a new finest rung sized to their time span
-// and count: enough buckets that each holds roughly kBucketTargetFill
-// entries (the near heap stays small and cheap to pop), but no more than
-// kMaxBuckets (bounds per-bucket bookkeeping for sparse windows).
-void Scheduler::PushRung(std::vector<HeapEntry>& entries) {
-  int64_t lo = INT64_MAX;
-  int64_t hi = INT64_MIN;
-  for (const HeapEntry& e : entries) {
-    const int64_t at = e.at.micros();
-    lo = at < lo ? at : lo;
-    hi = at > hi ? at : hi;
-  }
-  const uint64_t span = static_cast<uint64_t>(hi - lo);
+// Distributes `entries` into a new finest rung covering the inclusive
+// window [win_lo, win_hi] (every entry's time lies inside it): enough
+// buckets that each holds roughly kBucketTargetFill entries (the near
+// heap stays small and cheap to pop), but no more than kMaxBuckets
+// (bounds per-bucket bookkeeping for sparse windows). The rung spans the
+// whole window, never just the entries' min/max: StagePush routes by
+// rung windows, and a rung split out of a parent bucket must accept
+// everything the parent's (already advanced) cursor can no longer take —
+// an uncovered tail would send later schedules into a drained parent
+// bucket, where they would be silently dropped.
+void Scheduler::PushRung(std::vector<HeapEntry>& entries, int64_t win_lo, int64_t win_hi) {
+  const uint64_t span = static_cast<uint64_t>(win_hi - win_lo);
   size_t target = entries.size() / kBucketTargetFill;
   target = target < 1 ? 1 : (target > kMaxBuckets ? kMaxBuckets : target);
   const int64_t width = static_cast<int64_t>(span / target + 1);
@@ -136,18 +135,17 @@ void Scheduler::PushRung(std::vector<HeapEntry>& entries) {
     r = std::move(rung_pool_.back());
     rung_pool_.pop_back();
   }
-  r.start = lo;
+  r.start = win_lo;
   r.width = width;
   r.next = 0;
-  const unsigned __int128 end =
-      static_cast<unsigned __int128>(static_cast<uint64_t>(lo)) +
-      static_cast<unsigned __int128>(static_cast<uint64_t>(width)) * nbuckets;
-  r.end = end > static_cast<unsigned __int128>(INT64_MAX) ? INT64_MAX
-                                                          : static_cast<int64_t>(end);
+  // Exclusive end == the window's exact edge, so the frontier (near_limit_
+  // clamps to r.end) and StagePush routing agree bucket-for-bucket with
+  // the rung below. A window abutting the time axis' top stays inclusive.
+  r.end = win_hi == INT64_MAX ? INT64_MAX : win_hi + 1;
   r.buckets.resize(nbuckets);
   for (const HeapEntry& e : entries) {
     if (pool_.generation(e.slot) == e.generation) {
-      r.buckets[static_cast<size_t>((e.at.micros() - lo) / width)].push_back(e);
+      r.buckets[static_cast<size_t>((e.at.micros() - win_lo) / width)].push_back(e);
     } else {
       --staged_;  // Cancelled while staged: drop it here.
     }
@@ -159,6 +157,10 @@ void Scheduler::PushRung(std::vector<HeapEntry>& entries) {
 void Scheduler::RetireRung() {
   Rung r = std::move(rungs_.back());
   rungs_.pop_back();
+  // The whole window is drained (trailing buckets may have been skipped
+  // while empty): advance the frontier to its edge so a later schedule
+  // into the tail goes to the heap, not into a dropped bucket.
+  near_limit_ = r.end;
   for (auto& b : r.buckets) {
     b.clear();  // Keep capacity: the pool exists to recycle it.
   }
@@ -180,17 +182,30 @@ void Scheduler::Advance() {
       continue;
     }
     std::vector<HeapEntry>& bucket = r.buckets[r.next];
+    // This bucket's window, [b_lo, b_hi] inclusive, clipped to the rung's
+    // own edge (__int128: the unclipped end can overflow near the top of
+    // the time axis).
+    const int64_t b_lo = r.start + static_cast<int64_t>(r.next) * r.width;
+    const __int128 b_end = static_cast<__int128>(b_lo) + r.width;
+    const int64_t r_hi = r.end == INT64_MAX ? INT64_MAX : r.end - 1;
+    const int64_t b_hi =
+        b_end - 1 < static_cast<__int128>(r_hi) ? static_cast<int64_t>(b_end - 1) : r_hi;
     if (bucket.size() > kBucketLoadMax && r.width > 1) {
       // Too many entries to heap at once and still splittable: promote the
-      // bucket to a finer rung. The parent's cursor moves past it first so
-      // StagePush keeps routing by the frontier invariant.
+      // bucket to a finer rung covering this bucket's FULL window, not
+      // just the entries' span. The parent's cursor moves past the bucket,
+      // so the child must keep accepting schedules anywhere in its window
+      // for StagePush's frontier-routing invariant to hold.
       std::vector<HeapEntry> items = std::move(bucket);
       bucket = std::vector<HeapEntry>();
       ++r.next;
-      PushRung(items);  // Entries stay staged; PushRung drops cancelled ones.
+      PushRung(items, b_lo, b_hi);  // Entries stay staged; PushRung drops cancelled ones.
       continue;
     }
-    near_limit_ = r.start + static_cast<int64_t>(r.next + 1) * r.width;
+    // Frontier moves to the bucket's edge. Never past r.end: beyond it the
+    // rung below still holds staged entries, and sending later schedules
+    // to the heap early would let them overtake those.
+    near_limit_ = b_hi == INT64_MAX ? INT64_MAX : b_hi + 1;
     ++r.next;
     if (r.width == 1) {
       // Single-timestamp bucket: already in (time, seq) order, drain it
@@ -213,7 +228,16 @@ void Scheduler::Advance() {
     LoadIntoNear(far_);
     return;
   }
-  PushRung(far_);
+  // Bottom rung: nothing is staged beyond far_, so its window is just the
+  // entries' span — anything later routes back into far_.
+  int64_t lo = INT64_MAX;
+  int64_t hi = INT64_MIN;
+  for (const HeapEntry& e : far_) {
+    const int64_t at = e.at.micros();
+    lo = at < lo ? at : lo;
+    hi = at > hi ? at : hi;
+  }
+  PushRung(far_, lo, hi);
 }
 
 bool Scheduler::EnsureNext() {

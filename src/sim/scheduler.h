@@ -135,7 +135,9 @@ class Scheduler {
   // equal-width buckets. Entries are appended in schedule (seq) order and
   // only ordered — by the 4-ary heap — when their bucket becomes current.
   // rungs_ is a stack: back() covers the earliest remaining window (it was
-  // split out of a bucket of the rung below it); an exhausted rung retires
+  // split out of a bucket of the rung below it, and spans that bucket's
+  // FULL window so schedules landing anywhere in it keep routing to the
+  // child after the parent's cursor has passed); an exhausted rung retires
   // to rung_pool_ with bucket capacity intact, so a scheduler cycling
   // through rungs allocates nothing in steady state.
   struct Rung {
@@ -174,7 +176,9 @@ class Scheduler {
   bool EnsureNext();
   void Advance();
   void LoadIntoNear(std::vector<HeapEntry>& entries);
-  void PushRung(std::vector<HeapEntry>& entries);
+  // Builds a rung over the inclusive window [win_lo, win_hi] micros; every
+  // entry must lie inside it.
+  void PushRung(std::vector<HeapEntry>& entries, int64_t win_lo, int64_t win_hi);
   void RetireRung();
   SimTime NextAt() const {
     return run_idx_ < run_.size() ? run_[run_idx_].at : heap_.front().at;

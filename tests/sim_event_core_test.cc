@@ -377,6 +377,83 @@ TEST(SchedulerStagedTest, ClusteredTimestampSplitsKeepScheduleOrder) {
   EXPECT_EQ(outliers_run, 700);
 }
 
+TEST(SchedulerStagedTest, ScheduleIntoSplitBucketGapDuringDrain) {
+  // Regression: a bucket split promotes its entries to a finer rung, and
+  // that child rung must cover the parent bucket's FULL window — not just
+  // the entries' span. A callback firing mid-drain schedules 50 ms ahead,
+  // into the gap between the cluster's 500 us span and the parent
+  // bucket's edge; with a span-sized child that entry fell into the
+  // parent's already-passed bucket and was dropped, leaking staged_ and
+  // hanging RunUntil.
+  Scheduler sched;
+  int cluster_run = 0;
+  bool gap_fired = false;
+  int64_t gap_fired_at = 0;
+  const int64_t base = 500'000'000;  // 500 s.
+  for (int i = 0; i < 5000; ++i) {
+    const bool first = i == 0;
+    sched.ScheduleAt(SimTime::Micros(base + i % 500), [&, first] {
+      ++cluster_run;
+      if (first) {
+        sched.ScheduleAfter(SimTime::Millis(50), [&] {
+          gap_fired = true;
+          gap_fired_at = sched.Now().micros();
+        });
+      }
+    });
+  }
+  // Outliers below 300 s plus a 2000 s anchor stretch the bottom rung to
+  // ~23 s buckets while leaving the cluster's bucket holding ONLY the
+  // 500 us cluster — so a span-sized child rung leaves almost the whole
+  // parent-bucket window uncovered.
+  int outliers_run = 0;
+  for (int i = 0; i < 600; ++i) {
+    sched.ScheduleAt(SimTime::Seconds(i * 0.5), [&outliers_run] { ++outliers_run; });
+  }
+  sched.ScheduleAt(SimTime::Seconds(2000), [&outliers_run] { ++outliers_run; });
+  sched.RunUntil(SimTime::Seconds(2100));
+  EXPECT_EQ(cluster_run, 5000);
+  EXPECT_EQ(outliers_run, 601);
+  EXPECT_TRUE(gap_fired) << "event scheduled into the split-bucket gap was lost";
+  EXPECT_EQ(gap_fired_at, base + 50'000);
+  EXPECT_EQ(sched.pending_count(), 0u);
+}
+
+TEST(SchedulerStagedTest, MidDrainSchedulesLandAnywhereKeepOrder) {
+  // Callbacks during a deep staged drain schedule follow-ups at random
+  // offsets — into the running bucket's tail, sibling buckets, the
+  // windows of retired rungs, and past every rung — exercising frontier
+  // routing across splits and retirements. Every follow-up must fire, in
+  // exact (time, schedule order).
+  Scheduler sched;
+  std::mt19937 rng(77u);
+  std::uniform_int_distribution<int64_t> offset(0, 200'000'000);  // Up to 200 s ahead.
+  std::vector<std::pair<int64_t, int>> fired;  // (fire time, schedule tag)
+  int next_tag = 0;
+  const int base_events = 6000;
+  for (int i = 0; i < base_events; ++i) {
+    const int tag = next_tag++;
+    sched.ScheduleAt(SimTime::Micros((i * 100'003) % 600'000'000), [&, tag] {
+      fired.emplace_back(sched.Now().micros(), tag);
+      if (tag < base_events && tag % 5 == 0) {
+        const int echo = next_tag++;
+        sched.ScheduleAfter(SimTime::Micros(offset(rng)), [&, echo] {
+          fired.emplace_back(sched.Now().micros(), echo);
+        });
+      }
+    });
+  }
+  sched.RunUntil(SimTime::Seconds(2000));
+  ASSERT_EQ(fired.size(), static_cast<size_t>(base_events + base_events / 5));
+  EXPECT_EQ(sched.pending_count(), 0u);
+  for (size_t i = 1; i < fired.size(); ++i) {
+    ASSERT_LE(fired[i - 1].first, fired[i].first) << "time went backwards at " << i;
+    if (fired[i - 1].first == fired[i].first) {
+      ASSERT_LT(fired[i - 1].second, fired[i].second) << "tie broke schedule order at " << i;
+    }
+  }
+}
+
 TEST(SchedulerStagedTest, CallbacksScheduleAcrossBucketsDuringDrain) {
   // While a staged backlog drains, callbacks keep scheduling both at the
   // running timestamp (same bucket window, must run this pass, after all

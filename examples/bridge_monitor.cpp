@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "src/core/device.h"
+#include "src/core/fleet.h"
 #include "src/core/network_fabric.h"
 #include "src/energy/harvester.h"
 #include "src/net/backhaul.h"
@@ -56,15 +57,16 @@ int main() {
   CorrosionHarvester::Params rebar;
   rebar.initial_power_w = 300e-6;
   rebar.structure_life = SimTime::Years(50);
-  EnergyManager energy(std::make_unique<CorrosionHarvester>(rebar),
-                       EnergyStorage::Supercap(30.0), LoadProfileFor(dev_cfg));
+  EnergyManager energy(HarvesterModel::Corrosion(rebar), EnergyStorage::Supercap(30.0),
+                       LoadProfileFor(dev_cfg));
 
   const auto sustainable = energy.SustainableInterval();
   std::printf("Harvest supports one report every %s; deploying at hourly cadence.\n",
               sustainable ? sustainable->ToString().c_str() : "(never)");
   dev_cfg.report_interval = SimTime::Hours(1);
 
-  EdgeDevice node(sim, dev_cfg, fabric, std::move(energy),
+  DeviceFleet fleet(sim);
+  EdgeDevice node(sim, dev_cfg, fabric, fleet, std::move(energy),
                   SeriesSystem::EnergyHarvestingNode());
   node.Deploy();
 

@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "src/core/device.h"
+#include "src/core/fleet.h"
 #include "src/core/network_fabric.h"
 #include "src/energy/harvester.h"
 #include "src/net/backhaul.h"
@@ -49,12 +50,14 @@ int main() {
   dev_cfg.report_interval = SimTime::Hours(1);
   SolarHarvester::Params solar;
   solar.peak_power_w = 0.010;  // A cm-scale cell.
-  EnergyManager energy(std::make_unique<SolarHarvester>(solar), EnergyStorage::Supercap(),
+  EnergyManager energy(HarvesterModel::Solar(solar), EnergyStorage::Supercap(),
                        LoadProfileFor(dev_cfg));
   std::printf("Sustainable reports/day from harvest: %.0f (we use 24)\n",
               energy.SustainableTxPerDay());
 
-  EdgeDevice device(sim, dev_cfg, fabric, std::move(energy),
+  // Per-device hot state lives in fleet columns; the device is a facade.
+  DeviceFleet fleet(sim);
+  EdgeDevice device(sim, dev_cfg, fabric, fleet, std::move(energy),
                     SeriesSystem::EnergyHarvestingNode());
   device.Deploy();
 

@@ -51,6 +51,94 @@ std::vector<Site> DeploymentPlan::PlanGatewayGrid(double range_m) const {
   return gws;
 }
 
+CoverageCsr BuildCoverageCsr(const std::vector<Site>& sites, const std::vector<Site>& gateways,
+                             double range_m) {
+  CoverageCsr csr;
+  csr.offsets.assign(gateways.size() + 1, 0);
+  if (sites.empty() || gateways.empty() || range_m <= 0.0) {
+    return csr;
+  }
+
+  // Bounding box of the sites; cells are range-sized so any site within
+  // range of a gateway lies in one of the 3x3 cells around it.
+  double min_x = sites[0].x_m, max_x = sites[0].x_m;
+  double min_y = sites[0].y_m, max_y = sites[0].y_m;
+  for (const Site& s : sites) {
+    min_x = std::min(min_x, s.x_m);
+    max_x = std::max(max_x, s.x_m);
+    min_y = std::min(min_y, s.y_m);
+    max_y = std::max(max_y, s.y_m);
+  }
+  const double cell = range_m;
+  const uint32_t nx =
+      std::max<uint32_t>(1, static_cast<uint32_t>((max_x - min_x) / cell) + 1);
+  const uint32_t ny =
+      std::max<uint32_t>(1, static_cast<uint32_t>((max_y - min_y) / cell) + 1);
+  auto cell_x = [&](double x) {
+    const double fx = (x - min_x) / cell;
+    if (fx <= 0.0) return 0u;
+    const uint32_t cx = static_cast<uint32_t>(fx);
+    return std::min(cx, nx - 1);
+  };
+  auto cell_y = [&](double y) {
+    const double fy = (y - min_y) / cell;
+    if (fy <= 0.0) return 0u;
+    const uint32_t cy = static_cast<uint32_t>(fy);
+    return std::min(cy, ny - 1);
+  };
+
+  // Counting-sort the sites into a cell-indexed CSR.
+  std::vector<uint32_t> cell_offsets(static_cast<size_t>(nx) * ny + 1, 0);
+  auto cell_of = [&](const Site& s) { return cell_y(s.y_m) * nx + cell_x(s.x_m); };
+  for (const Site& s : sites) {
+    ++cell_offsets[cell_of(s) + 1];
+  }
+  for (size_t c = 1; c < cell_offsets.size(); ++c) {
+    cell_offsets[c] += cell_offsets[c - 1];
+  }
+  std::vector<uint32_t> cell_sites(sites.size());
+  {
+    std::vector<uint32_t> cursor(cell_offsets.begin(), cell_offsets.end() - 1);
+    for (uint32_t i = 0; i < sites.size(); ++i) {
+      cell_sites[cursor[cell_of(sites[i])]++] = i;
+    }
+  }
+
+  // Pass 1: count matches per gateway; pass 2: fill, then sort each list
+  // ascending (the counting sort above groups by cell, not by index).
+  std::vector<std::vector<uint32_t>> per_gateway(gateways.size());
+  for (uint32_t g = 0; g < gateways.size(); ++g) {
+    const Site& gw = gateways[g];
+    const uint32_t x0 = cell_x(gw.x_m - range_m);
+    const uint32_t x1 = cell_x(gw.x_m + range_m);
+    const uint32_t y0 = cell_y(gw.y_m - range_m);
+    const uint32_t y1 = cell_y(gw.y_m + range_m);
+    auto& covered = per_gateway[g];
+    for (uint32_t cy = y0; cy <= y1; ++cy) {
+      for (uint32_t cx = x0; cx <= x1; ++cx) {
+        const size_t c = static_cast<size_t>(cy) * nx + cx;
+        for (uint32_t k = cell_offsets[c]; k < cell_offsets[c + 1]; ++k) {
+          const uint32_t d = cell_sites[k];
+          if (DistanceM(sites[d], gw) <= range_m) {
+            covered.push_back(d);
+          }
+        }
+      }
+    }
+    std::sort(covered.begin(), covered.end());
+  }
+
+  for (uint32_t g = 0; g < gateways.size(); ++g) {
+    csr.offsets[g + 1] = csr.offsets[g] + static_cast<uint32_t>(per_gateway[g].size());
+  }
+  csr.site_ids.resize(csr.offsets.back());
+  for (uint32_t g = 0; g < gateways.size(); ++g) {
+    std::copy(per_gateway[g].begin(), per_gateway[g].end(),
+              csr.site_ids.begin() + csr.offsets[g]);
+  }
+  return csr;
+}
+
 DeploymentPlan::CoverageReport DeploymentPlan::ScoreCoverage(const std::vector<Site>& gateways,
                                                              double range_m) const {
   CoverageReport rep;

@@ -59,6 +59,24 @@ class DeploymentPlan {
   std::vector<Site> sites_;
 };
 
+// Compressed sparse coverage map: for each gateway, the ascending list of
+// site indices within radio range.
+struct CoverageCsr {
+  std::vector<uint32_t> offsets;   // Size gateways + 1.
+  std::vector<uint32_t> site_ids;  // Gateway g covers [offsets[g], offsets[g+1]).
+
+  uint32_t begin(uint32_t g) const { return offsets[g]; }
+  uint32_t end(uint32_t g) const { return offsets[g + 1]; }
+};
+
+// Builds the coverage map with a uniform spatial grid (cell size = range),
+// so cost is O(sites + gateways * sites-per-cell) instead of the quadratic
+// all-pairs scan. Membership is identical to the brute-force distance test,
+// and each gateway's list is sorted ascending, matching the order the
+// all-pairs loop would have produced.
+CoverageCsr BuildCoverageCsr(const std::vector<Site>& sites, const std::vector<Site>& gateways,
+                             double range_m);
+
 }  // namespace centsim
 
 #endif  // SRC_CITY_DEPLOYMENT_H_

@@ -25,20 +25,35 @@ LoadProfile LoadProfileFor(const EdgeDeviceConfig& config) {
 }
 
 EdgeDevice::EdgeDevice(Simulation& sim, EdgeDeviceConfig config, NetworkFabric& fabric,
-                       EnergyManager energy, SeriesSystem hardware)
+                       DeviceFleet& fleet, EnergyManager energy, SeriesSystem hardware)
     : sim_(sim),
       config_(std::move(config)),
       fabric_(fabric),
-      energy_(std::move(energy)),
-      hardware_(std::move(hardware)),
+      fleet_(fleet),
       rng_(sim.StreamFor(0x6465760000000000ULL ^ config_.id)),
       sensor_(config_.sensor_kind, sim.seed() ^ (0x53454e53ULL << 16) ^ config_.id) {
-  const MetricLabels labels{{"tech", RadioTechName(config_.tech)}};
-  failures_metric_ = sim_.MetricCounter("device.failures", labels);
-  replacements_metric_ = sim_.MetricCounter("device.replacements", labels);
-  energy_.BindMetrics(sim_.MetricCounter("energy.tx_granted", labels),
-                      sim_.MetricCounter("energy.tx_denied", labels),
-                      sim_.MetricHistogram("energy.harvest_j", labels));
+  // Class spec: everything unit-independent. The fleet dedups by content,
+  // so a thousand same-make devices share one record (and one set of
+  // per-tech instruments, bound at first intern in the legacy order).
+  DeviceClassSpec spec;
+  spec.name = RadioTechName(config_.tech);
+  spec.tech = config_.tech;
+  spec.lora = config_.lora;
+  spec.tx_power_dbm = config_.tx_power_dbm;
+  spec.report_interval = config_.report_interval;
+  spec.payload_bytes = config_.payload_bytes;
+  spec.vendor = config_.vendor;
+  spec.coupling = config_.coupling;
+  spec.sensor_kind = config_.sensor_kind;
+  spec.load = energy.load();
+  spec.storage = energy.storage().params();
+  spec.hardware = std::move(hardware);
+  cls_ = fleet_.InternClass(spec);
+
+  handle_ = fleet_.Add(cls_, config_.x_m, config_.y_m, /*zone=*/0, energy.harvester());
+  slot_ = DeviceFleet::SlotOf(handle_);
+  // Carry over any pre-advanced storage state from the passed manager.
+  fleet_.SetEnergyStateAt(slot_, energy.storage().state(), energy.last_advance());
 }
 
 void EdgeDevice::EnableSigning(const SipHashKey& batch_secret) {
@@ -49,12 +64,20 @@ EdgeDevice::~EdgeDevice() {
   if (load_registered_) {
     fabric_.RemoveOfferedLoad(config_.tech, PacketsPerHour());
   }
+  if (report_event_ != kInvalidEventId) {
+    sim_.scheduler().Cancel(report_event_);
+  }
+  if (fleet_.IsLive(handle_)) {
+    const EventId failure = fleet_.failure_event(slot_);
+    if (failure != kInvalidEventId) {
+      sim_.scheduler().Cancel(failure);
+    }
+    fleet_.Remove(handle_);
+  }
 }
 
 void EdgeDevice::Deploy() {
-  alive_ = true;
-  deployed_at_ = sim_.Now();
-  ++generation_;
+  fleet_.DeployAt(slot_);
   if (!load_registered_) {
     fabric_.AddOfferedLoad(config_.tech, PacketsPerHour());
     load_registered_ = true;
@@ -66,16 +89,16 @@ void EdgeDevice::Deploy() {
 }
 
 void EdgeDevice::ReplaceUnit() {
-  if (failure_event_ != kInvalidEventId) {
-    sim_.scheduler().Cancel(failure_event_);
-    failure_event_ = kInvalidEventId;
+  const EventId failure = fleet_.failure_event(slot_);
+  if (failure != kInvalidEventId) {
+    sim_.scheduler().Cancel(failure);
+    fleet_.set_failure_event(slot_, kInvalidEventId);
   }
-  alive_ = true;
-  ++generation_;
-  deployed_at_ = sim_.Now();
-  MetricInc(replacements_metric_);
+  fleet_.DeployAt(slot_);
+  fleet_.CountReplacementAt(slot_);
   if (sim_.TraceEnabled(TraceLevel::kMaintenance)) {
-    sim_.Maint(config_.name, "unit replaced (generation " + std::to_string(generation_) + ")");
+    sim_.Maint(config_.name, "unit replaced (generation " +
+                                 std::to_string(fleet_.unit_generation(slot_)) + ")");
   }
   ScheduleHardwareFailure();
   if (report_event_ == kInvalidEventId) {
@@ -89,14 +112,13 @@ void EdgeDevice::ReplaceUnit() {
 }
 
 void EdgeDevice::ScheduleHardwareFailure() {
-  const auto draw = hardware_.SampleLife(rng_);
-  failure_event_ = sim_.scheduler().ScheduleAfter(
+  const auto draw = fleet_.class_spec(cls_).hardware.SampleLife(rng_);
+  fleet_.set_deadline(slot_, sim_.Now() + draw.life);
+  const EventId failure = sim_.scheduler().ScheduleAfter(
       draw.life,
       [this, draw] {
-        failure_event_ = kInvalidEventId;
-        alive_ = false;
-        failed_at_ = sim_.Now();
-        MetricInc(failures_metric_);
+        fleet_.set_failure_event(slot_, kInvalidEventId);
+        fleet_.MarkFailedAt(slot_);
         if (report_event_ != kInvalidEventId) {
           sim_.scheduler().Cancel(report_event_);
           report_event_ = kInvalidEventId;
@@ -106,10 +128,11 @@ void EdgeDevice::ScheduleHardwareFailure() {
           load_registered_ = false;
         }
         if (sim_.TraceEnabled(TraceLevel::kFailure)) {
+          const SeriesSystem& hardware = fleet_.class_spec(cls_).hardware;
           sim_.Fail(config_.name,
                     std::string("device hardware failure: ") +
                         (draw.failing_component != SIZE_MAX
-                             ? hardware_.components()[draw.failing_component].name
+                             ? hardware.components()[draw.failing_component].name
                              : "unknown"));
         }
         if (on_failure_) {
@@ -117,6 +140,7 @@ void EdgeDevice::ScheduleHardwareFailure() {
         }
       },
       "device.failure");
+  fleet_.set_failure_event(slot_, failure);
 }
 
 void EdgeDevice::ScheduleNextReport(SimTime delay) {
@@ -130,7 +154,7 @@ void EdgeDevice::ScheduleNextReport(SimTime delay) {
 }
 
 void EdgeDevice::OnReportTimer() {
-  if (!alive_) {
+  if (!fleet_.alive(slot_)) {
     return;
   }
   ++attempts_;
@@ -148,11 +172,11 @@ void EdgeDevice::OnReportTimer() {
     return;
   }
 
-  if (!energy_.TryTransmit(sim_.Now())) {
+  if (!fleet_.EnergyTryTransmit(slot_, sim_.Now())) {
     account(DeliveryOutcome::kNoEnergy);
     // Retry when energy is forecast to suffice, capped at the interval.
-    const SimTime eta =
-        energy_.EstimateNextAffordable(sim_.Now(), energy_.load().tx_energy_j);
+    const SimTime eta = fleet_.EstimateNextAffordableAt(
+        slot_, sim_.Now(), fleet_.class_spec(cls_).load.tx_energy_j);
     const SimTime wait = std::min(eta - sim_.Now(), config_.report_interval);
     ScheduleNextReport(wait > SimTime::Minutes(1) ? wait : SimTime::Minutes(1));
     return;
@@ -168,7 +192,7 @@ void EdgeDevice::OnReportTimer() {
   pkt.reading.sequence = pkt.sequence;
   pkt.reading.value_centi = sensor_.MeasureCentiAt(sim_.Now());
   pkt.reading.sensor_type = static_cast<uint8_t>(config_.sensor_kind);
-  pkt.reading.battery_soc = static_cast<uint8_t>(energy_.storage().soc() * 255.0);
+  pkt.reading.battery_soc = static_cast<uint8_t>(fleet_.StorageSocAt(slot_) * 255.0);
   if (device_key_.has_value()) {
     pkt.authenticated = true;
     pkt.auth_tag = ComputeReadingTag(*device_key_, pkt.device_id, pkt.sequence, pkt.reading);

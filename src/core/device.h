@@ -1,26 +1,31 @@
 // The edge device (paper §3.1, §4.1): an energy-harvesting, transmit-only
 // sensor that expects no human attention during its operational lifetime.
 //
-// Each device couples an EnergyManager (harvest/storage), a hardware
-// reliability draw (series system), and a reporting schedule. It transmits
-// into the NetworkFabric and never receives; when it fails, it stays dark
-// until (and unless) the experiment's management layer replaces the unit.
+// EdgeDevice is a thin facade over a DeviceFleet handle. All hot per-device
+// state (alive flag, unit generation, deployment/failure timestamps, energy
+// storage level, tx grant/deny tallies) lives in the fleet's
+// struct-of-arrays columns; the facade keeps only the cold per-unit pieces
+// (config with the per-device name, RNG stream, sensor model, signing key,
+// delivery accounting) and the reporting schedule. Shared class data —
+// radio parameters, load profile, storage chemistry, hardware BOM — is
+// interned once per device class in the fleet.
 
 #ifndef SRC_CORE_DEVICE_H_
 #define SRC_CORE_DEVICE_H_
 
 #include <array>
-#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
 
+#include "src/core/fleet.h"
 #include "src/core/network_fabric.h"
 #include "src/energy/energy_manager.h"
 #include "src/net/commissioning.h"
 #include "src/radio/lora.h"
 #include "src/reliability/component.h"
 #include "src/security/siphash.h"
+#include "src/sim/inline_fn.h"
 #include "src/sim/simulation.h"
 #include "src/telemetry/sensors.h"
 
@@ -46,10 +51,12 @@ LoadProfile LoadProfileFor(const EdgeDeviceConfig& config);
 
 class EdgeDevice {
  public:
-  using FailureCallback = std::function<void(EdgeDevice&, SimTime)>;
+  // Small-buffer callable: failure callbacks capture a few references and
+  // must not cost one heap allocation per deployed device.
+  using FailureCallback = InlineFn<void(EdgeDevice&, SimTime)>;
 
   EdgeDevice(Simulation& sim, EdgeDeviceConfig config, NetworkFabric& fabric,
-             EnergyManager energy, SeriesSystem hardware);
+             DeviceFleet& fleet, EnergyManager energy, SeriesSystem hardware);
   ~EdgeDevice();
   EdgeDevice(const EdgeDevice&) = delete;
   EdgeDevice& operator=(const EdgeDevice&) = delete;
@@ -72,13 +79,16 @@ class EdgeDevice {
   void EnableSigning(const SipHashKey& batch_secret);
   bool signing_enabled() const { return device_key_.has_value(); }
 
-  bool alive() const { return alive_; }
-  SimTime deployed_at() const { return deployed_at_; }
-  SimTime failed_at() const { return failed_at_; }
-  uint32_t unit_generation() const { return generation_; }
+  bool alive() const { return fleet_.alive(slot_); }
+  SimTime deployed_at() const { return fleet_.deployed_at(slot_); }
+  SimTime failed_at() const { return fleet_.failed_at(slot_); }
+  uint32_t unit_generation() const { return fleet_.unit_generation(slot_); }
 
   const EdgeDeviceConfig& config() const { return config_; }
-  const EnergyManager& energy() const { return energy_; }
+  // Fleet-column energy state, shaped like the old EnergyManager surface.
+  FleetEnergyView energy() const { return FleetEnergyView(fleet_, slot_); }
+  DeviceHandle handle() const { return handle_; }
+  uint32_t device_class() const { return cls_; }
   uint64_t attempts() const { return attempts_; }
   uint64_t delivered() const { return delivered_; }
   uint64_t OutcomeCount(DeliveryOutcome outcome) const {
@@ -94,29 +104,22 @@ class EdgeDevice {
   Simulation& sim_;
   EdgeDeviceConfig config_;
   NetworkFabric& fabric_;
-  EnergyManager energy_;
-  SeriesSystem hardware_;
+  DeviceFleet& fleet_;
+  DeviceHandle handle_ = kInvalidDeviceHandle;
+  uint32_t slot_ = 0;
+  uint32_t cls_ = 0;
   RandomStream rng_;
   FailureCallback on_failure_;
   SensorModel sensor_;
   std::optional<SipHashKey> device_key_;
 
-  bool alive_ = false;
   bool load_registered_ = false;
-  uint32_t generation_ = 0;
   uint32_t sequence_ = 0;
-  SimTime deployed_at_;
-  SimTime failed_at_;
   SimTime next_duty_allowed_;
   EventId report_event_ = kInvalidEventId;
-  EventId failure_event_ = kInvalidEventId;
   uint64_t attempts_ = 0;
   uint64_t delivered_ = 0;
   std::array<uint64_t, kDeliveryOutcomeCount> outcomes_{};
-
-  // Shared per-tech instruments; null when no registry is attached.
-  Counter* failures_metric_ = nullptr;
-  Counter* replacements_metric_ = nullptr;
 };
 
 }  // namespace centsim

@@ -1,10 +1,11 @@
 #include "src/core/district.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
-#include <functional>
 
 #include "src/city/deployment.h"
+#include "src/core/fleet.h"
 #include "src/reliability/component.h"
 #include "src/sim/ensemble.h"
 #include "src/sim/simulation.h"
@@ -12,15 +13,205 @@
 namespace centsim {
 namespace {
 
-struct DeviceState {
-  bool alive = false;
-  uint32_t covering_operational = 0;  // Operational gateways in range.
-  uint32_t zone = 0;
-};
+// District driver over DeviceFleet columns. Device hot state (alive flag,
+// operational-gateways-covering count, zone) lives in the fleet's SoA
+// columns; coverage is a CSR built with a spatial grid instead of the old
+// quadratic all-pairs scan; zone membership is precomputed as ascending
+// per-zone site lists so a batch visit walks its own zone instead of the
+// whole fleet. Scheduled closures capture [this, index] — two words, well
+// inside the event core's inline buffer.
+class DistrictRun {
+ public:
+  DistrictRun(Simulation& sim, const DistrictConfig& config, DistrictReport& report)
+      : sim_(sim),
+        config_(config),
+        report_(report),
+        fleet_(sim),
+        rng_(sim.StreamFor(0x646973740002ULL)),
+        gateway_bom_(SeriesSystem::RaspberryPiGateway()),
+        years_(static_cast<uint32_t>(std::ceil(config.horizon.ToYears()))),
+        yearly_service_seconds_(years_, 0.0) {
+    // --- Geometry --------------------------------------------------------
+    DeploymentPlan::Params dp;
+    dp.site_count = config.device_count;
+    dp.area_km2 = config.area_km2;
+    dp.zone_grid = config.zone_grid;
+    DeploymentPlan plan(dp, sim.StreamFor(0x646973740001ULL));
+    gateway_sites_ = plan.PlanGatewayGrid(config.gateway_range_m);
+    report_.gateway_count = static_cast<uint32_t>(gateway_sites_.size());
 
-struct GatewayState {
-  bool operational = false;
-  std::vector<uint32_t> covered_devices;
+    DeviceClassSpec spec;
+    spec.name = "district-site";
+    spec.hardware = config.device_class == DeviceClassKind::kBatteryPowered
+                        ? SeriesSystem::BatteryPoweredNode()
+                        : SeriesSystem::EnergyHarvestingNode();
+    cls_ = fleet_.InternClass(spec);
+    fleet_.AddSites(plan, cls_, HarvesterModel());
+    if (config.metrics != nullptr) {
+      fleet_.EnableFleetMetrics();
+    }
+
+    zone_sites_.resize(plan.zone_count());
+    for (uint32_t d = 0; d < config.device_count; ++d) {
+      zone_sites_[fleet_.zone(d)].push_back(d);
+    }
+
+    coverage_ = BuildCoverageCsr(plan.sites(), gateway_sites_, config.gateway_range_m);
+    gateway_up_.assign(gateway_sites_.size(), 0);
+
+    std::vector<uint8_t> planned_cover(config.device_count, 0);
+    for (uint32_t d : coverage_.site_ids) {
+      planned_cover[d] = 1;
+    }
+    uint32_t covered_at_all = 0;
+    for (uint8_t c : planned_cover) {
+      covered_at_all += c;
+    }
+    report_.initial_coverage = static_cast<double>(covered_at_all) / config.device_count;
+  }
+
+  void Run() {
+    BatchProjectParams batch;
+    batch.zone_count = config_.zone_grid * config_.zone_grid;
+    batch.cycle_period = config_.batch_cycle;
+    BatchProjectScheduler batches(sim_, batch,
+                                  [this](uint32_t zone, uint32_t) { OnZoneVisit(zone); });
+    batches.ScheduleThrough(config_.horizon);
+
+    for (uint32_t g = 0; g < gateway_sites_.size(); ++g) {
+      SetGateway(g, true);
+      ScheduleGatewayFailure(g);
+    }
+    for (uint32_t d = 0; d < config_.device_count; ++d) {
+      DeployDevice(d);
+    }
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    sim_.RunUntil(config_.horizon);
+    report_.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+    AccumulateTo(config_.horizon);
+    report_.events_executed = sim_.scheduler().executed_count();
+    report_.fleet_bytes_per_device = fleet_.BytesPerDevice();
+
+    const double total = config_.horizon.ToSeconds() * config_.device_count;
+    report_.mean_device_availability = alive_site_seconds_ / total;
+    report_.mean_service_availability = service_site_seconds_ / total;
+    report_.yearly_service.resize(years_);
+    const double year_total = SimTime::Years(1).ToSeconds() * config_.device_count;
+    for (uint32_t y = 0; y < years_; ++y) {
+      report_.yearly_service[y] = yearly_service_seconds_[y] / year_total;
+      report_.min_yearly_service =
+          std::min(report_.min_yearly_service, report_.yearly_service[y]);
+    }
+  }
+
+ private:
+  bool InService(uint32_t d) const { return fleet_.alive(d) && fleet_.covering(d) > 0; }
+
+  void AccumulateTo(SimTime now) {
+    if (now <= last_change_) {
+      return;
+    }
+    const double span = (now - last_change_).ToSeconds();
+    alive_site_seconds_ += span * static_cast<double>(fleet_.alive_count());
+    service_site_seconds_ += span * static_cast<double>(service_count_);
+    double t0 = last_change_.ToSeconds();
+    const double t1 = now.ToSeconds();
+    const double year_s = SimTime::Years(1).ToSeconds();
+    while (t0 < t1) {
+      const uint32_t y = std::min<uint32_t>(years_ - 1, static_cast<uint32_t>(t0 / year_s));
+      const double seg = std::min(t1, (y + 1) * year_s) - t0;
+      yearly_service_seconds_[y] += seg * static_cast<double>(service_count_);
+      t0 += seg;
+    }
+    last_change_ = now;
+  }
+
+  // Gateway up/down transitions adjust every covered device's counter.
+  void SetGateway(uint32_t g, bool up) {
+    if ((gateway_up_[g] != 0) == up) {
+      return;
+    }
+    AccumulateTo(sim_.Now());
+    gateway_up_[g] = up ? 1 : 0;
+    const int delta = up ? 1 : -1;
+    for (uint32_t k = coverage_.begin(g); k < coverage_.end(g); ++k) {
+      const uint32_t d = coverage_.site_ids[k];
+      const bool was = InService(d);
+      fleet_.AddCoveringAt(d, delta);
+      const bool is = InService(d);
+      if (was && !is) {
+        --service_count_;
+      } else if (!was && is) {
+        ++service_count_;
+      }
+    }
+  }
+
+  void ScheduleGatewayFailure(uint32_t g) {
+    RandomStream gw_rng = rng_.Derive(0x67770000ULL + g * 131 + report_.gateway_failures);
+    const SimTime life = gateway_bom_.SampleLife(gw_rng).life;
+    sim_.scheduler().ScheduleAfter(life, [this, g] {
+      ++report_.gateway_failures;
+      SetGateway(g, false);
+      sim_.scheduler().ScheduleAfter(config_.gateway_repair_delay, [this, g] {
+        ++report_.gateway_repairs;
+        SetGateway(g, true);
+        ScheduleGatewayFailure(g);
+      });
+    });
+  }
+
+  void DeployDevice(uint32_t d) {
+    AccumulateTo(sim_.Now());
+    if (!fleet_.alive(d)) {
+      fleet_.DeployAt(d);
+      if (InService(d)) {
+        ++service_count_;
+      }
+    }
+    RandomStream dev_rng = rng_.Derive(0x64650000ULL + static_cast<uint64_t>(d) * 977 +
+                                       report_.device_replacements);
+    const SimTime life = fleet_.class_spec(cls_).hardware.SampleLife(dev_rng).life;
+    sim_.scheduler().ScheduleAfter(life, [this, d] {
+      AccumulateTo(sim_.Now());
+      if (InService(d)) {
+        --service_count_;
+      }
+      fleet_.MarkFailedAt(d);
+      ++report_.device_failures;
+    });
+  }
+
+  void OnZoneVisit(uint32_t zone) {
+    for (uint32_t d : zone_sites_[zone]) {
+      if (!fleet_.alive(d)) {
+        ++report_.device_replacements;
+        DeployDevice(d);
+      }
+    }
+  }
+
+  Simulation& sim_;
+  const DistrictConfig& config_;
+  DistrictReport& report_;
+  DeviceFleet fleet_;
+  uint32_t cls_ = 0;
+  RandomStream rng_;
+  const SeriesSystem gateway_bom_;
+  const uint32_t years_;
+
+  std::vector<Site> gateway_sites_;
+  CoverageCsr coverage_;
+  std::vector<uint8_t> gateway_up_;
+  std::vector<std::vector<uint32_t>> zone_sites_;  // Ascending site indices.
+
+  uint64_t service_count_ = 0;  // Alive and covered.
+  SimTime last_change_;
+  double alive_site_seconds_ = 0.0;
+  double service_site_seconds_ = 0.0;
+  std::vector<double> yearly_service_seconds_;
 };
 
 }  // namespace
@@ -58,166 +249,17 @@ DistrictReport RunDistrictScenario(const DistrictConfig& config) {
   CheckConfigOrDie("district", config.Validate());
   Simulation sim(config.seed);
   sim.trace().EnableRetention(false);
+  // Bind instruments before construction so class interning can grab them.
+  sim.SetMetrics(config.metrics);
+
   DistrictReport report;
+  const auto build_start = std::chrono::steady_clock::now();
+  DistrictRun run(sim, config, report);
+  report.build_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - build_start).count();
+  run.Run();
 
-  // --- Geometry ---------------------------------------------------------
-  DeploymentPlan::Params dp;
-  dp.site_count = config.device_count;
-  dp.area_km2 = config.area_km2;
-  dp.zone_grid = config.zone_grid;
-  DeploymentPlan plan(dp, sim.StreamFor(0x646973740001ULL));
-  const auto gateway_sites = plan.PlanGatewayGrid(config.gateway_range_m);
-  report.gateway_count = static_cast<uint32_t>(gateway_sites.size());
-
-  std::vector<DeviceState> devices(config.device_count);
-  std::vector<GatewayState> gateways(gateway_sites.size());
-  for (uint32_t d = 0; d < config.device_count; ++d) {
-    devices[d].zone = plan.sites()[d].zone;
-    for (uint32_t g = 0; g < gateway_sites.size(); ++g) {
-      if (DistanceM(plan.sites()[d], gateway_sites[g]) <= config.gateway_range_m) {
-        gateways[g].covered_devices.push_back(d);
-      }
-    }
-  }
-  std::vector<uint8_t> planned_cover(config.device_count, 0);
-  for (const auto& gw : gateways) {
-    for (uint32_t d : gw.covered_devices) {
-      planned_cover[d] = 1;
-    }
-  }
-  uint32_t covered_at_all = 0;
-  for (uint8_t c : planned_cover) {
-    covered_at_all += c;
-  }
-  report.initial_coverage = static_cast<double>(covered_at_all) / config.device_count;
-
-  // --- Availability integration -----------------------------------------
-  const SeriesSystem device_bom = config.device_class == DeviceClassKind::kBatteryPowered
-                                      ? SeriesSystem::BatteryPoweredNode()
-                                      : SeriesSystem::EnergyHarvestingNode();
-  const SeriesSystem gateway_bom = SeriesSystem::RaspberryPiGateway();
-  RandomStream rng = sim.StreamFor(0x646973740002ULL);
-
-  uint64_t alive_count = 0;
-  uint64_t service_count = 0;  // Alive and covered.
-  SimTime last_change;
-  double alive_site_seconds = 0.0;
-  double service_site_seconds = 0.0;
-  const uint32_t years = static_cast<uint32_t>(std::ceil(config.horizon.ToYears()));
-  std::vector<double> yearly_service_seconds(years, 0.0);
-
-  auto in_service = [&](uint32_t d) {
-    return devices[d].alive && devices[d].covering_operational > 0;
-  };
-  auto accumulate_to = [&](SimTime now) {
-    if (now <= last_change) {
-      return;
-    }
-    const double span = (now - last_change).ToSeconds();
-    alive_site_seconds += span * static_cast<double>(alive_count);
-    service_site_seconds += span * static_cast<double>(service_count);
-    double t0 = last_change.ToSeconds();
-    const double t1 = now.ToSeconds();
-    const double year_s = SimTime::Years(1).ToSeconds();
-    while (t0 < t1) {
-      const uint32_t y = std::min<uint32_t>(years - 1, static_cast<uint32_t>(t0 / year_s));
-      const double seg = std::min(t1, (y + 1) * year_s) - t0;
-      yearly_service_seconds[y] += seg * static_cast<double>(service_count);
-      t0 += seg;
-    }
-    last_change = now;
-  };
-
-  // Gateway up/down transitions adjust every covered device's counter.
-  std::function<void(uint32_t, bool)> set_gateway = [&](uint32_t g, bool up) {
-    if (gateways[g].operational == up) {
-      return;
-    }
-    accumulate_to(sim.Now());
-    gateways[g].operational = up;
-    for (uint32_t d : gateways[g].covered_devices) {
-      const bool was = in_service(d);
-      devices[d].covering_operational += up ? 1 : -1;
-      const bool is = in_service(d);
-      if (was && !is) {
-        --service_count;
-      } else if (!was && is) {
-        ++service_count;
-      }
-    }
-  };
-
-  std::function<void(uint32_t)> schedule_gateway_failure = [&](uint32_t g) {
-    RandomStream gw_rng = rng.Derive(0x67770000ULL + g * 131 + report.gateway_failures);
-    const SimTime life = gateway_bom.SampleLife(gw_rng).life;
-    sim.scheduler().ScheduleAfter(life, [&, g] {
-      ++report.gateway_failures;
-      set_gateway(g, false);
-      sim.scheduler().ScheduleAfter(config.gateway_repair_delay, [&, g] {
-        ++report.gateway_repairs;
-        set_gateway(g, true);
-        schedule_gateway_failure(g);
-      });
-    });
-  };
-
-  std::function<void(uint32_t)> deploy_device = [&](uint32_t d) {
-    accumulate_to(sim.Now());
-    if (!devices[d].alive) {
-      ++alive_count;
-      devices[d].alive = true;
-      if (in_service(d)) {
-        ++service_count;
-      }
-    }
-    RandomStream dev_rng =
-        rng.Derive(0x64650000ULL + static_cast<uint64_t>(d) * 977 + report.device_replacements);
-    const SimTime life = device_bom.SampleLife(dev_rng).life;
-    sim.scheduler().ScheduleAfter(life, [&, d] {
-      accumulate_to(sim.Now());
-      if (in_service(d)) {
-        --service_count;
-      }
-      devices[d].alive = false;
-      --alive_count;
-      ++report.device_failures;
-    });
-  };
-
-  // --- Wiring ------------------------------------------------------------
-  BatchProjectParams batch;
-  batch.zone_count = config.zone_grid * config.zone_grid;
-  batch.cycle_period = config.batch_cycle;
-  BatchProjectScheduler batches(sim, batch, [&](uint32_t zone, uint32_t) {
-    for (uint32_t d = 0; d < config.device_count; ++d) {
-      if (devices[d].zone == zone && !devices[d].alive) {
-        ++report.device_replacements;
-        deploy_device(d);
-      }
-    }
-  });
-  batches.ScheduleThrough(config.horizon);
-
-  for (uint32_t g = 0; g < gateways.size(); ++g) {
-    set_gateway(g, true);
-    schedule_gateway_failure(g);
-  }
-  for (uint32_t d = 0; d < config.device_count; ++d) {
-    deploy_device(d);
-  }
-
-  sim.RunUntil(config.horizon);
-  accumulate_to(config.horizon);
-
-  const double total = config.horizon.ToSeconds() * config.device_count;
-  report.mean_device_availability = alive_site_seconds / total;
-  report.mean_service_availability = service_site_seconds / total;
-  report.yearly_service.resize(years);
-  const double year_total = SimTime::Years(1).ToSeconds() * config.device_count;
-  for (uint32_t y = 0; y < years; ++y) {
-    report.yearly_service[y] = yearly_service_seconds[y] / year_total;
-    report.min_yearly_service = std::min(report.min_yearly_service, report.yearly_service[y]);
-  }
+  sim.SetMetrics(nullptr);
   return report;
 }
 

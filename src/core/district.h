@@ -23,6 +23,8 @@
 
 namespace centsim {
 
+class MetricsRegistry;
+
 struct DistrictConfig {
   uint64_t seed = 3;
   uint32_t device_count = 4000;
@@ -35,6 +37,12 @@ struct DistrictConfig {
   // Device replacement rides the roadworks cadence.
   SimTime batch_cycle = SimTime::Years(8);
   DeviceClassKind device_class = DeviceClassKind::kEnergyHarvesting;
+
+  // Optional external registry. When set, the run binds fleet-level gauges
+  // (alive devices, covered sites) and per-class counters to it; the
+  // `metrics` hook also makes district ensembles metrics-capable (see
+  // src/sim/ensemble.h). Never per-device label cardinality.
+  MetricsRegistry* metrics = nullptr;
 
   // Actionable diagnostics (empty = valid); RunDistrictScenario fails
   // fast on any diagnostic instead of running silently to garbage.
@@ -52,6 +60,12 @@ struct DistrictReport {
   uint64_t device_replacements = 0;
   uint64_t gateway_failures = 0;
   uint64_t gateway_repairs = 0;
+
+  // Perf accounting (additive; excluded from parity digests).
+  uint64_t events_executed = 0;
+  double wall_seconds = 0.0;           // sim.RunUntil only.
+  double build_seconds = 0.0;          // Geometry + fleet construction.
+  double fleet_bytes_per_device = 0.0; // SoA column bytes per slot.
 
   // Availability lost to the gateway tier rather than the devices.
   double CoverageLoss() const {

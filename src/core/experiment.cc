@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "src/core/device.h"
+#include "src/core/fleet.h"
 #include "src/core/network_fabric.h"
 #include "src/econ/data_credits.h"
 #include "src/energy/harvester.h"
@@ -30,8 +31,8 @@ namespace centsim {
 namespace {
 
 std::unique_ptr<EdgeDevice> MakeExperimentDevice(Simulation& sim, NetworkFabric& fabric,
-                                                 uint32_t id, RadioTech tech, double x_m,
-                                                 double y_m) {
+                                                 DeviceFleet& fleet, uint32_t id, RadioTech tech,
+                                                 double x_m, double y_m) {
   EdgeDeviceConfig cfg;
   cfg.id = id;
   cfg.x_m = x_m;
@@ -48,10 +49,10 @@ std::unique_ptr<EdgeDevice> MakeExperimentDevice(Simulation& sim, NetworkFabric&
   SolarHarvester::Params sp;
   sp.peak_power_w = 0.010;
   sp.weather_seed = sim.seed() ^ id;
-  auto harvester = std::make_unique<SolarHarvester>(sp);
-  EnergyManager energy(std::move(harvester), EnergyStorage::Supercap(), LoadProfileFor(cfg));
+  EnergyManager energy(HarvesterModel::Solar(sp), EnergyStorage::Supercap(),
+                       LoadProfileFor(cfg));
 
-  return std::make_unique<EdgeDevice>(sim, std::move(cfg), fabric, std::move(energy),
+  return std::make_unique<EdgeDevice>(sim, std::move(cfg), fabric, fleet, std::move(energy),
                                       SeriesSystem::EnergyHarvestingNode());
 }
 
@@ -254,6 +255,9 @@ FiftyYearReport RunFiftyYearExperiment(const FiftyYearConfig& config) {
   // nearby). LoRa devices scatter anywhere in the square; the hotspots'
   // link budget spans it.
   FiftyYearReport report;
+  // Fleet columns hold the hot per-device state; devices (facades) are
+  // declared after the fleet so their destructors release handles first.
+  DeviceFleet fleet(sim);
   std::vector<std::unique_ptr<EdgeDevice>> devices;
   std::vector<uint32_t> ids_154;
   std::vector<uint32_t> ids_lora;
@@ -270,7 +274,7 @@ FiftyYearReport RunFiftyYearExperiment(const FiftyYearConfig& config) {
       x = anchor.x_m + radius * std::cos(angle);
       y = anchor.y_m + radius * std::sin(angle);
     }
-    auto dev = MakeExperimentDevice(sim, fabric, i + 1, tech, x, y);
+    auto dev = MakeExperimentDevice(sim, fabric, fleet, i + 1, tech, x, y);
     dev->EnableSigning(batch_secret);
     (tech == RadioTech::k802154 ? ids_154 : ids_lora).push_back(dev->config().id);
     dev->SetFailureCallback([&report, &sim, &config](EdgeDevice& failed, SimTime at) {

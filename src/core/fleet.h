@@ -1,0 +1,302 @@
+// DeviceFleet: struct-of-arrays storage for per-device hot state, addressed
+// by generation-tagged handles.
+//
+// The entity tier used to be one heap object graph per device (EdgeDevice →
+// EnergyManager → unique_ptr<Harvester>, std::function callbacks, a name
+// string per unit) — exactly the object-graph-per-node shape that caps
+// simulators like iFogSim around 10^4 nodes. The fleet flips that: all hot
+// per-device state (position, alive flag, generations, hardware-life
+// deadline, energy storage level, last-advance time, tx grant/deny counts)
+// lives in flat parallel columns, and everything immutable that devices of
+// the same make share (radio parameters, load profile, storage chemistry,
+// hardware BOM, vendor string) is interned once as a `DeviceClassSpec`.
+//
+// Handles use the same (slot << 32 | generation) pattern the event core's
+// EventPool proved out: generation is 1-based and bumped on every slot
+// release (skipping 0 on wrap), so a stale handle is detected with one
+// comparison and kInvalidDeviceHandle == 0 never aliases a live device.
+// Slots recycle LIFO; columns grow by vector doubling — handles are
+// indices, not pointers, so growth never invalidates them.
+//
+// Energy transitions delegate to the same EnergyOps statics the one-device
+// EnergyManager wraps, so fleet-resident devices and facade devices compute
+// bit-identical doubles.
+
+#ifndef SRC_CORE_FLEET_H_
+#define SRC_CORE_FLEET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/city/deployment.h"
+#include "src/energy/energy_manager.h"
+#include "src/net/commissioning.h"
+#include "src/net/packet.h"
+#include "src/radio/lora.h"
+#include "src/reliability/component.h"
+#include "src/sim/inline_fn.h"
+#include "src/sim/simulation.h"
+#include "src/telemetry/sensors.h"
+
+namespace centsim {
+
+// Generation-tagged device reference: bits 63..32 slot, bits 31..0
+// generation (1-based). 0 is never a valid handle.
+using DeviceHandle = uint64_t;
+inline constexpr DeviceHandle kInvalidDeviceHandle = 0;
+
+// Immutable per-class record: everything devices of one make share. The
+// fleet deduplicates these by content, so a million identical units cost
+// one spec, not a million config copies.
+struct DeviceClassSpec {
+  std::string name = "device";     // Class (not per-unit) name; metric label.
+  RadioTech tech = RadioTech::k802154;
+  LoraConfig lora;
+  double tx_power_dbm = 0.0;
+  SimTime report_interval = SimTime::Hours(1);
+  uint32_t payload_bytes = 12;
+  std::string vendor;              // Empty => standards-compliant.
+  DeviceCoupling coupling = DeviceCoupling::kStandardsCompliant;
+  SensorKind sensor_kind = SensorKind::kTemperature;
+  LoadProfile load;
+  EnergyStorage::Params storage;
+  SeriesSystem hardware;           // Reliability BOM (sampled via caller RNG).
+};
+
+class DeviceFleet {
+ public:
+  // Fleet-level failure hook (optional); fires after MarkFailedAt updates
+  // the columns. InlineFn: no allocation for captures up to 48 bytes.
+  using FailureHook = InlineFn<void(DeviceHandle, SimTime)>;
+
+  explicit DeviceFleet(Simulation& sim) : sim_(sim) {}
+  DeviceFleet(const DeviceFleet&) = delete;
+  DeviceFleet& operator=(const DeviceFleet&) = delete;
+
+  // --- Handle packing (mirrors EventPool) ---------------------------------
+  static constexpr uint32_t SlotOf(DeviceHandle h) { return static_cast<uint32_t>(h >> 32); }
+  static constexpr uint32_t GenerationOf(DeviceHandle h) { return static_cast<uint32_t>(h); }
+  static constexpr DeviceHandle Pack(uint32_t slot, uint32_t generation) {
+    return (static_cast<DeviceHandle>(slot) << 32) | generation;
+  }
+
+  // --- Classes ------------------------------------------------------------
+
+  // Returns the id of an existing identical class or interns a new one.
+  // First intern of a class binds its shared per-tech instruments
+  // (device.failures, device.replacements, energy.tx_granted/denied,
+  // energy.harvest_j) in that order.
+  uint32_t InternClass(const DeviceClassSpec& spec);
+  const DeviceClassSpec& class_spec(uint32_t cls) const { return classes_[cls].spec; }
+  size_t class_count() const { return classes_.size(); }
+  uint64_t class_replacements(uint32_t cls) const { return classes_[cls].replacement_count; }
+
+  // --- Slots --------------------------------------------------------------
+
+  void Reserve(size_t devices);
+
+  // Adds a device of class `cls`. Fresh fleets assign slots sequentially
+  // (slot == add order), which fleet drivers rely on for stable per-site
+  // RNG stream derivation.
+  DeviceHandle Add(uint32_t cls, double x_m, double y_m, uint32_t zone,
+                   const HarvesterModel& harvester);
+
+  // Adds one device per planned site (position + zone from the plan).
+  // Returns the handle of the first added device.
+  DeviceHandle AddSites(const DeploymentPlan& plan, uint32_t cls,
+                        const HarvesterModel& harvester);
+
+  // Releases a slot: bumps the handle generation (all outstanding handles
+  // for it go stale) and recycles it LIFO.
+  void Remove(DeviceHandle h);
+
+  // True iff `h` names a live (added, not yet removed) device.
+  bool IsLive(DeviceHandle h) const {
+    const uint32_t slot = SlotOf(h);
+    return slot < handle_gen_.size() && handle_gen_[slot] == GenerationOf(h) &&
+           GenerationOf(h) != 0;
+  }
+
+  size_t size() const { return handle_gen_.size() - free_.size(); }
+  size_t capacity() const { return handle_gen_.size(); }
+  uint64_t alive_count() const { return alive_count_; }
+  uint64_t covered_count() const { return covered_count_; }
+
+  // --- Column accessors (by slot) -----------------------------------------
+  double x(uint32_t slot) const { return x_[slot]; }
+  double y(uint32_t slot) const { return y_[slot]; }
+  uint32_t zone(uint32_t slot) const { return zone_[slot]; }
+  uint32_t device_class(uint32_t slot) const { return class_[slot]; }
+  bool alive(uint32_t slot) const { return alive_[slot] != 0; }
+  uint32_t unit_generation(uint32_t slot) const { return unit_gen_[slot]; }
+  SimTime deployed_at(uint32_t slot) const { return deployed_at_[slot]; }
+  SimTime failed_at(uint32_t slot) const { return failed_at_[slot]; }
+  SimTime deadline(uint32_t slot) const { return deadline_[slot]; }
+  void set_deadline(uint32_t slot, SimTime t) { deadline_[slot] = t; }
+  EventId failure_event(uint32_t slot) const { return failure_event_[slot]; }
+  void set_failure_event(uint32_t slot, EventId id) { failure_event_[slot] = id; }
+  uint32_t covering(uint32_t slot) const { return covering_[slot]; }
+  uint64_t tx_granted(uint32_t slot) const { return tx_[slot].tx_granted; }
+  uint64_t tx_denied(uint32_t slot) const { return tx_[slot].tx_denied; }
+  const HarvesterModel& harvester(uint32_t slot) const { return harvester_[slot]; }
+
+  // --- Lifecycle transitions ----------------------------------------------
+
+  // Powers a unit up at the slot's site: alive, deployment timestamp, and a
+  // new unit generation. Idempotent on `alive` (a redeploy over a live unit
+  // still bumps the generation, matching EdgeDevice::ReplaceUnit).
+  void DeployAt(uint32_t slot);
+
+  // Hardware death: clears alive, stamps failed_at, counts the class
+  // failure, then fires the fleet failure hook (if set).
+  void MarkFailedAt(uint32_t slot);
+
+  // Retires a working unit (proactive refresh): clears alive without
+  // counting a failure or firing the hook.
+  void RetireAt(uint32_t slot);
+
+  // Counts a unit replacement against the slot's class.
+  void CountReplacementAt(uint32_t slot);
+
+  void SetFailureHook(FailureHook hook) { failure_hook_ = std::move(hook); }
+
+  // --- Coverage -----------------------------------------------------------
+
+  // Adjusts the count of operational gateways covering this site.
+  void AddCoveringAt(uint32_t slot, int delta);
+
+  // --- Energy (delegates to EnergyOps over the columns) -------------------
+
+  void SetEnergyStateAt(uint32_t slot, const EnergyStorage::State& state, SimTime last_advance) {
+    energy_[slot].storage = state;
+    energy_[slot].last_advance = last_advance;
+  }
+  const EnergyStorage::State& energy_state(uint32_t slot) const {
+    return energy_[slot].storage;
+  }
+  SimTime energy_last_advance(uint32_t slot) const { return energy_[slot].last_advance; }
+  double StorageSocAt(uint32_t slot) const { return EnergyStorage::Soc(energy_[slot].storage); }
+
+  void EnergyAdvanceTo(uint32_t slot, SimTime now);
+  bool EnergyTryTransmit(uint32_t slot, SimTime now);
+  SimTime EstimateNextAffordableAt(uint32_t slot, SimTime now, double joules) const;
+
+  // --- Observability ------------------------------------------------------
+
+  // Binds fleet-level gauges (fleet.alive_devices, fleet.covered_sites) and
+  // per-class replacement counters (fleet.replacements{class=...}) in the
+  // attached MetricsRegistry. Opt-in so runs pinned to golden metric sets
+  // are unaffected unless they ask.
+  void EnableFleetMetrics();
+
+  // Bytes of fleet column storage currently allocated, and per allocated
+  // slot. Class records and specs are excluded (amortized across the fleet).
+  size_t MemoryBytes() const;
+  double BytesPerDevice() const {
+    return capacity() > 0 ? static_cast<double>(MemoryBytes()) / capacity() : 0.0;
+  }
+
+  Simulation& sim() { return sim_; }
+
+ private:
+  struct ClassRecord {
+    DeviceClassSpec spec;
+    // Shared per-tech instruments, bound at intern time in the same order
+    // the per-device constructors used to bind them.
+    Counter* failures = nullptr;
+    Counter* replacements = nullptr;
+    EnergyMetricHooks energy;
+    // Fleet-level per-class replacement counter (EnableFleetMetrics).
+    Counter* fleet_replacements = nullptr;
+    uint64_t replacement_count = 0;
+  };
+
+  struct EnergyColumn {
+    EnergyStorage::State storage;
+    SimTime last_advance;
+  };
+
+  void BumpGeneration(uint32_t slot) {
+    if (++handle_gen_[slot] == 0) {
+      handle_gen_[slot] = 1;  // Skip 0 on wrap: handles must never be invalid.
+    }
+  }
+  void BindFleetMetricsFor(ClassRecord& record);
+
+  Simulation& sim_;
+
+  std::vector<ClassRecord> classes_;
+  std::unordered_map<std::string, uint32_t> class_index_;  // InternKey -> id.
+
+  // Parallel per-slot columns.
+  std::vector<uint32_t> handle_gen_;  // 1-based handle generations.
+  std::vector<uint32_t> class_;
+  std::vector<double> x_;
+  std::vector<double> y_;
+  std::vector<uint32_t> zone_;
+  std::vector<uint8_t> alive_;
+  std::vector<uint32_t> unit_gen_;
+  std::vector<SimTime> deployed_at_;
+  std::vector<SimTime> failed_at_;
+  std::vector<SimTime> deadline_;
+  std::vector<EventId> failure_event_;
+  std::vector<uint32_t> covering_;
+  std::vector<EnergyColumn> energy_;
+  std::vector<EnergyCounters> tx_;
+  std::vector<HarvesterModel> harvester_;
+
+  std::vector<uint32_t> free_;  // LIFO: most recently released first.
+
+  uint64_t alive_count_ = 0;
+  uint64_t covered_count_ = 0;
+  FailureHook failure_hook_;
+
+  bool fleet_metrics_enabled_ = false;
+  Gauge* alive_gauge_ = nullptr;
+  Gauge* covered_gauge_ = nullptr;
+};
+
+// Read-only energy view over one fleet slot, shaped like the old
+// EdgeDevice::energy() surface (storage().soc(), load(), counters) so
+// facade callers keep compiling.
+class FleetEnergyView {
+ public:
+  FleetEnergyView(const DeviceFleet& fleet, uint32_t slot) : fleet_(fleet), slot_(slot) {}
+
+  class StorageView {
+   public:
+    StorageView(const EnergyStorage::State& state, const EnergyStorage::Params& params)
+        : state_(state), params_(params) {}
+    double charge_j() const { return state_.charge_j; }
+    double capacity_now_j() const { return state_.capacity_now_j; }
+    double soc() const { return EnergyStorage::Soc(state_); }
+    SimTime last_update() const { return state_.last_update; }
+    const EnergyStorage::Params& params() const { return params_; }
+
+   private:
+    const EnergyStorage::State& state_;
+    const EnergyStorage::Params& params_;
+  };
+
+  StorageView storage() const {
+    return StorageView(fleet_.energy_state(slot_),
+                       fleet_.class_spec(fleet_.device_class(slot_)).storage);
+  }
+  const LoadProfile& load() const {
+    return fleet_.class_spec(fleet_.device_class(slot_)).load;
+  }
+  const HarvesterModel& harvester() const { return fleet_.harvester(slot_); }
+  uint64_t tx_granted() const { return fleet_.tx_granted(slot_); }
+  uint64_t tx_denied() const { return fleet_.tx_denied(slot_); }
+
+ private:
+  const DeviceFleet& fleet_;
+  uint32_t slot_;
+};
+
+}  // namespace centsim
+
+#endif  // SRC_CORE_FLEET_H_

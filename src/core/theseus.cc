@@ -3,17 +3,168 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/core/fleet.h"
 #include "src/sim/ensemble.h"
 #include "src/sim/simulation.h"
 
 namespace centsim {
 namespace {
 
-struct SiteState {
-  bool alive = false;
-  SimTime deployed_at;
-  uint32_t generation = 0;
-  EventId failure_event = kInvalidEventId;
+// Century-run driver over DeviceFleet columns. Sites are fleet slots
+// (slot == site index on the fresh fleet); per-site hot state — alive flag,
+// deployment time, unit generation, pending failure event — lives in the
+// fleet columns instead of a local object vector, and the deploy/failure
+// routines are member functions scheduled through InlineFn-sized captures
+// ([this, idx, life]) instead of per-site std::function closures.
+class CenturyRun {
+ public:
+  CenturyRun(Simulation& sim, const CenturyConfig& config, CenturyReport& report)
+      : sim_(sim),
+        config_(config),
+        report_(report),
+        fleet_(sim),
+        rng_(sim.StreamFor(0x7468657365757300ULL)),
+        years_(static_cast<uint32_t>(std::ceil(config.horizon.ToYears()))),
+        yearly_alive_seconds_(years_, 0.0) {
+    DeviceClassSpec spec;
+    spec.name = "century-site";
+    spec.hardware = config.device_class == DeviceClassKind::kBatteryPowered
+                        ? SeriesSystem::BatteryPoweredNode()
+                        : SeriesSystem::EnergyHarvestingNode();
+    cls_ = fleet_.InternClass(spec);
+    fleet_.Reserve(config.fleet_size);
+    for (uint32_t idx = 0; idx < config.fleet_size; ++idx) {
+      fleet_.Add(cls_, 0.0, 0.0, idx % ZoneCount(), HarvesterModel());
+    }
+  }
+
+  void Run() {
+    // Zone partition: site index modulo zone count (uniform spread).
+    BatchProjectScheduler batches(sim_, config_.batch,
+                                  [this](uint32_t zone, uint32_t cycle) {
+                                    (void)cycle;
+                                    OnZoneVisit(zone);
+                                  });
+    batches.ScheduleThrough(config_.horizon);
+
+    // Initial roll-out: all sites deployed in year 0.
+    for (uint32_t idx = 0; idx < config_.fleet_size; ++idx) {
+      DeploySite(idx);
+    }
+
+    sim_.RunUntil(config_.horizon);
+    AccumulateTo(config_.horizon);
+
+    // Censor survivors.
+    double max_gen = 0.0;
+    for (uint32_t idx = 0; idx < config_.fleet_size; ++idx) {
+      if (fleet_.alive(idx)) {
+        report_.unit_survival.Observe(config_.horizon - fleet_.deployed_at(idx),
+                                      /*failed=*/false);
+      }
+      max_gen = std::max(max_gen, static_cast<double>(fleet_.unit_generation(idx)));
+    }
+    report_.max_unit_generations = max_gen;
+
+    const double total_site_seconds = config_.horizon.ToSeconds() * config_.fleet_size;
+    report_.mean_availability =
+        total_site_seconds > 0 ? alive_site_seconds_ / total_site_seconds : 0;
+    report_.yearly_availability.resize(years_);
+    const double year_site_seconds = SimTime::Years(1).ToSeconds() * config_.fleet_size;
+    for (uint32_t y = 0; y < years_; ++y) {
+      report_.yearly_availability[y] = yearly_alive_seconds_[y] / year_site_seconds;
+      report_.min_yearly_availability =
+          std::min(report_.min_yearly_availability, report_.yearly_availability[y]);
+    }
+  }
+
+ private:
+  uint32_t ZoneCount() const { return std::max(1u, config_.batch.zone_count); }
+
+  // Exact availability integration: accumulate alive-site-time, spread
+  // across year buckets, before every alive-count transition.
+  void AccumulateTo(SimTime now) {
+    if (now <= last_change_) {
+      return;
+    }
+    const double span = (now - last_change_).ToSeconds();
+    const double alive_count = static_cast<double>(fleet_.alive_count());
+    alive_site_seconds_ += span * alive_count;
+    double t0 = last_change_.ToSeconds();
+    const double t1 = now.ToSeconds();
+    const double year_s = SimTime::Years(1).ToSeconds();
+    while (t0 < t1) {
+      const uint32_t y = std::min<uint32_t>(years_ - 1, static_cast<uint32_t>(t0 / year_s));
+      const double year_end = (y + 1) * year_s;
+      const double seg = std::min(t1, year_end) - t0;
+      yearly_alive_seconds_[y] += seg * alive_count;
+      t0 += seg;
+    }
+    last_change_ = now;
+  }
+
+  void DeploySite(uint32_t idx) {
+    AccumulateTo(sim_.Now());
+    fleet_.DeployAt(idx);
+    ++report_.units_deployed;
+
+    // Later generations may last longer (technology improvement).
+    const double decade = sim_.Now().ToYears() / 10.0;
+    const double life_scale = std::pow(config_.life_improvement_per_decade, decade);
+    RandomStream site_rng =
+        rng_.Derive((static_cast<uint64_t>(idx) << 20) + fleet_.unit_generation(idx));
+    const SimTime life =
+        fleet_.class_spec(cls_).hardware.SampleLife(site_rng).life * life_scale;
+
+    fleet_.set_failure_event(
+        idx, sim_.scheduler().ScheduleAfter(life,
+                                            [this, idx, life] { OnSiteFailure(idx, life); }));
+  }
+
+  void OnSiteFailure(uint32_t idx, SimTime life) {
+    fleet_.set_failure_event(idx, kInvalidEventId);
+    AccumulateTo(sim_.Now());
+    fleet_.MarkFailedAt(idx);
+    ++report_.total_failures;
+    report_.unit_survival.Observe(life, /*failed=*/true);
+  }
+
+  void OnZoneVisit(uint32_t zone) {
+    const uint32_t zone_count = ZoneCount();
+    for (uint32_t idx = zone; idx < config_.fleet_size; idx += zone_count) {
+      if (!fleet_.alive(idx)) {
+        ++report_.total_replacements;
+        DeploySite(idx);
+        continue;
+      }
+      if (config_.proactive_refresh_age.micros() > 0 &&
+          sim_.Now() - fleet_.deployed_at(idx) >= config_.proactive_refresh_age) {
+        // Retire a working-but-old unit during the project visit.
+        const EventId failure = fleet_.failure_event(idx);
+        if (failure != kInvalidEventId) {
+          sim_.scheduler().Cancel(failure);
+          fleet_.set_failure_event(idx, kInvalidEventId);
+        }
+        report_.unit_survival.Observe(sim_.Now() - fleet_.deployed_at(idx), /*failed=*/false);
+        AccumulateTo(sim_.Now());
+        fleet_.RetireAt(idx);
+        ++report_.proactive_replacements;
+        DeploySite(idx);
+      }
+    }
+  }
+
+  Simulation& sim_;
+  const CenturyConfig& config_;
+  CenturyReport& report_;
+  DeviceFleet fleet_;
+  uint32_t cls_ = 0;
+  RandomStream rng_;
+  const uint32_t years_;
+
+  SimTime last_change_;
+  double alive_site_seconds_ = 0.0;
+  std::vector<double> yearly_alive_seconds_;
 };
 
 }  // namespace
@@ -49,126 +200,9 @@ CenturyReport RunCenturyScenario(const CenturyConfig& config) {
   sim.trace().set_min_level(TraceLevel::kFailure);
   sim.trace().EnableRetention(false);  // Fleet-scale: counts, not records.
 
-  const SeriesSystem bom = config.device_class == DeviceClassKind::kBatteryPowered
-                               ? SeriesSystem::BatteryPoweredNode()
-                               : SeriesSystem::EnergyHarvestingNode();
-
   CenturyReport report;
-  std::vector<SiteState> sites(config.fleet_size);
-  RandomStream rng = sim.StreamFor(0x7468657365757300ULL);
-
-  // Exact availability integration: accumulate alive-site-time.
-  uint64_t alive_count = 0;
-  SimTime last_change;
-  double alive_site_seconds = 0.0;
-  // Yearly buckets via piecewise accumulation.
-  const uint32_t years = static_cast<uint32_t>(std::ceil(config.horizon.ToYears()));
-  std::vector<double> yearly_alive_seconds(years, 0.0);
-  auto accumulate_to = [&](SimTime now) {
-    if (now <= last_change) {
-      return;
-    }
-    const double span = (now - last_change).ToSeconds();
-    alive_site_seconds += span * static_cast<double>(alive_count);
-    // Spread across year buckets.
-    double t0 = last_change.ToSeconds();
-    const double t1 = now.ToSeconds();
-    const double year_s = SimTime::Years(1).ToSeconds();
-    while (t0 < t1) {
-      const uint32_t y = std::min<uint32_t>(years - 1, static_cast<uint32_t>(t0 / year_s));
-      const double year_end = (y + 1) * year_s;
-      const double seg = std::min(t1, year_end) - t0;
-      yearly_alive_seconds[y] += seg * static_cast<double>(alive_count);
-      t0 += seg;
-    }
-    last_change = now;
-  };
-
-  // Forward declaration of the deploy routine so failures can be wired.
-  std::function<void(uint32_t)> deploy_site = [&](uint32_t idx) {
-    SiteState& site = sites[idx];
-    accumulate_to(sim.Now());
-    if (!site.alive) {
-      ++alive_count;
-    }
-    site.alive = true;
-    site.deployed_at = sim.Now();
-    ++site.generation;
-    ++report.units_deployed;
-
-    // Later generations may last longer (technology improvement).
-    const double decade = sim.Now().ToYears() / 10.0;
-    const double life_scale = std::pow(config.life_improvement_per_decade, decade);
-    RandomStream site_rng = rng.Derive((static_cast<uint64_t>(idx) << 20) + site.generation);
-    const SimTime life = bom.SampleLife(site_rng).life * life_scale;
-
-    site.failure_event = sim.scheduler().ScheduleAfter(life, [&, idx, life] {
-      SiteState& s = sites[idx];
-      s.failure_event = kInvalidEventId;
-      accumulate_to(sim.Now());
-      s.alive = false;
-      --alive_count;
-      ++report.total_failures;
-      report.unit_survival.Observe(life, /*failed=*/true);
-    });
-  };
-
-  // Zone partition: site index modulo zone count (uniform spread).
-  const uint32_t zone_count = std::max(1u, config.batch.zone_count);
-  BatchProjectScheduler batches(sim, config.batch, [&](uint32_t zone, uint32_t cycle) {
-    (void)cycle;
-    for (uint32_t idx = zone; idx < sites.size(); idx += zone_count) {
-      SiteState& site = sites[idx];
-      if (!site.alive) {
-        ++report.total_replacements;
-        deploy_site(idx);
-        continue;
-      }
-      if (config.proactive_refresh_age.micros() > 0 &&
-          sim.Now() - site.deployed_at >= config.proactive_refresh_age) {
-        // Retire a working-but-old unit during the project visit.
-        if (site.failure_event != kInvalidEventId) {
-          sim.scheduler().Cancel(site.failure_event);
-          site.failure_event = kInvalidEventId;
-        }
-        report.unit_survival.Observe(sim.Now() - site.deployed_at, /*failed=*/false);
-        accumulate_to(sim.Now());
-        site.alive = false;
-        --alive_count;
-        ++report.proactive_replacements;
-        deploy_site(idx);
-      }
-    }
-  });
-  batches.ScheduleThrough(config.horizon);
-
-  // Initial roll-out: all sites deployed in year 0.
-  for (uint32_t idx = 0; idx < sites.size(); ++idx) {
-    deploy_site(idx);
-  }
-
-  sim.RunUntil(config.horizon);
-  accumulate_to(config.horizon);
-
-  // Censor survivors.
-  double max_gen = 0.0;
-  for (const SiteState& site : sites) {
-    if (site.alive) {
-      report.unit_survival.Observe(config.horizon - site.deployed_at, /*failed=*/false);
-    }
-    max_gen = std::max(max_gen, static_cast<double>(site.generation));
-  }
-  report.max_unit_generations = max_gen;
-
-  const double total_site_seconds = config.horizon.ToSeconds() * config.fleet_size;
-  report.mean_availability = total_site_seconds > 0 ? alive_site_seconds / total_site_seconds : 0;
-  report.yearly_availability.resize(years);
-  const double year_site_seconds = SimTime::Years(1).ToSeconds() * config.fleet_size;
-  for (uint32_t y = 0; y < years; ++y) {
-    report.yearly_availability[y] = yearly_alive_seconds[y] / year_site_seconds;
-    report.min_yearly_availability =
-        std::min(report.min_yearly_availability, report.yearly_availability[y]);
-  }
+  CenturyRun run(sim, config, report);
+  run.Run();
   return report;
 }
 

@@ -5,29 +5,13 @@
 
 namespace centsim {
 
-EnergyManager::EnergyManager(std::unique_ptr<Harvester> harvester, EnergyStorage storage,
-                             LoadProfile load)
-    : harvester_(std::move(harvester)), storage_(std::move(storage)), load_(load) {
-  assert(harvester_ != nullptr);
-}
+EnergyManager::EnergyManager(HarvesterModel harvester, EnergyStorage storage, LoadProfile load)
+    : harvester_(harvester), storage_(std::move(storage)), load_(load) {}
 
 void EnergyManager::BindMetrics(Counter* granted, Counter* denied, HistogramMetric* harvest_j) {
-  granted_metric_ = granted;
-  denied_metric_ = denied;
-  harvest_metric_ = harvest_j;
-}
-
-double EnergyManager::SustainableTxPerDay() const {
-  // Mean harvest over a representative year, discounted by charge
-  // efficiency since everything round-trips through storage.
-  const double mean_w = harvester_->MeanPower(SimTime(), SimTime::Years(1)) *
-                        storage_.params().charge_efficiency;
-  const double surplus_w = mean_w - load_.sleep_power_w;
-  if (surplus_w <= 0) {
-    return 0.0;
-  }
-  const double j_per_day = surplus_w * 86400.0;
-  return j_per_day / load_.tx_energy_j;
+  hooks_.granted = granted;
+  hooks_.denied = denied;
+  hooks_.harvest_j = harvest_j;
 }
 
 std::optional<SimTime> EnergyManager::SustainableInterval() const {
@@ -39,51 +23,87 @@ std::optional<SimTime> EnergyManager::SustainableInterval() const {
 }
 
 void EnergyManager::AdvanceTo(SimTime now) {
-  assert(now >= last_advance_);
-  if (now == last_advance_) {
-    return;
-  }
-  const double span_s = (now - last_advance_).ToSeconds();
-  // Harvest in (through charge efficiency, applied by Store).
-  const double harvested = harvester_->EnergyOver(last_advance_, now);
-  MetricObserve(harvest_metric_, harvested);
-  // Leakage/aging first (on the pre-harvest charge), then bank the new
-  // energy, then pay the sleep floor. Ordering bias is negligible at the
-  // event granularity we run (minutes to weeks).
-  storage_.AdvanceTo(now);
-  storage_.Store(harvested);
-  storage_.Draw(std::min(storage_.charge_j(), load_.sleep_power_w * span_s));
-  last_advance_ = now;
+  EnergyOps::AdvanceTo(harvester_, storage_.params(), load_, storage_.mutable_state(),
+                       last_advance_, hooks_, now);
 }
 
 bool EnergyManager::TryTransmit(SimTime now) {
-  AdvanceTo(now);
-  const double need = load_.tx_energy_j + load_.brownout_reserve_j;
-  if (storage_.charge_j() < need) {
-    ++tx_denied_;
-    MetricInc(denied_metric_);
+  return EnergyOps::TryTransmit(harvester_, storage_.params(), load_, storage_.mutable_state(),
+                                last_advance_, counters_, hooks_, now);
+}
+
+// --- EnergyOps -----------------------------------------------------------
+
+void EnergyOps::AdvanceTo(const HarvesterModel& harvester, const EnergyStorage::Params& storage,
+                          const LoadProfile& load, EnergyStorage::State& state,
+                          SimTime& last_advance, const EnergyMetricHooks& hooks, SimTime now) {
+  assert(now >= last_advance);
+  if (now == last_advance) {
+    return;
+  }
+  const double span_s = (now - last_advance).ToSeconds();
+  // Harvest in (through charge efficiency, applied by StoreInto).
+  const double harvested = harvester.EnergyOver(last_advance, now);
+  MetricObserve(hooks.harvest_j, harvested);
+  // Leakage/aging first (on the pre-harvest charge), then bank the new
+  // energy, then pay the sleep floor. Ordering bias is negligible at the
+  // event granularity we run (minutes to weeks).
+  EnergyStorage::AdvanceState(storage, state, now);
+  EnergyStorage::StoreInto(storage, state, harvested);
+  EnergyStorage::DrawFrom(state, std::min(state.charge_j, load.sleep_power_w * span_s));
+  last_advance = now;
+}
+
+bool EnergyOps::TryTransmit(const HarvesterModel& harvester, const EnergyStorage::Params& storage,
+                            const LoadProfile& load, EnergyStorage::State& state,
+                            SimTime& last_advance, EnergyCounters& counters,
+                            const EnergyMetricHooks& hooks, SimTime now) {
+  AdvanceTo(harvester, storage, load, state, last_advance, hooks, now);
+  const double need = load.tx_energy_j + load.brownout_reserve_j;
+  if (state.charge_j < need) {
+    ++counters.tx_denied;
+    MetricInc(hooks.denied);
     return false;
   }
-  storage_.Draw(load_.tx_energy_j);
-  ++tx_granted_;
-  MetricInc(granted_metric_);
+  EnergyStorage::DrawFrom(state, load.tx_energy_j);
+  ++counters.tx_granted;
+  MetricInc(hooks.granted);
   return true;
 }
 
-SimTime EnergyManager::EstimateNextAffordable(SimTime now, double joules) const {
-  const double target = joules + load_.brownout_reserve_j;
-  const double deficit = target - storage_.charge_j();
+SimTime EnergyOps::EstimateNextAffordable(const HarvesterModel& harvester,
+                                          const EnergyStorage::Params& storage,
+                                          const LoadProfile& load,
+                                          const EnergyStorage::State& state, SimTime now,
+                                          double joules) {
+  const double target = joules + load.brownout_reserve_j;
+  const double deficit = target - state.charge_j;
   if (deficit <= 0) {
     return now;
   }
-  const double mean_w = harvester_->MeanPower(now, now + SimTime::Days(1)) *
-                            storage_.params().charge_efficiency -
-                        load_.sleep_power_w;
+  const double mean_w =
+      harvester.MeanPower(now, now + SimTime::Days(1)) * storage.charge_efficiency -
+      load.sleep_power_w;
   if (mean_w <= 0) {
     // Night/dead calm: retry in a quarter day when conditions rotate.
     return now + SimTime::Hours(6);
   }
   return now + SimTime::Seconds(deficit / mean_w);
+}
+
+double EnergyOps::SustainableTxPerDay(const HarvesterModel& harvester,
+                                      const EnergyStorage::Params& storage,
+                                      const LoadProfile& load) {
+  // Mean harvest over a representative year, discounted by charge
+  // efficiency since everything round-trips through storage.
+  const double mean_w =
+      harvester.MeanPower(SimTime(), SimTime::Years(1)) * storage.charge_efficiency;
+  const double surplus_w = mean_w - load.sleep_power_w;
+  if (surplus_w <= 0) {
+    return 0.0;
+  }
+  const double j_per_day = surplus_w * 86400.0;
+  return j_per_day / load.tx_energy_j;
 }
 
 }  // namespace centsim

@@ -1,6 +1,6 @@
 // Energy-neutral operation manager for a transmit-only sensor node.
 //
-// Couples a Harvester to an EnergyStorage and answers two questions:
+// Couples a HarvesterModel to an EnergyStorage and answers two questions:
 //  1. Planning: what reporting interval is sustainable year-round?
 //  2. Runtime: at simulated time t, is there energy for one transmission
 //     (sleep overheads included) — and if not, when will there be?
@@ -8,11 +8,17 @@
 // The runtime side is event-driven: between calls, harvested energy is
 // integrated analytically over the elapsed interval, so a 50-year device
 // costs one call per transmission attempt.
+//
+// All transition math lives in the `EnergyOps` statics, which operate on
+// (shared params, per-device state) pairs. EnergyManager is the
+// one-device convenience wrapper; DeviceFleet (src/core/fleet.h) applies
+// the same statics to its struct-of-arrays columns, so both paths compute
+// bit-identical doubles.
 
 #ifndef SRC_ENERGY_ENERGY_MANAGER_H_
 #define SRC_ENERGY_ENERGY_MANAGER_H_
 
-#include <memory>
+#include <cstdint>
 #include <optional>
 
 #include "src/energy/harvester.h"
@@ -32,54 +38,91 @@ struct LoadProfile {
                                      // refuses to fire the radio.
 };
 
-class EnergyManager {
- public:
-  EnergyManager(std::unique_ptr<Harvester> harvester, EnergyStorage storage, LoadProfile load);
+// Per-device grant/deny tallies; 16 bytes, fleet-column friendly.
+struct EnergyCounters {
+  uint64_t tx_granted = 0;
+  uint64_t tx_denied = 0;
+};
 
-  // --- Planning -----------------------------------------------------------
+// Shared (typically per-class) instruments; any pointer may be null.
+struct EnergyMetricHooks {
+  Counter* granted = nullptr;
+  Counter* denied = nullptr;
+  HistogramMetric* harvest_j = nullptr;
+};
+
+// Stateless transition functions over (shared params, per-device state).
+struct EnergyOps {
+  // Advances the energy state to `now` (harvest in, sleep + leakage out).
+  static void AdvanceTo(const HarvesterModel& harvester, const EnergyStorage::Params& storage,
+                        const LoadProfile& load, EnergyStorage::State& state,
+                        SimTime& last_advance, const EnergyMetricHooks& hooks, SimTime now);
+
+  // Attempts one transmission at `now`. Advances state first. Returns true
+  // and deducts energy if affordable; false otherwise (energy untouched
+  // apart from the advance).
+  static bool TryTransmit(const HarvesterModel& harvester, const EnergyStorage::Params& storage,
+                          const LoadProfile& load, EnergyStorage::State& state,
+                          SimTime& last_advance, EnergyCounters& counters,
+                          const EnergyMetricHooks& hooks, SimTime now);
+
+  // Estimate of when the storage will next hold `joules` above the reserve,
+  // assuming average harvest conditions. Never less than `now`.
+  static SimTime EstimateNextAffordable(const HarvesterModel& harvester,
+                                        const EnergyStorage::Params& storage,
+                                        const LoadProfile& load,
+                                        const EnergyStorage::State& state, SimTime now,
+                                        double joules);
 
   // Largest sustainable transmissions-per-day given mean harvest over a
   // representative year minus the sleep floor. Returns 0 if the harvester
   // cannot even cover sleep.
-  double SustainableTxPerDay() const;
+  static double SustainableTxPerDay(const HarvesterModel& harvester,
+                                    const EnergyStorage::Params& storage,
+                                    const LoadProfile& load);
+};
+
+class EnergyManager {
+ public:
+  EnergyManager(HarvesterModel harvester, EnergyStorage storage, LoadProfile load);
+
+  // --- Planning -----------------------------------------------------------
+
+  double SustainableTxPerDay() const {
+    return EnergyOps::SustainableTxPerDay(harvester_, storage_.params(), load_);
+  }
 
   // The corresponding reporting interval, if any.
   std::optional<SimTime> SustainableInterval() const;
 
   // --- Runtime ------------------------------------------------------------
 
-  // Advances the energy state to `now` (harvest in, sleep + leakage out).
   void AdvanceTo(SimTime now);
-
-  // Attempts one transmission at `now`. Advances state first. Returns true
-  // and deducts energy if affordable; false otherwise (energy untouched
-  // apart from the advance).
   bool TryTransmit(SimTime now);
 
   // Attaches shared instruments (typically per-tech): grant/deny counters
   // and a per-advance harvested-joules histogram. Any may be null.
   void BindMetrics(Counter* granted, Counter* denied, HistogramMetric* harvest_j);
 
-  // Estimate of when the storage will next hold `joules` above the reserve,
-  // assuming average harvest conditions. Never less than `now`.
-  SimTime EstimateNextAffordable(SimTime now, double joules) const;
+  SimTime EstimateNextAffordable(SimTime now, double joules) const {
+    return EnergyOps::EstimateNextAffordable(harvester_, storage_.params(), load_,
+                                             storage_.state(), now, joules);
+  }
 
   const EnergyStorage& storage() const { return storage_; }
-  const Harvester& harvester() const { return *harvester_; }
+  const HarvesterModel& harvester() const { return harvester_; }
   const LoadProfile& load() const { return load_; }
-  uint64_t tx_granted() const { return tx_granted_; }
-  uint64_t tx_denied() const { return tx_denied_; }
+  SimTime last_advance() const { return last_advance_; }
+  uint64_t tx_granted() const { return counters_.tx_granted; }
+  uint64_t tx_denied() const { return counters_.tx_denied; }
 
  private:
-  std::unique_ptr<Harvester> harvester_;
+  HarvesterModel harvester_;
   EnergyStorage storage_;
   LoadProfile load_;
   SimTime last_advance_;
-  uint64_t tx_granted_ = 0;
-  uint64_t tx_denied_ = 0;
-  Counter* granted_metric_ = nullptr;
-  Counter* denied_metric_ = nullptr;
-  HistogramMetric* harvest_metric_ = nullptr;
+  EnergyCounters counters_;
+  EnergyMetricHooks hooks_;
 };
 
 }  // namespace centsim

@@ -16,46 +16,20 @@ double HashUnit(uint64_t x) {
   return static_cast<double>(SplitMix64(s) >> 11) * 0x1.0p-53;
 }
 
-}  // namespace
+// --- Per-kind power/energy math, shared between the virtual hierarchy and
+// --- HarvesterModel so both produce bit-identical doubles.
 
-double Harvester::EnergyOver(SimTime from, SimTime to) const {
-  assert(to >= from);
-  const double span = (to - from).ToSeconds();
-  if (span <= 0) {
-    return 0.0;
-  }
-  // Resolve sub-hour structure: at least 16 steps, at most one per 10 min.
-  const int steps = std::clamp(static_cast<int>(span / 600.0), 16, 100000);
-  const double dt = span / steps;
-  double acc = 0.0;
-  double prev = PowerAt(from);
-  for (int i = 1; i <= steps; ++i) {
-    const double p = PowerAt(from + SimTime::Seconds(dt * i));
-    acc += 0.5 * (prev + p) * dt;
-    prev = p;
-  }
-  return acc;
-}
-
-double Harvester::MeanPower(SimTime from, SimTime to) const {
-  const double span = (to - from).ToSeconds();
-  if (span <= 0) {
-    return 0.0;
-  }
-  return EnergyOver(from, to) / span;
-}
-
-double SolarHarvester::WeatherFactor(int64_t day_index) const {
+double SolarWeatherFactor(const SolarHarvester::Params& params, int64_t day_index) {
   // Three-day smoothing of hashed daily draws gives plausible persistence.
-  const double a = HashUnit(params_.weather_seed * 0x9e3779b97f4a7c15ULL +
+  const double a = HashUnit(params.weather_seed * 0x9e3779b97f4a7c15ULL +
                             static_cast<uint64_t>(day_index));
-  const double b = HashUnit(params_.weather_seed * 0xbf58476d1ce4e5b9ULL +
+  const double b = HashUnit(params.weather_seed * 0xbf58476d1ce4e5b9ULL +
                             static_cast<uint64_t>(day_index + 1));
   const double u = 0.6 * a + 0.4 * b;
-  return params_.weather_min + (1.0 - params_.weather_min) * u;
+  return params.weather_min + (1.0 - params.weather_min) * u;
 }
 
-double SolarHarvester::PowerAt(SimTime t) const {
+double SolarPowerAt(const SolarHarvester::Params& params, SimTime t) {
   const double s = t.ToSeconds();
   const double day_frac = std::fmod(s, kDaySeconds) / kDaySeconds;
   // Half-sine daylight between 06:00 and 18:00.
@@ -65,33 +39,33 @@ double SolarHarvester::PowerAt(SimTime t) const {
   }
   const double year_frac = std::fmod(s, kYearSeconds) / kYearSeconds;
   const double season =
-      1.0 + params_.seasonal_swing * std::sin(2.0 * M_PI * year_frac + params_.latitude_phase -
-                                              M_PI / 2.0);
+      1.0 + params.seasonal_swing * std::sin(2.0 * M_PI * year_frac + params.latitude_phase -
+                                             M_PI / 2.0);
   const int64_t day_index = static_cast<int64_t>(s / kDaySeconds);
-  const double weather = WeatherFactor(day_index);
+  const double weather = SolarWeatherFactor(params, day_index);
   const double years = s / kYearSeconds;
-  const double degradation = std::pow(1.0 - params_.degradation_per_year, years);
-  return params_.peak_power_w * sun * season * weather * degradation;
+  const double degradation = std::pow(1.0 - params.degradation_per_year, years);
+  return params.peak_power_w * sun * season * weather * degradation;
 }
 
-double CorrosionHarvester::PowerAt(SimTime t) const {
-  const double frac = t.ToSeconds() / params_.structure_life.ToSeconds();
+double CorrosionPowerAt(const CorrosionHarvester::Params& params, SimTime t) {
+  const double frac = t.ToSeconds() / params.structure_life.ToSeconds();
   if (frac >= 1.0) {
     // Structure past design life: keep the end-of-life trickle (real
     // structures outlive their design life; the anode keeps corroding).
-    return params_.initial_power_w * params_.end_of_life_fraction;
+    return params.initial_power_w * params.end_of_life_fraction;
   }
-  const double factor = 1.0 - (1.0 - params_.end_of_life_fraction) * frac;
-  return params_.initial_power_w * factor;
+  const double factor = 1.0 - (1.0 - params.end_of_life_fraction) * frac;
+  return params.initial_power_w * factor;
 }
 
-double CorrosionHarvester::EnergyOver(SimTime from, SimTime to) const {
+double CorrosionEnergyOver(const CorrosionHarvester::Params& params, SimTime from, SimTime to) {
   assert(to >= from);
   // Piecewise: linear ramp to structure_life, constant after.
   auto integral_to = [&](SimTime t) {
-    const double life = params_.structure_life.ToSeconds();
-    const double p0 = params_.initial_power_w;
-    const double pe = p0 * params_.end_of_life_fraction;
+    const double life = params.structure_life.ToSeconds();
+    const double p0 = params.initial_power_w;
+    const double pe = p0 * params.end_of_life_fraction;
     const double x = t.ToSeconds();
     if (x <= life) {
       const double p_at = p0 - (p0 - pe) * (x / life);
@@ -103,17 +77,17 @@ double CorrosionHarvester::EnergyOver(SimTime from, SimTime to) const {
   return integral_to(to) - integral_to(from);
 }
 
-double ThermalHarvester::PowerAt(SimTime t) const {
+double ThermalPowerAt(const ThermalHarvester::Params& params, SimTime t) {
   const double s = t.ToSeconds();
   const double day_frac = std::fmod(s, kDaySeconds) / kDaySeconds;
   // Gradient peaks mid-afternoon (~15:00), minimal pre-dawn.
   const double phase = std::sin((day_frac - 0.375) * 2.0 * M_PI);
-  const double f = params_.baseline_fraction +
-                   (1.0 - params_.baseline_fraction) * std::max(0.0, phase);
-  return params_.peak_power_w * f;
+  const double f = params.baseline_fraction +
+                   (1.0 - params.baseline_fraction) * std::max(0.0, phase);
+  return params.peak_power_w * f;
 }
 
-double VibrationHarvester::PowerAt(SimTime t) const {
+double VibrationPowerAt(const VibrationHarvester::Params& params, SimTime t) {
   const double s = t.ToSeconds();
   const double day_frac = std::fmod(s, kDaySeconds) / kDaySeconds;
   const int64_t day_index = static_cast<int64_t>(s / kDaySeconds);
@@ -125,15 +99,159 @@ double VibrationHarvester::PowerAt(SimTime t) const {
     const double d = (x - center) / width;
     return std::exp(-d * d);
   };
-  double traffic = params_.night_fraction;
+  double traffic = params.night_fraction;
   if (day_frac > 0.25 && day_frac < 0.95) {
     traffic = 0.35 + 0.65 * (hump(day_frac, 8.0 / 24, 0.05) + hump(day_frac, 17.5 / 24, 0.06));
     traffic = std::min(traffic, 1.0);
   }
   if (weekend) {
-    traffic *= params_.weekend_factor;
+    traffic *= params.weekend_factor;
   }
-  return params_.peak_power_w * traffic;
+  return params.peak_power_w * traffic;
+}
+
+// Adaptive trapezoid over an arbitrary power function. Resolves sub-hour
+// structure: at least 16 steps, at most one per 10 min.
+template <typename PowerFn>
+double TrapezoidOver(const PowerFn& power_at, SimTime from, SimTime to) {
+  assert(to >= from);
+  const double span = (to - from).ToSeconds();
+  if (span <= 0) {
+    return 0.0;
+  }
+  const int steps = std::clamp(static_cast<int>(span / 600.0), 16, 100000);
+  const double dt = span / steps;
+  double acc = 0.0;
+  double prev = power_at(from);
+  for (int i = 1; i <= steps; ++i) {
+    const double p = power_at(from + SimTime::Seconds(dt * i));
+    acc += 0.5 * (prev + p) * dt;
+    prev = p;
+  }
+  return acc;
+}
+
+}  // namespace
+
+double Harvester::EnergyOver(SimTime from, SimTime to) const {
+  return TrapezoidOver([this](SimTime t) { return PowerAt(t); }, from, to);
+}
+
+double Harvester::MeanPower(SimTime from, SimTime to) const {
+  const double span = (to - from).ToSeconds();
+  if (span <= 0) {
+    return 0.0;
+  }
+  return EnergyOver(from, to) / span;
+}
+
+double SolarHarvester::PowerAt(SimTime t) const { return SolarPowerAt(params_, t); }
+
+double CorrosionHarvester::PowerAt(SimTime t) const { return CorrosionPowerAt(params_, t); }
+
+double CorrosionHarvester::EnergyOver(SimTime from, SimTime to) const {
+  return CorrosionEnergyOver(params_, from, to);
+}
+
+double ThermalHarvester::PowerAt(SimTime t) const { return ThermalPowerAt(params_, t); }
+
+double VibrationHarvester::PowerAt(SimTime t) const { return VibrationPowerAt(params_, t); }
+
+// --- HarvesterModel ------------------------------------------------------
+
+HarvesterModel HarvesterModel::Constant(double power_w) {
+  HarvesterModel m;
+  m.kind_ = Kind::kConstant;
+  m.params_.constant.power_w = power_w;
+  return m;
+}
+
+HarvesterModel HarvesterModel::Solar(const SolarHarvester::Params& params) {
+  HarvesterModel m;
+  m.kind_ = Kind::kSolar;
+  m.params_.solar = params;
+  return m;
+}
+
+HarvesterModel HarvesterModel::Corrosion(const CorrosionHarvester::Params& params) {
+  HarvesterModel m;
+  m.kind_ = Kind::kCorrosion;
+  m.params_.corrosion = params;
+  return m;
+}
+
+HarvesterModel HarvesterModel::Thermal(const ThermalHarvester::Params& params) {
+  HarvesterModel m;
+  m.kind_ = Kind::kThermal;
+  m.params_.thermal = params;
+  return m;
+}
+
+HarvesterModel HarvesterModel::Vibration(const VibrationHarvester::Params& params) {
+  HarvesterModel m;
+  m.kind_ = Kind::kVibration;
+  m.params_.vibration = params;
+  return m;
+}
+
+double HarvesterModel::PowerAt(SimTime t) const {
+  switch (kind_) {
+    case Kind::kConstant:
+      return params_.constant.power_w;
+    case Kind::kSolar:
+      return SolarPowerAt(params_.solar, t);
+    case Kind::kCorrosion:
+      return CorrosionPowerAt(params_.corrosion, t);
+    case Kind::kThermal:
+      return ThermalPowerAt(params_.thermal, t);
+    case Kind::kVibration:
+      return VibrationPowerAt(params_.vibration, t);
+  }
+  return 0.0;
+}
+
+double HarvesterModel::EnergyOver(SimTime from, SimTime to) const {
+  switch (kind_) {
+    case Kind::kConstant:
+      // Exact: constant power integrates to power * span.
+      return params_.constant.power_w * (to - from).ToSeconds();
+    case Kind::kSolar:
+      return TrapezoidOver([this](SimTime t) { return SolarPowerAt(params_.solar, t); }, from,
+                           to);
+    case Kind::kCorrosion:
+      return CorrosionEnergyOver(params_.corrosion, from, to);
+    case Kind::kThermal:
+      return TrapezoidOver([this](SimTime t) { return ThermalPowerAt(params_.thermal, t); },
+                           from, to);
+    case Kind::kVibration:
+      return TrapezoidOver([this](SimTime t) { return VibrationPowerAt(params_.vibration, t); },
+                           from, to);
+  }
+  return 0.0;
+}
+
+double HarvesterModel::MeanPower(SimTime from, SimTime to) const {
+  const double span = (to - from).ToSeconds();
+  if (span <= 0) {
+    return 0.0;
+  }
+  return EnergyOver(from, to) / span;
+}
+
+const char* HarvesterModel::name() const {
+  switch (kind_) {
+    case Kind::kConstant:
+      return "constant";
+    case Kind::kSolar:
+      return "solar";
+    case Kind::kCorrosion:
+      return "rebar-corrosion";
+    case Kind::kThermal:
+      return "thermal";
+    case Kind::kVibration:
+      return "vibration";
+  }
+  return "harvester";
 }
 
 }  // namespace centsim

@@ -5,12 +5,27 @@
 // degradation), with an optional per-device multiplicative efficiency drawn
 // at construction. Deterministic profiles let the energy manager integrate
 // harvested energy analytically between events instead of ticking.
+//
+// Two representations share one set of power/integration routines:
+//
+//  * The virtual `Harvester` hierarchy — convenient for tools and benches
+//    that deal in heterogeneous collections of a handful of models.
+//  * `HarvesterModel` — a fixed-size tagged union of the same parameter
+//    structs, sized for struct-of-arrays fleet columns: no heap allocation,
+//    no vtable, trivially copyable. A million-device fleet stores these
+//    inline (see src/core/fleet.h).
+//
+// Both call the same free functions for the per-kind math, so a virtual
+// SolarHarvester and a HarvesterModel::Solar with equal params produce
+// bit-identical doubles.
 
 #ifndef SRC_ENERGY_HARVESTER_H_
 #define SRC_ENERGY_HARVESTER_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <type_traits>
 
 #include "src/sim/random.h"
 #include "src/sim/time.h"
@@ -57,8 +72,6 @@ class SolarHarvester : public Harvester {
   const Params& params() const { return params_; }
 
  private:
-  double WeatherFactor(int64_t day_index) const;
-
   Params params_;
 };
 
@@ -82,6 +95,8 @@ class CorrosionHarvester : public Harvester {
   double EnergyOver(SimTime from, SimTime to) const override;  // Closed form.
   std::string name() const override { return "rebar-corrosion"; }
 
+  const Params& params() const { return params_; }
+
  private:
   Params params_;
 };
@@ -98,6 +113,8 @@ class ThermalHarvester : public Harvester {
 
   double PowerAt(SimTime t) const override;
   std::string name() const override { return "thermal"; }
+
+  const Params& params() const { return params_; }
 
  private:
   Params params_;
@@ -118,9 +135,63 @@ class VibrationHarvester : public Harvester {
   double PowerAt(SimTime t) const override;
   std::string name() const override { return "vibration"; }
 
+  const Params& params() const { return params_; }
+
  private:
   Params params_;
 };
+
+// Constant-output source (lab supply, test rigs, "energy is not the
+// bottleneck" scenarios). EnergyOver is exact: power * span.
+struct ConstantHarvestParams {
+  double power_w = 0.0;
+};
+
+// Inline tagged-union harvester: one of the parameter structs above plus a
+// kind tag, dispatched by switch instead of vtable. Trivially copyable and
+// 64 bytes, so fleets store one per device in a flat column.
+class HarvesterModel {
+ public:
+  enum class Kind : uint8_t {
+    kConstant,
+    kSolar,
+    kCorrosion,
+    kThermal,
+    kVibration,
+  };
+
+  // Defaults to a dead constant source (0 W).
+  HarvesterModel() : kind_(Kind::kConstant) { params_.constant = ConstantHarvestParams{}; }
+
+  static HarvesterModel Constant(double power_w);
+  static HarvesterModel Solar(const SolarHarvester::Params& params);
+  static HarvesterModel Corrosion(const CorrosionHarvester::Params& params);
+  static HarvesterModel Thermal(const ThermalHarvester::Params& params);
+  static HarvesterModel Vibration(const VibrationHarvester::Params& params);
+
+  double PowerAt(SimTime t) const;
+  double EnergyOver(SimTime from, SimTime to) const;
+  double MeanPower(SimTime from, SimTime to) const;
+
+  Kind kind() const { return kind_; }
+  const char* name() const;
+
+ private:
+  union ParamsUnion {
+    ConstantHarvestParams constant;
+    SolarHarvester::Params solar;
+    CorrosionHarvester::Params corrosion;
+    ThermalHarvester::Params thermal;
+    VibrationHarvester::Params vibration;
+    ParamsUnion() : constant{} {}  // Members carry default initializers.
+  };
+
+  Kind kind_;
+  ParamsUnion params_;
+};
+
+static_assert(std::is_trivially_copyable_v<HarvesterModel>,
+              "fleet columns memcpy HarvesterModel on growth");
 
 }  // namespace centsim
 

@@ -6,41 +6,36 @@
 
 namespace centsim {
 
-EnergyStorage::EnergyStorage(const Params& params)
-    : params_(params),
-      capacity_now_j_(params.capacity_j),
-      charge_j_(params.capacity_j * params.initial_fraction) {}
-
-void EnergyStorage::AdvanceTo(SimTime now) {
-  assert(now >= last_update_);
-  const double days = (now - last_update_).ToDays();
+void EnergyStorage::AdvanceState(const Params& params, State& state, SimTime now) {
+  assert(now >= state.last_update);
+  const double days = (now - state.last_update).ToDays();
   if (days > 0) {
     // Exponential self-discharge.
-    charge_j_ *= std::pow(1.0 - params_.self_discharge_per_day, days);
+    state.charge_j *= std::pow(1.0 - params.self_discharge_per_day, days);
     // Capacity fade.
-    capacity_now_j_ =
-        params_.capacity_j * std::pow(1.0 - params_.capacity_fade_per_year, now.ToYears());
-    charge_j_ = std::min(charge_j_, capacity_now_j_);
+    state.capacity_now_j =
+        params.capacity_j * std::pow(1.0 - params.capacity_fade_per_year, now.ToYears());
+    state.charge_j = std::min(state.charge_j, state.capacity_now_j);
   }
-  last_update_ = now;
+  state.last_update = now;
 }
 
-double EnergyStorage::Store(double joules) {
+double EnergyStorage::StoreInto(const Params& params, State& state, double joules) {
   assert(joules >= 0);
   const double banked =
-      std::min(joules * params_.charge_efficiency, capacity_now_j_ - charge_j_);
-  charge_j_ += std::max(0.0, banked);
+      std::min(joules * params.charge_efficiency, state.capacity_now_j - state.charge_j);
+  state.charge_j += std::max(0.0, banked);
   return std::max(0.0, banked);
 }
 
-bool EnergyStorage::Draw(double joules) {
+bool EnergyStorage::DrawFrom(State& state, double joules) {
   assert(joules >= 0);
-  if (charge_j_ + 1e-12 < joules) {
+  if (state.charge_j + 1e-12 < joules) {
     return false;
   }
-  charge_j_ -= joules;
-  if (charge_j_ < 0) {
-    charge_j_ = 0;
+  state.charge_j -= joules;
+  if (state.charge_j < 0) {
+    state.charge_j = 0;
   }
   return true;
 }

@@ -2,11 +2,18 @@
 // lithium primary cells. State advances analytically between touches —
 // leakage and aging are applied for the elapsed interval in closed form, so
 // storage costs O(1) per event rather than per tick.
+//
+// The mutable state is split out as a trivially-copyable `State` struct
+// with static transition functions, so fleet columns (src/core/fleet.h) can
+// store one State per device against a shared per-class Params record. The
+// member API below is a thin wrapper over the same statics — both paths
+// compute bit-identical doubles.
 
 #ifndef SRC_ENERGY_STORAGE_H_
 #define SRC_ENERGY_STORAGE_H_
 
 #include <string>
+#include <type_traits>
 
 #include "src/sim/time.h"
 
@@ -23,25 +30,51 @@ class EnergyStorage {
     std::string name = "storage";
   };
 
-  explicit EnergyStorage(const Params& params);
+  // Per-instance mutable state; 24 bytes, fleet-column friendly.
+  struct State {
+    double capacity_now_j = 0.0;
+    double charge_j = 0.0;
+    SimTime last_update;
+  };
+  static_assert(std::is_trivially_copyable_v<SimTime>);
+
+  static State InitialState(const Params& params) {
+    State s;
+    s.capacity_now_j = params.capacity_j;
+    s.charge_j = params.capacity_j * params.initial_fraction;
+    return s;
+  }
 
   // Advances leakage/aging to `now`. Must be called with non-decreasing
-  // times; all other methods require the state to be current.
-  void AdvanceTo(SimTime now);
+  // times; the other transitions require the state to be current.
+  static void AdvanceState(const Params& params, State& state, SimTime now);
 
   // Adds harvested energy (before charge efficiency). Returns the amount
   // actually banked after efficiency and capacity clipping.
-  double Store(double joules);
+  static double StoreInto(const Params& params, State& state, double joules);
 
   // Attempts to draw `joules`; returns false (and leaves the charge
   // untouched) if insufficient.
-  bool Draw(double joules);
+  static bool DrawFrom(State& state, double joules);
 
-  double charge_j() const { return charge_j_; }
-  double capacity_now_j() const { return capacity_now_j_; }
-  double soc() const { return capacity_now_j_ > 0 ? charge_j_ / capacity_now_j_ : 0.0; }
-  SimTime last_update() const { return last_update_; }
+  static double Soc(const State& state) {
+    return state.capacity_now_j > 0 ? state.charge_j / state.capacity_now_j : 0.0;
+  }
+
+  explicit EnergyStorage(const Params& params)
+      : params_(params), state_(InitialState(params)) {}
+
+  void AdvanceTo(SimTime now) { AdvanceState(params_, state_, now); }
+  double Store(double joules) { return StoreInto(params_, state_, joules); }
+  bool Draw(double joules) { return DrawFrom(state_, joules); }
+
+  double charge_j() const { return state_.charge_j; }
+  double capacity_now_j() const { return state_.capacity_now_j; }
+  double soc() const { return Soc(state_); }
+  SimTime last_update() const { return state_.last_update; }
   const Params& params() const { return params_; }
+  const State& state() const { return state_; }
+  State& mutable_state() { return state_; }
 
   // Presets.
   // 15 F supercap at 3 V stores ~67 J usable; low leakage, slow fade.
@@ -54,9 +87,7 @@ class EnergyStorage {
 
  private:
   Params params_;
-  double capacity_now_j_;
-  double charge_j_;
-  SimTime last_update_;
+  State state_;
 };
 
 }  // namespace centsim

@@ -4,20 +4,12 @@
 
 #include <memory>
 
+#include "src/core/fleet.h"
 #include "src/energy/harvester.h"
 #include "src/net/backhaul.h"
 
 namespace centsim {
 namespace {
-
-class BigSolar : public Harvester {
- public:
-  double PowerAt(SimTime) const override { return 0.05; }  // 50 mW constant.
-  double EnergyOver(SimTime from, SimTime to) const override {
-    return 0.05 * (to - from).ToSeconds();
-  }
-  std::string name() const override { return "big"; }
-};
 
 class DeviceFixture : public ::testing::Test {
  protected:
@@ -38,12 +30,11 @@ class DeviceFixture : public ::testing::Test {
   }
 
   std::unique_ptr<EdgeDevice> MakeDevice(EdgeDeviceConfig cfg, bool big_energy = true) {
-    EnergyManager energy(
-        big_energy ? std::unique_ptr<Harvester>(std::make_unique<BigSolar>())
-                   : std::unique_ptr<Harvester>(
-                         std::make_unique<SolarHarvester>(SolarHarvester::Params{})),
-        EnergyStorage::Supercap(), LoadProfileFor(cfg));
-    return std::make_unique<EdgeDevice>(sim_, cfg, fabric_, std::move(energy),
+    // 50 mW constant ("big solar") vs the default small solar cell.
+    EnergyManager energy(big_energy ? HarvesterModel::Constant(0.05)
+                                    : HarvesterModel::Solar(SolarHarvester::Params{}),
+                         EnergyStorage::Supercap(), LoadProfileFor(cfg));
+    return std::make_unique<EdgeDevice>(sim_, cfg, fabric_, fleet_, std::move(energy),
                                         SeriesSystem::EnergyHarvestingNode());
   }
 
@@ -63,6 +54,7 @@ class DeviceFixture : public ::testing::Test {
   CloudEndpoint endpoint_;
   Backhaul backhaul_;
   std::unique_ptr<Gateway> gateway_;
+  DeviceFleet fleet_{sim_};
 };
 
 TEST_F(DeviceFixture, ReportsAtConfiguredCadence) {

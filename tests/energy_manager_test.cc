@@ -7,20 +7,6 @@
 namespace centsim {
 namespace {
 
-// A constant-output harvester for precise accounting tests.
-class ConstantHarvester : public Harvester {
- public:
-  explicit ConstantHarvester(double watts) : watts_(watts) {}
-  double PowerAt(SimTime) const override { return watts_; }
-  double EnergyOver(SimTime from, SimTime to) const override {
-    return watts_ * (to - from).ToSeconds();
-  }
-  std::string name() const override { return "constant"; }
-
- private:
-  double watts_;
-};
-
 LoadProfile TestLoad() {
   LoadProfile load;
   load.sleep_power_w = 1e-6;
@@ -36,8 +22,8 @@ EnergyManager MakeManager(double harvest_w, double capacity_j = 10.0) {
   p.charge_efficiency = 1.0;
   p.self_discharge_per_day = 0.0;
   p.capacity_fade_per_year = 0.0;
-  return EnergyManager(std::make_unique<ConstantHarvester>(harvest_w), EnergyStorage(p),
-                       TestLoad());
+  // Constant-output harvester for precise accounting.
+  return EnergyManager(HarvesterModel::Constant(harvest_w), EnergyStorage(p), TestLoad());
 }
 
 TEST(EnergyManagerTest, SustainableRateFromSurplus) {

@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "src/core/device.h"
+#include "src/core/fleet.h"
 #include "src/core/network_fabric.h"
 #include "src/econ/data_credits.h"
 #include "src/energy/harvester.h"
@@ -14,15 +15,6 @@
 
 namespace centsim {
 namespace {
-
-class StrongSun : public Harvester {
- public:
-  double PowerAt(SimTime) const override { return 0.05; }
-  double EnergyOver(SimTime from, SimTime to) const override {
-    return 0.05 * (to - from).ToSeconds();
-  }
-  std::string name() const override { return "strong"; }
-};
 
 class FaultFixture : public ::testing::Test {
  protected:
@@ -47,9 +39,10 @@ class FaultFixture : public ::testing::Test {
     cfg.tech = RadioTech::k802154;
     cfg.tx_power_dbm = 4.0;
     cfg.report_interval = SimTime::Hours(1);
+    // Strong constant sun (50 mW) so energy never gates delivery.
     device_ = std::make_unique<EdgeDevice>(
-        sim_, cfg, fabric_,
-        EnergyManager(std::make_unique<StrongSun>(), EnergyStorage::Supercap(),
+        sim_, cfg, fabric_, fleet_,
+        EnergyManager(HarvesterModel::Constant(0.05), EnergyStorage::Supercap(),
                       LoadProfileFor(cfg)),
         SeriesSystem::EnergyHarvestingNode());
   }
@@ -59,6 +52,7 @@ class FaultFixture : public ::testing::Test {
   CloudEndpoint endpoint_;
   Backhaul backhaul_;
   std::unique_ptr<Gateway> gateway_;
+  DeviceFleet fleet_{sim_};
   std::unique_ptr<EdgeDevice> device_;
 };
 

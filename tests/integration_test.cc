@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "src/core/device.h"
+#include "src/core/fleet.h"
 #include "src/core/network_fabric.h"
 #include "src/energy/harvester.h"
 #include "src/mgmt/maintenance.h"
@@ -51,9 +52,9 @@ class PipelineFixture : public ::testing::Test {
     cfg.name = "dev-" + std::to_string(id);
     SolarHarvester::Params sp;
     sp.peak_power_w = 0.02;
-    EnergyManager energy(std::make_unique<SolarHarvester>(sp), EnergyStorage::Supercap(),
+    EnergyManager energy(HarvesterModel::Solar(sp), EnergyStorage::Supercap(),
                          LoadProfileFor(cfg));
-    auto dev = std::make_unique<EdgeDevice>(sim_, cfg, fabric_, std::move(energy),
+    auto dev = std::make_unique<EdgeDevice>(sim_, cfg, fabric_, fleet_, std::move(energy),
                                             SeriesSystem::EnergyHarvestingNode());
     dev->EnableSigning(secret_);
     return dev;
@@ -65,6 +66,7 @@ class PipelineFixture : public ::testing::Test {
   Backhaul backhaul_;
   MaintenanceCrew crew_;
   std::unique_ptr<Gateway> gateway_;
+  DeviceFleet fleet_{sim_};
   SipHashKey secret_;
 };
 

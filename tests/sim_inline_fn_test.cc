@@ -1,0 +1,101 @@
+// InlineFn: the generalized small-buffer callable behind fleet failure
+// hooks and device callbacks — captures up to the inline budget must never
+// heap-allocate, larger ones fall back to the heap, and moved-from
+// callables empty out cleanly.
+
+#include "src/sim/inline_fn.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "src/sim/alloc_probe.h"
+
+namespace centsim {
+namespace {
+
+TEST(InlineFnTest, DefaultIsEmpty) {
+  InlineFn<int()> fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(InlineFnTest, InvokesWithArgumentsAndReturn) {
+  InlineFn<int(int, int)> fn = [](int a, int b) { return a * 10 + b; };
+  ASSERT_TRUE(static_cast<bool>(fn));
+  EXPECT_EQ(fn(4, 2), 42);
+}
+
+TEST(InlineFnTest, SmallCapturesStayInline) {
+  int target = 0;
+  int* p = &target;
+  uint64_t a = 1, b = 2, c = 3;  // 32 bytes of capture: inside the buffer.
+  InlineFn<void()> fn = [p, a, b, c] { *p = static_cast<int>(a + b + c); };
+  EXPECT_TRUE(fn.is_inline());
+  fn();
+  EXPECT_EQ(target, 6);
+}
+
+TEST(InlineFnTest, SmallCapturesDoNotAllocate) {
+  if (!AllocProbeEnabled()) {
+    GTEST_SKIP() << "allocation probe disabled (sanitizer build)";
+  }
+  int sink = 0;
+  int* p = &sink;
+  AllocScope scope;
+  InlineFn<void()> fn = [p] { ++*p; };
+  fn();
+  InlineFn<void()> moved = std::move(fn);
+  moved();
+  EXPECT_EQ(scope.delta(), 0u);
+  EXPECT_EQ(sink, 2);
+}
+
+TEST(InlineFnTest, OversizedCapturesFallBackToHeap) {
+  struct Big {
+    char bytes[128] = {};
+  };
+  Big big;
+  big.bytes[0] = 7;
+  InlineFn<int()> fn = [big] { return static_cast<int>(big.bytes[0]); };
+  EXPECT_FALSE(fn.is_inline());
+  EXPECT_EQ(fn(), 7);
+}
+
+TEST(InlineFnTest, MoveTransfersStateAndEmptiesSource) {
+  auto counter = std::make_shared<int>(0);
+  InlineFn<void()> fn = [counter] { ++*counter; };
+  InlineFn<void()> other = std::move(fn);
+  EXPECT_FALSE(static_cast<bool>(fn));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(other));
+  other();
+  EXPECT_EQ(*counter, 1);
+  // Move assignment over a live target destroys the old callable.
+  InlineFn<void()> third = [counter] { *counter += 10; };
+  third = std::move(other);
+  third();
+  EXPECT_EQ(*counter, 2);
+}
+
+TEST(InlineFnTest, NullptrAssignmentClears) {
+  InlineFn<void()> fn = [] {};
+  EXPECT_TRUE(static_cast<bool>(fn));
+  fn = nullptr;
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(InlineFnTest, DestroysCaptureExactlyOnce) {
+  auto token = std::make_shared<int>(1);
+  EXPECT_EQ(token.use_count(), 1);
+  {
+    InlineFn<void()> fn = [token] {};
+    EXPECT_EQ(token.use_count(), 2);
+    InlineFn<void()> moved = std::move(fn);
+    EXPECT_EQ(token.use_count(), 2);  // Moved, not copied.
+  }
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+}  // namespace
+}  // namespace centsim

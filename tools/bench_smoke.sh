@@ -67,3 +67,65 @@ if failures:
     sys.exit(1)
 print("bench_smoke: within tolerance")
 EOF
+
+# --- District fleet-core scale gate -----------------------------------
+# bench_district_scale re-runs the 50-year district at 10k/100k/1M sites,
+# checks report parity against the object-graph replica, and records
+# throughput + memory. Guarded here: throughput within the same tolerance,
+# the 100k end-to-end speedup floor, and the per-device memory budget.
+DISTRICT_BASELINE="bench/BENCH_district_scale.json"
+[[ -f "${DISTRICT_BASELINE}" ]] || { echo "missing baseline ${DISTRICT_BASELINE}" >&2; exit 1; }
+
+cmake --build "${BUILD_DIR}" --target bench_district_scale -j "$(nproc)"
+(cd "${BUILD_DIR}/bench" && ./bench_district_scale)
+
+python3 - "${DISTRICT_BASELINE}" "${BUILD_DIR}/bench/BENCH_district_scale.json" "${TOLERANCE}" <<'EOF'
+import json, sys
+
+baseline_path, fresh_path, tol = sys.argv[1], sys.argv[2], float(sys.argv[3])
+def records(path):
+    with open(path) as f:
+        return {r["name"]: r for r in json.load(f)["records"]}
+
+base, fresh = records(baseline_path), records(fresh_path)
+failures = []
+for name, rec in sorted(base.items()):
+    if name.endswith("_seed_baseline"):
+        continue  # The object-graph replica isn't under guard.
+    if name.endswith("_10k"):
+        continue  # Millisecond-scale phases: recorded, but too noisy to gate.
+    if name not in fresh:
+        failures.append(f"{name}: missing from fresh run")
+        continue
+    old, new = rec["value"], fresh[name]["value"]
+    if rec["unit"] == "1/s" and old > 0:
+        if new < old * (1.0 - tol):
+            failures.append(f"{name}: {new:.0f}/s < {1-tol:.0%} of baseline {old:.0f}/s")
+        else:
+            print(f"  ok {name}: {new:.3g}/s vs baseline {old:.3g}/s")
+
+# Absolute floors from the fleet-core acceptance criteria, independent of
+# the recorded baseline.
+speedup = fresh.get("speedup_vs_object_graph_100k", {"value": 0.0})["value"]
+if speedup < 3.0:
+    failures.append(f"speedup_vs_object_graph_100k: {speedup:.2f}x < 3x floor")
+else:
+    print(f"  ok speedup_vs_object_graph_100k: {speedup:.2f}x (floor 3x)")
+bytes_1m = fresh.get("fleet_bytes_per_device_1m", {"value": 1e9})["value"]
+if bytes_1m > 200.0:
+    failures.append(f"fleet_bytes_per_device_1m: {bytes_1m:.1f} B > 200 B budget")
+else:
+    print(f"  ok fleet_bytes_per_device_1m: {bytes_1m:.1f} B (budget 200 B)")
+parity = fresh.get("parity_checks_passed", {"value": 0.0})["value"]
+if parity < 2:
+    failures.append(f"parity_checks_passed: {parity:.0f} < 2")
+else:
+    print(f"  ok parity_checks_passed: {parity:.0f}")
+
+if failures:
+    print("bench_smoke: REGRESSION (district scale)", file=sys.stderr)
+    for f in failures:
+        print(f"  {f}", file=sys.stderr)
+    sys.exit(1)
+print("bench_smoke: district scale within tolerance")
+EOF

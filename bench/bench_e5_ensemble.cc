@@ -100,6 +100,27 @@ int main(int argc, char** argv) {
     bench.Add("replicas_per_sec_t" + std::to_string(result.threads_used), rate, "1/s");
   }
 
+  // Live-run-control point: the same ensemble at full width with a
+  // status_dir wired (heartbeat thread + per-replica profiler, progress
+  // cell, and flight recorder). Recorded alongside the plain points so the
+  // smoke gate can see the observability stack not costing throughput.
+  {
+    EnsembleOptions options;
+    options.replicas = replicas;
+    options.threads = thread_counts.back();
+    options.run_name = "e5_ensemble_live";
+    options.status_dir = "e5_ensemble_status";
+    options.heartbeat_seconds = 1.0;
+    options.stall_deadline_seconds = 120.0;
+    const auto result = EnsembleRunner<FiftyYearExperiment>::Run(base, options);
+    const double rate = result.wall_seconds > 0 ? replicas / result.wall_seconds : 0.0;
+    std::cout << "\nWith live run control (status_dir=" << result.status_dir
+              << "): " << FormatDouble(rate, 2) << " replicas/sec, "
+              << result.stalled_replicas << " stalled\n";
+    bench.Add("replicas_per_sec_run_control", rate, "1/s");
+    bench.Add("stalled_replicas", result.stalled_replicas, "count");
+  }
+
   Table scaling({"threads", "wall seconds", "replicas/sec", "speedup vs serial"});
   const double serial_wall = sweep.front().wall_seconds;
   for (const SweepPoint& point : sweep) {

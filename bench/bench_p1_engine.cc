@@ -34,6 +34,7 @@
 #include "src/reliability/component.h"
 #include "src/reliability/hazard.h"
 #include "src/sim/alloc_probe.h"
+#include "src/sim/flight_recorder.h"
 #include "src/sim/metrics.h"
 #include "src/sim/profiler.h"
 #include "src/sim/random.h"
@@ -500,6 +501,34 @@ double MeasureEventsPerSec(bool observed, uint64_t events) {
   return secs > 0 ? executed / secs : 0.0;
 }
 
+// Self-rescheduling throughput with the full live-run-control stack wired
+// the way EnsembleRunner wires a replica: profiler + flight recorder +
+// progress cell + scheduler slot. The delta against the unobserved run is
+// the heartbeat satellite's whole hot-path cost.
+double MeasureEventsPerSecRunControl(uint64_t events) {
+  Scheduler sched;
+  SchedulerProfiler profiler;
+  FlightRecorder recorder(FlightRecorder::kDefaultCapacity);
+  ProgressCell cell;
+  SchedulerSlot slot;
+  RunControlHooks hooks;
+  hooks.profiler = &profiler;
+  hooks.recorder = &recorder;
+  hooks.progress = &cell;
+  hooks.scheduler_slot = &slot;
+  sched.AttachRunControl(hooks);
+  uint64_t ticks = 0;
+  sched.ScheduleAfter(SimTime::Micros(10), SelfTick<Scheduler>{&sched, &ticks, events},
+                      "bench.tick");
+  const auto t0 = std::chrono::steady_clock::now();
+  sched.RunUntil(SimTime::Hours(1));
+  const double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  sched.DetachRunControl(hooks);
+  benchmark::DoNotOptimize(recorder.total_recorded());
+  benchmark::DoNotOptimize(cell.Load().ticks);
+  return secs > 0 ? static_cast<double>(ticks) / secs : 0.0;
+}
+
 // Paired-round median ratio between two measurement thunks: short trials
 // back-to-back with alternating order, scored by the median per-round
 // ratio. Machine-speed drift moves both halves of a pair together, the
@@ -573,6 +602,20 @@ void WriteEngineBenchRecord() {
       [&] { return MeasureEventsPerSec(/*observed=*/true, events); }, &plain, &observed, &ratio);
   const double overhead_pct = (ratio - 1.0) * 100.0;
 
+  // Full run-control stack (profiler + recorder + progress cell + slot),
+  // exactly the per-replica wiring a status_dir ensemble runs with. Paired
+  // against the profiler-only run: the heartbeat hooks piggyback on the
+  // profiler's sampling, so this ratio isolates what the recorder/progress
+  // publishing add on top of observability the engine already paid for.
+  double observed_rc = 0.0;
+  double run_control = 0.0;
+  double rc_ratio = 1.0;
+  PairedRounds(
+      rounds, [&] { return MeasureEventsPerSec(/*observed=*/true, events); },
+      [&] { return MeasureEventsPerSecRunControl(events); }, &observed_rc, &run_control,
+      &rc_ratio);
+  const double runcontrol_overhead_pct = (rc_ratio - 1.0) * 100.0;
+
   BenchReport bench("p1_engine");
   bench.Add("scheduler_events_per_sec", core, "1/s");
   bench.Add("scheduler_events_per_sec_seed_baseline", seed, "1/s");
@@ -587,6 +630,8 @@ void WriteEngineBenchRecord() {
   bench.Add("scheduler_steady_allocs_per_event_seed_baseline", seed_allocs, "count");
   bench.Add("scheduler_events_per_sec_observed", observed, "1/s");
   bench.Add("observability_overhead_pct", overhead_pct, "%");
+  bench.Add("scheduler_events_per_sec_run_control", run_control, "1/s");
+  bench.Add("runcontrol_overhead_pct", runcontrol_overhead_pct, "%");
   std::string error;
   const std::string path = bench.WriteFile(".", &error);
   if (path.empty()) {
@@ -598,6 +643,8 @@ void WriteEngineBenchRecord() {
                 core, seed, speedup, tput_speedup, cancel_speedup, core_allocs, seed_allocs);
     std::printf("Observability: %.0f events/s observed (%.1f%% overhead)\n", observed,
                 overhead_pct);
+    std::printf("Run control: %.0f events/s with heartbeat+recorder (%.1f%% over profiled)\n",
+                run_control, runcontrol_overhead_pct);
     std::printf("Wrote %s\n", path.c_str());
   }
 }

@@ -22,16 +22,26 @@ int main() {
   cfg.report_interval = SimTime::Hours(12);
   cfg.horizon = SimTime::Years(10);
 
-  // The README quickstart recipe: options, run, aggregate.
+  // The README quickstart recipe: options, run, aggregate. The status_dir
+  // turns on live run control: while this runs, `watch cat
+  // ensemble_status/run_status.json` shows per-replica progress, ETA, and
+  // events/sec; `kill -USR1 <pid>` forces an immediate status write; and a
+  // replica whose clock stops advancing for stall_deadline_seconds gets
+  // its flight recorder and scheduler snapshot dumped alongside.
   EnsembleOptions opts;
   opts.replicas = 16;
   opts.threads = ThreadPool::DefaultThreadCount();
+  opts.status_dir = "ensemble_status";
+  opts.heartbeat_seconds = 1.0;
+  opts.stall_deadline_seconds = 60.0;
   const auto result = EnsembleRunner<FiftyYearExperiment>::Run(cfg, opts);
   const FiftyYearEnsemble ensemble = AggregateFiftyYear(result.replicas);
 
-  std::printf("%u replicas on %u worker(s): %.2f s wall, %llu events total\n\n",
+  std::printf("%u replicas on %u worker(s): %.2f s wall, %llu events total\n",
               opts.replicas, result.threads_used, result.wall_seconds,
               static_cast<unsigned long long>(result.manifest.TotalEventsExecuted()));
+  std::printf("live status was in %s/run_status.json (%u stalled)\n\n",
+              result.status_dir.c_str(), result.stalled_replicas);
 
   Table t({"metric", "p10", "median", "p90"});
   auto quantiles = [&](const std::string& name, const SampleSet& s) {

@@ -8,6 +8,7 @@
 #include "src/core/fleet.h"
 #include "src/reliability/component.h"
 #include "src/sim/ensemble.h"
+#include "src/sim/flight_recorder.h"
 #include "src/sim/simulation.h"
 
 namespace centsim {
@@ -154,9 +155,11 @@ class DistrictRun {
     const SimTime life = gateway_bom_.SampleLife(gw_rng).life;
     sim_.scheduler().ScheduleAfter(life, [this, g] {
       ++report_.gateway_failures;
+      RecordControl("district.gateway_fail", g);
       SetGateway(g, false);
       sim_.scheduler().ScheduleAfter(config_.gateway_repair_delay, [this, g] {
         ++report_.gateway_repairs;
+        RecordControl("district.gateway_repair", g);
         SetGateway(g, true);
         ScheduleGatewayFailure(g);
       });
@@ -185,11 +188,20 @@ class DistrictRun {
   }
 
   void OnZoneVisit(uint32_t zone) {
+    RecordControl("district.zone_visit", zone);
     for (uint32_t d : zone_sites_[zone]) {
       if (!fleet_.alive(d)) {
         ++report_.device_replacements;
         DeployDevice(d);
       }
+    }
+  }
+
+  // Subsystem flight-recorder append (no-op without a recorder): rare
+  // lifecycle transitions worth having in a stall/crash dump.
+  void RecordControl(const char* category, uint64_t arg) {
+    if (config_.control.recorder != nullptr) {
+      config_.control.recorder->Record(category, sim_.Now(), arg);
     }
   }
 
@@ -251,6 +263,7 @@ DistrictReport RunDistrictScenario(const DistrictConfig& config) {
   sim.trace().EnableRetention(false);
   // Bind instruments before construction so class interning can grab them.
   sim.SetMetrics(config.metrics);
+  sim.scheduler().AttachRunControl(config.control);
 
   DistrictReport report;
   const auto build_start = std::chrono::steady_clock::now();
@@ -259,6 +272,9 @@ DistrictReport RunDistrictScenario(const DistrictConfig& config) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - build_start).count();
   run.Run();
 
+  // Slot cleared first inside DetachRunControl: after this line no
+  // watchdog thread can reach the scheduler we are about to destroy.
+  sim.scheduler().DetachRunControl(config.control);
   sim.SetMetrics(nullptr);
   return report;
 }

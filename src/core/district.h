@@ -19,6 +19,7 @@
 
 #include "src/core/theseus.h"
 #include "src/mgmt/batch_project.h"
+#include "src/sim/run_progress.h"
 #include "src/sim/time.h"
 
 namespace centsim {
@@ -43,6 +44,11 @@ struct DistrictConfig {
   // `metrics` hook also makes district ensembles metrics-capable (see
   // src/sim/ensemble.h). Never per-device label cardinality.
   MetricsRegistry* metrics = nullptr;
+
+  // Live run-control attachments (heartbeat progress, flight recorder,
+  // stall-snapshot slot) — wired per replica by EnsembleRunner when a
+  // status_dir is configured; inert by default.
+  RunControlHooks control;
 
   // Actionable diagnostics (empty = valid); RunDistrictScenario fails
   // fast on any diagnostic instead of running silently to garbage.

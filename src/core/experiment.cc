@@ -22,6 +22,7 @@
 #include "src/net/network_server.h"
 #include "src/security/siphash.h"
 #include "src/sim/ensemble.h"
+#include "src/sim/flight_recorder.h"
 #include "src/sim/simulation.h"
 #include "src/telemetry/chrome_trace.h"
 #include "src/telemetry/metrics_jsonl.h"
@@ -138,7 +139,11 @@ FiftyYearReport RunFiftyYearExperiment(const FiftyYearConfig& config) {
   std::unique_ptr<MetricsRegistry> local_metrics;
   std::unique_ptr<SchedulerProfiler> local_profiler;
   MetricsRegistry* metrics = config.metrics;
-  SchedulerProfiler* profiler = config.profiler;
+  // Profiler precedence: explicit config.profiler, then the run-control
+  // hooks' (EnsembleRunner wires per-replica profilers there), then a
+  // local one if artifacts need it.
+  SchedulerProfiler* profiler =
+      config.profiler != nullptr ? config.profiler : config.control.profiler;
   if (metrics == nullptr && want_artifacts) {
     local_metrics = std::make_unique<MetricsRegistry>();
     metrics = local_metrics.get();
@@ -148,6 +153,9 @@ FiftyYearReport RunFiftyYearExperiment(const FiftyYearConfig& config) {
     profiler = local_profiler.get();
   }
   sim.SetMetrics(metrics);
+  // Attach the recorder/progress/slot hooks first, then the resolved
+  // profiler (so the precedence above wins over control.profiler).
+  sim.scheduler().AttachRunControl(config.control);
   sim.scheduler().SetProfiler(profiler);
 
   RandomStream layout_rng = sim.StreamFor(0x6c61796f7574ULL);
@@ -277,14 +285,25 @@ FiftyYearReport RunFiftyYearExperiment(const FiftyYearConfig& config) {
     auto dev = MakeExperimentDevice(sim, fabric, fleet, i + 1, tech, x, y);
     dev->EnableSigning(batch_secret);
     (tech == RadioTech::k802154 ? ids_154 : ids_lora).push_back(dev->config().id);
-    dev->SetFailureCallback([&report, &sim, &config](EdgeDevice& failed, SimTime at) {
+    // Subsystem flight-recorder records: device lifecycle transitions are
+    // exactly what a stall/crash dump needs alongside the sampled
+    // scheduler events. One relaxed-store append each — negligible, and
+    // these are rare events.
+    FlightRecorder* recorder = config.control.recorder;
+    dev->SetFailureCallback([&report, &sim, &config, recorder](EdgeDevice& failed, SimTime at) {
       ++report.device_failures;
       report.device_survival.Observe(at - failed.deployed_at(), /*failed=*/true);
+      if (recorder != nullptr) {
+        recorder->Record("device.failure", at, failed.config().id);
+      }
       if (config.replace_failed_devices) {
         sim.scheduler().ScheduleAfter(
             config.device_replacement_delay,
-            [&report, &failed] {
+            [&report, &failed, &sim, recorder] {
               ++report.device_replacements;
+              if (recorder != nullptr) {
+                recorder->Record("device.replacement", sim.scheduler().Now(), failed.config().id);
+              }
               failed.ReplaceUnit();
             },
             "device.replacement");
@@ -292,6 +311,20 @@ FiftyYearReport RunFiftyYearExperiment(const FiftyYearConfig& config) {
     });
     dev->Deploy();
     devices.push_back(std::move(dev));
+  }
+
+  // Mid-run telemetry flush (opt-in): atomically rewrite metrics.jsonl on
+  // a simulated-time cadence so a killed run keeps its latest snapshot.
+  std::unique_ptr<PeriodicEvent> telemetry_flusher;
+  if (want_artifacts && metrics != nullptr && config.telemetry_flush_period.micros() > 0) {
+    const std::string metrics_path = config.artifacts_dir + "/metrics.jsonl";
+    std::error_code flush_ec;
+    std::filesystem::create_directories(config.artifacts_dir, flush_ec);
+    telemetry_flusher = std::make_unique<PeriodicEvent>(
+        sim.scheduler(), config.telemetry_flush_period,
+        EventFn([metrics, metrics_path] { FlushMetricsJsonl(*metrics, metrics_path); }),
+        "telemetry.flush");
+    telemetry_flusher->Start(config.telemetry_flush_period);
   }
 
   // --- Run ---
@@ -399,6 +432,9 @@ FiftyYearReport RunFiftyYearExperiment(const FiftyYearConfig& config) {
   }
 
   // Detach before the local registry/profiler (and sim) go out of scope.
+  // DetachRunControl clears the SchedulerSlot first, so no watchdog or
+  // status thread can reach this scheduler once we start tearing down.
+  sim.scheduler().DetachRunControl(config.control);
   sim.scheduler().SetProfiler(nullptr);
   sim.SetMetrics(nullptr);
 

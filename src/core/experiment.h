@@ -24,6 +24,7 @@
 #include "src/reliability/survival.h"
 #include "src/sim/metrics.h"
 #include "src/sim/profiler.h"
+#include "src/sim/run_progress.h"
 #include "src/sim/time.h"
 
 namespace centsim {
@@ -55,6 +56,17 @@ struct FiftyYearConfig {
   // trace.json (Chrome trace-event / Perfetto) into this directory.
   std::string artifacts_dir;
   std::string run_name = "fifty_year";
+  // Live run-control attachments (progress cell, flight recorder,
+  // scheduler slot, profiler) — normally wired per replica by
+  // EnsembleRunner; inert by default. An explicit `profiler` above takes
+  // precedence over `control.profiler`.
+  RunControlHooks control;
+  // When positive (and artifacts_dir is set), metrics.jsonl is atomically
+  // re-flushed every this much simulated time, so a killed run leaves
+  // recent telemetry behind instead of nothing. Off by default: the flush
+  // events consume scheduler sequence numbers, which can perturb
+  // same-timestamp tie order relative to an unflushed run.
+  SimTime telemetry_flush_period;
 
   // Actionable diagnostics for configs that cannot produce a meaningful
   // run (no devices, non-positive horizon, report interval beyond the

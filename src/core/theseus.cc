@@ -5,6 +5,7 @@
 
 #include "src/core/fleet.h"
 #include "src/sim/ensemble.h"
+#include "src/sim/flight_recorder.h"
 #include "src/sim/simulation.h"
 
 namespace centsim {
@@ -54,6 +55,7 @@ class CenturyRun {
 
     sim_.RunUntil(config_.horizon);
     AccumulateTo(config_.horizon);
+    report_.events_executed = sim_.scheduler().executed_count();
 
     // Censor survivors.
     double max_gen = 0.0;
@@ -127,9 +129,15 @@ class CenturyRun {
     fleet_.MarkFailedAt(idx);
     ++report_.total_failures;
     report_.unit_survival.Observe(life, /*failed=*/true);
+    if (config_.control.recorder != nullptr) {
+      config_.control.recorder->Record("century.site_failure", sim_.Now(), idx);
+    }
   }
 
   void OnZoneVisit(uint32_t zone) {
+    if (config_.control.recorder != nullptr) {
+      config_.control.recorder->Record("century.zone_visit", sim_.Now(), zone);
+    }
     const uint32_t zone_count = ZoneCount();
     for (uint32_t idx = zone; idx < config_.fleet_size; idx += zone_count) {
       if (!fleet_.alive(idx)) {
@@ -200,9 +208,13 @@ CenturyReport RunCenturyScenario(const CenturyConfig& config) {
   sim.trace().set_min_level(TraceLevel::kFailure);
   sim.trace().EnableRetention(false);  // Fleet-scale: counts, not records.
 
+  sim.scheduler().AttachRunControl(config.control);
   CenturyReport report;
   CenturyRun run(sim, config, report);
   run.Run();
+  // Slot cleared first: no status/watchdog thread can reach the scheduler
+  // past this line.
+  sim.scheduler().DetachRunControl(config.control);
   return report;
 }
 

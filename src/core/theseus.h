@@ -24,6 +24,7 @@
 #include "src/mgmt/batch_project.h"
 #include "src/reliability/component.h"
 #include "src/reliability/survival.h"
+#include "src/sim/run_progress.h"
 #include "src/sim/time.h"
 #include "src/telemetry/timeseries.h"
 
@@ -48,6 +49,11 @@ struct CenturyConfig {
   // (technology improvement across generations). 1.0 = no improvement.
   double life_improvement_per_decade = 1.0;
 
+  // Live run-control attachments (heartbeat progress, flight recorder,
+  // stall-snapshot slot) — wired per replica by EnsembleRunner when a
+  // status_dir is configured; inert by default.
+  RunControlHooks control;
+
   // Actionable diagnostics (empty = valid); RunCenturyScenario fails
   // fast on any diagnostic instead of running silently to garbage.
   std::vector<std::string> Validate() const;
@@ -63,6 +69,7 @@ struct CenturyReport {
   uint64_t units_deployed = 0;          // Across all generations.
   KaplanMeier unit_survival;
   double max_unit_generations = 0.0;    // Highest generation count a site saw.
+  uint64_t events_executed = 0;
 };
 
 CenturyReport RunCenturyScenario(const CenturyConfig& config);

@@ -30,10 +30,14 @@
 #include <utility>
 #include <vector>
 
+#include "src/sim/flight_recorder.h"
 #include "src/sim/metrics.h"
+#include "src/sim/profiler.h"
+#include "src/sim/run_progress.h"
 #include "src/sim/thread_pool.h"
 #include "src/telemetry/metrics_jsonl.h"
 #include "src/telemetry/run_manifest.h"
+#include "src/telemetry/run_status.h"
 
 namespace centsim {
 
@@ -61,6 +65,27 @@ struct EnsembleOptions {
   // collecting) into this directory.
   std::string artifacts_dir;
   std::string run_name = "ensemble";
+
+  // Live run control. A non-empty status_dir — for experiments whose
+  // Config carries a `control` hook (RunControlHooks) — attaches a
+  // per-replica profiler/progress-cell/flight-recorder to every replica
+  // and runs a RunStatusMonitor for the duration: run_status.json is
+  // atomically rewritten and status.jsonl appended every
+  // heartbeat_seconds, SIGUSR1 triggers an immediate status write, and
+  // each replica's flight recorder is registered with the fatal-signal
+  // crash-dump path. Empty = all of this off (the default; zero overhead).
+  std::string status_dir;
+  double heartbeat_seconds = 1.0;
+  // > 0 arms the watchdog: a replica whose progress (sim time or executed
+  // count) does not advance within this many wall seconds gets its flight
+  // recorder + a scheduler snapshot dumped into status_dir and is flagged
+  // `stalled` in the ensemble manifest (sticky).
+  double stall_deadline_seconds = 0.0;
+  // Per-replica flight-recorder ring capacity; 0 disables the recorders.
+  size_t flight_recorder_capacity = FlightRecorder::kDefaultCapacity;
+  // Take a deep Scheduler::Snapshot() of a stalled replica (best-effort,
+  // racy against a replica that is still limping along — see run_status.h).
+  bool deep_stall_snapshot = true;
 };
 
 template <typename Experiment>
@@ -89,6 +114,11 @@ class EnsembleRunner {
     EnsembleManifest manifest;
     std::string manifest_path;  // Set when artifacts_dir was written.
     std::string metrics_path;
+    // Set when run control was active: where run_status.json/status.jsonl
+    // (and any stall/crash dumps) were written, and how many replicas the
+    // watchdog flagged.
+    std::string status_dir;
+    uint32_t stalled_replicas = 0;
   };
 
   static Result Run(Config base, const EnsembleOptions& options) {
@@ -104,6 +134,7 @@ class EnsembleRunner {
     CheckConfigOrDie(Experiment::Name(), base.Validate());
 
     constexpr bool kHasMetricsHook = requires(Config& c, MetricsRegistry* m) { c.metrics = m; };
+    constexpr bool kHasControlHook = requires(Config& c, RunControlHooks h) { c.control = h; };
 
     Result result;
     result.experiment = Experiment::Name();
@@ -124,12 +155,68 @@ class EnsembleRunner {
       }
     }
 
+    // Live run control: per-replica observability state, a monitor thread
+    // aggregating it, and crash-dump registration. All allocated up front
+    // (ProgressCell/SchedulerSlot hold atomics/mutexes, so raw arrays, not
+    // vectors) — workers only ever touch their own slot.
+    const bool run_control = kHasControlHook && !options.status_dir.empty();
+    const int64_t horizon_us = [&] {
+      if constexpr (requires { base.horizon; }) {
+        return base.horizon.micros();
+      } else {
+        return int64_t{0};
+      }
+    }();
+    std::vector<std::unique_ptr<SchedulerProfiler>> profilers;
+    std::vector<std::unique_ptr<FlightRecorder>> recorders;
+    std::unique_ptr<ProgressCell[]> cells;
+    std::unique_ptr<SchedulerSlot[]> sched_slots;
+    std::unique_ptr<RunStatusMonitor> monitor;
+    CrashDumpScope crash_dumps;
+    if (run_control) {
+      std::error_code ec;
+      std::filesystem::create_directories(options.status_dir, ec);
+      profilers.resize(replicas);
+      cells = std::make_unique<ProgressCell[]>(replicas);
+      sched_slots = std::make_unique<SchedulerSlot[]>(replicas);
+      if (options.flight_recorder_capacity > 0) {
+        recorders.resize(replicas);
+      }
+      RunStatusMonitor::Options monitor_options;
+      monitor_options.status_dir = options.status_dir;
+      monitor_options.heartbeat_seconds = options.heartbeat_seconds;
+      monitor_options.stall_deadline_seconds = options.stall_deadline_seconds;
+      monitor_options.deep_stall_snapshot = options.deep_stall_snapshot;
+      monitor_options.run_name = options.run_name;
+      monitor_options.experiment = result.experiment;
+      monitor_options.horizon_us = horizon_us;
+      monitor_options.devices_per_replica = DevicesPerReplica(base);
+      std::vector<RunStatusMonitor::ReplicaHooks> hooks(replicas);
+      for (uint32_t i = 0; i < replicas; ++i) {
+        profilers[i] = std::make_unique<SchedulerProfiler>();
+        if (!recorders.empty()) {
+          recorders[i] = std::make_unique<FlightRecorder>(options.flight_recorder_capacity);
+          crash_dumps.Add(recorders[i].get(), options.status_dir + "/crash_replica_" +
+                                                  std::to_string(i) + "_flight.jsonl");
+        }
+        hooks[i].cell = &cells[i];
+        hooks[i].recorder = recorders.empty() ? nullptr : recorders[i].get();
+        hooks[i].scheduler_slot = &sched_slots[i];
+        hooks[i].seed = DeriveReplicaSeed(base.seed, i);
+      }
+      InstallStatusSignalHandler();
+      monitor = std::make_unique<RunStatusMonitor>(std::move(monitor_options), std::move(hooks));
+      monitor->Start();
+      result.status_dir = options.status_dir;
+    }
+
     result.replicas.resize(replicas);
     const auto ensemble_start = std::chrono::steady_clock::now();
     {
       ThreadPool pool(threads);
       for (uint32_t i = 0; i < replicas; ++i) {
-        pool.Submit([&result, &base, &registries, i] {
+        pool.Submit([&result, &base, &registries, &profilers, &recorders, &cells, &sched_slots,
+                     run_control, horizon_us, i] {
           Config cfg = base;
           cfg.seed = DeriveReplicaSeed(base.seed, i);
           // Observability plumbing is per-replica: a caller-supplied
@@ -144,6 +231,15 @@ class EnsembleRunner {
           if constexpr (requires { cfg.artifacts_dir.clear(); }) {
             cfg.artifacts_dir.clear();
           }
+          if constexpr (kHasControlHook) {
+            cfg.control = RunControlHooks{};
+            if (run_control) {
+              cfg.control.profiler = profilers[i].get();
+              cfg.control.recorder = recorders.empty() ? nullptr : recorders[i].get();
+              cfg.control.progress = &cells[i];
+              cfg.control.scheduler_slot = &sched_slots[i];
+            }
+          }
 
           Replica& slot = result.replicas[i];
           slot.index = i;
@@ -156,6 +252,9 @@ class EnsembleRunner {
           if constexpr (requires { slot.report.events_executed; }) {
             slot.events_executed = slot.report.events_executed;
           }
+          if (run_control) {
+            cells[i].MarkDone(horizon_us, slot.events_executed);
+          }
         });
       }
       pool.Wait();
@@ -163,6 +262,10 @@ class EnsembleRunner {
     result.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - ensemble_start)
             .count();
+    if (monitor != nullptr) {
+      monitor->Stop();  // Final status write; watchdog verdicts are now fixed.
+      result.stalled_replicas = monitor->stalled_count();
+    }
 
     // All folding below is single-threaded and index-ordered: this is what
     // makes the merged statistics independent of worker interleaving.
@@ -184,8 +287,9 @@ class EnsembleRunner {
     result.manifest.wall_seconds = result.wall_seconds;
     result.manifest.replica_runs.reserve(replicas);
     for (const Replica& replica : result.replicas) {
+      const bool stalled = monitor != nullptr && monitor->WasStalled(replica.index);
       result.manifest.replica_runs.push_back(
-          {replica.index, replica.seed, replica.wall_seconds, replica.events_executed});
+          {replica.index, replica.seed, replica.wall_seconds, replica.events_executed, stalled});
     }
 
     if (!options.artifacts_dir.empty()) {
@@ -201,6 +305,22 @@ class EnsembleRunner {
       }
     }
     return result;
+  }
+
+ private:
+  // Devices simulated per replica, for the device-years/sec status gauge.
+  // Duck-typed like the rest of the engine: picks up whichever population
+  // field the experiment's Config exposes, 0 (gauge omitted) otherwise.
+  static double DevicesPerReplica(const Config& base) {
+    if constexpr (requires { base.device_count; }) {
+      return static_cast<double>(base.device_count);
+    } else if constexpr (requires { base.fleet_size; }) {
+      return static_cast<double>(base.fleet_size);
+    } else if constexpr (requires { base.devices_802154; base.devices_lora; }) {
+      return static_cast<double>(base.devices_802154 + base.devices_lora);
+    } else {
+      return 0.0;
+    }
   }
 };
 

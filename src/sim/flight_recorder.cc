@@ -1,0 +1,99 @@
+#include "src/sim/flight_recorder.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+namespace centsim {
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(size_t capacity) {
+  const size_t cap = RoundUpPow2(capacity < 2 ? 2 : capacity);
+  mask_ = cap - 1;
+  epoch_ns_ = 0;
+  epoch_ns_ = NowNs();  // First call returns absolute ns; re-base to zero.
+  cells_ = std::make_unique<Cell[]>(cap);
+}
+
+bool FlightRecorder::ReadCell(size_t index, Entry* out) const {
+  const Cell& cell = cells_[index & mask_];
+  const uint64_t stamp = cell.seq.load(std::memory_order_acquire);
+  if (stamp == 0) {
+    return false;  // Never written, or the writer is mid-rewrite.
+  }
+  Entry e;
+  e.seq = stamp;
+  e.category = reinterpret_cast<const char*>(cell.category.load(std::memory_order_relaxed));
+  e.sim_at = SimTime::Micros(static_cast<int64_t>(cell.sim_us.load(std::memory_order_relaxed)));
+  e.wall_ns = cell.wall_ns.load(std::memory_order_relaxed);
+  e.arg = cell.arg.load(std::memory_order_relaxed);
+  // Seqlock validation: if the stamp moved while we read, the fields may
+  // mix two generations — reject and let the caller skip the cell.
+  std::atomic_thread_fence(std::memory_order_acquire);
+  if (cell.seq.load(std::memory_order_relaxed) != stamp) {
+    return false;
+  }
+  *out = e;
+  return true;
+}
+
+std::vector<FlightRecorder::Entry> FlightRecorder::Snapshot() const {
+  const uint64_t head = head_.load(std::memory_order_acquire);
+  const size_t cap = capacity();
+  const uint64_t first = head > cap ? head - cap : 0;
+  std::vector<Entry> entries;
+  entries.reserve(static_cast<size_t>(head - first));
+  for (uint64_t seq = first; seq < head; ++seq) {
+    Entry e;
+    if (ReadCell(static_cast<size_t>(seq & mask_), &e) && e.seq == seq + 1) {
+      entries.push_back(e);
+    }
+  }
+  return entries;
+}
+
+size_t FlightRecorder::DumpTo(int fd) const {
+  const uint64_t head = head_.load(std::memory_order_acquire);
+  const size_t cap = capacity();
+  const uint64_t first = head > cap ? head - cap : 0;
+  size_t written = 0;
+  for (uint64_t seq = first; seq < head; ++seq) {
+    Entry e;
+    if (!ReadCell(static_cast<size_t>(seq & mask_), &e) || e.seq != seq + 1) {
+      continue;
+    }
+    // Categories are string literals from our own sources: no escaping
+    // needed beyond trusting them to be plain ASCII identifiers.
+    char line[256];
+    const int n = std::snprintf(line, sizeof(line),
+                                "{\"seq\":%llu,\"category\":\"%s\",\"sim_us\":%lld,"
+                                "\"wall_ns\":%llu,\"arg\":%llu}\n",
+                                static_cast<unsigned long long>(e.seq),
+                                e.category != nullptr ? e.category : "?",
+                                static_cast<long long>(e.sim_at.micros()),
+                                static_cast<unsigned long long>(e.wall_ns),
+                                static_cast<unsigned long long>(e.arg));
+    if (n <= 0) {
+      continue;
+    }
+    ssize_t unused = write(fd, line, static_cast<size_t>(n) < sizeof(line)
+                                         ? static_cast<size_t>(n)
+                                         : sizeof(line) - 1);
+    (void)unused;
+    ++written;
+  }
+  return written;
+}
+
+}  // namespace centsim

@@ -1,0 +1,123 @@
+// Crash-dump flight recorder: a fixed-capacity ring buffer holding the
+// last N scheduler and subsystem events of one replica.
+//
+// The writer is the replica's simulation thread; an append is a steady
+// clock read plus a handful of relaxed atomic stores into a pre-allocated
+// cell (O(tens of ns), zero allocation after construction). Readers — the
+// ensemble watchdog, the SIGUSR1 status path, and the fatal-signal
+// handler — may run on other threads while the writer is live: every cell
+// field is an individual atomic and each cell carries a per-cell sequence
+// stamp (a seqlock in miniature), so a concurrent dump never sees torn
+// entries and never takes a lock the writer could be holding.
+//
+// Categories are identified by pointer: `category` must be a string
+// literal (the same contract as Scheduler::ScheduleAt), so the recorder
+// stores the pointer itself and resolves the text at dump time. Dumps to
+// JSONL/Perfetto live in src/telemetry (run_status / chrome_trace); the
+// raw fd dump below is for fatal-signal paths where malloc is off-limits.
+
+#ifndef SRC_SIM_FLIGHT_RECORDER_H_
+#define SRC_SIM_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace centsim {
+
+class FlightRecorder {
+ public:
+  // One decoded record, oldest-first in Snapshot() order.
+  struct Entry {
+    uint64_t seq = 0;        // Monotonic append index (1-based).
+    const char* category = nullptr;
+    SimTime sim_at;          // Simulated time of the event.
+    uint64_t wall_ns = 0;    // Wall offset from recorder construction.
+    uint64_t arg = 0;        // One caller-defined argument.
+  };
+
+  // `capacity` is rounded up to a power of two; the buffer (and every
+  // allocation the recorder will ever make) is created here.
+  explicit FlightRecorder(size_t capacity = kDefaultCapacity);
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  // Appends one record. Single writer: only the owning simulation thread
+  // may call this. `category` must point at storage that outlives the
+  // recorder (string literals).
+  void Record(const char* category, SimTime at, uint64_t arg) {
+    RecordAt(category, at, arg, NowNs());
+  }
+
+  // Append with a caller-supplied wall stamp (offset from this recorder's
+  // construction, i.e. the NowNs() clock). Lets a caller that just read
+  // the clock for its own purposes — the scheduler's profiler timing
+  // branch — avoid a second steady_clock read per sampled event.
+  void RecordAt(const char* category, SimTime at, uint64_t arg, uint64_t wall_ns) {
+    const uint64_t seq = head_.load(std::memory_order_relaxed);
+    Cell& cell = cells_[seq & mask_];
+    // Invalidate first so a concurrent reader rejects the half-written
+    // cell, then publish the new stamp last.
+    cell.seq.store(0, std::memory_order_release);
+    cell.category.store(reinterpret_cast<uintptr_t>(category), std::memory_order_relaxed);
+    cell.sim_us.store(static_cast<uint64_t>(at.micros()), std::memory_order_relaxed);
+    cell.wall_ns.store(wall_ns, std::memory_order_relaxed);
+    cell.arg.store(arg, std::memory_order_relaxed);
+    cell.seq.store(seq + 1, std::memory_order_release);
+    head_.store(seq + 1, std::memory_order_release);
+  }
+
+  size_t capacity() const { return mask_ + 1; }
+  // Records appended over the recorder's lifetime (not the retained count).
+  uint64_t total_recorded() const { return head_.load(std::memory_order_acquire); }
+
+  // Decodes the retained window, oldest first. Safe to call from any
+  // thread while the writer is live; a cell being overwritten mid-read is
+  // detected via its sequence stamp and skipped.
+  std::vector<Entry> Snapshot() const;
+
+  // Fatal-signal dump: writes one JSON line per retained entry straight to
+  // `fd` with write(2) and stack buffers — no allocation, no locks, no
+  // stdio streams. Returns the number of entries written.
+  size_t DumpTo(int fd) const;
+
+  // steady_clock reading (ns since its epoch) at construction; converts
+  // another instrument's relative timestamps into this recorder's clock.
+  uint64_t epoch_ns() const { return epoch_ns_; }
+
+  // Wall nanoseconds since construction (the Entry::wall_ns clock).
+  uint64_t NowNs() const {
+    return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                     std::chrono::steady_clock::now().time_since_epoch())
+                                     .count()) -
+           epoch_ns_;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<uint64_t> seq{0};  // 0 = never written / mid-write.
+    std::atomic<uintptr_t> category{0};
+    std::atomic<uint64_t> sim_us{0};
+    std::atomic<uint64_t> wall_ns{0};
+    std::atomic<uint64_t> arg{0};
+  };
+
+  // Reads one cell; false when the cell is empty or was concurrently
+  // rewritten while being read.
+  bool ReadCell(size_t index, Entry* out) const;
+
+  size_t mask_ = 0;
+  uint64_t epoch_ns_ = 0;
+  std::atomic<uint64_t> head_{0};  // Next append index == total recorded.
+  std::unique_ptr<Cell[]> cells_;
+};
+
+}  // namespace centsim
+
+#endif  // SRC_SIM_FLIGHT_RECORDER_H_

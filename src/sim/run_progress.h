@@ -1,0 +1,133 @@
+// Live run-control plumbing shared by the scheduler, the experiment
+// drivers, and the ensemble engine.
+//
+// A ProgressCell is one replica's lock-free progress mailbox: the
+// scheduler publishes (sim time, executed events, queue depth, next event
+// time) into it from the profiler's sampled depth path — the per-event hot
+// path is untouched — and the RunStatusMonitor thread reads it on a
+// wall-clock cadence to write run_status.json, append heartbeats, and
+// detect stalls. RunControlHooks bundles the per-replica observability
+// attachments every experiment Config now carries, so EnsembleRunner can
+// wire N replicas without per-experiment glue.
+
+#ifndef SRC_SIM_RUN_PROGRESS_H_
+#define SRC_SIM_RUN_PROGRESS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+namespace centsim {
+
+class Scheduler;
+class SchedulerProfiler;
+class FlightRecorder;
+
+// Single-writer (the replica's simulation thread), multi-reader (the
+// monitor). Fields are published individually with relaxed stores and
+// sequenced by a release increment of `ticks`, so a reader that acquires
+// `ticks` sees values at least as fresh as that tick.
+struct ProgressCell {
+  std::atomic<int64_t> sim_us{0};
+  std::atomic<int64_t> next_event_us{0};
+  std::atomic<uint64_t> executed{0};
+  std::atomic<uint64_t> pending{0};       // Live (non-cancelled) events.
+  std::atomic<uint64_t> queue_entries{0}; // Raw heap + staged + run tail.
+  std::atomic<uint64_t> ticks{0};         // Publishes so far.
+  std::atomic<uint8_t> done{0};
+  std::atomic<uint8_t> stalled{0};        // Set by the watchdog, sticky.
+
+  void Publish(int64_t now_us, int64_t next_us, uint64_t executed_count, uint64_t live,
+               uint64_t entries) {
+    sim_us.store(now_us, std::memory_order_relaxed);
+    next_event_us.store(next_us, std::memory_order_relaxed);
+    executed.store(executed_count, std::memory_order_relaxed);
+    pending.store(live, std::memory_order_relaxed);
+    queue_entries.store(entries, std::memory_order_relaxed);
+    ticks.fetch_add(1, std::memory_order_release);
+  }
+
+  // Final publish when the replica's Run() returns.
+  void MarkDone(int64_t final_sim_us, uint64_t final_executed) {
+    sim_us.store(final_sim_us, std::memory_order_relaxed);
+    executed.store(final_executed, std::memory_order_relaxed);
+    pending.store(0, std::memory_order_relaxed);
+    queue_entries.store(0, std::memory_order_relaxed);
+    done.store(1, std::memory_order_relaxed);
+    ticks.fetch_add(1, std::memory_order_release);
+  }
+
+  // Consistent-enough read for status reporting (tick acquired first).
+  struct View {
+    uint64_t ticks = 0;
+    int64_t sim_us = 0;
+    int64_t next_event_us = 0;
+    uint64_t executed = 0;
+    uint64_t pending = 0;
+    uint64_t queue_entries = 0;
+    bool done = false;
+    bool stalled = false;
+  };
+  View Load() const {
+    View v;
+    v.ticks = ticks.load(std::memory_order_acquire);
+    v.sim_us = sim_us.load(std::memory_order_relaxed);
+    v.next_event_us = next_event_us.load(std::memory_order_relaxed);
+    v.executed = executed.load(std::memory_order_relaxed);
+    v.pending = pending.load(std::memory_order_relaxed);
+    v.queue_entries = queue_entries.load(std::memory_order_relaxed);
+    v.done = done.load(std::memory_order_relaxed) != 0;
+    v.stalled = stalled.load(std::memory_order_relaxed) != 0;
+    return v;
+  }
+};
+
+// Mutex-guarded registration slot for a live Scheduler pointer. The driver
+// sets it while its Simulation exists and clears it before teardown; the
+// watchdog locks it to take a best-effort deep SchedulerSnapshot of a
+// stalled replica. The lock protects the *lifetime* (no snapshot during
+// destruction); reading a genuinely running scheduler is inherently racy
+// and only attempted on a replica the watchdog already believes is stuck.
+class SchedulerSlot {
+ public:
+  void Set(Scheduler* sched) {
+    std::lock_guard<std::mutex> lock(mu_);
+    sched_ = sched;
+  }
+  // Runs `fn(Scheduler&)` under the lock when a scheduler is registered.
+  template <typename Fn>
+  bool With(Fn&& fn) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sched_ == nullptr) {
+      return false;
+    }
+    fn(*sched_);
+    return true;
+  }
+
+ private:
+  std::mutex mu_;
+  Scheduler* sched_ = nullptr;
+};
+
+// Per-replica observability attachments, all optional and all owned by the
+// caller (EnsembleRunner, a bench, or a test). Drivers wire these via
+// Scheduler::AttachRunControl; a default-constructed value is inert.
+struct RunControlHooks {
+  // Execution profiler; heartbeat publishing piggybacks on its sampled
+  // depth path, so progress/recorder hooks are only serviced when a
+  // profiler is attached.
+  SchedulerProfiler* profiler = nullptr;
+  FlightRecorder* recorder = nullptr;
+  ProgressCell* progress = nullptr;
+  SchedulerSlot* scheduler_slot = nullptr;
+
+  bool any() const {
+    return profiler != nullptr || recorder != nullptr || progress != nullptr ||
+           scheduler_slot != nullptr;
+  }
+};
+
+}  // namespace centsim
+
+#endif  // SRC_SIM_RUN_PROGRESS_H_

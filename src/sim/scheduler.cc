@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "src/sim/flight_recorder.h"
 #include "src/sim/metrics.h"
 
 namespace centsim {
@@ -298,10 +299,106 @@ void Scheduler::RunTop() {
   pool_.FinishFire(top.slot);
   profiler_->EndEvent(category != nullptr ? category : kDefaultEventCategory, top.at, timed, t0,
                       t1);
-  if (profiler_->DepthSampleDue()) {
-    profiler_->RecordDepth(top.at, pending_count(),
-                           heap_.size() + staged_ + (run_.size() - run_idx_));
+  // Run-control hooks ride the profiler's two sampling countdowns, so the
+  // unsampled hot path stays exactly as before: the flight recorder logs
+  // the 1-in-time_sample_every events already being wall-timed, and the
+  // progress mailbox publishes on the rarer depth samples.
+  if (timed && recorder_ != nullptr) {
+    // Reuse the profiler's post-event clock reading (absolute steady ns)
+    // instead of paying a third read; re-based onto the recorder's epoch.
+    recorder_->RecordAt(category != nullptr ? category : kDefaultEventCategory, top.at, live_,
+                        t1 - recorder_->epoch_ns());
   }
+  if (profiler_->DepthSampleDue()) {
+    const uint64_t entries = heap_.size() + staged_ + (run_.size() - run_idx_);
+    profiler_->RecordDepth(top.at, pending_count(), entries);
+    if (progress_ != nullptr) {
+      progress_->Publish(now_.micros(), NextEventLowerBound(), executed_, live_, entries);
+    }
+  }
+}
+
+void Scheduler::AttachRunControl(const RunControlHooks& hooks) {
+  if (hooks.profiler != nullptr) {
+    profiler_ = hooks.profiler;
+  }
+  if (hooks.recorder != nullptr) {
+    recorder_ = hooks.recorder;
+  }
+  if (hooks.progress != nullptr) {
+    progress_ = hooks.progress;
+  }
+  if (hooks.scheduler_slot != nullptr) {
+    hooks.scheduler_slot->Set(this);
+  }
+}
+
+void Scheduler::DetachRunControl(const RunControlHooks& hooks) {
+  // Slot first: once cleared, no monitor thread can reach this scheduler,
+  // so the plain-pointer resets below race with nothing.
+  if (hooks.scheduler_slot != nullptr) {
+    hooks.scheduler_slot->Set(nullptr);
+  }
+  if (hooks.profiler != nullptr && profiler_ == hooks.profiler) {
+    profiler_ = nullptr;
+  }
+  if (hooks.recorder != nullptr && recorder_ == hooks.recorder) {
+    recorder_ = nullptr;
+  }
+  if (hooks.progress != nullptr && progress_ == hooks.progress) {
+    progress_ = nullptr;
+  }
+}
+
+SchedulerSnapshot Scheduler::Snapshot() const {
+  SchedulerSnapshot s;
+  s.now_us = now_.micros();
+  s.pending = live_;
+  s.executed = executed_;
+  s.late_schedules = late_schedules_;
+  s.heap_size = heap_.size();
+  s.staged = staged_;
+  s.run_remaining = run_.size() - run_idx_;
+  s.far_count = far_.size();
+  s.queue_empty = live_ == 0;
+  // Earliest queued entry: the run head / heap top when present, else the
+  // minimum across staged entries. Stale (cancelled) entries are not
+  // filtered — this is a lower bound, and a diagnostic one.
+  int64_t next = INT64_MAX;
+  bool have = false;
+  if (run_idx_ < run_.size()) {
+    next = run_[run_idx_].at.micros();
+    have = true;
+  } else if (!heap_.empty()) {
+    next = heap_.front().at.micros();
+    have = true;
+  }
+  s.rungs.reserve(rungs_.size());
+  for (const Rung& r : rungs_) {
+    SchedulerSnapshot::RungInfo info;
+    info.start_us = r.start;
+    info.end_us = r.end;
+    info.width_us = r.width;
+    info.bucket_count = r.buckets.size();
+    info.next_bucket = r.next;
+    for (size_t b = 0; b < r.buckets.size(); ++b) {
+      info.entries += r.buckets[b].size();
+      if (!have) {
+        for (const HeapEntry& e : r.buckets[b]) {
+          next = e.at.micros() < next ? e.at.micros() : next;
+        }
+      }
+    }
+    s.rungs.push_back(info);
+  }
+  if (!have) {
+    for (const HeapEntry& e : far_) {
+      next = e.at.micros() < next ? e.at.micros() : next;
+    }
+    have = next != INT64_MAX;
+  }
+  s.next_event_us = have ? next : s.now_us;
+  return s;
 }
 
 bool Scheduler::Step() {

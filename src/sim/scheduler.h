@@ -31,15 +31,47 @@
 #include "src/sim/event_fn.h"
 #include "src/sim/event_pool.h"
 #include "src/sim/profiler.h"
+#include "src/sim/run_progress.h"
 #include "src/sim/time.h"
 
 namespace centsim {
 
 class MetricsRegistry;
 class Counter;
+class FlightRecorder;
 
 // Default category for events scheduled without one.
 inline constexpr const char* kDefaultEventCategory = "event";
+
+// Point-in-time introspection of a scheduler's queue structure: where the
+// pending events sit (near heap, ladder rungs, far stage), how full each
+// rung's window is, and the earliest entry still queued. Taken cold (it
+// walks rung buckets), rendered to JSON by the run-status layer, and
+// dumped by the ensemble watchdog when a replica stalls.
+struct SchedulerSnapshot {
+  int64_t now_us = 0;
+  // Earliest queued entry (possibly a stale/cancelled one — a lower
+  // bound); == now_us when the queue is empty.
+  int64_t next_event_us = 0;
+  bool queue_empty = true;
+  uint64_t pending = 0;    // Live (non-cancelled) events.
+  uint64_t executed = 0;
+  uint64_t late_schedules = 0;
+  size_t heap_size = 0;      // Near-window heap entries, stale included.
+  size_t staged = 0;         // Entries across rungs and the far stage.
+  size_t run_remaining = 0;  // Tail of an active single-timestamp run.
+  size_t far_count = 0;
+
+  struct RungInfo {
+    int64_t start_us = 0;
+    int64_t end_us = 0;    // Exclusive (INT64_MAX = open).
+    int64_t width_us = 0;  // Bucket width.
+    size_t bucket_count = 0;
+    size_t next_bucket = 0;  // First undrained bucket.
+    size_t entries = 0;      // Occupancy across all buckets.
+  };
+  std::vector<RungInfo> rungs;  // Stack order: back() is the earliest window.
+};
 
 class Scheduler {
  public:
@@ -84,6 +116,28 @@ class Scheduler {
   // only observes; it never changes event order or simulation results.
   void SetProfiler(SchedulerProfiler* profiler) { profiler_ = profiler; }
   SchedulerProfiler* profiler() const { return profiler_; }
+
+  // Flight recorder: when attached (and a profiler is too), each profiler
+  // timed sample — 1 in SchedulerProfiler::Options::time_sample_every
+  // events — also appends (category, sim time, live count) to the ring.
+  void SetFlightRecorder(FlightRecorder* recorder) { recorder_ = recorder; }
+  FlightRecorder* flight_recorder() const { return recorder_; }
+
+  // Progress mailbox: when attached (and a profiler is too), each profiler
+  // depth sample — 1 in queue_depth_sample_every events — also publishes
+  // (sim time, next event, executed, queue depth) for the monitor thread.
+  void SetProgressCell(ProgressCell* cell) { progress_ = cell; }
+  ProgressCell* progress_cell() const { return progress_; }
+
+  // Wires every hook in one call (nullptr members are skipped, so an
+  // already-attached profiler survives hooks carrying none). Detach clears
+  // the scheduler slot FIRST — after it returns no watchdog/status thread
+  // can reach this scheduler — then the direct pointers.
+  void AttachRunControl(const RunControlHooks& hooks);
+  void DetachRunControl(const RunControlHooks& hooks);
+
+  // Cold, read-only introspection of queue structure; see SchedulerSnapshot.
+  SchedulerSnapshot Snapshot() const;
 
   // Attaches a metrics registry (nullptr detaches): past-time ScheduleAt
   // clamps are published as the `scheduler.late_schedule` counter. The
@@ -183,6 +237,18 @@ class Scheduler {
   SimTime NextAt() const {
     return run_idx_ < run_.size() ? run_[run_idx_].at : heap_.front().at;
   }
+  // Cheap lower bound on the next event's time, for progress publishing:
+  // the run head or heap top when present, else Now() (the next event is
+  // staged and locating it would mean walking buckets — too hot a path).
+  int64_t NextEventLowerBound() const {
+    if (run_idx_ < run_.size()) {
+      return run_[run_idx_].at.micros();
+    }
+    if (!heap_.empty()) {
+      return heap_.front().at.micros();
+    }
+    return now_.micros();
+  }
 
   // Pops and runs the top live entry. Precondition: one exists.
   void RunTop();
@@ -199,6 +265,8 @@ class Scheduler {
   MetricsRegistry* metrics_ = nullptr;
   Counter* late_schedule_metric_ = nullptr;
   SchedulerProfiler* profiler_ = nullptr;
+  FlightRecorder* recorder_ = nullptr;
+  ProgressCell* progress_ = nullptr;
   EventPool pool_;
   std::vector<HeapEntry> heap_;  // The near window, in 4-ary heap order.
   // Entries at micros >= near_limit_ stage in rungs_/far_; everything

@@ -3,7 +3,9 @@
 #include <fstream>
 #include <map>
 #include <ostream>
+#include <sstream>
 
+#include "src/sim/flight_recorder.h"
 #include "src/telemetry/json.h"
 
 namespace centsim {
@@ -59,6 +61,20 @@ void ChromeTraceWriter::AddProfile(const SchedulerProfiler& profiler) {
   }
 }
 
+void ChromeTraceWriter::AddFlightRecording(const FlightRecorder& recorder) {
+  std::map<std::string, uint32_t> tids;
+  for (const FlightRecorder::Entry& e : recorder.Snapshot()) {
+    const std::string category = e.category != nullptr ? e.category : "?";
+    auto [it, inserted] = tids.try_emplace(category, static_cast<uint32_t>(tids.size()) + 100);
+    if (inserted) {
+      SetThreadName(it->second, "recorder:" + category);
+    }
+    const double ts_us = static_cast<double>(e.wall_ns) / 1000.0;
+    AddInstant(category, ts_us, it->second);
+    AddCounter("recorder_pending", ts_us, static_cast<double>(e.arg));
+  }
+}
+
 void ChromeTraceWriter::WriteTo(std::ostream& out) const {
   out << "{\"traceEvents\":[";
   // Process metadata first so viewers name the track correctly.
@@ -89,6 +105,12 @@ void ChromeTraceWriter::WriteTo(std::ostream& out) const {
     }
   }
   out << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+bool ChromeTraceWriter::FlushFile(const std::string& path, std::string* error) const {
+  std::ostringstream out;
+  WriteTo(out);
+  return AtomicWriteFile(out.str(), path, error);
 }
 
 bool ChromeTraceWriter::WriteFile(const std::string& path, std::string* error) const {

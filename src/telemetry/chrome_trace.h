@@ -21,6 +21,8 @@
 
 namespace centsim {
 
+class FlightRecorder;
+
 class ChromeTraceWriter {
  public:
   // `process_name` labels the single emitted process.
@@ -36,11 +38,20 @@ class ChromeTraceWriter {
   // sampled spans, plus queue-depth and sim-years counter tracks.
   void AddProfile(const SchedulerProfiler& profiler);
 
+  // Converts a flight-recorder window: one instant per retained entry on a
+  // per-category thread track (ts = wall offset from recorder birth), plus
+  // a pending-events counter track from the recorded args. This is the
+  // dump-to-Perfetto path for stall/crash forensics.
+  void AddFlightRecording(const FlightRecorder& recorder);
+
   size_t event_count() const { return events_.size(); }
 
   // Writes {"traceEvents":[...],"displayTimeUnit":"ms"}.
   void WriteTo(std::ostream& out) const;
   bool WriteFile(const std::string& path, std::string* error = nullptr) const;
+  // Atomic variant (write-to-tmp + rename) for mid-run flushes: a reader
+  // never observes a truncated trace.
+  bool FlushFile(const std::string& path, std::string* error = nullptr) const;
 
  private:
   struct Event {

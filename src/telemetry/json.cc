@@ -4,6 +4,7 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 
 namespace centsim {
 
@@ -283,5 +284,35 @@ class Linter {
 }  // namespace
 
 bool JsonLint(std::string_view text, std::string* error) { return Linter(text).Run(error); }
+
+bool AtomicWriteFile(const std::string& content, const std::string& path, std::string* error) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      if (error != nullptr) {
+        *error = "cannot open " + tmp;
+      }
+      return false;
+    }
+    out << content;
+    out.close();
+    if (out.fail()) {
+      if (error != nullptr) {
+        *error = "write failed for " + tmp;
+      }
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error != nullptr) {
+      *error = "rename failed for " + path;
+    }
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
 
 }  // namespace centsim

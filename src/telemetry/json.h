@@ -24,6 +24,13 @@ std::string JsonNumber(double v);
 // Returns false and fills `error` (if given) with "offset N: reason".
 bool JsonLint(std::string_view text, std::string* error = nullptr);
 
+// Atomically replaces `path` with `content`: writes `path`.tmp, fsync-free
+// close, then rename(2) over the target. A concurrent reader (the whole
+// point of run_status.json is `watch cat`) sees either the old file or the
+// complete new one, never a partial write. False (and `error`) on failure.
+bool AtomicWriteFile(const std::string& content, const std::string& path,
+                     std::string* error = nullptr);
+
 }  // namespace centsim
 
 #endif  // SRC_TELEMETRY_JSON_H_

@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <ostream>
+#include <sstream>
 
 #include "src/telemetry/json.h"
 
@@ -49,6 +50,13 @@ void WriteMetricsJsonl(const MetricsRegistry& registry, std::ostream& out) {
         }
         out << "}\n";
       });
+}
+
+bool FlushMetricsJsonl(const MetricsRegistry& registry, const std::string& path,
+                       std::string* error) {
+  std::ostringstream out;
+  WriteMetricsJsonl(registry, out);
+  return AtomicWriteFile(out.str(), path, error);
 }
 
 bool WriteMetricsJsonlFile(const MetricsRegistry& registry, const std::string& path,

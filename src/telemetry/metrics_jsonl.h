@@ -26,6 +26,13 @@ void WriteMetricsJsonl(const MetricsRegistry& registry, std::ostream& out);
 bool WriteMetricsJsonlFile(const MetricsRegistry& registry, const std::string& path,
                            std::string* error = nullptr);
 
+// Mid-run flush: atomically replaces `path` (write-to-tmp + rename) with a
+// fresh snapshot, so the heartbeat cadence and fatal-signal paths can
+// persist partial telemetry without a reader ever seeing a torn file.
+// Safe to call repeatedly; each call rewrites the whole snapshot.
+bool FlushMetricsJsonl(const MetricsRegistry& registry, const std::string& path,
+                       std::string* error = nullptr);
+
 }  // namespace centsim
 
 #endif  // SRC_TELEMETRY_METRICS_JSONL_H_

@@ -23,6 +23,29 @@ std::string ConfigDigest(std::string_view config_text) {
   return buf;
 }
 
+#ifndef CENTSIM_GIT_SHA
+#define CENTSIM_GIT_SHA "unknown"
+#endif
+#ifndef CENTSIM_BUILD_TYPE
+#define CENTSIM_BUILD_TYPE ""
+#endif
+#ifndef CENTSIM_SANITIZERS
+#define CENTSIM_SANITIZERS "none"
+#endif
+
+const BuildInfo& GetBuildInfo() {
+  static const BuildInfo info{CENTSIM_GIT_SHA, CENTSIM_BUILD_TYPE, CENTSIM_SANITIZERS};
+  return info;
+}
+
+std::string BuildInfoJson() {
+  const BuildInfo& info = GetBuildInfo();
+  std::string out = "{\"git_sha\": \"" + JsonEscape(info.git_sha) + "\"";
+  out += ", \"build_type\": \"" + JsonEscape(info.build_type) + "\"";
+  out += ", \"sanitizers\": \"" + JsonEscape(info.sanitizers) + "\"}";
+  return out;
+}
+
 std::string RunManifest::ToJson() const {
   std::string out = "{\n";
   out += "  \"run_name\": \"" + JsonEscape(run_name) + "\",\n";
@@ -31,6 +54,7 @@ std::string RunManifest::ToJson() const {
   out += "  \"horizon_us\": " + std::to_string(horizon.micros()) + ",\n";
   out += "  \"horizon\": \"" + JsonEscape(horizon.ToString()) + "\",\n";
   out += "  \"library_version\": \"" + JsonEscape(library_version) + "\",\n";
+  out += "  \"build\": " + BuildInfoJson() + ",\n";
   out += "  \"wall_seconds\": " + JsonNumber(wall_seconds) + ",\n";
   out += "  \"events_executed\": " + std::to_string(events_executed);
   if (!extra.empty()) {
@@ -84,6 +108,14 @@ uint64_t EnsembleManifest::TotalEventsExecuted() const {
   return total;
 }
 
+uint32_t EnsembleManifest::StalledReplicaCount() const {
+  uint32_t count = 0;
+  for (const ReplicaRun& run : replica_runs) {
+    count += run.stalled ? 1 : 0;
+  }
+  return count;
+}
+
 std::string EnsembleManifest::ToJson() const {
   std::string out = "{\n";
   out += "  \"run_name\": \"" + JsonEscape(run_name) + "\",\n";
@@ -95,8 +127,10 @@ std::string EnsembleManifest::ToJson() const {
   out += "  \"horizon_us\": " + std::to_string(horizon.micros()) + ",\n";
   out += "  \"horizon\": \"" + JsonEscape(horizon.ToString()) + "\",\n";
   out += "  \"library_version\": \"" + JsonEscape(library_version) + "\",\n";
+  out += "  \"build\": " + BuildInfoJson() + ",\n";
   out += "  \"wall_seconds\": " + JsonNumber(wall_seconds) + ",\n";
   out += "  \"events_executed\": " + std::to_string(TotalEventsExecuted()) + ",\n";
+  out += "  \"stalled_replicas\": " + std::to_string(StalledReplicaCount()) + ",\n";
   out += "  \"replica_runs\": [";
   bool first = true;
   for (const ReplicaRun& run : replica_runs) {
@@ -107,7 +141,8 @@ std::string EnsembleManifest::ToJson() const {
     out += "\n    {\"index\": " + std::to_string(run.index) +
            ", \"seed\": " + std::to_string(run.seed) +
            ", \"wall_seconds\": " + JsonNumber(run.wall_seconds) +
-           ", \"events_executed\": " + std::to_string(run.events_executed) + "}";
+           ", \"events_executed\": " + std::to_string(run.events_executed) +
+           ", \"stalled\": " + (run.stalled ? "true" : "false") + "}";
   }
   out += replica_runs.empty() ? "]\n" : "\n  ]\n";
   out += "}\n";

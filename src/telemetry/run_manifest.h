@@ -30,6 +30,21 @@ uint64_t Fnv1a64(std::string_view text);
 // Hex rendering of Fnv1a64, the canonical config-digest form.
 std::string ConfigDigest(std::string_view config_text);
 
+// Build provenance: which binary produced an artifact. Captured at
+// configure time (compile definitions on run_manifest.cc) so crash dumps
+// and stalled-run manifests are attributable to an exact commit + build
+// flavor without trusting the environment at run time.
+struct BuildInfo {
+  const char* git_sha;     // Short SHA, or "unknown" outside a checkout.
+  const char* build_type;  // CMAKE_BUILD_TYPE ("" when unset).
+  const char* sanitizers;  // "none", "address,undefined", or "thread".
+};
+const BuildInfo& GetBuildInfo();
+
+// The `"build": {...}` JSON object (no trailing newline), shared by run
+// manifests, ensemble manifests, and run_status.json.
+std::string BuildInfoJson();
+
 struct RunManifest {
   std::string run_name;
   uint64_t seed = 0;
@@ -72,10 +87,15 @@ struct EnsembleManifest {
     uint64_t seed = 0;
     double wall_seconds = 0.0;
     uint64_t events_executed = 0;
+    // Flagged by the run-status watchdog: sim time failed to advance
+    // within the stall deadline at least once (sticky even if the replica
+    // later recovered and finished).
+    bool stalled = false;
   };
   std::vector<ReplicaRun> replica_runs;  // Replica-index order.
 
   uint64_t TotalEventsExecuted() const;
+  uint32_t StalledReplicaCount() const;
 
   std::string ToJson() const;
   // Writes ToJson() to `path`; false (and `error`) on I/O failure.

@@ -1,0 +1,153 @@
+#include "src/sim/flight_recorder.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/sim/alloc_probe.h"
+#include "src/telemetry/json.h"
+#include "src/telemetry/run_status.h"
+
+namespace centsim {
+namespace {
+
+TEST(FlightRecorderTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(FlightRecorder(1).capacity(), 2u);
+  EXPECT_EQ(FlightRecorder(5).capacity(), 8u);
+  EXPECT_EQ(FlightRecorder(64).capacity(), 64u);
+  EXPECT_EQ(FlightRecorder(65).capacity(), 128u);
+}
+
+TEST(FlightRecorderTest, RetainsEverythingBelowCapacity) {
+  FlightRecorder recorder(8);
+  recorder.Record("alpha", SimTime::Micros(10), 1);
+  recorder.Record("beta", SimTime::Micros(20), 2);
+  recorder.Record("gamma", SimTime::Micros(30), 3);
+
+  const std::vector<FlightRecorder::Entry> entries = recorder.Snapshot();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].seq, 1u);
+  EXPECT_STREQ(entries[0].category, "alpha");
+  EXPECT_EQ(entries[0].sim_at.micros(), 10);
+  EXPECT_EQ(entries[0].arg, 1u);
+  EXPECT_EQ(entries[2].seq, 3u);
+  EXPECT_STREQ(entries[2].category, "gamma");
+  EXPECT_EQ(recorder.total_recorded(), 3u);
+}
+
+TEST(FlightRecorderTest, WraparoundKeepsOnlyTheLastCapacityEntries) {
+  FlightRecorder recorder(8);
+  ASSERT_EQ(recorder.capacity(), 8u);
+  for (uint64_t i = 0; i < 100; ++i) {
+    recorder.Record("tick", SimTime::Micros(static_cast<int64_t>(i)), i);
+  }
+  EXPECT_EQ(recorder.total_recorded(), 100u);
+
+  const std::vector<FlightRecorder::Entry> entries = recorder.Snapshot();
+  ASSERT_EQ(entries.size(), 8u);
+  // Oldest retained entry is append #93 (seq 93, arg 92), newest #100.
+  for (size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(entries[i].seq, 93u + i);
+    EXPECT_EQ(entries[i].arg, 92u + i);
+    EXPECT_EQ(entries[i].sim_at.micros(), static_cast<int64_t>(92 + i));
+  }
+  // Wall offsets are monotonic within the window.
+  for (size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_GE(entries[i].wall_ns, entries[i - 1].wall_ns);
+  }
+}
+
+TEST(FlightRecorderTest, SteadyStateAppendIsAllocationFree) {
+  if (!AllocProbeEnabled()) {
+    GTEST_SKIP() << "allocation probe disabled (sanitizer build)";
+  }
+  FlightRecorder recorder(64);
+  recorder.Record("warm", SimTime::Micros(0), 0);  // Everything pre-allocated anyway.
+  AllocScope scope;
+  for (uint64_t i = 0; i < 10000; ++i) {
+    recorder.Record("tick", SimTime::Micros(static_cast<int64_t>(i)), i);
+  }
+  EXPECT_EQ(scope.delta(), 0u) << "flight-recorder append allocated";
+}
+
+TEST(FlightRecorderTest, ConcurrentSnapshotNeverSeesTornEntries) {
+  FlightRecorder recorder(16);
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    uint64_t i = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      // arg mirrors sim_us: a torn read would show disagreeing fields.
+      recorder.Record("w", SimTime::Micros(static_cast<int64_t>(i)), i);
+      ++i;
+    }
+  });
+  for (int round = 0; round < 200; ++round) {
+    for (const FlightRecorder::Entry& e : recorder.Snapshot()) {
+      ASSERT_STREQ(e.category, "w");
+      ASSERT_EQ(e.arg, static_cast<uint64_t>(e.sim_at.micros()));
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  writer.join();
+}
+
+TEST(FlightRecorderTest, FdDumpWritesOneValidJsonObjectPerEntry) {
+  FlightRecorder recorder(8);
+  for (uint64_t i = 0; i < 20; ++i) {
+    recorder.Record("dump", SimTime::Micros(static_cast<int64_t>(i * 5)), i);
+  }
+  const std::string path = testing::TempDir() + "flight_fd_dump.jsonl";
+  const int fd = open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(recorder.DumpTo(fd), 8u);
+  close(fd);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  size_t lines = 0;
+  while (std::getline(in, line)) {
+    std::string error;
+    EXPECT_TRUE(JsonLint(line, &error)) << line << ": " << error;
+    EXPECT_NE(line.find("\"category\":\"dump\""), std::string::npos);
+    ++lines;
+  }
+  EXPECT_EQ(lines, 8u);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorderTest, JsonlDumpMatchesSnapshot) {
+  FlightRecorder recorder(8);
+  for (uint64_t i = 0; i < 12; ++i) {
+    recorder.Record("jsonl", SimTime::Micros(static_cast<int64_t>(i)), 1000 + i);
+  }
+  const std::string path = testing::TempDir() + "flight_dump.jsonl";
+  ASSERT_TRUE(WriteFlightRecorderJsonl(recorder, path));
+
+  std::ifstream in(path);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) {
+    std::string error;
+    EXPECT_TRUE(JsonLint(line, &error)) << line << ": " << error;
+    lines.push_back(line);
+  }
+  const std::vector<FlightRecorder::Entry> entries = recorder.Snapshot();
+  ASSERT_EQ(lines.size(), entries.size());
+  for (size_t i = 0; i < lines.size(); ++i) {
+    EXPECT_NE(lines[i].find("\"seq\":" + std::to_string(entries[i].seq)), std::string::npos);
+    EXPECT_NE(lines[i].find("\"arg\":" + std::to_string(entries[i].arg)), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace centsim

@@ -60,6 +60,17 @@ for name, rec in sorted(base.items()):
         else:
             print(f"  ok {name}: {new} allocs/event (baseline {old})")
 
+# Absolute ceiling from the run-control acceptance criteria: the heartbeat
+# stack (flight recorder + progress publishing on top of the profiler it
+# piggybacks on) must cost <= 5% regardless of what the baseline recorded.
+rc = fresh.get("runcontrol_overhead_pct")
+if rc is None:
+    failures.append("runcontrol_overhead_pct: missing from fresh run")
+elif rc["value"] > 5.0:
+    failures.append(f"runcontrol_overhead_pct: {rc['value']:.1f}% > 5% ceiling")
+else:
+    print(f"  ok runcontrol_overhead_pct: {rc['value']:.1f}% (ceiling 5%)")
+
 if failures:
     print("bench_smoke: REGRESSION", file=sys.stderr)
     for f in failures:
@@ -128,4 +139,72 @@ if failures:
         print(f"  {f}", file=sys.stderr)
     sys.exit(1)
 print("bench_smoke: district scale within tolerance")
+EOF
+
+# --- Ensemble engine + live-run-control gate ---------------------------
+# bench_e5_ensemble runs the 50-year experiment as a parallel ensemble:
+# once per pool width, and once more with live run control (status_dir +
+# heartbeat + flight recorders) attached. Gated on replica throughput vs
+# the checked-in baseline, on the cross-thread determinism flag, and on
+# the run-control point not falling behind the plain full-width point by
+# more than the tolerance. The replica/thread counts must match how the
+# baseline was generated.
+E5_BASELINE="bench/BENCH_e5_ensemble.json"
+E5_REPLICAS=4
+E5_THREADS=2
+[[ -f "${E5_BASELINE}" ]] || { echo "missing baseline ${E5_BASELINE}" >&2; exit 1; }
+
+cmake --build "${BUILD_DIR}" --target bench_e5_ensemble -j "$(nproc)"
+(cd "${BUILD_DIR}/bench" && ./bench_e5_ensemble \
+    --replicas="${E5_REPLICAS}" --threads="${E5_THREADS}")
+
+python3 - "${E5_BASELINE}" "${BUILD_DIR}/bench/BENCH_e5_ensemble.json" "${TOLERANCE}" <<'EOF'
+import json, sys
+
+baseline_path, fresh_path, tol = sys.argv[1], sys.argv[2], float(sys.argv[3])
+def records(path):
+    with open(path) as f:
+        return {r["name"]: r for r in json.load(f)["records"]}
+
+base, fresh = records(baseline_path), records(fresh_path)
+failures = []
+for name, rec in sorted(base.items()):
+    if name not in fresh:
+        failures.append(f"{name}: missing from fresh run")
+        continue
+    old, new = rec["value"], fresh[name]["value"]
+    if rec["unit"] == "1/s" and old > 0:
+        if new < old * (1.0 - tol):
+            failures.append(f"{name}: {new:.3f}/s < {1-tol:.0%} of baseline {old:.3f}/s")
+        else:
+            print(f"  ok {name}: {new:.3g}/s vs baseline {old:.3g}/s")
+
+# Hard invariants, independent of the baseline numbers.
+det = fresh.get("deterministic_across_threads", {"value": 0.0})["value"]
+if det != 1.0:
+    failures.append("deterministic_across_threads: merged statistics differ across pool widths")
+else:
+    print("  ok deterministic_across_threads: 1")
+stalled = fresh.get("stalled_replicas", {"value": 1.0})["value"]
+if stalled != 0.0:
+    failures.append(f"stalled_replicas: {stalled:.0f} replicas tripped the watchdog")
+else:
+    print("  ok stalled_replicas: 0")
+# Run control must keep pace with the plain full-width point.
+import re
+widths = [int(m.group(1)) for name in fresh for m in [re.match(r"replicas_per_sec_t(\d+)$", name)] if m]
+if widths:
+    full = fresh["replicas_per_sec_t%d" % max(widths)]["value"]
+    rc = fresh.get("replicas_per_sec_run_control", {"value": 0.0})["value"]
+    if full > 0 and rc < full * (1.0 - tol):
+        failures.append(f"replicas_per_sec_run_control: {rc:.3f}/s < {1-tol:.0%} of plain {full:.3f}/s")
+    else:
+        print(f"  ok replicas_per_sec_run_control: {rc:.3g}/s vs plain {full:.3g}/s")
+
+if failures:
+    print("bench_smoke: REGRESSION (e5 ensemble)", file=sys.stderr)
+    for f in failures:
+        print(f"  {f}", file=sys.stderr)
+    sys.exit(1)
+print("bench_smoke: e5 ensemble within tolerance")
 EOF

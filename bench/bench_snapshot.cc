@@ -1,0 +1,140 @@
+// Snapshot engine at scale: how long does it take to checkpoint and
+// restore a million-device district, and how big is the file? Runs the
+// 50-year district scenario with a checkpoint at year 25, then resumes a
+// second run from that checkpoint, and verifies the resumed report matches
+// the straight run bit for bit — the restore-parity contract at full scale.
+//
+// Emits BENCH_snapshot.json; tools/bench_smoke.sh guards the save/restore
+// throughput against >20% regressions and holds both wall times under the
+// O(seconds) acceptance ceiling.
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/core/district.h"
+#include "src/telemetry/bench_record.h"
+#include "src/telemetry/report.h"
+
+namespace centsim {
+namespace {
+
+DistrictConfig ConfigFor(uint32_t devices) {
+  DistrictConfig cfg;
+  cfg.seed = 20260806;
+  cfg.device_count = devices;
+  // Constant density (160 sites per km2), matching bench_district_scale.
+  cfg.area_km2 = static_cast<double>(devices) / 160.0;
+  cfg.zone_grid = 4;
+  cfg.horizon = SimTime::Years(50);
+  return cfg;
+}
+
+bool ReportsMatch(const DistrictReport& a, const DistrictReport& b, std::string* why) {
+  auto fail = [&](const std::string& field) {
+    *why = field;
+    return false;
+  };
+  if (a.gateway_count != b.gateway_count) return fail("gateway_count");
+  if (a.initial_coverage != b.initial_coverage) return fail("initial_coverage");
+  if (a.mean_device_availability != b.mean_device_availability)
+    return fail("mean_device_availability");
+  if (a.mean_service_availability != b.mean_service_availability)
+    return fail("mean_service_availability");
+  if (a.min_yearly_service != b.min_yearly_service) return fail("min_yearly_service");
+  if (a.device_failures != b.device_failures) return fail("device_failures");
+  if (a.device_replacements != b.device_replacements) return fail("device_replacements");
+  if (a.gateway_failures != b.gateway_failures) return fail("gateway_failures");
+  if (a.gateway_repairs != b.gateway_repairs) return fail("gateway_repairs");
+  if (a.yearly_service != b.yearly_service) return fail("yearly_service");
+  return true;
+}
+
+std::string SizeTag(uint32_t devices) {
+  if (devices % 1000000 == 0) return std::to_string(devices / 1000000) + "m";
+  return std::to_string(devices / 1000) + "k";
+}
+
+}  // namespace
+}  // namespace centsim
+
+int main(int argc, char** argv) {
+  using namespace centsim;
+  using Clock = std::chrono::steady_clock;
+  namespace fs = std::filesystem;
+  std::cout << "=== snapshot: checkpoint/restore at scale ===\n\n";
+
+  uint32_t devices = 1000000;
+  if (argc > 1) {
+    devices = static_cast<uint32_t>(std::atol(argv[1]));
+  }
+  const std::string tag = SizeTag(devices);
+  const fs::path dir = fs::temp_directory_path() / "centsim_bench_snapshot";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  BenchReport bench("snapshot");
+  Table t({"phase", "wall s", "sim years", "snapshot MB", "B/device"});
+
+  // Straight run with a mid-run checkpoint: the parity reference, and the
+  // save-cost measurement (checkpointing rides inside it).
+  DistrictConfig cfg = ConfigFor(devices);
+  cfg.snapshot.checkpoint_every = SimTime::Years(25);
+  cfg.snapshot.checkpoint_dir = dir.string();
+  auto start = Clock::now();
+  const DistrictReport straight = RunDistrictScenario(cfg);
+  const double straight_total = std::chrono::duration<double>(Clock::now() - start).count();
+  if (straight.checkpoints_written != 1 || straight.last_checkpoint_path.empty()) {
+    std::cerr << "expected exactly one checkpoint, got " << straight.checkpoints_written << "\n";
+    return 1;
+  }
+  const double snapshot_mb = static_cast<double>(straight.last_checkpoint_bytes) / (1024.0 * 1024.0);
+  const double bytes_per_device =
+      static_cast<double>(straight.last_checkpoint_bytes) / devices;
+  t.AddRow({"run + save @y25", FormatDouble(straight_total, 2), "50",
+            FormatDouble(snapshot_mb, 1), FormatDouble(bytes_per_device, 1)});
+
+  // Resume from the year-25 checkpoint and finish the remaining 25 years.
+  DistrictConfig resume_cfg = ConfigFor(devices);
+  resume_cfg.snapshot.resume_from = straight.last_checkpoint_path;
+  start = Clock::now();
+  const DistrictReport resumed = RunDistrictScenario(resume_cfg);
+  const double resume_total = std::chrono::duration<double>(Clock::now() - start).count();
+  t.AddRow({"restore + run y25-50", FormatDouble(resume_total, 2), "25",
+            FormatDouble(snapshot_mb, 1), FormatDouble(bytes_per_device, 1)});
+
+  std::string field;
+  if (!ReportsMatch(straight, resumed, &field)) {
+    std::cerr << "PARITY FAILURE at " << devices << " devices: field " << field
+              << " differs between the straight and resumed runs\n";
+    return 1;
+  }
+  std::cout << "parity " << tag << ": resumed report matches the straight run\n\n";
+  t.Print(std::cout);
+
+  std::cout << "\nsave: " << FormatDouble(straight.save_seconds, 2) << "s for "
+            << FormatDouble(snapshot_mb, 1) << " MB ("
+            << FormatDouble(bytes_per_device, 1) << " B/device); restore: "
+            << FormatDouble(resumed.restore_seconds, 2) << "s\n";
+
+  bench.Add("save_seconds_" + tag, straight.save_seconds, "s");
+  bench.Add("restore_seconds_" + tag, resumed.restore_seconds, "s");
+  bench.Add("save_devices_per_sec_" + tag,
+            devices / std::max(straight.save_seconds, 1e-9), "1/s");
+  bench.Add("restore_devices_per_sec_" + tag,
+            devices / std::max(resumed.restore_seconds, 1e-9), "1/s");
+  bench.Add("snapshot_bytes_per_device_" + tag, bytes_per_device, "B");
+  bench.Add("snapshot_mb_" + tag, snapshot_mb, "MB");
+  bench.Add("resume_total_seconds_" + tag, resume_total, "s");
+  bench.Add("parity_checks_passed", 1.0, "count");
+
+  fs::remove_all(dir);
+  const std::string path = bench.WriteFile();
+  if (!path.empty()) {
+    std::cout << "Wrote " << path << "\n";
+  }
+  return 0;
+}

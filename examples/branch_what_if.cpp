@@ -1,0 +1,68 @@
+// Branching what-if runs: simulate a district once up to a decision point,
+// checkpoint it, then fan out policy variants from that exact frozen state.
+// Every branch resumes from the same snapshot, so the variants share their
+// entire pre-branch history — failures, repairs, RNG draws and all — and
+// differ only through the policy change itself (common random numbers).
+// The shared 20 years are simulated once, not once per variant.
+
+#include <cstdio>
+#include <iostream>
+
+#include "src/core/district.h"
+#include "src/core/experiment_api.h"
+#include "src/snapshot/branch.h"
+#include "src/telemetry/report.h"
+
+int main() {
+  using namespace centsim;
+
+  // The baseline district: 40 years, batch replacement sweeps every 6.
+  DistrictConfig base;
+  base.seed = 2021;
+  base.device_count = 2000;
+  base.area_km2 = 12.5;
+  base.horizon = SimTime::Years(40);
+  base.batch_cycle = SimTime::Years(6);
+
+  // Run the first half with a checkpoint at the year-20 decision point.
+  DistrictConfig parent_cfg = base;
+  parent_cfg.snapshot.checkpoint_every = SimTime::Years(20);
+  parent_cfg.snapshot.checkpoint_dir = "what_if_checkpoints";
+  const DistrictReport parent = RunDistrictScenario(parent_cfg);
+  std::printf("parent run: %u checkpoint(s), latest %s (%.1f MB)\n\n",
+              parent.checkpoints_written, parent.last_checkpoint_path.c_str(),
+              parent.last_checkpoint_bytes / (1024.0 * 1024.0));
+
+  // What-if variants: only POLICY knobs may differ from the snapshot's
+  // config — structural changes (fleet size, area, seed...) are refused at
+  // restore time, because the frozen state would not describe them.
+  using Runner = BranchRunner<DistrictExperiment>;
+  std::vector<Runner::Branch> branches;
+  branches.push_back({"baseline", base});
+  DistrictConfig fast = base;
+  fast.gateway_repair_delay = SimTime::Days(3);
+  branches.push_back({"3-day gateway repairs", fast});
+  DistrictConfig slow = base;
+  slow.gateway_repair_delay = SimTime::Days(120);
+  branches.push_back({"120-day gateway repairs", slow});
+
+  BranchOptions opts;
+  opts.threads = ThreadPool::DefaultThreadCount();
+  const auto runs = Runner::Run(parent.last_checkpoint_path, branches, opts);
+
+  Table t({"branch", "service availability", "worst year", "gw repairs", "wall s"});
+  for (const auto& run : runs) {
+    t.AddRow({run.name, FormatPercent(run.report.mean_service_availability),
+              FormatPercent(run.report.min_yearly_service),
+              std::to_string(run.report.gateway_repairs), FormatDouble(run.wall_seconds, 2)});
+  }
+  t.Print(std::cout);
+
+  // The baseline branch IS the straight run: resuming with an unchanged
+  // config reproduces exactly what running 40 years in one go produces.
+  std::printf("\nbaseline branch matches straight run: %s\n",
+              runs[0].report.mean_service_availability == parent.mean_service_availability
+                  ? "yes (bit-identical)"
+                  : "NO — determinism bug");
+  return 0;
+}

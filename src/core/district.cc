@@ -3,16 +3,39 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
 
 #include "src/city/deployment.h"
 #include "src/core/fleet.h"
+#include "src/core/fleet_codec.h"
 #include "src/reliability/component.h"
 #include "src/sim/ensemble.h"
 #include "src/sim/flight_recorder.h"
 #include "src/sim/simulation.h"
+#include "src/snapshot/codec.h"
+#include "src/snapshot/snapshot.h"
+#include "src/snapshot/timer_table.h"
+#include "src/telemetry/run_manifest.h"
 
 namespace centsim {
 namespace {
+
+// Domain timer tags (TimerRecord.tag) — the district's event-reconstruction
+// registry. Operand meanings: visit a=zone b=cycle; gateway timers a=g;
+// device failure a=slot.
+constexpr uint64_t kTimerVisit = 1;
+constexpr uint64_t kTimerGatewayFail = 2;
+constexpr uint64_t kTimerGatewayRepair = 3;
+constexpr uint64_t kTimerDeviceFail = 4;
+
+// Snapshot chunk tags.
+constexpr uint32_t kFleetChunk = SnapshotTag('f', 'l', 'e', 't');
+constexpr uint32_t kGatewayChunk = SnapshotTag('g', 'w', 's', 't');
+constexpr uint32_t kAccumChunk = SnapshotTag('a', 'c', 'c', 'u');
+constexpr uint32_t kTimerChunk = SnapshotTag('t', 'i', 'm', 'r');
+constexpr uint32_t kSchedChunk = SnapshotTag('s', 'c', 'h', 'd');
+constexpr uint32_t kMetricsChunk = SnapshotTag('m', 'e', 't', 'r');
 
 // District driver over DeviceFleet columns. Device hot state (alive flag,
 // operational-gateways-covering count, zone) lives in the fleet's SoA
@@ -21,6 +44,11 @@ namespace {
 // per-zone site lists so a batch visit walks its own zone instead of the
 // whole fleet. Scheduled closures capture [this, index] — two words, well
 // inside the event core's inline buffer.
+//
+// All domain timers route through a TimerTable, so a checkpoint at a
+// quiescent barrier can save every pending timer as a plain record and a
+// restored run can re-arm them in (time, seq) order — the registry pattern
+// that makes save-at-year-N/restore runs bit-identical to straight runs.
 class DistrictRun {
  public:
   DistrictRun(Simulation& sim, const DistrictConfig& config, DistrictReport& report)
@@ -28,6 +56,9 @@ class DistrictRun {
         config_(config),
         report_(report),
         fleet_(sim),
+        // Timer records exist only to be Save()d; a run that will never
+        // write a checkpoint routes timers through untracked (free).
+        timers_(sim.scheduler(), config.snapshot.checkpoint_every.micros() > 0),
         rng_(sim.StreamFor(0x646973740002ULL)),
         gateway_bom_(SeriesSystem::RaspberryPiGateway()),
         years_(static_cast<uint32_t>(std::ceil(config.horizon.ToYears()))),
@@ -77,20 +108,52 @@ class DistrictRun {
     batch.cycle_period = config_.batch_cycle;
     BatchProjectScheduler batches(sim_, batch,
                                   [this](uint32_t zone, uint32_t) { OnZoneVisit(zone); });
-    batches.ScheduleThrough(config_.horizon);
+    batches.SetVisitScheduler(
+        [this](SimTime at, uint32_t zone, uint32_t cycle) { ArmVisit(at, zone, cycle); });
+    RegisterTimerRearms();
 
-    for (uint32_t g = 0; g < gateway_sites_.size(); ++g) {
-      SetGateway(g, true);
-      ScheduleGatewayFailure(g);
+    std::string resume_path = config_.snapshot.resume_from;
+    if (resume_path.empty() && config_.snapshot.resume_latest) {
+      resume_path = FindLatestValidSnapshot(config_.snapshot.checkpoint_dir);
     }
-    for (uint32_t d = 0; d < config_.device_count; ++d) {
-      DeployDevice(d);
+    if (!resume_path.empty()) {
+      const auto restore_start = std::chrono::steady_clock::now();
+      std::string error;
+      if (!RestoreFrom(resume_path, &error)) {
+        CheckConfigOrDie("district", {"cannot resume from " + resume_path + ": " + error});
+      }
+      report_.restore_seconds = std::chrono::duration<double>(
+                                    std::chrono::steady_clock::now() - restore_start)
+                                    .count();
+    } else {
+      batches.ScheduleThrough(config_.horizon);
+      for (uint32_t g = 0; g < gateway_sites_.size(); ++g) {
+        SetGateway(g, true);
+        ScheduleGatewayFailure(g);
+      }
+      for (uint32_t d = 0; d < config_.device_count; ++d) {
+        DeployDevice(d);
+      }
     }
 
     const auto wall_start = std::chrono::steady_clock::now();
+    if (config_.snapshot.checkpoint_every.micros() > 0) {
+      // Checkpoints land on fixed multiples of the period regardless of
+      // where the run (re)started, so straight and resumed runs agree on
+      // barrier times.
+      const int64_t every = config_.snapshot.checkpoint_every.micros();
+      std::error_code ec;
+      std::filesystem::create_directories(config_.snapshot.checkpoint_dir, ec);
+      for (int64_t next = (sim_.Now().micros() / every + 1) * every;
+           next < config_.horizon.micros(); next += every) {
+        sim_.scheduler().DrainToBarrier(SimTime::Micros(next));
+        SaveCheckpoint(SimTime::Micros(next));
+      }
+    }
     sim_.RunUntil(config_.horizon);
     report_.wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count() -
+        report_.save_seconds;
     AccumulateTo(config_.horizon);
     report_.events_executed = sim_.scheduler().executed_count();
     report_.fleet_bytes_per_device = fleet_.BytesPerDevice();
@@ -150,20 +213,59 @@ class DistrictRun {
     }
   }
 
+  // --- Domain timers (all routed through the TimerTable) ------------------
+
+  void ArmVisit(SimTime at, uint32_t zone, uint32_t cycle) {
+    timers_.Schedule(at, kTimerVisit, zone, cycle, 0.0,
+                     [this, zone] { OnZoneVisit(zone); });
+  }
+
+  void ArmGatewayFailure(SimTime at, uint32_t g) {
+    timers_.Schedule(at, kTimerGatewayFail, g, 0, 0.0, [this, g] { OnGatewayFailure(g); });
+  }
+
+  void ArmGatewayRepair(SimTime at, uint32_t g) {
+    timers_.Schedule(at, kTimerGatewayRepair, g, 0, 0.0, [this, g] { OnGatewayRepair(g); });
+  }
+
+  void ArmDeviceFailure(SimTime at, uint32_t d) {
+    timers_.Schedule(at, kTimerDeviceFail, d, 0, 0.0, [this, d] { OnDeviceFailure(d); });
+  }
+
+  void RegisterTimerRearms() {
+    timers_.Register(kTimerVisit, [this](const TimerRecord& r) {
+      ArmVisit(SimTime::Micros(r.at_us), static_cast<uint32_t>(r.a),
+               static_cast<uint32_t>(r.b));
+    });
+    timers_.Register(kTimerGatewayFail, [this](const TimerRecord& r) {
+      ArmGatewayFailure(SimTime::Micros(r.at_us), static_cast<uint32_t>(r.a));
+    });
+    timers_.Register(kTimerGatewayRepair, [this](const TimerRecord& r) {
+      ArmGatewayRepair(SimTime::Micros(r.at_us), static_cast<uint32_t>(r.a));
+    });
+    timers_.Register(kTimerDeviceFail, [this](const TimerRecord& r) {
+      ArmDeviceFailure(SimTime::Micros(r.at_us), static_cast<uint32_t>(r.a));
+    });
+  }
+
   void ScheduleGatewayFailure(uint32_t g) {
     RandomStream gw_rng = rng_.Derive(0x67770000ULL + g * 131 + report_.gateway_failures);
     const SimTime life = gateway_bom_.SampleLife(gw_rng).life;
-    sim_.scheduler().ScheduleAfter(life, [this, g] {
-      ++report_.gateway_failures;
-      RecordControl("district.gateway_fail", g);
-      SetGateway(g, false);
-      sim_.scheduler().ScheduleAfter(config_.gateway_repair_delay, [this, g] {
-        ++report_.gateway_repairs;
-        RecordControl("district.gateway_repair", g);
-        SetGateway(g, true);
-        ScheduleGatewayFailure(g);
-      });
-    });
+    ArmGatewayFailure(sim_.Now() + life, g);
+  }
+
+  void OnGatewayFailure(uint32_t g) {
+    ++report_.gateway_failures;
+    RecordControl("district.gateway_fail", g);
+    SetGateway(g, false);
+    ArmGatewayRepair(sim_.Now() + config_.gateway_repair_delay, g);
+  }
+
+  void OnGatewayRepair(uint32_t g) {
+    ++report_.gateway_repairs;
+    RecordControl("district.gateway_repair", g);
+    SetGateway(g, true);
+    ScheduleGatewayFailure(g);
   }
 
   void DeployDevice(uint32_t d) {
@@ -177,14 +279,16 @@ class DistrictRun {
     RandomStream dev_rng = rng_.Derive(0x64650000ULL + static_cast<uint64_t>(d) * 977 +
                                        report_.device_replacements);
     const SimTime life = fleet_.class_spec(cls_).hardware.SampleLife(dev_rng).life;
-    sim_.scheduler().ScheduleAfter(life, [this, d] {
-      AccumulateTo(sim_.Now());
-      if (InService(d)) {
-        --service_count_;
-      }
-      fleet_.MarkFailedAt(d);
-      ++report_.device_failures;
-    });
+    ArmDeviceFailure(sim_.Now() + life, d);
+  }
+
+  void OnDeviceFailure(uint32_t d) {
+    AccumulateTo(sim_.Now());
+    if (InService(d)) {
+      --service_count_;
+    }
+    fleet_.MarkFailedAt(d);
+    ++report_.device_failures;
   }
 
   void OnZoneVisit(uint32_t zone) {
@@ -195,6 +299,208 @@ class DistrictRun {
         DeployDevice(d);
       }
     }
+  }
+
+  // --- Checkpoint/restore -------------------------------------------------
+
+  // Canonical encoding of everything the constructor rebuilds from config.
+  // Two runs with equal digests rebuild identical geometry, coverage, zone
+  // lists, and RNG derivation roots, so overlaying a snapshot's mutable
+  // state is sound. Policy fields consumed at event time (repair delay) are
+  // deliberately absent — those are what branches vary.
+  std::string StructuralDigest() const {
+    ByteWriter w;
+    w.U64(config_.seed);
+    w.U32(config_.device_count);
+    w.F64(config_.area_km2);
+    w.U32(config_.zone_grid);
+    w.I64(config_.horizon.micros());
+    w.F64(config_.gateway_range_m);
+    w.I64(config_.batch_cycle.micros());
+    w.U8(static_cast<uint8_t>(config_.device_class));
+    return StructuralDigestHex(w);
+  }
+
+  void SaveCheckpoint(SimTime barrier) {
+    const auto save_start = std::chrono::steady_clock::now();
+    SnapshotMeta meta;
+    meta.experiment = "district";
+    meta.library_version = kCentsimVersion;
+    meta.structural_digest = StructuralDigest();
+    meta.barrier_us = barrier.micros();
+    meta.seed = config_.seed;
+    SnapshotWriter writer(std::move(meta));
+
+    ByteWriter fleet;
+    fleet.U64(config_.device_count);
+    for (uint32_t d = 0; d < config_.device_count; ++d) {
+      EncodeFleetSlot(fleet_.SaveSlotState(d), fleet);
+    }
+    fleet.U64(fleet_.class_count());
+    for (uint32_t c = 0; c < fleet_.class_count(); ++c) {
+      fleet.U64(fleet_.class_replacements(c));
+    }
+    writer.Add(kFleetChunk, fleet);
+
+    ByteWriter gw;
+    gw.U64(gateway_up_.size());
+    for (uint8_t up : gateway_up_) {
+      gw.U8(up);
+    }
+    writer.Add(kGatewayChunk, gw);
+
+    ByteWriter acc;
+    acc.U64(service_count_);
+    acc.I64(last_change_.micros());
+    acc.F64(alive_site_seconds_);
+    acc.F64(service_site_seconds_);
+    acc.F64Vec(yearly_service_seconds_);
+    acc.U64(report_.device_failures);
+    acc.U64(report_.device_replacements);
+    acc.U64(report_.gateway_failures);
+    acc.U64(report_.gateway_repairs);
+    writer.Add(kAccumChunk, acc);
+
+    ByteWriter timers;
+    TimerTable::Encode(timers_.Save(), timers);
+    writer.Add(kTimerChunk, timers);
+
+    ByteWriter sched;
+    sched.I64(sim_.Now().micros());
+    sched.U64(sim_.scheduler().executed_count());
+    sched.U64(sim_.scheduler().late_schedule_count());
+    writer.Add(kSchedChunk, sched);
+
+    if (config_.metrics != nullptr) {
+      ByteWriter m;
+      EncodeMetrics(*config_.metrics, m);
+      writer.Add(kMetricsChunk, m);
+    }
+
+    const std::string path =
+        config_.snapshot.checkpoint_dir + "/" + CheckpointFileName(barrier.micros());
+    std::string error;
+    const uint64_t bytes = writer.Write(path, &error);
+    if (bytes == 0) {
+      std::fprintf(stderr, "[district] checkpoint write failed: %s\n", error.c_str());
+      return;
+    }
+    // Marker only after the snapshot is durable: readers of LATEST.json
+    // (resume, the run-status watchdog) always see a complete checkpoint.
+    WriteLatestMarker(config_.snapshot.checkpoint_dir, path, barrier.micros());
+    ++report_.checkpoints_written;
+    report_.last_checkpoint_bytes = bytes;
+    report_.last_checkpoint_path = path;
+    report_.save_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - save_start).count();
+    RecordControl("district.checkpoint", static_cast<uint64_t>(barrier.micros()));
+  }
+
+  bool RestoreFrom(const std::string& path, std::string* error) {
+    SnapshotReader reader;
+    if (!reader.Open(path, error)) {
+      return false;
+    }
+    if (reader.meta().experiment != "district") {
+      *error = "snapshot is for experiment '" + reader.meta().experiment + "', not district";
+      return false;
+    }
+    if (reader.meta().structural_digest != StructuralDigest()) {
+      *error =
+          "structural config mismatch (snapshot " + reader.meta().structural_digest +
+          ", this run " + StructuralDigest() +
+          "): seed/geometry/horizon must match the saving run; only policy fields may differ";
+      return false;
+    }
+
+    ByteReader fleet = reader.Chunk(kFleetChunk);
+    if (fleet.U64() != config_.device_count) {
+      *error = "snapshot fleet size does not match config";
+      return false;
+    }
+    for (uint32_t d = 0; d < config_.device_count && fleet.ok(); ++d) {
+      fleet_.RestoreSlotState(d, DecodeFleetSlot(fleet));
+    }
+    if (fleet.U64() != fleet_.class_count()) {
+      *error = "snapshot class count does not match config";
+      return false;
+    }
+    for (uint32_t c = 0; c < fleet_.class_count() && fleet.ok(); ++c) {
+      fleet_.RestoreClassReplacements(c, fleet.U64());
+    }
+    if (!fleet.ok()) {
+      *error = "fleet chunk truncated";
+      return false;
+    }
+
+    ByteReader gw = reader.Chunk(kGatewayChunk);
+    if (gw.U64() != gateway_up_.size()) {
+      *error = "snapshot gateway count does not match config";
+      return false;
+    }
+    for (size_t g = 0; g < gateway_up_.size() && gw.ok(); ++g) {
+      gateway_up_[g] = gw.U8();
+    }
+    if (!gw.ok()) {
+      *error = "gateway chunk truncated";
+      return false;
+    }
+
+    ByteReader acc = reader.Chunk(kAccumChunk);
+    service_count_ = acc.U64();
+    last_change_ = SimTime::Micros(acc.I64());
+    alive_site_seconds_ = acc.F64();
+    service_site_seconds_ = acc.F64();
+    const std::vector<double> yearly = acc.F64Vec();
+    report_.device_failures = acc.U64();
+    report_.device_replacements = acc.U64();
+    report_.gateway_failures = acc.U64();
+    report_.gateway_repairs = acc.U64();
+    if (!acc.ok() || yearly.size() != yearly_service_seconds_.size()) {
+      *error = "accumulator chunk truncated or mis-shaped";
+      return false;
+    }
+    yearly_service_seconds_ = yearly;
+
+    if (config_.metrics != nullptr && reader.HasChunk(kMetricsChunk)) {
+      ByteReader m = reader.Chunk(kMetricsChunk);
+      if (DecodeMetricsOverlay(m, *config_.metrics) == SIZE_MAX) {
+        *error = "metrics chunk undecodable";
+        return false;
+      }
+    }
+    fleet_.RecountAggregates();
+
+    ByteReader sched = reader.Chunk(kSchedChunk);
+    const SimTime now = SimTime::Micros(sched.I64());
+    const uint64_t executed = sched.U64();
+    const uint64_t late = sched.U64();
+    if (!sched.ok()) {
+      *error = "scheduler chunk truncated";
+      return false;
+    }
+    // Clock before timers: re-armed ScheduleAt calls must see the barrier
+    // as "now" so none of them count as late.
+    sim_.scheduler().RestoreClock(now, executed, late);
+
+    ByteReader tr = reader.Chunk(kTimerChunk);
+    const std::vector<TimerRecord> records = TimerTable::Decode(tr);
+    if (!tr.ok()) {
+      *error = "timer chunk truncated";
+      return false;
+    }
+    if (timers_.Restore(records) != 0) {
+      *error = "snapshot carries timer tags this driver does not register";
+      return false;
+    }
+
+    // What-if divergence: re-key the driver's RNG root so post-restore
+    // lifetime draws explore a different future than the parent run. The
+    // default (salt 0) keeps the parent's streams — common random numbers.
+    if (config_.snapshot.branch_salt != 0) {
+      rng_ = rng_.Derive(config_.snapshot.branch_salt);
+    }
+    return true;
   }
 
   // Subsystem flight-recorder append (no-op without a recorder): rare
@@ -210,6 +516,7 @@ class DistrictRun {
   DistrictReport& report_;
   DeviceFleet fleet_;
   uint32_t cls_ = 0;
+  TimerTable timers_;
   RandomStream rng_;
   const SeriesSystem gateway_bom_;
   const uint32_t years_;
@@ -253,6 +560,9 @@ std::vector<std::string> DistrictConfig::Validate() const {
   }
   if (gateway_repair_delay.micros() < 0) {
     diagnostics.push_back("negative gateway_repair_delay: repairs cannot complete in the past");
+  }
+  for (std::string& diagnostic : snapshot.Validate()) {
+    diagnostics.push_back(std::move(diagnostic));
   }
   return diagnostics;
 }

@@ -21,6 +21,7 @@
 #include "src/mgmt/batch_project.h"
 #include "src/sim/run_progress.h"
 #include "src/sim/time.h"
+#include "src/snapshot/snapshot_plan.h"
 
 namespace centsim {
 
@@ -50,6 +51,13 @@ struct DistrictConfig {
   // status_dir is configured; inert by default.
   RunControlHooks control;
 
+  // Checkpoint/restore plan (src/snapshot). Structural fields above (seed,
+  // device_count, area_km2, zone_grid, horizon, gateway_range_m,
+  // batch_cycle, device_class) are pinned by the snapshot's structural
+  // digest; policy fields (gateway_repair_delay) may differ between the
+  // saving run and a resumed/branched run.
+  SnapshotPlan snapshot;
+
   // Actionable diagnostics (empty = valid); RunDistrictScenario fails
   // fast on any diagnostic instead of running silently to garbage.
   std::vector<std::string> Validate() const;
@@ -72,6 +80,13 @@ struct DistrictReport {
   double wall_seconds = 0.0;           // sim.RunUntil only.
   double build_seconds = 0.0;          // Geometry + fleet construction.
   double fleet_bytes_per_device = 0.0; // SoA column bytes per slot.
+
+  // Checkpoint accounting (excluded from parity digests).
+  double restore_seconds = 0.0;        // 0 when the run started fresh.
+  double save_seconds = 0.0;           // Total across checkpoints written.
+  uint32_t checkpoints_written = 0;
+  uint64_t last_checkpoint_bytes = 0;
+  std::string last_checkpoint_path;
 
   // Availability lost to the gateway tier rather than the devices.
   double CoverageLoss() const {

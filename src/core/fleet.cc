@@ -257,6 +257,56 @@ SimTime DeviceFleet::EstimateNextAffordableAt(uint32_t slot, SimTime now, double
                                            record.spec.load, energy_[slot].storage, now, joules);
 }
 
+DeviceFleet::SlotState DeviceFleet::SaveSlotState(uint32_t slot) const {
+  SlotState s;
+  s.alive = alive_[slot];
+  s.handle_generation = handle_gen_[slot];
+  s.unit_generation = unit_gen_[slot];
+  s.deployed_at_us = deployed_at_[slot].micros();
+  s.failed_at_us = failed_at_[slot].micros();
+  s.deadline_us = deadline_[slot].micros();
+  s.covering = covering_[slot];
+  s.charge_j = energy_[slot].storage.charge_j;
+  s.capacity_now_j = energy_[slot].storage.capacity_now_j;
+  s.energy_last_update_us = energy_[slot].storage.last_update.micros();
+  s.energy_last_advance_us = energy_[slot].last_advance.micros();
+  s.tx_granted = tx_[slot].tx_granted;
+  s.tx_denied = tx_[slot].tx_denied;
+  return s;
+}
+
+void DeviceFleet::RestoreSlotState(uint32_t slot, const SlotState& s) {
+  alive_[slot] = s.alive;
+  handle_gen_[slot] = s.handle_generation;
+  unit_gen_[slot] = s.unit_generation;
+  deployed_at_[slot] = SimTime::Micros(s.deployed_at_us);
+  failed_at_[slot] = SimTime::Micros(s.failed_at_us);
+  deadline_[slot] = SimTime::Micros(s.deadline_us);
+  failure_event_[slot] = kInvalidEventId;  // Rebuilt by timer re-arm.
+  covering_[slot] = s.covering;
+  energy_[slot].storage.charge_j = s.charge_j;
+  energy_[slot].storage.capacity_now_j = s.capacity_now_j;
+  energy_[slot].storage.last_update = SimTime::Micros(s.energy_last_update_us);
+  energy_[slot].last_advance = SimTime::Micros(s.energy_last_advance_us);
+  tx_[slot].tx_granted = s.tx_granted;
+  tx_[slot].tx_denied = s.tx_denied;
+}
+
+void DeviceFleet::RecountAggregates() {
+  alive_count_ = 0;
+  covered_count_ = 0;
+  for (size_t slot = 0; slot < handle_gen_.size(); ++slot) {
+    if (alive_[slot] != 0) {
+      ++alive_count_;
+    }
+    if (covering_[slot] > 0) {
+      ++covered_count_;
+    }
+  }
+  MetricSet(alive_gauge_, static_cast<double>(alive_count_));
+  MetricSet(covered_gauge_, static_cast<double>(covered_count_));
+}
+
 void DeviceFleet::BindFleetMetricsFor(ClassRecord& record) {
   record.fleet_replacements =
       sim_.MetricCounter("fleet.replacements", {{"class", record.spec.name}});

@@ -184,6 +184,45 @@ class DeviceFleet {
   bool EnergyTryTransmit(uint32_t slot, SimTime now);
   SimTime EstimateNextAffordableAt(uint32_t slot, SimTime now, double joules) const;
 
+  // --- Checkpoint (src/snapshot drivers) ----------------------------------
+
+  // The mutable portion of one slot's columns: everything a checkpoint must
+  // carry. Geometry (position, zone, class, harvester) is rebuilt from the
+  // config by the restoring driver, and failure_event ids are rebuilt by
+  // timer re-arm, so neither appears here. Doubles round-trip as raw bit
+  // patterns so restored energy arithmetic continues bit-identically.
+  struct SlotState {
+    uint8_t alive = 0;
+    uint32_t handle_generation = 1;
+    uint32_t unit_generation = 0;
+    int64_t deployed_at_us = 0;
+    int64_t failed_at_us = 0;
+    int64_t deadline_us = 0;
+    uint32_t covering = 0;
+    double charge_j = 0.0;
+    double capacity_now_j = 0.0;
+    int64_t energy_last_update_us = 0;
+    int64_t energy_last_advance_us = 0;
+    uint64_t tx_granted = 0;
+    uint64_t tx_denied = 0;
+  };
+
+  SlotState SaveSlotState(uint32_t slot) const;
+  // Raw column overwrite; does not touch aggregates or gauges — call
+  // RecountAggregates() once after restoring every slot.
+  void RestoreSlotState(uint32_t slot, const SlotState& state);
+
+  // Recomputes alive_count_/covered_count_ from the columns and republishes
+  // the fleet gauges (when enabled).
+  void RecountAggregates();
+
+  // Restores a class's internal replacement tally. The associated metric
+  // counters are restored separately by the metrics overlay — this touches
+  // only the tally behind class_replacements().
+  void RestoreClassReplacements(uint32_t cls, uint64_t count) {
+    classes_[cls].replacement_count = count;
+  }
+
   // --- Observability ------------------------------------------------------
 
   // Binds fleet-level gauges (fleet.alive_devices, fleet.covered_sites) and

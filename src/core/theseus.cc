@@ -1,15 +1,35 @@
 #include "src/core/theseus.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
 
 #include "src/core/fleet.h"
+#include "src/core/fleet_codec.h"
 #include "src/sim/ensemble.h"
 #include "src/sim/flight_recorder.h"
 #include "src/sim/simulation.h"
+#include "src/snapshot/snapshot.h"
+#include "src/snapshot/timer_table.h"
+#include "src/telemetry/run_manifest.h"
 
 namespace centsim {
 namespace {
+
+// Domain timer tags (TimerRecord.tag). Operand meanings: visit a=zone
+// b=cycle; site failure a=site index, b=sampled unit life in micros (the
+// failure handler feeds it to the survival estimator).
+constexpr uint64_t kTimerVisit = 1;
+constexpr uint64_t kTimerSiteFail = 2;
+
+// Snapshot chunk tags.
+constexpr uint32_t kFleetChunk = SnapshotTag('f', 'l', 'e', 't');
+constexpr uint32_t kAccumChunk = SnapshotTag('a', 'c', 'c', 'u');
+constexpr uint32_t kSurvivalChunk = SnapshotTag('s', 'u', 'r', 'v');
+constexpr uint32_t kTimerChunk = SnapshotTag('t', 'i', 'm', 'r');
+constexpr uint32_t kSchedChunk = SnapshotTag('s', 'c', 'h', 'd');
 
 // Century-run driver over DeviceFleet columns. Sites are fleet slots
 // (slot == site index on the fresh fleet); per-site hot state — alive flag,
@@ -17,6 +37,10 @@ namespace {
 // fleet columns instead of a local object vector, and the deploy/failure
 // routines are member functions scheduled through InlineFn-sized captures
 // ([this, idx, life]) instead of per-site std::function closures.
+//
+// Domain timers route through a TimerTable (see src/snapshot/timer_table.h)
+// so checkpoints can save pending visits and failures as plain records and
+// restored runs re-arm them bit-identically.
 class CenturyRun {
  public:
   CenturyRun(Simulation& sim, const CenturyConfig& config, CenturyReport& report)
@@ -24,6 +48,9 @@ class CenturyRun {
         config_(config),
         report_(report),
         fleet_(sim),
+        // Timer records exist only to be Save()d; a run that will never
+        // write a checkpoint routes timers through untracked (free).
+        timers_(sim.scheduler(), config.snapshot.checkpoint_every.micros() > 0),
         rng_(sim.StreamFor(0x7468657365757300ULL)),
         years_(static_cast<uint32_t>(std::ceil(config.horizon.ToYears()))),
         yearly_alive_seconds_(years_, 0.0) {
@@ -46,13 +73,42 @@ class CenturyRun {
                                     (void)cycle;
                                     OnZoneVisit(zone);
                                   });
-    batches.ScheduleThrough(config_.horizon);
+    batches.SetVisitScheduler(
+        [this](SimTime at, uint32_t zone, uint32_t cycle) { ArmVisit(at, zone, cycle); });
+    RegisterTimerRearms();
 
-    // Initial roll-out: all sites deployed in year 0.
-    for (uint32_t idx = 0; idx < config_.fleet_size; ++idx) {
-      DeploySite(idx);
+    std::string resume_path = config_.snapshot.resume_from;
+    if (resume_path.empty() && config_.snapshot.resume_latest) {
+      resume_path = FindLatestValidSnapshot(config_.snapshot.checkpoint_dir);
+    }
+    if (!resume_path.empty()) {
+      const auto restore_start = std::chrono::steady_clock::now();
+      std::string error;
+      if (!RestoreFrom(resume_path, &error)) {
+        CheckConfigOrDie("century", {"cannot resume from " + resume_path + ": " + error});
+      }
+      report_.restore_seconds = std::chrono::duration<double>(
+                                    std::chrono::steady_clock::now() - restore_start)
+                                    .count();
+    } else {
+      batches.ScheduleThrough(config_.horizon);
+      // Initial roll-out: all sites deployed in year 0.
+      for (uint32_t idx = 0; idx < config_.fleet_size; ++idx) {
+        DeploySite(idx);
+      }
     }
 
+    if (config_.snapshot.checkpoint_every.micros() > 0) {
+      // Fixed barrier grid regardless of where the run (re)started.
+      const int64_t every = config_.snapshot.checkpoint_every.micros();
+      std::error_code ec;
+      std::filesystem::create_directories(config_.snapshot.checkpoint_dir, ec);
+      for (int64_t next = (sim_.Now().micros() / every + 1) * every;
+           next < config_.horizon.micros(); next += every) {
+        sim_.scheduler().DrainToBarrier(SimTime::Micros(next));
+        SaveCheckpoint(SimTime::Micros(next));
+      }
+    }
     sim_.RunUntil(config_.horizon);
     AccumulateTo(config_.horizon);
     report_.events_executed = sim_.scheduler().executed_count();
@@ -105,6 +161,31 @@ class CenturyRun {
     last_change_ = now;
   }
 
+  // --- Domain timers (all routed through the TimerTable) ------------------
+
+  void ArmVisit(SimTime at, uint32_t zone, uint32_t cycle) {
+    timers_.Schedule(at, kTimerVisit, zone, cycle, 0.0,
+                     [this, zone] { OnZoneVisit(zone); });
+  }
+
+  void ArmSiteFailure(SimTime at, uint32_t idx, SimTime life) {
+    fleet_.set_failure_event(
+        idx, timers_.Schedule(at, kTimerSiteFail, idx,
+                              static_cast<uint64_t>(life.micros()), 0.0,
+                              [this, idx, life] { OnSiteFailure(idx, life); }));
+  }
+
+  void RegisterTimerRearms() {
+    timers_.Register(kTimerVisit, [this](const TimerRecord& r) {
+      ArmVisit(SimTime::Micros(r.at_us), static_cast<uint32_t>(r.a),
+               static_cast<uint32_t>(r.b));
+    });
+    timers_.Register(kTimerSiteFail, [this](const TimerRecord& r) {
+      ArmSiteFailure(SimTime::Micros(r.at_us), static_cast<uint32_t>(r.a),
+                     SimTime::Micros(static_cast<int64_t>(r.b)));
+    });
+  }
+
   void DeploySite(uint32_t idx) {
     AccumulateTo(sim_.Now());
     fleet_.DeployAt(idx);
@@ -118,9 +199,7 @@ class CenturyRun {
     const SimTime life =
         fleet_.class_spec(cls_).hardware.SampleLife(site_rng).life * life_scale;
 
-    fleet_.set_failure_event(
-        idx, sim_.scheduler().ScheduleAfter(life,
-                                            [this, idx, life] { OnSiteFailure(idx, life); }));
+    ArmSiteFailure(sim_.Now() + life, idx, life);
   }
 
   void OnSiteFailure(uint32_t idx, SimTime life) {
@@ -147,10 +226,12 @@ class CenturyRun {
       }
       if (config_.proactive_refresh_age.micros() > 0 &&
           sim_.Now() - fleet_.deployed_at(idx) >= config_.proactive_refresh_age) {
-        // Retire a working-but-old unit during the project visit.
+        // Retire a working-but-old unit during the project visit. The
+        // cancel goes through the timer table so the pending record is
+        // released with the event.
         const EventId failure = fleet_.failure_event(idx);
         if (failure != kInvalidEventId) {
-          sim_.scheduler().Cancel(failure);
+          timers_.Cancel(failure);
           fleet_.set_failure_event(idx, kInvalidEventId);
         }
         report_.unit_survival.Observe(sim_.Now() - fleet_.deployed_at(idx), /*failed=*/false);
@@ -162,11 +243,193 @@ class CenturyRun {
     }
   }
 
+  // --- Checkpoint/restore -------------------------------------------------
+
+  // Structural fields the constructor + visit pre-scheduling bake into the
+  // run. Policy fields read at event time (proactive_refresh_age,
+  // life_improvement_per_decade) are absent — branches vary those.
+  std::string StructuralDigest() const {
+    ByteWriter w;
+    w.U64(config_.seed);
+    w.U32(config_.fleet_size);
+    w.I64(config_.horizon.micros());
+    w.U8(static_cast<uint8_t>(config_.device_class));
+    w.U32(config_.batch.zone_count);
+    w.I64(config_.batch.cycle_period.micros());
+    w.I64(config_.batch.visit_jitter.micros());
+    return StructuralDigestHex(w);
+  }
+
+  void SaveCheckpoint(SimTime barrier) {
+    const auto save_start = std::chrono::steady_clock::now();
+    SnapshotMeta meta;
+    meta.experiment = "century";
+    meta.library_version = kCentsimVersion;
+    meta.structural_digest = StructuralDigest();
+    meta.barrier_us = barrier.micros();
+    meta.seed = config_.seed;
+    SnapshotWriter writer(std::move(meta));
+
+    ByteWriter fleet;
+    fleet.U64(config_.fleet_size);
+    for (uint32_t idx = 0; idx < config_.fleet_size; ++idx) {
+      EncodeFleetSlot(fleet_.SaveSlotState(idx), fleet);
+    }
+    fleet.U64(fleet_.class_count());
+    for (uint32_t c = 0; c < fleet_.class_count(); ++c) {
+      fleet.U64(fleet_.class_replacements(c));
+    }
+    writer.Add(kFleetChunk, fleet);
+
+    ByteWriter acc;
+    acc.I64(last_change_.micros());
+    acc.F64(alive_site_seconds_);
+    acc.F64Vec(yearly_alive_seconds_);
+    acc.U64(report_.total_failures);
+    acc.U64(report_.total_replacements);
+    acc.U64(report_.proactive_replacements);
+    acc.U64(report_.units_deployed);
+    writer.Add(kAccumChunk, acc);
+
+    ByteWriter surv;
+    const auto& observations = report_.unit_survival.observations();
+    surv.U64(observations.size());
+    for (const SurvivalObservation& o : observations) {
+      surv.I64(o.time.micros());
+      surv.U8(o.failed ? 1 : 0);
+    }
+    writer.Add(kSurvivalChunk, surv);
+
+    ByteWriter timers;
+    TimerTable::Encode(timers_.Save(), timers);
+    writer.Add(kTimerChunk, timers);
+
+    ByteWriter sched;
+    sched.I64(sim_.Now().micros());
+    sched.U64(sim_.scheduler().executed_count());
+    sched.U64(sim_.scheduler().late_schedule_count());
+    writer.Add(kSchedChunk, sched);
+
+    const std::string path =
+        config_.snapshot.checkpoint_dir + "/" + CheckpointFileName(barrier.micros());
+    std::string error;
+    const uint64_t bytes = writer.Write(path, &error);
+    if (bytes == 0) {
+      std::fprintf(stderr, "[century] checkpoint write failed: %s\n", error.c_str());
+      return;
+    }
+    WriteLatestMarker(config_.snapshot.checkpoint_dir, path, barrier.micros());
+    ++report_.checkpoints_written;
+    report_.last_checkpoint_bytes = bytes;
+    report_.last_checkpoint_path = path;
+    report_.save_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - save_start).count();
+  }
+
+  bool RestoreFrom(const std::string& path, std::string* error) {
+    SnapshotReader reader;
+    if (!reader.Open(path, error)) {
+      return false;
+    }
+    if (reader.meta().experiment != "century") {
+      *error = "snapshot is for experiment '" + reader.meta().experiment + "', not century";
+      return false;
+    }
+    if (reader.meta().structural_digest != StructuralDigest()) {
+      *error =
+          "structural config mismatch (snapshot " + reader.meta().structural_digest +
+          ", this run " + StructuralDigest() +
+          "): seed/fleet/horizon must match the saving run; only policy fields may differ";
+      return false;
+    }
+
+    ByteReader fleet = reader.Chunk(kFleetChunk);
+    if (fleet.U64() != config_.fleet_size) {
+      *error = "snapshot fleet size does not match config";
+      return false;
+    }
+    for (uint32_t idx = 0; idx < config_.fleet_size && fleet.ok(); ++idx) {
+      fleet_.RestoreSlotState(idx, DecodeFleetSlot(fleet));
+    }
+    if (fleet.U64() != fleet_.class_count()) {
+      *error = "snapshot class count does not match config";
+      return false;
+    }
+    for (uint32_t c = 0; c < fleet_.class_count() && fleet.ok(); ++c) {
+      fleet_.RestoreClassReplacements(c, fleet.U64());
+    }
+    if (!fleet.ok()) {
+      *error = "fleet chunk truncated";
+      return false;
+    }
+    fleet_.RecountAggregates();
+
+    ByteReader acc = reader.Chunk(kAccumChunk);
+    last_change_ = SimTime::Micros(acc.I64());
+    alive_site_seconds_ = acc.F64();
+    const std::vector<double> yearly = acc.F64Vec();
+    report_.total_failures = acc.U64();
+    report_.total_replacements = acc.U64();
+    report_.proactive_replacements = acc.U64();
+    report_.units_deployed = acc.U64();
+    if (!acc.ok() || yearly.size() != yearly_alive_seconds_.size()) {
+      *error = "accumulator chunk truncated or mis-shaped";
+      return false;
+    }
+    yearly_alive_seconds_ = yearly;
+
+    ByteReader surv = reader.Chunk(kSurvivalChunk);
+    const uint64_t observation_count = surv.U64();
+    // 9 bytes per observation; clamp before trusting the count.
+    if (!surv.ok() || observation_count > surv.remaining() / 9) {
+      *error = "survival chunk truncated";
+      return false;
+    }
+    for (uint64_t i = 0; i < observation_count && surv.ok(); ++i) {
+      const SimTime time = SimTime::Micros(surv.I64());
+      const bool failed = surv.U8() != 0;
+      report_.unit_survival.Observe(time, failed);
+    }
+    if (!surv.ok()) {
+      *error = "survival chunk truncated";
+      return false;
+    }
+
+    ByteReader sched = reader.Chunk(kSchedChunk);
+    const SimTime now = SimTime::Micros(sched.I64());
+    const uint64_t executed = sched.U64();
+    const uint64_t late = sched.U64();
+    if (!sched.ok()) {
+      *error = "scheduler chunk truncated";
+      return false;
+    }
+    // Clock before timers: re-armed ScheduleAt calls must see the barrier
+    // as "now".
+    sim_.scheduler().RestoreClock(now, executed, late);
+
+    ByteReader tr = reader.Chunk(kTimerChunk);
+    const std::vector<TimerRecord> records = TimerTable::Decode(tr);
+    if (!tr.ok()) {
+      *error = "timer chunk truncated";
+      return false;
+    }
+    if (timers_.Restore(records) != 0) {
+      *error = "snapshot carries timer tags this driver does not register";
+      return false;
+    }
+
+    if (config_.snapshot.branch_salt != 0) {
+      rng_ = rng_.Derive(config_.snapshot.branch_salt);
+    }
+    return true;
+  }
+
   Simulation& sim_;
   const CenturyConfig& config_;
   CenturyReport& report_;
   DeviceFleet fleet_;
   uint32_t cls_ = 0;
+  TimerTable timers_;
   RandomStream rng_;
   const uint32_t years_;
 
@@ -198,6 +461,9 @@ std::vector<std::string> CenturyConfig::Validate() const {
   }
   if (life_improvement_per_decade <= 0.0) {
     diagnostics.push_back("life_improvement_per_decade must be positive (1.0 = no improvement)");
+  }
+  for (std::string& diagnostic : snapshot.Validate()) {
+    diagnostics.push_back(std::move(diagnostic));
   }
   return diagnostics;
 }

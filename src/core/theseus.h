@@ -26,6 +26,7 @@
 #include "src/reliability/survival.h"
 #include "src/sim/run_progress.h"
 #include "src/sim/time.h"
+#include "src/snapshot/snapshot_plan.h"
 #include "src/telemetry/timeseries.h"
 
 namespace centsim {
@@ -54,6 +55,13 @@ struct CenturyConfig {
   // status_dir is configured; inert by default.
   RunControlHooks control;
 
+  // Checkpoint/restore plan (src/snapshot). Structural fields (seed,
+  // fleet_size, horizon, device_class, batch cadence) are pinned by the
+  // snapshot's structural digest; policy fields (proactive_refresh_age,
+  // life_improvement_per_decade) may differ between the saving run and a
+  // resumed/branched run.
+  SnapshotPlan snapshot;
+
   // Actionable diagnostics (empty = valid); RunCenturyScenario fails
   // fast on any diagnostic instead of running silently to garbage.
   std::vector<std::string> Validate() const;
@@ -70,6 +78,13 @@ struct CenturyReport {
   KaplanMeier unit_survival;
   double max_unit_generations = 0.0;    // Highest generation count a site saw.
   uint64_t events_executed = 0;
+
+  // Checkpoint accounting (excluded from parity digests).
+  double restore_seconds = 0.0;         // 0 when the run started fresh.
+  double save_seconds = 0.0;            // Total across checkpoints written.
+  uint32_t checkpoints_written = 0;
+  uint64_t last_checkpoint_bytes = 0;
+  std::string last_checkpoint_path;
 };
 
 CenturyReport RunCenturyScenario(const CenturyConfig& config);

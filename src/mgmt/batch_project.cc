@@ -25,7 +25,11 @@ void BatchProjectScheduler::ScheduleThrough(SimTime horizon) {
       ++visits_;
       const uint32_t z = zone;
       const uint32_t c = cycle;
-      sim_.scheduler().ScheduleAt(at, [this, z, c] { on_visit_(z, c); });
+      if (schedule_visit_) {
+        schedule_visit_(at, z, c);
+      } else {
+        sim_.scheduler().ScheduleAt(at, [this, z, c] { on_visit_(z, c); });
+      }
     }
   }
 }

@@ -36,12 +36,25 @@ class BatchProjectScheduler {
   // freshly refreshed and another is due (the paper's pipelining).
   void ScheduleThrough(SimTime horizon);
 
+  // Routes visit scheduling through a caller-owned path instead of a direct
+  // ScheduleAt (checkpointing drivers route visits through their timer
+  // table so pending visits can be saved and re-armed). ScheduleThrough
+  // draws its jitter identically either way; the override only changes who
+  // places the event. The callee must eventually call FireVisit(zone,
+  // cycle) at the given time.
+  using VisitScheduler = std::function<void(SimTime at, uint32_t zone, uint32_t cycle)>;
+  void SetVisitScheduler(VisitScheduler scheduler) { schedule_visit_ = std::move(scheduler); }
+
+  // Delivers one visit callback; the re-arm path for routed visits.
+  void FireVisit(uint32_t zone, uint32_t cycle) { on_visit_(zone, cycle); }
+
   uint64_t visits_scheduled() const { return visits_; }
 
  private:
   Simulation& sim_;
   BatchProjectParams params_;
   ZoneVisit on_visit_;
+  VisitScheduler schedule_visit_;
   RandomStream rng_;
   uint64_t visits_ = 0;
 };

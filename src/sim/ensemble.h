@@ -86,6 +86,20 @@ struct EnsembleOptions {
   // Take a deep Scheduler::Snapshot() of a stalled replica (best-effort,
   // racy against a replica that is still limping along — see run_status.h).
   bool deep_stall_snapshot = true;
+
+  // Checkpoint/resume — for experiments whose Config carries a `snapshot`
+  // hook (SnapshotPlan, src/snapshot/snapshot_plan.h). A non-empty
+  // checkpoint_dir gives replica i its own subdirectory
+  // `<checkpoint_dir>/replica_<i>`; checkpoint_every > 0 makes each
+  // replica drain to quiescent barriers on that cadence and write durable
+  // snapshots there; resume_from_checkpoint makes each replica resume from
+  // its latest valid snapshot when one exists (fresh start otherwise), so
+  // re-running a crashed ensemble continues instead of recomputing. Any
+  // snapshot plan on the base config is overridden — replicas sharing one
+  // directory would clobber each other's checkpoints.
+  SimTime checkpoint_every;
+  std::string checkpoint_dir;
+  bool resume_from_checkpoint = false;
 };
 
 template <typename Experiment>
@@ -99,6 +113,7 @@ class EnsembleRunner {
     uint64_t seed = 0;
     double wall_seconds = 0.0;
     uint64_t events_executed = 0;  // 0 when the report does not track it.
+    double restore_seconds = 0.0;  // > 0 when the replica resumed from a checkpoint.
     Report report;
   };
 
@@ -135,6 +150,7 @@ class EnsembleRunner {
 
     constexpr bool kHasMetricsHook = requires(Config& c, MetricsRegistry* m) { c.metrics = m; };
     constexpr bool kHasControlHook = requires(Config& c, RunControlHooks h) { c.control = h; };
+    constexpr bool kHasSnapshotHook = requires(Config& c) { c.snapshot.checkpoint_every; };
 
     Result result;
     result.experiment = Experiment::Name();
@@ -203,6 +219,9 @@ class EnsembleRunner {
         hooks[i].recorder = recorders.empty() ? nullptr : recorders[i].get();
         hooks[i].scheduler_slot = &sched_slots[i];
         hooks[i].seed = DeriveReplicaSeed(base.seed, i);
+        if (kHasSnapshotHook && !options.checkpoint_dir.empty()) {
+          hooks[i].checkpoint_dir = options.checkpoint_dir + "/replica_" + std::to_string(i);
+        }
       }
       InstallStatusSignalHandler();
       monitor = std::make_unique<RunStatusMonitor>(std::move(monitor_options), std::move(hooks));
@@ -215,8 +234,8 @@ class EnsembleRunner {
     {
       ThreadPool pool(threads);
       for (uint32_t i = 0; i < replicas; ++i) {
-        pool.Submit([&result, &base, &registries, &profilers, &recorders, &cells, &sched_slots,
-                     run_control, horizon_us, i] {
+        pool.Submit([&result, &base, &options, &registries, &profilers, &recorders, &cells,
+                     &sched_slots, run_control, horizon_us, i] {
           Config cfg = base;
           cfg.seed = DeriveReplicaSeed(base.seed, i);
           // Observability plumbing is per-replica: a caller-supplied
@@ -230,6 +249,15 @@ class EnsembleRunner {
           }
           if constexpr (requires { cfg.artifacts_dir.clear(); }) {
             cfg.artifacts_dir.clear();
+          }
+          if constexpr (kHasSnapshotHook) {
+            cfg.snapshot = {};
+            if (!options.checkpoint_dir.empty()) {
+              cfg.snapshot.checkpoint_every = options.checkpoint_every;
+              cfg.snapshot.checkpoint_dir =
+                  options.checkpoint_dir + "/replica_" + std::to_string(i);
+              cfg.snapshot.resume_latest = options.resume_from_checkpoint;
+            }
           }
           if constexpr (kHasControlHook) {
             cfg.control = RunControlHooks{};
@@ -251,6 +279,9 @@ class EnsembleRunner {
                                   .count();
           if constexpr (requires { slot.report.events_executed; }) {
             slot.events_executed = slot.report.events_executed;
+          }
+          if constexpr (requires { slot.report.restore_seconds; }) {
+            slot.restore_seconds = slot.report.restore_seconds;
           }
           if (run_control) {
             cells[i].MarkDone(horizon_us, slot.events_executed);
@@ -288,8 +319,9 @@ class EnsembleRunner {
     result.manifest.replica_runs.reserve(replicas);
     for (const Replica& replica : result.replicas) {
       const bool stalled = monitor != nullptr && monitor->WasStalled(replica.index);
-      result.manifest.replica_runs.push_back(
-          {replica.index, replica.seed, replica.wall_seconds, replica.events_executed, stalled});
+      result.manifest.replica_runs.push_back({replica.index, replica.seed, replica.wall_seconds,
+                                              replica.events_executed, stalled,
+                                              replica.restore_seconds});
     }
 
     if (!options.artifacts_dir.empty()) {

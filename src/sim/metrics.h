@@ -101,6 +101,11 @@ class HistogramMetric {
   // Pools pre-aggregated summary stats (no per-sample bins to merge).
   void MergeStats(const SummaryStats& stats) { stats_.Merge(stats); }
 
+  // Checkpoint-restore hooks (src/snapshot): overwrite accumulated state on
+  // a freshly created instrument.
+  void RestoreStats(const SummaryStats& stats) { stats_ = stats; }
+  Histogram* mutable_bins() { return bins_ ? &*bins_ : nullptr; }
+
  private:
   SummaryStats stats_;
   std::optional<Histogram> bins_;

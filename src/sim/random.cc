@@ -41,7 +41,33 @@ Xoshiro256::result_type Xoshiro256::operator()() {
   return result;
 }
 
+void Xoshiro256::GetState(uint64_t out[4]) const {
+  for (int i = 0; i < 4; ++i) {
+    out[i] = s_[i];
+  }
+}
+
+void Xoshiro256::SetState(const uint64_t in[4]) {
+  for (int i = 0; i < 4; ++i) {
+    s_[i] = in[i];
+  }
+}
+
 RandomStream::RandomStream(uint64_t seed) : RandomStream(seed, 0) {}
+
+RandomStream::State RandomStream::SaveState() const {
+  State state;
+  state.seed = seed_;
+  state.stream = stream_;
+  engine_.GetState(state.s);
+  return state;
+}
+
+RandomStream RandomStream::FromState(const State& state) {
+  RandomStream rs(state.seed, state.stream);
+  rs.engine_.SetState(state.s);
+  return rs;
+}
 
 RandomStream::RandomStream(uint64_t seed, uint64_t stream)
     : seed_(seed), stream_(stream), engine_([&] {

@@ -31,6 +31,11 @@ class Xoshiro256 {
 
   result_type operator()();
 
+  // Raw state access for checkpoint codecs (src/snapshot): a restored
+  // engine continues the saved engine's exact output sequence.
+  void GetState(uint64_t out[4]) const;
+  void SetState(const uint64_t in[4]);
+
  private:
   uint64_t s_[4];
 };
@@ -39,8 +44,20 @@ class Xoshiro256 {
 // Cheap to construct; derive one per entity via Derive().
 class RandomStream {
  public:
+  // Complete serializable state: the derivation key (seed, stream) plus the
+  // engine's four state words. Restoring yields a stream whose future draws
+  // and Derive() children are bit-identical to the saved stream's.
+  struct State {
+    uint64_t seed = 0;
+    uint64_t stream = 0;
+    uint64_t s[4] = {0, 0, 0, 0};
+  };
+
   // Root stream for a simulation.
   explicit RandomStream(uint64_t seed);
+
+  State SaveState() const;
+  static RandomStream FromState(const State& state);
 
   // Derives an independent child stream keyed by `stream_id`. Two children
   // with distinct ids behave as statistically independent generators.

@@ -1,5 +1,6 @@
 #include "src/sim/scheduler.h"
 
+#include <cassert>
 #include <utility>
 
 #include "src/sim/flight_recorder.h"
@@ -419,6 +420,15 @@ uint64_t Scheduler::RunUntil(SimTime horizon) {
     now_ = horizon;
   }
   return ran;
+}
+
+void Scheduler::RestoreClock(SimTime now, uint64_t executed, uint64_t late_schedules) {
+  // Restore targets a fresh scheduler: re-arming into a queue that still
+  // holds events would interleave two runs' sequence spaces.
+  assert(live_ == 0);
+  now_ = now;
+  executed_ = executed;
+  late_schedules_ = late_schedules;
 }
 
 PeriodicEvent::PeriodicEvent(Scheduler& sched, SimTime period, EventFn fn, const char* category)

@@ -161,6 +161,25 @@ class Scheduler {
   // Runs a single event if one is pending. Returns false if queue is empty.
   bool Step();
 
+  // Checkpoint barrier: runs every event at or before `barrier` and leaves
+  // the clock exactly there — afterwards no callback is mid-flight and
+  // every pending event is strictly later, which is the quiescent point
+  // snapshots are taken at. Identical semantics to RunUntil (which already
+  // guarantees Now() == horizon when stopped by it); the name exists so
+  // checkpoint sites read as what they are.
+  uint64_t DrainToBarrier(SimTime barrier) { return RunUntil(barrier); }
+
+  // Restore support: overwrites the clock and counters of an EMPTY
+  // scheduler (asserted) so a resumed run continues the saved run's
+  // accounting. Pending timers are re-armed afterwards by the snapshot
+  // layer's typed timer table; they receive fresh (monotonic) sequence
+  // numbers, which preserves their saved relative order.
+  void RestoreClock(SimTime now, uint64_t executed, uint64_t late_schedules);
+
+  // The sequence number the NEXT ScheduleAt call will stamp. The snapshot
+  // timer table records it per pending timer to reconstruct tie order.
+  uint64_t next_sequence() const { return next_seq_; }
+
   uint64_t pending_count() const { return live_; }
   uint64_t executed_count() const { return executed_; }
   // Number of ScheduleAt calls whose time was in the past and got clamped.

@@ -35,6 +35,17 @@ void SummaryStats::Merge(const SummaryStats& other) {
   max_ = std::max(max_, other.max_);
 }
 
+SummaryStats SummaryStats::FromRaw(uint64_t count, double mean, double m2, double min,
+                                   double max) {
+  SummaryStats s;
+  s.count_ = count;
+  s.mean_ = mean;
+  s.m2_ = m2;
+  s.min_ = min;
+  s.max_ = max;
+  return s;
+}
+
 double SummaryStats::variance() const {
   if (count_ < 2) {
     return 0.0;
@@ -81,6 +92,18 @@ bool Histogram::Merge(const Histogram& other) {
     counts_[i] += other.counts_[i];
   }
   total_ += other.total_;
+  return true;
+}
+
+bool Histogram::RestoreCounts(const std::vector<uint64_t>& counts) {
+  if (counts.size() != counts_.size()) {
+    return false;
+  }
+  counts_ = counts;
+  total_ = 0;
+  for (uint64_t c : counts_) {
+    total_ += c;
+  }
   return true;
 }
 
@@ -163,6 +186,11 @@ double SampleSet::Quantile(double q) const {
     return values_.back();
   }
   return values_[i] * (1.0 - frac) + values_[i + 1] * frac;
+}
+
+void SampleSet::RestoreValues(std::vector<double> values) {
+  values_ = std::move(values);
+  sorted_ = false;
 }
 
 double SampleSet::Mean() const {

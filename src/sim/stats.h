@@ -25,6 +25,15 @@ class SummaryStats {
   double max() const { return count_ ? max_ : 0.0; }
   double sum() const { return mean_ * static_cast<double>(count_); }
 
+  // Raw-accumulator access for checkpoint codecs (src/snapshot). These
+  // round-trip the exact internal state — including the +/-inf min/max
+  // sentinels of an empty accumulator — so a restored object continues the
+  // saved one's Welford recurrence bit-identically.
+  double m2() const { return m2_; }
+  double raw_min() const { return min_; }
+  double raw_max() const { return max_; }
+  static SummaryStats FromRaw(uint64_t count, double mean, double m2, double min, double max);
+
   std::string ToString() const;
 
  private:
@@ -61,6 +70,10 @@ class Histogram {
   // count; returns false (and leaves this unchanged) on a mismatch.
   bool Merge(const Histogram& other);
 
+  // Overwrites the bin counts from a checkpoint. Returns false (and leaves
+  // this unchanged) when the count vector's size does not match num_bins().
+  bool RestoreCounts(const std::vector<uint64_t>& counts);
+
   std::string ToString(uint32_t max_rows = 16) const;
 
  private:
@@ -84,6 +97,10 @@ class SampleSet {
   double Quantile(double q) const;
   double Mean() const;
   const std::vector<double>& values() const { return values_; }
+
+  // Overwrites the retained samples from a checkpoint, preserving the saved
+  // insertion order (Quantile re-sorts lazily as usual).
+  void RestoreValues(std::vector<double> values);
 
  private:
   mutable std::vector<double> values_;

@@ -1,0 +1,211 @@
+#include "src/snapshot/codec.h"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace centsim {
+namespace {
+
+void EncodeLabels(const MetricLabels& labels, ByteWriter& w) {
+  w.U64(labels.pairs().size());
+  for (const auto& [key, value] : labels.pairs()) {
+    w.Str(key);
+    w.Str(value);
+  }
+}
+
+MetricLabels DecodeLabels(ByteReader& r) {
+  MetricLabels labels;
+  const uint64_t count = r.U64();
+  // Each pair costs at least 8 bytes of length prefixes.
+  if (!r.ok() || count > r.remaining() / 8) {
+    r.Fail();
+    return labels;
+  }
+  for (uint64_t i = 0; i < count && r.ok(); ++i) {
+    std::string key = r.Str();
+    std::string value = r.Str();
+    labels.Set(std::move(key), std::move(value));
+  }
+  return labels;
+}
+
+void EncodeHistogramBins(const Histogram* bins, ByteWriter& w) {
+  if (bins == nullptr) {
+    w.U8(0);
+    return;
+  }
+  w.U8(1);
+  w.F64(bins->BinLow(0));
+  w.F64(bins->BinHigh(bins->num_bins() - 1));
+  std::vector<uint64_t> counts(bins->num_bins());
+  for (uint32_t i = 0; i < bins->num_bins(); ++i) {
+    counts[i] = bins->BinCount(i);
+  }
+  w.U64Vec(counts);
+}
+
+// Returns true when the saved bins (if any) were overlaid onto `metric`
+// successfully; false on a shape mismatch. Stream errors set r's flag.
+bool DecodeHistogramBinsInto(ByteReader& r, HistogramMetric* metric) {
+  const uint8_t has_bins = r.U8();
+  if (!r.ok() || has_bins == 0) {
+    return r.ok();
+  }
+  (void)r.F64();  // lo — informational; shape is checked via the bin count.
+  (void)r.F64();  // hi
+  const std::vector<uint64_t> counts = r.U64Vec();
+  if (!r.ok()) {
+    return false;
+  }
+  Histogram* bins = metric->mutable_bins();
+  if (bins == nullptr) {
+    return false;
+  }
+  return bins->RestoreCounts(counts);
+}
+
+}  // namespace
+
+void EncodeRngState(const RandomStream::State& state, ByteWriter& w) {
+  w.U64(state.seed);
+  w.U64(state.stream);
+  for (uint64_t word : state.s) {
+    w.U64(word);
+  }
+}
+
+RandomStream::State DecodeRngState(ByteReader& r) {
+  RandomStream::State state;
+  state.seed = r.U64();
+  state.stream = r.U64();
+  for (uint64_t& word : state.s) {
+    word = r.U64();
+  }
+  return state;
+}
+
+void EncodeSummaryStats(const SummaryStats& stats, ByteWriter& w) {
+  w.U64(stats.count());
+  // Raw accumulators, not the public clamped views: an empty accumulator's
+  // +/-inf min/max sentinels must round-trip for Welford to continue.
+  w.F64(stats.count() ? stats.mean() : 0.0);
+  w.F64(stats.m2());
+  w.F64(stats.raw_min());
+  w.F64(stats.raw_max());
+}
+
+SummaryStats DecodeSummaryStats(ByteReader& r) {
+  const uint64_t count = r.U64();
+  const double mean = r.F64();
+  const double m2 = r.F64();
+  const double min = r.F64();
+  const double max = r.F64();
+  if (!r.ok()) {
+    return SummaryStats();
+  }
+  return SummaryStats::FromRaw(count, mean, m2, min, max);
+}
+
+void EncodeSampleSet(const SampleSet& samples, ByteWriter& w) {
+  w.F64Vec(samples.values());
+}
+
+bool DecodeSampleSet(ByteReader& r, SampleSet& samples) {
+  std::vector<double> values = r.F64Vec();
+  if (!r.ok()) {
+    return false;
+  }
+  samples.RestoreValues(std::move(values));
+  return true;
+}
+
+void EncodeMetrics(const MetricsRegistry& registry, ByteWriter& w) {
+  uint64_t counters = 0, gauges = 0, histograms = 0;
+  registry.VisitCounters(
+      [&](const std::string&, const MetricLabels&, const Counter&) { ++counters; });
+  registry.VisitGauges([&](const std::string&, const MetricLabels&, const Gauge&) { ++gauges; });
+  registry.VisitHistograms(
+      [&](const std::string&, const MetricLabels&, const HistogramMetric&) { ++histograms; });
+
+  w.U64(counters);
+  registry.VisitCounters([&](const std::string& name, const MetricLabels& labels,
+                             const Counter& c) {
+    w.Str(name);
+    EncodeLabels(labels, w);
+    w.F64(c.value());
+  });
+  w.U64(gauges);
+  registry.VisitGauges([&](const std::string& name, const MetricLabels& labels, const Gauge& g) {
+    w.Str(name);
+    EncodeLabels(labels, w);
+    w.F64(g.value());
+  });
+  w.U64(histograms);
+  registry.VisitHistograms([&](const std::string& name, const MetricLabels& labels,
+                               const HistogramMetric& h) {
+    w.Str(name);
+    EncodeLabels(labels, w);
+    EncodeSummaryStats(h.stats(), w);
+    EncodeHistogramBins(h.bins(), w);
+  });
+}
+
+size_t DecodeMetricsOverlay(ByteReader& r, MetricsRegistry& registry) {
+  size_t mismatches = 0;
+
+  const uint64_t counters = r.U64();
+  if (!r.ok() || counters > r.remaining() / 8) {
+    r.Fail();
+    return SIZE_MAX;
+  }
+  for (uint64_t i = 0; i < counters && r.ok(); ++i) {
+    std::string name = r.Str();
+    MetricLabels labels = DecodeLabels(r);
+    const double value = r.F64();
+    if (r.ok()) {
+      // Incrementing a fresh counter by the saved total is exact: the
+      // restored value is bit-identical to the saved double.
+      registry.GetCounter(name, std::move(labels))->Increment(value);
+    }
+  }
+
+  const uint64_t gauges = r.U64();
+  if (!r.ok() || gauges > r.remaining() / 8) {
+    r.Fail();
+    return SIZE_MAX;
+  }
+  for (uint64_t i = 0; i < gauges && r.ok(); ++i) {
+    std::string name = r.Str();
+    MetricLabels labels = DecodeLabels(r);
+    const double value = r.F64();
+    if (r.ok()) {
+      registry.GetGauge(name, std::move(labels))->Set(value);
+    }
+  }
+
+  const uint64_t histograms = r.U64();
+  if (!r.ok() || histograms > r.remaining() / 8) {
+    r.Fail();
+    return SIZE_MAX;
+  }
+  for (uint64_t i = 0; i < histograms && r.ok(); ++i) {
+    std::string name = r.Str();
+    MetricLabels labels = DecodeLabels(r);
+    const SummaryStats stats = DecodeSummaryStats(r);
+    if (!r.ok()) {
+      break;
+    }
+    HistogramMetric* metric = registry.GetHistogram(name, std::move(labels));
+    metric->RestoreStats(stats);
+    if (!DecodeHistogramBinsInto(r, metric)) {
+      ++mismatches;
+    }
+  }
+
+  return r.ok() ? mismatches : SIZE_MAX;
+}
+
+}  // namespace centsim

@@ -1,0 +1,43 @@
+// Binary codecs for the sim-layer state that checkpoints carry.
+//
+// Each Encode writes a self-delimiting record into a ByteWriter; each Decode
+// consumes exactly that record from a ByteReader, propagating the reader's
+// sticky failure flag on any truncation or shape mismatch. Floating-point
+// accumulators travel as raw IEEE-754 bit patterns so a restored run
+// continues the saved run's arithmetic bit-identically.
+
+#ifndef SRC_SNAPSHOT_CODEC_H_
+#define SRC_SNAPSHOT_CODEC_H_
+
+#include <cstddef>
+
+#include "src/sim/metrics.h"
+#include "src/sim/random.h"
+#include "src/sim/stats.h"
+#include "src/snapshot/bytes.h"
+
+namespace centsim {
+
+void EncodeRngState(const RandomStream::State& state, ByteWriter& w);
+RandomStream::State DecodeRngState(ByteReader& r);
+
+void EncodeSummaryStats(const SummaryStats& stats, ByteWriter& w);
+SummaryStats DecodeSummaryStats(ByteReader& r);
+
+void EncodeSampleSet(const SampleSet& samples, ByteWriter& w);
+bool DecodeSampleSet(ByteReader& r, SampleSet& samples);
+
+// Serializes every instrument in creation order: kind, name, labels, value.
+void EncodeMetrics(const MetricsRegistry& registry, ByteWriter& w);
+
+// Overlays saved instrument values onto `registry`, creating instruments as
+// needed (find-or-create by name + labels, the registry's identity rule).
+// Counters/gauges/summary stats restore exactly; histogram bin counts
+// restore only onto an instrument whose bin shape matches the saved one.
+// Returns the number of instruments whose bins could not be overlaid, or
+// SIZE_MAX when the stream itself is malformed (reader failed).
+size_t DecodeMetricsOverlay(ByteReader& r, MetricsRegistry& registry);
+
+}  // namespace centsim
+
+#endif  // SRC_SNAPSHOT_CODEC_H_

@@ -1,0 +1,78 @@
+// Checkpoint/restore plan carried by experiment configs.
+//
+// Plain data (no snapshot-library types) so core config headers can embed
+// it; the drivers and EnsembleRunner/BranchRunner fill it in. All fields
+// inert by default: a default-constructed plan means "no checkpointing,
+// fresh run", and costs a routed driver nothing — drivers construct their
+// TimerTable untracked when checkpoint_every is 0, so timers pass straight
+// through to the scheduler.
+
+#ifndef SRC_SNAPSHOT_SNAPSHOT_PLAN_H_
+#define SRC_SNAPSHOT_SNAPSHOT_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace centsim {
+
+struct SnapshotPlan {
+  // Periodic checkpoints: every this much sim time, the driver drains the
+  // scheduler to a quiescent barrier and writes
+  // `<checkpoint_dir>/checkpoint_<barrier_us>.snap` plus the LATEST.json
+  // marker. 0 disables.
+  SimTime checkpoint_every;
+  std::string checkpoint_dir;
+
+  // Resume path: restore from this snapshot instead of simulating from
+  // year zero. Structural config fields (seed, fleet geometry, horizon)
+  // must match the saving run — the driver verifies its structural digest
+  // and fails fast on a mismatch; policy fields (repair delays, refresh
+  // ages) may differ, which is what BranchRunner's what-if deltas change.
+  std::string resume_from;
+  // Crash-recovery convenience: when set (and resume_from is empty), scan
+  // checkpoint_dir for the latest valid snapshot and resume from it; start
+  // fresh when none exists. Re-running the same command after a crash
+  // therefore continues where the last durable checkpoint left off.
+  bool resume_latest = false;
+
+  // Branch divergence: when non-zero, the driver re-keys its RNG stream
+  // with this salt after restoring, so the branch draws a different future
+  // than the parent run. 0 keeps the parent's streams — common random
+  // numbers, the variance-reduction default for policy comparisons.
+  uint64_t branch_salt = 0;
+
+  bool enabled() const {
+    return checkpoint_every.micros() > 0 || !resume_from.empty() || resume_latest;
+  }
+
+  // Actionable diagnostics (empty = valid); folded into each experiment
+  // config's Validate().
+  std::vector<std::string> Validate() const {
+    std::vector<std::string> diagnostics;
+    if (checkpoint_every.micros() < 0) {
+      diagnostics.push_back("negative snapshot.checkpoint_every: use 0 to disable checkpoints");
+    }
+    if (checkpoint_every.micros() > 0 && checkpoint_dir.empty()) {
+      diagnostics.push_back(
+          "snapshot.checkpoint_every set without snapshot.checkpoint_dir: checkpoints need a "
+          "directory to land in");
+    }
+    if (resume_latest && checkpoint_dir.empty()) {
+      diagnostics.push_back(
+          "snapshot.resume_latest set without snapshot.checkpoint_dir: there is no directory "
+          "to scan for checkpoints");
+    }
+    if (resume_latest && !resume_from.empty()) {
+      diagnostics.push_back(
+          "snapshot.resume_latest and snapshot.resume_from are both set: pick one resume "
+          "source");
+    }
+    return diagnostics;
+  }
+};
+
+}  // namespace centsim
+
+#endif  // SRC_SNAPSHOT_SNAPSHOT_PLAN_H_

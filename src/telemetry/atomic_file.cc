@@ -1,0 +1,83 @@
+#include "src/telemetry/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace centsim {
+namespace {
+
+void SetError(std::string* error, const std::string& what) {
+  if (error != nullptr) {
+    *error = what + ": " + std::strerror(errno);
+  }
+}
+
+// fsync the directory containing `path` so the rename itself is durable.
+// Best-effort: some filesystems refuse O_RDONLY directory fsync; that is
+// not worth failing the write over.
+void SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+bool AtomicWriteFileBytes(const void* data, size_t size, const std::string& path,
+                          bool durable, std::string* error) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    SetError(error, "cannot open " + tmp);
+    return false;
+  }
+  const char* p = static_cast<const char*>(data);
+  size_t remaining = size;
+  while (remaining > 0) {
+    const ssize_t n = ::write(fd, p, remaining);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      SetError(error, "write failed for " + tmp);
+      ::close(fd);
+      std::remove(tmp.c_str());
+      return false;
+    }
+    p += n;
+    remaining -= static_cast<size_t>(n);
+  }
+  // Durable grade: the data must be on stable storage BEFORE the rename
+  // publishes it, otherwise a crash can leave `path` pointing at a correct
+  // directory entry whose blocks were never written.
+  if (durable && ::fsync(fd) != 0) {
+    SetError(error, "fsync failed for " + tmp);
+    ::close(fd);
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (::close(fd) != 0) {
+    SetError(error, "close failed for " + tmp);
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    SetError(error, "rename failed for " + path);
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (durable) {
+    SyncParentDir(path);
+  }
+  return true;
+}
+
+}  // namespace centsim

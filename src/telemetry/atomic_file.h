@@ -1,0 +1,31 @@
+// Atomic file replacement, extracted from the JSON exporters so binary
+// artifacts (checkpoints) can share the tmp+rename discipline.
+//
+// Two durability grades:
+//   - durable=false: write `path`.tmp, close, rename(2). A concurrent
+//     reader sees either the old file or the complete new one. The file
+//     may still be lost in a power cut (no fsync) — the right trade for
+//     status files rewritten every heartbeat.
+//   - durable=true: additionally fsync(2) the tmp file BEFORE the rename
+//     and fsync the containing directory after it, so once the call
+//     returns the new content survives a crash or power loss. Checkpoints
+//     use this: a snapshot that an operator will resume from must never be
+//     a zero-length or half-written file after the machine comes back.
+
+#ifndef SRC_TELEMETRY_ATOMIC_FILE_H_
+#define SRC_TELEMETRY_ATOMIC_FILE_H_
+
+#include <cstddef>
+#include <string>
+
+namespace centsim {
+
+// Atomically replaces `path` with the `size` bytes at `data`. False (and
+// `error`, when given) on any failure; the tmp file is cleaned up and an
+// existing `path` is left untouched.
+bool AtomicWriteFileBytes(const void* data, size_t size, const std::string& path,
+                          bool durable, std::string* error = nullptr);
+
+}  // namespace centsim
+
+#endif  // SRC_TELEMETRY_ATOMIC_FILE_H_

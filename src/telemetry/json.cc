@@ -4,7 +4,8 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
-#include <fstream>
+
+#include "src/telemetry/atomic_file.h"
 
 namespace centsim {
 
@@ -286,33 +287,9 @@ class Linter {
 bool JsonLint(std::string_view text, std::string* error) { return Linter(text).Run(error); }
 
 bool AtomicWriteFile(const std::string& content, const std::string& path, std::string* error) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      if (error != nullptr) {
-        *error = "cannot open " + tmp;
-      }
-      return false;
-    }
-    out << content;
-    out.close();
-    if (out.fail()) {
-      if (error != nullptr) {
-        *error = "write failed for " + tmp;
-      }
-      std::remove(tmp.c_str());
-      return false;
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    if (error != nullptr) {
-      *error = "rename failed for " + path;
-    }
-    std::remove(tmp.c_str());
-    return false;
-  }
-  return true;
+  // Status artifacts are rewritten every heartbeat: atomic visibility, no
+  // fsync. Checkpoints use the durable grade directly (atomic_file.h).
+  return AtomicWriteFileBytes(content.data(), content.size(), path, /*durable=*/false, error);
 }
 
 }  // namespace centsim

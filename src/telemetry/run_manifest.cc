@@ -142,7 +142,8 @@ std::string EnsembleManifest::ToJson() const {
            ", \"seed\": " + std::to_string(run.seed) +
            ", \"wall_seconds\": " + JsonNumber(run.wall_seconds) +
            ", \"events_executed\": " + std::to_string(run.events_executed) +
-           ", \"stalled\": " + (run.stalled ? "true" : "false") + "}";
+           ", \"stalled\": " + (run.stalled ? "true" : "false") +
+           ", \"restore_seconds\": " + JsonNumber(run.restore_seconds) + "}";
   }
   out += replica_runs.empty() ? "]\n" : "\n  ]\n";
   out += "}\n";

@@ -91,6 +91,9 @@ struct EnsembleManifest {
     // within the stall deadline at least once (sticky even if the replica
     // later recovered and finished).
     bool stalled = false;
+    // Wall seconds spent restoring a checkpoint before simulating; 0 for a
+    // fresh replica (see src/snapshot).
+    double restore_seconds = 0.0;
   };
   std::vector<ReplicaRun> replica_runs;  // Replica-index order.
 

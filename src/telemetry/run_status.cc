@@ -37,6 +37,32 @@ int64_t ReadRssBytes() {
 
 namespace {
 
+// Extracts the `"path"` value from a checkpoint dir's LATEST.json marker
+// (written by the snapshot layer only after its snapshot is durable). A
+// deliberate ten-line scan, not a snapshot-library dependency: telemetry
+// stays below src/snapshot in the layering.
+std::string ReadLatestCheckpointPath(const std::string& checkpoint_dir) {
+  if (checkpoint_dir.empty()) {
+    return "";
+  }
+  std::ifstream in(checkpoint_dir + "/LATEST.json");
+  if (!in) {
+    return "";
+  }
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  const std::string key = "\"path\": \"";
+  const size_t start = text.find(key);
+  if (start == std::string::npos) {
+    return "";
+  }
+  const size_t value = start + key.size();
+  const size_t end = text.find('"', value);
+  if (end == std::string::npos) {
+    return "";
+  }
+  return text.substr(value, end - value);
+}
+
 std::string ReplicaRowJson(const ReplicaStatusRow& r) {
   std::string out = "{\"index\": " + std::to_string(r.index);
   out += ", \"seed\": " + std::to_string(r.seed);
@@ -49,6 +75,9 @@ std::string ReplicaRowJson(const ReplicaStatusRow& r) {
   out += ", \"queue_entries\": " + std::to_string(r.queue_entries);
   out += std::string(", \"done\": ") + (r.done ? "true" : "false");
   out += std::string(", \"stalled\": ") + (r.stalled ? "true" : "false");
+  if (!r.latest_checkpoint.empty()) {
+    out += ", \"latest_checkpoint\": \"" + JsonEscape(r.latest_checkpoint) + "\"";
+  }
   out += "}";
   return out;
 }
@@ -244,6 +273,7 @@ RunStatus RunStatusMonitor::BuildStatusLocked(Clock::time_point now) {
     row.queue_entries = v.queue_entries;
     row.done = v.done;
     row.stalled = stalled_[i] != 0 || v.stalled;
+    row.latest_checkpoint = ReadLatestCheckpointPath(replicas_[i].checkpoint_dir);
     if (options_.horizon_us > 0) {
       row.pct_of_horizon =
           v.done ? 100.0
@@ -363,6 +393,19 @@ void RunStatusMonitor::DumpStalledReplica(size_t i) {
     if (!snapshot_json.empty()) {
       AtomicWriteFile(snapshot_json, base + "_sched.json");
     }
+  }
+  // Recovery note: name the newest durable checkpoint so whoever kills
+  // this wedged run knows exactly what to resume from.
+  if (!replicas_[i].checkpoint_dir.empty()) {
+    const std::string latest = ReadLatestCheckpointPath(replicas_[i].checkpoint_dir);
+    std::string note = "{\n";
+    note += "  \"stalled_replica\": " + std::to_string(i) + ",\n";
+    note += "  \"checkpoint_dir\": \"" + JsonEscape(replicas_[i].checkpoint_dir) + "\",\n";
+    note += "  \"latest_checkpoint\": \"" + JsonEscape(latest) + "\",\n";
+    note += std::string("  \"resume_hint\": \"re-run with snapshot.resume_latest (or ") +
+            "EnsembleOptions.resume_from_checkpoint) to continue from the checkpoint above\"\n";
+    note += "}\n";
+    AtomicWriteFile(note, base + "_recovery.json");
   }
 }
 

@@ -51,6 +51,10 @@ struct ReplicaStatusRow {
   double pct_of_horizon = 0.0;
   bool done = false;
   bool stalled = false;
+  // Newest durable checkpoint (from the replica checkpoint dir's
+  // LATEST.json marker); empty when the replica is not checkpointing or
+  // none has landed yet. What a custodian resumes from after a crash.
+  std::string latest_checkpoint;
 };
 
 // A full status snapshot: the aggregate header plus per-replica rows.
@@ -115,6 +119,11 @@ class RunStatusMonitor {
     FlightRecorder* recorder = nullptr;      // Optional (stall dumps).
     SchedulerSlot* scheduler_slot = nullptr; // Optional (deep snapshots).
     uint64_t seed = 0;
+    // Optional: where this replica writes checkpoints. Status rows and
+    // stall dumps then name the latest durable snapshot, so recovery after
+    // a wedge/crash starts from a known-good file instead of an archaeology
+    // dig.
+    std::string checkpoint_dir;
   };
 
   RunStatusMonitor(Options options, std::vector<ReplicaHooks> replicas);

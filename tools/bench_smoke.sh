@@ -141,6 +141,64 @@ if failures:
 print("bench_smoke: district scale within tolerance")
 EOF
 
+# --- Snapshot save/restore gate ----------------------------------------
+# bench_snapshot checkpoints the 1M-device district at year 25, resumes a
+# second run from that file, and fails itself if the resumed report is not
+# bit-identical to the straight run. Gated here: save/restore throughput
+# within tolerance, both wall times under the O(seconds) acceptance
+# ceiling, and the per-device snapshot size budget.
+SNAPSHOT_BASELINE="bench/BENCH_snapshot.json"
+[[ -f "${SNAPSHOT_BASELINE}" ]] || { echo "missing baseline ${SNAPSHOT_BASELINE}" >&2; exit 1; }
+
+cmake --build "${BUILD_DIR}" --target bench_snapshot -j "$(nproc)"
+(cd "${BUILD_DIR}/bench" && ./bench_snapshot)
+
+python3 - "${SNAPSHOT_BASELINE}" "${BUILD_DIR}/bench/BENCH_snapshot.json" "${TOLERANCE}" <<'EOF'
+import json, sys
+
+baseline_path, fresh_path, tol = sys.argv[1], sys.argv[2], float(sys.argv[3])
+def records(path):
+    with open(path) as f:
+        return {r["name"]: r for r in json.load(f)["records"]}
+
+base, fresh = records(baseline_path), records(fresh_path)
+failures = []
+for name, rec in sorted(base.items()):
+    if name not in fresh:
+        failures.append(f"{name}: missing from fresh run")
+        continue
+    old, new = rec["value"], fresh[name]["value"]
+    if rec["unit"] == "1/s" and old > 0:
+        if new < old * (1.0 - tol):
+            failures.append(f"{name}: {new:.0f}/s < {1-tol:.0%} of baseline {old:.0f}/s")
+        else:
+            print(f"  ok {name}: {new:.3g}/s vs baseline {old:.3g}/s")
+
+# Absolute ceilings from the snapshot acceptance criteria, independent of
+# the recorded baseline: saving and restoring a million-device district
+# must each stay O(seconds), and the file must stay lean.
+for name, ceiling, unit in [("save_seconds_1m", 10.0, "s"),
+                            ("restore_seconds_1m", 10.0, "s"),
+                            ("snapshot_bytes_per_device_1m", 200.0, "B")]:
+    val = fresh.get(name, {"value": 1e9})["value"]
+    if val > ceiling:
+        failures.append(f"{name}: {val:.2f} {unit} > {ceiling:.0f} {unit} ceiling")
+    else:
+        print(f"  ok {name}: {val:.2f} {unit} (ceiling {ceiling:.0f} {unit})")
+parity = fresh.get("parity_checks_passed", {"value": 0.0})["value"]
+if parity < 1:
+    failures.append("parity_checks_passed: resumed run did not match the straight run")
+else:
+    print(f"  ok parity_checks_passed: {parity:.0f}")
+
+if failures:
+    print("bench_smoke: REGRESSION (snapshot)", file=sys.stderr)
+    for f in failures:
+        print(f"  {f}", file=sys.stderr)
+    sys.exit(1)
+print("bench_smoke: snapshot within tolerance")
+EOF
+
 # --- Ensemble engine + live-run-control gate ---------------------------
 # bench_e5_ensemble runs the 50-year experiment as a parallel ensemble:
 # once per pool width, and once more with live run control (status_dir +

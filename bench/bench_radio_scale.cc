@@ -1,0 +1,222 @@
+// Radio medium at scale: how the grid-bucketed contention resolver holds
+// up as the transmitter population grows from 10k to 1M at constant
+// density. The all-pairs approach is O(tx x gateways); the CSR cell grid
+// makes the hearing pass O(tx x gateways-per-neighborhood), which at
+// constant density is O(tx). The gate in tools/bench_smoke.sh checks the
+// fitted log-log scaling exponent stays <= 1.2 (near-linear) and that the
+// grid path still matches the brute-force oracle bit for bit at a size
+// where the oracle is affordable.
+//
+// Positions come straight out of DeviceFleet's struct-of-arrays columns —
+// the same x/y the simulation owns — so the bench measures the batch
+// airtime/link-budget path as production wires it, not a toy copy.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/core/fleet.h"
+#include "src/radio/contention.h"
+#include "src/sim/simulation.h"
+#include "src/telemetry/bench_record.h"
+#include "src/telemetry/report.h"
+
+namespace centsim {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr double kTxPerKm2 = 1000.0;   // Constant density across sizes.
+constexpr double kGatewayPerKm2 = 1.0; // One gateway per square km.
+
+struct Population {
+  Simulation sim;
+  DeviceFleet fleet;
+  std::vector<double> gw_x, gw_y;
+  std::vector<double> power;
+  std::vector<uint8_t> group;
+
+  explicit Population(uint32_t n) : sim(4242), fleet(sim) {
+    const double area_km2 = static_cast<double>(n) / kTxPerKm2;
+    const double extent_m = std::sqrt(area_km2) * 1000.0;
+    RandomStream rng(sim.seed());
+
+    // Two interned device classes (SF9 / SF12) so the group column is
+    // heterogeneous the way a mixed-rate deployment is.
+    LoraConfig sf9;
+    sf9.sf = LoraSf::kSf9;
+    LoraConfig sf12;
+    sf12.sf = LoraSf::kSf12;
+    DeviceClassSpec spec;
+    spec.name = "bench-sf9";
+    spec.tech = RadioTech::kLoRa;
+    spec.lora = sf9;
+    const uint32_t cls_sf9 = fleet.InternClass(spec);
+    spec.name = "bench-sf12";
+    spec.lora = sf12;
+    const uint32_t cls_sf12 = fleet.InternClass(spec);
+
+    const HarvesterModel harvester = HarvesterModel::Constant(0.05);
+    power.reserve(n);
+    group.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      const bool fast = rng.NextBool(0.8);
+      fleet.Add(fast ? cls_sf9 : cls_sf12, rng.Uniform(0.0, extent_m),
+                rng.Uniform(0.0, extent_m), /*zone=*/0, harvester);
+      power.push_back(14.0);
+      group.push_back(fast ? 0 : 1);
+    }
+
+    const auto n_gw = static_cast<size_t>(std::max(1.0, area_km2 * kGatewayPerKm2));
+    for (size_t g = 0; g < n_gw; ++g) {
+      gw_x.push_back(rng.Uniform(0.0, extent_m));
+      gw_y.push_back(rng.Uniform(0.0, extent_m));
+    }
+  }
+
+  ContentionResolver::TxColumns Columns() const {
+    ContentionResolver::TxColumns tx;
+    tx.x = fleet.x_data();
+    tx.y = fleet.y_data();
+    tx.tx_power_dbm = power.data();
+    tx.group = group.data();
+    tx.count = fleet.size();
+    return tx;
+  }
+};
+
+ContentionParams ParamsFor(bool use_grid) {
+  ContentionParams p;
+  LoraConfig sf9;
+  sf9.sf = LoraSf::kSf9;
+  LoraConfig sf12;
+  sf12.sf = LoraSf::kSf12;
+  p.groups = {PhyModel::ForLora(sf9), PhyModel::ForLora(sf12)};
+  p.range_m = 2000.0;
+  p.seed = 4242;
+  p.use_grid = use_grid;
+  return p;
+}
+
+double Median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const size_t mid = v.size() / 2;
+  return v.size() % 2 != 0 ? v[mid] : 0.5 * (v[mid - 1] + v[mid]);
+}
+
+std::string SizeTag(uint32_t n) {
+  if (n % 1000000 == 0) return std::to_string(n / 1000000) + "m";
+  return std::to_string(n / 1000) + "k";
+}
+
+}  // namespace
+}  // namespace centsim
+
+int main(int argc, char** argv) {
+  using namespace centsim;
+  std::cout << "=== Radio medium: grid-bucketed contention at scale ===\n\n";
+
+  std::vector<uint32_t> sizes = {10000, 100000, 1000000};
+  if (argc > 1) {
+    sizes.clear();
+    for (int i = 1; i < argc; ++i) {
+      sizes.push_back(static_cast<uint32_t>(std::atol(argv[i])));
+    }
+  }
+
+  BenchReport bench("radio_scale");
+  Table t({"transmitters", "gateways", "s/round", "tx/s", "delivered"});
+
+  std::vector<double> log_n, log_wall;
+  uint32_t parity_checks = 0;
+
+  for (const uint32_t n : sizes) {
+    const Population pop(n);
+    ContentionResolver resolver(ParamsFor(/*use_grid=*/true), pop.gw_x, pop.gw_y);
+    const std::string tag = SizeTag(n);
+
+    // Paired rounds, median wall: the per-round medians are what the
+    // regression gate compares (same scheme as bench_district_scale).
+    const int rounds = n >= 1000000 ? 3 : 5;
+    std::vector<DeliveryReport> reports;
+    std::vector<double> walls;
+    uint64_t delivered = 0;
+    for (int r = 0; r < rounds; ++r) {
+      const auto start = Clock::now();
+      resolver.Resolve(pop.Columns(), static_cast<uint32_t>(r), reports);
+      walls.push_back(std::chrono::duration<double>(Clock::now() - start).count());
+      if (r == 0) {
+        for (const DeliveryReport& rep : reports) {
+          delivered += rep.outcome == DeliveryOutcome::kDelivered ? 1 : 0;
+        }
+      }
+    }
+    const double wall = Median(walls);
+    const double tx_per_sec = static_cast<double>(n) / std::max(wall, 1e-9);
+    log_n.push_back(std::log(static_cast<double>(n)));
+    log_wall.push_back(std::log(std::max(wall, 1e-9)));
+
+    t.AddRow({FormatCount(n), FormatCount(pop.gw_x.size()), FormatDouble(wall, 4),
+              FormatDouble(tx_per_sec, 0), FormatCount(delivered)});
+    bench.Add("resolve_tx_per_sec_" + tag, tx_per_sec, "1/s");
+    bench.Add("resolve_seconds_per_round_" + tag, wall, "s");
+    bench.Add("delivered_round0_" + tag, static_cast<double>(delivered), "count");
+
+    // Oracle parity at sizes where the all-pairs scan is affordable: the
+    // grid must be an optimization, not a model change.
+    if (n <= 10000) {
+      ContentionResolver oracle(ParamsFor(/*use_grid=*/false), pop.gw_x, pop.gw_y);
+      std::vector<DeliveryReport> want;
+      oracle.Resolve(pop.Columns(), 0, want);
+      resolver.Resolve(pop.Columns(), 0, reports);
+      bool match = reports.size() == want.size();
+      for (size_t i = 0; match && i < want.size(); ++i) {
+        match = reports[i].outcome == want[i].outcome &&
+                reports[i].gateway_id == want[i].gateway_id &&
+                reports[i].rssi_dbm == want[i].rssi_dbm &&
+                reports[i].witnesses == want[i].witnesses;
+      }
+      if (!match) {
+        std::cerr << "PARITY FAILURE at " << n
+                  << " transmitters: grid reports differ from all-pairs oracle\n";
+        return 1;
+      }
+      ++parity_checks;
+      std::cout << "parity " << tag << ": grid matches all-pairs oracle bit for bit\n";
+    }
+  }
+  std::cout << "\n";
+  t.Print(std::cout);
+
+  // Least-squares slope of log(wall) on log(n): 1.0 is perfectly linear.
+  double exponent = 0.0;
+  if (log_n.size() >= 2) {
+    const size_t k = log_n.size();
+    double mx = 0.0, my = 0.0;
+    for (size_t i = 0; i < k; ++i) {
+      mx += log_n[i];
+      my += log_wall[i];
+    }
+    mx /= static_cast<double>(k);
+    my /= static_cast<double>(k);
+    double num = 0.0, den = 0.0;
+    for (size_t i = 0; i < k; ++i) {
+      num += (log_n[i] - mx) * (log_wall[i] - my);
+      den += (log_n[i] - mx) * (log_n[i] - mx);
+    }
+    exponent = den > 0.0 ? num / den : 0.0;
+    std::cout << "\nscaling exponent (log wall vs log n): " << FormatDouble(exponent, 3)
+              << "  (1.0 = linear, gate <= 1.2)\n";
+  }
+  bench.Add("scaling_exponent", exponent, "x");
+  bench.Add("parity_checks_passed", static_cast<double>(parity_checks), "count");
+
+  const std::string path = bench.WriteFile();
+  if (!path.empty()) {
+    std::cout << "\nWrote " << path << "\n";
+  }
+  return 0;
+}

@@ -3,22 +3,22 @@
 #include <algorithm>
 
 #include "src/radio/frame.h"
+#include "src/radio/phy_model.h"
 #include "src/security/report_auth.h"
 #include "src/security/signing.h"
-#include "src/radio/phy_802154.h"
 
 namespace centsim {
 
 LoadProfile LoadProfileFor(const EdgeDeviceConfig& config) {
+  const PhyModel phy = PhyModel::For(config.tech, config.lora);
   LoadProfile load;
-  if (config.tech == RadioTech::k802154) {
-    load.tx_energy_j =
-        Phy802154::TxEnergyJoules(config.tx_power_dbm, config.payload_bytes) + 0.002;
-  } else {
-    load.tx_energy_j =
-        LoraPhy::TxEnergyJoules(config.lora, config.tx_power_dbm, config.payload_bytes) + 0.002;
-  }
+  load.tx_energy_j = phy.TxEnergyJoules(config.tx_power_dbm, config.payload_bytes) + 0.002;
   load.sleep_power_w = 2e-6;
+  if (config.tech == RadioTech::kLoRa && config.lora_class == LoraDeviceClass::kClassC) {
+    // Class C never closes its receive window: the radio's listen current
+    // becomes the sleep floor.
+    load.sleep_power_w += LoraPhy::kRxListenPowerW;
+  }
   load.sense_energy_j = 0.002;
   load.brownout_reserve_j = 0.02;
   return load;
@@ -39,6 +39,8 @@ EdgeDevice::EdgeDevice(Simulation& sim, EdgeDeviceConfig config, NetworkFabric& 
   spec.name = RadioTechName(config_.tech);
   spec.tech = config_.tech;
   spec.lora = config_.lora;
+  spec.rx_class = config_.tech == RadioTech::kLoRa ? config_.lora_class
+                                                   : LoraDeviceClass::kClassA;
   spec.tx_power_dbm = config_.tx_power_dbm;
   spec.report_interval = config_.report_interval;
   spec.payload_bytes = config_.payload_bytes;
@@ -62,7 +64,10 @@ void EdgeDevice::EnableSigning(const SipHashKey& batch_secret) {
 
 EdgeDevice::~EdgeDevice() {
   if (load_registered_) {
-    fabric_.RemoveOfferedLoad(config_.tech, PacketsPerHour());
+    fabric_.RemoveOfferedLoadAt(config_.tech, PacketsPerHour(), config_.x_m, config_.y_m);
+  }
+  if (beacon_registered_) {
+    fabric_.UnregisterBeaconListener(handle_);
   }
   if (report_event_ != kInvalidEventId) {
     sim_.scheduler().Cancel(report_event_);
@@ -79,8 +84,13 @@ EdgeDevice::~EdgeDevice() {
 void EdgeDevice::Deploy() {
   fleet_.DeployAt(slot_);
   if (!load_registered_) {
-    fabric_.AddOfferedLoad(config_.tech, PacketsPerHour());
+    fabric_.AddOfferedLoadAt(config_.tech, PacketsPerHour(), config_.x_m, config_.y_m);
     load_registered_ = true;
+  }
+  if (config_.tech == RadioTech::kLoRa && config_.lora_class == LoraDeviceClass::kClassB &&
+      !beacon_registered_) {
+    fabric_.RegisterBeaconListener(handle_);
+    beacon_registered_ = true;
   }
   ScheduleHardwareFailure();
   // Random phase so fleets do not synchronize.
@@ -106,7 +116,7 @@ void EdgeDevice::ReplaceUnit() {
         SimTime::Seconds(rng_.Uniform(0.0, config_.report_interval.ToSeconds())));
   }
   if (!load_registered_) {
-    fabric_.AddOfferedLoad(config_.tech, PacketsPerHour());
+    fabric_.AddOfferedLoadAt(config_.tech, PacketsPerHour(), config_.x_m, config_.y_m);
     load_registered_ = true;
   }
 }
@@ -124,7 +134,7 @@ void EdgeDevice::ScheduleHardwareFailure() {
           report_event_ = kInvalidEventId;
         }
         if (load_registered_) {
-          fabric_.RemoveOfferedLoad(config_.tech, PacketsPerHour());
+          fabric_.RemoveOfferedLoadAt(config_.tech, PacketsPerHour(), config_.x_m, config_.y_m);
           load_registered_ = false;
         }
         if (sim_.TraceEnabled(TraceLevel::kFailure)) {
@@ -198,17 +208,33 @@ void EdgeDevice::OnReportTimer() {
     pkt.auth_tag = ComputeReadingTag(*device_key_, pkt.device_id, pkt.sequence, pkt.reading);
   }
 
-  NetworkFabric::UplinkParams up;
-  up.x_m = config_.x_m;
-  up.y_m = config_.y_m;
-  up.tx_power_dbm = config_.tx_power_dbm;
-  up.lora = config_.lora;
-  up.vendor = config_.vendor;
+  NetworkFabric::TxRequest request;
+  request.packet = pkt;
+  request.params.x_m = config_.x_m;
+  request.params.y_m = config_.y_m;
+  request.params.tx_power_dbm = config_.tx_power_dbm;
+  request.params.lora = config_.lora;
+  request.params.vendor = config_.vendor;
 
-  account(fabric_.AttemptUplink(pkt, up, rng_));
+  const DeliveryReport report = fabric_.Offer(request, rng_);
+  account(report.outcome);
+
+  if (report.outcome == DeliveryOutcome::kCadBusy) {
+    // The CAD scan found the band busy before the PA fired: refund the
+    // pre-charged TX energy minus the scan's own receive cost, skip the
+    // duty-cycle clock (nothing was sent), and retry after a short
+    // desynchronizing backoff.
+    const double refund_j =
+        fleet_.class_spec(cls_).load.tx_energy_j - LoraPhy::CadEnergyJoules(config_.lora);
+    fleet_.EnergyConsumeAt(slot_, sim_.Now(), -refund_j);
+    --sequence_;  // The frame never left; reuse its sequence number.
+    ScheduleNextReport(SimTime::Seconds(rng_.Uniform(1.0, 30.0)));
+    return;
+  }
 
   if (config_.tech == RadioTech::kLoRa) {
-    const SimTime airtime = LoraPhy::Airtime(config_.lora, config_.payload_bytes);
+    const SimTime airtime =
+        PhyModel::ForLora(config_.lora).Airtime(config_.payload_bytes);
     next_duty_allowed_ = DutyCycleRule{}.NextAllowed(sim_.Now(), airtime);
   }
   ScheduleNextReport(config_.report_interval);

@@ -37,6 +37,10 @@ struct EdgeDeviceConfig {
   double y_m = 0.0;
   RadioTech tech = RadioTech::k802154;
   LoraConfig lora;
+  // LoRaWAN receive class (ignored for 802.15.4). Class B units track the
+  // medium's beacons (receive energy per beacon); class C units listen
+  // continuously (sleep power floor = receiver listen power).
+  LoraDeviceClass lora_class = LoraDeviceClass::kClassA;
   double tx_power_dbm = 0.0;       // 0 dBm for 802.15.4; 14 dBm for LoRa.
   SimTime report_interval = SimTime::Hours(1);
   uint32_t payload_bytes = 12;
@@ -114,6 +118,7 @@ class EdgeDevice {
   std::optional<SipHashKey> device_key_;
 
   bool load_registered_ = false;
+  bool beacon_registered_ = false;
   uint32_t sequence_ = 0;
   SimTime next_duty_allowed_;
   EventId report_event_ = kInvalidEventId;

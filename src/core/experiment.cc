@@ -24,6 +24,7 @@
 #include "src/sim/ensemble.h"
 #include "src/sim/flight_recorder.h"
 #include "src/sim/simulation.h"
+#include "src/snapshot/timer_table.h"
 #include "src/telemetry/chrome_trace.h"
 #include "src/telemetry/metrics_jsonl.h"
 #include "src/telemetry/run_manifest.h"
@@ -33,7 +34,8 @@ namespace {
 
 std::unique_ptr<EdgeDevice> MakeExperimentDevice(Simulation& sim, NetworkFabric& fabric,
                                                  DeviceFleet& fleet, uint32_t id, RadioTech tech,
-                                                 double x_m, double y_m) {
+                                                 double x_m, double y_m,
+                                                 LoraDeviceClass lora_class) {
   EdgeDeviceConfig cfg;
   cfg.id = id;
   cfg.x_m = x_m;
@@ -45,6 +47,7 @@ std::unique_ptr<EdgeDevice> MakeExperimentDevice(Simulation& sim, NetworkFabric&
   } else {
     cfg.tx_power_dbm = 14.0;
     cfg.lora.sf = LoraSf::kSf9;
+    cfg.lora_class = lora_class;
   }
 
   SolarHarvester::Params sp;
@@ -85,6 +88,12 @@ std::string FlattenConfig(const FiftyYearConfig& config) {
   add("area_side_m", std::to_string(config.area_side_m));
   add("hotspot_replacement_prob", std::to_string(config.hotspot_replacement_prob));
   add("hotspot_replacement_mean_us", std::to_string(config.hotspot_replacement_mean.micros()));
+  add("medium_grid_buckets", std::to_string(config.medium.grid_buckets));
+  add("medium_grid_cell_m", std::to_string(config.medium.grid_cell_m));
+  add("medium_sir_capture", std::to_string(config.medium.sir_capture));
+  add("medium_capture_margin_db", std::to_string(config.medium.capture_margin_db));
+  add("medium_cad", std::to_string(config.medium.cad));
+  add("lora_device_class", LoraDeviceClassName(config.lora_device_class));
   return text;
 }
 
@@ -163,6 +172,7 @@ FiftyYearReport RunFiftyYearExperiment(const FiftyYearConfig& config) {
   CloudEndpoint endpoint;
   NetworkFabric fabric(sim);
   fabric.SetEndpoint(&endpoint);
+  fabric.ConfigureMedium(config.medium);
 
   // LoRaWAN network server: hotspots forward copies, the server dedups;
   // with multi-buy = 1 (below) only the first copy is purchased.
@@ -282,7 +292,8 @@ FiftyYearReport RunFiftyYearExperiment(const FiftyYearConfig& config) {
       x = anchor.x_m + radius * std::cos(angle);
       y = anchor.y_m + radius * std::sin(angle);
     }
-    auto dev = MakeExperimentDevice(sim, fabric, fleet, i + 1, tech, x, y);
+    auto dev = MakeExperimentDevice(sim, fabric, fleet, i + 1, tech, x, y,
+                                    config.lora_device_class);
     dev->EnableSigning(batch_secret);
     (tech == RadioTech::k802154 ? ids_154 : ids_lora).push_back(dev->config().id);
     // Subsystem flight-recorder records: device lifecycle transitions are
@@ -311,6 +322,16 @@ FiftyYearReport RunFiftyYearExperiment(const FiftyYearConfig& config) {
     });
     dev->Deploy();
     devices.push_back(std::move(dev));
+  }
+
+  // Class B downlink beacons: the medium broadcasts on the LoRaWAN beacon
+  // cadence and every live class-B listener pays the receive-window
+  // energy. Routed through a TimerTable so drivers that checkpoint can
+  // round-trip the pending beacon. Class A/C cohorts never arm it.
+  TimerTable medium_timers(sim.scheduler());
+  if (config.lora_device_class == LoraDeviceClass::kClassB && config.devices_lora > 0) {
+    fabric.RegisterMediumTimers(medium_timers, &fleet);
+    fabric.StartClassBBeacons();
   }
 
   // Mid-run telemetry flush (opt-in): atomically rewrite metrics.jsonl on

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/core/hierarchy.h"
+#include "src/core/network_fabric.h"
 #include "src/mgmt/diary.h"
 #include "src/mgmt/maintenance.h"
 #include "src/net/packet.h"
@@ -46,6 +47,13 @@ struct FiftyYearConfig {
   // and how long that takes. This is the "risk" half of §4.2's hedge.
   double hotspot_replacement_prob = 0.7;
   SimTime hotspot_replacement_mean = SimTime::Days(60);
+
+  // Radio-medium fidelity knobs (grid-bucketed neighbor lookups, SIR
+  // capture, LoRa CAD) and the receive class for the LoRa cohort. The
+  // defaults reproduce the legacy medium bit-for-bit; class B arms the
+  // fabric's beacon timer, class C raises the sleep floor.
+  MediumConfig medium;
+  LoraDeviceClass lora_device_class = LoraDeviceClass::kClassA;
 
   // --- Observability (all optional) ---
   // External registry/profiler to attach; when null but `artifacts_dir` is

@@ -1,5 +1,6 @@
 #include "src/core/fleet.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 
@@ -42,6 +43,7 @@ std::string InternKey(const DeviceClassSpec& spec) {
   key += '|';
   AppendInt(key, static_cast<int64_t>(spec.coupling));
   AppendInt(key, static_cast<int64_t>(spec.sensor_kind));
+  AppendInt(key, static_cast<int64_t>(spec.rx_class));
   AppendDouble(key, spec.load.sleep_power_w);
   AppendDouble(key, spec.load.tx_energy_j);
   AppendDouble(key, spec.load.sense_energy_j);
@@ -249,6 +251,13 @@ bool DeviceFleet::EnergyTryTransmit(uint32_t slot, SimTime now) {
   EnergyColumn& e = energy_[slot];
   return EnergyOps::TryTransmit(harvester_[slot], record.spec.storage, record.spec.load,
                                 e.storage, e.last_advance, tx_[slot], record.energy, now);
+}
+
+void DeviceFleet::EnergyConsumeAt(uint32_t slot, SimTime now, double joules) {
+  EnergyAdvanceTo(slot, now);
+  EnergyStorage::State& state = energy_[slot].storage;
+  state.charge_j =
+      std::min(std::max(state.charge_j - joules, 0.0), state.capacity_now_j);
 }
 
 SimTime DeviceFleet::EstimateNextAffordableAt(uint32_t slot, SimTime now, double joules) const {

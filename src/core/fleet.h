@@ -55,6 +55,10 @@ struct DeviceClassSpec {
   std::string name = "device";     // Class (not per-unit) name; metric label.
   RadioTech tech = RadioTech::k802154;
   LoraConfig lora;
+  // LoRaWAN receive class (class A: uplink-only windows; class B: beacon
+  // tracking, charged per beacon by the fabric; class C: continuous
+  // listen, priced into the load profile's sleep power).
+  LoraDeviceClass rx_class = LoraDeviceClass::kClassA;
   double tx_power_dbm = 0.0;
   SimTime report_interval = SimTime::Hours(1);
   uint32_t payload_bytes = 12;
@@ -128,6 +132,10 @@ class DeviceFleet {
   // --- Column accessors (by slot) -----------------------------------------
   double x(uint32_t slot) const { return x_[slot]; }
   double y(uint32_t slot) const { return y_[slot]; }
+  // Raw position columns for batch kernels (ContentionResolver::TxColumns
+  // points straight at these; valid until the next Add/Reserve growth).
+  const double* x_data() const { return x_.data(); }
+  const double* y_data() const { return y_.data(); }
   uint32_t zone(uint32_t slot) const { return zone_[slot]; }
   uint32_t device_class(uint32_t slot) const { return class_[slot]; }
   bool alive(uint32_t slot) const { return alive_[slot] != 0; }
@@ -182,6 +190,12 @@ class DeviceFleet {
 
   void EnergyAdvanceTo(uint32_t slot, SimTime now);
   bool EnergyTryTransmit(uint32_t slot, SimTime now);
+  // Unconditional energy adjustment at `now` (advance first): positive
+  // `joules` drains (floored at empty), negative credits (capped at the
+  // current capacity). Used for receive costs outside the TX accounting —
+  // class B beacon listens, CAD scans, and CAD refunds of pre-charged TX
+  // energy.
+  void EnergyConsumeAt(uint32_t slot, SimTime now, double joules);
   SimTime EstimateNextAffordableAt(uint32_t slot, SimTime now, double joules) const;
 
   // --- Checkpoint (src/snapshot drivers) ----------------------------------

@@ -25,6 +25,7 @@ Tier TierForOutcome(DeliveryOutcome outcome) {
     case DeliveryOutcome::kDelivered:
     case DeliveryOutcome::kNoEnergy:
     case DeliveryOutcome::kDutyCycleDeferred:
+    case DeliveryOutcome::kCadBusy:  // The device chose not to transmit.
       return Tier::kDevice;
     case DeliveryOutcome::kNoGatewayInRange:
     case DeliveryOutcome::kPhyLoss:

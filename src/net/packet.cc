@@ -36,6 +36,8 @@ const char* DeliveryOutcomeName(DeliveryOutcome outcome) {
       return "backhaul-down";
     case DeliveryOutcome::kEndpointDown:
       return "endpoint-down";
+    case DeliveryOutcome::kCadBusy:
+      return "cad-busy";
   }
   return "?";
 }

@@ -47,10 +47,32 @@ enum class DeliveryOutcome : uint8_t {
   kNoCredits,         // Helium wallet exhausted.
   kBackhaulDown,
   kEndpointDown,
+  // Channel-activity detection sensed an ongoing frame; the polite device
+  // did not transmit. Appended after the legacy outcomes so historical
+  // metric orderings (and the golden digests pinned to them) are stable.
+  kCadBusy,
 };
 
 const char* DeliveryOutcomeName(DeliveryOutcome outcome);
-inline constexpr int kDeliveryOutcomeCount = 11;
+inline constexpr int kDeliveryOutcomeCount = 12;
+// Outcomes that existed before CAD; the fabric pre-creates metric series
+// only for these so runs with CAD disabled emit byte-identical telemetry.
+inline constexpr int kLegacyDeliveryOutcomeCount = 11;
+
+// Everything one uplink attempt resolved to, returned in one piece from
+// Medium::Offer. Replaces the DeliveryOutcome + bool + gateway-id tuples
+// that used to be threaded separately through the fabric, gateway, and
+// network-server layers.
+struct DeliveryReport {
+  DeliveryOutcome outcome = DeliveryOutcome::kNoGatewayInRange;
+  uint32_t gateway_id = 0;    // Delivering (or best-receiving) gateway; 0 = none.
+  double rssi_dbm = -200.0;   // Strongest reception among receiving gateways.
+  double snr_db = -200.0;     // SNR of that reception at the receiver.
+  uint32_t witnesses = 0;     // Gateways whose PHY received the frame.
+  bool captured = false;      // Survived co-channel interference via capture.
+
+  bool Delivered() const { return outcome == DeliveryOutcome::kDelivered; }
+};
 
 }  // namespace centsim
 

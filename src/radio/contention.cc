@@ -1,0 +1,251 @@
+#include "src/radio/contention.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/sim/random.h"
+
+namespace centsim {
+namespace {
+
+// Counter-based draws: every stochastic decision is a pure hash of its
+// identity, never a stream position, so grid and oracle iteration orders
+// produce bit-identical results.
+uint64_t HashMix(uint64_t a, uint64_t b) {
+  uint64_t s = a ^ (b * 0x9E3779B97F4A7C15ull) ^ 0xD1B54A32D192ED03ull;
+  return SplitMix64(s);
+}
+
+double HashUniform(uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+constexpr uint64_t kCadSalt = 0xCADCADCADCADull;
+constexpr uint64_t kPerSalt = 0x9E12BADF00Dull;
+constexpr uint64_t kNoPriority = std::numeric_limits<uint64_t>::max();
+
+// Per-tx bookkeeping bits for the final outcome fold.
+constexpr uint8_t kHeard = 1;       // Some gateway's PHY saw the preamble.
+constexpr uint8_t kInterfered = 2;  // Received but lost the capture contest.
+
+}  // namespace
+
+uint64_t RadioLinkSeed(uint64_t sim_seed, uint32_t tx_id, uint32_t gateway_id) {
+  uint64_t sm = sim_seed ^ (static_cast<uint64_t>(tx_id) << 32) ^ gateway_id;
+  return SplitMix64(sm);
+}
+
+GatewayCellGrid::GatewayCellGrid(const std::vector<double>& gw_x,
+                                 const std::vector<double>& gw_y, double cell_m)
+    : cell_m_(cell_m > 0.0 ? cell_m : 1.0) {
+  if (gw_x.empty()) {
+    return;
+  }
+  min_x_ = *std::min_element(gw_x.begin(), gw_x.end());
+  min_y_ = *std::min_element(gw_y.begin(), gw_y.end());
+  const double max_x = *std::max_element(gw_x.begin(), gw_x.end());
+  const double max_y = *std::max_element(gw_y.begin(), gw_y.end());
+  nx_ = static_cast<uint32_t>((max_x - min_x_) / cell_m_) + 1;
+  ny_ = static_cast<uint32_t>((max_y - min_y_) / cell_m_) + 1;
+
+  // Counting-sort gateways into CSR cell lists; ids stay ascending within
+  // a cell because we insert in id order.
+  const size_t cells = static_cast<size_t>(nx_) * ny_;
+  offsets_.assign(cells + 1, 0);
+  std::vector<uint32_t> cell_of(gw_x.size());
+  for (size_t g = 0; g < gw_x.size(); ++g) {
+    cell_of[g] = CellOf(gw_x[g], gw_y[g]);
+    ++offsets_[cell_of[g] + 1];
+  }
+  for (size_t c = 0; c < cells; ++c) {
+    offsets_[c + 1] += offsets_[c];
+  }
+  ids_.resize(gw_x.size());
+  std::vector<uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (uint32_t g = 0; g < gw_x.size(); ++g) {
+    ids_[cursor[cell_of[g]]++] = g;
+  }
+}
+
+int32_t GatewayCellGrid::ClampX(double x) const {
+  const double fx = (x - min_x_) / cell_m_;
+  if (fx < 0.0) {
+    return 0;
+  }
+  const int32_t cx = static_cast<int32_t>(fx);
+  return cx >= static_cast<int32_t>(nx_) ? static_cast<int32_t>(nx_) - 1 : cx;
+}
+
+int32_t GatewayCellGrid::ClampY(double y) const {
+  const double fy = (y - min_y_) / cell_m_;
+  if (fy < 0.0) {
+    return 0;
+  }
+  const int32_t cy = static_cast<int32_t>(fy);
+  return cy >= static_cast<int32_t>(ny_) ? static_cast<int32_t>(ny_) - 1 : cy;
+}
+
+uint32_t GatewayCellGrid::CellOf(double x, double y) const {
+  return static_cast<uint32_t>(ClampY(y)) * nx_ + static_cast<uint32_t>(ClampX(x));
+}
+
+ContentionResolver::ContentionResolver(ContentionParams params, std::vector<double> gw_x,
+                                       std::vector<double> gw_y)
+    : params_(std::move(params)),
+      path_loss_(params_.path_loss),
+      gw_x_(std::move(gw_x)),
+      gw_y_(std::move(gw_y)),
+      // The grid is built even in oracle mode: CAD cell identity must not
+      // depend on which enumeration strategy the caller picked.
+      grid_(gw_x_, gw_y_, params_.range_m) {
+  if (params_.groups.empty()) {
+    params_.groups.push_back(PhyModel::ForLora(LoraConfig{}));
+  }
+}
+
+void ContentionResolver::Resolve(const TxColumns& tx, uint32_t round,
+                                 std::vector<DeliveryReport>& out) {
+  const size_t n = tx.count;
+  const size_t n_groups = params_.groups.size();
+  const size_t n_gw = gw_x_.size();
+  const double r2 = params_.range_m * params_.range_m;
+  const uint64_t round_seed = HashMix(params_.seed, round);
+
+  out.assign(n, DeliveryReport{});
+  tx_flags_.assign(n, 0);
+  hearings_.clear();
+
+  auto group_of = [&](size_t i) -> size_t {
+    return tx.group == nullptr ? 0 : std::min<size_t>(tx.group[i], n_groups - 1);
+  };
+
+  // --- CAD pass: per (cell, group) minimum start priority. -------------
+  // The earliest frame in a cell transmits; every later co-group frame in
+  // the same cell senses its preamble and politely defers. Start order is
+  // a counter hash, so grid and oracle agree exactly.
+  if (params_.cad && !grid_.empty()) {
+    const size_t keys = static_cast<size_t>(grid_.cells_x()) * grid_.cells_y() * n_groups;
+    if (cad_min_.size() != keys) {
+      cad_min_.assign(keys, kNoPriority);
+    }
+    cad_cells_.clear();
+    for (size_t i = 0; i < n; ++i) {
+      const size_t key = grid_.CellOf(tx.x[i], tx.y[i]) * n_groups + group_of(i);
+      const uint64_t pri = HashMix(round_seed ^ kCadSalt, i);
+      if (cad_min_[key] == kNoPriority) {
+        cad_cells_.push_back(static_cast<uint32_t>(key));
+      }
+      cad_min_[key] = std::min(cad_min_[key], pri);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const size_t key = grid_.CellOf(tx.x[i], tx.y[i]) * n_groups + group_of(i);
+      const uint64_t pri = HashMix(round_seed ^ kCadSalt, i);
+      if (pri > cad_min_[key]) {
+        out[i].outcome = DeliveryOutcome::kCadBusy;
+      }
+    }
+    for (uint32_t key : cad_cells_) {
+      cad_min_[key] = kNoPriority;
+    }
+  }
+
+  // --- Hearing pass: who can hear whom, grid-bucketed or all-pairs. ----
+  // Candidacy is geometric (dist^2 <= range^2) in BOTH modes, so the grid
+  // path and the brute-force oracle enumerate exactly the same links; only
+  // the enumeration cost differs.
+  for (size_t i = 0; i < n; ++i) {
+    if (out[i].outcome == DeliveryOutcome::kCadBusy) {
+      continue;
+    }
+    const PhyModel& phy = params_.groups[group_of(i)];
+    const double hear_dbm = phy.SensitivityDbm() - 3.0;  // Fabric's marginal-link rule.
+    const double xi = tx.x[i];
+    const double yi = tx.y[i];
+    auto consider = [&](uint32_t gw) {
+      const double dx = xi - gw_x_[gw];
+      const double dy = yi - gw_y_[gw];
+      const double d2 = dx * dx + dy * dy;
+      if (d2 > r2) {
+        return;
+      }
+      const double loss =
+          path_loss_.LinkLossDb(std::sqrt(d2),
+                                RadioLinkSeed(params_.seed, static_cast<uint32_t>(i), gw));
+      const double rx = tx.tx_power_dbm[i] + params_.rx_antenna_gain_db - loss;
+      if (rx >= hear_dbm) {
+        hearings_.push_back({static_cast<uint32_t>(i), gw, rx});
+      }
+    };
+    if (params_.use_grid) {
+      grid_.ForNeighbors(xi, yi, consider);
+    } else {
+      for (uint32_t gw = 0; gw < n_gw; ++gw) {
+        consider(gw);
+      }
+    }
+  }
+
+  // --- Interference totals per (gateway, group). -----------------------
+  // hearings_ is tx-major in both modes and each tx contributes at most
+  // one term per gateway, so every (gw, group) bucket accumulates its
+  // terms in ascending-tx order regardless of enumeration strategy:
+  // floating-point sums are bit-identical between grid and oracle.
+  totals_mw_.assign(n_gw * n_groups, 0.0);
+  for (const Hearing& h : hearings_) {
+    totals_mw_[h.gw * n_groups + group_of(h.tx)] += DbmToMilliwatts(h.rx_dbm);
+  }
+
+  // --- Capture + PER: each heard frame's fate. -------------------------
+  for (const Hearing& h : hearings_) {
+    const size_t g = group_of(h.tx);
+    const PhyModel& phy = params_.groups[g];
+    const double self_mw = DbmToMilliwatts(h.rx_dbm);
+    const double interference_mw = totals_mw_[h.gw * n_groups + g] - self_mw;
+    // Alone in the bucket: totals == self bitwise, so this is exact.
+    const bool survived =
+        interference_mw <= 0.0 ||
+        h.rx_dbm - MilliwattsToDbm(interference_mw) >= params_.capture_margin_db;
+    const double per = phy.PacketErrorRate(h.rx_dbm, params_.payload_bytes);
+    const double u = HashUniform(HashMix(round_seed ^ kPerSalt,
+                                         (static_cast<uint64_t>(h.tx) << 32) | h.gw));
+    const bool received = u >= per;
+
+    tx_flags_[h.tx] |= kHeard;
+    if (!survived && received) {
+      tx_flags_[h.tx] |= kInterfered;
+    }
+    if (survived && received) {
+      DeliveryReport& r = out[h.tx];
+      ++r.witnesses;
+      // Best gateway by received power; ties break to the lower id so the
+      // report is independent of enumeration order.
+      if (h.rx_dbm > r.rssi_dbm ||
+          (h.rx_dbm == r.rssi_dbm && (r.witnesses == 1 || h.gw < r.gateway_id))) {
+        r.rssi_dbm = h.rx_dbm;
+        r.snr_db = phy.SnrDb(h.rx_dbm);
+        r.gateway_id = h.gw;
+        r.captured = interference_mw > 0.0;
+      }
+    }
+  }
+
+  // --- Fold per-tx bookkeeping into final outcomes. --------------------
+  for (size_t i = 0; i < n; ++i) {
+    DeliveryReport& r = out[i];
+    if (r.outcome == DeliveryOutcome::kCadBusy) {
+      continue;
+    }
+    if (r.witnesses > 0) {
+      r.outcome = DeliveryOutcome::kDelivered;
+    } else if (tx_flags_[i] & kInterfered) {
+      r.outcome = DeliveryOutcome::kCollision;
+    } else if (tx_flags_[i] & kHeard) {
+      r.outcome = DeliveryOutcome::kPhyLoss;
+    } else {
+      r.outcome = DeliveryOutcome::kNoGatewayInRange;
+    }
+  }
+}
+
+}  // namespace centsim

@@ -1,0 +1,161 @@
+// Fleet-scale radio contention: grid-bucketed neighbor sets and a
+// column-batched single-round resolver.
+//
+// The event-driven fabric resolves one frame at a time against analytic
+// offered load; that is the right shape for sparse traffic, but a
+// million-transmitter contention study wants the dual: take ONE round of
+// simultaneous transmissions as parallel columns (x, y, tx power, channel
+// group) and resolve every frame's fate in a few linear passes —
+//
+//   1. CAD pass (optional): per (cell, group) minimum start-priority;
+//      a transmitter whose cell already carries an earlier co-group frame
+//      senses the preamble and defers (kCadBusy).
+//   2. Hearing pass: each transmitter consults only the gateways in its
+//      3x3 grid neighborhood (cell size = radio range, the CoverageCsr
+//      trick from src/city/deployment.*), computing received power with
+//      the same frozen per-link shadowing the fabric uses.
+//   3. Capture pass: per (gateway, group) interference totals, then each
+//      heard frame survives iff it clears the aggregate interference by
+//      the capture margin (the SharedMedium rule) AND its PER draw.
+//
+// Every random decision is a counter-based hash of (seed, round, tx, gw),
+// so results are independent of iteration order: the grid-bucketed path
+// and the brute-force all-pairs oracle produce bit-identical reports,
+// which the tests pin at small n.
+
+#ifndef SRC_RADIO_CONTENTION_H_
+#define SRC_RADIO_CONTENTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/net/packet.h"
+#include "src/radio/link_budget.h"
+#include "src/radio/phy_model.h"
+
+namespace centsim {
+
+// Frozen per-link shadowing identity: the same SplitMix64 mix the
+// event-driven fabric has always used, exported so the batch resolver and
+// the fabric see the identical channel for a given (seed, tx, gw) triple.
+uint64_t RadioLinkSeed(uint64_t sim_seed, uint32_t tx_id, uint32_t gateway_id);
+
+// Uniform spatial hash over gateway positions: cell size = radio range, so
+// every gateway within range of a point lies in the 3x3 neighborhood of
+// the point's cell. Positions outside the bounding box clamp to the edge
+// cells; the caller's exact distance test keeps membership correct.
+class GatewayCellGrid {
+ public:
+  GatewayCellGrid() = default;
+  GatewayCellGrid(const std::vector<double>& gw_x, const std::vector<double>& gw_y,
+                  double cell_m);
+
+  bool empty() const { return ids_.empty(); }
+  double cell_m() const { return cell_m_; }
+  uint32_t cells_x() const { return nx_; }
+  uint32_t cells_y() const { return ny_; }
+
+  // Flat index of the cell containing (x, y), clamped into the grid.
+  uint32_t CellOf(double x, double y) const;
+
+  // Invokes `fn(gateway_id)` for every gateway in the 3x3 neighborhood of
+  // (x, y), in ascending cell order (ascending id within a cell).
+  template <typename F>
+  void ForNeighbors(double x, double y, F&& fn) const {
+    if (ids_.empty()) {
+      return;
+    }
+    const int32_t cx = ClampX(x);
+    const int32_t cy = ClampY(y);
+    for (int32_t dy = -1; dy <= 1; ++dy) {
+      const int32_t yy = cy + dy;
+      if (yy < 0 || yy >= static_cast<int32_t>(ny_)) {
+        continue;
+      }
+      for (int32_t dx = -1; dx <= 1; ++dx) {
+        const int32_t xx = cx + dx;
+        if (xx < 0 || xx >= static_cast<int32_t>(nx_)) {
+          continue;
+        }
+        const uint32_t cell = static_cast<uint32_t>(yy) * nx_ + static_cast<uint32_t>(xx);
+        for (uint32_t k = offsets_[cell]; k < offsets_[cell + 1]; ++k) {
+          fn(ids_[k]);
+        }
+      }
+    }
+  }
+
+ private:
+  int32_t ClampX(double x) const;
+  int32_t ClampY(double y) const;
+
+  double min_x_ = 0.0;
+  double min_y_ = 0.0;
+  double cell_m_ = 1.0;
+  uint32_t nx_ = 0;
+  uint32_t ny_ = 0;
+  std::vector<uint32_t> offsets_;  // Size nx*ny + 1 (CSR).
+  std::vector<uint32_t> ids_;      // Gateway ids, cell-major ascending.
+};
+
+struct ContentionParams {
+  // One PhyModel per co-channel group; frames in different groups are
+  // orthogonal (LoRa SFs) and never interfere. A single entry models one
+  // shared channel (802.15.4).
+  std::vector<PhyModel> groups;
+  PathLossModel::Params path_loss = PathLossModel::Urban915MHz().params();
+  double range_m = 2000.0;          // Geometric candidacy radius (= grid cell).
+  double rx_antenna_gain_db = 3.0;
+  double capture_margin_db = 6.0;
+  uint32_t payload_bytes = 12;
+  uint64_t seed = 1;
+  bool use_grid = true;             // false: brute-force all-pairs (oracle/tests).
+  bool cad = false;                 // Channel-activity detection before TX.
+};
+
+class ContentionResolver {
+ public:
+  ContentionResolver(ContentionParams params, std::vector<double> gw_x,
+                     std::vector<double> gw_y);
+
+  // One round of simultaneous transmissions as parallel columns. `group`
+  // may be null when params.groups has exactly one entry.
+  struct TxColumns {
+    const double* x = nullptr;
+    const double* y = nullptr;
+    const double* tx_power_dbm = nullptr;
+    const uint8_t* group = nullptr;
+    size_t count = 0;
+  };
+
+  // Resolves every transmitter's fate for round `round`. out is resized to
+  // tx.count; per-frame outcomes are kDelivered / kCollision / kPhyLoss /
+  // kNoGatewayInRange / kCadBusy with RSSI/SNR/capture detail filled in.
+  void Resolve(const TxColumns& tx, uint32_t round, std::vector<DeliveryReport>& out);
+
+  size_t gateway_count() const { return gw_x_.size(); }
+  const ContentionParams& params() const { return params_; }
+
+ private:
+  ContentionParams params_;
+  PathLossModel path_loss_;
+  std::vector<double> gw_x_;
+  std::vector<double> gw_y_;
+  GatewayCellGrid grid_;
+
+  // Scratch reused across Resolve calls (steady-state allocation-free).
+  struct Hearing {
+    uint32_t tx;
+    uint32_t gw;
+    double rx_dbm;
+  };
+  std::vector<Hearing> hearings_;
+  std::vector<double> totals_mw_;       // gw-major x group.
+  std::vector<uint64_t> cad_min_;       // (cell, group) -> min priority.
+  std::vector<uint32_t> cad_cells_;     // Touched (cell, group) keys.
+  std::vector<uint8_t> tx_flags_;       // Per-tx: candidacy / interference bits.
+};
+
+}  // namespace centsim
+
+#endif  // SRC_RADIO_CONTENTION_H_

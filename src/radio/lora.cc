@@ -56,6 +56,23 @@ double LoraPhy::PacketErrorRate(LoraSf sf, double rx_power_dbm, double bandwidth
   return 1.0 / (1.0 + std::exp(1.7 * margin));
 }
 
+const char* LoraDeviceClassName(LoraDeviceClass cls) {
+  switch (cls) {
+    case LoraDeviceClass::kClassA:
+      return "A";
+    case LoraDeviceClass::kClassB:
+      return "B";
+    case LoraDeviceClass::kClassC:
+      return "C";
+  }
+  return "?";
+}
+
+double LoraPhy::CadEnergyJoules(const LoraConfig& cfg) {
+  const double t_symbol = std::pow(2.0, static_cast<int>(cfg.sf)) / cfg.bandwidth_hz;
+  return kRxListenPowerW * 2.0 * t_symbol;
+}
+
 double LoraPhy::TxEnergyJoules(const LoraConfig& cfg, double tx_power_dbm,
                                size_t payload_bytes) {
   const double pa_eff = 0.20;

@@ -13,6 +13,16 @@ namespace centsim {
 
 enum class LoraSf : uint8_t { kSf7 = 7, kSf8 = 8, kSf9 = 9, kSf10 = 10, kSf11 = 11, kSf12 = 12 };
 
+// LoRaWAN device receive classes. Class A devices open receive windows
+// only after their own uplinks (the transmit-only default: effectively no
+// downlink). Class B devices track gateway beacons (every
+// LoraPhy::kBeaconPeriodS seconds) and open scheduled ping slots — each
+// beacon costs receive energy. Class C devices listen continuously: the
+// sleep floor becomes the receiver's listen power.
+enum class LoraDeviceClass : uint8_t { kClassA = 0, kClassB = 1, kClassC = 2 };
+
+const char* LoraDeviceClassName(LoraDeviceClass cls);
+
 struct LoraConfig {
   LoraSf sf = LoraSf::kSf9;
   double bandwidth_hz = 125e3;
@@ -45,6 +55,23 @@ class LoraPhy {
   // at least this much stronger than the sum of colliders (dB). Different
   // SFs are quasi-orthogonal and do not collide in this model.
   static constexpr double kCaptureMarginDb = 6.0;
+
+  // Receiver listen power (SX127x-class RX current ~11 mA at 3.3 V): the
+  // continuous draw of a class C device, and the per-beacon cost basis for
+  // class B.
+  static constexpr double kRxListenPowerW = 0.036;
+
+  // Class B beacon cadence (LoRaWAN spec: 128 s) and the receive window a
+  // tracking device keeps open per beacon (beacon frame + guard).
+  static constexpr double kBeaconPeriodS = 128.0;
+  static constexpr double kBeaconRxS = 0.15;
+  // Energy one device spends receiving one beacon.
+  static constexpr double kBeaconRxEnergyJ = kRxListenPowerW * kBeaconRxS;
+
+  // Channel-activity detection: a CAD scan costs roughly two symbol times
+  // of receive current, far below a transmission. The scan detects any
+  // co-SF preamble currently on the air.
+  static double CadEnergyJoules(const LoraConfig& cfg);
 };
 
 // Regional duty-cycle limits (EU868-style band rules; US915 uses dwell time

@@ -1,0 +1,53 @@
+#include "src/radio/phy_model.h"
+
+#include "src/radio/link_budget.h"
+#include "src/radio/medium.h"
+#include "src/radio/phy_802154.h"
+
+namespace centsim {
+
+SimTime PhyModel::Airtime(size_t payload_bytes) const {
+  return tech_ == RadioTech::k802154 ? Phy802154::Airtime(payload_bytes)
+                                     : LoraPhy::Airtime(lora_, payload_bytes);
+}
+
+double PhyModel::SensitivityDbm() const {
+  return tech_ == RadioTech::k802154 ? Phy802154::kSensitivityDbm
+                                     : LoraPhy::SensitivityDbm(lora_.sf, lora_.bandwidth_hz);
+}
+
+double PhyModel::NoiseFloorDbm() const {
+  return tech_ == RadioTech::k802154
+             ? centsim::NoiseFloorDbm(Phy802154::kBandwidthHz, Phy802154::kNoiseFigureDb)
+             : centsim::NoiseFloorDbm(lora_.bandwidth_hz, 6.0);
+}
+
+double PhyModel::PacketErrorRate(double rx_power_dbm, size_t payload_bytes) const {
+  if (tech_ == RadioTech::k802154) {
+    const double noise =
+        centsim::NoiseFloorDbm(Phy802154::kBandwidthHz, Phy802154::kNoiseFigureDb);
+    return Phy802154::PacketErrorRate(rx_power_dbm - noise, payload_bytes);
+  }
+  return LoraPhy::PacketErrorRate(lora_.sf, rx_power_dbm, lora_.bandwidth_hz);
+}
+
+double PhyModel::TxEnergyJoules(double tx_power_dbm, size_t payload_bytes) const {
+  return tech_ == RadioTech::k802154
+             ? Phy802154::TxEnergyJoules(tx_power_dbm, payload_bytes)
+             : LoraPhy::TxEnergyJoules(lora_, tx_power_dbm, payload_bytes);
+}
+
+double PhyModel::CaptureMarginDb() const {
+  // 802.15.4 O-QPSK needs co-channel dominance similar to LoRa's 6 dB;
+  // the shared constant keeps the capture path technology-agnostic.
+  return LoraPhy::kCaptureMarginDb;
+}
+
+double PhyModel::ContentionSuccessProbability(double arrival_rate_hz,
+                                              size_t payload_bytes) const {
+  const SimTime airtime = Airtime(payload_bytes);
+  return tech_ == RadioTech::k802154 ? CsmaModel::SuccessProbability(arrival_rate_hz, airtime)
+                                     : AlohaModel::SuccessProbability(arrival_rate_hz, airtime);
+}
+
+}  // namespace centsim

@@ -1,0 +1,78 @@
+// Unified PHY surface over the per-technology models.
+//
+// Phy802154 and LoraPhy are static-method families with divergent call
+// shapes (802.15.4 PER wants an SNR, LoRa PER wants received power; LoRa
+// airtime wants a LoraConfig, 802.15.4 wants nothing). Every caller that
+// served both technologies — the network fabric, the device load-profile
+// builder, the batch contention resolver — used to branch on RadioTech at
+// each call site. PhyModel collapses those branches into one value type:
+// construct it once from (tech, LoraConfig) and call the shared
+// Airtime/SensitivityDbm/PacketErrorRate/TxEnergyJoules signatures.
+//
+// PhyModel is a 24-byte value (tech tag + LoraConfig), not a virtual
+// hierarchy: it is copied into batch kernels and fleet class specs, and
+// the internal tech switch is branch-predictable in column loops where
+// every row shares one technology.
+
+#ifndef SRC_RADIO_PHY_MODEL_H_
+#define SRC_RADIO_PHY_MODEL_H_
+
+#include <cstddef>
+
+#include "src/net/packet.h"
+#include "src/radio/lora.h"
+#include "src/sim/time.h"
+
+namespace centsim {
+
+class PhyModel {
+ public:
+  // 802.15.4 model; the LoraConfig is ignored.
+  static PhyModel For802154() { return PhyModel(RadioTech::k802154, LoraConfig{}); }
+  // LoRa model at the given radio configuration.
+  static PhyModel ForLora(const LoraConfig& cfg) { return PhyModel(RadioTech::kLoRa, cfg); }
+  // Generic dispatch for callers holding (tech, lora) pairs.
+  static PhyModel For(RadioTech tech, const LoraConfig& cfg) { return PhyModel(tech, cfg); }
+
+  RadioTech tech() const { return tech_; }
+  const LoraConfig& lora() const { return lora_; }
+
+  // Time-on-air of a frame carrying `payload_bytes`.
+  SimTime Airtime(size_t payload_bytes) const;
+
+  // Receiver sensitivity (dBm): the weakest power the radio demodulates.
+  double SensitivityDbm() const;
+
+  // Thermal noise floor (dBm) at this PHY's bandwidth and noise figure.
+  double NoiseFloorDbm() const;
+
+  // SNR (dB) seen by the demodulator for a given received power.
+  double SnrDb(double rx_power_dbm) const { return rx_power_dbm - NoiseFloorDbm(); }
+
+  // Packet error rate for a frame received at `rx_power_dbm`. Internally
+  // converts to SNR for the 802.15.4 waterfall; LoRa uses the power-domain
+  // sensitivity ramp. Identical doubles to the per-tech statics.
+  double PacketErrorRate(double rx_power_dbm, size_t payload_bytes) const;
+
+  // TX energy for one frame at `tx_power_dbm`.
+  double TxEnergyJoules(double tx_power_dbm, size_t payload_bytes) const;
+
+  // Co-channel capture margin (dB): a frame survives interference when it
+  // exceeds the aggregate interferer power by this much.
+  double CaptureMarginDb() const;
+
+  // Analytic per-attempt success probability under Poisson offered load
+  // (`arrival_rate_hz` frames/s visible at the receiver): non-persistent
+  // CSMA for 802.15.4, pure ALOHA for LoRa.
+  double ContentionSuccessProbability(double arrival_rate_hz, size_t payload_bytes) const;
+
+ private:
+  PhyModel(RadioTech tech, const LoraConfig& cfg) : tech_(tech), lora_(cfg) {}
+
+  RadioTech tech_;
+  LoraConfig lora_;
+};
+
+}  // namespace centsim
+
+#endif  // SRC_RADIO_PHY_MODEL_H_

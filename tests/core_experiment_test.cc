@@ -232,5 +232,65 @@ TEST(ExperimentTest, ExternalRegistryCapturesRunMetrics) {
   EXPECT_EQ(profiler.events_recorded(), report.events_executed);
 }
 
+TEST(ExperimentTest, GridBucketedMediumMatchesFullScanExactly) {
+  // With a cell size whose 3x3 neighborhood spans the whole campus, the
+  // grid is purely a lookup structure: candidates and offered load match
+  // the full scan, draw and accumulation order are pinned, so the whole
+  // fifty-year realization is bit-identical.
+  FiftyYearConfig cfg = QuickConfig();
+  const auto base = RunFiftyYearExperiment(cfg);
+  cfg.medium.grid_buckets = true;
+  cfg.medium.grid_cell_m = cfg.area_side_m + 500.0;
+  const auto grid = RunFiftyYearExperiment(cfg);
+  EXPECT_EQ(base.total_packets, grid.total_packets);
+  EXPECT_EQ(base.device_failures, grid.device_failures);
+  EXPECT_EQ(base.credits_spent, grid.credits_spent);
+  EXPECT_EQ(base.events_executed, grid.events_executed);
+  EXPECT_DOUBLE_EQ(base.weekly_uptime, grid.weekly_uptime);
+
+  // Smaller cells localize the offered load (a corner device no longer
+  // competes with traffic on the far side), shifting the realization —
+  // deterministically.
+  cfg.medium.grid_cell_m = 1000.0;
+  const auto local_a = RunFiftyYearExperiment(cfg);
+  const auto local_b = RunFiftyYearExperiment(cfg);
+  EXPECT_GE(local_a.total_packets, base.total_packets);
+  EXPECT_EQ(local_a.total_packets, local_b.total_packets);
+  EXPECT_EQ(local_a.events_executed, local_b.events_executed);
+}
+
+TEST(ExperimentTest, FidelityKnobsRunDeterministically) {
+  FiftyYearConfig cfg = QuickConfig();
+  cfg.medium.sir_capture = true;
+  cfg.medium.cad = true;
+  const auto a = RunFiftyYearExperiment(cfg);
+  const auto b = RunFiftyYearExperiment(cfg);
+  EXPECT_GT(a.total_packets, 1000u);
+  EXPECT_EQ(a.total_packets, b.total_packets);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_DOUBLE_EQ(a.weekly_uptime, b.weekly_uptime);
+}
+
+TEST(ExperimentTest, LoraDeviceClassChangesTheLoraPathOnly) {
+  FiftyYearConfig cfg = QuickConfig();
+  const auto base = RunFiftyYearExperiment(cfg);
+
+  FiftyYearConfig class_b = cfg;
+  class_b.lora_device_class = LoraDeviceClass::kClassB;
+  const auto b = RunFiftyYearExperiment(class_b);
+  // Beacons tick every 128 s for five years — far more events than the
+  // class A run schedules.
+  EXPECT_GT(b.events_executed, base.events_executed);
+
+  FiftyYearConfig class_c = cfg;
+  class_c.lora_device_class = LoraDeviceClass::kClassC;
+  const auto c = RunFiftyYearExperiment(class_c);
+  // A class C receiver never sleeps; its 36 mW listen floor exceeds the
+  // 10 mW solar peak, so the LoRa cohort browns out while the owned
+  // 802.15.4 path is untouched.
+  EXPECT_NE(c.helium_path.delivered, base.helium_path.delivered);
+  EXPECT_EQ(c.owned_path.delivered, base.owned_path.delivered);
+}
+
 }  // namespace
 }  // namespace centsim

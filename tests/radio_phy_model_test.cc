@@ -1,0 +1,89 @@
+#include "src/radio/phy_model.h"
+
+#include <gtest/gtest.h>
+
+#include "src/radio/link_budget.h"
+#include "src/radio/medium.h"
+#include "src/radio/phy_802154.h"
+
+namespace centsim {
+namespace {
+
+// The unified surface must return the exact doubles of the per-tech
+// statics it wraps: callers migrated from the branchy form may sit on
+// golden-digest paths.
+
+TEST(PhyModel, Matches802154Statics) {
+  const PhyModel phy = PhyModel::For802154();
+  EXPECT_EQ(phy.tech(), RadioTech::k802154);
+  for (const size_t payload : {2u, 12u, 64u, 127u}) {
+    EXPECT_EQ(phy.Airtime(payload).micros(), Phy802154::Airtime(payload).micros());
+  }
+  EXPECT_EQ(phy.SensitivityDbm(), Phy802154::kSensitivityDbm);
+  const double noise = NoiseFloorDbm(Phy802154::kBandwidthHz, Phy802154::kNoiseFigureDb);
+  EXPECT_EQ(phy.NoiseFloorDbm(), noise);
+  for (const double rx : {-100.0, -95.0, -90.0, -80.0}) {
+    EXPECT_EQ(phy.PacketErrorRate(rx, 12), Phy802154::PacketErrorRate(rx - noise, 12));
+    EXPECT_EQ(phy.SnrDb(rx), rx - noise);
+  }
+  EXPECT_EQ(phy.TxEnergyJoules(4.0, 12), Phy802154::TxEnergyJoules(4.0, 12));
+}
+
+TEST(PhyModel, MatchesLoraStatics) {
+  LoraConfig cfg;
+  cfg.sf = LoraSf::kSf11;
+  const PhyModel phy = PhyModel::ForLora(cfg);
+  EXPECT_EQ(phy.tech(), RadioTech::kLoRa);
+  for (const size_t payload : {2u, 12u, 51u}) {
+    EXPECT_EQ(phy.Airtime(payload).micros(), LoraPhy::Airtime(cfg, payload).micros());
+  }
+  EXPECT_EQ(phy.SensitivityDbm(), LoraPhy::SensitivityDbm(cfg.sf, cfg.bandwidth_hz));
+  for (const double rx : {-140.0, -130.0, -120.0, -100.0}) {
+    EXPECT_EQ(phy.PacketErrorRate(rx, 12),
+              LoraPhy::PacketErrorRate(cfg.sf, rx, cfg.bandwidth_hz));
+  }
+  EXPECT_EQ(phy.TxEnergyJoules(14.0, 12), LoraPhy::TxEnergyJoules(cfg, 14.0, 12));
+}
+
+TEST(PhyModel, ContentionDispatchesPerTech) {
+  const PhyModel wpan = PhyModel::For802154();
+  const PhyModel lora = PhyModel::ForLora(LoraConfig{});
+  const double load_hz = 5.0;
+  EXPECT_EQ(wpan.ContentionSuccessProbability(load_hz, 12),
+            CsmaModel::SuccessProbability(load_hz, Phy802154::Airtime(12)));
+  EXPECT_EQ(lora.ContentionSuccessProbability(load_hz, 12),
+            AlohaModel::SuccessProbability(load_hz, LoraPhy::Airtime(LoraConfig{}, 12)));
+  // CSMA backs off; ALOHA does not: under equal load and airtime ordering
+  // may differ, but both must decay with load.
+  EXPECT_LT(wpan.ContentionSuccessProbability(50.0, 12),
+            wpan.ContentionSuccessProbability(1.0, 12));
+  EXPECT_LT(lora.ContentionSuccessProbability(50.0, 12),
+            lora.ContentionSuccessProbability(1.0, 12));
+}
+
+TEST(PhyModel, GenericFactoryAndCaptureMargin) {
+  LoraConfig cfg;
+  cfg.sf = LoraSf::kSf7;
+  const PhyModel a = PhyModel::For(RadioTech::kLoRa, cfg);
+  EXPECT_EQ(a.lora().sf, LoraSf::kSf7);
+  EXPECT_EQ(a.CaptureMarginDb(), LoraPhy::kCaptureMarginDb);
+  EXPECT_EQ(PhyModel::For(RadioTech::k802154, cfg).tech(), RadioTech::k802154);
+}
+
+TEST(PhyModel, DeviceClassNamesAndCadEnergy) {
+  EXPECT_STREQ(LoraDeviceClassName(LoraDeviceClass::kClassA), "A");
+  EXPECT_STREQ(LoraDeviceClassName(LoraDeviceClass::kClassB), "B");
+  EXPECT_STREQ(LoraDeviceClassName(LoraDeviceClass::kClassC), "C");
+  // A CAD scan costs two symbols of listen current: well under a TX, and
+  // monotone in SF (slower symbols scan longer).
+  LoraConfig sf7;
+  sf7.sf = LoraSf::kSf7;
+  LoraConfig sf12;
+  sf12.sf = LoraSf::kSf12;
+  EXPECT_GT(LoraPhy::CadEnergyJoules(sf12), LoraPhy::CadEnergyJoules(sf7));
+  EXPECT_LT(LoraPhy::CadEnergyJoules(sf12), LoraPhy::TxEnergyJoules(sf12, 14.0, 12));
+  EXPECT_GT(LoraPhy::kBeaconRxEnergyJ, 0.0);
+}
+
+}  // namespace
+}  // namespace centsim

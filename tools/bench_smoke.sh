@@ -199,6 +199,69 @@ if failures:
 print("bench_smoke: snapshot within tolerance")
 EOF
 
+# --- Radio medium scale gate -------------------------------------------
+# bench_radio_scale runs the grid-bucketed contention resolver over 10k,
+# 100k and 1M transmitters at constant density (positions straight from
+# DeviceFleet columns), checks the grid path against the all-pairs oracle
+# bit for bit at 10k, and fits the log-log scaling exponent. Gated here:
+# throughput within tolerance, exponent <= 1.2 (near-linear), parity.
+RADIO_BASELINE="bench/BENCH_radio_scale.json"
+[[ -f "${RADIO_BASELINE}" ]] || { echo "missing baseline ${RADIO_BASELINE}" >&2; exit 1; }
+
+cmake --build "${BUILD_DIR}" --target bench_radio_scale -j "$(nproc)"
+(cd "${BUILD_DIR}/bench" && ./bench_radio_scale)
+
+python3 - "${RADIO_BASELINE}" "${BUILD_DIR}/bench/BENCH_radio_scale.json" "${TOLERANCE}" <<'EOF'
+import json, sys
+
+baseline_path, fresh_path, tol = sys.argv[1], sys.argv[2], float(sys.argv[3])
+def records(path):
+    with open(path) as f:
+        return {r["name"]: r for r in json.load(f)["records"]}
+
+base, fresh = records(baseline_path), records(fresh_path)
+failures = []
+for name, rec in sorted(base.items()):
+    if name.endswith("_10k"):
+        continue  # Millisecond-scale rounds: recorded, but too noisy to gate.
+    if name not in fresh:
+        failures.append(f"{name}: missing from fresh run")
+        continue
+    old, new = rec["value"], fresh[name]["value"]
+    if rec["unit"] == "1/s" and old > 0:
+        if new < old * (1.0 - tol):
+            failures.append(f"{name}: {new:.0f}/s < {1-tol:.0%} of baseline {old:.0f}/s")
+        else:
+            print(f"  ok {name}: {new:.3g}/s vs baseline {old:.3g}/s")
+    elif name.startswith("delivered_round0"):
+        # Deterministic counter-hash draws: the delivery count at a given
+        # size is a fixed number, and any drift means the model changed.
+        if new != old:
+            failures.append(f"{name}: {new:.0f} != baseline {old:.0f} (model drift)")
+        else:
+            print(f"  ok {name}: {new:.0f} delivered (exact)")
+
+# Absolute gates from the radio-medium acceptance criteria, independent of
+# the recorded baseline.
+exponent = fresh.get("scaling_exponent", {"value": 99.0})["value"]
+if exponent > 1.2:
+    failures.append(f"scaling_exponent: {exponent:.3f} > 1.2 ceiling (not near-linear)")
+else:
+    print(f"  ok scaling_exponent: {exponent:.3f} (ceiling 1.2)")
+parity = fresh.get("parity_checks_passed", {"value": 0.0})["value"]
+if parity < 1:
+    failures.append("parity_checks_passed: grid did not match the all-pairs oracle")
+else:
+    print(f"  ok parity_checks_passed: {parity:.0f}")
+
+if failures:
+    print("bench_smoke: REGRESSION (radio scale)", file=sys.stderr)
+    for f in failures:
+        print(f"  {f}", file=sys.stderr)
+    sys.exit(1)
+print("bench_smoke: radio scale within tolerance")
+EOF
+
 # --- Ensemble engine + live-run-control gate ---------------------------
 # bench_e5_ensemble runs the 50-year experiment as a parallel ensemble:
 # once per pool width, and once more with live run control (status_dir +

@@ -564,10 +564,16 @@ std::vector<std::string> DistrictConfig::Validate() const {
   for (std::string& diagnostic : snapshot.Validate()) {
     diagnostics.push_back(std::move(diagnostic));
   }
+  for (std::string& diagnostic : shard.Validate()) {
+    diagnostics.push_back(std::move(diagnostic));
+  }
   return diagnostics;
 }
 
 DistrictReport RunDistrictScenario(const DistrictConfig& config) {
+  if (config.shard.enabled()) {
+    return RunShardedDistrictScenario(config);
+  }
   CheckConfigOrDie("district", config.Validate());
   Simulation sim(config.seed);
   sim.trace().EnableRetention(false);

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/shard_plan.h"
 #include "src/core/theseus.h"
 #include "src/mgmt/batch_project.h"
 #include "src/sim/run_progress.h"
@@ -58,6 +59,16 @@ struct DistrictConfig {
   // saving run and a resumed/branched run.
   SnapshotPlan snapshot;
 
+  // Intra-run sharding (src/core/district_shard.cc). shards == 0 (default)
+  // runs the serial engine — golden digests unchanged. shards > 0 runs the
+  // city across that many lanes with conservative windowed barriers;
+  // results are bit-identical across any shards/workers/window choice, but
+  // (by design) differ from the serial engine's: the sharded engine keys
+  // per-entity RNG streams and integrates availability in integers so its
+  // merge is order-free. Sharded snapshots use the "district-shard"
+  // experiment tag and restore under any shard count.
+  ShardPlan shard;
+
   // Actionable diagnostics (empty = valid); RunDistrictScenario fails
   // fast on any diagnostic instead of running silently to garbage.
   std::vector<std::string> Validate() const;
@@ -94,7 +105,11 @@ struct DistrictReport {
   }
 };
 
+// Dispatches to the sharded engine when config.shard.enabled().
 DistrictReport RunDistrictScenario(const DistrictConfig& config);
+
+// The sharded engine directly (config.shard.shards must be > 0).
+DistrictReport RunShardedDistrictScenario(const DistrictConfig& config);
 
 }  // namespace centsim
 

@@ -167,6 +167,21 @@ DeviceHandle DeviceFleet::AddSites(const DeploymentPlan& plan, uint32_t cls,
   return first;
 }
 
+DeviceHandle DeviceFleet::AddSitesRange(const DeploymentPlan& plan, uint32_t cls,
+                                        const HarvesterModel& harvester, uint32_t begin,
+                                        uint32_t end) {
+  DeviceHandle first = kInvalidDeviceHandle;
+  Reserve(capacity() + (end - begin));
+  for (uint32_t i = begin; i < end; ++i) {
+    const Site& site = plan.sites()[i];
+    const DeviceHandle h = Add(cls, site.x_m, site.y_m, site.zone, harvester);
+    if (first == kInvalidDeviceHandle) {
+      first = h;
+    }
+  }
+  return first;
+}
+
 void DeviceFleet::Remove(DeviceHandle h) {
   if (!IsLive(h)) {
     return;

@@ -113,6 +113,11 @@ class DeviceFleet {
   DeviceHandle AddSites(const DeploymentPlan& plan, uint32_t cls,
                         const HarvesterModel& harvester);
 
+  // Adds one device per planned site in [begin, end) — a shard lane's
+  // column range. Local slot = global site index - begin on a fresh fleet.
+  DeviceHandle AddSitesRange(const DeploymentPlan& plan, uint32_t cls,
+                             const HarvesterModel& harvester, uint32_t begin, uint32_t end);
+
   // Releases a slot: bumps the handle generation (all outstanding handles
   // for it go stale) and recycles it LIFO.
   void Remove(DeviceHandle h);

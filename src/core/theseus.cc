@@ -465,10 +465,16 @@ std::vector<std::string> CenturyConfig::Validate() const {
   for (std::string& diagnostic : snapshot.Validate()) {
     diagnostics.push_back(std::move(diagnostic));
   }
+  for (std::string& diagnostic : shard.Validate()) {
+    diagnostics.push_back(std::move(diagnostic));
+  }
   return diagnostics;
 }
 
 CenturyReport RunCenturyScenario(const CenturyConfig& config) {
+  if (config.shard.enabled()) {
+    return RunShardedCenturyScenario(config);
+  }
   CheckConfigOrDie("century", config.Validate());
   Simulation sim(config.seed);
   sim.trace().set_min_level(TraceLevel::kFailure);

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/shard_plan.h"
 #include "src/mgmt/batch_project.h"
 #include "src/reliability/component.h"
 #include "src/reliability/survival.h"
@@ -62,6 +63,15 @@ struct CenturyConfig {
   // resumed/branched run.
   SnapshotPlan snapshot;
 
+  // Intra-run sharding (src/core/theseus_shard.cc). shards == 0 (default)
+  // runs the serial engine — golden digests unchanged. shards > 0 splits
+  // the fleet into contiguous column ranges advanced in parallel (sites
+  // never interact, so there is no cross-shard traffic); results are
+  // bit-identical across any shards/workers/window choice but differ from
+  // the serial engine's event-order-dependent KaplanMeier observation
+  // sequence. Snapshot checkpointing is not supported under sharding.
+  ShardPlan shard;
+
   // Actionable diagnostics (empty = valid); RunCenturyScenario fails
   // fast on any diagnostic instead of running silently to garbage.
   std::vector<std::string> Validate() const;
@@ -87,7 +97,11 @@ struct CenturyReport {
   std::string last_checkpoint_path;
 };
 
+// Dispatches to the sharded engine when config.shard.enabled().
 CenturyReport RunCenturyScenario(const CenturyConfig& config);
+
+// The sharded engine directly (config.shard.shards must be > 0).
+CenturyReport RunShardedCenturyScenario(const CenturyConfig& config);
 
 }  // namespace centsim
 

@@ -1,0 +1,320 @@
+// Sharded century engine: the embarrassingly-parallel sibling of the
+// sharded district. Century sites never interact — each site's trajectory
+// depends only on its own entity-keyed lifetime draws and the shared visit
+// grid — so the fleet splits into contiguous column ranges with NO
+// cross-shard traffic: no bus, no gateway timelines, and NextBound() is
+// just each lane's earliest pending event.
+//
+// Determinism: the serial engine already keys every lifetime draw by
+// (site index, unit generation), so lanes reproduce the serial draws
+// verbatim with global indices. Counters (failures, replacements,
+// deployments, generations) are bit-identical to the serial engine;
+// availability means differ from serial in the last float bits only
+// because lanes integrate in exact 128-bit microsecond-counts instead of
+// event-ordered double sums — which is also what makes them bit-identical
+// across any shard/worker/window choice. Kaplan–Meier observations are
+// concatenated in lane order (failures then survivors per lane), not the
+// serial global event order; the survival curve is order-free, the raw
+// observation sequence is not digest-pinned.
+//
+// Snapshot checkpointing is NOT supported under sharding (the serial
+// century's TimerTable capture assumes one scheduler); requesting both is
+// a config error, reported fail-fast.
+
+#include "src/core/theseus.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/fleet.h"
+#include "src/mgmt/batch_project.h"
+#include "src/reliability/component.h"
+#include "src/sim/ensemble.h"
+#include "src/sim/flight_recorder.h"
+#include "src/sim/shard_coordinator.h"
+#include "src/sim/simulation.h"
+#include "src/sim/thread_pool.h"
+#include "src/snapshot/timer_table.h"
+
+namespace centsim {
+namespace {
+
+using U128 = unsigned __int128;
+
+double U128Seconds(U128 us) { return static_cast<double>(us) / 1e6; }
+
+struct CenturyLaneTotals {
+  U128 alive_us = 0;
+  std::vector<U128> yearly_alive_us;
+  uint64_t total_failures = 0;
+  uint64_t total_replacements = 0;
+  uint64_t proactive_replacements = 0;
+  uint64_t units_deployed = 0;
+  double max_unit_generations = 0.0;
+};
+
+class CenturyShardLane final : public ShardLane {
+ public:
+  CenturyShardLane(const CenturyConfig& config, uint32_t lane, uint32_t begin, uint32_t end,
+                   FlightRecorder* recorder)
+      : config_(config),
+        lane_(lane),
+        begin_(begin),
+        end_(end),
+        recorder_(recorder),
+        sim_(config.seed),
+        fleet_(sim_),
+        timers_(sim_.scheduler(), /*track=*/false),
+        rng_(sim_.StreamFor(0x7468657365757300ULL)),
+        years_(static_cast<uint32_t>(std::ceil(config.horizon.ToYears()))),
+        yearly_alive_us_(years_, 0),
+        batches_(sim_, config.batch, [this](uint32_t zone, uint32_t cycle) {
+          (void)cycle;
+          OnZoneVisit(zone);
+        }) {
+    sim_.trace().set_min_level(TraceLevel::kFailure);
+    sim_.trace().EnableRetention(false);
+  }
+
+  // --- ShardLane ----------------------------------------------------------
+
+  void Setup(SimTime cover) override {
+    (void)cover;  // No cross-shard lookahead to publish.
+    DeviceClassSpec spec;
+    spec.name = "century-site";
+    spec.hardware = config_.device_class == DeviceClassKind::kBatteryPowered
+                        ? SeriesSystem::BatteryPoweredNode()
+                        : SeriesSystem::EnergyHarvestingNode();
+    cls_ = fleet_.InternClass(spec);
+    const uint32_t count = end_ - begin_;
+    fleet_.Reserve(count);
+    for (uint32_t idx = begin_; idx < end_; ++idx) {
+      fleet_.Add(cls_, 0.0, 0.0, idx % ZoneCount(), HarvesterModel());
+    }
+    zone_local_.resize(ZoneCount());
+    for (uint32_t ld = 0; ld < count; ++ld) {
+      zone_local_[fleet_.zone(ld)].push_back(ld);
+    }
+    batches_.ScheduleThrough(config_.horizon);
+    for (uint32_t ld = 0; ld < count; ++ld) {
+      DeploySite(ld);
+    }
+  }
+
+  SimTime NextBound() override { return sim_.scheduler().EarliestPending(); }
+
+  void RunWindow(SimTime barrier, SimTime cover) override {
+    (void)cover;
+    sim_.scheduler().DrainToBarrier(barrier);
+  }
+
+  Scheduler& sched() override { return sim_.scheduler(); }
+
+  // --- Main-thread accessors (lanes quiescent) ----------------------------
+
+  void FinishAt(SimTime horizon) {
+    AccumulateTo(horizon.micros());
+    // Censor survivors in ascending local (== global) order, exactly like
+    // the serial engine's end-of-run sweep over its whole fleet.
+    for (uint32_t ld = 0; ld < end_ - begin_; ++ld) {
+      if (fleet_.alive(ld)) {
+        survival_.push_back({horizon - fleet_.deployed_at(ld), /*failed=*/false});
+      }
+      max_gen_ = std::max(max_gen_, static_cast<double>(fleet_.unit_generation(ld)));
+    }
+  }
+
+  void MergeInto(CenturyLaneTotals& t, KaplanMeier& survival) const {
+    t.alive_us += alive_us_;
+    for (uint32_t y = 0; y < years_; ++y) {
+      t.yearly_alive_us[y] += yearly_alive_us_[y];
+    }
+    t.total_failures += total_failures_;
+    t.total_replacements += total_replacements_;
+    t.proactive_replacements += proactive_replacements_;
+    t.units_deployed += units_deployed_;
+    t.max_unit_generations = std::max(t.max_unit_generations, max_gen_);
+    for (const SurvivalObservation& o : survival_) {
+      survival.Observe(o);
+    }
+  }
+
+ private:
+  uint32_t ZoneCount() const { return std::max(1u, config_.batch.zone_count); }
+
+  void AccumulateTo(int64_t now_us) {
+    if (now_us <= last_us_) {
+      return;
+    }
+    const U128 span = static_cast<uint64_t>(now_us - last_us_);
+    alive_us_ += span * fleet_.alive_count();
+    const int64_t year_us = SimTime::Years(1).micros();
+    int64_t t0 = last_us_;
+    while (t0 < now_us) {
+      const uint32_t y =
+          std::min<uint32_t>(years_ - 1, static_cast<uint32_t>(t0 / year_us));
+      const int64_t year_end = (static_cast<int64_t>(y) + 1) * year_us;
+      const int64_t seg_end = std::min(now_us, year_end);
+      yearly_alive_us_[y] += U128(static_cast<uint64_t>(seg_end - t0)) * fleet_.alive_count();
+      t0 = seg_end;
+    }
+    last_us_ = now_us;
+  }
+
+  void DeploySite(uint32_t ld) {
+    AccumulateTo(sim_.Now().micros());
+    fleet_.DeployAt(ld);
+    ++units_deployed_;
+
+    // The serial engine's exact derivation, with the global site index:
+    // the draw is identical whichever lane owns the site.
+    const double decade = sim_.Now().ToYears() / 10.0;
+    const double life_scale = std::pow(config_.life_improvement_per_decade, decade);
+    RandomStream site_rng = rng_.Derive((static_cast<uint64_t>(begin_ + ld) << 20) +
+                                        fleet_.unit_generation(ld));
+    const SimTime life =
+        fleet_.class_spec(cls_).hardware.SampleLife(site_rng).life * life_scale;
+
+    fleet_.set_failure_event(
+        ld, timers_.Schedule(sim_.Now() + life, 0, ld, 0, 0.0,
+                             [this, ld, life] { OnSiteFailure(ld, life); }));
+  }
+
+  void OnSiteFailure(uint32_t ld, SimTime life) {
+    fleet_.set_failure_event(ld, kInvalidEventId);
+    AccumulateTo(sim_.Now().micros());
+    fleet_.MarkFailedAt(ld);
+    ++total_failures_;
+    survival_.push_back({life, /*failed=*/true});
+    if (recorder_ != nullptr) {
+      recorder_->Record("century.site_failure", sim_.Now(), begin_ + ld);
+    }
+  }
+
+  void OnZoneVisit(uint32_t zone) {
+    if (recorder_ != nullptr) {
+      recorder_->Record("century.zone_visit", sim_.Now(), zone);
+    }
+    for (uint32_t ld : zone_local_[zone]) {
+      if (!fleet_.alive(ld)) {
+        ++total_replacements_;
+        DeploySite(ld);
+        continue;
+      }
+      if (config_.proactive_refresh_age.micros() > 0 &&
+          sim_.Now() - fleet_.deployed_at(ld) >= config_.proactive_refresh_age) {
+        const EventId failure = fleet_.failure_event(ld);
+        if (failure != kInvalidEventId) {
+          timers_.Cancel(failure);
+          fleet_.set_failure_event(ld, kInvalidEventId);
+        }
+        survival_.push_back({sim_.Now() - fleet_.deployed_at(ld), /*failed=*/false});
+        AccumulateTo(sim_.Now().micros());
+        fleet_.RetireAt(ld);
+        ++proactive_replacements_;
+        DeploySite(ld);
+      }
+    }
+  }
+
+  const CenturyConfig& config_;
+  const uint32_t lane_;
+  const uint32_t begin_;
+  const uint32_t end_;
+  FlightRecorder* recorder_;
+
+  Simulation sim_;
+  DeviceFleet fleet_;
+  uint32_t cls_ = 0;
+  TimerTable timers_;
+  RandomStream rng_;
+  const uint32_t years_;
+  std::vector<U128> yearly_alive_us_;
+  BatchProjectScheduler batches_;
+
+  std::vector<std::vector<uint32_t>> zone_local_;  // Ascending local slots.
+  std::vector<SurvivalObservation> survival_;      // Lane-local, merged in order.
+
+  int64_t last_us_ = 0;
+  U128 alive_us_ = 0;
+  uint64_t total_failures_ = 0;
+  uint64_t total_replacements_ = 0;
+  uint64_t proactive_replacements_ = 0;
+  uint64_t units_deployed_ = 0;
+  double max_gen_ = 0.0;
+};
+
+}  // namespace
+
+CenturyReport RunShardedCenturyScenario(const CenturyConfig& config) {
+  std::vector<std::string> diagnostics = config.Validate();
+  if (config.shard.shards == 0) {
+    diagnostics.push_back("shard.shards is zero: the sharded engine needs at least one lane "
+                          "(use RunCenturyScenario for the serial engine)");
+  }
+  if (config.snapshot.enabled()) {
+    diagnostics.push_back("snapshot checkpoint/resume is not supported by the sharded "
+                          "century engine: run with shard.shards = 0 to checkpoint, or use "
+                          "the sharded district engine which supports both");
+  }
+  CheckConfigOrDie("century-shard", diagnostics);
+
+  const uint32_t shards = std::min(config.shard.shards, config.fleet_size);
+  std::vector<std::unique_ptr<CenturyShardLane>> lanes;
+  std::vector<ShardLane*> lane_ptrs;
+  const uint32_t per_lane = config.fleet_size / shards;
+  const uint32_t remainder = config.fleet_size % shards;
+  uint32_t begin = 0;
+  for (uint32_t i = 0; i < shards; ++i) {
+    const uint32_t end = begin + per_lane + (i < remainder ? 1 : 0);
+    FlightRecorder* recorder =
+        i < config.shard.shard_recorders.size() ? config.shard.shard_recorders[i] : nullptr;
+    lanes.push_back(std::make_unique<CenturyShardLane>(config, i, begin, end, recorder));
+    lane_ptrs.push_back(lanes.back().get());
+    begin = end;
+  }
+
+  ThreadPool pool(config.shard.workers != 0 ? config.shard.workers : shards);
+  ShardWindowOptions opts;
+  opts.horizon = config.horizon;
+  opts.window =
+      config.shard.window.micros() > 0 ? config.shard.window : SimTime::Days(90);
+  opts.progress = config.shard.shard_progress;
+  opts.replica_progress = config.control.progress;
+
+  CenturyReport report;
+  report.events_executed = RunShardWindows(pool, lane_ptrs, opts);
+
+  CenturyLaneTotals totals;
+  totals.yearly_alive_us.assign(
+      static_cast<uint32_t>(std::ceil(config.horizon.ToYears())), 0);
+  for (auto& lane : lanes) {
+    lane->FinishAt(config.horizon);
+    lane->MergeInto(totals, report.unit_survival);
+  }
+
+  report.total_failures = totals.total_failures;
+  report.total_replacements = totals.total_replacements;
+  report.proactive_replacements = totals.proactive_replacements;
+  report.units_deployed = totals.units_deployed;
+  report.max_unit_generations = totals.max_unit_generations;
+
+  const uint32_t years = static_cast<uint32_t>(totals.yearly_alive_us.size());
+  const double total_site_seconds = config.horizon.ToSeconds() * config.fleet_size;
+  report.mean_availability =
+      total_site_seconds > 0 ? U128Seconds(totals.alive_us) / total_site_seconds : 0;
+  report.yearly_availability.resize(years);
+  const double year_site_seconds = SimTime::Years(1).ToSeconds() * config.fleet_size;
+  for (uint32_t y = 0; y < years; ++y) {
+    report.yearly_availability[y] = U128Seconds(totals.yearly_alive_us[y]) / year_site_seconds;
+    report.min_yearly_availability =
+        std::min(report.min_yearly_availability, report.yearly_availability[y]);
+  }
+  return report;
+}
+
+}  // namespace centsim

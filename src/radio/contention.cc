@@ -132,7 +132,7 @@ void ContentionResolver::Resolve(const TxColumns& tx, uint32_t round,
     cad_cells_.clear();
     for (size_t i = 0; i < n; ++i) {
       const size_t key = grid_.CellOf(tx.x[i], tx.y[i]) * n_groups + group_of(i);
-      const uint64_t pri = HashMix(round_seed ^ kCadSalt, i);
+      const uint64_t pri = HashMix(round_seed ^ kCadSalt, tx.index_base + i);
       if (cad_min_[key] == kNoPriority) {
         cad_cells_.push_back(static_cast<uint32_t>(key));
       }
@@ -140,7 +140,7 @@ void ContentionResolver::Resolve(const TxColumns& tx, uint32_t round,
     }
     for (size_t i = 0; i < n; ++i) {
       const size_t key = grid_.CellOf(tx.x[i], tx.y[i]) * n_groups + group_of(i);
-      const uint64_t pri = HashMix(round_seed ^ kCadSalt, i);
+      const uint64_t pri = HashMix(round_seed ^ kCadSalt, tx.index_base + i);
       if (pri > cad_min_[key]) {
         out[i].outcome = DeliveryOutcome::kCadBusy;
       }
@@ -169,9 +169,9 @@ void ContentionResolver::Resolve(const TxColumns& tx, uint32_t round,
       if (d2 > r2) {
         return;
       }
-      const double loss =
-          path_loss_.LinkLossDb(std::sqrt(d2),
-                                RadioLinkSeed(params_.seed, static_cast<uint32_t>(i), gw));
+      const double loss = path_loss_.LinkLossDb(
+          std::sqrt(d2),
+          RadioLinkSeed(params_.seed, static_cast<uint32_t>(tx.index_base + i), gw));
       const double rx = tx.tx_power_dbm[i] + params_.rx_antenna_gain_db - loss;
       if (rx >= hear_dbm) {
         hearings_.push_back({static_cast<uint32_t>(i), gw, rx});
@@ -207,8 +207,9 @@ void ContentionResolver::Resolve(const TxColumns& tx, uint32_t round,
         interference_mw <= 0.0 ||
         h.rx_dbm - MilliwattsToDbm(interference_mw) >= params_.capture_margin_db;
     const double per = phy.PacketErrorRate(h.rx_dbm, params_.payload_bytes);
-    const double u = HashUniform(HashMix(round_seed ^ kPerSalt,
-                                         (static_cast<uint64_t>(h.tx) << 32) | h.gw));
+    const double u = HashUniform(
+        HashMix(round_seed ^ kPerSalt,
+                (static_cast<uint64_t>(tx.index_base + h.tx) << 32) | h.gw));
     const bool received = u >= per;
 
     tx_flags_[h.tx] |= kHeard;

@@ -120,12 +120,20 @@ class ContentionResolver {
 
   // One round of simultaneous transmissions as parallel columns. `group`
   // may be null when params.groups has exactly one entry.
+  //
+  // `index_base` offsets every identity-keyed draw (per-link shadowing,
+  // CAD start priority, PER): column i is transmitter `index_base + i`.
+  // A shard lane resolving its fleet column range [base, base + count)
+  // therefore draws exactly what a whole-fleet resolve would draw for
+  // those transmitters — per-frame fates match bit-for-bit wherever the
+  // contending sets coincide (e.g. ranges split on grid-cell boundaries).
   struct TxColumns {
     const double* x = nullptr;
     const double* y = nullptr;
     const double* tx_power_dbm = nullptr;
     const uint8_t* group = nullptr;
     size_t count = 0;
+    size_t index_base = 0;
   };
 
   // Resolves every transmitter's fate for round `round`. out is resized to

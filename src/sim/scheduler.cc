@@ -422,6 +422,52 @@ uint64_t Scheduler::RunUntil(SimTime horizon) {
   return ran;
 }
 
+SimTime Scheduler::EarliestPending() const {
+  // An active run head or heap top dominates everything staged: staged
+  // entries all sit at or past near_limit_, heap entries below it, and a
+  // run's single timestamp precedes the heap it was split from.
+  if (run_idx_ < run_.size()) {
+    return run_[run_idx_].at;
+  }
+  if (!heap_.empty()) {
+    return heap_.front().at;
+  }
+  int64_t next = INT64_MAX;
+  // rungs_ is a stack — back() covers the earliest remaining window, and a
+  // rung's buckets partition its window in ascending time — so the first
+  // non-empty bucket of the topmost occupied rung bounds the staged
+  // minimum. Only that one bucket needs scanning (entries within a bucket
+  // are unsorted, in seq order).
+  for (size_t i = rungs_.size(); i-- > 0;) {
+    const Rung& r = rungs_[i];
+    for (size_t b = r.next; b < r.buckets.size(); ++b) {
+      if (r.buckets[b].empty()) {
+        continue;
+      }
+      for (const HeapEntry& e : r.buckets[b]) {
+        next = e.at.micros() < next ? e.at.micros() : next;
+      }
+      return SimTime::Micros(next);
+    }
+  }
+  for (const HeapEntry& e : far_) {
+    next = e.at.micros() < next ? e.at.micros() : next;
+  }
+  return SimTime::Micros(next);
+}
+
+uint64_t Scheduler::DrainToBarrier(SimTime barrier) {
+  const uint64_t ran = RunUntil(barrier);
+  // Quiescence on exit: the clock sits exactly on the barrier and nothing
+  // queued is at or before it. The drain loop physically removes every
+  // entry — live or stale — at or before the barrier (stale heap tops are
+  // skimmed, cancelled staged entries dropped at load), so the
+  // stale-inclusive probe agrees.
+  assert(now_.micros() == barrier.micros());
+  assert(barrier < EarliestPending());
+  return ran;
+}
+
 void Scheduler::RestoreClock(SimTime now, uint64_t executed, uint64_t late_schedules) {
   // Restore targets a fresh scheduler: re-arming into a queue that still
   // holds events would interleave two runs' sequence spaces.

@@ -161,13 +161,24 @@ class Scheduler {
   // Runs a single event if one is pending. Returns false if queue is empty.
   bool Step();
 
-  // Checkpoint barrier: runs every event at or before `barrier` and leaves
-  // the clock exactly there — afterwards no callback is mid-flight and
-  // every pending event is strictly later, which is the quiescent point
-  // snapshots are taken at. Identical semantics to RunUntil (which already
-  // guarantees Now() == horizon when stopped by it); the name exists so
-  // checkpoint sites read as what they are.
-  uint64_t DrainToBarrier(SimTime barrier) { return RunUntil(barrier); }
+  // Checkpoint/shard barrier: runs every event at or before `barrier` and
+  // leaves the clock exactly there — afterwards no callback is mid-flight
+  // and every pending event is strictly later, the quiescent point that
+  // snapshots are taken at and shard lanes synchronize on. Drain semantics
+  // match RunUntil (which already guarantees Now() == horizon when stopped
+  // by it), but this is a real barrier API: it asserts quiescence on exit
+  // (EarliestPending() past the barrier), the invariant the conservative
+  // shard coordinator's window protocol is built on.
+  uint64_t DrainToBarrier(SimTime barrier);
+
+  // Conservative lower bound on the earliest still-queued entry, wherever
+  // it sits (active run tail, near heap, ladder rungs, far stage). Stale
+  // (cancelled) entries are included — they pin the bound early, never
+  // late, which is the safe direction for a lookahead probe. Returns
+  // SimTime::Micros(INT64_MAX) when nothing is queued. Cold-ish (may scan
+  // one rung's buckets and the far stage): meant for barrier points, not
+  // the per-event hot path — that is NextEventLowerBound's job.
+  SimTime EarliestPending() const;
 
   // Restore support: overwrites the clock and counters of an EMPTY
   // scheduler (asserted) so a resumed run continues the saved run's

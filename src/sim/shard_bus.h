@@ -1,0 +1,158 @@
+// Cross-shard message fabric for the sharded engine: an S×S matrix of
+// bounded SPSC inboxes, double-buffered into two planes keyed by window
+// parity. During window w every lane pushes into plane (w & 1) and drains
+// plane ((w - 1) & 1); the coordinator's main thread flips the write plane
+// at each barrier (between ThreadPool::Wait and the next Submit, so the
+// flip is ordered by the pool's own synchronization). No plane is ever
+// pushed and drained concurrently — the ring atomics are belt-and-braces
+// for tooling, not the correctness argument.
+//
+// Delivery contract (the conservative-synchronization invariant): a message
+// published during window w is visible to its destination at the start of
+// window w+1, and the shard protocol only publishes effects timestamped
+// beyond the *next* barrier (one full window of lookahead), so a drained
+// message is always in the receiving lane's future.
+
+#ifndef SRC_SIM_SHARD_BUS_H_
+#define SRC_SIM_SHARD_BUS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace centsim {
+
+// POD envelope. `kind`/`a`/`b` are engine-defined (e.g. gateway index and
+// transition direction); `at_us` is the simulation time the effect fires.
+struct ShardMessage {
+  int64_t at_us = 0;
+  uint32_t kind = 0;
+  uint32_t a = 0;
+  uint64_t b = 0;
+};
+
+// Bounded single-producer/single-consumer ring with an unbounded spill
+// vector behind it. Under the phased plane protocol the consumer only
+// drains a quiescent plane, so once the ring fills within a window the
+// remainder of that window's messages land in the spill in push order and
+// Drain replays ring-then-spill, preserving exact send order.
+class SpscInbox {
+ public:
+  explicit SpscInbox(size_t capacity = kDefaultCapacity) {
+    size_t cap = 1;
+    while (cap < capacity) { cap <<= 1; }
+    ring_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  void Push(const ShardMessage& m) {
+    const uint64_t t = tail_.load(std::memory_order_relaxed);
+    if (t - head_.load(std::memory_order_acquire) < ring_.size()) {
+      ring_[t & mask_] = m;
+      tail_.store(t + 1, std::memory_order_release);
+    } else {
+      spill_.push_back(m);
+      ++spilled_;
+    }
+    ++pushed_;
+  }
+
+  template <class Fn>
+  void Drain(Fn&& fn) {
+    uint64_t h = head_.load(std::memory_order_relaxed);
+    const uint64_t t = tail_.load(std::memory_order_acquire);
+    while (h != t) {
+      fn(ring_[h & mask_]);
+      ++h;
+      head_.store(h, std::memory_order_release);
+    }
+    for (const ShardMessage& m : spill_) { fn(m); }
+    spill_.clear();
+  }
+
+  uint64_t pushed() const { return pushed_; }
+  uint64_t spilled() const { return spilled_; }
+
+  static constexpr size_t kDefaultCapacity = 256;
+
+ private:
+  std::vector<ShardMessage> ring_;
+  size_t mask_ = 0;
+  std::atomic<uint64_t> head_{0};  // consumer cursor
+  std::atomic<uint64_t> tail_{0};  // producer cursor
+  std::vector<ShardMessage> spill_;
+  uint64_t pushed_ = 0;   // producer-side; read by the coordinator post-Wait
+  uint64_t spilled_ = 0;
+};
+
+class ShardBus {
+ public:
+  explicit ShardBus(uint32_t shards, size_t inbox_capacity = SpscInbox::kDefaultCapacity)
+      : shards_(shards) {
+    const size_t n = size_t(shards) * shards;
+    for (int p = 0; p < 2; ++p) {
+      for (size_t i = 0; i < n; ++i) {
+        planes_[p].emplace_back(inbox_capacity);
+      }
+    }
+  }
+
+  uint32_t shards() const { return shards_; }
+
+  // Lane `src` (worker thread) publishes onto the current write plane.
+  void Send(uint32_t src, uint32_t dst, const ShardMessage& m) {
+    Channel(write_plane_, src, dst).Push(m);
+  }
+
+  void Broadcast(uint32_t src, const ShardMessage& m) {
+    for (uint32_t dst = 0; dst < shards_; ++dst) {
+      if (dst != src) { Send(src, dst, m); }
+    }
+  }
+
+  // Lane `dst` (worker thread) drains the previous window's plane in
+  // ascending source order — a fixed, shard-deterministic merge order.
+  template <class Fn>
+  void DrainInto(uint32_t dst, Fn&& fn) {
+    const int read_plane = write_plane_ ^ 1;
+    for (uint32_t src = 0; src < shards_; ++src) {
+      Channel(read_plane, src, dst).Drain(fn);
+    }
+  }
+
+  // Main thread only, at a barrier (all lanes quiescent).
+  void FlipPlanes() { write_plane_ ^= 1; }
+
+  struct Stats {
+    uint64_t pushed = 0;
+    uint64_t spilled = 0;
+  };
+  // Main thread only, post-Wait.
+  Stats TotalStats() const {
+    Stats s;
+    for (int p = 0; p < 2; ++p) {
+      for (size_t i = 0; i < size_t(shards_) * shards_; ++i) {
+        s.pushed += planes_[p][i].pushed();
+        s.spilled += planes_[p][i].spilled();
+      }
+    }
+    return s;
+  }
+
+ private:
+  SpscInbox& Channel(int plane, uint32_t src, uint32_t dst) {
+    return planes_[plane][size_t(src) * shards_ + dst];
+  }
+
+  uint32_t shards_;
+  int write_plane_ = 0;
+  // deque: constructs channels in place, never relocates them (SpscInbox
+  // holds atomics and is neither copyable nor movable).
+  std::deque<SpscInbox> planes_[2];
+};
+
+}  // namespace centsim
+
+#endif  // SRC_SIM_SHARD_BUS_H_

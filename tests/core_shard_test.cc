@@ -1,0 +1,270 @@
+// Sharded-engine determinism tests (ROADMAP item 1): the same city run
+// under ANY shard count, worker count, or window width must produce
+// bit-identical reports — the property that makes "how many cores" a pure
+// wall-clock knob. Also pins the sharded snapshot contract: a checkpoint
+// written under K shards restores under K' shards and finishes on the
+// same digest as an uninterrupted run.
+//
+// The serial (shards == 0) path's golden digests are pinned separately in
+// core_fleet_test.cc (FleetGoldenTest); RunDistrictScenario/
+// RunCenturyScenario dispatch through the same entry points these tests
+// use, so those pins double as the serial-dispatch regression check.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/district.h"
+#include "src/core/theseus.h"
+#include "src/sim/time.h"
+#include "src/telemetry/run_manifest.h"
+
+namespace centsim {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Unique scratch directory per test, removed on teardown.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& name) : path_(testing::TempDir() + name) {
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~ScratchDir() { fs::remove_all(path_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// Hexfloat digest over every result field (perf/checkpoint accounting
+// excluded) — the same idiom as the golden parity pins.
+std::string DistrictDigest(const DistrictReport& r) {
+  std::ostringstream out;
+  out << std::hexfloat;
+  out << r.gateway_count << '|' << r.initial_coverage << '|' << r.mean_device_availability
+      << '|' << r.mean_service_availability << '|' << r.min_yearly_service << '|'
+      << r.device_failures << '|' << r.device_replacements << '|' << r.gateway_failures
+      << '|' << r.gateway_repairs;
+  for (double v : r.yearly_service) {
+    out << '|' << v;
+  }
+  return ConfigDigest(out.str());
+}
+
+std::string CenturyDigest(const CenturyReport& r) {
+  std::ostringstream out;
+  out << std::hexfloat;
+  out << r.mean_availability << '|' << r.min_yearly_availability << '|' << r.total_failures
+      << '|' << r.total_replacements << '|' << r.proactive_replacements << '|'
+      << r.units_deployed << '|' << r.max_unit_generations;
+  for (double v : r.yearly_availability) {
+    out << '|' << v;
+  }
+  return ConfigDigest(out.str());
+}
+
+DistrictConfig SmallDistrict() {
+  DistrictConfig cfg;
+  cfg.seed = 20260808;
+  cfg.device_count = 240;
+  cfg.area_km2 = 4.0;
+  cfg.zone_grid = 2;
+  cfg.horizon = SimTime::Years(6);
+  cfg.gateway_range_m = 700.0;
+  cfg.batch_cycle = SimTime::Years(2);
+  return cfg;
+}
+
+CenturyConfig SmallCentury() {
+  CenturyConfig cfg;
+  cfg.seed = 20260808;
+  cfg.fleet_size = 150;
+  cfg.horizon = SimTime::Years(40);
+  cfg.batch.zone_count = 8;
+  cfg.batch.cycle_period = SimTime::Years(5);
+  cfg.proactive_refresh_age = SimTime::Years(15);
+  cfg.life_improvement_per_decade = 1.05;
+  return cfg;
+}
+
+// --- District: shard/worker/window invariance ----------------------------
+
+TEST(DistrictShardTest, DigestInvariantAcrossShardCounts) {
+  DistrictConfig cfg = SmallDistrict();
+  cfg.shard.shards = 1;
+  const DistrictReport base = RunDistrictScenario(cfg);
+  const std::string digest = DistrictDigest(base);
+  EXPECT_GT(base.device_failures, 0u);
+  EXPECT_GT(base.gateway_failures, 0u);  // Cross-shard traffic is exercised.
+
+  for (const uint32_t shards : {2u, 3u, 4u}) {
+    cfg.shard.shards = shards;
+    const DistrictReport r = RunDistrictScenario(cfg);
+    EXPECT_EQ(DistrictDigest(r), digest) << "shards=" << shards;
+    // events_executed is a perf gauge, not a result: every lane executes
+    // its own copy of each broadcast gateway transition and zone visit, so
+    // the total scales with the lane count while the REPORT stays fixed.
+    EXPECT_GE(r.events_executed, base.events_executed) << "shards=" << shards;
+  }
+}
+
+TEST(DistrictShardTest, DigestInvariantAcrossWorkerCounts) {
+  DistrictConfig cfg = SmallDistrict();
+  cfg.shard.shards = 3;
+  std::string digest;
+  for (const uint32_t workers : {0u, 1u, 2u}) {
+    cfg.shard.workers = workers;
+    const std::string d = DistrictDigest(RunDistrictScenario(cfg));
+    if (digest.empty()) {
+      digest = d;
+    }
+    EXPECT_EQ(d, digest) << "workers=" << workers;
+  }
+}
+
+TEST(DistrictShardTest, DigestInvariantAcrossWindowWidths) {
+  DistrictConfig cfg = SmallDistrict();
+  cfg.shard.shards = 2;
+  std::string digest;
+  for (const int64_t days : {7, 90, 1000}) {
+    cfg.shard.window = SimTime::Days(days);
+    const std::string d = DistrictDigest(RunDistrictScenario(cfg));
+    if (digest.empty()) {
+      digest = d;
+    }
+    EXPECT_EQ(d, digest) << "window_days=" << days;
+  }
+}
+
+TEST(DistrictShardTest, ShardCountBeyondDeviceCountClamps) {
+  DistrictConfig cfg = SmallDistrict();
+  cfg.device_count = 3;
+  cfg.horizon = SimTime::Years(2);
+  cfg.shard.shards = 1;
+  const std::string digest = DistrictDigest(RunDistrictScenario(cfg));
+  cfg.shard.shards = 64;  // More lanes than devices: clamped, same result.
+  EXPECT_EQ(DistrictDigest(RunDistrictScenario(cfg)), digest);
+}
+
+// --- District: sharded snapshot/restore ----------------------------------
+
+TEST(DistrictShardTest, SnapshotUnderKShardsRestoresUnderKPrime) {
+  ScratchDir dir("shard_snapshot_k_kprime");
+
+  // Uninterrupted reference run at 2 shards.
+  DistrictConfig cfg = SmallDistrict();
+  cfg.shard.shards = 2;
+  const std::string digest = DistrictDigest(RunDistrictScenario(cfg));
+
+  // Checkpointing run at 2 shards.
+  cfg.snapshot.checkpoint_every = SimTime::Years(2);
+  cfg.snapshot.checkpoint_dir = dir.path();
+  const DistrictReport saved = RunDistrictScenario(cfg);
+  EXPECT_EQ(DistrictDigest(saved), digest) << "checkpointing must not perturb results";
+  ASSERT_GT(saved.checkpoints_written, 0u);
+  ASSERT_FALSE(saved.last_checkpoint_path.empty());
+
+  // Resume the EARLIEST checkpoint (zero-padded names sort numerically)
+  // under a DIFFERENT shard count: the snapshot layout is shard-agnostic,
+  // so 3 lanes pick up 2 lanes' work.
+  std::string earliest;
+  for (const auto& entry : fs::directory_iterator(dir.path())) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("checkpoint_", 0) == 0 &&
+        (earliest.empty() || name < fs::path(earliest).filename().string())) {
+      earliest = entry.path().string();
+    }
+  }
+  ASSERT_FALSE(earliest.empty());
+  DistrictConfig resumed = SmallDistrict();
+  resumed.shard.shards = 3;
+  resumed.snapshot.checkpoint_dir = dir.path();
+  resumed.snapshot.resume_from = earliest;
+  const DistrictReport r = RunDistrictScenario(resumed);
+  EXPECT_GT(r.restore_seconds, 0.0);
+  EXPECT_EQ(DistrictDigest(r), digest);
+
+  // And under shards = 1.
+  resumed.shard.shards = 1;
+  EXPECT_EQ(DistrictDigest(RunDistrictScenario(resumed)), digest);
+}
+
+TEST(DistrictShardTest, ResumeLatestPicksNewestShardCheckpoint) {
+  ScratchDir dir("shard_snapshot_latest");
+  DistrictConfig cfg = SmallDistrict();
+  cfg.shard.shards = 2;
+  const std::string digest = DistrictDigest(RunDistrictScenario(cfg));
+
+  cfg.snapshot.checkpoint_every = SimTime::Years(2);
+  cfg.snapshot.checkpoint_dir = dir.path();
+  RunDistrictScenario(cfg);
+
+  DistrictConfig resumed = SmallDistrict();
+  resumed.shard.shards = 4;
+  resumed.snapshot.checkpoint_dir = dir.path();
+  resumed.snapshot.resume_latest = true;
+  const DistrictReport r = RunDistrictScenario(resumed);
+  EXPECT_GT(r.restore_seconds, 0.0);
+  EXPECT_EQ(DistrictDigest(r), digest);
+}
+
+// --- Century: shard invariance and serial-counter parity ------------------
+
+TEST(CenturyShardTest, DigestInvariantAcrossShardCounts) {
+  CenturyConfig cfg = SmallCentury();
+  cfg.shard.shards = 1;
+  const CenturyReport base = RunCenturyScenario(cfg);
+  const std::string digest = CenturyDigest(base);
+  EXPECT_GT(base.total_failures, 0u);
+  EXPECT_GT(base.proactive_replacements, 0u);
+
+  for (const uint32_t shards : {2u, 4u}) {
+    cfg.shard.shards = shards;
+    const CenturyReport r = RunCenturyScenario(cfg);
+    EXPECT_EQ(CenturyDigest(r), digest) << "shards=" << shards;
+    // The survival curve sees the same observations (lane-concatenated
+    // order, identical per-lane content).
+    EXPECT_EQ(r.unit_survival.observations().size(),
+              base.unit_survival.observations().size());
+  }
+}
+
+TEST(CenturyShardTest, ShardedCountersMatchSerialEngine) {
+  // The sharded century engine derives the SAME per-site lifetime streams
+  // the serial engine draws (entity-keyed, not order-dependent), so the
+  // integer population counters agree exactly; only the availability
+  // integrals differ in representation (u128-exact vs double-summed).
+  CenturyConfig cfg = SmallCentury();
+  const CenturyReport serial = RunCenturyScenario(cfg);
+  cfg.shard.shards = 3;
+  const CenturyReport sharded = RunCenturyScenario(cfg);
+
+  EXPECT_EQ(sharded.total_failures, serial.total_failures);
+  EXPECT_EQ(sharded.total_replacements, serial.total_replacements);
+  EXPECT_EQ(sharded.proactive_replacements, serial.proactive_replacements);
+  EXPECT_EQ(sharded.units_deployed, serial.units_deployed);
+  EXPECT_EQ(sharded.max_unit_generations, serial.max_unit_generations);
+  EXPECT_NEAR(sharded.mean_availability, serial.mean_availability, 1e-9);
+}
+
+TEST(CenturyShardTest, DigestInvariantAcrossWorkersAndWindows) {
+  CenturyConfig cfg = SmallCentury();
+  cfg.shard.shards = 2;
+  const std::string digest = CenturyDigest(RunCenturyScenario(cfg));
+
+  cfg.shard.workers = 1;
+  cfg.shard.window = SimTime::Days(30);
+  EXPECT_EQ(CenturyDigest(RunCenturyScenario(cfg)), digest);
+
+  cfg.shard.workers = 2;
+  cfg.shard.window = SimTime::Years(2);
+  EXPECT_EQ(CenturyDigest(RunCenturyScenario(cfg)), digest);
+}
+
+}  // namespace
+}  // namespace centsim

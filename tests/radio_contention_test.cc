@@ -91,6 +91,65 @@ TEST(Contention, GridMatchesBruteForceOracle) {
   }
 }
 
+// Shard-lane contract: resolving a column subrange with index_base set
+// draws exactly what a whole-fleet resolve draws for those transmitters.
+// Where the contending sets coincide — here two clusters separated by more
+// than the radio range, so no gateway hears both — per-frame fates are
+// bit-identical between the full resolve and the subrange resolve.
+TEST(Contention, SubrangeWithIndexBaseMatchesFullResolve) {
+  Scene a = RandomScene(91, 12, 150, 5000.0);
+  const Scene b_raw = RandomScene(92, 12, 150, 5000.0);
+  // Cluster B lives 20 km to the right: far beyond range_m (3000) and any
+  // shared CAD cell, so A's frames never interfere with B's.
+  Scene all = a;
+  for (size_t i = 0; i < b_raw.gx.size(); ++i) {
+    all.gx.push_back(b_raw.gx[i] + 20000.0);
+    all.gy.push_back(b_raw.gy[i]);
+  }
+  for (size_t i = 0; i < b_raw.x.size(); ++i) {
+    all.x.push_back(b_raw.x[i] + 20000.0);
+    all.y.push_back(b_raw.y[i]);
+    all.power.push_back(b_raw.power[i]);
+    all.group.push_back(b_raw.group[i]);
+  }
+
+  ContentionParams p = LoraParams(91);
+  p.cad = true;  // Exercise the CAD priority draw's index_base too.
+  ContentionResolver resolver(p, all.gx, all.gy);
+
+  std::vector<DeliveryReport> full, sub;
+  resolver.Resolve(all.Columns(), 0, full);
+
+  const size_t base = a.x.size();
+  ContentionResolver::TxColumns tail = all.Columns();
+  tail.x += base;
+  tail.y += base;
+  tail.tx_power_dbm += base;
+  tail.group += base;
+  tail.count -= base;
+  tail.index_base = base;
+  resolver.Resolve(tail, 0, sub);
+
+  ASSERT_EQ(sub.size(), full.size() - base);
+  for (size_t i = 0; i < sub.size(); ++i) {
+    EXPECT_EQ(sub[i].outcome, full[base + i].outcome) << "tx " << i;
+    EXPECT_EQ(sub[i].gateway_id, full[base + i].gateway_id) << "tx " << i;
+    EXPECT_EQ(sub[i].rssi_dbm, full[base + i].rssi_dbm) << "tx " << i;
+    EXPECT_EQ(sub[i].snr_db, full[base + i].snr_db) << "tx " << i;
+  }
+
+  // And the base matters: resolving the same tail as if it started at
+  // column 0 re-keys every shadowing/PER/CAD draw — fates shift.
+  tail.index_base = 0;
+  std::vector<DeliveryReport> rekeyed;
+  resolver.Resolve(tail, 0, rekeyed);
+  size_t diffs = 0;
+  for (size_t i = 0; i < sub.size(); ++i) {
+    diffs += rekeyed[i].outcome != sub[i].outcome || rekeyed[i].rssi_dbm != sub[i].rssi_dbm;
+  }
+  EXPECT_GT(diffs, 0u);
+}
+
 TEST(Contention, GridMatchesOracleWithCadEnabled) {
   const Scene s = RandomScene(31, 16, 300, 9000.0);
   ContentionParams grid_p = LoraParams(31);

@@ -11,6 +11,12 @@
 # build-tsan/) so it never poisons the regular build/ objects with
 # instrumented ones. TSan cannot be combined with ASan, so `thread` routes
 # through the CENTSIM_TSAN CMake option instead of CENTSIM_SANITIZE.
+#
+# The `thread` run is the proof obligation for the sharded engine: the
+# tier-1 suite includes DistrictShardTest / CenturyShardTest /
+# ShardCoordinatorTest, which drive multi-lane district and century runs
+# on real worker threads — the barrier/plane protocol must come out clean
+# here, not just "passes in practice".
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

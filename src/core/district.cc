@@ -567,10 +567,27 @@ std::vector<std::string> DistrictConfig::Validate() const {
   for (std::string& diagnostic : shard.Validate()) {
     diagnostics.push_back(std::move(diagnostic));
   }
+  if (sampling.enabled()) {
+    for (std::string& diagnostic : sampling.Validate()) {
+      diagnostics.push_back(std::move(diagnostic));
+    }
+    if (shard.enabled()) {
+      diagnostics.push_back(
+          "sampling and sharding are mutually exclusive: pick one engine");
+    }
+    if (snapshot.checkpoint_every.micros() > 0) {
+      diagnostics.push_back(
+          "sampled district runs restore from serial checkpoints but do not "
+          "write them: clear snapshot.checkpoint_every");
+    }
+  }
   return diagnostics;
 }
 
 DistrictReport RunDistrictScenario(const DistrictConfig& config) {
+  if (config.sampling.enabled()) {
+    return RunSampledDistrictScenario(config);
+  }
   if (config.shard.enabled()) {
     return RunShardedDistrictScenario(config);
   }

@@ -69,6 +69,15 @@ struct DistrictConfig {
   // experiment tag and restore under any shard count.
   ShardPlan shard;
 
+  // Sampled time advance (src/sim/sampling.h, src/core/district_sampled.cc).
+  // Default off runs the serial engine — golden digests unchanged. When on,
+  // the run alternates measured detailed windows with a heap-merged
+  // fast-forward walk; like the sharded engine it keys per-entity RNG
+  // streams, so results agree with the serial engine in distribution, not
+  // bit-for-bit. Mutually exclusive with sharding; sampled district runs
+  // restore from serial checkpoints but do not write checkpoints.
+  SamplingPlan sampling;
+
   // Actionable diagnostics (empty = valid); RunDistrictScenario fails
   // fast on any diagnostic instead of running silently to garbage.
   std::vector<std::string> Validate() const;
@@ -99,17 +108,31 @@ struct DistrictReport {
   uint64_t last_checkpoint_bytes = 0;
   std::string last_checkpoint_path;
 
+  // Sampled-engine accounting (all zero/default under the serial engine).
+  bool sampled = false;
+  uint32_t windows_measured = 0;
+  int64_t sim_skipped_us = 0;           // Span covered by fast-forward.
+  bool ci_converged = false;            // Every tracked metric met ci_target.
+  std::vector<MetricCi> metric_cis;     // Per-metric window-mean intervals.
+
   // Availability lost to the gateway tier rather than the devices.
   double CoverageLoss() const {
     return mean_device_availability - mean_service_availability;
   }
 };
 
-// Dispatches to the sharded engine when config.shard.enabled().
+// Dispatches to the sampled engine when config.sampling.enabled() and to
+// the sharded engine when config.shard.enabled().
 DistrictReport RunDistrictScenario(const DistrictConfig& config);
 
 // The sharded engine directly (config.shard.shards must be > 0).
 DistrictReport RunShardedDistrictScenario(const DistrictConfig& config);
+
+// The sampled engine directly (config.sampling.mode must be kSampled).
+// Detailed windows run the device/gateway/visit events on the real
+// scheduler; between windows a heap-merged walk advances the same
+// transitions in global time order (src/core/district_sampled.cc).
+DistrictReport RunSampledDistrictScenario(const DistrictConfig& config);
 
 }  // namespace centsim
 

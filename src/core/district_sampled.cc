@@ -1,0 +1,671 @@
+// Sampled time advance for the district scenario (ROADMAP item 2).
+//
+// Same two-level machine as the sampled century engine
+// (theseus_sampled.cc): a SamplingController alternates measured detailed
+// windows — device failures, gateway fail/repair cycles, and batch visits
+// armed on the real scheduler — with fast-forward spans where the same
+// transitions are advanced by a heap-merged walk in global time order.
+// Because the walk preserves global event order, the serial engine's
+// transition accumulator (span x service_count at every change) is reused
+// verbatim, so availability integration is exact in both levels.
+//
+// RNG keying: the serial district derives lifetime streams from global
+// counters (gateway_failures, device_replacements), which makes draws
+// depend on event order across the whole city. The sampled engine instead
+// keys every draw per entity — device streams by (slot, unit_generation),
+// gateway streams by (gateway, per-gateway cycle ordinal) — so a
+// trajectory is reproducible regardless of where detailed windows fall
+// (zero-length fast-forward is a no-op). Like the sharded engine, sampled
+// results therefore agree with the serial engine in distribution, not
+// bit-for-bit.
+//
+// Snapshots: a sampled run restores from a serial "district" checkpoint
+// (fleet/gateway/accumulator chunks map directly; pending timer records
+// become walk columns) but does not write checkpoints — DistrictConfig
+// validation rejects the combination.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <functional>
+#include <queue>
+#include <tuple>
+#include <vector>
+
+#include "src/city/deployment.h"
+#include "src/core/district.h"
+#include "src/core/fleet.h"
+#include "src/core/fleet_codec.h"
+#include "src/reliability/component.h"
+#include "src/reliability/survival.h"
+#include "src/sim/ensemble.h"
+#include "src/sim/flight_recorder.h"
+#include "src/sim/simulation.h"
+#include "src/snapshot/codec.h"
+#include "src/snapshot/snapshot.h"
+#include "src/snapshot/timer_table.h"
+
+namespace centsim {
+namespace {
+
+// Serial engine's timer tags (district.cc) — read when restoring from a
+// serial checkpoint.
+constexpr uint64_t kTimerVisit = 1;
+constexpr uint64_t kTimerGatewayFail = 2;
+constexpr uint64_t kTimerGatewayRepair = 3;
+constexpr uint64_t kTimerDeviceFail = 4;
+
+// Serial chunk tags.
+constexpr uint32_t kFleetChunk = SnapshotTag('f', 'l', 'e', 't');
+constexpr uint32_t kGatewayChunk = SnapshotTag('g', 'w', 's', 't');
+constexpr uint32_t kAccumChunk = SnapshotTag('a', 'c', 'c', 'u');
+constexpr uint32_t kTimerChunk = SnapshotTag('t', 'i', 'm', 'r');
+constexpr uint32_t kSchedChunk = SnapshotTag('s', 'c', 'h', 'd');
+constexpr uint32_t kMetricsChunk = SnapshotTag('m', 'e', 't', 'r');
+
+class DistrictSampledRun {
+ public:
+  DistrictSampledRun(Simulation& sim, const DistrictConfig& config,
+                     DistrictReport& report)
+      : sim_(sim),
+        config_(config),
+        report_(report),
+        fleet_(sim),
+        rng_(sim.StreamFor(0x646973740002ULL)),  // Serial engine's root key.
+        dev_root_(rng_.Derive(1)),
+        gw_root_(rng_.Derive(2)),
+        gateway_bom_(SeriesSystem::RaspberryPiGateway()),
+        years_(static_cast<uint32_t>(std::ceil(config.horizon.ToYears()))),
+        yearly_service_seconds_(years_, 0.0) {
+    // Geometry, classes, coverage: identical to the serial constructor, so
+    // serial snapshots' structural digests match.
+    DeploymentPlan::Params dp;
+    dp.site_count = config.device_count;
+    dp.area_km2 = config.area_km2;
+    dp.zone_grid = config.zone_grid;
+    DeploymentPlan plan(dp, sim.StreamFor(0x646973740001ULL));
+    gateway_sites_ = plan.PlanGatewayGrid(config.gateway_range_m);
+    report_.gateway_count = static_cast<uint32_t>(gateway_sites_.size());
+
+    DeviceClassSpec spec;
+    spec.name = "district-site";
+    spec.hardware = config.device_class == DeviceClassKind::kBatteryPowered
+                        ? SeriesSystem::BatteryPoweredNode()
+                        : SeriesSystem::EnergyHarvestingNode();
+    cls_ = fleet_.InternClass(spec);
+    fleet_.AddSites(plan, cls_, HarvesterModel());
+    if (config.metrics != nullptr) {
+      fleet_.EnableFleetMetrics();
+    }
+
+    zone_sites_.resize(plan.zone_count());
+    for (uint32_t d = 0; d < config.device_count; ++d) {
+      zone_sites_[fleet_.zone(d)].push_back(d);
+    }
+
+    coverage_ = BuildCoverageCsr(plan.sites(), gateway_sites_, config.gateway_range_m);
+    gateway_up_.assign(gateway_sites_.size(), 0);
+
+    std::vector<uint8_t> planned_cover(config.device_count, 0);
+    for (uint32_t d : coverage_.site_ids) {
+      planned_cover[d] = 1;
+    }
+    uint32_t covered_at_all = 0;
+    for (uint8_t c : planned_cover) {
+      covered_at_all += c;
+    }
+    report_.initial_coverage = static_cast<double>(covered_at_all) / config.device_count;
+
+    const SeriesSystem& device_bom = fleet_.class_spec(cls_).hardware;
+    dev_table_ = SurvivalTable::Build(
+        [&device_bom](SimTime t) { return device_bom.Survival(t); });
+    gw_table_ = SurvivalTable::Build(
+        [this](SimTime t) { return gateway_bom_.Survival(t); });
+
+    dev_fail_at_.assign(config.device_count, SimTime::Max());
+    gw_next_at_.assign(gateway_sites_.size(), SimTime::Max());
+    gw_ordinal_.assign(gateway_sites_.size(), 0);
+  }
+
+  void Run() {
+    RecordVisitSchedule();
+
+    std::string resume_path = config_.snapshot.resume_from;
+    if (resume_path.empty() && config_.snapshot.resume_latest) {
+      resume_path = FindLatestValidSnapshot(config_.snapshot.checkpoint_dir);
+    }
+    if (!resume_path.empty()) {
+      const auto restore_start = std::chrono::steady_clock::now();
+      std::string error;
+      if (!RestoreFrom(resume_path, &error)) {
+        CheckConfigOrDie("district-sampled",
+                         {"cannot resume from " + resume_path + ": " + error});
+      }
+      report_.restore_seconds = std::chrono::duration<double>(
+                                    std::chrono::steady_clock::now() - restore_start)
+                                    .count();
+    } else {
+      for (uint32_t g = 0; g < gateway_sites_.size(); ++g) {
+        SetGatewayAt(g, true, sim_.Now());
+        gw_next_at_[g] = sim_.Now() + SampleGatewayLife(g);
+      }
+      for (uint32_t d = 0; d < config_.device_count; ++d) {
+        DeployDeviceAt(d, sim_.Now());
+      }
+    }
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    SamplingController controller(sim_.scheduler(), config_.sampling);
+    controller.RegisterDomain(
+        "district", [this](SimTime from, SimTime to) { Walk(from, to); });
+    controller.SetWindowHooks(
+        [this](SimTime w0, SimTime w1) { BeginWindow(w0, w1); },
+        [this](SimTime w0, SimTime w1) { EndWindow(w0, w1); });
+    controller.TrackMetric("service_availability", &service_samples_);
+    controller.TrackMetric("device_availability", &device_samples_);
+    controller.TrackMetric("device_failures_per_device_year", &fail_samples_);
+    controller.AttachProgress(config_.control.progress);
+    const SamplingOutcome outcome = controller.Run(config_.horizon);
+    report_.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+    AccumulateTo(config_.horizon);
+    report_.events_executed = sim_.scheduler().executed_count();
+    report_.fleet_bytes_per_device = fleet_.BytesPerDevice();
+
+    const double total = config_.horizon.ToSeconds() * config_.device_count;
+    report_.mean_device_availability = alive_site_seconds_ / total;
+    report_.mean_service_availability = service_site_seconds_ / total;
+    report_.yearly_service.resize(years_);
+    const double year_total = SimTime::Years(1).ToSeconds() * config_.device_count;
+    for (uint32_t y = 0; y < years_; ++y) {
+      report_.yearly_service[y] = yearly_service_seconds_[y] / year_total;
+      report_.min_yearly_service =
+          std::min(report_.min_yearly_service, report_.yearly_service[y]);
+    }
+
+    report_.sampled = true;
+    report_.windows_measured = outcome.windows_measured;
+    report_.sim_skipped_us = outcome.sim_skipped_us;
+    report_.ci_converged = outcome.converged;
+    report_.metric_cis = controller.MetricSummaries();
+  }
+
+ private:
+  struct Visit {
+    SimTime at;
+    uint32_t zone = 0;
+  };
+  // Event kinds, also the equal-time tie-break order (windows arm in this
+  // order; the walk heap sorts by it). Sub-microsecond-jittered continuous
+  // event times make exact ties vanishingly rare either way.
+  enum Kind : uint8_t { kVisit = 0, kGwFail = 1, kGwRepair = 2, kDevFail = 3 };
+  enum class Phase : uint8_t { kIdle, kWindow, kWalk };
+  using WalkEvent = std::tuple<int64_t, uint8_t, uint32_t>;  // (at_us, kind, entity).
+
+  bool InService(uint32_t d) const { return fleet_.alive(d) && fleet_.covering(d) > 0; }
+
+  uint32_t ZoneCount() const { return config_.zone_grid * config_.zone_grid; }
+
+  void RecordVisitSchedule() {
+    BatchProjectParams batch;
+    batch.zone_count = ZoneCount();
+    batch.cycle_period = config_.batch_cycle;
+    BatchProjectScheduler batches(sim_, batch, [](uint32_t, uint32_t) {});
+    batches.SetVisitScheduler([this](SimTime at, uint32_t zone, uint32_t /*cycle*/) {
+      visits_.push_back({at, zone});
+    });
+    batches.ScheduleThrough(config_.horizon);
+    std::stable_sort(visits_.begin(), visits_.end(),
+                     [](const Visit& a, const Visit& b) { return a.at < b.at; });
+  }
+
+  // The serial engine's transition accumulator, verbatim: called before
+  // every alive/covered change with the change's time — sim_.Now() inside
+  // a window, the popped event time during the walk.
+  void AccumulateTo(SimTime now) {
+    if (now <= last_change_) {
+      return;
+    }
+    const double span = (now - last_change_).ToSeconds();
+    alive_site_seconds_ += span * static_cast<double>(fleet_.alive_count());
+    service_site_seconds_ += span * static_cast<double>(service_count_);
+    double t0 = last_change_.ToSeconds();
+    const double t1 = now.ToSeconds();
+    const double year_s = SimTime::Years(1).ToSeconds();
+    while (t0 < t1) {
+      const uint32_t y = std::min<uint32_t>(years_ - 1, static_cast<uint32_t>(t0 / year_s));
+      const double seg = std::min(t1, (y + 1) * year_s) - t0;
+      yearly_service_seconds_[y] += seg * static_cast<double>(service_count_);
+      t0 += seg;
+    }
+    last_change_ = now;
+  }
+
+  void SetGatewayAt(uint32_t g, bool up, SimTime at) {
+    if ((gateway_up_[g] != 0) == up) {
+      return;
+    }
+    AccumulateTo(at);
+    gateway_up_[g] = up ? 1 : 0;
+    const int delta = up ? 1 : -1;
+    for (uint32_t k = coverage_.begin(g); k < coverage_.end(g); ++k) {
+      const uint32_t d = coverage_.site_ids[k];
+      const bool was = InService(d);
+      fleet_.AddCoveringAt(d, delta);
+      const bool is = InService(d);
+      if (was && !is) {
+        --service_count_;
+      } else if (!was && is) {
+        ++service_count_;
+      }
+    }
+  }
+
+  // Per-entity keyed draws (see file comment): one NextDouble per life.
+  SimTime SampleDeviceLife(uint32_t d) {
+    RandomStream stream = dev_root_.Derive((static_cast<uint64_t>(d) << 24) |
+                                           fleet_.unit_generation(d));
+    return dev_table_.Sample(stream);
+  }
+
+  SimTime SampleGatewayLife(uint32_t g) {
+    RandomStream stream =
+        gw_root_.Derive((static_cast<uint64_t>(g) << 24) | gw_ordinal_[g]);
+    ++gw_ordinal_[g];
+    return gw_table_.Sample(stream);
+  }
+
+  // Arms a successor transition in whichever machine is running: the real
+  // scheduler inside a window (clipped to the barrier — the controller
+  // needs a quiescent, empty queue to jump the clock), the walk heap
+  // during fast-forward (clipped to the walk span). Outside both, columns
+  // alone carry the state and the next window/walk picks it up.
+  void ArmNext(Kind kind, uint32_t entity, SimTime at) {
+    if (phase_ == Phase::kWindow) {
+      if (at < win_w1_) {
+        switch (kind) {
+          case kGwFail:
+            sim_.scheduler().ScheduleAt(
+                at, [this, entity] { GatewayFailAt(entity, sim_.Now()); });
+            break;
+          case kGwRepair:
+            sim_.scheduler().ScheduleAt(
+                at, [this, entity] { GatewayRepairAt(entity, sim_.Now()); });
+            break;
+          case kDevFail:
+            sim_.scheduler().ScheduleAt(
+                at, [this, entity] { DeviceFailAt(entity, sim_.Now()); });
+            break;
+          case kVisit:
+            sim_.scheduler().ScheduleAt(
+                at, [this, entity] { ZoneVisitAt(entity, sim_.Now()); });
+            break;
+        }
+      }
+    } else if (phase_ == Phase::kWalk) {
+      if (at < walk_to_) {
+        heap_.push({at.micros(), static_cast<uint8_t>(kind), entity});
+      }
+    }
+  }
+
+  // --- Shared transitions (window handlers and walk) ----------------------
+
+  void DeployDeviceAt(uint32_t d, SimTime at) {
+    AccumulateTo(at);
+    if (!fleet_.alive(d)) {
+      fleet_.DeployAtTime(d, at);
+      if (InService(d)) {
+        ++service_count_;
+      }
+    }
+    dev_fail_at_[d] = at + SampleDeviceLife(d);
+    ArmNext(kDevFail, d, dev_fail_at_[d]);
+  }
+
+  void DeviceFailAt(uint32_t d, SimTime at) {
+    AccumulateTo(at);
+    if (InService(d)) {
+      --service_count_;
+    }
+    fleet_.MarkFailedAtTime(d, at);
+    ++report_.device_failures;
+  }
+
+  void GatewayFailAt(uint32_t g, SimTime at) {
+    ++report_.gateway_failures;
+    RecordControl("district.gateway_fail", g, at);
+    SetGatewayAt(g, false, at);
+    gw_next_at_[g] = at + config_.gateway_repair_delay;
+    ArmNext(kGwRepair, g, gw_next_at_[g]);
+  }
+
+  void GatewayRepairAt(uint32_t g, SimTime at) {
+    ++report_.gateway_repairs;
+    RecordControl("district.gateway_repair", g, at);
+    SetGatewayAt(g, true, at);
+    gw_next_at_[g] = at + SampleGatewayLife(g);
+    ArmNext(kGwFail, g, gw_next_at_[g]);
+  }
+
+  void ZoneVisitAt(uint32_t zone, SimTime at) {
+    RecordControl("district.zone_visit", zone, at);
+    for (uint32_t d : zone_sites_[zone]) {
+      if (!fleet_.alive(d)) {
+        ++report_.device_replacements;
+        DeployDeviceAt(d, at);
+      }
+    }
+  }
+
+  // --- Detailed windows ---------------------------------------------------
+
+  void BeginWindow(SimTime w0, SimTime w1) {
+    phase_ = Phase::kWindow;
+    win_w1_ = w1;
+    AccumulateTo(w0);
+    win_service_base_ = service_site_seconds_;
+    win_alive_base_ = alive_site_seconds_;
+    win_fail_base_ = report_.device_failures;
+
+    // Arm in kind order — the walk heap's equal-time tie-break.
+    const auto first = std::lower_bound(
+        visits_.begin(), visits_.end(), w0,
+        [](const Visit& v, SimTime t) { return v.at < t; });
+    for (auto it = first; it != visits_.end() && it->at < w1; ++it) {
+      ArmNext(kVisit, it->zone, it->at);
+    }
+    for (uint32_t g = 0; g < gw_next_at_.size(); ++g) {
+      if (gw_next_at_[g] < w1) {
+        ArmNext(gateway_up_[g] != 0 ? kGwFail : kGwRepair, g, gw_next_at_[g]);
+      }
+    }
+    for (uint32_t d = 0; d < config_.device_count; ++d) {
+      if (fleet_.alive(d) && dev_fail_at_[d] < w1) {
+        ArmNext(kDevFail, d, dev_fail_at_[d]);
+      }
+    }
+  }
+
+  void EndWindow(SimTime w0, SimTime w1) {
+    AccumulateTo(w1);
+    const double device_seconds = (w1 - w0).ToSeconds() * config_.device_count;
+    const double device_years = (w1 - w0).ToYears() * config_.device_count;
+    service_samples_.Add((service_site_seconds_ - win_service_base_) / device_seconds);
+    device_samples_.Add((alive_site_seconds_ - win_alive_base_) / device_seconds);
+    fail_samples_.Add(
+        static_cast<double>(report_.device_failures - win_fail_base_) / device_years);
+    phase_ = Phase::kIdle;
+  }
+
+  // --- Fast-forward walk --------------------------------------------------
+
+  void Walk(SimTime from, SimTime to) {
+    phase_ = Phase::kWalk;
+    walk_to_ = to;
+    // Seed the heap from the columns, plus the visit cursor.
+    size_t vi = static_cast<size_t>(
+        std::lower_bound(visits_.begin(), visits_.end(), from,
+                         [](const Visit& v, SimTime t) { return v.at < t; }) -
+        visits_.begin());
+    if (vi < visits_.size() && visits_[vi].at < to) {
+      heap_.push({visits_[vi].at.micros(), kVisit, static_cast<uint32_t>(vi)});
+    }
+    for (uint32_t g = 0; g < gw_next_at_.size(); ++g) {
+      if (gw_next_at_[g] >= from && gw_next_at_[g] < to) {
+        heap_.push({gw_next_at_[g].micros(),
+                    static_cast<uint8_t>(gateway_up_[g] != 0 ? kGwFail : kGwRepair), g});
+      }
+    }
+    for (uint32_t d = 0; d < config_.device_count; ++d) {
+      if (fleet_.alive(d) && dev_fail_at_[d] >= from && dev_fail_at_[d] < to) {
+        heap_.push({dev_fail_at_[d].micros(), kDevFail, d});
+      }
+    }
+    while (!heap_.empty()) {
+      const auto [at_us, kind, entity] = heap_.top();
+      heap_.pop();
+      const SimTime at = SimTime::Micros(at_us);
+      switch (static_cast<Kind>(kind)) {
+        case kVisit: {
+          ZoneVisitAt(visits_[entity].zone, at);
+          const size_t next = entity + 1;
+          if (next < visits_.size() && visits_[next].at < to) {
+            heap_.push({visits_[next].at.micros(), kVisit, static_cast<uint32_t>(next)});
+          }
+          break;
+        }
+        case kGwFail:
+          GatewayFailAt(entity, at);
+          break;
+        case kGwRepair:
+          GatewayRepairAt(entity, at);
+          break;
+        case kDevFail:
+          DeviceFailAt(entity, at);
+          break;
+      }
+    }
+    phase_ = Phase::kIdle;
+  }
+
+  // --- Restore (from a serial "district" checkpoint) ----------------------
+
+  // Byte-identical to the serial engine's structural digest.
+  std::string StructuralDigest() const {
+    ByteWriter w;
+    w.U64(config_.seed);
+    w.U32(config_.device_count);
+    w.F64(config_.area_km2);
+    w.U32(config_.zone_grid);
+    w.I64(config_.horizon.micros());
+    w.F64(config_.gateway_range_m);
+    w.I64(config_.batch_cycle.micros());
+    w.U8(static_cast<uint8_t>(config_.device_class));
+    return StructuralDigestHex(w);
+  }
+
+  bool RestoreFrom(const std::string& path, std::string* error) {
+    SnapshotReader reader;
+    if (!reader.Open(path, error)) {
+      return false;
+    }
+    if (reader.meta().experiment != "district") {
+      *error = "snapshot is for experiment '" + reader.meta().experiment + "', not district";
+      return false;
+    }
+    if (reader.meta().structural_digest != StructuralDigest()) {
+      *error =
+          "structural config mismatch (snapshot " + reader.meta().structural_digest +
+          ", this run " + StructuralDigest() +
+          "): seed/geometry/horizon must match the saving run; only policy fields may differ";
+      return false;
+    }
+
+    ByteReader fleet = reader.Chunk(kFleetChunk);
+    if (fleet.U64() != config_.device_count) {
+      *error = "snapshot fleet size does not match config";
+      return false;
+    }
+    for (uint32_t d = 0; d < config_.device_count && fleet.ok(); ++d) {
+      fleet_.RestoreSlotState(d, DecodeFleetSlot(fleet));
+    }
+    if (fleet.U64() != fleet_.class_count()) {
+      *error = "snapshot class count does not match config";
+      return false;
+    }
+    for (uint32_t c = 0; c < fleet_.class_count() && fleet.ok(); ++c) {
+      fleet_.RestoreClassReplacements(c, fleet.U64());
+    }
+    if (!fleet.ok()) {
+      *error = "fleet chunk truncated";
+      return false;
+    }
+
+    ByteReader gw = reader.Chunk(kGatewayChunk);
+    if (gw.U64() != gateway_up_.size()) {
+      *error = "snapshot gateway count does not match config";
+      return false;
+    }
+    for (size_t g = 0; g < gateway_up_.size() && gw.ok(); ++g) {
+      gateway_up_[g] = gw.U8();
+    }
+    if (!gw.ok()) {
+      *error = "gateway chunk truncated";
+      return false;
+    }
+
+    ByteReader acc = reader.Chunk(kAccumChunk);
+    service_count_ = acc.U64();
+    last_change_ = SimTime::Micros(acc.I64());
+    alive_site_seconds_ = acc.F64();
+    service_site_seconds_ = acc.F64();
+    const std::vector<double> yearly = acc.F64Vec();
+    report_.device_failures = acc.U64();
+    report_.device_replacements = acc.U64();
+    report_.gateway_failures = acc.U64();
+    report_.gateway_repairs = acc.U64();
+    if (!acc.ok() || yearly.size() != yearly_service_seconds_.size()) {
+      *error = "accumulator chunk truncated or mis-shaped";
+      return false;
+    }
+    yearly_service_seconds_ = yearly;
+
+    if (config_.metrics != nullptr && reader.HasChunk(kMetricsChunk)) {
+      ByteReader m = reader.Chunk(kMetricsChunk);
+      if (DecodeMetricsOverlay(m, *config_.metrics) == SIZE_MAX) {
+        *error = "metrics chunk undecodable";
+        return false;
+      }
+    }
+    fleet_.RecountAggregates();
+
+    ByteReader sched = reader.Chunk(kSchedChunk);
+    const SimTime now = SimTime::Micros(sched.I64());
+    const uint64_t executed = sched.U64();
+    const uint64_t late = sched.U64();
+    if (!sched.ok()) {
+      *error = "scheduler chunk truncated";
+      return false;
+    }
+    sim_.scheduler().RestoreClock(now, executed, late);
+
+    // Pending timer records become walk columns: visit records are
+    // redundant with the re-recorded schedule (keyed jitter draws), the
+    // rest carry each entity's next transition time.
+    ByteReader tr = reader.Chunk(kTimerChunk);
+    const std::vector<TimerRecord> records = TimerTable::Decode(tr);
+    if (!tr.ok()) {
+      *error = "timer chunk truncated";
+      return false;
+    }
+    for (const TimerRecord& r : records) {
+      const uint32_t entity = static_cast<uint32_t>(r.a);
+      switch (r.tag) {
+        case kTimerVisit:
+          break;
+        case kTimerGatewayFail:
+        case kTimerGatewayRepair:
+          if (entity >= gw_next_at_.size()) {
+            *error = "gateway timer record out of range";
+            return false;
+          }
+          gw_next_at_[entity] = SimTime::Micros(r.at_us);
+          break;
+        case kTimerDeviceFail:
+          if (entity >= config_.device_count) {
+            *error = "device timer record out of range";
+            return false;
+          }
+          dev_fail_at_[entity] = SimTime::Micros(r.at_us);
+          break;
+        default:
+          *error = "snapshot carries timer tags this driver does not register";
+          return false;
+      }
+    }
+
+    if (config_.snapshot.branch_salt != 0) {
+      rng_ = rng_.Derive(config_.snapshot.branch_salt);
+      dev_root_ = rng_.Derive(1);
+      gw_root_ = rng_.Derive(2);
+    }
+    return true;
+  }
+
+  void RecordControl(const char* category, uint64_t arg, SimTime at) {
+    if (config_.control.recorder != nullptr) {
+      config_.control.recorder->Record(category, at, arg);
+    }
+  }
+
+  Simulation& sim_;
+  const DistrictConfig& config_;
+  DistrictReport& report_;
+  DeviceFleet fleet_;
+  uint32_t cls_ = 0;
+  RandomStream rng_;
+  RandomStream dev_root_;
+  RandomStream gw_root_;
+  const SeriesSystem gateway_bom_;
+  const uint32_t years_;
+
+  std::vector<Site> gateway_sites_;
+  CoverageCsr coverage_;
+  std::vector<uint8_t> gateway_up_;
+  std::vector<std::vector<uint32_t>> zone_sites_;
+
+  SurvivalTable dev_table_;
+  SurvivalTable gw_table_;
+
+  // Walk columns: each entity's next pending transition.
+  std::vector<Visit> visits_;            // Full schedule, time-sorted.
+  std::vector<SimTime> dev_fail_at_;     // Valid while the device is alive.
+  std::vector<SimTime> gw_next_at_;      // Fail when up, repair when down.
+  std::vector<uint32_t> gw_ordinal_;     // Life draws consumed per gateway.
+
+  uint64_t service_count_ = 0;
+  SimTime last_change_;
+  double alive_site_seconds_ = 0.0;
+  double service_site_seconds_ = 0.0;
+  std::vector<double> yearly_service_seconds_;
+
+  Phase phase_ = Phase::kIdle;
+  SimTime win_w1_;
+  SimTime walk_to_;
+  double win_service_base_ = 0.0;
+  double win_alive_base_ = 0.0;
+  uint64_t win_fail_base_ = 0;
+  std::priority_queue<WalkEvent, std::vector<WalkEvent>, std::greater<WalkEvent>> heap_;
+
+  SampleSet service_samples_;
+  SampleSet device_samples_;
+  SampleSet fail_samples_;
+};
+
+}  // namespace
+
+DistrictReport RunSampledDistrictScenario(const DistrictConfig& config) {
+  CheckConfigOrDie("district-sampled", config.Validate());
+  if (!config.sampling.enabled()) {
+    CheckConfigOrDie("district-sampled",
+                     {"RunSampledDistrictScenario requires sampling.mode == kSampled"});
+  }
+  Simulation sim(config.seed);
+  sim.trace().EnableRetention(false);
+  sim.SetMetrics(config.metrics);
+  sim.scheduler().AttachRunControl(config.control);
+
+  DistrictReport report;
+  const auto build_start = std::chrono::steady_clock::now();
+  DistrictSampledRun run(sim, config, report);
+  report.build_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - build_start).count();
+  run.Run();
+
+  sim.scheduler().DetachRunControl(config.control);
+  sim.SetMetrics(nullptr);
+  return report;
+}
+
+}  // namespace centsim

@@ -232,6 +232,29 @@ void DeviceFleet::RetireAt(uint32_t slot) {
   }
 }
 
+void DeviceFleet::DeployAtTime(uint32_t slot, SimTime at) {
+  if (alive_[slot] == 0) {
+    alive_[slot] = 1;
+    ++alive_count_;
+    MetricSet(alive_gauge_, static_cast<double>(alive_count_));
+  }
+  ++unit_gen_[slot];
+  deployed_at_[slot] = at;
+}
+
+void DeviceFleet::MarkFailedAtTime(uint32_t slot, SimTime at) {
+  if (alive_[slot] != 0) {
+    alive_[slot] = 0;
+    --alive_count_;
+    MetricSet(alive_gauge_, static_cast<double>(alive_count_));
+  }
+  failed_at_[slot] = at;
+  MetricInc(classes_[class_[slot]].failures);
+  if (failure_hook_) {
+    failure_hook_(Pack(slot, handle_gen_[slot]), at);
+  }
+}
+
 void DeviceFleet::CountReplacementAt(uint32_t slot) {
   ClassRecord& record = classes_[class_[slot]];
   ++record.replacement_count;
@@ -273,6 +296,29 @@ void DeviceFleet::EnergyConsumeAt(uint32_t slot, SimTime now, double joules) {
   EnergyStorage::State& state = energy_[slot].storage;
   state.charge_j =
       std::min(std::max(state.charge_j - joules, 0.0), state.capacity_now_j);
+}
+
+FastForwardResult DeviceFleet::FastForwardEnergyAt(uint32_t slot, SimTime to) {
+  const ClassRecord& record = classes_[class_[slot]];
+  EnergyColumn& e = energy_[slot];
+  return EnergyOps::FastForwardTo(harvester_[slot], record.spec.storage, record.spec.load,
+                                  e.storage, e.last_advance, tx_[slot], record.energy, to,
+                                  record.spec.report_interval);
+}
+
+FastForwardResult DeviceFleet::FastForwardEnergy(SimTime to) {
+  FastForwardResult total;
+  for (uint32_t slot = 0; slot < handle_gen_.size(); ++slot) {
+    if (alive_[slot] == 0) {
+      continue;
+    }
+    const FastForwardResult r = FastForwardEnergyAt(slot, to);
+    total.harvested_j += r.harvested_j;
+    total.attempts += r.attempts;
+    total.granted += r.granted;
+    total.denied += r.denied;
+  }
+  return total;
 }
 
 SimTime DeviceFleet::EstimateNextAffordableAt(uint32_t slot, SimTime now, double joules) const {

@@ -174,6 +174,13 @@ class DeviceFleet {
   // Counts a unit replacement against the slot's class.
   void CountReplacementAt(uint32_t slot);
 
+  // Explicit-timestamp variants for the sampled engine, whose fast-forward
+  // walk replays deployments and failures at times the scheduler clock
+  // never visits. Column effects are identical to DeployAt/MarkFailedAt at
+  // a scheduler whose Now() == `at`.
+  void DeployAtTime(uint32_t slot, SimTime at);
+  void MarkFailedAtTime(uint32_t slot, SimTime at);
+
   void SetFailureHook(FailureHook hook) { failure_hook_ = std::move(hook); }
 
   // --- Coverage -----------------------------------------------------------
@@ -202,6 +209,15 @@ class DeviceFleet {
   // energy.
   void EnergyConsumeAt(uint32_t slot, SimTime now, double joules);
   SimTime EstimateNextAffordableAt(uint32_t slot, SimTime now, double joules) const;
+
+  // Sampled-engine bulk advance: analytically fast-forwards one slot's
+  // energy column to `to` (EnergyOps::FastForwardTo), carrying the
+  // expected outcome of the transmission attempts the slot's class
+  // report_interval implies over the skipped span. A call with
+  // to <= last_advance is a bit-identical no-op.
+  FastForwardResult FastForwardEnergyAt(uint32_t slot, SimTime to);
+  // Same over every alive slot; returns the summed result.
+  FastForwardResult FastForwardEnergy(SimTime to);
 
   // --- Checkpoint (src/snapshot drivers) ----------------------------------
 

@@ -468,10 +468,23 @@ std::vector<std::string> CenturyConfig::Validate() const {
   for (std::string& diagnostic : shard.Validate()) {
     diagnostics.push_back(std::move(diagnostic));
   }
+  if (sampling.enabled()) {
+    for (std::string& diagnostic : sampling.Validate()) {
+      diagnostics.push_back(std::move(diagnostic));
+    }
+    if (shard.enabled()) {
+      diagnostics.push_back(
+          "sampling and sharding are mutually exclusive: the sampled engine "
+          "advances the whole fleet analytically between windows");
+    }
+  }
   return diagnostics;
 }
 
 CenturyReport RunCenturyScenario(const CenturyConfig& config) {
+  if (config.sampling.enabled()) {
+    return RunSampledCenturyScenario(config);
+  }
   if (config.shard.enabled()) {
     return RunShardedCenturyScenario(config);
   }

@@ -26,6 +26,7 @@
 #include "src/reliability/component.h"
 #include "src/reliability/survival.h"
 #include "src/sim/run_progress.h"
+#include "src/sim/sampling.h"
 #include "src/sim/time.h"
 #include "src/snapshot/snapshot_plan.h"
 #include "src/telemetry/timeseries.h"
@@ -72,6 +73,13 @@ struct CenturyConfig {
   // sequence. Snapshot checkpointing is not supported under sharding.
   ShardPlan shard;
 
+  // Sampled time advance (src/sim/sampling.h, src/core/theseus_sampled.cc).
+  // Default off runs the serial engine — golden digests unchanged. When
+  // sampling.mode == kSampled the run alternates measured detailed windows
+  // with analytic fast-forward and reports paper metrics with confidence
+  // intervals. Mutually exclusive with sharding.
+  SamplingPlan sampling;
+
   // Actionable diagnostics (empty = valid); RunCenturyScenario fails
   // fast on any diagnostic instead of running silently to garbage.
   std::vector<std::string> Validate() const;
@@ -95,13 +103,28 @@ struct CenturyReport {
   uint32_t checkpoints_written = 0;
   uint64_t last_checkpoint_bytes = 0;
   std::string last_checkpoint_path;
+
+  // Sampled-engine accounting (all zero/default under the serial engine).
+  bool sampled = false;
+  uint32_t windows_measured = 0;
+  int64_t sim_skipped_us = 0;           // Span covered by fast-forward.
+  bool ci_converged = false;            // Every tracked metric met ci_target.
+  std::vector<MetricCi> metric_cis;     // Per-metric window-mean intervals.
 };
 
-// Dispatches to the sharded engine when config.shard.enabled().
+// Dispatches to the sampled engine when config.sampling.enabled() and to
+// the sharded engine when config.shard.enabled().
 CenturyReport RunCenturyScenario(const CenturyConfig& config);
 
 // The sharded engine directly (config.shard.shards must be > 0).
 CenturyReport RunShardedCenturyScenario(const CenturyConfig& config);
+
+// The sampled engine directly (config.sampling.mode must be kSampled).
+// Alternates measured detailed windows with analytic fast-forward
+// (src/core/theseus_sampled.cc); per-entity keyed lifetime draws make the
+// trajectory reproducible regardless of window placement, and checkpoints
+// cut at window barriers restore into either engine.
+CenturyReport RunSampledCenturyScenario(const CenturyConfig& config);
 
 }  // namespace centsim
 

@@ -1,0 +1,900 @@
+// Sampled time advance for the century scenario (ROADMAP item 2).
+//
+// The serial engine (theseus.cc) pushes every site failure and zone visit
+// through the event heap and samples each unit life as the minimum of ~8
+// per-component inverse-CDF draws. This engine runs the same scenario as a
+// two-level machine driven by a SamplingController (src/sim/sampling.h):
+//
+//   detailed window   the zone visits and pending site failures that fall
+//                     inside [w0, w1) are armed on the real scheduler and
+//                     drained to the barrier — identical event semantics
+//                     to the serial engine, and the window's availability/
+//                     failure-rate/replacement-rate land in SampleSets;
+//   fast-forward      between windows the same transitions are advanced by
+//                     a per-site walk over the pre-recorded visit schedule
+//                     and the per-site next-failure column — no heap, no
+//                     closures, one SurvivalTable draw per deployment.
+//
+// Determinism: unit lives are drawn from per-entity keyed streams
+// (rng_.Derive(site << 20 | generation), the serial engine's key) through
+// a SurvivalTable, so a site's trajectory is byte-identical regardless of
+// where detailed windows are placed — a zero-length fast-forward is a
+// no-op. The draw *pattern* differs from the serial engine (one table
+// lookup vs SampleLife's component minimum), so sampled and serial runs
+// agree in distribution, not bit-for-bit.
+//
+// Checkpoints are cut at detailed-window barriers in the serial chunk
+// layout: pending walk state (visits >= barrier, per-site next failures)
+// is synthesized into the serial engine's timer records, so a sampled
+// checkpoint restores into either engine and vice versa (closes the
+// snapshot subsystem's warm-start hook).
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <vector>
+
+#include "src/core/fleet.h"
+#include "src/core/fleet_codec.h"
+#include "src/core/theseus.h"
+#include "src/sim/ensemble.h"
+#include "src/sim/flight_recorder.h"
+#include "src/sim/simulation.h"
+#include "src/snapshot/snapshot.h"
+#include "src/snapshot/timer_table.h"
+#include "src/telemetry/run_manifest.h"
+
+namespace centsim {
+namespace {
+
+// Same domain timer tags and operand meanings as the serial engine —
+// snapshot compatibility depends on them. Visit: a=zone, b=cycle. Site
+// failure: a=site index, b=sampled unit life in micros.
+constexpr uint64_t kTimerVisit = 1;
+constexpr uint64_t kTimerSiteFail = 2;
+
+// Serial chunk tags (theseus.cc) — both engines read both layouts.
+constexpr uint32_t kFleetChunk = SnapshotTag('f', 'l', 'e', 't');
+constexpr uint32_t kAccumChunk = SnapshotTag('a', 'c', 'c', 'u');
+constexpr uint32_t kSurvivalChunk = SnapshotTag('s', 'u', 'r', 'v');
+constexpr uint32_t kTimerChunk = SnapshotTag('t', 'i', 'm', 'r');
+constexpr uint32_t kSchedChunk = SnapshotTag('s', 'c', 'h', 'd');
+
+class SampledCenturyRun {
+ public:
+  SampledCenturyRun(Simulation& sim, const CenturyConfig& config, CenturyReport& report)
+      : sim_(sim),
+        config_(config),
+        report_(report),
+        fleet_(sim),
+        rng_(sim.StreamFor(0x7468657365757300ULL)),  // Serial engine's root key.
+        years_(static_cast<uint32_t>(std::ceil(config.horizon.ToYears()))),
+        yearly_alive_seconds_(years_, 0.0),
+        yearly_weight_diff_(years_ + 1, 0.0) {
+    DeviceClassSpec spec;
+    spec.name = "century-site";
+    spec.hardware = config.device_class == DeviceClassKind::kBatteryPowered
+                        ? SeriesSystem::BatteryPoweredNode()
+                        : SeriesSystem::EnergyHarvestingNode();
+    cls_ = fleet_.InternClass(spec);
+    fleet_.Reserve(config.fleet_size);
+    for (uint32_t idx = 0; idx < config.fleet_size; ++idx) {
+      fleet_.Add(cls_, 0.0, 0.0, idx % ZoneCount(), HarvesterModel());
+    }
+    const SeriesSystem& hardware = fleet_.class_spec(cls_).hardware;
+    life_table_ = SurvivalTable::Build(
+        [&hardware](SimTime t) { return hardware.Survival(t); });
+    fail_at_.assign(config.fleet_size, SimTime::Max());
+    life_.assign(config.fleet_size, SimTime());
+    // The transition calendar only models the no-proactive site lifecycle
+    // (fail -> wait -> revive); proactive refresh keeps the per-site merge
+    // walk, which reads the visit schedule directly.
+    use_calendar_ = config.proactive_refresh_age <= SimTime();
+    if (use_calendar_) {
+      calendar_.resize(
+          static_cast<size_t>(config.horizon.micros() / kCalBucketUs) + 1);
+    }
+  }
+
+  void Run() {
+    RecordVisitSchedule();
+
+    std::string resume_path = config_.snapshot.resume_from;
+    if (resume_path.empty() && config_.snapshot.resume_latest) {
+      resume_path = FindLatestValidSnapshot(config_.snapshot.checkpoint_dir);
+    }
+    if (!resume_path.empty()) {
+      const auto restore_start = std::chrono::steady_clock::now();
+      std::string error;
+      if (!RestoreFrom(resume_path, &error)) {
+        CheckConfigOrDie("century-sampled",
+                         {"cannot resume from " + resume_path + ": " + error});
+      }
+      report_.restore_seconds = std::chrono::duration<double>(
+                                    std::chrono::steady_clock::now() - restore_start)
+                                    .count();
+    } else {
+      // Initial roll-out: all sites deployed in year 0, serial-identically.
+      for (uint32_t idx = 0; idx < config_.fleet_size; ++idx) {
+        DeploySiteAt(idx, sim_.Now());
+      }
+    }
+
+    if (config_.snapshot.checkpoint_every.micros() > 0) {
+      const int64_t every = config_.snapshot.checkpoint_every.micros();
+      std::error_code ec;
+      std::filesystem::create_directories(config_.snapshot.checkpoint_dir, ec);
+      next_grid_us_ = (sim_.Now().micros() / every + 1) * every;
+    }
+
+    SamplingController controller(sim_.scheduler(), config_.sampling);
+    controller.RegisterDomain(
+        "reliability", [this](SimTime from, SimTime to) { WalkSites(from, to); });
+    controller.SetWindowHooks(
+        [this](SimTime w0, SimTime w1) { BeginWindow(w0, w1); },
+        [this](SimTime w0, SimTime w1) { EndWindow(w0, w1); });
+    controller.TrackMetric("availability", &avail_samples_);
+    controller.TrackMetric("failures_per_device_year", &fail_samples_);
+    controller.TrackMetric("replacements_per_device_year", &repl_samples_);
+    controller.AttachProgress(config_.control.progress);
+    const SamplingOutcome outcome = controller.Run(config_.horizon);
+    report_.events_executed = sim_.scheduler().executed_count();
+
+    // Epilogue: censor survivors and close their open alive intervals.
+    double max_gen = 0.0;
+    for (uint32_t idx = 0; idx < config_.fleet_size; ++idx) {
+      if (fleet_.alive(idx)) {
+        report_.unit_survival.Observe(config_.horizon - fleet_.deployed_at(idx),
+                                      /*failed=*/false);
+        AddAliveSpan(fleet_.deployed_at(idx), config_.horizon, 1.0);
+      }
+      max_gen = std::max(max_gen, static_cast<double>(fleet_.unit_generation(idx)));
+    }
+    report_.max_unit_generations = max_gen;
+
+    const double total_site_seconds = config_.horizon.ToSeconds() * config_.fleet_size;
+    report_.mean_availability =
+        total_site_seconds > 0 ? alive_site_seconds_ / total_site_seconds : 0;
+    report_.yearly_availability.resize(years_);
+    const double year_site_seconds = SimTime::Years(1).ToSeconds() * config_.fleet_size;
+    const std::vector<double> yearly = IntegratedYearly();
+    for (uint32_t y = 0; y < years_; ++y) {
+      report_.yearly_availability[y] = yearly[y] / year_site_seconds;
+      report_.min_yearly_availability =
+          std::min(report_.min_yearly_availability, report_.yearly_availability[y]);
+    }
+
+    report_.sampled = true;
+    report_.windows_measured = outcome.windows_measured;
+    report_.sim_skipped_us = outcome.sim_skipped_us;
+    report_.ci_converged = outcome.converged;
+    report_.metric_cis = controller.MetricSummaries();
+  }
+
+ private:
+  struct Visit {
+    SimTime at;
+    uint32_t zone = 0;
+    uint32_t cycle = 0;
+  };
+
+  uint32_t ZoneCount() const { return std::max(1u, config_.batch.zone_count); }
+
+  // The batch project's full visit schedule, recorded without touching the
+  // scheduler: SetVisitScheduler replaces event placement and draws the
+  // per-visit jitter identically to the serial engine's ScheduleThrough.
+  void RecordVisitSchedule() {
+    BatchProjectScheduler batches(sim_, config_.batch, [](uint32_t, uint32_t) {});
+    batches.SetVisitScheduler([this](SimTime at, uint32_t zone, uint32_t cycle) {
+      visits_.push_back({at, zone, cycle});
+    });
+    batches.ScheduleThrough(config_.horizon);
+    std::stable_sort(visits_.begin(), visits_.end(),
+                     [](const Visit& a, const Visit& b) { return a.at < b.at; });
+    zone_visits_.assign(ZoneCount(), {});
+    for (const Visit& v : visits_) {
+      zone_visits_[v.zone].push_back(v.at);
+    }
+  }
+
+  // Adds `weight` alive-sites over [start, end) to the global and yearly
+  // availability integrals (the serial engine's AccumulateTo year-split,
+  // applied per interval instead of per transition). Multi-decade spans are
+  // O(1): the two partial edge years go into yearly_alive_seconds_ directly
+  // and the full years in between into yearly_weight_diff_, a difference
+  // array IntegratedYearly() folds back in at read time.
+  void AddAliveSpan(SimTime start, SimTime end, double weight) {
+    if (end <= start || weight == 0.0) {
+      return;
+    }
+    alive_site_seconds_ += (end - start).ToSeconds() * weight;
+    const double t0 = start.ToSeconds();
+    const double t1 = end.ToSeconds();
+    const double year_s = SimTime::Years(1).ToSeconds();
+    const uint32_t y0 = std::min<uint32_t>(years_ - 1, static_cast<uint32_t>(t0 / year_s));
+    const uint32_t y1 = std::min<uint32_t>(years_ - 1, static_cast<uint32_t>(t1 / year_s));
+    if (y0 == y1) {
+      yearly_alive_seconds_[y0] += (t1 - t0) * weight;
+      return;
+    }
+    yearly_alive_seconds_[y0] += ((y0 + 1) * year_s - t0) * weight;
+    yearly_alive_seconds_[y1] += (t1 - y1 * year_s) * weight;
+    if (y1 > y0 + 1) {
+      yearly_weight_diff_[y0 + 1] += weight;
+      yearly_weight_diff_[y1] -= weight;
+    }
+  }
+
+  // Folds the full-year difference array into the partial-year integrals,
+  // yielding the same cumulative per-year vector the serial engine keeps.
+  std::vector<double> IntegratedYearly() const {
+    std::vector<double> yearly = yearly_alive_seconds_;
+    const double year_s = SimTime::Years(1).ToSeconds();
+    double running = 0.0;
+    for (uint32_t y = 0; y < years_; ++y) {
+      running += yearly_weight_diff_[y];
+      yearly[y] += running * year_s;
+    }
+    return yearly;
+  }
+
+  // Closes the alive interval that started at deployed_at(idx): global
+  // integral always, plus the clipped in-window share while measuring.
+  void CloseAliveInterval(uint32_t idx, SimTime end) {
+    const SimTime start = fleet_.deployed_at(idx);
+    AddAliveSpan(start, end, 1.0);
+    if (in_window_) {
+      const SimTime clipped = std::max(start, win_w0_);
+      if (end > clipped) {
+        win_alive_seconds_ += (end - clipped).ToSeconds();
+      }
+      --win_open_count_;
+      win_open_start_sum_s_ -= clipped.ToSeconds();
+    }
+  }
+
+  size_t BucketFor(SimTime t) const {
+    const int64_t us = std::max<int64_t>(t.micros(), 0);
+    return std::min(calendar_.size() - 1, static_cast<size_t>(us / kCalBucketUs));
+  }
+
+  void CalendarPush(uint32_t kind, uint32_t idx, SimTime at) {
+    if (!use_calendar_ || at >= config_.horizon) {
+      return;  // Transitions at/after the horizon never run.
+    }
+    calendar_[BucketFor(at)].push_back({at.micros(), idx, kind});
+  }
+
+  // --- Shared site transitions (window handlers and walk) -----------------
+  //
+  // Each runs at an explicit time `at`: sim_.Now() inside a detailed
+  // window, the walk's event time during fast-forward. Column effects are
+  // identical either way, which is what makes window placement irrelevant.
+
+  void DeploySiteAt(uint32_t idx, SimTime at) {
+    fleet_.DeployAtTime(idx, at);
+    ++report_.units_deployed;
+
+    const double scale =
+        config_.life_improvement_per_decade == 1.0
+            ? 1.0
+            : std::pow(config_.life_improvement_per_decade, at.ToYears() / 10.0);
+    RandomStream site_rng =
+        rng_.Derive((static_cast<uint64_t>(idx) << 20) + fleet_.unit_generation(idx));
+    const SimTime life = life_table_.Sample(site_rng) * scale;
+    life_[idx] = life;
+    fail_at_[idx] = at + life;
+    CalendarPush(kCalFail, idx, fail_at_[idx]);
+    if (in_window_) {
+      ++win_open_count_;
+      win_open_start_sum_s_ += at.ToSeconds();
+      if (fail_at_[idx] < win_w1_) {
+        ArmWindowFailure(idx);
+      }
+    }
+  }
+
+  void SiteFailAt(uint32_t idx, SimTime at) {
+    CloseAliveInterval(idx, at);
+    fleet_.MarkFailedAtTime(idx, at);
+    ++report_.total_failures;
+    report_.unit_survival.Observe(life_[idx], /*failed=*/true);
+    if (config_.control.recorder != nullptr) {
+      config_.control.recorder->Record("century.site_failure", at, idx);
+    }
+  }
+
+  void VisitSiteAt(uint32_t idx, SimTime at) {
+    if (!fleet_.alive(idx)) {
+      ++report_.total_replacements;
+      DeploySiteAt(idx, at);
+      return;
+    }
+    if (config_.proactive_refresh_age.micros() > 0 &&
+        at - fleet_.deployed_at(idx) >= config_.proactive_refresh_age) {
+      // A window may have this site's failure armed; release it with the
+      // unit being retired.
+      const EventId failure = fleet_.failure_event(idx);
+      if (failure != kInvalidEventId) {
+        sim_.scheduler().Cancel(failure);
+        fleet_.set_failure_event(idx, kInvalidEventId);
+      }
+      report_.unit_survival.Observe(at - fleet_.deployed_at(idx), /*failed=*/false);
+      CloseAliveInterval(idx, at);
+      fleet_.RetireAt(idx);
+      ++report_.proactive_replacements;
+      DeploySiteAt(idx, at);
+    }
+  }
+
+  // --- Detailed windows ---------------------------------------------------
+
+  void ArmWindowFailure(uint32_t idx) {
+    fleet_.set_failure_event(
+        idx, sim_.scheduler().ScheduleAt(fail_at_[idx], [this, idx] {
+          fleet_.set_failure_event(idx, kInvalidEventId);
+          const SimTime at = sim_.Now();
+          SiteFailAt(idx, at);
+          if (use_calendar_) {
+            // The site's revive is its zone's first visit strictly after
+            // the failure (an equal-time visit fired first, as a no-op on
+            // the then-alive site). In-window visits run as scheduler
+            // events; a revive beyond the window is parked for the walk.
+            const std::vector<SimTime>& visits = zone_visits_[idx % ZoneCount()];
+            const auto it = std::upper_bound(visits.begin(), visits.end(), at);
+            if (it != visits.end() && *it >= win_w1_) {
+              CalendarPush(kCalRevive, idx, *it);
+            }
+          }
+        }));
+  }
+
+  void OnZoneVisit(uint32_t zone) {
+    if (config_.control.recorder != nullptr) {
+      config_.control.recorder->Record("century.zone_visit", sim_.Now(), zone);
+    }
+    const uint32_t zone_count = ZoneCount();
+    for (uint32_t idx = zone; idx < config_.fleet_size; idx += zone_count) {
+      VisitSiteAt(idx, sim_.Now());
+    }
+  }
+
+  void BeginWindow(SimTime w0, SimTime w1) {
+    in_window_ = true;
+    win_w0_ = w0;
+    win_w1_ = w1;
+    win_alive_seconds_ = 0.0;
+    win_fail_base_ = report_.total_failures;
+    win_repl_base_ = report_.total_replacements + report_.proactive_replacements;
+    // Every open interval at w0 clips to w0; transitions inside the window
+    // keep the count/start-sum pair current so EndWindow closes in O(1).
+    win_open_count_ = fleet_.alive_count();
+    win_open_start_sum_s_ = static_cast<double>(win_open_count_) * w0.ToSeconds();
+
+    // Visits armed before failures: scheduler insertion order is the
+    // equal-time tie-break, and the walk mirrors it (visit wins ties).
+    const auto first = std::lower_bound(
+        visits_.begin(), visits_.end(), w0,
+        [](const Visit& v, SimTime t) { return v.at < t; });
+    for (auto it = first; it != visits_.end() && it->at < w1; ++it) {
+      const uint32_t zone = it->zone;
+      sim_.scheduler().ScheduleAt(it->at, [this, zone] { OnZoneVisit(zone); });
+    }
+    if (use_calendar_) {
+      // Only sites with a pending failure inside the window need arming;
+      // the calendar hands us exactly those (plus stale entries, skipped
+      // by the validity check) without an O(fleet) scan.
+      const size_t b_last = BucketFor(w1 - SimTime::Micros(1));
+      for (size_t b = BucketFor(w0); b <= b_last; ++b) {
+        for (const CalEntry& en : calendar_[b]) {
+          const SimTime at = SimTime::Micros(en.at_us);
+          if (en.kind != kCalFail || at < w0 || at >= w1) {
+            continue;
+          }
+          if (fleet_.alive(en.idx) && fail_at_[en.idx] == at) {
+            ArmWindowFailure(en.idx);
+          }
+        }
+      }
+    } else {
+      for (uint32_t idx = 0; idx < config_.fleet_size; ++idx) {
+        if (fleet_.alive(idx) && fail_at_[idx] < w1) {
+          ArmWindowFailure(idx);
+        }
+      }
+    }
+  }
+
+  void EndWindow(SimTime w0, SimTime w1) {
+    // Intervals still open at the barrier contribute their clipped share:
+    // count * w1 minus the sum of their clipped starts, maintained
+    // incrementally by DeploySiteAt/CloseAliveInterval.
+    const double alive_s =
+        win_alive_seconds_ +
+        static_cast<double>(win_open_count_) * w1.ToSeconds() - win_open_start_sum_s_;
+    const double device_seconds = (w1 - w0).ToSeconds() * config_.fleet_size;
+    const double device_years = (w1 - w0).ToYears() * config_.fleet_size;
+    avail_samples_.Add(device_seconds > 0 ? alive_s / device_seconds : 0.0);
+    fail_samples_.Add(static_cast<double>(report_.total_failures - win_fail_base_) /
+                      device_years);
+    repl_samples_.Add(
+        static_cast<double>(report_.total_replacements + report_.proactive_replacements -
+                            win_repl_base_) /
+        device_years);
+    in_window_ = false;
+
+    // Sampled checkpoints are cut at window barriers: the first barrier at
+    // or after each serial grid point gets one. Once sampling converges
+    // (no more windows), no further checkpoints are written.
+    if (next_grid_us_ > 0 && w1.micros() >= next_grid_us_ &&
+        w1 < config_.horizon) {
+      SaveCheckpoint(w1);
+      const int64_t every = config_.snapshot.checkpoint_every.micros();
+      next_grid_us_ = (w1.micros() / every + 1) * every;
+    }
+  }
+
+  // --- Fast-forward walk --------------------------------------------------
+
+  // Advances every site's failure/replacement process over [from, to) by
+  // merging its zone's visit schedule with its pending failure time. Same
+  // transitions as the window handlers, no scheduler involved.
+  void WalkSites(SimTime from, SimTime to) {
+    if (use_calendar_) {
+      WalkCalendar(from, to);
+      return;
+    }
+    const uint32_t zone_count = ZoneCount();
+    for (uint32_t idx = 0; idx < config_.fleet_size; ++idx) {
+      const std::vector<SimTime>& visits = zone_visits_[idx % zone_count];
+      size_t vi = static_cast<size_t>(
+          std::lower_bound(visits.begin(), visits.end(), from) - visits.begin());
+      for (;;) {
+        const SimTime visit_at = vi < visits.size() ? visits[vi] : SimTime::Max();
+        const SimTime fail_at = fleet_.alive(idx) ? fail_at_[idx] : SimTime::Max();
+        if (visit_at <= fail_at) {  // Visit wins ties (window arm order).
+          if (visit_at >= to) {
+            break;
+          }
+          VisitSiteAt(idx, visit_at);
+          ++vi;
+        } else {
+          if (fail_at >= to) {
+            break;
+          }
+          SiteFailAt(idx, fail_at);
+        }
+      }
+    }
+  }
+
+  // Calendar-driven fast-forward: only sites with a transition inside
+  // [from, to) are touched — O(transitions) per span instead of O(fleet).
+  // Entries are validated on scan: a failure entry must match the site's
+  // live pending failure, a revive entry must find the site still dead;
+  // anything else was consumed by a detailed window or superseded, and is
+  // skipped. Per-site event order is preserved because a site's next entry
+  // is only pushed when its previous transition is processed; cross-site
+  // order within a bucket is immaterial (sites are independent).
+  void WalkCalendar(SimTime from, SimTime to) {
+    const uint32_t zone_count = ZoneCount();
+    const size_t b_last = BucketFor(to - SimTime::Micros(1));
+    // Per-zone cursor into the visit schedule, rebased once per bucket: a
+    // bucket spans a couple of maintenance rounds at most, so the per-fail
+    // "first visit strictly after" lookup is a short forward scan instead
+    // of a binary search over the century's whole schedule.
+    std::vector<uint32_t> visit_base(zone_count, 0);
+    for (size_t b = BucketFor(from); b <= b_last; ++b) {
+      std::vector<CalEntry>& bucket = calendar_[b];
+      if (!bucket.empty()) {
+        const SimTime bucket_lo =
+            std::max(from, SimTime::Micros(static_cast<int64_t>(b) * kCalBucketUs));
+        for (uint32_t z = 0; z < zone_count; ++z) {
+          const std::vector<SimTime>& visits = zone_visits_[z];
+          visit_base[z] = static_cast<uint32_t>(
+              std::lower_bound(visits.begin(), visits.end(), bucket_lo) - visits.begin());
+        }
+      }
+      // Index loop: inline revives and deploys may append to this bucket.
+      for (size_t e = 0; e < bucket.size(); ++e) {
+        const CalEntry en = bucket[e];
+        const SimTime at = SimTime::Micros(en.at_us);
+        if (at < from || at >= to) {
+          continue;
+        }
+        if (en.kind == kCalFail) {
+          if (!fleet_.alive(en.idx) || fail_at_[en.idx] != at) {
+            continue;  // Stale: consumed in a window or superseded.
+          }
+          SiteFailAt(en.idx, at);
+          // Revive at the zone's first visit strictly after the failure
+          // (an equal-time visit was a no-op on the then-alive site).
+          const std::vector<SimTime>& visits = zone_visits_[en.idx % zone_count];
+          uint32_t k = visit_base[en.idx % zone_count];
+          while (k < visits.size() && visits[k] <= at) {
+            ++k;
+          }
+          if (k == visits.size()) {
+            continue;  // No maintenance round ever reaches it again.
+          }
+          if (visits[k] < to) {
+            VisitSiteAt(en.idx, visits[k]);  // Replacement pushes the next failure.
+          } else {
+            CalendarPush(kCalRevive, en.idx, visits[k]);
+          }
+        } else {
+          if (fleet_.alive(en.idx)) {
+            continue;  // Already revived by an in-window visit.
+          }
+          VisitSiteAt(en.idx, at);
+        }
+      }
+      if ((static_cast<int64_t>(b) + 1) * kCalBucketUs <= to.micros()) {
+        // Fully processed: release the bucket (and its stale entries).
+        std::vector<CalEntry>().swap(bucket);
+      }
+    }
+  }
+
+  // --- Checkpoint/restore -------------------------------------------------
+
+  // Byte-identical to the serial engine's digest: the sampling plan is a
+  // policy field, so serial and sampled runs of one config interchange
+  // snapshots.
+  std::string StructuralDigest() const {
+    ByteWriter w;
+    w.U64(config_.seed);
+    w.U32(config_.fleet_size);
+    w.I64(config_.horizon.micros());
+    w.U8(static_cast<uint8_t>(config_.device_class));
+    w.U32(config_.batch.zone_count);
+    w.I64(config_.batch.cycle_period.micros());
+    w.I64(config_.batch.visit_jitter.micros());
+    return StructuralDigestHex(w);
+  }
+
+  // Pending walk state rendered as the serial engine's timer records:
+  // every visit at or after the barrier, plus each alive site's next
+  // failure. Sorted by time with visits before failures on ties, the same
+  // order the serial engine's table would re-arm them in.
+  std::vector<TimerRecord> SyntheticTimerRecords(SimTime barrier) const {
+    std::vector<TimerRecord> records;
+    const auto first = std::lower_bound(
+        visits_.begin(), visits_.end(), barrier,
+        [](const Visit& v, SimTime t) { return v.at < t; });
+    for (auto it = first; it != visits_.end(); ++it) {
+      records.push_back({kTimerVisit, it->at.micros(), 0, it->zone, it->cycle, 0.0});
+    }
+    for (uint32_t idx = 0; idx < config_.fleet_size; ++idx) {
+      if (fleet_.alive(idx)) {
+        records.push_back({kTimerSiteFail, fail_at_[idx].micros(), 0, idx,
+                           static_cast<uint64_t>(life_[idx].micros()), 0.0});
+      }
+    }
+    std::stable_sort(records.begin(), records.end(),
+                     [](const TimerRecord& a, const TimerRecord& b) {
+                       if (a.at_us != b.at_us) {
+                         return a.at_us < b.at_us;
+                       }
+                       return a.tag == kTimerVisit && b.tag != kTimerVisit;
+                     });
+    for (size_t i = 0; i < records.size(); ++i) {
+      records[i].seq = i;
+    }
+    return records;
+  }
+
+  void SaveCheckpoint(SimTime barrier) {
+    const auto save_start = std::chrono::steady_clock::now();
+    SnapshotMeta meta;
+    meta.experiment = "century";
+    meta.library_version = kCentsimVersion;
+    meta.structural_digest = StructuralDigest();
+    meta.barrier_us = barrier.micros();
+    meta.seed = config_.seed;
+    SnapshotWriter writer(std::move(meta));
+
+    ByteWriter fleet;
+    fleet.U64(config_.fleet_size);
+    for (uint32_t idx = 0; idx < config_.fleet_size; ++idx) {
+      EncodeFleetSlot(fleet_.SaveSlotState(idx), fleet);
+    }
+    fleet.U64(fleet_.class_count());
+    for (uint32_t c = 0; c < fleet_.class_count(); ++c) {
+      fleet.U64(fleet_.class_replacements(c));
+    }
+    writer.Add(kFleetChunk, fleet);
+
+    // The serial accumulator integrates up to its last transition; the
+    // sampled engine closes intervals instead, so the chunk is written
+    // with last_change == barrier and the integral brought fully up to the
+    // barrier (open intervals' shares added into a scratch copy).
+    double alive_s = alive_site_seconds_;
+    std::vector<double> yearly_partial = yearly_alive_seconds_;
+    std::vector<double> diff = yearly_weight_diff_;
+    std::vector<double> yearly;
+    {
+      std::swap(alive_s, alive_site_seconds_);
+      std::swap(yearly_partial, yearly_alive_seconds_);
+      std::swap(diff, yearly_weight_diff_);
+      for (uint32_t idx = 0; idx < config_.fleet_size; ++idx) {
+        if (fleet_.alive(idx)) {
+          AddAliveSpan(fleet_.deployed_at(idx), barrier, 1.0);
+        }
+      }
+      yearly = IntegratedYearly();
+      std::swap(alive_s, alive_site_seconds_);
+      std::swap(yearly_partial, yearly_alive_seconds_);
+      std::swap(diff, yearly_weight_diff_);
+    }
+    ByteWriter acc;
+    acc.I64(barrier.micros());
+    acc.F64(alive_s);
+    acc.F64Vec(yearly);
+    acc.U64(report_.total_failures);
+    acc.U64(report_.total_replacements);
+    acc.U64(report_.proactive_replacements);
+    acc.U64(report_.units_deployed);
+    writer.Add(kAccumChunk, acc);
+
+    ByteWriter surv;
+    const auto& observations = report_.unit_survival.observations();
+    surv.U64(observations.size());
+    for (const SurvivalObservation& o : observations) {
+      surv.I64(o.time.micros());
+      surv.U8(o.failed ? 1 : 0);
+    }
+    writer.Add(kSurvivalChunk, surv);
+
+    ByteWriter timers;
+    TimerTable::Encode(SyntheticTimerRecords(barrier), timers);
+    writer.Add(kTimerChunk, timers);
+
+    ByteWriter sched;
+    sched.I64(barrier.micros());
+    sched.U64(sim_.scheduler().executed_count());
+    sched.U64(sim_.scheduler().late_schedule_count());
+    writer.Add(kSchedChunk, sched);
+
+    const std::string path =
+        config_.snapshot.checkpoint_dir + "/" + CheckpointFileName(barrier.micros());
+    std::string error;
+    const uint64_t bytes = writer.Write(path, &error);
+    if (bytes == 0) {
+      std::fprintf(stderr, "[century-sampled] checkpoint write failed: %s\n",
+                   error.c_str());
+      return;
+    }
+    WriteLatestMarker(config_.snapshot.checkpoint_dir, path, barrier.micros());
+    ++report_.checkpoints_written;
+    report_.last_checkpoint_bytes = bytes;
+    report_.last_checkpoint_path = path;
+    report_.save_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - save_start).count();
+  }
+
+  bool RestoreFrom(const std::string& path, std::string* error) {
+    SnapshotReader reader;
+    if (!reader.Open(path, error)) {
+      return false;
+    }
+    if (reader.meta().experiment != "century") {
+      *error = "snapshot is for experiment '" + reader.meta().experiment + "', not century";
+      return false;
+    }
+    if (reader.meta().structural_digest != StructuralDigest()) {
+      *error =
+          "structural config mismatch (snapshot " + reader.meta().structural_digest +
+          ", this run " + StructuralDigest() +
+          "): seed/fleet/horizon must match the saving run; only policy fields may differ";
+      return false;
+    }
+
+    ByteReader fleet = reader.Chunk(kFleetChunk);
+    if (fleet.U64() != config_.fleet_size) {
+      *error = "snapshot fleet size does not match config";
+      return false;
+    }
+    for (uint32_t idx = 0; idx < config_.fleet_size && fleet.ok(); ++idx) {
+      fleet_.RestoreSlotState(idx, DecodeFleetSlot(fleet));
+    }
+    if (fleet.U64() != fleet_.class_count()) {
+      *error = "snapshot class count does not match config";
+      return false;
+    }
+    for (uint32_t c = 0; c < fleet_.class_count() && fleet.ok(); ++c) {
+      fleet_.RestoreClassReplacements(c, fleet.U64());
+    }
+    if (!fleet.ok()) {
+      *error = "fleet chunk truncated";
+      return false;
+    }
+    fleet_.RecountAggregates();
+
+    ByteReader acc = reader.Chunk(kAccumChunk);
+    const SimTime last_change = SimTime::Micros(acc.I64());
+    alive_site_seconds_ = acc.F64();
+    const std::vector<double> yearly = acc.F64Vec();
+    report_.total_failures = acc.U64();
+    report_.total_replacements = acc.U64();
+    report_.proactive_replacements = acc.U64();
+    report_.units_deployed = acc.U64();
+    if (!acc.ok() || yearly.size() != yearly_alive_seconds_.size()) {
+      *error = "accumulator chunk truncated or mis-shaped";
+      return false;
+    }
+    yearly_alive_seconds_ = yearly;
+    std::fill(yearly_weight_diff_.begin(), yearly_weight_diff_.end(), 0.0);
+
+    ByteReader surv = reader.Chunk(kSurvivalChunk);
+    const uint64_t observation_count = surv.U64();
+    if (!surv.ok() || observation_count > surv.remaining() / 9) {
+      *error = "survival chunk truncated";
+      return false;
+    }
+    for (uint64_t i = 0; i < observation_count && surv.ok(); ++i) {
+      const SimTime time = SimTime::Micros(surv.I64());
+      const bool failed = surv.U8() != 0;
+      report_.unit_survival.Observe(time, failed);
+    }
+    if (!surv.ok()) {
+      *error = "survival chunk truncated";
+      return false;
+    }
+
+    ByteReader sched = reader.Chunk(kSchedChunk);
+    const SimTime barrier = SimTime::Micros(sched.I64());
+    const uint64_t executed = sched.U64();
+    const uint64_t late = sched.U64();
+    if (!sched.ok()) {
+      *error = "scheduler chunk truncated";
+      return false;
+    }
+    sim_.scheduler().RestoreClock(barrier, executed, late);
+
+    // Convert the serial accumulator into interval form: bring the global
+    // integral up to the barrier (a serial save integrates only to its
+    // last transition), then back out each open interval's prefix so the
+    // eventual full-interval close does not double-count it.
+    AddAliveSpan(last_change, barrier, static_cast<double>(fleet_.alive_count()));
+    for (uint32_t idx = 0; idx < config_.fleet_size; ++idx) {
+      if (fleet_.alive(idx)) {
+        AddAliveSpan(fleet_.deployed_at(idx), barrier, -1.0);
+      }
+    }
+
+    // Timer records → walk columns. Visit records are redundant with the
+    // re-recorded schedule (jitter draws are keyed identically), so only
+    // failure records carry state.
+    ByteReader tr = reader.Chunk(kTimerChunk);
+    const std::vector<TimerRecord> records = TimerTable::Decode(tr);
+    if (!tr.ok()) {
+      *error = "timer chunk truncated";
+      return false;
+    }
+    for (const TimerRecord& r : records) {
+      if (r.tag == kTimerSiteFail) {
+        const uint32_t idx = static_cast<uint32_t>(r.a);
+        if (idx >= config_.fleet_size) {
+          *error = "site failure record out of range";
+          return false;
+        }
+        fail_at_[idx] = SimTime::Micros(r.at_us);
+        life_[idx] = SimTime::Micros(static_cast<int64_t>(r.b));
+      } else if (r.tag != kTimerVisit) {
+        *error = "snapshot carries timer tags this driver does not register";
+        return false;
+      }
+    }
+
+    // Rebuild the transition calendar from the restored columns: alive
+    // sites queue their pending failure; dead sites queue their revive at
+    // the first visit at or after the barrier (any earlier visit would
+    // have revived them before the snapshot was cut).
+    if (use_calendar_) {
+      for (std::vector<CalEntry>& bucket : calendar_) {
+        bucket.clear();
+      }
+      for (uint32_t idx = 0; idx < config_.fleet_size; ++idx) {
+        if (fleet_.alive(idx)) {
+          CalendarPush(kCalFail, idx, fail_at_[idx]);
+        } else {
+          const std::vector<SimTime>& visits = zone_visits_[idx % ZoneCount()];
+          const auto it = std::lower_bound(visits.begin(), visits.end(), barrier);
+          if (it != visits.end()) {
+            CalendarPush(kCalRevive, idx, *it);
+          }
+        }
+      }
+    }
+
+    if (config_.snapshot.branch_salt != 0) {
+      rng_ = rng_.Derive(config_.snapshot.branch_salt);
+    }
+    return true;
+  }
+
+  Simulation& sim_;
+  const CenturyConfig& config_;
+  CenturyReport& report_;
+  DeviceFleet fleet_;
+  uint32_t cls_ = 0;
+  RandomStream rng_;
+  const uint32_t years_;
+  SurvivalTable life_table_;
+
+  // Pre-recorded batch visit schedule (time-sorted; per-zone views).
+  std::vector<Visit> visits_;
+  std::vector<std::vector<SimTime>> zone_visits_;
+
+  // Per-site walk columns: next failure time and the sampled life behind
+  // it (valid while the site is alive).
+  std::vector<SimTime> fail_at_;
+  std::vector<SimTime> life_;
+
+  // Transition calendar: a coarse time-bucketed queue of upcoming site
+  // transitions, so fast-forward spans and window arming only touch sites
+  // that actually transition instead of scanning the whole fleet. Entries
+  // are invalidated lazily — a processed or superseded entry simply fails
+  // its validity check when scanned (see WalkCalendar). Maintained only
+  // with proactive refresh off; the merge walk covers the proactive case.
+  struct CalEntry {
+    int64_t at_us;
+    uint32_t idx;
+    uint32_t kind;  // kCalFail or kCalRevive.
+  };
+  static constexpr uint32_t kCalFail = 0;
+  static constexpr uint32_t kCalRevive = 1;
+  static constexpr int64_t kCalBucketUs = 14LL * 24 * 3600 * 1000000;  // 14 days.
+  bool use_calendar_ = false;
+  std::vector<std::vector<CalEntry>> calendar_;
+
+  // Availability integrals (interval-close form of the serial engine's
+  // transition accumulator).
+  double alive_site_seconds_ = 0.0;
+  std::vector<double> yearly_alive_seconds_;  // Partial-year contributions only.
+  std::vector<double> yearly_weight_diff_;    // Full-year weights, difference form.
+
+  // Detailed-window state.
+  bool in_window_ = false;
+  SimTime win_w0_;
+  SimTime win_w1_;
+  double win_alive_seconds_ = 0.0;
+  // Open alive intervals at the current instant: count and the sum of
+  // their window-clipped starts (seconds), so EndWindow is O(1).
+  int64_t win_open_count_ = 0;
+  double win_open_start_sum_s_ = 0.0;
+  uint64_t win_fail_base_ = 0;
+  uint64_t win_repl_base_ = 0;
+
+  // Per-window metric observations (the controller reads these).
+  SampleSet avail_samples_;
+  SampleSet fail_samples_;
+  SampleSet repl_samples_;
+
+  int64_t next_grid_us_ = 0;  // 0 = checkpointing off.
+};
+
+}  // namespace
+
+CenturyReport RunSampledCenturyScenario(const CenturyConfig& config) {
+  CheckConfigOrDie("century-sampled", config.Validate());
+  if (!config.sampling.enabled()) {
+    CheckConfigOrDie("century-sampled",
+                     {"RunSampledCenturyScenario requires sampling.mode == kSampled"});
+  }
+  Simulation sim(config.seed);
+  sim.trace().set_min_level(TraceLevel::kFailure);
+  sim.trace().EnableRetention(false);
+
+  sim.scheduler().AttachRunControl(config.control);
+  CenturyReport report;
+  SampledCenturyRun run(sim, config, report);
+  run.Run();
+  sim.scheduler().DetachRunControl(config.control);
+  return report;
+}
+
+}  // namespace centsim

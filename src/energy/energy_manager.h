@@ -51,6 +51,15 @@ struct EnergyMetricHooks {
   HistogramMetric* harvest_j = nullptr;
 };
 
+// What one fast-forwarded span did to a device, for window metrics and the
+// sampled drivers' expected-traffic accounting.
+struct FastForwardResult {
+  double harvested_j = 0.0;    // Energy banked over the span (pre-efficiency).
+  uint64_t attempts = 0;       // Transmission attempts the span covered.
+  uint64_t granted = 0;        // Expected grants out of those attempts.
+  uint64_t denied = 0;         // attempts - granted.
+};
+
 // Stateless transition functions over (shared params, per-device state).
 struct EnergyOps {
   // Advances the energy state to `now` (harvest in, sleep + leakage out).
@@ -65,6 +74,24 @@ struct EnergyOps {
                           const LoadProfile& load, EnergyStorage::State& state,
                           SimTime& last_advance, EnergyCounters& counters,
                           const EnergyMetricHooks& hooks, SimTime now);
+
+  // Analytic bulk advance for the sampled engine: one call covers
+  // [last_advance, to) — closed-form harvest (EnergyOverAnalytic), one
+  // leakage/aging step, one sleep draw, and the expected outcome of the
+  // `n = floor(span / tx_interval)` transmission attempts the skipped span
+  // would have carried (grants limited by the span's energy throughput —
+  // opening charge plus efficiency-discounted harvest minus the sleep
+  // floor — above the brownout reserve; a non-positive tx_interval means
+  // no transmit duty cycle). Counters and hooks are updated exactly like n
+  // detailed TryTransmit calls would in expectation. A call with
+  // to <= last_advance is a bit-identical no-op — the zero-length
+  // fast-forward contract the parity tests pin.
+  static FastForwardResult FastForwardTo(const HarvesterModel& harvester,
+                                         const EnergyStorage::Params& storage,
+                                         const LoadProfile& load, EnergyStorage::State& state,
+                                         SimTime& last_advance, EnergyCounters& counters,
+                                         const EnergyMetricHooks& hooks, SimTime to,
+                                         SimTime tx_interval);
 
   // Estimate of when the storage will next hold `joules` above the reserve,
   // assuming average harvest conditions. Never less than `now`.

@@ -133,6 +133,122 @@ double TrapezoidOver(const PowerFn& power_at, SimTime from, SimTime to) {
 
 }  // namespace
 
+double SolarEnergyOverAnalytic(const SolarHarvester::Params& params, SimTime from, SimTime to) {
+  assert(to >= from);
+  const double t0 = from.ToSeconds();
+  const double t1 = to.ToSeconds();
+  if (t1 <= t0) {
+    return 0.0;
+  }
+  const double retained = 1.0 - params.degradation_per_year;
+  if (retained <= 0.0) {
+    return 0.0;  // pow(<=0, years) is 0 (or NaN) everywhere past t = 0.
+  }
+  // pow(retained, s / Y) == e^{-lambda * s}.
+  const double lambda = -std::log(retained) / kYearSeconds;
+  const double a = 2.0 * M_PI / kDaySeconds;   // Diurnal angular frequency.
+  const double b = 2.0 * M_PI / kYearSeconds;  // Seasonal angular frequency.
+  const double alpha = -M_PI / 2.0;            // sin peaks at noon.
+  const double beta = params.latitude_phase - M_PI / 2.0;
+  const double swing = params.seasonal_swing;
+  const double k2 = lambda * lambda;
+  // Antiderivatives of e^{-lambda*s} * {sin,cos}(c*s + g).
+  auto f_sin = [lambda, k2](double c, double g, double s) {
+    return std::exp(-lambda * s) *
+           (-lambda * std::sin(c * s + g) - c * std::cos(c * s + g)) / (k2 + c * c);
+  };
+  auto f_cos = [lambda, k2](double c, double g, double s) {
+    return std::exp(-lambda * s) *
+           (-lambda * std::cos(c * s + g) + c * std::sin(c * s + g)) / (k2 + c * c);
+  };
+  double total = 0.0;
+  const int64_t last_day = static_cast<int64_t>(t1 / kDaySeconds);
+  for (int64_t day = static_cast<int64_t>(t0 / kDaySeconds); day <= last_day; ++day) {
+    const double day_start = static_cast<double>(day) * kDaySeconds;
+    // Daylight gate: sin((day_frac - 0.25) * 2pi) > 0 on (06:00, 18:00).
+    const double lo = std::max(t0, day_start + 0.25 * kDaySeconds);
+    const double hi = std::min(t1, day_start + 0.75 * kDaySeconds);
+    if (hi <= lo) {
+      continue;
+    }
+    const double weather = SolarWeatherFactor(params, day);
+    // sin(as+alpha) * (1 + A*sin(bs+beta)) expands via product-to-sum into
+    // sin(as+alpha) + (A/2)*[cos((a-b)s+(alpha-beta)) - cos((a+b)s+(alpha+beta))].
+    const double base = f_sin(a, alpha, hi) - f_sin(a, alpha, lo);
+    const double cross =
+        0.5 * swing *
+        ((f_cos(a - b, alpha - beta, hi) - f_cos(a - b, alpha - beta, lo)) -
+         (f_cos(a + b, alpha + beta, hi) - f_cos(a + b, alpha + beta, lo)));
+    total += params.peak_power_w * weather * (base + cross);
+  }
+  return total;
+}
+
+double ThermalEnergyOverAnalytic(const ThermalHarvester::Params& params, SimTime from,
+                                 SimTime to) {
+  assert(to >= from);
+  const double t0 = from.ToSeconds();
+  const double t1 = to.ToSeconds();
+  if (t1 <= t0) {
+    return 0.0;
+  }
+  const double a = 2.0 * M_PI / kDaySeconds;
+  const double gamma = -0.75 * M_PI;  // sin((day_frac - 0.375) * 2pi).
+  auto f = [a, gamma](double s) { return -std::cos(a * s + gamma) / a; };
+  double total = params.peak_power_w * params.baseline_fraction * (t1 - t0);
+  const double swing = params.peak_power_w * (1.0 - params.baseline_fraction);
+  const int64_t last_day = static_cast<int64_t>(t1 / kDaySeconds);
+  for (int64_t day = static_cast<int64_t>(t0 / kDaySeconds); day <= last_day; ++day) {
+    const double day_start = static_cast<double>(day) * kDaySeconds;
+    // Positive lobe of the shifted sine: (09:00, 21:00).
+    const double lo = std::max(t0, day_start + 0.375 * kDaySeconds);
+    const double hi = std::min(t1, day_start + 0.875 * kDaySeconds);
+    if (hi > lo) {
+      total += swing * (f(hi) - f(lo));
+    }
+  }
+  return total;
+}
+
+double VibrationEnergyOverAnalytic(const VibrationHarvester::Params& params, SimTime from,
+                                   SimTime to) {
+  assert(to >= from);
+  const double t0 = from.ToSeconds();
+  const double t1 = to.ToSeconds();
+  if (t1 <= t0) {
+    return 0.0;
+  }
+  constexpr double kSqrtPi = 1.7724538509055160273;
+  // Integral of exp(-((x-c)/w)^2) over [x0, x1].
+  auto hump = [kSqrtPi](double x0, double x1, double c, double w) {
+    return w * (kSqrtPi / 2.0) * (std::erf((x1 - c) / w) - std::erf((x0 - c) / w));
+  };
+  double total = 0.0;
+  const int64_t last_day = static_cast<int64_t>(t1 / kDaySeconds);
+  for (int64_t day = static_cast<int64_t>(t0 / kDaySeconds); day <= last_day; ++day) {
+    const double day_start = static_cast<double>(day) * kDaySeconds;
+    const double seg_lo = std::max(t0, day_start);
+    const double seg_hi = std::min(t1, day_start + kDaySeconds);
+    if (seg_hi <= seg_lo) {
+      continue;
+    }
+    // Work in day fractions; traffic(x) is piecewise over x = s/D - day.
+    const double x0 = (seg_lo - day_start) / kDaySeconds;
+    const double x1 = (seg_hi - day_start) / kDaySeconds;
+    const double d0 = std::max(x0, 0.25);
+    const double d1 = std::min(x1, 0.95);
+    const double day_len = std::max(0.0, d1 - d0);
+    double traffic_integral = params.night_fraction * ((x1 - x0) - day_len);
+    if (day_len > 0.0) {
+      traffic_integral += 0.35 * day_len +
+                          0.65 * (hump(d0, d1, 8.0 / 24, 0.05) + hump(d0, d1, 17.5 / 24, 0.06));
+    }
+    const double factor = (day % 7 >= 5) ? params.weekend_factor : 1.0;
+    total += params.peak_power_w * factor * traffic_integral * kDaySeconds;
+  }
+  return total;
+}
+
 double Harvester::EnergyOver(SimTime from, SimTime to) const {
   return TrapezoidOver([this](SimTime t) { return PowerAt(t); }, from, to);
 }
@@ -147,6 +263,10 @@ double Harvester::MeanPower(SimTime from, SimTime to) const {
 
 double SolarHarvester::PowerAt(SimTime t) const { return SolarPowerAt(params_, t); }
 
+double SolarHarvester::EnergyOver(SimTime from, SimTime to) const {
+  return SolarEnergyOverAnalytic(params_, from, to);
+}
+
 double CorrosionHarvester::PowerAt(SimTime t) const { return CorrosionPowerAt(params_, t); }
 
 double CorrosionHarvester::EnergyOver(SimTime from, SimTime to) const {
@@ -155,7 +275,15 @@ double CorrosionHarvester::EnergyOver(SimTime from, SimTime to) const {
 
 double ThermalHarvester::PowerAt(SimTime t) const { return ThermalPowerAt(params_, t); }
 
+double ThermalHarvester::EnergyOver(SimTime from, SimTime to) const {
+  return ThermalEnergyOverAnalytic(params_, from, to);
+}
+
 double VibrationHarvester::PowerAt(SimTime t) const { return VibrationPowerAt(params_, t); }
+
+double VibrationHarvester::EnergyOver(SimTime from, SimTime to) const {
+  return VibrationEnergyOverAnalytic(params_, from, to);
+}
 
 // --- HarvesterModel ------------------------------------------------------
 
@@ -226,6 +354,22 @@ double HarvesterModel::EnergyOver(SimTime from, SimTime to) const {
     case Kind::kVibration:
       return TrapezoidOver([this](SimTime t) { return VibrationPowerAt(params_.vibration, t); },
                            from, to);
+  }
+  return 0.0;
+}
+
+double HarvesterModel::EnergyOverAnalytic(SimTime from, SimTime to) const {
+  switch (kind_) {
+    case Kind::kConstant:
+      return params_.constant.power_w * (to - from).ToSeconds();
+    case Kind::kSolar:
+      return SolarEnergyOverAnalytic(params_.solar, from, to);
+    case Kind::kCorrosion:
+      return CorrosionEnergyOver(params_.corrosion, from, to);
+    case Kind::kThermal:
+      return ThermalEnergyOverAnalytic(params_.thermal, from, to);
+    case Kind::kVibration:
+      return VibrationEnergyOverAnalytic(params_.vibration, from, to);
   }
   return 0.0;
 }

@@ -6,6 +6,17 @@
 
 namespace centsim {
 
+double HazardModel::ConditionalSurvival(SimTime age, SimTime span) const {
+  if (span <= SimTime()) {
+    return 1.0;
+  }
+  const double s_age = Survival(age);
+  if (s_age <= 0.0) {
+    return 0.0;
+  }
+  return Survival(age + span) / s_age;
+}
+
 ExponentialHazard::ExponentialHazard(SimTime mttf) : mttf_(mttf) {
   assert(mttf.micros() > 0);
 }

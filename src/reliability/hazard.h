@@ -32,6 +32,13 @@ class HazardModel {
   virtual SimTime Mttf() const = 0;
 
   SimTime SampleLife(RandomStream& rng) const { return SampleRemainingLife(rng, SimTime()); }
+
+  // Probability that an item which has reached `age` survives a further
+  // `span`: S(age + span) / S(age). This is the expectation-level primitive
+  // the sampled engine's reliability fast-forward uses to advance a
+  // population's failure state over a skipped span without drawing
+  // per-event times. Returns 0 once S(age) underflows to 0.
+  double ConditionalSurvival(SimTime age, SimTime span) const;
 };
 
 // Constant hazard; memoryless. `mttf` is the mean life.

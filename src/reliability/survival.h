@@ -10,10 +10,12 @@
 #define SRC_RELIABILITY_SURVIVAL_H_
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "src/sim/random.h"
 #include "src/sim/time.h"
 
 namespace centsim {
@@ -53,6 +55,49 @@ class KaplanMeier {
 
  private:
   std::vector<SurvivalObservation> obs_;
+};
+
+// Tabulated inverse-survival sampler: the sampled engine's lifetime draw.
+//
+// The serial engine samples a device life as the minimum of per-component
+// inverse-CDF draws (SeriesSystem::SampleLife) — around eight pow/log calls
+// per deployment. The sampled engine replays millions of deployments
+// inside its fast-forward walk, so it precomputes the *system* survival
+// curve's inverse once (bisection on a uniform u-grid) and then samples
+// with one uniform draw plus a linear interpolation. The sampled
+// distribution equals min-of-components (a series system's survival is the
+// product) up to the table's interpolation error; the tail beyond
+// S(t) < 1e-9 is truncated to the table's last knot.
+//
+// Determinism contract: Sample consumes exactly one NextDouble from the
+// caller's stream, so per-entity keyed streams (RandomStream::Derive) give
+// every entity a reproducible life regardless of draw order or detailed-
+// window placement.
+class SurvivalTable {
+ public:
+  // Builds the inverse of `survival` (monotone non-increasing, S(0) = 1)
+  // on a `points`-knot uniform u-grid. The time axis upper bound is found
+  // by doubling until S drops below 1e-9.
+  static SurvivalTable Build(const std::function<double(SimTime)>& survival,
+                             uint32_t points = 4096);
+
+  // Draws a life: one NextDouble, one table interpolation.
+  SimTime Sample(RandomStream& rng) const;
+
+  // Draws a remaining life for an item that already survived to `age`, by
+  // inverse-sampling the conditional distribution through the same table.
+  SimTime SampleConditional(RandomStream& rng, SimTime age) const;
+
+  // S(t) recovered from the table (binary search + interpolation).
+  double SurvivalAt(SimTime t) const;
+
+  uint32_t points() const { return static_cast<uint32_t>(times_us_.size()); }
+  SimTime max_time() const;
+
+ private:
+  // times_us_[i] = S^{-1}(u_i) in microseconds, u_i = i / (points - 1)
+  // clamped away from 0 at the tail knot; decreasing in i.
+  std::vector<int64_t> times_us_;
 };
 
 }  // namespace centsim

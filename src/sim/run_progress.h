@@ -36,6 +36,20 @@ struct ProgressCell {
   std::atomic<uint64_t> ticks{0};         // Publishes so far.
   std::atomic<uint8_t> done{0};
   std::atomic<uint8_t> stalled{0};        // Set by the watchdog, sticky.
+  // Sampled-engine columns (src/sim/sampling.h): which time-advance level
+  // the replica is currently on (0 = detailed, 1 = fast_forward) and how
+  // much simulated time fast-forward has skipped so far. Both stay at
+  // their zero defaults under the serial engine, so monitor-side
+  // events-per-second math can subtract skipped spans unconditionally.
+  std::atomic<uint8_t> mode{0};
+  std::atomic<int64_t> sim_skipped_us{0};
+
+  void PublishSampling(uint8_t level, int64_t skipped_us) {
+    mode.store(level, std::memory_order_relaxed);
+    sim_skipped_us.store(skipped_us, std::memory_order_relaxed);
+    // No tick bump: the caller follows with Publish(), whose release
+    // increment sequences these stores too.
+  }
 
   void Publish(int64_t now_us, int64_t next_us, uint64_t executed_count, uint64_t live,
                uint64_t entries) {
@@ -67,6 +81,8 @@ struct ProgressCell {
     uint64_t queue_entries = 0;
     bool done = false;
     bool stalled = false;
+    uint8_t mode = 0;  // 0 = detailed, 1 = fast_forward.
+    int64_t sim_skipped_us = 0;
   };
   View Load() const {
     View v;
@@ -78,6 +94,8 @@ struct ProgressCell {
     v.queue_entries = queue_entries.load(std::memory_order_relaxed);
     v.done = done.load(std::memory_order_relaxed) != 0;
     v.stalled = stalled.load(std::memory_order_relaxed) != 0;
+    v.mode = mode.load(std::memory_order_relaxed);
+    v.sim_skipped_us = sim_skipped_us.load(std::memory_order_relaxed);
     return v;
   }
 };

@@ -7,6 +7,78 @@
 
 namespace centsim {
 
+double NormalQuantile(double p) {
+  if (std::isnan(p)) {
+    return p;
+  }
+  if (p <= 0.0) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  if (p >= 1.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  // Acklam's rational approximation: central region plus two tail maps.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double p_low = 0.02425;
+  double q, r;
+  if (p < p_low) {
+    q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > 1.0 - p_low) {
+    q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  q = p - 0.5;
+  r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+double StudentTQuantile(double p, double df) {
+  if (std::isnan(p) || !(df > 0.0)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  if (p <= 0.0) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  if (p >= 1.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  if (df < 1.5) {
+    // df == 1 is Cauchy: exact inverse CDF.
+    return std::tan(M_PI * (p - 0.5));
+  }
+  if (df < 2.5) {
+    // df == 2 has a closed form: t = a * sqrt(2 / (1 - a^2)), a = 2p - 1.
+    const double alpha = 2.0 * p - 1.0;
+    return alpha * std::sqrt(2.0 / (1.0 - alpha * alpha));
+  }
+  // Cornish-Fisher expansion around the normal quantile (Abramowitz &
+  // Stegun 26.7.5); plenty for the df >= min_windows-1 the sampler uses.
+  const double z = NormalQuantile(p);
+  const double z2 = z * z;
+  const double g1 = (z2 + 1.0) * z / 4.0;
+  const double g2 = ((5.0 * z2 + 16.0) * z2 + 3.0) * z / 96.0;
+  const double g3 = (((3.0 * z2 + 19.0) * z2 + 17.0) * z2 - 15.0) * z / 384.0;
+  const double g4 =
+      ((((79.0 * z2 + 776.0) * z2 + 1482.0) * z2 - 1920.0) * z2 - 945.0) * z / 92160.0;
+  return z + g1 / df + g2 / (df * df) + g3 / (df * df * df) +
+         g4 / (df * df * df * df);
+}
+
 void SummaryStats::Add(double x) {
   ++count_;
   const double delta = x - mean_;
@@ -202,6 +274,39 @@ double SampleSet::Mean() const {
     sum += v;
   }
   return sum / static_cast<double>(values_.size());
+}
+
+double SampleSet::Variance() const {
+  const size_t n = values_.size();
+  if (n < 2) {
+    return 0.0;
+  }
+  // Two-pass: the retained vector makes the numerically stable form free.
+  const double mean = Mean();
+  double m2 = 0.0;
+  for (double v : values_) {
+    const double d = v - mean;
+    m2 += d * d;
+  }
+  return m2 / static_cast<double>(n - 1);
+}
+
+double SampleSet::StdError() const {
+  const size_t n = values_.size();
+  if (n < 2) {
+    return 0.0;
+  }
+  return std::sqrt(Variance() / static_cast<double>(n));
+}
+
+double SampleSet::CiHalfWidth(double confidence) const {
+  const size_t n = values_.size();
+  if (n < 2) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double p = 0.5 + 0.5 * std::clamp(confidence, 0.0, 1.0);
+  const double t = StudentTQuantile(p, static_cast<double>(n - 1));
+  return t * StdError();
 }
 
 }  // namespace centsim

@@ -10,6 +10,16 @@
 
 namespace centsim {
 
+// Standard-normal quantile (inverse CDF) via Acklam's rational
+// approximation (~1e-9 absolute). p outside (0, 1) returns +/-infinity.
+double NormalQuantile(double p);
+
+// Student-t quantile with `df` degrees of freedom: exact for df 1 and 2,
+// Cornish-Fisher expansion from the normal quantile for df >= 3 (well
+// under 1e-3 for the df >= 7 the sampling controller uses). df <= 0
+// returns NaN.
+double StudentTQuantile(double p, double df);
+
 // Running mean/variance/min/max via Welford's algorithm. O(1) memory.
 class SummaryStats {
  public:
@@ -96,6 +106,18 @@ class SampleSet {
   //   between the two straddling order statistics. Sorts lazily.
   double Quantile(double q) const;
   double Mean() const;
+  // Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double Variance() const;
+  // Standard error of the mean: sqrt(Variance / n); 0 for n < 2.
+  double StdError() const;
+  // Two-sided confidence-interval half-width for the mean at `confidence`
+  // (e.g. 0.95), using the Student-t critical value for the sample's
+  // degrees of freedom. +infinity for fewer than 2 samples — an interval
+  // nobody has measured yet is unbounded, which is what the sampling
+  // controller's convergence test wants. The SMARTS-style sampler
+  // (src/sim/sampling.h) feeds one observation per measured window and
+  // stops measuring when half-width / |mean| reaches its target.
+  double CiHalfWidth(double confidence = 0.95) const;
   const std::vector<double>& values() const { return values_; }
 
   // Overwrites the retained samples from a checkpoint, preserving the saved

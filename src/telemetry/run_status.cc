@@ -73,6 +73,9 @@ std::string ReplicaRowJson(const ReplicaStatusRow& r) {
   out += ", \"events_per_sec\": " + JsonNumber(r.events_per_sec);
   out += ", \"pending\": " + std::to_string(r.pending);
   out += ", \"queue_entries\": " + std::to_string(r.queue_entries);
+  out += std::string(", \"mode\": \"") +
+         (r.mode != 0 ? "fast_forward" : "detailed") + "\"";
+  out += ", \"sim_skipped_us\": " + std::to_string(r.sim_skipped_us);
   out += std::string(", \"done\": ") + (r.done ? "true" : "false");
   out += std::string(", \"stalled\": ") + (r.stalled ? "true" : "false");
   if (!r.stall_kind.empty()) {
@@ -301,6 +304,8 @@ RunStatus RunStatusMonitor::BuildStatusLocked(Clock::time_point now) {
     row.executed = v.executed;
     row.pending = v.pending;
     row.queue_entries = v.queue_entries;
+    row.mode = v.mode;
+    row.sim_skipped_us = v.sim_skipped_us;
     row.done = v.done;
     row.stalled = stalled_[i] != 0 || v.stalled;
     row.stall_kind = row.stalled ? tracks_[i].stall_kind : "";

@@ -61,6 +61,11 @@ struct ReplicaStatusRow {
   uint64_t queue_entries = 0;
   double events_per_sec = 0.0;  // Over the last heartbeat interval.
   double pct_of_horizon = 0.0;
+  // Sampled-engine telemetry (src/sim/sampling.h): which level the replica
+  // is in right now (0 = detailed, 1 = fast_forward) and how much simulated
+  // time its fast-forward has skipped so far. Zero under serial engines.
+  uint8_t mode = 0;
+  int64_t sim_skipped_us = 0;
   bool done = false;
   bool stalled = false;
   // Stall diagnosis (set when `stalled`): "shard_wedged" when a strict

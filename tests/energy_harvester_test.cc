@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <functional>
+#include <vector>
 
 namespace centsim {
 namespace {
@@ -125,6 +128,201 @@ TEST(VibrationTest, WeekendQuieterThanWeekday) {
   const SimTime mon = SimTime::Days(0) + SimTime::Hours(8);
   const SimTime sat = SimTime::Days(5) + SimTime::Hours(8);
   EXPECT_GT(vib.PowerAt(mon), vib.PowerAt(sat));
+}
+
+// --- Closed-form integrals vs a refined reference integrator ---------------
+//
+// The sampled engine's fast-forward banks multi-year spans through the
+// closed forms (EnergyOverAnalytic), so these must match the *true*
+// integral of PowerAt to near machine precision. The default EnergyOver
+// trapezoid caps its step count and is only ~1e-3 accurate over long
+// spans, so the 1e-9 reference here is an adaptive Simpson run piecewise
+// between the power models' smooth-piece boundaries (day edges, the
+// daylight/thermal-lobe/traffic gates, and the rush-hour hump centers).
+
+double SimpsonEstimate(double a, double b, double fa, double fm, double fb) {
+  return (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+}
+
+double AdaptiveStep(const std::function<double(double)>& f, double a, double b, double fa,
+                    double fb, double fm, double whole, double eps, int depth) {
+  const double m = 0.5 * (a + b);
+  const double lm = 0.5 * (a + m);
+  const double rm = 0.5 * (m + b);
+  const double flm = f(lm);
+  const double frm = f(rm);
+  const double left = SimpsonEstimate(a, m, fa, flm, fm);
+  const double right = SimpsonEstimate(m, b, fm, frm, fb);
+  const double delta = left + right - whole;
+  if (depth <= 0 || std::fabs(delta) <= 15.0 * eps) {
+    return left + right + delta / 15.0;
+  }
+  return AdaptiveStep(f, a, m, fa, fm, flm, left, 0.5 * eps, depth - 1) +
+         AdaptiveStep(f, m, b, fm, fb, frm, right, 0.5 * eps, depth - 1);
+}
+
+double AdaptiveSimpson(const std::function<double(double)>& f, double a, double b, double eps) {
+  if (!(b > a)) {
+    return 0.0;
+  }
+  const double fa = f(a);
+  const double fb = f(b);
+  const double fm = f(0.5 * (a + b));
+  return AdaptiveStep(f, a, b, fa, fb, fm, SimpsonEstimate(a, b, fa, fm, fb), eps, 48);
+}
+
+// Integrates PowerAt over [from, to] with breakpoints at every day edge
+// and every within-day piece boundary, targeting ~1e-11 relative accuracy
+// (scale is the closed form's own magnitude — it only sets tolerances).
+double ReferenceEnergy(const std::function<double(SimTime)>& power_at, SimTime from, SimTime to,
+                       double scale_j) {
+  constexpr double kDay = 24.0 * 3600.0;
+  // Gates and kinks of the three periodic models, as day fractions:
+  // solar daylight (0.25, 0.75), thermal lobe (0.375, 0.875), traffic
+  // window (0.25, 0.95), rush-hour hump centers (08:00, 17:30).
+  const double kCuts[] = {0.25, 8.0 / 24.0, 0.375, 17.5 / 24.0, 0.75, 0.875, 0.95};
+  const double t0 = from.ToSeconds();
+  const double t1 = to.ToSeconds();
+  std::vector<double> cuts;
+  cuts.push_back(t0);
+  const int64_t last_day = static_cast<int64_t>(t1 / kDay);
+  for (int64_t day = static_cast<int64_t>(t0 / kDay); day <= last_day; ++day) {
+    const double day_start = static_cast<double>(day) * kDay;
+    const double edges[] = {day_start,
+                            day_start + kCuts[0] * kDay,
+                            day_start + kCuts[1] * kDay,
+                            day_start + kCuts[2] * kDay,
+                            day_start + kCuts[3] * kDay,
+                            day_start + kCuts[4] * kDay,
+                            day_start + kCuts[5] * kDay,
+                            day_start + kCuts[6] * kDay};
+    for (const double e : edges) {
+      if (e > t0 && e < t1) {
+        cuts.push_back(e);
+      }
+    }
+  }
+  cuts.push_back(t1);
+  std::sort(cuts.begin(), cuts.end());
+  const auto f = [&](double s) { return power_at(SimTime::Seconds(s)); };
+  const double eps_total = 1e-11 * std::max(std::fabs(scale_j), 1e-12);
+  double total = 0.0;
+  for (size_t i = 1; i < cuts.size(); ++i) {
+    const double span = cuts[i] - cuts[i - 1];
+    if (span <= 0.0) {
+      continue;
+    }
+    total += AdaptiveSimpson(f, cuts[i - 1], cuts[i], eps_total * (span / (t1 - t0)));
+  }
+  return total;
+}
+
+void ExpectClosedFormMatchesReference(const HarvesterModel& model, SimTime from, SimTime to) {
+  const double analytic = model.EnergyOverAnalytic(from, to);
+  ASSERT_GT(analytic, 0.0);
+  const double reference =
+      ReferenceEnergy([&](SimTime t) { return model.PowerAt(t); }, from, to, analytic);
+  EXPECT_LT(std::fabs(analytic - reference) / reference, 1e-9)
+      << model.name() << " over [" << from.ToSeconds() << ", " << to.ToSeconds()
+      << "]s: analytic " << analytic << " reference " << reference;
+}
+
+TEST(ClosedFormParityTest, SolarMatchesReferenceOverMultiYearSpans) {
+  SolarHarvester::Params p;
+  ExpectClosedFormMatchesReference(HarvesterModel::Solar(p), SimTime(), SimTime::Years(2));
+  // Partial-day endpoints inside daylight, years in.
+  ExpectClosedFormMatchesReference(HarvesterModel::Solar(p),
+                                   SimTime::Days(100) + SimTime::Hours(7) + SimTime::Minutes(17),
+                                   SimTime::Years(3) + SimTime::Hours(13));
+  // Stressed parameters: deep seasonal swing, fast degradation, offset phase.
+  SolarHarvester::Params hard;
+  hard.seasonal_swing = 0.6;
+  hard.degradation_per_year = 0.03;
+  hard.latitude_phase = 1.1;
+  hard.weather_seed = 99;
+  ExpectClosedFormMatchesReference(HarvesterModel::Solar(hard), SimTime::Days(3),
+                                   SimTime::Years(2) + SimTime::Days(11));
+}
+
+TEST(ClosedFormParityTest, ThermalMatchesReferenceOverMultiYearSpans) {
+  ThermalHarvester::Params p;
+  ExpectClosedFormMatchesReference(HarvesterModel::Thermal(p), SimTime(), SimTime::Years(2));
+  p.baseline_fraction = 0.35;
+  ExpectClosedFormMatchesReference(HarvesterModel::Thermal(p),
+                                   SimTime::Days(40) + SimTime::Hours(11),
+                                   SimTime::Years(2) + SimTime::Hours(5));
+}
+
+TEST(ClosedFormParityTest, VibrationMatchesReferenceOverMultiYearSpans) {
+  VibrationHarvester::Params p;
+  ExpectClosedFormMatchesReference(HarvesterModel::Vibration(p), SimTime(), SimTime::Years(2));
+  p.weekend_factor = 0.3;
+  p.night_fraction = 0.12;
+  ExpectClosedFormMatchesReference(HarvesterModel::Vibration(p),
+                                   SimTime::Days(6) + SimTime::Hours(9),  // Mid-weekend start.
+                                   SimTime::Years(2) + SimTime::Days(4));
+}
+
+TEST(ClosedFormParityTest, CorrosionAndConstantAreExact) {
+  CorrosionHarvester::Params p;
+  const HarvesterModel corrosion = HarvesterModel::Corrosion(p);
+  // Piecewise-linear power: reference with a breakpoint at structure life.
+  const SimTime from = SimTime::Years(49);
+  const SimTime to = SimTime::Years(51);  // Straddles the 50-year knee.
+  const double analytic = corrosion.EnergyOverAnalytic(from, to);
+  double reference =
+      ReferenceEnergy([&](SimTime t) { return corrosion.PowerAt(t); }, from,
+                      p.structure_life, analytic) +
+      ReferenceEnergy([&](SimTime t) { return corrosion.PowerAt(t); }, p.structure_life, to,
+                      analytic);
+  EXPECT_LT(std::fabs(analytic - reference) / reference, 1e-9);
+
+  const HarvesterModel constant = HarvesterModel::Constant(2.5e-3);
+  EXPECT_DOUBLE_EQ(constant.EnergyOverAnalytic(SimTime::Days(1), SimTime::Days(3)),
+                   2.5e-3 * 2.0 * 24.0 * 3600.0);
+}
+
+TEST(ClosedFormParityTest, VirtualAndModelClosedFormsAreBitIdentical) {
+  // The virtual overrides, the free functions, and the tagged union all
+  // share one implementation — equal params must produce equal doubles.
+  SolarHarvester::Params sp;
+  sp.seasonal_swing = 0.5;
+  const SimTime from = SimTime::Days(200);
+  const SimTime to = SimTime::Years(4);
+  EXPECT_EQ(SolarHarvester(sp).EnergyOver(from, to),
+            HarvesterModel::Solar(sp).EnergyOverAnalytic(from, to));
+  EXPECT_EQ(SolarEnergyOverAnalytic(sp, from, to),
+            HarvesterModel::Solar(sp).EnergyOverAnalytic(from, to));
+  ThermalHarvester::Params tp;
+  EXPECT_EQ(ThermalHarvester(tp).EnergyOver(from, to),
+            HarvesterModel::Thermal(tp).EnergyOverAnalytic(from, to));
+  VibrationHarvester::Params vp;
+  EXPECT_EQ(VibrationHarvester(vp).EnergyOver(from, to),
+            HarvesterModel::Vibration(vp).EnergyOverAnalytic(from, to));
+}
+
+TEST(ClosedFormParityTest, ZeroLengthSpanIsZero) {
+  const SimTime t = SimTime::Days(123) + SimTime::Hours(10);
+  EXPECT_DOUBLE_EQ(HarvesterModel::Solar(SolarHarvester::Params{}).EnergyOverAnalytic(t, t), 0.0);
+  EXPECT_DOUBLE_EQ(HarvesterModel::Thermal(ThermalHarvester::Params{}).EnergyOverAnalytic(t, t),
+                   0.0);
+  EXPECT_DOUBLE_EQ(
+      HarvesterModel::Vibration(VibrationHarvester::Params{}).EnergyOverAnalytic(t, t), 0.0);
+}
+
+TEST(ClosedFormParityTest, TrapezoidDefaultAgreesCoarsely) {
+  // The serial engine's adaptive trapezoid is the digest-stable default;
+  // it should sit within a couple percent of the exact integral.
+  const SimTime from = SimTime::Days(10);
+  const SimTime to = SimTime::Days(40);
+  for (const HarvesterModel& model :
+       {HarvesterModel::Solar(SolarHarvester::Params{}),
+        HarvesterModel::Thermal(ThermalHarvester::Params{}),
+        HarvesterModel::Vibration(VibrationHarvester::Params{})}) {
+    const double analytic = model.EnergyOverAnalytic(from, to);
+    const double trapezoid = model.EnergyOver(from, to);
+    EXPECT_LT(std::fabs(trapezoid - analytic) / analytic, 2e-2) << model.name();
+  }
 }
 
 }  // namespace

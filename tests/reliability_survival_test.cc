@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
+#include "src/reliability/component.h"
 #include "src/reliability/hazard.h"
 #include "src/sim/random.h"
 
@@ -112,6 +115,96 @@ TEST(KaplanMeierTest, CurveAtRiskCountsDecrease) {
     EXPECT_LE(pt.at_risk, prev_at_risk);
     prev_at_risk = pt.at_risk;
     EXPECT_GT(pt.events, 0u);
+  }
+}
+
+// --- SurvivalTable (the sampled engine's one-draw life sampler) -------------
+
+TEST(SurvivalTableTest, RecoversExponentialDistribution) {
+  const double tau_years = 5.0;
+  const SurvivalTable table = SurvivalTable::Build(
+      [&](SimTime t) { return std::exp(-t.ToYears() / tau_years); });
+
+  // The table's S(t) readback matches the source within grid resolution.
+  for (const double y : {0.5, 2.0, 5.0, 10.0, 20.0}) {
+    EXPECT_NEAR(table.SurvivalAt(SimTime::Years(y)), std::exp(-y / tau_years), 2e-3);
+  }
+
+  RandomStream rng(777);
+  double sum_years = 0.0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    sum_years += table.Sample(rng).ToYears();
+  }
+  EXPECT_NEAR(sum_years / kDraws, tau_years, 0.15);
+}
+
+TEST(SurvivalTableTest, ConditionalSamplingIsMemorylessForExponential) {
+  const double tau_years = 4.0;
+  const SurvivalTable table = SurvivalTable::Build(
+      [&](SimTime t) { return std::exp(-t.ToYears() / tau_years); });
+  RandomStream rng(1234);
+  double sum_remaining = 0.0;
+  constexpr int kDraws = 20000;
+  const SimTime age = SimTime::Years(6);
+  for (int i = 0; i < kDraws; ++i) {
+    const SimTime remaining = table.SampleConditional(rng, age);
+    EXPECT_GE(remaining, SimTime());
+    sum_remaining += remaining.ToYears();
+  }
+  // Exponential remaining life is age-independent: still tau.
+  EXPECT_NEAR(sum_remaining / kDraws, tau_years, 0.15);
+}
+
+TEST(SurvivalTableTest, ExactlyOneDrawPerSample) {
+  // The sampled drivers key one stream per entity and rely on Sample
+  // consuming exactly one uniform — two identical streams, one sampled
+  // through the table and one drained manually, must stay in lockstep.
+  const SurvivalTable table =
+      SurvivalTable::Build([](SimTime t) { return std::exp(-t.ToYears() / 3.0); });
+  RandomStream a(42);
+  RandomStream b(42);
+  for (int i = 0; i < 100; ++i) {
+    (void)table.Sample(a);
+    (void)b.NextDouble();
+  }
+  EXPECT_EQ(a.NextDouble(), b.NextDouble());
+}
+
+TEST(SurvivalTableTest, MatchesComponentSamplerInDistribution) {
+  // Century-sampled parity at the distribution level: a table built from
+  // SeriesSystem::Survival must draw the same life distribution the serial
+  // engine's SampleLife draws component by component.
+  const SeriesSystem hardware = SeriesSystem::EnergyHarvestingNode();
+  const SurvivalTable table =
+      SurvivalTable::Build([&](SimTime t) { return hardware.Survival(t); });
+
+  RandomStream table_rng(9001);
+  RandomStream direct_rng(9002);
+  constexpr int kDraws = 8000;
+  double table_sum = 0.0, direct_sum = 0.0;
+  std::vector<double> table_lives, direct_lives;
+  table_lives.reserve(kDraws);
+  direct_lives.reserve(kDraws);
+  for (int i = 0; i < kDraws; ++i) {
+    const double t = table.Sample(table_rng).ToYears();
+    const double d = hardware.SampleLife(direct_rng).life.ToYears();
+    table_sum += t;
+    direct_sum += d;
+    table_lives.push_back(t);
+    direct_lives.push_back(d);
+  }
+  const double table_mean = table_sum / kDraws;
+  const double direct_mean = direct_sum / kDraws;
+  EXPECT_LT(std::fabs(table_mean - direct_mean) / direct_mean, 0.05)
+      << "table " << table_mean << " direct " << direct_mean;
+
+  std::sort(table_lives.begin(), table_lives.end());
+  std::sort(direct_lives.begin(), direct_lives.end());
+  for (const double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    const double tq = table_lives[static_cast<size_t>(q * (kDraws - 1))];
+    const double dq = direct_lives[static_cast<size_t>(q * (kDraws - 1))];
+    EXPECT_LT(std::fabs(tq - dq) / dq, 0.08) << "quantile " << q;
   }
 }
 

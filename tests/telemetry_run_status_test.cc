@@ -55,6 +55,23 @@ RunStatus SampleStatus() {
   return s;
 }
 
+TEST(RunStatusJsonTest, ReplicaRowsCarrySamplingMode) {
+  // Sampled-engine telemetry (ROADMAP item 2): every replica row names its
+  // current time-advance level and the span fast-forward has skipped.
+  RunStatus s = SampleStatus();
+  std::string json = s.ToJson();
+  EXPECT_NE(json.find("\"mode\": \"detailed\""), std::string::npos);
+  EXPECT_NE(json.find("\"sim_skipped_us\": 0"), std::string::npos);
+
+  s.replicas[0].mode = 1;
+  s.replicas[0].sim_skipped_us = 123456789;
+  json = s.ToJson();
+  EXPECT_NE(json.find("\"mode\": \"fast_forward\""), std::string::npos);
+  EXPECT_NE(json.find("\"sim_skipped_us\": 123456789"), std::string::npos);
+  std::string error;
+  EXPECT_TRUE(JsonLint(json, &error)) << error;
+}
+
 TEST(RunStatusJsonTest, ToJsonIsWellFormedAndComplete) {
   const std::string json = SampleStatus().ToJson();
   std::string error;

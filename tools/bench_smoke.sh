@@ -392,3 +392,62 @@ if failures:
     sys.exit(1)
 print("bench_smoke: shard scale within tolerance")
 EOF
+
+# --- Sampled-engine speedup + fidelity gate ----------------------------
+# bench_sampling runs the 200k-site century once under the serial detailed
+# engine and once under the sampled engine (measured windows + walked
+# fast-forward), and fails ITSELF if the speedup drops below 10x or any
+# paper metric drifts more than 1% — those floors are the acceptance
+# criteria, so they are re-applied here unconditionally. The detailed
+# engine's event throughput is additionally guarded against the checked-in
+# baseline like every other bench.
+SAMPLING_BASELINE="bench/BENCH_sampling.json"
+[[ -f "${SAMPLING_BASELINE}" ]] || { echo "missing baseline ${SAMPLING_BASELINE}" >&2; exit 1; }
+
+cmake --build "${BUILD_DIR}" --target bench_sampling -j "$(nproc)"
+(cd "${BUILD_DIR}/bench" && ./bench_sampling)
+
+python3 - "${SAMPLING_BASELINE}" "${BUILD_DIR}/bench/BENCH_sampling.json" "${TOLERANCE}" <<'EOF'
+import json, sys
+
+baseline_path, fresh_path, tol = sys.argv[1], sys.argv[2], float(sys.argv[3])
+def records(path):
+    with open(path) as f:
+        return {r["name"]: r for r in json.load(f)["records"]}
+
+base, fresh = records(baseline_path), records(fresh_path)
+failures = []
+for name, rec in sorted(base.items()):
+    if name not in fresh:
+        failures.append(f"{name}: missing from fresh run")
+        continue
+    old, new = rec["value"], fresh[name]["value"]
+    if rec["unit"] == "1/s" and old > 0:
+        if new < old * (1.0 - tol):
+            failures.append(f"{name}: {new:.0f}/s < {1-tol:.0%} of baseline {old:.0f}/s")
+        else:
+            print(f"  ok {name}: {new:.3g}/s vs baseline {old:.3g}/s")
+
+# Absolute floors from the sampled-engine acceptance criteria, independent
+# of the recorded baseline: >= 10x wall-clock speedup over detailed, and
+# every headline metric within 1% of the detailed run.
+speedup = fresh.get("speedup_sampled", {"value": 0.0})["value"]
+if speedup < 10.0:
+    failures.append(f"speedup_sampled: {speedup:.2f}x < 10x floor")
+else:
+    print(f"  ok speedup_sampled: {speedup:.2f}x (floor 10x)")
+for name in ("availability_rel_err", "failure_rate_rel_err",
+             "replacement_rate_rel_err"):
+    err = fresh.get(name, {"value": 1.0})["value"]
+    if err > 0.01:
+        failures.append(f"{name}: {err:.4f} > 1% ceiling")
+    else:
+        print(f"  ok {name}: {100.0 * err:.3f}% (ceiling 1%)")
+
+if failures:
+    print("bench_smoke: REGRESSION (sampling)", file=sys.stderr)
+    for f in failures:
+        print(f"  {f}", file=sys.stderr)
+    sys.exit(1)
+print("bench_smoke: sampling within tolerance")
+EOF

@@ -17,6 +17,11 @@
 # ShardCoordinatorTest, which drive multi-lane district and century runs
 # on real worker threads — the barrier/plane protocol must come out clean
 # here, not just "passes in practice".
+#
+# The default address,undefined run likewise covers the sampled engine:
+# SamplingControllerTest / CenturySampledTest / DistrictSampledTest /
+# SurvivalTableTest exercise the fast-forward walk, the transition
+# calendar, and checkpoint restore into both modes under ASan/UBSan.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
